@@ -1,0 +1,44 @@
+package qosrm
+
+import (
+	"math/rand"
+	"testing"
+
+	"qosrm/internal/atd"
+	"qosrm/internal/config"
+	"qosrm/internal/cpu"
+	"qosrm/internal/trace"
+)
+
+func benchmarkATD(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	addrs := make([]uint64, 4096)
+	idxs := make([]int64, len(addrs))
+	pos := int64(0)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(8192)) * config.BlockBytes
+		pos += int64(1 + rng.Intn(30))
+		idxs[i] = pos
+	}
+	a := atd.MustNew(0)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		j := i % len(addrs)
+		a.Access(addrs[j], idxs[j], true)
+	}
+}
+
+// BenchmarkDetailedTimingRun measures one detailed core timing walk (the
+// inner loop of the database build).
+func BenchmarkDetailedTimingRun(b *testing.B) {
+	mcf := MustBenchmark("mcf")
+	insts := trace.Generate(mcf.Phases[0].Params, 16384)
+	ann := cpu.Annotate(insts)
+	rc := cpu.RunConfig{Core: config.SizeM, Ways: config.BaseWays, FreqGHz: config.FBaseGHz}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cpu.Run(ann, rc)
+	}
+}

@@ -1,0 +1,43 @@
+package qosrm
+
+import (
+	"testing"
+
+	"qosrm/internal/config"
+	"qosrm/internal/perfmodel"
+	"qosrm/internal/rm"
+)
+
+// benchmarkRMWork measures Localize + GlobalOptimize for an 8-core
+// system, the per-invocation cost the paper bounds at 100K instructions
+// (Section III-E).
+func benchmarkRMWork(b *testing.B) {
+	ctx := benchContext(b)
+	st, err := ctx.DB.Stats("mcf", 0, config.Baseline())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pred := &rm.ModelPredictor{
+		Stats: perfmodel.FromDB(st, config.Baseline()),
+		Model: perfmodel.Model3,
+	}
+	const cores = 8
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		curves := make([]*rm.Curve, cores)
+		for j := range curves {
+			cv := rm.Localize(pred, rm.RM3, rm.Options{})
+			curves[j] = &cv
+		}
+		if _, ok := rm.GlobalOptimize(curves, config.TotalWays(cores)); !ok {
+			b.Fatal("infeasible")
+		}
+	}
+}
+
+// BenchmarkATDAccess measures the proposed ATD extension's per-access
+// cost (45 leading-miss counters updated per observed LLC access).
+func BenchmarkATDAccess(b *testing.B) {
+	benchmarkATD(b)
+}

@@ -1,0 +1,37 @@
+// Command classify measures every suite application's cache and
+// parallelism sensitivity with the Section IV-C rules and prints the
+// Table II classification.
+//
+// Usage:
+//
+//	classify [-db qosrm-db.gz] [-tracelen 65536]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"qosrm/internal/bench"
+	"qosrm/internal/db"
+	"qosrm/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("classify: ")
+	dbPath := flag.String("db", "qosrm-db.gz", "database cache path (built if missing)")
+	traceLen := flag.Int("tracelen", 65536, "instructions measured per phase")
+	flag.Parse()
+
+	d, err := db.LoadOrBuild(*dbPath, bench.Suite(), db.Options{TraceLen: *traceLen})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := experiments.NewContext(d)
+	rows, err := ctx.TableII()
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.RenderTableII(os.Stdout, rows)
+}

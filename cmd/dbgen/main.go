@@ -1,0 +1,48 @@
+// Command dbgen builds the simulation database — the equivalent of the
+// paper's Sniper+McPAT sweeps over all core configurations, VF corners
+// and LLC allocations for every benchmark phase — and caches it on disk
+// for the other tools.
+//
+// Usage:
+//
+//	dbgen [-out qosrm-db.gz] [-tracelen 65536] [-warmup 16384] [-workers N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"qosrm/internal/bench"
+	"qosrm/internal/db"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dbgen: ")
+	out := flag.String("out", "qosrm-db.gz", "output database path")
+	traceLen := flag.Int("tracelen", 65536, "instructions measured per phase")
+	warmup := flag.Int("warmup", 16384, "cache warm-up instructions per phase")
+	workers := flag.Int("workers", 0, "parallel builders (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	start := time.Now()
+	d, err := db.Build(bench.Suite(), db.Options{
+		TraceLen: *traceLen,
+		Warmup:   *warmup,
+		Workers:  *workers,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := d.Save(*out); err != nil {
+		log.Fatal(err)
+	}
+	phases := 0
+	for _, b := range bench.Suite() {
+		phases += len(b.Phases)
+	}
+	fmt.Printf("built %d benchmarks / %d phases in %v → %s\n",
+		len(bench.Suite()), phases, time.Since(start).Round(time.Millisecond), *out)
+}

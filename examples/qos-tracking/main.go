@@ -1,0 +1,54 @@
+// QoS tracking: compare how accurately the three online performance
+// models track QoS targets (the paper's Figures 7 and 8). Model1 uses
+// raw miss counts, Model2 a constant measured MLP, and Model3 — the
+// paper's proposal — per-(core size, allocation) leading-miss estimates
+// from the ATD extension.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"qosrm"
+	"qosrm/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	sys, err := qosrm.Open(qosrm.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := sys.Experiments()
+
+	// The exhaustive Section IV-D sweep: every phase of every
+	// application × every current setting × every target setting.
+	res, err := ctx.Fig7()
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.RenderFig7(os.Stdout, res)
+	fmt.Println()
+	experiments.RenderFig8(os.Stdout, res)
+
+	fmt.Println()
+	fmt.Println("Per-workload effect on the manager (RM3 under each model):")
+	apps := []*qosrm.Benchmark{
+		qosrm.MustBenchmark("libquantum"),
+		qosrm.MustBenchmark("omnetpp"),
+	}
+	for _, m := range []qosrm.ModelKind{qosrm.Model1, qosrm.Model2, qosrm.Model3} {
+		saving, r, err := sys.Savings(apps, qosrm.SimConfig{RM: qosrm.RM3, Model: m})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s: saving %6.2f%%, violation rate %.3f\n", m, saving*100, r.ViolationRate())
+	}
+	saving, r, err := sys.Savings(apps, qosrm.SimConfig{RM: qosrm.RM3, Perfect: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  Perfect: saving %6.2f%%, violation rate %.3f\n", saving*100, r.ViolationRate())
+}

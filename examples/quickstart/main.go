@@ -1,0 +1,55 @@
+// Quickstart: build the simulation database, run a two-core workload
+// under the paper's proposed manager (RM3, coordinated LLC partitioning
+// + per-core DVFS + core adaptation) and report the energy saved versus
+// the fixed baseline configuration.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qosrm"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Open builds the per-phase configuration database by running the
+	// detailed core/cache simulations (the paper's Sniper+McPAT stage).
+	// Restricting it to the applications we need keeps this example
+	// fast; omit Benchmarks to build the full 27-application suite.
+	sys, err := qosrm.Open(qosrm.Options{
+		Benchmarks: []*qosrm.Benchmark{
+			qosrm.MustBenchmark("povray"), // compute bound: a cache donor
+			qosrm.MustBenchmark("mcf"),    // cache sensitive + parallelism sensitive
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	apps := []*qosrm.Benchmark{
+		qosrm.MustBenchmark("povray"),
+		qosrm.MustBenchmark("mcf"),
+	}
+
+	// Co-simulate under RM3 with the proposed online model (Model3) and
+	// all run-time overheads, then compare with the baseline-keeping
+	// idle manager.
+	saving, res, err := sys.Savings(apps, qosrm.SimConfig{
+		RM:    qosrm.RM3,
+		Model: qosrm.Model3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: povray + mcf (2 cores)\n")
+	fmt.Printf("energy saving vs baseline: %.2f%%\n", saving*100)
+	fmt.Printf("total energy: %.3f J over %.1f ms (%d RM invocations)\n",
+		res.EnergyJ, res.TimeNs/1e6, res.RMCalled)
+	for i, a := range res.Apps {
+		fmt.Printf("  core%d %-8s: %.3f J, %d/%d intervals violated QoS\n",
+			i, a.Bench, a.EnergyJ, a.Violations, a.Intervals)
+	}
+}

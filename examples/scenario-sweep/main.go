@@ -1,0 +1,60 @@
+// Scenario sweep: reproduce the paper's motivation study (Figure 2) —
+// one representative two-core workload per scenario, simulated with
+// perfect models and no overheads under RM1 (LLC partitioning only),
+// RM2 (+ per-core DVFS) and RM3 (+ core adaptation) — then extend the
+// comparison to generated 4-core workloads (a slice of Figure 6).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qosrm"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	sys, err := qosrm.Open(qosrm.Options{}) // full suite
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== Figure 2: two-core scenario study (perfect models) ==")
+	ctx := sys.Experiments()
+	rows, err := ctx.Fig2()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("%s (%s): RM1 %6.2f%%  RM2 %6.2f%%  RM3 %6.2f%%\n",
+			r.Workload, r.Apps, r.Savings[0]*100, r.Savings[1]*100, r.Savings[2]*100)
+	}
+
+	fmt.Println()
+	fmt.Println("== Generated 4-core workloads under the online Model3 ==")
+	for _, scenario := range []qosrm.Scenario{qosrm.Scenario1, qosrm.Scenario3} {
+		workloads, err := qosrm.GenerateWorkloads(scenario, 4, 2, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, wl := range workloads {
+			names := ""
+			for i, a := range wl.Apps {
+				if i > 0 {
+					names += ","
+				}
+				names += a.Name
+			}
+			fmt.Printf("%s [%s]\n", wl.Name, names)
+			for _, kind := range []qosrm.RMKind{qosrm.RM1, qosrm.RM2, qosrm.RM3} {
+				saving, res, err := sys.Savings(wl.Apps, qosrm.SimConfig{RM: kind, Model: qosrm.Model3})
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("  %-4s %6.2f%% (violation rate %.3f)\n",
+					kind, saving*100, res.ViolationRate())
+			}
+		}
+	}
+}

@@ -1,0 +1,285 @@
+// Package atd implements the Auxiliary Tag Directory used for online
+// cache-miss profiling (Qureshi & Patt's UCP mechanism) together with the
+// paper's proposed extension: per-(core size, way allocation) leading-miss
+// counters that estimate memory-level parallelism across the whole
+// configuration space from a single observed access stream (Section III-C
+// and Figure 4).
+//
+// The ATD emulates the LLC tag directory: every LLC access is looked up
+// in an LRU stack and its recency position recorded. By LRU inclusion,
+// an access at position p hits for every allocation of at least p ways,
+// so a histogram of positions yields the miss count for every possible
+// allocation in one pass.
+//
+// The extension adds, for every core size c and allocation w, a miss
+// counter that counts only the leading misses of overlapping groups.
+// Each access carries an instruction index over a fixed 1024-entry
+// window (10 bits, four times the largest ROB). A predicted miss is
+// counted as overlapping (not leading) if it is within ROB(c) of the
+// last leading miss and shows no out-of-order-arrival evidence of a data
+// dependence; otherwise it starts a new leading miss.
+package atd
+
+import (
+	"fmt"
+
+	"qosrm/internal/cache"
+	"qosrm/internal/config"
+)
+
+// DefaultIndexBits is the paper's instruction-index width: 10 bits
+// cover a window of four times the largest ROB (Section III-C). The
+// paper flags the sensitivity of the RM to this width as future work;
+// New uses the default and NewWithIndexBits exposes the knob for that
+// study (see experiments.AblationIndexBits).
+const DefaultIndexBits = 10
+
+func init() {
+	if 1<<DefaultIndexBits != config.IndexWindow {
+		panic("atd: index width inconsistent with config.IndexWindow")
+	}
+}
+
+// lmState is one extension miss counter: the running leading-miss count
+// plus the two registers of Figure 4 ("Last LM Indx", "Last OV Dist.").
+type lmState struct {
+	count     int64
+	lastLM    int32 // masked instruction index of the last leading miss, -1 = none
+	lastOVDst int32 // distance of the last overlapping miss to lastLM, -1 = none
+}
+
+// numWays is the number of tracked allocations per core size (2..16).
+const numWays = config.MaxWays - config.MinWays + 1
+
+// ATD is an auxiliary tag directory for one core's view of the LLC,
+// with the leading-miss extension.
+type ATD struct {
+	stack       *cache.LRUStack
+	sampleShift uint
+	sampleMask  uint64
+	setShift    uint
+	indexMask   int32 // instruction-index window mask (2^bits − 1)
+
+	accesses int64 // sampled LLC accesses observed
+	hitHist  [config.MaxWays + 1]int64
+	cold     int64
+
+	// lm[c][w-MinWays] is the extension counter for core size c and
+	// allocation w: 3 × 15 = 45 counters (the paper budgets 48).
+	lm [config.NumSizes][numWays]lmState
+}
+
+// New returns an ATD sampling one in 2^sampleShift LLC sets with the
+// paper's 10-bit instruction index. Shift 0 observes every set (exact
+// profiling); the paper's hardware would use a larger shift to bound
+// area.
+func New(sampleShift uint) (*ATD, error) {
+	return NewWithIndexBits(sampleShift, DefaultIndexBits)
+}
+
+// NewWithIndexBits is New with a configurable instruction-index width.
+// Narrower indices wrap more often, so distances between a miss and the
+// last leading miss alias modulo 2^bits and the overlap heuristic loses
+// accuracy — the trade-off the paper leaves for future work.
+func NewWithIndexBits(sampleShift uint, indexBits int) (*ATD, error) {
+	if indexBits < 1 || indexBits > 30 {
+		return nil, fmt.Errorf("atd: index width %d bits outside [1,30]", indexBits)
+	}
+	sets := config.L3BytesPerCore / config.BlockBytes / config.L3WaysPerCore
+	sampled := sets >> sampleShift
+	if sampled < 1 {
+		return nil, fmt.Errorf("atd: sample shift %d leaves no sets (of %d)", sampleShift, sets)
+	}
+	a := &ATD{
+		stack:       cache.MustNewLRUStack(sampled, config.MaxWays),
+		sampleShift: sampleShift,
+		sampleMask:  uint64(1<<sampleShift) - 1,
+		setShift:    6, // log2(block bytes)
+		indexMask:   int32(1<<indexBits - 1),
+	}
+	a.resetLMRegisters()
+	return a, nil
+}
+
+// MustNew is New panicking on error, for known-good shifts.
+func MustNew(sampleShift uint) *ATD {
+	a, err := New(sampleShift)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func (a *ATD) resetLMRegisters() {
+	for c := range a.lm {
+		for w := range a.lm[c] {
+			a.lm[c][w].lastLM = -1
+			a.lm[c][w].lastOVDst = -1
+		}
+	}
+}
+
+// sampled reports whether addr falls in a sampled set.
+func (a *ATD) sampled(addr uint64) bool {
+	return (addr>>a.setShift)&a.sampleMask == 0
+}
+
+// Access observes one LLC access (a memory request that missed the
+// private L2) with its 10-bit instruction index. Both loads and stores
+// update the recency profile, but only loads drive the leading-miss
+// counters (store misses are absorbed by the write buffer and do not
+// stall the core). Only accesses to sampled sets update state.
+func (a *ATD) Access(addr uint64, instIdx int64, isLoad bool) {
+	if !a.sampled(addr) {
+		return
+	}
+	a.accesses++
+	// Shift the sampled bits out so the stack sees a dense set index.
+	dense := (addr >> a.setShift >> a.sampleShift << a.setShift) | (addr & (1<<a.setShift - 1))
+	pos := a.stack.Access(dense)
+	if pos == 0 {
+		a.cold++
+	} else {
+		a.hitHist[pos]++
+	}
+	if !isLoad {
+		return
+	}
+	idx := int32(instIdx) & a.indexMask
+	for ci, c := range config.Sizes {
+		rob := int32(config.Core(c).ROB)
+		for wi := 0; wi < numWays; wi++ {
+			w := config.MinWays + wi
+			if pos != 0 && pos <= w {
+				continue // predicted hit at allocation w: not a miss at all
+			}
+			a.lm[ci][wi].observeMiss(idx, rob, a.indexMask)
+		}
+	}
+}
+
+// observeMiss applies the Figure 4 heuristic to one predicted miss.
+func (s *lmState) observeMiss(idx, rob, indexMask int32) {
+	if s.lastLM < 0 {
+		// First leading miss.
+		s.count++
+		s.lastLM = idx
+		s.lastOVDst = -1
+		return
+	}
+	dist := (idx - s.lastLM) & indexMask
+	switch {
+	case dist >= rob:
+		// Outside the reorder window of the last leading miss: the core
+		// cannot overlap them, so a new leading miss begins.
+		s.count++
+		s.lastLM = idx
+		s.lastOVDst = -1
+	case s.lastOVDst >= 0 && dist < s.lastOVDst:
+		// Arrived out of order relative to the last overlapping access:
+		// the paper's heuristic attributes this to a data dependence on
+		// the previous leading miss, which serialises it.
+		s.count++
+		s.lastLM = idx
+		s.lastOVDst = -1
+	default:
+		// Overlaps the last leading miss.
+		s.lastOVDst = dist
+	}
+}
+
+// scale is the set-sampling expansion factor.
+func (a *ATD) scale() int64 { return 1 << a.sampleShift }
+
+// Accesses returns the estimated total LLC accesses (sampled count
+// scaled by the sampling factor).
+func (a *ATD) Accesses() int64 { return a.accesses * a.scale() }
+
+// Misses returns the estimated number of LLC misses if this core were
+// allocated w ways: hits at recency positions deeper than w plus cold
+// misses (Section III-C).
+func (a *ATD) Misses(w int) int64 {
+	if w < 0 {
+		w = 0
+	}
+	if w > config.MaxWays {
+		w = config.MaxWays
+	}
+	n := a.cold
+	for p := w + 1; p <= config.MaxWays; p++ {
+		n += a.hitHist[p]
+	}
+	return n * a.scale()
+}
+
+// LeadingMisses returns the extension's estimate of the number of
+// leading (non-overlapped) misses for core size c and allocation w.
+func (a *ATD) LeadingMisses(c config.CoreSize, w int) int64 {
+	wi := clampWays(w) - config.MinWays
+	return a.lm[c][wi].count * a.scale()
+}
+
+// MLP returns the estimated memory-level parallelism at (c, w): total
+// misses divided by leading misses, at least 1.
+func (a *ATD) MLP(c config.CoreSize, w int) float64 {
+	lm := a.LeadingMisses(c, w)
+	if lm == 0 {
+		return 1
+	}
+	m := float64(a.Misses(w)) / float64(lm)
+	if m < 1 {
+		return 1
+	}
+	return m
+}
+
+// MissCurve returns Misses(w) for every allocation MinWays..MaxWays,
+// indexed by w-MinWays.
+func (a *ATD) MissCurve() [numWays]int64 {
+	var out [numWays]int64
+	for wi := 0; wi < numWays; wi++ {
+		out[wi] = a.Misses(config.MinWays + wi)
+	}
+	return out
+}
+
+// LMMatrix returns the full leading-miss estimate matrix, indexed by
+// [core size][w-MinWays]. This is what the RM's performance model reads
+// at the end of each interval.
+func (a *ATD) LMMatrix() [config.NumSizes][numWays]int64 {
+	var out [config.NumSizes][numWays]int64
+	for c := range out {
+		for w := range out[c] {
+			out[c][w] = a.lm[c][w].count * a.scale()
+		}
+	}
+	return out
+}
+
+// ResetCounters clears histograms and leading-miss counters while
+// keeping tag state warm; the RM does this at every interval boundary.
+func (a *ATD) ResetCounters() {
+	a.accesses, a.cold = 0, 0
+	for i := range a.hitHist {
+		a.hitHist[i] = 0
+	}
+	for c := range a.lm {
+		for w := range a.lm[c] {
+			a.lm[c][w].count = 0
+		}
+	}
+	a.resetLMRegisters()
+}
+
+func clampWays(w int) int {
+	if w < config.MinWays {
+		return config.MinWays
+	}
+	if w > config.MaxWays {
+		return config.MaxWays
+	}
+	return w
+}
+
+// NumTrackedWays is the number of allocations each counter bank tracks.
+const NumTrackedWays = numWays

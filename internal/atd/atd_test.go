@@ -1,0 +1,270 @@
+package atd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qosrm/internal/cache"
+	"qosrm/internal/config"
+)
+
+func TestNewSampleShift(t *testing.T) {
+	if _, err := New(0); err != nil {
+		t.Fatalf("full sampling must work: %v", err)
+	}
+	if _, err := New(2); err != nil {
+		t.Fatalf("1/4 sampling must work: %v", err)
+	}
+	if _, err := New(30); err == nil {
+		t.Fatal("sampling away every set must fail")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew must panic")
+		}
+	}()
+	MustNew(30)
+}
+
+// TestMissCurveMatchesLRUStack: with full sampling and an access stream
+// in a fixed order, the ATD's miss estimate for allocation w must equal
+// the exact count from an LRU stack (inclusion property).
+func TestMissCurveMatchesLRUStack(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := MustNew(0)
+		sets := config.L3BytesPerCore / config.BlockBytes / config.L3WaysPerCore
+		ref := cache.MustNewLRUStack(sets, config.MaxWays)
+		misses := make([]int64, config.MaxWays+1)
+		for i := 0; i < 4000; i++ {
+			addr := uint64(rng.Intn(2048)) * config.BlockBytes
+			a.Access(addr, int64(i), true)
+			pos := ref.Access(addr)
+			for w := config.MinWays; w <= config.MaxWays; w++ {
+				if pos == 0 || pos > w {
+					misses[w]++
+				}
+			}
+		}
+		for w := config.MinWays; w <= config.MaxWays; w++ {
+			if a.Misses(w) != misses[w] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMissCurveMonotonicInWays(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := MustNew(0)
+		for i := 0; i < 3000; i++ {
+			a.Access(uint64(rng.Intn(4096))*config.BlockBytes, int64(i), rng.Intn(2) == 0)
+		}
+		prev := a.Misses(config.MinWays)
+		for w := config.MinWays + 1; w <= config.MaxWays; w++ {
+			m := a.Misses(w)
+			if m > prev {
+				return false
+			}
+			prev = m
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLMMonotonicInCoreSize: a larger window can only merge more misses
+// into overlap groups, so LM(S) ≥ LM(M) ≥ LM(L) for any stream.
+func TestLMMonotonicInCoreSize(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := MustNew(0)
+		idx := int64(0)
+		for i := 0; i < 2000; i++ {
+			idx += int64(1 + rng.Intn(40))
+			a.Access(uint64(rng.Intn(4096))*config.BlockBytes, idx, true)
+		}
+		for w := config.MinWays; w <= config.MaxWays; w++ {
+			s := a.LeadingMisses(config.SizeS, w)
+			m := a.LeadingMisses(config.SizeM, w)
+			l := a.LeadingMisses(config.SizeL, w)
+			if s < m || m < l {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLMBoundedByMisses: leading misses can never exceed total misses,
+// and MLP is therefore ≥ 1.
+func TestLMBoundedByMisses(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := MustNew(0)
+	idx := int64(0)
+	for i := 0; i < 5000; i++ {
+		idx += int64(1 + rng.Intn(25))
+		a.Access(uint64(rng.Intn(8192))*config.BlockBytes, idx, true)
+	}
+	for _, c := range config.Sizes {
+		for w := config.MinWays; w <= config.MaxWays; w++ {
+			lm := a.LeadingMisses(c, w)
+			if lm > a.Misses(w) {
+				t.Fatalf("LM(%s,%d)=%d exceeds misses %d", c, w, lm, a.Misses(w))
+			}
+			if a.MLP(c, w) < 1 {
+				t.Fatalf("MLP(%s,%d)=%.3f < 1", c, w, a.MLP(c, w))
+			}
+		}
+	}
+}
+
+// TestFig4Example reproduces the paper's worked example (Figure 4).
+func TestFig4Example(t *testing.T) {
+	a := MustNew(0)
+	// Four loads, all missing; arrival order LD1, LD3, LD2, LD4 with
+	// instruction indices 5, 33, 20, 90.
+	addrs := []uint64{0, 1 << 20, 2 << 20, 3 << 20}
+	idxs := []int64{5, 33, 20, 90}
+	for i := range addrs {
+		a.Access(addrs[i], idxs[i], true)
+	}
+	if got := a.LeadingMisses(config.SizeS, config.BaseWays); got != 3 {
+		t.Errorf("S-core LM = %d, want 3 (LD2 dependence detected, LD4 outside ROB 64)", got)
+	}
+	if got := a.LeadingMisses(config.SizeM, config.BaseWays); got != 2 {
+		t.Errorf("M-core LM = %d, want 2 (LD4 overlaps within ROB 128)", got)
+	}
+}
+
+func TestStoresDoNotDriveLMCounters(t *testing.T) {
+	a := MustNew(0)
+	for i := 0; i < 100; i++ {
+		a.Access(uint64(i)<<20, int64(i*100), false) // stores only
+	}
+	if a.Misses(config.BaseWays) == 0 {
+		t.Fatal("stores must update the miss profile")
+	}
+	for _, c := range config.Sizes {
+		if a.LeadingMisses(c, config.BaseWays) != 0 {
+			t.Fatal("stores must not be counted as leading misses")
+		}
+	}
+}
+
+func TestResetCountersKeepsTags(t *testing.T) {
+	a := MustNew(0)
+	a.Access(0, 1, true)
+	a.ResetCounters()
+	if a.Misses(config.MaxWays) != 0 || a.Accesses() != 0 {
+		t.Fatal("counters must be cleared")
+	}
+	// The tag is still resident: re-access hits at position 1 (a miss
+	// count of zero for every allocation).
+	a.Access(0, 2, true)
+	if a.Misses(config.MinWays) != 0 {
+		t.Fatal("tag state must survive a counter reset")
+	}
+}
+
+func TestSamplingScalesEstimates(t *testing.T) {
+	// With 1/2 sampling, estimates are scaled ×2; totals should be in
+	// the same ballpark as full profiling for a uniform stream.
+	rng := rand.New(rand.NewSource(3))
+	full := MustNew(0)
+	half := MustNew(1)
+	for i := 0; i < 40_000; i++ {
+		addr := uint64(rng.Intn(4096)) * config.BlockBytes
+		full.Access(addr, int64(i), true)
+		half.Access(addr, int64(i), true)
+	}
+	for _, w := range []int{config.MinWays, config.BaseWays, config.MaxWays} {
+		f, h := float64(full.Misses(w)), float64(half.Misses(w))
+		if h < f*0.8 || h > f*1.2 {
+			t.Errorf("w=%d: sampled estimate %v too far from exact %v", w, h, f)
+		}
+	}
+}
+
+func TestChainWithoutInterleavingLooksOverlapped(t *testing.T) {
+	// A pure in-order chain with small spacing provides no out-of-order
+	// signal: within one ROB span it is counted as a single leading
+	// miss. This is the documented limitation of the Figure 4 heuristic.
+	a := MustNew(0)
+	idx := int64(0)
+	for i := 0; i < 16; i++ { // spans 16×8 = 128 instructions
+		a.Access(uint64(i)<<20, idx, true)
+		idx += 8
+	}
+	if got := a.LeadingMisses(config.SizeL, config.BaseWays); got != 1 {
+		t.Errorf("L-core LM over one in-order chain span = %d, want 1", got)
+	}
+	// The S core (ROB 64) must break the chain into ≥ 2 leading misses.
+	if got := a.LeadingMisses(config.SizeS, config.BaseWays); got < 2 {
+		t.Errorf("S-core LM = %d, want ≥ 2 (window smaller than span)", got)
+	}
+}
+
+func TestOutOfOrderArrivalDetectsDependence(t *testing.T) {
+	// An access with a smaller index-distance than the previous
+	// overlapping access arrived out of order → counted as a new LM.
+	a := MustNew(0)
+	a.Access(0<<20, 10, true) // LM
+	a.Access(1<<20, 40, true) // OV (dist 30)
+	a.Access(2<<20, 25, true) // dist 15 < 30 → dependence → LM
+	if got := a.LeadingMisses(config.SizeL, config.BaseWays); got != 2 {
+		t.Errorf("LM = %d, want 2 after out-of-order arrival", got)
+	}
+}
+
+func TestLMMatrixMatchesAccessors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := MustNew(0)
+	idx := int64(0)
+	for i := 0; i < 2000; i++ {
+		idx += int64(1 + rng.Intn(30))
+		a.Access(uint64(rng.Intn(2048))*config.BlockBytes, idx, true)
+	}
+	m := a.LMMatrix()
+	for ci, c := range config.Sizes {
+		for wi := 0; wi < NumTrackedWays; wi++ {
+			if m[ci][wi] != a.LeadingMisses(c, config.MinWays+wi) {
+				t.Fatalf("matrix mismatch at %s w%d", c, config.MinWays+wi)
+			}
+		}
+	}
+	curve := a.MissCurve()
+	for wi := range curve {
+		if curve[wi] != a.Misses(config.MinWays+wi) {
+			t.Fatalf("miss curve mismatch at w%d", config.MinWays+wi)
+		}
+	}
+}
+
+func TestMissesClampsWays(t *testing.T) {
+	a := MustNew(0)
+	a.Access(0, 1, true)
+	if a.Misses(-5) != a.Misses(0) {
+		t.Error("negative ways should clamp")
+	}
+	if a.Misses(100) != a.Misses(config.MaxWays) {
+		t.Error("oversize ways should clamp")
+	}
+	if a.LeadingMisses(config.SizeM, 100) != a.LeadingMisses(config.SizeM, config.MaxWays) {
+		t.Error("LM ways should clamp")
+	}
+}

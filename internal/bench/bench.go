@@ -1,0 +1,204 @@
+// Package bench defines the reproduction's benchmark suite: 27 synthetic
+// applications standing in for the 27 SPEC CPU2006 benchmarks the paper
+// uses (Section IV-C; calculix and milc are excluded there, so 27 of 29).
+//
+// Each application is a set of SimPoint-like phases — a trace.Params
+// value plus a weight — and a deterministic phase sequence mapping
+// execution intervals to phases. Application names follow the SPEC
+// originals and each is calibrated so that the paper's two-attribute
+// classification (cache sensitivity, parallelism sensitivity; Section
+// IV-C) reproduces Table II exactly: 5 CS-PS, 7 CS-PI, 7 CI-PS and
+// 8 CI-PI applications.
+package bench
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"qosrm/internal/trace"
+)
+
+// Category is one cell of the paper's 2×2 application taxonomy.
+type Category int
+
+// The four categories of Section II.
+const (
+	CSPS Category = iota // cache sensitive, parallelism sensitive
+	CSPI                 // cache sensitive, parallelism insensitive
+	CIPS                 // cache insensitive, parallelism sensitive
+	CIPI                 // cache insensitive, parallelism insensitive
+)
+
+// NumCategories is the number of taxonomy cells.
+const NumCategories = 4
+
+// Categories lists all categories in display order.
+var Categories = [NumCategories]Category{CSPS, CSPI, CIPS, CIPI}
+
+// String returns the paper's abbreviation, e.g. "CS-PS".
+func (c Category) String() string {
+	switch c {
+	case CSPS:
+		return "CS-PS"
+	case CSPI:
+		return "CS-PI"
+	case CIPS:
+		return "CI-PS"
+	case CIPI:
+		return "CI-PI"
+	}
+	return fmt.Sprintf("Category(%d)", int(c))
+}
+
+// CacheSensitive reports whether the category is CS.
+func (c Category) CacheSensitive() bool { return c == CSPS || c == CSPI }
+
+// ParallelismSensitive reports whether the category is PS.
+func (c Category) ParallelismSensitive() bool { return c == CSPS || c == CIPS }
+
+// Classification thresholds of Section IV-C.
+const (
+	// MPKIVarThreshold: an application is cache sensitive if its MPKI
+	// varies by more than 20% when the LLC allocation changes by ±50%
+	// around the 8-way baseline...
+	MPKIVarThreshold = 0.20
+	// ...while its baseline MPKI is at least 0.2.
+	MPKIMin = 0.2
+	// MLPVarThreshold: parallelism sensitive if MLP varies from the S to
+	// the L core by more than 30% of the M-core MLP...
+	MLPVarThreshold = 0.30
+	// ...while the L-core MLP is at least 2.
+	MLPMin = 2.0
+)
+
+// Classify applies the Section IV-C rules to measured statistics:
+// MPKI at 4, 8 and 12 ways (baseline core and VF) and MLP on the three
+// core sizes (baseline allocation and VF).
+func Classify(mpki4, mpki8, mpki12, mlpS, mlpM, mlpL float64) Category {
+	cs := false
+	if mpki8 >= MPKIMin {
+		up := abs(mpki4 - mpki8)
+		down := abs(mpki8 - mpki12)
+		v := up
+		if down > v {
+			v = down
+		}
+		cs = v > MPKIVarThreshold*mpki8
+	}
+	ps := mlpL >= MLPMin && abs(mlpL-mlpS) > MLPVarThreshold*mlpM
+	switch {
+	case cs && ps:
+		return CSPS
+	case cs:
+		return CSPI
+	case ps:
+		return CIPS
+	default:
+		return CIPI
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Phase is one SimPoint-like program phase: a synthetic stream plus the
+// fraction of the application's execution it represents.
+type Phase struct {
+	Weight float64
+	Params trace.Params
+}
+
+// Benchmark is one application of the suite.
+type Benchmark struct {
+	Name string
+	// Category is the intended Table II category; the classification
+	// tests verify that measurement reproduces it.
+	Category Category
+	Phases   []Phase
+	// Sequence maps interval number to phase index, repeating; its
+	// composition matches the phase weights.
+	Sequence []int
+	// TotalInstr is the application's dynamic instruction count at paper
+	// scale (the longest application runs 4146 B instructions).
+	TotalInstr int64
+}
+
+// PhaseAt returns the phase index executed during the given interval.
+func (b *Benchmark) PhaseAt(interval int64) int {
+	if len(b.Sequence) == 0 {
+		return 0
+	}
+	return b.Sequence[int(interval%int64(len(b.Sequence)))]
+}
+
+// Validate checks internal consistency.
+func (b *Benchmark) Validate() error {
+	if b.Name == "" {
+		return fmt.Errorf("bench: unnamed benchmark")
+	}
+	if len(b.Phases) == 0 {
+		return fmt.Errorf("bench %s: no phases", b.Name)
+	}
+	total := 0.0
+	for i, p := range b.Phases {
+		if p.Weight <= 0 {
+			return fmt.Errorf("bench %s: phase %d weight %.3f not positive", b.Name, i, p.Weight)
+		}
+		if err := p.Params.Validate(); err != nil {
+			return fmt.Errorf("bench %s phase %d: %w", b.Name, i, err)
+		}
+		total += p.Weight
+	}
+	if total < 0.999 || total > 1.001 {
+		return fmt.Errorf("bench %s: phase weights sum to %.3f, want 1", b.Name, total)
+	}
+	for i, s := range b.Sequence {
+		if s < 0 || s >= len(b.Phases) {
+			return fmt.Errorf("bench %s: sequence[%d]=%d out of range", b.Name, i, s)
+		}
+	}
+	if b.TotalInstr <= 0 {
+		return fmt.Errorf("bench %s: non-positive instruction count", b.Name)
+	}
+	return nil
+}
+
+// seed derives a deterministic per-phase seed from the benchmark name.
+func seed(name string, phase int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d", name, phase)
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}
+
+// ByName returns the named benchmark from the suite, or an error.
+func ByName(name string) (*Benchmark, error) {
+	for _, b := range Suite() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("bench: unknown benchmark %q", name)
+}
+
+// Names returns the suite's benchmark names in suite order.
+func Names() []string {
+	s := Suite()
+	out := make([]string, len(s))
+	for i, b := range s {
+		out[i] = b.Name
+	}
+	return out
+}
+
+// ByCategory groups the suite by intended category.
+func ByCategory() map[Category][]*Benchmark {
+	m := make(map[Category][]*Benchmark, NumCategories)
+	for _, b := range Suite() {
+		m[b.Category] = append(m[b.Category], b)
+	}
+	return m
+}

@@ -1,0 +1,212 @@
+package bench
+
+import (
+	"testing"
+
+	"qosrm/internal/trace"
+)
+
+func TestSuiteComposition(t *testing.T) {
+	s := Suite()
+	if len(s) != 27 {
+		t.Fatalf("suite has %d applications, want 27 (Section IV-C)", len(s))
+	}
+	counts := map[Category]int{}
+	names := map[string]bool{}
+	for _, b := range s {
+		counts[b.Category]++
+		if names[b.Name] {
+			t.Errorf("duplicate benchmark name %q", b.Name)
+		}
+		names[b.Name] = true
+	}
+	// Table II: 5 CS-PS, 7 CS-PI, 7 CI-PS, 8 CI-PI.
+	want := map[Category]int{CSPS: 5, CSPI: 7, CIPS: 7, CIPI: 8}
+	for cat, n := range want {
+		if counts[cat] != n {
+			t.Errorf("%s has %d applications, want %d", cat, counts[cat], n)
+		}
+	}
+}
+
+func TestTableIIMembership(t *testing.T) {
+	// Spot-check the paper's Table II assignments.
+	want := map[string]Category{
+		"mcf": CSPS, "sphinx3": CSPS,
+		"gcc": CSPI, "xalancbmk": CSPI,
+		"bwaves": CIPS, "libquantum": CIPS,
+		"lbm": CIPI, "povray": CIPI, "astar": CIPI,
+	}
+	for name, cat := range want {
+		b, err := ByName(name)
+		if err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+		if b.Category != cat {
+			t.Errorf("%s intended category %s, want %s", name, b.Category, cat)
+		}
+	}
+}
+
+func TestSuiteValidates(t *testing.T) {
+	for _, b := range Suite() {
+		if err := b.Validate(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+	}
+}
+
+func TestPhaseWeightsMatchSequence(t *testing.T) {
+	// The SimPoint-style weights must equal the composition of the
+	// deterministic phase sequence (they drive Fig. 7's weighting).
+	for _, b := range Suite() {
+		counts := make([]int, len(b.Phases))
+		for _, p := range b.Sequence {
+			counts[p]++
+		}
+		for i, ph := range b.Phases {
+			got := float64(counts[i]) / float64(len(b.Sequence))
+			if diff := got - ph.Weight; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("%s phase %d: sequence share %.3f, weight %.3f", b.Name, i, got, ph.Weight)
+			}
+		}
+	}
+}
+
+func TestPhaseAtWraps(t *testing.T) {
+	b, err := ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(len(b.Sequence))
+	for i := int64(0); i < 3*n; i++ {
+		if b.PhaseAt(i) != b.Sequence[i%n] {
+			t.Fatalf("PhaseAt(%d) does not wrap", i)
+		}
+	}
+	empty := &Benchmark{Name: "x", Phases: []Phase{{Weight: 1}}, TotalInstr: 1}
+	if empty.PhaseAt(5) != 0 {
+		t.Error("empty sequence should pin phase 0")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("mcf"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nonexistent"); err == nil {
+		t.Fatal("unknown benchmark must error")
+	}
+}
+
+func TestNamesMatchesSuite(t *testing.T) {
+	names := Names()
+	s := Suite()
+	if len(names) != len(s) {
+		t.Fatal("Names length mismatch")
+	}
+	for i := range names {
+		if names[i] != s[i].Name {
+			t.Fatal("Names order mismatch")
+		}
+	}
+}
+
+func TestByCategoryPartitions(t *testing.T) {
+	m := ByCategory()
+	total := 0
+	for _, bs := range m {
+		total += len(bs)
+	}
+	if total != len(Suite()) {
+		t.Fatalf("ByCategory covers %d of %d", total, len(Suite()))
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	// Every phase of every benchmark must have a distinct seed so the
+	// streams are not accidentally identical.
+	seen := map[int64]string{}
+	for _, b := range Suite() {
+		for i, p := range b.Phases {
+			if prev, dup := seen[p.Params.Seed]; dup {
+				t.Errorf("%s phase %d shares a seed with %s", b.Name, i, prev)
+			}
+			seen[p.Params.Seed] = b.Name
+		}
+	}
+}
+
+func TestLongestApplication(t *testing.T) {
+	// Section IV-D: the longest application runs 4146 B instructions.
+	var longest int64
+	for _, b := range Suite() {
+		if b.TotalInstr > longest {
+			longest = b.TotalInstr
+		}
+	}
+	if longest != 4_146_000_000_000 {
+		t.Fatalf("longest application runs %d instructions, want 4146 B", longest)
+	}
+}
+
+func TestClassifyRules(t *testing.T) {
+	// Threshold edge cases of Section IV-C.
+	cases := []struct {
+		name                          string
+		mpki4, mpki8, mpki12, s, m, l float64
+		want                          Category
+	}{
+		{"clear CS-PS", 20, 10, 5, 1.5, 3, 5, CSPS},
+		{"clear CS-PI", 20, 10, 5, 1.1, 1.2, 1.3, CSPI},
+		{"clear CI-PS", 10, 10, 10, 1.5, 3, 5, CIPS},
+		{"clear CI-PI", 10, 10, 10, 1.1, 1.2, 1.3, CIPI},
+		{"MPKI below floor", 0.3, 0.1, 0.05, 1.1, 1.2, 1.3, CIPI},
+		{"MLP below floor", 10, 10, 10, 1.0, 1.5, 1.9, CIPI},
+		{"variation below 20%", 11, 10, 9.5, 1.1, 1.2, 1.3, CIPI},
+		{"variation just above 20%", 12.1, 10, 10, 1.1, 1.2, 1.3, CSPI},
+		{"MLP variation below 30%", 10, 10, 10, 2.8, 3.0, 3.6, CIPI},
+		{"MLP variation above 30%", 10, 10, 10, 2.0, 3.0, 3.5, CIPS},
+	}
+	for _, c := range cases {
+		if got := Classify(c.mpki4, c.mpki8, c.mpki12, c.s, c.m, c.l); got != c.want {
+			t.Errorf("%s: got %s, want %s", c.name, got, c.want)
+		}
+	}
+}
+
+func TestCategoryPredicates(t *testing.T) {
+	if !CSPS.CacheSensitive() || !CSPS.ParallelismSensitive() {
+		t.Error("CSPS predicates wrong")
+	}
+	if !CSPI.CacheSensitive() || CSPI.ParallelismSensitive() {
+		t.Error("CSPI predicates wrong")
+	}
+	if CIPS.CacheSensitive() || !CIPS.ParallelismSensitive() {
+		t.Error("CIPS predicates wrong")
+	}
+	if CIPI.CacheSensitive() || CIPI.ParallelismSensitive() {
+		t.Error("CIPI predicates wrong")
+	}
+	if CSPS.String() != "CS-PS" || CIPI.String() != "CI-PI" {
+		t.Error("category names wrong")
+	}
+}
+
+func TestValidateCatchesBadBenchmarks(t *testing.T) {
+	good := Suite()[0]
+	bad := []*Benchmark{
+		{Name: "", Phases: good.Phases, TotalInstr: 1},
+		{Name: "x", Phases: nil, TotalInstr: 1},
+		{Name: "x", Phases: []Phase{{Weight: 0, Params: good.Phases[0].Params}}, TotalInstr: 1},
+		{Name: "x", Phases: []Phase{{Weight: 0.5, Params: good.Phases[0].Params}}, TotalInstr: 1},
+		{Name: "x", Phases: []Phase{{Weight: 1, Params: trace.Params{}}}, TotalInstr: 1},
+		{Name: "x", Phases: []Phase{{Weight: 1, Params: good.Phases[0].Params}}, Sequence: []int{3}, TotalInstr: 1},
+		{Name: "x", Phases: []Phase{{Weight: 1, Params: good.Phases[0].Params}}, TotalInstr: 0},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package bench
+
+import (
+	"qosrm/internal/config"
+	"qosrm/internal/trace"
+)
+
+// MB is a mebibyte, used for region footprints.
+const MB = 1 << 20
+
+// proto is the per-benchmark knob set from which phases are derived.
+// Four archetypes map onto the paper's taxonomy:
+//
+//   - cache-sensitive apps own a multi-MB random-access region whose hit
+//     rate moves with the LLC allocation around the 2 MB baseline;
+//   - cache-insensitive apps either fit in the private caches (compute
+//     bound) or stream through footprints far larger than any allocation;
+//   - parallelism-sensitive apps issue bursts of independent loads spread
+//     over hundreds of instructions, so the reachable MLP grows with the
+//     reorder window (S → L);
+//   - parallelism-insensitive apps either chase pointers (load-to-load
+//     dependences serialise misses) or issue misses so densely that even
+//     the small window, or the DRAM bandwidth, already saturates MLP.
+//
+// All traffic to the large region flows through bursts (single loads and
+// stores stay in the hot region), so MPKI is set by loadFrac·burstProb·
+// burstLen and MLP by the burst shape — the two dials are independent.
+type proto struct {
+	loadFrac   float64
+	storeFrac  float64
+	branchFrac float64
+	mulFrac    float64
+	branchMiss float64
+	depProb    float64
+	depMean    float64
+	burstProb  float64 // probability a due load starts a main-region burst
+	burst      int
+	spread     int
+	chase      float64
+	storeMain  float64 // fraction of stores into the main region (writebacks)
+	hotKB      int     // small sequential region (private-cache traffic)
+	mainMB     float64 // large random region (LLC traffic); 0 = none
+	windowMB   float64 // working-set window within the main region; 0 = uniform
+	drift      int     // accesses per one-block window slide
+}
+
+// params instantiates the proto as trace parameters for one phase, with
+// the standard per-phase variations: phase 1 is memory-heavier, phase 2
+// leaner, phase 3 (where present) heavier still.
+func (p proto) params(name string, phase int) trace.Params {
+	bp, mm := p.burstProb, p.mainMB
+	switch phase {
+	case 1:
+		bp *= 1.35
+		mm *= 1.3
+	case 2:
+		bp *= 0.65
+		mm *= 0.85
+	case 3:
+		bp *= 1.6
+		mm *= 1.15
+	}
+	if bp > 1 {
+		bp = 1
+	}
+	// Region sizes are expressed at represented (Table I) scale and
+	// shrunk by MemScale alongside the cache geometry; see config.
+	// The hot region takes all mixture traffic; the main region is
+	// reached only through bursts.
+	regions := []trace.Region{
+		{Bytes: uint64(p.hotKB) << 10 / config.MemScale, Weight: 1, Sequential: true},
+	}
+	if mm > 0 {
+		regions = append(regions, trace.Region{
+			Bytes:       uint64(mm * MB / config.MemScale),
+			Weight:      0,
+			WindowBytes: uint64(p.windowMB * MB / config.MemScale),
+			DriftEvery:  p.drift,
+		})
+	}
+	return trace.Params{
+		Seed:           seed(name, phase),
+		LoadFrac:       p.loadFrac,
+		StoreFrac:      p.storeFrac,
+		BranchFrac:     p.branchFrac,
+		MulFrac:        p.mulFrac,
+		BranchMissRate: p.branchMiss,
+		DepProb:        p.depProb,
+		DepMean:        p.depMean,
+		BurstProb:      bp,
+		BurstLen:       p.burst,
+		BurstSpread:    p.spread,
+		ChaseFrac:      p.chase,
+		StoreMainFrac:  p.storeMain,
+		Regions:        regions,
+	}
+}
+
+// Phase sequences (SimPoint-style interval→phase traces). The paper's
+// applications have two to four phases; the suite mixes three shapes,
+// keyed deterministically off the benchmark name so the per-application
+// phase counts are stable. Sequence composition defines phase weights.
+var (
+	seq2 = []int{0, 0, 1, 0, 0, 1, 0, 1}             // 5/8, 3/8
+	seq3 = []int{0, 0, 1, 0, 2, 0, 1, 0, 0, 1, 0, 2} // 7/12, 3/12, 2/12
+	seq4 = []int{0, 1, 0, 2, 0, 1, 0, 3, 0, 1, 2, 0} // 5/12, 3/12, 2/12, 2/12
+)
+
+// build assembles a benchmark from a proto with a 2-, 3- or 4-phase
+// trace depending on its name hash. Phase 0 is the proto itself, phase 1
+// memory-heavier, phase 2 leaner and phase 3 heavier still (see
+// proto.params).
+func build(name string, cat Category, p proto, totalBInstr int64) *Benchmark {
+	var seq []int
+	switch seed(name, 0) % 3 {
+	case 0:
+		seq = seq2
+	case 1:
+		seq = seq3
+	default:
+		seq = seq4
+	}
+	phases := 0
+	for _, s := range seq {
+		if s+1 > phases {
+			phases = s + 1
+		}
+	}
+	counts := make([]int, phases)
+	for _, s := range seq {
+		counts[s]++
+	}
+	b := &Benchmark{
+		Name:       name,
+		Category:   cat,
+		Sequence:   seq,
+		TotalInstr: totalBInstr * 1_000_000_000,
+	}
+	for i := 0; i < phases; i++ {
+		b.Phases = append(b.Phases, Phase{
+			Weight: float64(counts[i]) / float64(len(seq)),
+			Params: p.params(name, i),
+		})
+	}
+	return b
+}
+
+// suite is built once; Benchmarks are immutable after construction.
+var suite []*Benchmark
+
+func init() {
+	common := proto{
+		storeFrac:  0.08,
+		branchFrac: 0.12,
+		mulFrac:    0.25,
+		branchMiss: 0.03,
+		depProb:    0.45,
+		depMean:    5.0,
+		hotKB:      384,
+	}
+	// csps: multi-MB working set + window-limited independent bursts.
+	csps := func(mainMB, windowMB float64, burstProb float64, burst, spread int, loadFrac, chase float64) proto {
+		p := common
+		p.mainMB, p.windowMB, p.drift = mainMB, windowMB, 16
+		p.burstProb, p.burst, p.spread = burstProb, burst, spread
+		p.loadFrac, p.chase = loadFrac, chase
+		p.storeMain = 0.25
+		return p
+	}
+	// cspi: multi-MB working set + pointer chasing (serialised misses).
+	cspi := func(mainMB, windowMB float64, burstProb, loadFrac, chase float64) proto {
+		p := common
+		p.mainMB, p.windowMB, p.drift = mainMB, windowMB, 16
+		p.burstProb, p.loadFrac, p.chase = burstProb, loadFrac, chase
+		p.burst, p.spread = 1, 1
+		p.storeMain = 0.25
+		return p
+	}
+	// cips: streaming footprint ≫ LLC + window-limited bursts.
+	cips := func(mainMB float64, burstProb float64, burst, spread int, loadFrac float64) proto {
+		p := common
+		p.mainMB, p.burstProb, p.burst, p.spread = mainMB, burstProb, burst, spread
+		p.loadFrac = loadFrac
+		p.chase = 0.02
+		p.storeMain = 0.20
+		return p
+	}
+	// compute: private-cache-resident, no LLC traffic.
+	compute := func(hotKB int, loadFrac, mulFrac, branchFrac, branchMiss float64) proto {
+		p := common
+		p.hotKB = hotKB
+		p.mainMB = 0
+		p.loadFrac, p.mulFrac, p.branchFrac, p.branchMiss = loadFrac, mulFrac, branchFrac, branchMiss
+		p.burst, p.spread = 1, 1
+		return p
+	}
+
+	suite = []*Benchmark{
+		// --- CS-PS (Table II): tonto, mcf, omnetpp, soplex, sphinx3 ---
+		build("tonto", CSPS, csps(8, 2.6, 0.055, 7, 22, 0.24, 0.05), 2836),
+		build("mcf", CSPS, csps(12, 3.2, 0.065, 10, 30, 0.26, 0.10), 935),
+		build("omnetpp", CSPS, csps(8, 2.8, 0.055, 6, 26, 0.23, 0.05), 688),
+		build("soplex", CSPS, csps(10, 3.6, 0.060, 8, 20, 0.24, 0.05), 1158),
+		build("sphinx3", CSPS, csps(8, 2.4, 0.050, 7, 24, 0.22, 0.04), 2774),
+
+		// --- CS-PI: bzip2, gcc, gobmk, gromacs, h264ref, hmmer, xalancbmk ---
+		build("bzip2", CSPI, cspi(6, 2.0, 0.095, 0.20, 0.58), 2413),
+		build("gcc", CSPI, cspi(8, 2.4, 0.105, 0.22, 0.58), 1064),
+		build("gobmk", CSPI, func() proto {
+			p := cspi(6, 1.8, 0.085, 0.18, 0.58)
+			p.branchFrac, p.branchMiss = 0.18, 0.08
+			return p
+		}(), 1603),
+		build("gromacs", CSPI, func() proto {
+			p := cspi(6, 2.0, 0.085, 0.20, 0.58)
+			p.mulFrac = 0.30
+			return p
+		}(), 1958),
+		build("h264ref", CSPI, cspi(7, 2.2, 0.095, 0.24, 0.58), 3195),
+		build("hmmer", CSPI, cspi(6, 1.9, 0.085, 0.25, 0.58), 3363),
+		build("xalancbmk", CSPI, cspi(9, 2.8, 0.110, 0.23, 0.58), 1184),
+
+		// --- CI-PS: namd, zeusmp, GemsFDTD, bwaves, leslie3d, libquantum, wrf ---
+		build("namd", CIPS, cips(32, 0.022, 8, 26, 0.20), 3407),
+		build("zeusmp", CIPS, cips(64, 0.028, 7, 24, 0.20), 2073),
+		build("GemsFDTD", CIPS, cips(96, 0.030, 9, 28, 0.24), 1420),
+		build("bwaves", CIPS, cips(128, 0.033, 10, 30, 0.25), 2780),
+		build("leslie3d", CIPS, cips(80, 0.028, 8, 26, 0.20), 2154),
+		build("libquantum", CIPS, cips(64, 0.025, 6, 36, 0.18), 3605),
+		build("wrf", CIPS, cips(48, 0.025, 7, 22, 0.20), 3271),
+
+		// --- CI-PI: cactusADM, dealII, gamess, perlbench, povray, sjeng, astar, lbm ---
+		build("cactusADM", CIPI, cspi(64, 0, 0.094, 0.20, 0.62), 2954), // streaming + chasing: CI by footprint
+		build("dealII", CIPI, compute(640, 0.24, 0.15, 0.12, 0.03), 2323),
+		build("gamess", CIPI, compute(384, 0.22, 0.35, 0.10, 0.02), 3837),
+		build("perlbench", CIPI, compute(800, 0.26, 0.10, 0.20, 0.06), 2378),
+		build("povray", CIPI, compute(256, 0.20, 0.30, 0.12, 0.03), 1087),
+		build("sjeng", CIPI, compute(512, 0.18, 0.10, 0.20, 0.09), 2474),
+		build("astar", CIPI, cspi(48, 0, 0.088, 0.22, 0.64), 1224),
+		build("lbm", CIPI, func() proto {
+			// Dense ten-load bursts: every window size already covers a
+			// whole burst, so MLP is high but flat across core sizes.
+			p := cips(128, 0.007, 10, 1, 0.30)
+			p.chase = 0.10 // clip cross-burst overlap in the largest window
+			return p
+		}(), 4146),
+	}
+}
+
+// Suite returns the 27-application benchmark suite. The returned slice is
+// shared; callers must not modify it.
+func Suite() []*Benchmark { return suite }

@@ -1,0 +1,111 @@
+// Package cache implements the memory hierarchy of Table I: private
+// set-associative L1 and L2 caches, a shared way-partitioned last-level
+// cache, and an LRU stack simulator used for single-pass miss-curve
+// profiling (the mechanism the ATD builds on).
+//
+// All caches use 64-byte blocks and LRU replacement, as in the paper.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"qosrm/internal/config"
+)
+
+// Cache is a single-owner set-associative cache with LRU replacement.
+type Cache struct {
+	setShift  uint
+	setMask   uint64
+	ways      int
+	tags      []uint64 // sets × ways, MRU order within a set
+	valid     []bool
+	accesses  int64
+	misses    int64
+	blockMask uint64
+}
+
+// New returns a cache of the given total size and associativity with
+// 64-byte blocks. Size must be a power-of-two multiple of ways×64.
+func New(sizeBytes, ways int) (*Cache, error) {
+	if sizeBytes <= 0 || ways <= 0 {
+		return nil, fmt.Errorf("cache: size %d / ways %d must be positive", sizeBytes, ways)
+	}
+	blocks := sizeBytes / config.BlockBytes
+	if blocks%ways != 0 {
+		return nil, fmt.Errorf("cache: %d blocks not divisible by %d ways", blocks, ways)
+	}
+	sets := blocks / ways
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache: set count %d is not a power of two", sets)
+	}
+	return &Cache{
+		setShift:  uint(bits.TrailingZeros(uint(config.BlockBytes))),
+		setMask:   uint64(sets - 1),
+		ways:      ways,
+		tags:      make([]uint64, sets*ways),
+		valid:     make([]bool, sets*ways),
+		blockMask: ^uint64(config.BlockBytes - 1),
+	}, nil
+}
+
+// MustNew is New for statically known-good geometry; it panics on error.
+func MustNew(sizeBytes, ways int) *Cache {
+	c, err := New(sizeBytes, ways)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// set returns the set index of addr.
+func (c *Cache) set(addr uint64) int {
+	return int((addr >> c.setShift) & c.setMask)
+}
+
+// Access looks up addr, updates LRU state and fill-on-miss, and reports
+// whether the access hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.accesses++
+	tag := addr & c.blockMask
+	base := c.set(addr) * c.ways
+	row := c.tags[base : base+c.ways]
+	val := c.valid[base : base+c.ways]
+	for i := 0; i < c.ways; i++ {
+		if val[i] && row[i] == tag {
+			// Hit: move to MRU position.
+			copy(row[1:], row[:i])
+			copy(val[1:], val[:i])
+			row[0], val[0] = tag, true
+			return true
+		}
+	}
+	c.misses++
+	// Miss: evict the LRU way and fill at MRU.
+	copy(row[1:], row[:c.ways-1])
+	copy(val[1:], val[:c.ways-1])
+	row[0], val[0] = tag, true
+	return false
+}
+
+// Accesses returns the number of lookups performed.
+func (c *Cache) Accesses() int64 { return c.accesses }
+
+// Misses returns the number of lookups that missed.
+func (c *Cache) Misses() int64 { return c.misses }
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+	c.accesses, c.misses = 0, 0
+}
+
+// MissRate returns misses/accesses, or zero before any access.
+func (c *Cache) MissRate() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(c.accesses)
+}

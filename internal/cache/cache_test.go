@@ -1,0 +1,204 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qosrm/internal/config"
+)
+
+func TestNewGeometryErrors(t *testing.T) {
+	cases := []struct{ size, ways int }{
+		{0, 4},       // zero size
+		{-64, 4},     // negative size
+		{1024, 0},    // zero ways
+		{1024, 3},    // blocks not divisible by ways
+		{64 * 12, 4}, // sets not a power of two
+	}
+	for _, c := range cases {
+		if _, err := New(c.size, c.ways); err == nil {
+			t.Errorf("New(%d,%d): expected error", c.size, c.ways)
+		}
+	}
+	if _, err := New(1024, 4); err != nil {
+		t.Errorf("New(1024,4) failed: %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew must panic on bad geometry")
+		}
+	}()
+	MustNew(100, 3)
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := MustNew(1024, 4) // 4 sets × 4 ways
+	if c.Access(0) {
+		t.Fatal("cold access must miss")
+	}
+	if !c.Access(0) {
+		t.Fatal("second access must hit")
+	}
+	if !c.Access(63) {
+		t.Fatal("same block must hit")
+	}
+	if c.Access(64) {
+		t.Fatal("next block must miss")
+	}
+	if c.Accesses() != 4 || c.Misses() != 2 {
+		t.Fatalf("stats = %d/%d, want 4 accesses, 2 misses", c.Accesses(), c.Misses())
+	}
+	if got := c.MissRate(); got != 0.5 {
+		t.Fatalf("miss rate %.2f, want 0.5", got)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := MustNew(4*config.BlockBytes, 4) // 1 set × 4 ways
+	// Fill the set with blocks 0..3, then touch 0 to make 1 the LRU.
+	for b := uint64(0); b < 4; b++ {
+		c.Access(b * config.BlockBytes)
+	}
+	c.Access(0)
+	c.Access(4 * config.BlockBytes) // evicts block 1
+	if !c.Access(0) {
+		t.Error("block 0 must survive (recently used)")
+	}
+	if c.Access(1 * config.BlockBytes) {
+		t.Error("block 1 must have been evicted as LRU")
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := MustNew(1024, 4)
+	c.Access(0)
+	c.Access(0)
+	c.Reset()
+	if c.Accesses() != 0 || c.Misses() != 0 {
+		t.Fatal("reset must clear statistics")
+	}
+	if c.Access(0) {
+		t.Fatal("reset must clear contents")
+	}
+}
+
+func TestMissRateEmptyCache(t *testing.T) {
+	c := MustNew(1024, 4)
+	if c.MissRate() != 0 {
+		t.Fatal("empty cache must report zero miss rate")
+	}
+}
+
+// TestLRUStackInclusion is the core correctness property behind the ATD:
+// an access at recency position p hits in a w-way LRU cache iff p ≤ w.
+func TestLRUStackInclusion(t *testing.T) {
+	const sets, maxWays = 4, 8
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		stack := MustNewLRUStack(sets, maxWays)
+		caches := make([]*Cache, maxWays+1)
+		for w := 1; w <= maxWays; w++ {
+			caches[w] = MustNew(sets*w*config.BlockBytes, w)
+		}
+		for i := 0; i < 3000; i++ {
+			addr := uint64(rng.Intn(sets*maxWays*3)) * config.BlockBytes
+			pos := stack.Access(addr)
+			for w := 1; w <= maxWays; w++ {
+				hit := caches[w].Access(addr)
+				wantHit := pos != 0 && pos <= w
+				if hit != wantHit {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLRUStackGeometryErrors(t *testing.T) {
+	if _, err := NewLRUStack(3, 8); err == nil {
+		t.Error("non-power-of-two sets must fail")
+	}
+	if _, err := NewLRUStack(4, 0); err == nil {
+		t.Error("zero ways must fail")
+	}
+	if _, err := NewLRUStack(0, 8); err == nil {
+		t.Error("zero sets must fail")
+	}
+}
+
+func TestLRUStackReset(t *testing.T) {
+	s := MustNewLRUStack(4, 4)
+	s.Access(0)
+	if s.Access(0) != 1 {
+		t.Fatal("expected MRU hit before reset")
+	}
+	s.Reset()
+	if s.Access(0) != 0 {
+		t.Fatal("reset must clear the stack")
+	}
+}
+
+func TestLRUStackWays(t *testing.T) {
+	if MustNewLRUStack(4, 7).Ways() != 7 {
+		t.Fatal("Ways accessor wrong")
+	}
+}
+
+func TestHierarchyLevels(t *testing.T) {
+	h := NewHierarchy()
+	r := h.Access(0)
+	if r.Level != 3 {
+		t.Fatalf("cold access should reach the LLC, got level %d", r.Level)
+	}
+	if r.LLCPos != 0 {
+		t.Fatalf("cold access has no recency position, got %d", r.LLCPos)
+	}
+	r = h.Access(0)
+	if r.Level != 1 {
+		t.Fatalf("immediate re-access should hit L1, got level %d", r.Level)
+	}
+}
+
+func TestHierarchyL2Hit(t *testing.T) {
+	h := NewHierarchy()
+	// Touch enough distinct blocks to evict block 0 from L1 but not L2.
+	h.Access(0)
+	l1Blocks := uint64(config.L1Bytes / config.BlockBytes)
+	for b := uint64(1); b <= l1Blocks; b++ {
+		h.Access(b * config.BlockBytes)
+	}
+	r := h.Access(0)
+	if r.Level != 2 {
+		t.Fatalf("expected L2 hit after L1 eviction, got level %d", r.Level)
+	}
+}
+
+func TestHierarchyLLCPositionGrows(t *testing.T) {
+	h := NewHierarchy()
+	sets := config.L3BytesPerCore / config.BlockBytes / config.L3WaysPerCore
+	// Access block 0, then n distinct conflicting blocks (same LLC set),
+	// then block 0 again: its position is n+1.
+	stride := uint64(sets * config.BlockBytes)
+	h.Access(0)
+	// Nine conflicting blocks evict block 0 from the 4-way L1 and 8-way
+	// L2 (the stride aliases in all three caches), leaving it at LLC
+	// recency position 10.
+	for i := uint64(1); i <= 9; i++ {
+		h.Access(i * stride)
+	}
+	r := h.Access(0)
+	if r.Level != 3 {
+		t.Fatalf("expected LLC access, got level %d", r.Level)
+	}
+	if r.LLCPos != 10 {
+		t.Fatalf("LLC recency position = %d, want 10", r.LLCPos)
+	}
+}

@@ -1,0 +1,198 @@
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"qosrm/internal/config"
+)
+
+// PartitionedLLC is the shared last-level cache with way partitioning
+// (Table I: 2 MB and 8 ways per core, per-core allocations between 2 and
+// 16 ways). Partitioning is enforced at replacement time, as with Intel
+// CAT and the UCP scheme the paper builds on: a core may hit in any way,
+// but on a miss it may only grow its footprint in a set while it holds
+// fewer blocks there than its allocation, and otherwise replaces its own
+// LRU block.
+type PartitionedLLC struct {
+	setShift  uint
+	setMask   uint64
+	ways      int
+	cores     int
+	alloc     []int // ways allocated per core
+	blockMask uint64
+
+	// Per set, MRU-ordered entries.
+	tags  []uint64
+	owner []int8 // owning core, -1 = invalid
+	// occupancy[set*cores+core] counts blocks core holds in set.
+	occupancy []int16
+
+	accesses []int64
+	misses   []int64
+}
+
+// NewPartitionedLLC builds the shared LLC of an n-core system with the
+// Table I geometry and an even initial allocation.
+func NewPartitionedLLC(n int) (*PartitionedLLC, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cache: LLC needs at least one core, got %d", n)
+	}
+	ways := config.TotalWays(n)
+	size := config.L3BytesPerCore * n
+	blocks := size / config.BlockBytes
+	sets := blocks / ways
+	if sets <= 0 || sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache: LLC set count %d is not a power of two", sets)
+	}
+	p := &PartitionedLLC{
+		setShift:  uint(bits.TrailingZeros(uint(config.BlockBytes))),
+		setMask:   uint64(sets - 1),
+		ways:      ways,
+		cores:     n,
+		alloc:     make([]int, n),
+		blockMask: ^uint64(config.BlockBytes - 1),
+		tags:      make([]uint64, sets*ways),
+		owner:     make([]int8, sets*ways),
+		occupancy: make([]int16, sets*n),
+		accesses:  make([]int64, n),
+		misses:    make([]int64, n),
+	}
+	for i := range p.owner {
+		p.owner[i] = -1
+	}
+	for c := 0; c < n; c++ {
+		p.alloc[c] = config.BaseWays
+	}
+	return p, nil
+}
+
+// SetAllocation installs a new way partition. Allocations must each lie
+// in [MinWays, MaxWays] and sum to the LLC associativity. Resident blocks
+// are not flushed; occupancies converge to the new partition through
+// replacement, as on real hardware.
+func (p *PartitionedLLC) SetAllocation(ways []int) error {
+	if len(ways) != p.cores {
+		return fmt.Errorf("cache: allocation for %d cores, LLC has %d", len(ways), p.cores)
+	}
+	sum := 0
+	for c, w := range ways {
+		if w < config.MinWays || w > config.MaxWays {
+			return fmt.Errorf("cache: core %d allocation %d outside [%d,%d]",
+				c, w, config.MinWays, config.MaxWays)
+		}
+		sum += w
+	}
+	if sum != p.ways {
+		return fmt.Errorf("cache: allocations sum to %d, LLC has %d ways", sum, p.ways)
+	}
+	copy(p.alloc, ways)
+	return nil
+}
+
+// Allocation returns the current per-core way allocation.
+func (p *PartitionedLLC) Allocation() []int {
+	out := make([]int, p.cores)
+	copy(out, p.alloc)
+	return out
+}
+
+// Access performs a lookup by core and reports whether it hit. On a miss
+// the block is filled subject to the partition.
+func (p *PartitionedLLC) Access(core int, addr uint64) bool {
+	p.accesses[core]++
+	tag := addr & p.blockMask
+	set := int((addr >> p.setShift) & p.setMask)
+	base := set * p.ways
+	row := p.tags[base : base+p.ways]
+	own := p.owner[base : base+p.ways]
+	for i := 0; i < p.ways; i++ {
+		if own[i] >= 0 && row[i] == tag {
+			// A hit may be to a block another core brought in; promote it
+			// without changing ownership.
+			o := own[i]
+			copy(row[1:], row[:i])
+			copy(own[1:], own[:i])
+			row[0], own[0] = tag, o
+			return true
+		}
+	}
+	p.misses[core]++
+	p.fill(core, set, tag)
+	return false
+}
+
+// fill inserts tag for core into set, choosing a replacement victim that
+// respects the way partition.
+func (p *PartitionedLLC) fill(core, set int, tag uint64) {
+	base := set * p.ways
+	row := p.tags[base : base+p.ways]
+	own := p.owner[base : base+p.ways]
+	occ := p.occupancy[set*p.cores : (set+1)*p.cores]
+
+	victim := -1
+	if int(occ[core]) < p.alloc[core] {
+		// Under allocation: take an invalid way, else steal the LRU
+		// block of the most over-allocated core.
+		for i := p.ways - 1; i >= 0; i-- {
+			if own[i] < 0 {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			worst, worstOver := -1, 0
+			for i := p.ways - 1; i >= 0; i-- {
+				o := int(own[i])
+				if over := int(occ[o]) - p.alloc[o]; over > worstOver {
+					worst, worstOver = i, over
+				}
+			}
+			if worst < 0 {
+				// Nobody is over-allocated (allocation just shrank
+				// elsewhere): fall back to the core's own LRU block, or
+				// the global LRU if the core holds nothing here.
+				worst = p.ownLRU(own, core)
+				if worst < 0 {
+					worst = p.ways - 1
+				}
+			}
+			victim = worst
+		}
+	} else {
+		victim = p.ownLRU(own, core)
+		if victim < 0 {
+			victim = p.ways - 1
+		}
+	}
+
+	if old := own[victim]; old >= 0 {
+		occ[old]--
+	}
+	copy(row[1:victim+1], row[:victim])
+	copy(own[1:victim+1], own[:victim])
+	row[0], own[0] = tag, int8(core)
+	occ[core]++
+}
+
+// ownLRU returns the least recently used way owned by core, or -1.
+func (p *PartitionedLLC) ownLRU(own []int8, core int) int {
+	for i := p.ways - 1; i >= 0; i-- {
+		if int(own[i]) == core {
+			return i
+		}
+	}
+	return -1
+}
+
+// Accesses returns the lookup count of a core.
+func (p *PartitionedLLC) Accesses(core int) int64 { return p.accesses[core] }
+
+// Misses returns the miss count of a core.
+func (p *PartitionedLLC) Misses(core int) int64 { return p.misses[core] }
+
+// Cores returns the number of cores sharing the LLC.
+func (p *PartitionedLLC) Cores() int { return p.cores }
+
+// Ways returns the LLC associativity.
+func (p *PartitionedLLC) Ways() int { return p.ways }

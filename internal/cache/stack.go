@@ -1,0 +1,149 @@
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"qosrm/internal/config"
+)
+
+// LRUStack simulates the tag state of a set-associative LRU cache and
+// reports, for each access, the recency (stack) position it hit in. For
+// an LRU cache the inclusion property holds: an access at position p hits
+// in every allocation of at least p ways, so one pass yields the miss
+// count for every possible way allocation simultaneously. This is the
+// principle behind the Auxiliary Tag Directory (Section III-C).
+type LRUStack struct {
+	setShift  uint
+	setMask   uint64
+	ways      int
+	tags      []uint64
+	valid     []bool
+	blockMask uint64
+
+	// dirty carries one bit per tracked allocation for writeback
+	// profiling (see writeback.go); allocated on first AccessRW.
+	dirty []uint32
+}
+
+// NewLRUStack builds a stack simulator with the given number of sets
+// (a power of two) and maximum tracked ways.
+func NewLRUStack(sets, ways int) (*LRUStack, error) {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache: LRU stack set count %d is not a power of two", sets)
+	}
+	if ways <= 0 {
+		return nil, fmt.Errorf("cache: LRU stack needs positive ways, got %d", ways)
+	}
+	return &LRUStack{
+		setShift:  uint(bits.TrailingZeros(uint(config.BlockBytes))),
+		setMask:   uint64(sets - 1),
+		ways:      ways,
+		tags:      make([]uint64, sets*ways),
+		valid:     make([]bool, sets*ways),
+		blockMask: ^uint64(config.BlockBytes - 1),
+	}, nil
+}
+
+// MustNewLRUStack is NewLRUStack for known-good geometry.
+func MustNewLRUStack(sets, ways int) *LRUStack {
+	s, err := NewLRUStack(sets, ways)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Ways returns the deepest recency position tracked.
+func (s *LRUStack) Ways() int { return s.ways }
+
+// Access touches addr and returns its 1-based recency position before
+// the access, or 0 if the tag was not resident in any tracked position
+// (a miss for every allocation).
+func (s *LRUStack) Access(addr uint64) int {
+	tag := addr & s.blockMask
+	base := int((addr>>s.setShift)&s.setMask) * s.ways
+	row := s.tags[base : base+s.ways]
+	val := s.valid[base : base+s.ways]
+	pos := 0
+	for i := 0; i < s.ways; i++ {
+		if val[i] && row[i] == tag {
+			pos = i + 1
+			copy(row[1:], row[:i])
+			copy(val[1:], val[:i])
+			row[0], val[0] = tag, true
+			return pos
+		}
+	}
+	copy(row[1:], row[:s.ways-1])
+	copy(val[1:], val[:s.ways-1])
+	row[0], val[0] = tag, true
+	return 0
+}
+
+// Reset clears the stack contents and dirty state.
+func (s *LRUStack) Reset() {
+	for i := range s.valid {
+		s.valid[i] = false
+	}
+	for i := range s.dirty {
+		s.dirty[i] = 0
+	}
+}
+
+// Hierarchy is the private memory hierarchy of one core plus an LRU
+// profile of its LLC slice. Instruction fetch is assumed to hit in L1-I
+// (SPEC-class workloads have negligible L1-I MPKI), so only data accesses
+// are simulated.
+type Hierarchy struct {
+	L1D *Cache
+	L2  *Cache
+	// LLC profiles recency positions over the maximum per-core
+	// allocation (16 ways); position p means the access hits for every
+	// allocation w ≥ p.
+	LLC *LRUStack
+}
+
+// NewHierarchy builds a Table I private hierarchy. The LLC profile uses
+// the per-core slice geometry: 16 ways deep over the baseline number of
+// sets, so positions map directly to way allocations.
+func NewHierarchy() *Hierarchy {
+	sets := config.L3BytesPerCore / config.BlockBytes / config.L3WaysPerCore
+	return &Hierarchy{
+		L1D: MustNew(config.L1Bytes, config.L1Ways),
+		L2:  MustNew(config.L2Bytes, config.L2Ways),
+		LLC: MustNewLRUStack(sets, config.MaxWays),
+	}
+}
+
+// AccessResult describes where a data access was satisfied.
+type AccessResult struct {
+	// Level is 1 or 2 for private-cache hits, 3 when the access reached
+	// the shared LLC.
+	Level int
+	// LLCPos is the LLC recency position (1-based) when Level == 3;
+	// 0 means the line was absent from all 16 tracked ways.
+	LLCPos int
+	// Writebacks has bit w-1 set when a w-way LLC wrote this block back
+	// to DRAM since its previous touch (write-back eviction).
+	Writebacks uint32
+}
+
+// Access sends a data access through the hierarchy.
+func (h *Hierarchy) Access(addr uint64) AccessResult {
+	return h.AccessRW(addr, false)
+}
+
+// AccessRW is Access with store semantics: writes reaching the LLC dirty
+// the line, and the result reports which allocations wrote the block
+// back to DRAM since its previous touch.
+func (h *Hierarchy) AccessRW(addr uint64, write bool) AccessResult {
+	if h.L1D.Access(addr) {
+		return AccessResult{Level: 1}
+	}
+	if h.L2.Access(addr) {
+		return AccessResult{Level: 2}
+	}
+	pos, wb := h.LLC.AccessRW(addr, write)
+	return AccessResult{Level: 3, LLCPos: pos, Writebacks: wb}
+}

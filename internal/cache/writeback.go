@@ -1,0 +1,98 @@
+package cache
+
+import "qosrm/internal/config"
+
+// Writeback tracking on the LRU stack.
+//
+// A write-back LLC emits one DRAM write when a dirty line is evicted.
+// Which evictions occur depends on the allocation w, but LRU inclusion
+// lets a single pass track all allocations at once: each resident block
+// carries a bitmask with one dirty bit per allocation size. When a block
+// is touched at recency position p it has, in every cache of fewer than
+// p ways, been evicted and refetched since its last touch — so any dirty
+// bits below p are collected as writebacks and cleared. When a block is
+// pushed off the tracked stack entirely, its remaining dirty bits are
+// folded into the evicting access's writeback mask (the writes happened
+// at each allocation's own earlier eviction; attributing them to the
+// push-out keeps exact per-allocation counts with a bounded timing
+// skew).
+
+// wayMask has bit w-1 set for every tracked allocation w.
+const wayMask = 1<<config.MaxWays - 1
+
+// AccessRW is Access with store semantics and per-allocation writeback
+// detection. The wb mask has bit w-1 set for every allocation w whose
+// cache wrote a block back to DRAM as a consequence of this access's
+// history (this block's earlier dirty evictions, plus any dirty bits of
+// a block this access pushes off the stack tail).
+func (s *LRUStack) AccessRW(addr uint64, write bool) (pos int, wb uint32) {
+	tag := addr & s.blockMask
+	base := int((addr>>s.setShift)&s.setMask) * s.ways
+	row := s.tags[base : base+s.ways]
+	val := s.valid[base : base+s.ways]
+	dirty := s.dirtyRow(base)
+
+	for i := 0; i < s.ways; i++ {
+		if val[i] && row[i] == tag {
+			pos = i + 1
+			d := dirty[i]
+			// Allocations smaller than pos evicted the block since its
+			// last touch; their dirty copies were written back then.
+			below := uint32(1<<(pos-1) - 1)
+			wb = d & below
+			d &^= below
+			if write {
+				d = wayMask
+			}
+			copy(row[1:], row[:i])
+			copy(val[1:], val[:i])
+			copy(dirty[1:], dirty[:i])
+			row[0], val[0], dirty[0] = tag, true, d
+			return pos, wb
+		}
+	}
+	// Full miss: harvest the departing tail block's remaining dirty
+	// copies, then fill at MRU.
+	if val[s.ways-1] {
+		wb = dirty[s.ways-1]
+	}
+	copy(row[1:], row[:s.ways-1])
+	copy(val[1:], val[:s.ways-1])
+	copy(dirty[1:], dirty[:s.ways-1])
+	var d uint32
+	if write {
+		d = wayMask
+	}
+	row[0], val[0], dirty[0] = tag, true, d
+	return 0, wb
+}
+
+// dirtyRow returns the per-set dirty-mask row, allocating lazily so
+// read-only users of LRUStack pay nothing.
+func (s *LRUStack) dirtyRow(base int) []uint32 {
+	if s.dirty == nil {
+		s.dirty = make([]uint32, len(s.tags))
+	}
+	return s.dirty[base : base+s.ways]
+}
+
+// ResidualDirty counts dirty blocks still resident per allocation,
+// indexed by w-1; a phase-end accounting adds these as eventual
+// writebacks.
+func (s *LRUStack) ResidualDirty() [config.MaxWays]int64 {
+	var out [config.MaxWays]int64
+	if s.dirty == nil {
+		return out
+	}
+	for i, d := range s.dirty {
+		if !s.valid[i] {
+			continue
+		}
+		for w := 0; w < config.MaxWays; w++ {
+			if d&(1<<w) != 0 {
+				out[w]++
+			}
+		}
+	}
+	return out
+}

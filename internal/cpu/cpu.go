@@ -1,0 +1,406 @@
+// Package cpu is the detailed core timing model of the reproduction — the
+// stand-in for Sniper's "ROB" mechanistic core model (Section IV-A).
+//
+// It executes a synthetic instruction stream on one of the three adaptive
+// core configurations (Table I) at a given frequency and LLC allocation,
+// and produces:
+//
+//   - total execution time and a retirement-based CPI-stack decomposition
+//     into base/branch/cache/memory components (the T0, T_BP, T_Cache and
+//     T_mem terms of Eq. 1);
+//   - cache statistics at every level;
+//   - the true number of leading misses (misses whose DRAM service does
+//     not overlap an earlier miss), i.e. the quantity the paper's ATD
+//     extension tries to estimate;
+//   - optionally, a feed of the LLC access stream, in issue order and
+//     annotated with instruction indices, into an atd.ATD.
+//
+// The model is a greedy O(1)-per-instruction out-of-order timing walk:
+// dispatch is limited by the issue width, the ROB, the reservation
+// stations, the load/store queue and branch-refill bubbles; instruction
+// completion respects register dependences and cache/DRAM latencies; DRAM
+// obeys the Table I per-core bandwidth queue.
+package cpu
+
+import (
+	"sort"
+
+	"qosrm/internal/atd"
+	"qosrm/internal/cache"
+	"qosrm/internal/config"
+	"qosrm/internal/trace"
+)
+
+// Annotated is an instruction stream with its memory hierarchy behaviour
+// precomputed. The private caches and the LLC recency profile do not
+// depend on core size, frequency or way allocation, so one hierarchy pass
+// serves every timing run of a phase.
+type Annotated struct {
+	Insts []trace.Inst
+	// Level[i] is 0 for non-memory instructions, else 1, 2 (private hit
+	// level) or 3 (reached the LLC).
+	Level []uint8
+	// LLCPos[i] is the LLC recency position (1..16) for Level==3
+	// accesses, or 0 when absent from all tracked ways.
+	LLCPos []uint8
+	// WBMask[i] has bit w-1 set when a w-way LLC wrote a block back to
+	// DRAM as a consequence of access i (write-back eviction).
+	WBMask []uint32
+
+	L1Misses int64 // accesses that missed L1-D
+	L2Misses int64 // accesses that missed L2 (== LLC accesses)
+}
+
+// Annotate runs the stream through a fresh Table I private hierarchy and
+// records, per memory instruction, where it would be satisfied.
+func Annotate(insts []trace.Inst) *Annotated {
+	h := cache.NewHierarchy()
+	a := &Annotated{
+		Insts:  insts,
+		Level:  make([]uint8, len(insts)),
+		LLCPos: make([]uint8, len(insts)),
+		WBMask: make([]uint32, len(insts)),
+	}
+	for i, in := range insts {
+		if in.Kind != trace.KindLoad && in.Kind != trace.KindStore {
+			continue
+		}
+		r := h.AccessRW(in.Addr, in.Kind == trace.KindStore)
+		a.Level[i] = uint8(r.Level)
+		if r.Level >= 2 {
+			a.L1Misses++
+		}
+		if r.Level == 3 {
+			a.L2Misses++
+			a.LLCPos[i] = uint8(r.LLCPos)
+			a.WBMask[i] = r.Writebacks
+		}
+	}
+	return a
+}
+
+// Tail returns a view of the annotated stream starting at instruction
+// from, with the aggregate miss counters recomputed for the suffix. It is
+// used to discard a cache-warmup prefix from measurement while keeping
+// its effect on cache state.
+func (a *Annotated) Tail(from int) *Annotated {
+	if from <= 0 {
+		return a
+	}
+	if from > len(a.Insts) {
+		from = len(a.Insts)
+	}
+	t := &Annotated{
+		Insts:  a.Insts[from:],
+		Level:  a.Level[from:],
+		LLCPos: a.LLCPos[from:],
+		WBMask: a.WBMask[from:],
+	}
+	for i := range t.Insts {
+		switch t.Level[i] {
+		case 2:
+			t.L1Misses++
+		case 3:
+			t.L1Misses++
+			t.L2Misses++
+		}
+	}
+	return t
+}
+
+// WarmATD replays the LLC accesses of the first n instructions (in
+// program order) into the ATD so its tag state matches the warmed main
+// hierarchy, then clears the profiling counters. Called before a timing
+// run that will feed the same ATD.
+func (a *Annotated) WarmATD(d *atd.ATD, n int) {
+	if n > len(a.Insts) {
+		n = len(a.Insts)
+	}
+	for i := 0; i < n; i++ {
+		if a.Level[i] == 3 {
+			d.Access(a.Insts[i].Addr, int64(i), a.Insts[i].Kind == trace.KindLoad)
+		}
+	}
+	d.ResetCounters()
+}
+
+// RunConfig selects the hardware configuration of one timing run.
+type RunConfig struct {
+	Core    config.CoreSize
+	Ways    int     // LLC allocation for this core
+	FreqGHz float64 // core clock
+	// ATD, when non-nil, observes the LLC access stream of this run in
+	// issue order, as the hardware ATD would.
+	ATD *atd.ATD
+}
+
+// Result is the outcome of one timing run.
+type Result struct {
+	Instructions int64
+	TimeNs       float64
+
+	// Retirement-frontier CPI-stack decomposition, in nanoseconds.
+	// TimeNs == BaseNs + BranchNs + CacheNs + MemNs (up to rounding).
+	BaseNs   float64 // dispatch bandwidth + dependence stalls (T0)
+	BranchNs float64 // branch misprediction refill (part of T1)
+	CacheNs  float64 // exposed private-miss/LLC-hit latency (part of T1)
+	MemNs    float64 // exposed DRAM latency (T_mem)
+
+	L1Misses    int64
+	LLCAccesses int64 // L2 misses
+	LLCHits     int64 // LLC accesses satisfied at the given allocation
+	LLCMisses   int64 // LLC accesses that went to DRAM
+	DRAMLoads   int64
+	Mispredicts int64
+
+	// LeadingMisses counts DRAM load misses whose service interval did
+	// not overlap a previous miss — the ground truth the ATD extension
+	// estimates. MLP is DRAMLoads/LeadingMisses (≥ 1).
+	LeadingMisses int64
+	MLP           float64
+
+	// Writebacks counts dirty lines the LLC wrote back to DRAM at this
+	// allocation; they consume DRAM bandwidth and energy but do not
+	// stall the pipeline.
+	Writebacks int64
+}
+
+// llcEvent buffers one LLC access for in-issue-order ATD feeding.
+type llcEvent struct {
+	issueNs float64
+	instIdx int64
+	addr    uint64
+	isLoad  bool
+}
+
+// Run executes the annotated stream under rc and returns timing and
+// statistics. It is deterministic and safe for concurrent use with
+// distinct rc.ATD values.
+func Run(a *Annotated, rc RunConfig) Result {
+	cp := config.Core(rc.Core)
+	perCycle := 1.0 / rc.FreqGHz // ns per cycle
+
+	n := len(a.Insts)
+	res := Result{Instructions: int64(n)}
+
+	// Ring buffers over the reorder window.
+	robSize := cp.ROB
+	done := make([]float64, robSize)  // completion time (ns) by i % robSize
+	start := make([]float64, robSize) // execution start time by i % robSize
+	memRing := make([]float64, cp.LSQ)
+	memCount := 0
+
+	var (
+		dispatch      float64 // front-end time cursor (ns)
+		frontEndReady float64
+		frontier      float64 // in-order retirement frontier (ns)
+		lastDRAMStart float64 // per-core bandwidth queue cursor
+		lastMissEnd   float64 // end of the latest DRAM service, for LM
+	)
+	dispatchStep := perCycle / float64(cp.IssueWidth)
+
+	var events []llcEvent
+	if rc.ATD != nil {
+		events = make([]llcEvent, 0, a.L2Misses)
+	}
+
+	for i, in := range a.Insts {
+		ri := i % robSize
+
+		// --- Dispatch constraints ---
+		// done[ri] still holds the completion time of instruction
+		// i-robSize: the ROB-full constraint.
+		d := dispatch + dispatchStep
+		if v := done[ri]; v > d {
+			d = v
+		}
+		branchBound := false
+		if frontEndReady > d {
+			d = frontEndReady
+			branchBound = true
+		}
+		// Reservation stations: instruction i-RS must have begun
+		// execution before i can occupy a station.
+		if cp.RS < robSize && i >= cp.RS {
+			if v := start[(i-cp.RS)%robSize]; v > d {
+				d = v
+				branchBound = false
+			}
+		}
+		isMem := in.Kind == trace.KindLoad || in.Kind == trace.KindStore
+		if isMem {
+			// Load/store queue: the (memCount-LSQ)-th memory op must
+			// have completed.
+			if v := memRing[memCount%cp.LSQ]; v > d {
+				d = v
+				branchBound = false
+			}
+		}
+		dispatch = d
+
+		// --- Operand readiness ---
+		ready := d + perCycle // register read / rename stage
+		if dep := int(in.Dep1); dep > 0 && dep <= robSize && dep <= i {
+			if v := done[(i-dep)%robSize]; v > ready {
+				ready = v
+			}
+		}
+		if dep := int(in.Dep2); dep > 0 && dep <= robSize && dep <= i {
+			if v := done[(i-dep)%robSize]; v > ready {
+				ready = v
+			}
+		}
+		st := ready
+		start[ri] = st
+
+		// --- Execution ---
+		var fin float64
+		stallClass := classBase
+		switch in.Kind {
+		case trace.KindALU:
+			fin = st + perCycle
+		case trace.KindMul:
+			fin = st + trace.MulLatencyCycles*perCycle
+		case trace.KindBranch:
+			fin = st + perCycle
+			if in.Mispredict {
+				res.Mispredicts++
+				if r := fin + config.BranchPenaltyCycles*perCycle; r > frontEndReady {
+					frontEndReady = r
+				}
+			}
+		case trace.KindStore:
+			// Stores retire into the write buffer; the cache-state
+			// effects were captured during annotation. Store misses
+			// still consume DRAM bandwidth.
+			fin = st + perCycle
+			if a.Level[i] == 3 {
+				res.LLCAccesses++
+				pos := int(a.LLCPos[i])
+				if rc.ATD != nil {
+					events = append(events, llcEvent{st, int64(i), in.Addr, false})
+				}
+				if a.WBMask[i]&(1<<(rc.Ways-1)) != 0 {
+					// Dirty-line writeback: costs DRAM energy, but the
+					// controller drains writes opportunistically behind
+					// reads (write buffering), so read latency is not
+					// delayed.
+					res.Writebacks++
+				}
+				if pos == 0 || pos > rc.Ways {
+					res.LLCMisses++
+					reqNs := st + config.L3LatencyCycles*perCycle
+					sStart := reqNs
+					if lastDRAMStart+config.DRAMServiceNs > sStart {
+						sStart = lastDRAMStart + config.DRAMServiceNs
+					}
+					lastDRAMStart = sStart
+				} else {
+					res.LLCHits++
+				}
+			}
+		case trace.KindLoad:
+			switch a.Level[i] {
+			case 1:
+				fin = st + config.L1LatencyCycles*perCycle
+			case 2:
+				fin = st + config.L2LatencyCycles*perCycle
+				stallClass = classCache
+			default: // 3: reached the LLC
+				res.LLCAccesses++
+				pos := int(a.LLCPos[i])
+				if rc.ATD != nil {
+					events = append(events, llcEvent{st, int64(i), in.Addr, true})
+				}
+				if a.WBMask[i]&(1<<(rc.Ways-1)) != 0 {
+					// Dirty-victim writeback: energy only; drained behind
+					// reads by the controller's write buffering.
+					res.Writebacks++
+				}
+				if pos != 0 && pos <= rc.Ways {
+					res.LLCHits++
+					fin = st + config.L3LatencyCycles*perCycle
+					stallClass = classCache
+				} else {
+					res.LLCMisses++
+					res.DRAMLoads++
+					reqNs := st + config.L3LatencyCycles*perCycle
+					sStart := reqNs
+					if lastDRAMStart+config.DRAMServiceNs > sStart {
+						sStart = lastDRAMStart + config.DRAMServiceNs
+					}
+					lastDRAMStart = sStart
+					fin = sStart + config.DRAMLatencyNs
+					stallClass = classMem
+					// Leading-loads ground truth: a miss is leading when
+					// it is not issued within the DRAM latency window of
+					// a previous miss ([12], [13]). Queueing delay
+					// lengthens completion but not the overlap window,
+					// so bandwidth saturation does not collapse the
+					// leading count to zero.
+					if reqNs >= lastMissEnd {
+						res.LeadingMisses++
+					}
+					if end := reqNs + config.DRAMLatencyNs; end > lastMissEnd {
+						lastMissEnd = end
+					}
+				}
+			}
+		}
+		done[ri] = fin
+		if isMem {
+			memRing[memCount%cp.LSQ] = fin
+			memCount++
+		}
+
+		// --- Retirement frontier and stall attribution ---
+		frontier += dispatchStep
+		res.BaseNs += dispatchStep
+		if fin > frontier {
+			stall := fin - frontier
+			frontier = fin
+			if stallClass == classBase && branchBound {
+				stallClass = classBranch
+			}
+			switch stallClass {
+			case classMem:
+				res.MemNs += stall
+			case classCache:
+				res.CacheNs += stall
+			case classBranch:
+				res.BranchNs += stall
+			default:
+				res.BaseNs += stall
+			}
+		}
+	}
+
+	res.TimeNs = frontier
+	res.L1Misses = a.L1Misses
+	if res.LeadingMisses > 0 {
+		res.MLP = float64(res.DRAMLoads) / float64(res.LeadingMisses)
+	} else {
+		res.MLP = 1
+	}
+
+	if rc.ATD != nil {
+		// Deliver the LLC stream in issue order, as the hardware would
+		// observe it. Stable sort keeps program order among accesses
+		// issued in the same instant.
+		sort.SliceStable(events, func(x, y int) bool {
+			return events[x].issueNs < events[y].issueNs
+		})
+		for _, e := range events {
+			rc.ATD.Access(e.addr, e.instIdx, e.isLoad)
+		}
+	}
+	return res
+}
+
+// Stall classes for the retirement-frontier attribution.
+const (
+	classBase = iota
+	classBranch
+	classCache
+	classMem
+)

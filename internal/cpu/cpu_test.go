@@ -1,0 +1,335 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"qosrm/internal/atd"
+	"qosrm/internal/config"
+	"qosrm/internal/trace"
+)
+
+// testParams builds a moderately memory-intensive stream.
+func testParams(seed int64) trace.Params {
+	return trace.Params{
+		Seed:           seed,
+		LoadFrac:       0.25,
+		StoreFrac:      0.08,
+		BranchFrac:     0.1,
+		MulFrac:        0.2,
+		BranchMissRate: 0.04,
+		DepProb:        0.5,
+		DepMean:        4,
+		BurstProb:      0.08,
+		BurstLen:       6,
+		BurstSpread:    12,
+		ChaseFrac:      0.1,
+		Regions: []trace.Region{
+			{Bytes: 1 << 10, Weight: 1, Sequential: true},
+			{Bytes: 128 << 10, Weight: 0, WindowBytes: 16 << 10, DriftEvery: 16},
+		},
+	}
+}
+
+func annotated(seed int64, n int) *Annotated {
+	return Annotate(trace.Generate(testParams(seed), n))
+}
+
+func baseRC() RunConfig {
+	return RunConfig{Core: config.SizeM, Ways: config.BaseWays, FreqGHz: config.FBaseGHz}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a := annotated(1, 20_000)
+	r1 := Run(a, baseRC())
+	r2 := Run(a, baseRC())
+	if r1 != r2 {
+		t.Fatal("identical runs must produce identical results")
+	}
+}
+
+func TestComponentsSumToTotal(t *testing.T) {
+	a := annotated(2, 20_000)
+	r := Run(a, baseRC())
+	sum := r.BaseNs + r.BranchNs + r.CacheNs + r.MemNs
+	if math.Abs(sum-r.TimeNs) > 1e-6*r.TimeNs {
+		t.Fatalf("components %.3f != total %.3f", sum, r.TimeNs)
+	}
+	if r.TimeNs <= 0 {
+		t.Fatal("time must be positive")
+	}
+}
+
+func TestTimeDecreasesWithFrequency(t *testing.T) {
+	a := annotated(3, 20_000)
+	prev := math.Inf(1)
+	for fi := 0; fi < config.NumFreqs; fi++ {
+		rc := baseRC()
+		rc.FreqGHz = config.FreqGHz(fi)
+		r := Run(a, rc)
+		if r.TimeNs >= prev {
+			t.Fatalf("time did not decrease at f=%.2f: %.1f >= %.1f", rc.FreqGHz, r.TimeNs, prev)
+		}
+		prev = r.TimeNs
+	}
+}
+
+func TestTimeMonotonicInWays(t *testing.T) {
+	a := annotated(4, 30_000)
+	prev := math.Inf(1)
+	for w := config.MinWays; w <= config.MaxWays; w++ {
+		rc := baseRC()
+		rc.Ways = w
+		r := Run(a, rc)
+		if r.TimeNs > prev*(1+1e-9) {
+			t.Fatalf("time grew with more ways at w=%d", w)
+		}
+		prev = r.TimeNs
+	}
+}
+
+func TestMissesMonotonicInWays(t *testing.T) {
+	a := annotated(5, 30_000)
+	prev := int64(math.MaxInt64)
+	for w := config.MinWays; w <= config.MaxWays; w++ {
+		rc := baseRC()
+		rc.Ways = w
+		r := Run(a, rc)
+		if r.LLCMisses > prev {
+			t.Fatalf("misses grew with more ways at w=%d", w)
+		}
+		if r.LLCHits+r.LLCMisses != r.LLCAccesses {
+			t.Fatalf("hits+misses != accesses at w=%d", w)
+		}
+		prev = r.LLCMisses
+	}
+}
+
+func TestLargerCoreIsNotSlower(t *testing.T) {
+	f := func(seed int64) bool {
+		a := annotated(seed, 10_000)
+		var prev float64 = math.Inf(1)
+		for _, c := range config.Sizes {
+			rc := baseRC()
+			rc.Core = c
+			r := Run(a, rc)
+			if r.TimeNs > prev*(1+1e-9) {
+				return false
+			}
+			prev = r.TimeNs
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLeadingMissesBounded(t *testing.T) {
+	a := annotated(6, 30_000)
+	for _, c := range config.Sizes {
+		rc := baseRC()
+		rc.Core = c
+		r := Run(a, rc)
+		if r.LeadingMisses > r.DRAMLoads {
+			t.Fatalf("%s: LM %d > DRAM loads %d", c, r.LeadingMisses, r.DRAMLoads)
+		}
+		if r.DRAMLoads > 0 && r.LeadingMisses == 0 {
+			t.Fatalf("%s: misses without leading misses", c)
+		}
+		if r.MLP < 1 {
+			t.Fatalf("%s: MLP %.3f < 1", c, r.MLP)
+		}
+	}
+}
+
+func TestMLPGrowsWithWindow(t *testing.T) {
+	// Spread bursts need a larger window to overlap.
+	p := testParams(7)
+	p.BurstProb = 0.1
+	p.BurstLen = 8
+	p.BurstSpread = 24
+	p.ChaseFrac = 0
+	a := Annotate(trace.Generate(p, 40_000))
+	var mlps []float64
+	for _, c := range config.Sizes {
+		rc := baseRC()
+		rc.Core = c
+		mlps = append(mlps, Run(a, rc).MLP)
+	}
+	if !(mlps[0] < mlps[1] && mlps[1] < mlps[2]) {
+		t.Fatalf("MLP not increasing with core size: %v", mlps)
+	}
+}
+
+func TestChaseSerialisesMisses(t *testing.T) {
+	p := testParams(8)
+	p.ChaseFrac = 1
+	p.BurstLen = 1
+	a := Annotate(trace.Generate(p, 40_000))
+	rc := baseRC()
+	rc.Core = config.SizeL
+	r := Run(a, rc)
+	if r.MLP > 1.6 {
+		t.Fatalf("fully chased stream has MLP %.2f, want ≈ 1", r.MLP)
+	}
+}
+
+func TestBranchMispredictionCost(t *testing.T) {
+	good := testParams(9)
+	good.BranchMissRate = 0
+	bad := testParams(9)
+	bad.BranchMissRate = 0.2
+	ra := Run(Annotate(trace.Generate(good, 30_000)), baseRC())
+	rb := Run(Annotate(trace.Generate(bad, 30_000)), baseRC())
+	if rb.Mispredicts == 0 || ra.Mispredicts != 0 {
+		t.Fatalf("mispredict counts: %d and %d", ra.Mispredicts, rb.Mispredicts)
+	}
+	if rb.BranchNs <= ra.BranchNs {
+		t.Fatal("mispredictions must add branch stall time")
+	}
+}
+
+func TestAnnotateCountsLevels(t *testing.T) {
+	insts := trace.Generate(testParams(10), 20_000)
+	a := Annotate(insts)
+	var l1, l2 int64
+	memOps := 0
+	for i, in := range insts {
+		if in.Kind != trace.KindLoad && in.Kind != trace.KindStore {
+			if a.Level[i] != 0 {
+				t.Fatal("non-memory instruction has a level")
+			}
+			continue
+		}
+		memOps++
+		switch a.Level[i] {
+		case 1:
+		case 2:
+			l1++
+		case 3:
+			l1++
+			l2++
+		default:
+			t.Fatalf("memory op %d has level %d", i, a.Level[i])
+		}
+	}
+	if l1 != a.L1Misses || l2 != a.L2Misses {
+		t.Fatalf("aggregate counters %d/%d, recount %d/%d", a.L1Misses, a.L2Misses, l1, l2)
+	}
+	if memOps == 0 || l2 == 0 {
+		t.Fatal("test stream must produce LLC traffic")
+	}
+}
+
+func TestTailRecountsMisses(t *testing.T) {
+	full := annotated(11, 20_000)
+	tail := full.Tail(10_000)
+	if len(tail.Insts) != 10_000 {
+		t.Fatalf("tail length %d", len(tail.Insts))
+	}
+	var l1, l2 int64
+	for i := range tail.Insts {
+		switch tail.Level[i] {
+		case 2:
+			l1++
+		case 3:
+			l1++
+			l2++
+		}
+	}
+	if l1 != tail.L1Misses || l2 != tail.L2Misses {
+		t.Fatal("tail counters inconsistent")
+	}
+	if tail.L2Misses >= full.L2Misses {
+		t.Fatal("tail must have fewer LLC accesses than the full stream")
+	}
+	// Degenerate cases.
+	if full.Tail(0) != full {
+		t.Error("Tail(0) should be the identity")
+	}
+	if got := full.Tail(1 << 30); len(got.Insts) != 0 {
+		t.Error("oversized Tail should be empty")
+	}
+}
+
+func TestATDSeesIssueOrder(t *testing.T) {
+	// Feeding the ATD during a run must observe exactly the LLC
+	// accesses of the annotation, and the miss estimate at the run's
+	// allocation must match the run's behaviour closely (same stream,
+	// possibly different order).
+	a := annotated(12, 30_000)
+	d := atd.MustNew(0)
+	rc := baseRC()
+	rc.ATD = d
+	r := Run(a, rc)
+	if d.Accesses() != r.LLCAccesses {
+		t.Fatalf("ATD observed %d accesses, run made %d", d.Accesses(), r.LLCAccesses)
+	}
+	est := d.Misses(rc.Ways)
+	if est == 0 {
+		t.Fatal("expected misses in the estimate")
+	}
+	ratio := float64(est) / float64(r.LLCMisses)
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Fatalf("ATD miss estimate %d too far from actual %d", est, r.LLCMisses)
+	}
+}
+
+func TestWarmATDPrimesTags(t *testing.T) {
+	insts := trace.Generate(testParams(13), 30_000)
+	full := Annotate(insts)
+	tail := full.Tail(15_000)
+
+	cold := atd.MustNew(0)
+	rcCold := baseRC()
+	rcCold.ATD = cold
+	Run(tail, rcCold)
+
+	warm := atd.MustNew(0)
+	full.WarmATD(warm, 15_000)
+	if warm.Accesses() != 0 {
+		t.Fatal("WarmATD must reset profiling counters")
+	}
+	rcWarm := baseRC()
+	rcWarm.ATD = warm
+	Run(tail, rcWarm)
+
+	// The warmed ATD sees fewer cold misses at the largest allocation.
+	if warm.Misses(config.MaxWays) >= cold.Misses(config.MaxWays) {
+		t.Fatalf("warmed ATD estimate %d not below cold %d",
+			warm.Misses(config.MaxWays), cold.Misses(config.MaxWays))
+	}
+}
+
+func TestBandwidthQueueSlowsDenseMisses(t *testing.T) {
+	// A dense independent miss stream must show DRAM queueing: total
+	// memory time beyond misses × latency / MLP is only possible with
+	// the bandwidth model engaged. We check that halving the stream
+	// density reduces time by less than half (queueing non-linearity).
+	dense := testParams(14)
+	dense.BurstProb = 0.5
+	dense.BurstLen = 16
+	dense.BurstSpread = 1
+	dense.ChaseFrac = 0
+	sparse := dense
+	sparse.BurstProb = 0.05
+	rd := Run(Annotate(trace.Generate(dense, 20_000)), baseRC())
+	rs := Run(Annotate(trace.Generate(sparse, 20_000)), baseRC())
+	if rd.LLCMisses <= rs.LLCMisses {
+		t.Skip("stream densities did not separate")
+	}
+	perMissDense := rd.MemNs / float64(rd.DRAMLoads)
+	if perMissDense <= 0 {
+		t.Fatal("expected DRAM stall time")
+	}
+}
+
+func TestInstructionsCounted(t *testing.T) {
+	a := annotated(15, 12_345)
+	r := Run(a, baseRC())
+	if r.Instructions != 12_345 {
+		t.Fatalf("instructions %d, want 12345", r.Instructions)
+	}
+}

@@ -1,0 +1,81 @@
+package cpu
+
+import (
+	"testing"
+
+	"qosrm/internal/config"
+	"qosrm/internal/trace"
+)
+
+// wbParams is a store-heavy stream with main-region writes.
+func wbParams(seed int64) trace.Params {
+	p := testParams(seed)
+	p.StoreFrac = 0.15
+	p.StoreMainFrac = 0.5
+	return p
+}
+
+func TestWritebacksRequireStores(t *testing.T) {
+	clean := testParams(30)
+	clean.StoreFrac = 0
+	a := Annotate(trace.Generate(clean, 30_000))
+	r := Run(a, baseRC())
+	if r.Writebacks != 0 {
+		t.Fatalf("store-free stream produced %d writebacks", r.Writebacks)
+	}
+
+	dirty := wbParams(30)
+	b := Annotate(trace.Generate(dirty, 30_000))
+	rb := Run(b, baseRC())
+	if rb.Writebacks == 0 {
+		t.Fatal("main-region stores must produce writebacks")
+	}
+}
+
+func TestWritebacksWeaklyDecreaseWithWays(t *testing.T) {
+	a := Annotate(trace.Generate(wbParams(31), 40_000))
+	prev := int64(1 << 62)
+	for w := config.MinWays; w <= config.MaxWays; w++ {
+		rc := baseRC()
+		rc.Ways = w
+		r := Run(a, rc)
+		if r.Writebacks > prev {
+			t.Fatalf("writebacks grew with more ways at w=%d: %d > %d", w, r.Writebacks, prev)
+		}
+		prev = r.Writebacks
+	}
+}
+
+func TestWritebacksIndependentOfCoreAndFrequency(t *testing.T) {
+	// Writebacks are a cache property: identical across core sizes and
+	// clocks for the same stream and allocation.
+	a := Annotate(trace.Generate(wbParams(32), 30_000))
+	ref := Run(a, baseRC()).Writebacks
+	for _, c := range config.Sizes {
+		for _, fi := range []int{0, config.NumFreqs - 1} {
+			rc := RunConfig{Core: c, Ways: config.BaseWays, FreqGHz: config.FreqGHz(fi)}
+			if got := Run(a, rc).Writebacks; got != ref {
+				t.Fatalf("writebacks vary with (%s, f=%d): %d vs %d", c, fi, got, ref)
+			}
+		}
+	}
+}
+
+func TestWritebacksBoundedByStoreMisses(t *testing.T) {
+	// Every writeback needs a dirtying store that reached the LLC; the
+	// count of writebacks at any allocation cannot exceed the number of
+	// LLC store accesses (each store dirties at most one line at a time).
+	p := wbParams(33)
+	insts := trace.Generate(p, 30_000)
+	a := Annotate(insts)
+	llcStores := 0
+	for i, in := range insts {
+		if in.Kind == trace.KindStore && a.Level[i] == 3 {
+			llcStores++
+		}
+	}
+	r := Run(a, baseRC())
+	if r.Writebacks > int64(llcStores) {
+		t.Fatalf("%d writebacks exceed %d LLC stores", r.Writebacks, llcStores)
+	}
+}

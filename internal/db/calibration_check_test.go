@@ -1,0 +1,32 @@
+package db
+
+import (
+	"testing"
+
+	"qosrm/internal/bench"
+)
+
+// TestFullSuiteClassificationMatchesTableII is the repository's central
+// calibration guarantee: measured with the production trace length, all
+// 27 applications land in their paper-assigned Table II categories.
+// It is the slowest test in the repository (~2 s) and runs the full
+// detailed-simulation sweep.
+func TestFullSuiteClassificationMatchesTableII(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite calibration check skipped in -short mode")
+	}
+	d, err := Build(bench.Suite(), Options{TraceLen: 65536, Warmup: 16384})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bench.Suite() {
+		cat, m, err := d.Classify(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cat != b.Category {
+			t.Errorf("%s: classified %s, want %s (MPKI %.2f/%.2f/%.2f MLP %.2f/%.2f/%.2f)",
+				b.Name, cat, b.Category, m.MPKI4, m.MPKI8, m.MPKI12, m.MLPS, m.MLPM, m.MLPL)
+		}
+	}
+}

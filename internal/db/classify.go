@@ -1,0 +1,66 @@
+package db
+
+import (
+	"fmt"
+
+	"qosrm/internal/bench"
+	"qosrm/internal/config"
+)
+
+// Measurement holds the phase-weighted statistics the Section IV-C
+// classification rules are applied to.
+type Measurement struct {
+	// MPKI at 4, 8 and 12 ways, on the baseline core and VF setting.
+	MPKI4, MPKI8, MPKI12 float64
+	// MLP on the S, M and L cores, at the baseline allocation and VF.
+	MLPS, MLPM, MLPL float64
+}
+
+// Category applies the paper's thresholds to the measurement.
+func (m Measurement) Category() bench.Category {
+	return bench.Classify(m.MPKI4, m.MPKI8, m.MPKI12, m.MLPS, m.MLPM, m.MLPL)
+}
+
+// Measure computes the classification statistics of a benchmark from the
+// database, weighting phases by their SimPoint-style weights.
+func (d *DB) Measure(b *bench.Benchmark) (Measurement, error) {
+	var m Measurement
+	for p, ph := range b.Phases {
+		w := ph.Weight
+		base := config.Baseline()
+		for _, pt := range []struct {
+			ways int
+			dst  *float64
+		}{{4, &m.MPKI4}, {8, &m.MPKI8}, {12, &m.MPKI12}} {
+			set := base
+			set.Ways = pt.ways
+			s, err := d.Stats(b.Name, p, set)
+			if err != nil {
+				return Measurement{}, fmt.Errorf("db: measure %s: %w", b.Name, err)
+			}
+			*pt.dst += w * s.LLCMisses / s.Instructions * 1000
+		}
+		for _, pt := range []struct {
+			core config.CoreSize
+			dst  *float64
+		}{{config.SizeS, &m.MLPS}, {config.SizeM, &m.MLPM}, {config.SizeL, &m.MLPL}} {
+			set := base
+			set.Core = pt.core
+			s, err := d.Stats(b.Name, p, set)
+			if err != nil {
+				return Measurement{}, fmt.Errorf("db: measure %s: %w", b.Name, err)
+			}
+			*pt.dst += w * s.MLP
+		}
+	}
+	return m, nil
+}
+
+// Classify returns the measured category of a benchmark.
+func (d *DB) Classify(b *bench.Benchmark) (bench.Category, Measurement, error) {
+	m, err := d.Measure(b)
+	if err != nil {
+		return 0, Measurement{}, err
+	}
+	return m.Category(), m, nil
+}

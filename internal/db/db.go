@@ -1,0 +1,322 @@
+// Package db builds and serves the simulation database of the paper's
+// methodology (Section IV-A): for every benchmark phase, detailed
+// micro-architecture simulations are performed "over all possible core
+// configurations, VF settings, and LLC allocations" and their results are
+// collected for the interval-driven RM co-simulator to replay.
+//
+// The detailed simulations come from internal/cpu (the Sniper stand-in).
+// Each phase is simulated at every core size and way allocation and at
+// three frequency corners; other frequencies are served by interpolating
+// core cycles (frequency-invariant to first order) and memory-stall time
+// (smooth in frequency via DRAM queueing) between corners, which mirrors
+// the frequency structure of the paper's own performance model (Eq. 1).
+//
+// Each run also records what the core's ATD — warmed alongside the main
+// hierarchy and observing the run's LLC access stream in issue order —
+// would have reported: the miss-vs-ways curve and the proposed
+// leading-miss estimate matrix. The resource managers consume exactly
+// those observations, never ground truth.
+package db
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"qosrm/internal/atd"
+	"qosrm/internal/bench"
+	"qosrm/internal/config"
+	"qosrm/internal/cpu"
+	"qosrm/internal/power"
+	"qosrm/internal/trace"
+)
+
+// NumWays is the number of tracked way allocations (2..16).
+const NumWays = config.MaxWays - config.MinWays + 1
+
+// fCorners are the DVFS grid indices simulated in detail.
+var fCorners = [3]int{0, config.BaseFreqIdx, config.NumFreqs - 1}
+
+// Stats is the database record of one (phase, core, frequency, ways)
+// point: ground-truth timing/energy inputs plus the ATD observations an
+// RM running at this setting would see. Counter fields are float64 so
+// frequency interpolation can blend corners.
+type Stats struct {
+	Instructions float64
+	TimeNs       float64
+	BaseNs       float64 // T0: dispatch + dependence time
+	BranchNs     float64 // branch refill stalls
+	CacheNs      float64 // exposed private-miss/LLC-hit stalls
+	MemNs        float64 // exposed DRAM stalls (T_mem ground truth)
+
+	L1Misses      float64
+	LLCAccesses   float64
+	LLCHits       float64
+	LLCMisses     float64 // memory accesses MA of Eq. 5
+	DRAMLoads     float64
+	Writebacks    float64 // dirty LLC lines written back to DRAM
+	LeadingMisses float64 // ground truth
+	Mispredicts   float64
+	MLP           float64
+
+	// ATDMissCurve[w-MinWays] is the ATD miss estimate for allocation w.
+	ATDMissCurve [NumWays]float64
+	// ATDLM[c][w-MinWays] is the proposed extension's leading-miss
+	// estimate for core size c at allocation w.
+	ATDLM [config.NumSizes][NumWays]float64
+}
+
+// TPI returns the ground-truth time per instruction in nanoseconds.
+func (s *Stats) TPI() float64 { return s.TimeNs / s.Instructions }
+
+// CoreNs returns the frequency-scalable part of the execution time.
+func (s *Stats) CoreNs() float64 { return s.BaseNs + s.BranchNs + s.CacheNs }
+
+// ActualEnergyJ returns the ground-truth core+DRAM energy of executing
+// n instructions of this phase at setting set (uncore energy is charged
+// separately by the co-simulator, per Section IV-D1).
+func (s *Stats) ActualEnergyJ(set config.Setting, n float64) float64 {
+	scale := n / s.Instructions
+	t := s.TimeNs * scale
+	core := power.CoreEnergyJ(set.Core, set.Freq, int64(n+0.5), t)
+	mem := power.MemEnergyJ(int64((s.LLCMisses+s.Writebacks)*scale + 0.5))
+	return core + mem
+}
+
+// phaseData holds the simulated corners of one phase.
+type phaseData struct {
+	// Runs[c][k][w-MinWays] with k indexing fCorners.
+	Runs [config.NumSizes][3][NumWays]Stats
+}
+
+// DB is the simulation database for a set of benchmarks.
+type DB struct {
+	TraceLen int
+	Warmup   int
+	// Phases maps benchmark name to its per-phase data.
+	Phases map[string][]*phaseData
+}
+
+// Options configures database construction.
+type Options struct {
+	TraceLen int // instructions measured per phase (default 65536)
+	Warmup   int // cache warm-up prefix (default 16384)
+	Workers  int // parallel phase builders (default GOMAXPROCS)
+}
+
+func (o *Options) fill() {
+	if o.TraceLen <= 0 {
+		o.TraceLen = 65536
+	}
+	if o.Warmup < 0 {
+		o.Warmup = 0
+	} else if o.Warmup == 0 {
+		o.Warmup = 16384
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// Build runs the detailed simulations for every phase of every benchmark
+// in benches, in parallel across phases.
+func Build(benches []*bench.Benchmark, opts Options) (*DB, error) {
+	opts.fill()
+	d := &DB{
+		TraceLen: opts.TraceLen,
+		Warmup:   opts.Warmup,
+		Phases:   make(map[string][]*phaseData, len(benches)),
+	}
+	type job struct {
+		b     *bench.Benchmark
+		phase int
+	}
+	var jobs []job
+	for _, b := range benches {
+		if err := b.Validate(); err != nil {
+			return nil, fmt.Errorf("db: %w", err)
+		}
+		d.Phases[b.Name] = make([]*phaseData, len(b.Phases))
+		for p := range b.Phases {
+			jobs = append(jobs, job{b, p})
+		}
+	}
+
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []error
+	)
+	ch := make(chan job)
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				pd, err := buildPhase(j.b.Phases[j.phase].Params, opts)
+				mu.Lock()
+				if err != nil {
+					errs = append(errs, fmt.Errorf("db: %s phase %d: %w", j.b.Name, j.phase, err))
+				} else {
+					d.Phases[j.b.Name][j.phase] = pd
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	if len(errs) > 0 {
+		return nil, errs[0]
+	}
+	return d, nil
+}
+
+// buildPhase simulates one phase over the full configuration space.
+func buildPhase(p trace.Params, opts Options) (*phaseData, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	insts := trace.Generate(p, opts.Warmup+opts.TraceLen)
+	full := cpu.Annotate(insts)
+	tail := full.Tail(opts.Warmup)
+
+	pd := &phaseData{}
+	for ci, c := range config.Sizes {
+		for k, fi := range fCorners {
+			for wi := 0; wi < NumWays; wi++ {
+				w := config.MinWays + wi
+				a := atd.MustNew(0)
+				full.WarmATD(a, opts.Warmup)
+				r := cpu.Run(tail, cpu.RunConfig{
+					Core:    c,
+					Ways:    w,
+					FreqGHz: config.FreqGHz(fi),
+					ATD:     a,
+				})
+				st := &pd.Runs[ci][k][wi]
+				*st = Stats{
+					Instructions:  float64(r.Instructions),
+					TimeNs:        r.TimeNs,
+					BaseNs:        r.BaseNs,
+					BranchNs:      r.BranchNs,
+					CacheNs:       r.CacheNs,
+					MemNs:         r.MemNs,
+					L1Misses:      float64(r.L1Misses),
+					LLCAccesses:   float64(r.LLCAccesses),
+					LLCHits:       float64(r.LLCHits),
+					LLCMisses:     float64(r.LLCMisses),
+					DRAMLoads:     float64(r.DRAMLoads),
+					Writebacks:    float64(r.Writebacks),
+					LeadingMisses: float64(r.LeadingMisses),
+					Mispredicts:   float64(r.Mispredicts),
+					MLP:           r.MLP,
+				}
+				for wj := 0; wj < NumWays; wj++ {
+					st.ATDMissCurve[wj] = float64(a.Misses(config.MinWays + wj))
+					for cj := range config.Sizes {
+						st.ATDLM[cj][wj] = float64(a.LeadingMisses(config.Sizes[cj], config.MinWays+wj))
+					}
+				}
+			}
+		}
+	}
+	return pd, nil
+}
+
+// Stats returns the (interpolated) record for a benchmark phase at an
+// arbitrary grid setting. It returns an error for unknown benchmarks,
+// phase indices or off-grid settings.
+func (d *DB) Stats(benchName string, phase int, set config.Setting) (*Stats, error) {
+	if !set.Valid() {
+		return nil, fmt.Errorf("db: invalid setting %v", set)
+	}
+	phases, ok := d.Phases[benchName]
+	if !ok {
+		return nil, fmt.Errorf("db: unknown benchmark %q", benchName)
+	}
+	if phase < 0 || phase >= len(phases) {
+		return nil, fmt.Errorf("db: %s has no phase %d", benchName, phase)
+	}
+	pd := phases[phase]
+	if pd == nil {
+		return nil, fmt.Errorf("db: %s phase %d not built", benchName, phase)
+	}
+	wi := set.Ways - config.MinWays
+	row := &pd.Runs[set.Core]
+
+	// Exact corner?
+	for k, fi := range fCorners {
+		if fi == set.Freq {
+			s := row[k][wi]
+			return &s, nil
+		}
+	}
+	// Interpolate between the two surrounding corners.
+	lo, hi := 0, 1
+	if set.Freq > fCorners[1] {
+		lo, hi = 1, 2
+	}
+	fl, fh := config.FreqGHz(fCorners[lo]), config.FreqGHz(fCorners[hi])
+	f := set.FGHz()
+	t := (f - fl) / (fh - fl)
+	s := interpolate(&row[lo][wi], &row[hi][wi], fl, fh, f, t)
+	return s, nil
+}
+
+// interpolate blends two frequency corners: cycle-domain linear for the
+// frequency-scalable components, time-domain linear for memory stall,
+// linear for counters.
+func interpolate(a, b *Stats, fa, fb, f, t float64) *Stats {
+	lerp := func(x, y float64) float64 { return x + (y-x)*t }
+	cyc := func(xa, xb float64) float64 {
+		// Convert corner times to cycles, blend, convert back.
+		return lerp(xa*fa, xb*fb) / f
+	}
+	out := &Stats{
+		Instructions:  a.Instructions,
+		BaseNs:        cyc(a.BaseNs, b.BaseNs),
+		BranchNs:      cyc(a.BranchNs, b.BranchNs),
+		CacheNs:       cyc(a.CacheNs, b.CacheNs),
+		MemNs:         lerp(a.MemNs, b.MemNs),
+		L1Misses:      lerp(a.L1Misses, b.L1Misses),
+		LLCAccesses:   lerp(a.LLCAccesses, b.LLCAccesses),
+		LLCHits:       lerp(a.LLCHits, b.LLCHits),
+		LLCMisses:     lerp(a.LLCMisses, b.LLCMisses),
+		DRAMLoads:     lerp(a.DRAMLoads, b.DRAMLoads),
+		Writebacks:    lerp(a.Writebacks, b.Writebacks),
+		LeadingMisses: lerp(a.LeadingMisses, b.LeadingMisses),
+		Mispredicts:   lerp(a.Mispredicts, b.Mispredicts),
+	}
+	out.TimeNs = out.BaseNs + out.BranchNs + out.CacheNs + out.MemNs
+	if out.LeadingMisses > 0 {
+		out.MLP = out.DRAMLoads / out.LeadingMisses
+		if out.MLP < 1 {
+			out.MLP = 1
+		}
+	} else {
+		out.MLP = 1
+	}
+	for w := range out.ATDMissCurve {
+		out.ATDMissCurve[w] = lerp(a.ATDMissCurve[w], b.ATDMissCurve[w])
+		for c := range out.ATDLM {
+			out.ATDLM[c][w] = lerp(a.ATDLM[c][w], b.ATDLM[c][w])
+		}
+	}
+	return out
+}
+
+// Benchmarks returns the names present in the database.
+func (d *DB) Benchmarks() []string {
+	out := make([]string, 0, len(d.Phases))
+	for name := range d.Phases {
+		out = append(out, name)
+	}
+	return out
+}
+
+// NumPhases returns the phase count of a benchmark (0 if unknown).
+func (d *DB) NumPhases(benchName string) int { return len(d.Phases[benchName]) }

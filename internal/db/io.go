@@ -1,0 +1,108 @@
+package db
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"qosrm/internal/bench"
+)
+
+// fileVersion guards against stale cached databases after schema changes.
+const fileVersion = 4
+
+// fileHeader is the serialised envelope.
+type fileHeader struct {
+	Version  int
+	TraceLen int
+	Warmup   int
+}
+
+// Save writes the database to path as gzip-compressed gob.
+func (d *DB) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("db: save: %w", err)
+	}
+	defer f.Close()
+	zw := gzip.NewWriter(f)
+	enc := gob.NewEncoder(zw)
+	if err := enc.Encode(fileHeader{fileVersion, d.TraceLen, d.Warmup}); err != nil {
+		return fmt.Errorf("db: save header: %w", err)
+	}
+	if err := enc.Encode(d.Phases); err != nil {
+		return fmt.Errorf("db: save phases: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("db: save: %w", err)
+	}
+	return f.Close()
+}
+
+// Load reads a database previously written by Save. It fails if the file
+// was produced by an incompatible schema version.
+func Load(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("db: load: %w", err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("db: load: %w", err)
+	}
+	defer zr.Close()
+	dec := gob.NewDecoder(zr)
+	var h fileHeader
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("db: load header: %w", err)
+	}
+	if h.Version != fileVersion {
+		return nil, fmt.Errorf("db: file version %d, want %d (rebuild with dbgen)", h.Version, fileVersion)
+	}
+	d := &DB{TraceLen: h.TraceLen, Warmup: h.Warmup}
+	if err := dec.Decode(&d.Phases); err != nil {
+		return nil, fmt.Errorf("db: load phases: %w", err)
+	}
+	return d, nil
+}
+
+// LoadOrBuild loads the database at path when present and schema
+// compatible; otherwise it builds one from benches and, when path is
+// non-empty, caches it there. A cached database built with a different
+// trace length than opts requests is rebuilt.
+func LoadOrBuild(path string, benches []*bench.Benchmark, opts Options) (*DB, error) {
+	opts.fill()
+	if path != "" {
+		if d, err := Load(path); err == nil && d.TraceLen == opts.TraceLen && complete(d, benches) {
+			return d, nil
+		}
+	}
+	d, err := Build(benches, opts)
+	if err != nil {
+		return nil, err
+	}
+	if path != "" {
+		if err := d.Save(path); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// complete reports whether d covers every phase of every benchmark.
+func complete(d *DB, benches []*bench.Benchmark) bool {
+	for _, b := range benches {
+		phases, ok := d.Phases[b.Name]
+		if !ok || len(phases) != len(b.Phases) {
+			return false
+		}
+		for _, p := range phases {
+			if p == nil {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,60 @@
+// Package energymodel implements the online energy model of Section
+// III-D (Eq. 4–5): the energy the RM expects the next interval to consume
+// at a candidate setting, built from the sampled core power, the
+// predicted execution time and the ATD miss-difference estimate.
+//
+// Like the performance model it only consumes observable quantities —
+// per-size offline power tables (static power, dynamic energy scaling)
+// and the past interval's counters — never the simulator's ground truth.
+package energymodel
+
+import (
+	"qosrm/internal/config"
+	"qosrm/internal/perfmodel"
+	"qosrm/internal/power"
+)
+
+// EnergyPI predicts the energy per instruction (joules) of running the
+// next interval at target, using performance model k for the execution
+// time term.
+//
+// Eq. 4's dynamic term P*_CoreDyn(c) · V(f)²/V*² · T reduces, for an
+// activity-based dynamic power, to a per-instruction dynamic energy
+// epi(c)·(V(f)/V₀)² — the sampled dynamic power scaled by voltage, freed
+// of the time factor. The static term is the offline table entry for
+// (c, f) times the predicted time. The memory term is Eq. 5: the measured
+// access count plus the ATD miss difference between the target and the
+// current allocation.
+func EnergyPI(st *perfmodel.IntervalStats, k perfmodel.Kind, target config.Setting) float64 {
+	fGHz := target.FGHz()
+	v := config.Voltage(fGHz)
+	dyn := power.EPIDynJ(target.Core, v)
+	tNs := st.TimePI(k, target)
+	static := power.StaticPowerW(target.Core, fGHz) * tNs * 1e-9
+	return dyn + static + MemEnergyPI(st, target.Ways)
+}
+
+// MemEnergyPI is Eq. 5 per instruction: (MA + DM(w)) × e_mem, where DM
+// is the ATD-estimated difference in misses between the target and the
+// current allocation. The estimate may be negative (target allocation
+// larger than current); the total is floored at zero since negative
+// memory energy is meaningless.
+func MemEnergyPI(st *perfmodel.IntervalStats, targetWays int) float64 {
+	cur := st.MissPI[clamp(st.Setting.Ways)-config.MinWays]
+	tgt := st.MissPI[clamp(targetWays)-config.MinWays]
+	acc := st.MemAccPI + (tgt - cur)
+	if acc < 0 {
+		acc = 0
+	}
+	return acc * power.EMemAccessJ
+}
+
+func clamp(w int) int {
+	if w < config.MinWays {
+		return config.MinWays
+	}
+	if w > config.MaxWays {
+		return config.MaxWays
+	}
+	return w
+}

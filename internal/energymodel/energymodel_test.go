@@ -1,0 +1,106 @@
+package energymodel
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"qosrm/internal/bench"
+	"qosrm/internal/config"
+	"qosrm/internal/db"
+	"qosrm/internal/perfmodel"
+	"qosrm/internal/power"
+)
+
+var (
+	once   sync.Once
+	shared *db.DB
+	dbErr  error
+)
+
+func stats(t *testing.T, set config.Setting) perfmodel.IntervalStats {
+	t.Helper()
+	once.Do(func() {
+		b, err := bench.ByName("mcf")
+		if err != nil {
+			dbErr = err
+			return
+		}
+		shared, dbErr = db.Build([]*bench.Benchmark{b}, db.Options{TraceLen: 16384, Warmup: 4096})
+	})
+	if dbErr != nil {
+		t.Fatal(dbErr)
+	}
+	s, err := shared.Stats("mcf", 0, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return perfmodel.FromDB(s, set)
+}
+
+func TestEnergyComposition(t *testing.T) {
+	st := stats(t, config.Baseline())
+	set := config.Baseline()
+	got := EnergyPI(&st, perfmodel.Model3, set)
+	v := config.Voltage(set.FGHz())
+	dyn := power.EPIDynJ(set.Core, v)
+	static := power.StaticPowerW(set.Core, set.FGHz()) * st.TimePI(perfmodel.Model3, set) * 1e-9
+	mem := MemEnergyPI(&st, set.Ways)
+	want := dyn + static + mem
+	if math.Abs(got-want) > 1e-18 {
+		t.Fatalf("EnergyPI = %g, want %g", got, want)
+	}
+	if got <= 0 {
+		t.Fatal("energy must be positive")
+	}
+}
+
+func TestMemEnergyDifferenceTerm(t *testing.T) {
+	// Eq. 5: more ways → fewer misses → less memory energy; the DM term
+	// is negative for a larger target allocation.
+	st := stats(t, config.Baseline())
+	eSmall := MemEnergyPI(&st, config.MinWays)
+	eBase := MemEnergyPI(&st, config.BaseWays)
+	eBig := MemEnergyPI(&st, config.MaxWays)
+	if !(eSmall > eBase && eBase > eBig) {
+		t.Fatalf("memory energy not monotone: %g %g %g", eSmall, eBase, eBig)
+	}
+	// At the current allocation DM = 0, so the term equals MA × e_mem.
+	if math.Abs(eBase-st.MemAccPI*power.EMemAccessJ) > 1e-18 {
+		t.Fatal("DM must vanish at the current allocation")
+	}
+}
+
+func TestMemEnergyNeverNegative(t *testing.T) {
+	st := stats(t, config.Setting{Core: config.SizeM, Freq: config.BaseFreqIdx, Ways: config.MinWays})
+	for w := config.MinWays; w <= config.MaxWays; w++ {
+		if MemEnergyPI(&st, w) < 0 {
+			t.Fatalf("negative memory energy at w=%d", w)
+		}
+	}
+}
+
+func TestEnergyGrowsWithVoltage(t *testing.T) {
+	// At a fixed core size and allocation, pushing frequency up past the
+	// baseline must increase predicted energy (quadratic dynamic cost
+	// dominating the shrinking static×time term).
+	st := stats(t, config.Baseline())
+	base := EnergyPI(&st, perfmodel.Model3, config.Baseline())
+	hi := EnergyPI(&st, perfmodel.Model3,
+		config.Setting{Core: config.SizeM, Freq: config.NumFreqs - 1, Ways: config.BaseWays})
+	if hi <= base {
+		t.Fatalf("max-VF energy %g not above baseline %g", hi, base)
+	}
+}
+
+func TestEnergyDependsOnModelThroughTime(t *testing.T) {
+	// Model1 predicts more time than Model3, so the static term makes
+	// its energy estimate at the same setting at least as large.
+	st := stats(t, config.Baseline())
+	set := config.Setting{Core: config.SizeL, Freq: 2, Ways: config.BaseWays}
+	e1 := EnergyPI(&st, perfmodel.Model1, set)
+	e3 := EnergyPI(&st, perfmodel.Model3, set)
+	if e1 < e3 {
+		t.Fatalf("Model1 energy %g below Model3 %g", e1, e3)
+	}
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAblationIndexBitsDegradesMonotonically(t *testing.T) {
+	ctx := sharedCtx(t)
+	points, err := ctx.AblationIndexBits([]int{6, 8, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("%d points", len(points))
+	}
+	// Narrower indices must not improve the estimate.
+	if points[0].LMError < points[2].LMError {
+		t.Errorf("6-bit error %.3f below 10-bit error %.3f",
+			points[0].LMError, points[2].LMError)
+	}
+	for _, p := range points {
+		if p.LMError < 0 {
+			t.Fatal("negative error")
+		}
+	}
+}
+
+func TestAblationSampling(t *testing.T) {
+	ctx := sharedCtx(t)
+	points, err := ctx.AblationSampling([]int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].MissCurveError > 1e-9 {
+		t.Errorf("full sampling must be exact, got %.4f", points[0].MissCurveError)
+	}
+	if points[1].MissCurveError <= 0 {
+		t.Error("1/4 sampling should show some miss-curve error")
+	}
+	if points[1].LMError < points[0].LMError {
+		t.Error("sampling must not improve LM estimates")
+	}
+}
+
+func TestAblationAlphaTradesSavingsForViolations(t *testing.T) {
+	ctx := sharedCtx(t)
+	points, err := ctx.AblationAlpha([]float64{1.0, 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More slack → at least as many violations (they are permitted by
+	// construction) and typically more savings.
+	if points[1].Violation < points[0].Violation {
+		t.Errorf("α=1.2 violation rate %.3f below α=1.0's %.3f",
+			points[1].Violation, points[0].Violation)
+	}
+	if points[1].Saving < points[0].Saving-0.02 {
+		t.Errorf("α=1.2 saving %.3f noticeably below α=1.0's %.3f",
+			points[1].Saving, points[0].Saving)
+	}
+}
+
+func TestAblationIntervalScalesRMCalls(t *testing.T) {
+	ctx := sharedCtx(t)
+	points, err := ctx.AblationInterval([]int64{50_000_000, 100_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].RMCalls <= points[1].RMCalls {
+		t.Errorf("halving the interval must increase invocations: %d vs %d",
+			points[0].RMCalls, points[1].RMCalls)
+	}
+}
+
+func TestRenderAblation(t *testing.T) {
+	ctx := sharedCtx(t)
+	bits, err := ctx.AblationIndexBits([]int{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampling, err := ctx.AblationSampling([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alphas, err := ctx.AblationAlpha([]float64{1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	intervals, err := ctx.AblationInterval([]int64{100_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderAblation(&buf, bits, sampling, alphas, intervals)
+	for _, want := range []string{"index width", "set sampling", "QoS relaxation", "interval length"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestValidateReplayIsolation(t *testing.T) {
+	ctx := sharedCtx(t)
+	rows, err := ctx.ValidateReplay("mcf", "xalancbmk", 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d rows, want 6 (3 partitions × 2 apps)", len(rows))
+	}
+	for _, r := range rows {
+		// Way partitioning must isolate the applications: the shared
+		// partitioned LLC behaves like each app's private slice.
+		if r.RelError > 0.02 {
+			t.Errorf("%s at %d ways: %.1f%% divergence between shared and solo",
+				r.App, r.Ways, r.RelError*100)
+		}
+		if r.SharedMPKA <= 0 {
+			t.Errorf("%s at %d ways: no misses observed", r.App, r.Ways)
+		}
+	}
+	if _, err := ctx.ValidateReplay("nope", "mcf", 100); err == nil {
+		t.Error("unknown application must error")
+	}
+}
+
+func TestRenderValidate(t *testing.T) {
+	ctx := sharedCtx(t)
+	rows, err := ctx.ValidateReplay("mcf", "bwaves", 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderValidate(&buf, rows)
+	if !strings.Contains(buf.String(), "VALIDATION") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestAblationGlobalOpt(t *testing.T) {
+	ctx := sharedCtx(t)
+	points, err := ctx.AblationGlobalOpt()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("%d strategies", len(points))
+	}
+	// The optimal reduction can only match or beat the greedy heuristic
+	// per interval; over a whole co-simulation small dynamic effects may
+	// blur it, so allow a slim tolerance.
+	if points[1].Saving > points[0].Saving+0.01 {
+		t.Errorf("greedy (%.3f) beats optimal (%.3f) beyond tolerance",
+			points[1].Saving, points[0].Saving)
+	}
+	var buf bytes.Buffer
+	RenderGlobalOptAblation(&buf, points)
+	if !strings.Contains(buf.String(), "greedy") {
+		t.Error("render incomplete")
+	}
+}

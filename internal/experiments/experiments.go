@@ -1,0 +1,156 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation. Each driver computes a structured result from the
+// simulation database and offers a Render method that prints the same
+// rows/series the paper reports, so `cmd/figures` can regenerate the
+// whole evaluation.
+//
+// Index (see DESIGN.md for the full mapping):
+//
+//	Table I  — baseline configuration
+//	Table II — application categories
+//	Fig. 1   — trade-off matrix and mix probabilities
+//	Fig. 2   — two-core scenario study with perfect models
+//	Fig. 4   — ATD leading-miss extension worked example
+//	Fig. 5   — co-simulator event mechanics
+//	Fig. 6   — energy savings on 4- and 8-core workloads (RM1/RM2/RM3)
+//	Fig. 7   — QoS violation probability / expected value / deviation
+//	Fig. 8   — violation magnitude distribution
+//	Fig. 9   — energy savings under Model1/2/3 vs a perfect model
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"qosrm/internal/bench"
+	"qosrm/internal/db"
+	"qosrm/internal/perfmodel"
+	"qosrm/internal/rm"
+	"qosrm/internal/sim"
+	"qosrm/internal/workload"
+)
+
+// Context carries the shared inputs of all experiment drivers.
+type Context struct {
+	DB *db.DB
+	// Scale divides application instruction counts in co-simulations
+	// (default 2048; 1 is paper scale).
+	Scale int64
+	// Seed drives workload generation.
+	Seed int64
+	// PerScenario is the number of workloads per scenario and core count
+	// (paper: six).
+	PerScenario int
+	// Workers bounds concurrent co-simulations (default GOMAXPROCS).
+	Workers int
+}
+
+// NewContext returns a Context with the paper's defaults.
+func NewContext(d *db.DB) *Context {
+	return &Context{DB: d, Scale: 2048, Seed: 20, PerScenario: 6, Workers: runtime.GOMAXPROCS(0)}
+}
+
+func (c *Context) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// savings returns the fractional energy saving of cfg versus the idle
+// (baseline-keeping) manager on the same workload.
+func (c *Context) savings(apps []*bench.Benchmark, cfg sim.Config) (float64, *sim.Result, error) {
+	idleCfg := cfg
+	idleCfg.RM = rm.Idle
+	idle, err := sim.Run(c.DB, apps, idleCfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	r, err := sim.Run(c.DB, apps, cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	return 1 - r.EnergyJ/idle.EnergyJ, r, nil
+}
+
+// runJob is one co-simulation of a workload under a manager/model.
+type runJob struct {
+	apps []*bench.Benchmark
+	cfg  sim.Config
+	out  *runOut
+}
+
+type runOut struct {
+	Saving    float64
+	Violation float64
+	Err       error
+}
+
+// runAll executes jobs concurrently under the context's worker budget.
+func (c *Context) runAll(jobs []runJob) error {
+	var wg sync.WaitGroup
+	ch := make(chan runJob)
+	for i := 0; i < c.workers(); i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				save, r, err := c.savings(j.apps, j.cfg)
+				if err != nil {
+					j.out.Err = err
+					continue
+				}
+				j.out.Saving = save
+				j.out.Violation = r.ViolationRate()
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	for _, j := range jobs {
+		if j.out.Err != nil {
+			return j.out.Err
+		}
+	}
+	return nil
+}
+
+// appNames formats a workload's application list.
+func appNames(apps []*bench.Benchmark) string {
+	s := ""
+	for i, a := range apps {
+		if i > 0 {
+			s += ","
+		}
+		s += a.Name
+	}
+	return s
+}
+
+// scenarioWeights returns the Figure 1 probability weights of the four
+// scenarios, normalised to sum to one.
+func scenarioWeights() map[workload.Scenario]float64 {
+	total := 0.0
+	for _, s := range workload.Scenarios {
+		total += s.Weight()
+	}
+	out := make(map[workload.Scenario]float64, len(workload.Scenarios))
+	for _, s := range workload.Scenarios {
+		out[s] = s.Weight() / total
+	}
+	return out
+}
+
+// simConfig builds the standard co-simulation configuration.
+func (c *Context) simConfig(kind rm.Kind, model perfmodel.Kind, perfect, overheadFree bool) sim.Config {
+	return sim.Config{
+		RM:               kind,
+		Model:            model,
+		Perfect:          perfect,
+		Scale:            c.Scale,
+		DisableOverheads: overheadFree,
+	}
+}

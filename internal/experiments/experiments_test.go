@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"qosrm/internal/bench"
+	"qosrm/internal/db"
+	"qosrm/internal/workload"
+)
+
+var (
+	once   sync.Once
+	shared *db.DB
+	dbErr  error
+)
+
+// sharedCtx builds one full-suite database for the package's tests.
+func sharedCtx(t *testing.T) *Context {
+	t.Helper()
+	once.Do(func() {
+		shared, dbErr = db.Build(bench.Suite(), db.Options{TraceLen: 16384, Warmup: 4096})
+	})
+	if dbErr != nil {
+		t.Fatal(dbErr)
+	}
+	ctx := NewContext(shared)
+	ctx.PerScenario = 2 // keep co-simulation sweeps quick
+	return ctx
+}
+
+func TestRenderTableI(t *testing.T) {
+	var buf bytes.Buffer
+	RenderTableI(&buf)
+	out := buf.String()
+	for _, want := range []string{"issue width", "ROB", "LSQ", "2 MB × cores", "100 ns"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I output missing %q", want)
+		}
+	}
+}
+
+func TestTableIIClassification(t *testing.T) {
+	ctx := sharedCtx(t)
+	rows, err := ctx.TableII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 27 {
+		t.Fatalf("%d rows, want 27", len(rows))
+	}
+	match := 0
+	for _, r := range rows {
+		if r.Intended == r.Measured {
+			match++
+		}
+	}
+	// At the reduced test trace length a couple of borderline
+	// applications may flip; the bulk must still match Table II.
+	if match < 24 {
+		t.Errorf("only %d/27 classifications match Table II", match)
+	}
+	var buf bytes.Buffer
+	RenderTableII(&buf, rows)
+	if !strings.Contains(buf.String(), "CS-PS:") {
+		t.Error("render missing category lines")
+	}
+}
+
+func TestFig1CellsAndWeights(t *testing.T) {
+	ctx := sharedCtx(t)
+	cells := ctx.Fig1()
+	if len(cells) != 10 {
+		t.Fatalf("%d cells, want 10", len(cells))
+	}
+	total := 0.0
+	for _, c := range cells {
+		if c.Scenario == 0 {
+			t.Errorf("cell (%s,%s) not assigned a scenario", c.App1, c.App2)
+		}
+		if c.Trades[2] == "" {
+			t.Errorf("cell (%s,%s) missing RM3 annotation", c.App1, c.App2)
+		}
+		total += c.Probability
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Errorf("cell probabilities sum to %.4f", total)
+	}
+	var buf bytes.Buffer
+	RenderFig1(&buf, cells)
+	if !strings.Contains(buf.String(), "S1") {
+		t.Error("fig1 render missing scenario weights")
+	}
+}
+
+func TestFig2ScenarioShapes(t *testing.T) {
+	ctx := sharedCtx(t)
+	rows, err := ctx.Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byScenario := map[workload.Scenario]Fig2Row{}
+	for _, r := range rows {
+		byScenario[r.Scenario] = r
+	}
+	// Scenario 1: RM3 must clearly beat RM2 (the paper's headline).
+	s1 := byScenario[workload.Scenario1]
+	if s1.Savings[2] <= s1.Savings[1] {
+		t.Errorf("S1: RM3 %.3f not above RM2 %.3f", s1.Savings[2], s1.Savings[1])
+	}
+	// Scenario 3: only RM3 is effective.
+	s3 := byScenario[workload.Scenario3]
+	if s3.Savings[2] < 0.02 {
+		t.Errorf("S3: RM3 saving %.3f too small", s3.Savings[2])
+	}
+	if s3.Savings[0] > 0.02 || s3.Savings[1] > 0.02 {
+		t.Errorf("S3: RM1/RM2 should be ineffective, got %.3f/%.3f", s3.Savings[0], s3.Savings[1])
+	}
+	// Scenario 4: nothing works (within noise).
+	s4 := byScenario[workload.Scenario4]
+	for k, s := range s4.Savings {
+		if s > 0.05 {
+			t.Errorf("S4: RM%d saving %.3f unexpectedly large", k+1, s)
+		}
+	}
+	var buf bytes.Buffer
+	RenderFig2(&buf, rows)
+	if !strings.Contains(buf.String(), "2Core-S1") {
+		t.Error("fig2 render incomplete")
+	}
+}
+
+func TestFig4MatchesPaper(t *testing.T) {
+	r := Fig4()
+	if r.LM[0] != 3 { // S core
+		t.Errorf("S-core LM %d, want 3", r.LM[0])
+	}
+	if r.LM[1] != 2 { // M core
+		t.Errorf("M-core LM %d, want 2", r.LM[1])
+	}
+	var buf bytes.Buffer
+	RenderFig4(&buf, r)
+	if !strings.Contains(buf.String(), "LD3") {
+		t.Error("fig4 render incomplete")
+	}
+}
+
+func TestFig5EventPrefix(t *testing.T) {
+	ctx := sharedCtx(t)
+	r, err := ctx.Fig5(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Events) == 0 || len(r.Events) > 8 {
+		t.Fatalf("%d events", len(r.Events))
+	}
+	prev := -1.0
+	for _, e := range r.Events {
+		if e.TimeNs <= prev {
+			t.Fatal("events must advance in time")
+		}
+		prev = e.TimeNs
+	}
+	var buf bytes.Buffer
+	RenderFig5(&buf, r)
+	if !strings.Contains(buf.String(), "interval") {
+		t.Error("fig5 render incomplete")
+	}
+}
+
+func TestFig6SmallSweep(t *testing.T) {
+	ctx := sharedCtx(t)
+	res, err := ctx.Fig6Sizes([]int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4*ctx.PerScenario {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	// Scenario-level shape: RM3 beats RM2 in S1 and dominates in S3.
+	s1 := res.ScenarioAvg[workload.Scenario1]
+	if s1[2] <= s1[1] {
+		t.Errorf("S1 average: RM3 %.3f not above RM2 %.3f", s1[2], s1[1])
+	}
+	s3 := res.ScenarioAvg[workload.Scenario3]
+	if s3[2] <= s3[1]+0.01 {
+		t.Errorf("S3 average: RM3 %.3f not dominating RM2 %.3f", s3[2], s3[1])
+	}
+	if res.WeightedAvg[2] <= res.WeightedAvg[1] {
+		t.Error("weighted average: RM3 must beat RM2")
+	}
+	var buf bytes.Buffer
+	RenderFig6(&buf, res)
+	if !strings.Contains(buf.String(), "Weighted average") {
+		t.Error("fig6 render incomplete")
+	}
+}
+
+func TestFig7ModelOrdering(t *testing.T) {
+	ctx := sharedCtx(t)
+	res, err := ctx.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, m2, m3 := res.Models[0], res.Models[1], res.Models[2]
+	if m1.Model.String() != "Model1" || m3.Model.String() != "Model3" {
+		t.Fatal("model order wrong")
+	}
+	// The paper's central accuracy claim: the proposed model violates
+	// less often and less severely than both baselines.
+	if !(m3.Probability < m2.Probability && m2.Probability < m1.Probability) {
+		t.Errorf("violation probabilities out of order: %.4f %.4f %.4f",
+			m1.Probability, m2.Probability, m3.Probability)
+	}
+	if m3.EV >= m2.EV {
+		t.Errorf("Model3 EV %.4f not below Model2 %.4f", m3.EV, m2.EV)
+	}
+	if m3.Std >= m2.Std {
+		t.Errorf("Model3 σ %.4f not below Model2 %.4f", m3.Std, m2.Std)
+	}
+	var buf bytes.Buffer
+	RenderFig7(&buf, res)
+	RenderFig8(&buf, res)
+	if !strings.Contains(buf.String(), "P(violation)") {
+		t.Error("fig7 render incomplete")
+	}
+}
+
+func TestFig9ModelsApproachPerfect(t *testing.T) {
+	ctx := sharedCtx(t)
+	res, err := ctx.Fig9Sizes([]int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Model3's shortfall versus the perfect model must be the smallest.
+	if !(res.GapToPerfect[2] < res.GapToPerfect[1] && res.GapToPerfect[2] < res.GapToPerfect[0]) {
+		t.Errorf("Model3 gap %.4f not the smallest (M1 %.4f, M2 %.4f)",
+			res.GapToPerfect[2], res.GapToPerfect[0], res.GapToPerfect[1])
+	}
+	var buf bytes.Buffer
+	RenderFig9(&buf, res)
+	if !strings.Contains(buf.String(), "Perfect") {
+		t.Error("fig9 render incomplete")
+	}
+}
+
+func TestScenarioWeightsNormalised(t *testing.T) {
+	w := scenarioWeights()
+	total := 0.0
+	for _, v := range w {
+		total += v
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("weights sum to %.4f", total)
+	}
+}

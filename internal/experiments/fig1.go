@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"qosrm/internal/bench"
+	"qosrm/internal/workload"
+)
+
+// Fig1Cell is one mix of the Figure 1 trade-off matrix.
+type Fig1Cell struct {
+	App1, App2  bench.Category
+	Probability float64
+	Scenario    workload.Scenario
+	// Trades summarises the resource trades available to RM1/RM2/RM3 in
+	// this mix, in the paper's arrow notation.
+	Trades [3]string
+}
+
+// Fig1 computes the upper-triangular mix matrix: the probability of each
+// two-application mix (from the measured suite composition) and the
+// scenario it belongs to.
+func (c *Context) Fig1() []Fig1Cell {
+	// The qualitative trade annotations of Figure 1, keyed by unordered
+	// category pair (App1 ≤ App2 in Categories order).
+	trades := map[[2]bench.Category][3]string{
+		{bench.CSPS, bench.CSPS}: {"not effective", "f1↑ w1→w2 f2↓ (or sym.)", "c1↑f1↓ w1→w2 f2↓↓ c2↑ (or sym.)"},
+		{bench.CSPS, bench.CSPI}: {"not effective", "f1↑ w1→w2 f2↓ (or sym.)", "f1↓ w1←w2 f2↑ c2↑-f2↓"},
+		{bench.CSPS, bench.CIPS}: {"not effective", "w2→w1 f1↓", "w2→w1 f1↓↓ c1↑ c2↑-f2↓"},
+		{bench.CSPS, bench.CIPI}: {"not effective", "w2→w1 f1↓", "w2→w1 f1↓↓ c1↑"},
+		{bench.CSPI, bench.CSPI}: {"not effective", "f1↑ w1→w2 f2↓ (or sym.)", "f1↑ w1→w2 f2↓ (or sym.)"},
+		{bench.CSPI, bench.CIPS}: {"not effective", "w2→w1 f1↓", "w2→w1 f1↓ c2↑-f2↓"},
+		{bench.CSPI, bench.CIPI}: {"not effective", "w2→w1 f1↓", "w2→w1 f1↓"},
+		{bench.CIPS, bench.CIPS}: {"not effective", "not effective", "c1↑-f1↓ c2↑-f2↓"},
+		{bench.CIPS, bench.CIPI}: {"not effective", "not effective", "c1↑-f1↓ (limited)"},
+		{bench.CIPI, bench.CIPI}: {"not effective", "not effective", "not effective"},
+	}
+	scenarioOf := func(a, b bench.Category) workload.Scenario {
+		for _, s := range workload.Scenarios {
+			for _, cell := range s.Cells() {
+				if (cell.App1 == a && cell.App2 == b) || (cell.App1 == b && cell.App2 == a) {
+					return s
+				}
+			}
+		}
+		return 0
+	}
+	var out []Fig1Cell
+	for i, a := range bench.Categories {
+		for _, b := range bench.Categories[i:] {
+			out = append(out, Fig1Cell{
+				App1:        a,
+				App2:        b,
+				Probability: workload.MixProbability(a, b),
+				Scenario:    scenarioOf(a, b),
+				Trades:      trades[[2]bench.Category{a, b}],
+			})
+		}
+	}
+	return out
+}
+
+// RenderFig1 prints the matrix with probabilities and scenario weights.
+func RenderFig1(w io.Writer, cells []Fig1Cell) {
+	fmt.Fprintln(w, "FIGURE 1: Potential resource trade-offs in two-application mixes")
+	fmt.Fprintf(w, "%-7s %-7s %6s %-4s  %-16s %-26s %s\n",
+		"App1", "App2", "prob", "scn", "RM1", "RM2", "RM3")
+	for _, c := range cells {
+		fmt.Fprintf(w, "%-7s %-7s %5.1f%% %-4s  %-16s %-26s %s\n",
+			c.App1, c.App2, c.Probability*100, c.Scenario, c.Trades[0], c.Trades[1], c.Trades[2])
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Scenario weights (paper: S1 47%, S2 22.1%, S3 22.1%, S4 8.8%):")
+	for _, s := range workload.Scenarios {
+		fmt.Fprintf(w, "  %s: %5.1f%%\n", s, s.Weight()*100)
+	}
+}

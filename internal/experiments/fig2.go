@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"qosrm/internal/perfmodel"
+	"qosrm/internal/rm"
+	"qosrm/internal/stats"
+	"qosrm/internal/workload"
+)
+
+// Fig2Row is one two-core workload of the Figure 2 study.
+type Fig2Row struct {
+	Workload string
+	Scenario workload.Scenario
+	Apps     string
+	// Savings per manager (RM1, RM2, RM3), as fractions, under perfect
+	// modelling assumptions and without overheads, as in Section II.
+	Savings [3]float64
+}
+
+// Fig2 runs the motivation study: one representative two-core workload
+// per scenario, simulated with perfect models and no overheads.
+func (c *Context) Fig2() ([]Fig2Row, error) {
+	examples := workload.TwoCoreExamples()
+	rows := make([]Fig2Row, len(examples))
+	var jobs []runJob
+	outs := make([][3]runOut, len(examples))
+	for i, w := range examples {
+		rows[i] = Fig2Row{Workload: w.Name, Scenario: w.Scenario, Apps: appNames(w.Apps)}
+		for k := range rm.Kinds {
+			jobs = append(jobs, runJob{
+				apps: w.Apps,
+				cfg:  c.simConfig(rm.Kinds[k], perfmodel.Model3, true, true),
+				out:  &outs[i][k],
+			})
+		}
+	}
+	if err := c.runAll(jobs); err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		for k := range rm.Kinds {
+			rows[i].Savings[k] = outs[i][k].Saving
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig2 prints the per-scenario savings bars.
+func RenderFig2(w io.Writer, rows []Fig2Row) {
+	fmt.Fprintln(w, "FIGURE 2: Two-core workload scenarios, perfect models, no overheads")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s (%s: %s)\n", r.Workload, r.Scenario, r.Apps)
+		for k, kind := range rm.Kinds {
+			fmt.Fprintf(w, "  %-4s %6.2f%% |%s|\n", kind, r.Savings[k]*100,
+				stats.Bar(r.Savings[k]/0.30, 40))
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"qosrm/internal/bench"
+	"qosrm/internal/perfmodel"
+	"qosrm/internal/rm"
+	"qosrm/internal/sim"
+)
+
+// Fig5Result is a prefix of the co-simulator's event stream for a small
+// two-application workload, illustrating the Figure 5 mechanics: each
+// core completes intervals at its own pace, and the RM is invoked on the
+// completing core at every boundary.
+type Fig5Result struct {
+	Apps   []string
+	Events []sim.Event
+}
+
+// Fig5 runs a short two-core co-simulation and captures the first
+// interval-boundary events.
+func (c *Context) Fig5(maxEvents int) (*Fig5Result, error) {
+	if maxEvents <= 0 {
+		maxEvents = 16
+	}
+	b1, err := bench.ByName("mcf")
+	if err != nil {
+		return nil, err
+	}
+	b2, err := bench.ByName("povray")
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig5Result{Apps: []string{b1.Name, b2.Name}}
+	cfg := c.simConfig(rm.RM3, perfmodel.Model3, false, false)
+	cfg.Trace = func(e sim.Event) {
+		if len(res.Events) < maxEvents {
+			res.Events = append(res.Events, e)
+		}
+	}
+	if _, err := sim.Run(c.DB, []*bench.Benchmark{b1, b2}, cfg); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RenderFig5 prints the event prefix.
+func RenderFig5(w io.Writer, r *Fig5Result) {
+	fmt.Fprintln(w, "FIGURE 5: co-simulator run-time behaviour (first interval boundaries)")
+	fmt.Fprintf(w, "workload: %v; RM3/Model3 with overheads\n", r.Apps)
+	fmt.Fprintf(w, "%10s  %4s %-10s %8s %5s  %s\n", "t (ms)", "core", "app", "interval", "phase", "setting")
+	for _, e := range r.Events {
+		fmt.Fprintf(w, "%10.3f  %4d %-10s %8d %5d  %s\n",
+			e.TimeNs/1e6, e.Core, e.Bench, e.Interval, e.Phase, e.Setting)
+	}
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"qosrm/internal/perfmodel"
+	"qosrm/internal/rm"
+	"qosrm/internal/stats"
+	"qosrm/internal/workload"
+)
+
+// Fig6Row is one workload bar group of Figure 6.
+type Fig6Row struct {
+	Name     string
+	Cores    int
+	Scenario workload.Scenario
+	Apps     string
+	// Savings and sim-level violation rates per manager (RM1, RM2, RM3),
+	// with the online Model3 and all overheads, as in the paper's main
+	// evaluation.
+	Savings    [3]float64
+	Violations [3]float64
+}
+
+// Fig6Result aggregates the main energy-savings evaluation.
+type Fig6Result struct {
+	Rows []Fig6Row
+	// ScenarioAvg[scenario][rm] averages savings over the scenario's
+	// workloads (both core counts).
+	ScenarioAvg map[workload.Scenario][3]float64
+	// WeightedAvg applies the Figure 1 scenario probabilities
+	// (47/22.1/22.1/8.8%), as the paper's average does.
+	WeightedAvg [3]float64
+	// PlainAvg is the unweighted mean.
+	PlainAvg [3]float64
+	// Max is the best saving observed per manager.
+	Max [3]float64
+}
+
+// Fig6 runs the main evaluation: PerScenario workloads per scenario for
+// 4- and 8-core systems, each under RM1, RM2 and RM3 with the proposed
+// Model3 and all overheads enabled.
+func (c *Context) Fig6() (*Fig6Result, error) {
+	return c.fig6Workloads([]int{4, 8})
+}
+
+// Fig6Sizes is Fig6 restricted to the given core counts (used by
+// benchmarks and tests to bound run time).
+func (c *Context) Fig6Sizes(sizes []int) (*Fig6Result, error) {
+	return c.fig6Workloads(sizes)
+}
+
+func (c *Context) fig6Workloads(sizes []int) (*Fig6Result, error) {
+	var rows []Fig6Row
+	var wls []workload.Workload
+	for _, cores := range sizes {
+		for _, s := range workload.Scenarios {
+			ws, err := workload.Generate(s, cores, c.PerScenario, c.Seed)
+			if err != nil {
+				return nil, err
+			}
+			for _, wl := range ws {
+				rows = append(rows, Fig6Row{
+					Name: wl.Name, Cores: cores, Scenario: s, Apps: appNames(wl.Apps),
+				})
+				wls = append(wls, wl)
+			}
+		}
+	}
+	// outs must be fully allocated before job pointers into it are taken.
+	outs := make([][3]runOut, len(wls))
+	var jobs []runJob
+	for oi, wl := range wls {
+		for k := range rm.Kinds {
+			jobs = append(jobs, runJob{
+				apps: wl.Apps,
+				cfg:  c.simConfig(rm.Kinds[k], perfmodel.Model3, false, false),
+				out:  &outs[oi][k],
+			})
+		}
+	}
+	if err := c.runAll(jobs); err != nil {
+		return nil, err
+	}
+	res := &Fig6Result{Rows: rows, ScenarioAvg: make(map[workload.Scenario][3]float64)}
+	counts := make(map[workload.Scenario]int)
+	for i := range rows {
+		for k := range rm.Kinds {
+			rows[i].Savings[k] = outs[i][k].Saving
+			rows[i].Violations[k] = outs[i][k].Violation
+			if rows[i].Savings[k] > res.Max[k] {
+				res.Max[k] = rows[i].Savings[k]
+			}
+		}
+		agg := res.ScenarioAvg[rows[i].Scenario]
+		for k := range agg {
+			agg[k] += rows[i].Savings[k]
+		}
+		res.ScenarioAvg[rows[i].Scenario] = agg
+		counts[rows[i].Scenario]++
+	}
+	weights := scenarioWeights()
+	for s, agg := range res.ScenarioAvg {
+		n := float64(counts[s])
+		for k := range agg {
+			agg[k] /= n
+		}
+		res.ScenarioAvg[s] = agg
+		for k := range agg {
+			res.WeightedAvg[k] += weights[s] * agg[k]
+			res.PlainAvg[k] += agg[k] / float64(len(res.ScenarioAvg))
+		}
+	}
+	return res, nil
+}
+
+// RenderFig6 prints the per-workload bars and the averages.
+func RenderFig6(w io.Writer, r *Fig6Result) {
+	fmt.Fprintln(w, "FIGURE 6: energy savings with RM1/RM2/RM3 (Model3, overheads on)")
+	lastScenario := workload.Scenario(0)
+	for _, row := range r.Rows {
+		if row.Scenario != lastScenario {
+			fmt.Fprintf(w, "-- Scenario %s --\n", row.Scenario)
+			lastScenario = row.Scenario
+		}
+		fmt.Fprintf(w, "%-14s [%s]\n", row.Name, row.Apps)
+		for k, kind := range rm.Kinds {
+			fmt.Fprintf(w, "   %-4s %6.2f%% |%s| viol %.3f\n",
+				kind, row.Savings[k]*100, stats.Bar(row.Savings[k]/0.30, 36), row.Violations[k])
+		}
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Scenario averages:")
+	for _, s := range workload.Scenarios {
+		a := r.ScenarioAvg[s]
+		fmt.Fprintf(w, "  %s: RM1 %6.2f%%  RM2 %6.2f%%  RM3 %6.2f%%\n",
+			s, a[0]*100, a[1]*100, a[2]*100)
+	}
+	fmt.Fprintf(w, "Weighted average (Fig. 1 scenario probabilities): RM1 %.2f%%  RM2 %.2f%%  RM3 %.2f%%\n",
+		r.WeightedAvg[0]*100, r.WeightedAvg[1]*100, r.WeightedAvg[2]*100)
+	fmt.Fprintf(w, "Plain average: RM1 %.2f%%  RM2 %.2f%%  RM3 %.2f%%\n",
+		r.PlainAvg[0]*100, r.PlainAvg[1]*100, r.PlainAvg[2]*100)
+	fmt.Fprintf(w, "Maximum: RM1 %.2f%%  RM2 %.2f%%  RM3 %.2f%%  (paper: RM3 up to ~18%%, ~10%% weighted avg)\n",
+		r.Max[0]*100, r.Max[1]*100, r.Max[2]*100)
+}

@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"qosrm/internal/bench"
+	"qosrm/internal/config"
+	"qosrm/internal/perfmodel"
+	"qosrm/internal/stats"
+)
+
+// ModelQoS is one model's QoS-violation statistics (Figures 7 and 8).
+type ModelQoS struct {
+	Model perfmodel.Kind
+	// Probability is the weighted fraction of (phase, current setting,
+	// target setting) triples where the model predicts the target meets
+	// QoS but the actual execution would be slower than baseline.
+	Probability float64
+	// EV and Std are the expected value and standard deviation of the
+	// violation magnitude (Eq. 6) over violating cases.
+	EV, Std float64
+	// Hist bins violating cases by magnitude (for Figure 8).
+	Hist *stats.Histogram
+}
+
+// Fig7Result carries the three models' statistics.
+type Fig7Result struct {
+	Models [3]ModelQoS
+}
+
+// settingsGrid enumerates the full per-core configuration space.
+func settingsGrid() []config.Setting {
+	out := make([]config.Setting, 0, config.NumSizes*config.NumFreqs*perfmodel.NumWays)
+	for _, c := range config.Sizes {
+		for f := 0; f < config.NumFreqs; f++ {
+			for w := config.MinWays; w <= config.MaxWays; w++ {
+				out = append(out, config.Setting{Core: c, Freq: f, Ways: w})
+			}
+		}
+	}
+	return out
+}
+
+// Fig7 performs the exhaustive QoS evaluation of Section IV-D2: it
+// iterates over all phases of all applications (weighted by phase
+// weight), all possible current settings and all target settings, with
+// equal probability for current and target, and checks the paper's
+// violation conditions:
+//
+//  1. actual: T_act(target) > T_act(baseline);
+//  2. predicted: T(target) ≤ T(baseline), both with the same model.
+//
+// The statistics of interval i come from the database record at the
+// current setting; the actual values of interval i+1 come from the
+// record at the target setting.
+func (c *Context) Fig7() (*Fig7Result, error) {
+	grid := settingsGrid()
+	models := []perfmodel.Kind{perfmodel.Model1, perfmodel.Model2, perfmodel.Model3}
+
+	accs := make([]fig7Acc, 0)
+	var mu sync.Mutex
+
+	type job struct {
+		b     *bench.Benchmark
+		phase int
+	}
+	var jobs []job
+	suite := bench.Suite()
+	for _, b := range suite {
+		for p := range b.Phases {
+			jobs = append(jobs, job{b, p})
+		}
+	}
+	benchWeight := 1.0 / float64(len(suite))
+
+	var wg sync.WaitGroup
+	ch := make(chan job)
+	var firstErr error
+	for i := 0; i < c.workers(); i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				a, err := c.fig7Phase(j.b, j.phase, grid, models, benchWeight)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				} else if err == nil {
+					accs = append(accs, *a)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	res := &Fig7Result{}
+	for m := range models {
+		res.Models[m].Model = models[m]
+		res.Models[m].Hist = stats.NewHistogram(20, 0.5)
+	}
+	var mass float64
+	var violMass [3]float64
+	for i := range accs {
+		mass += accs[i].mass
+		for m := range models {
+			violMass[m] += accs[i].total[m]
+			for bi, bv := range accs[i].hist[m].Bins {
+				res.Models[m].Hist.Bins[bi] += bv
+			}
+			res.Models[m].Hist.Over += accs[i].hist[m].Over
+		}
+	}
+	// Merge the per-phase magnitude accumulators (moment-preserving).
+	var exact [3]stats.Weighted
+	for i := range accs {
+		for m := range models {
+			exact[m] = mergeWeighted(exact[m], accs[i].viol[m])
+		}
+	}
+	for m := range models {
+		res.Models[m].Probability = violMass[m] / mass
+		res.Models[m].EV = exact[m].Mean()
+		res.Models[m].Std = exact[m].Std()
+	}
+	return res, nil
+}
+
+// fig7Acc accumulates one phase's violation statistics.
+type fig7Acc struct {
+	viol  [3]stats.Weighted // magnitude accumulator per model
+	total [3]float64        // weight mass of violating triples
+	mass  float64           // total triple mass
+	hist  [3]*stats.Histogram
+}
+
+// fig7Phase evaluates one phase's full (current, target) product.
+func (c *Context) fig7Phase(b *bench.Benchmark, phase int, grid []config.Setting,
+	models []perfmodel.Kind, benchWeight float64) (*fig7Acc, error) {
+	out := &fig7Acc{}
+	for m := range out.hist {
+		out.hist[m] = stats.NewHistogram(20, 0.5)
+	}
+
+	// Precompute actual times and interval statistics per grid setting.
+	actual := make([]float64, len(grid))
+	ivs := make([]perfmodel.IntervalStats, len(grid))
+	for i, s := range grid {
+		st, err := c.DB.Stats(b.Name, phase, s)
+		if err != nil {
+			return nil, err
+		}
+		actual[i] = st.TPI()
+		ivs[i] = perfmodel.FromDB(st, s)
+	}
+	baseIdx := -1
+	for i, s := range grid {
+		if s == config.Baseline() {
+			baseIdx = i
+			break
+		}
+	}
+	actBase := actual[baseIdx]
+
+	w := benchWeight * b.Phases[phase].Weight / float64(len(grid)*len(grid))
+	for ci := range grid {
+		// Predicted baseline time with each model from this current
+		// setting's statistics.
+		var predBase [3]float64
+		for m, mk := range models {
+			predBase[m] = ivs[ci].TimePI(mk, config.Baseline())
+		}
+		for ti, tgt := range grid {
+			out.mass += w
+			actT := actual[ti]
+			slower := actT > actBase*(1+1e-12)
+			var v float64
+			if slower {
+				v = (actT - actBase) / actBase
+			}
+			for m, mk := range models {
+				if !slower {
+					continue
+				}
+				if ivs[ci].TimePI(mk, tgt) <= predBase[m] {
+					out.total[m] += w
+					out.viol[m].Add(v, w)
+					out.hist[m].Add(v, w)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// mergeWeighted combines two weighted accumulators.
+func mergeWeighted(a, b stats.Weighted) stats.Weighted {
+	out := a
+	if b.Weight() > 0 {
+		// Reconstruct from moments: Weighted exposes only mean/std, so
+		// merge via its Add with the component mass at the component
+		// mean and variance folded in through two pseudo-points.
+		m, s, w := b.Mean(), b.Std(), b.Weight()
+		out.Add(m+s, w/2)
+		out.Add(m-s, w/2)
+	}
+	return out
+}
+
+// RenderFig7 prints the three models' violation statistics.
+func RenderFig7(w io.Writer, r *Fig7Result) {
+	fmt.Fprintln(w, "FIGURE 7: QoS violation probability, expected value and std deviation")
+	for _, m := range r.Models {
+		fmt.Fprintf(w, "  %-7s P(violation)=%6.3f%%  EV=%6.2f%%  σ=%6.2f%%\n",
+			m.Model, m.Probability*100, m.EV*100, m.Std*100)
+	}
+	m3, m2, m1 := r.Models[2], r.Models[1], r.Models[0]
+	if m1.Probability > 0 && m2.Probability > 0 {
+		fmt.Fprintf(w, "  Model3 vs Model1: probability %+.0f%%   (paper: -46%%)\n",
+			(m3.Probability/m1.Probability-1)*100)
+		fmt.Fprintf(w, "  Model3 vs Model2: probability %+.0f%%, EV %+.0f%%, σ %+.0f%%   (paper: -32%%, -49%%, -26%%)\n",
+			(m3.Probability/m2.Probability-1)*100, (m3.EV/m2.EV-1)*100, (m3.Std/m2.Std-1)*100)
+	}
+}
+
+// RenderFig8 prints the violation-magnitude histograms, normalised to
+// the largest bin across models as in the paper.
+func RenderFig8(w io.Writer, r *Fig7Result) {
+	fmt.Fprintln(w, "FIGURE 8: distribution of QoS violations (bins of violation magnitude)")
+	max := 0.0
+	for _, m := range r.Models {
+		if mb := m.Hist.MaxBin(); mb > max {
+			max = mb
+		}
+	}
+	fmt.Fprintf(w, "%-9s", "bin")
+	for _, m := range r.Models {
+		fmt.Fprintf(w, " %22s", m.Model)
+	}
+	fmt.Fprintln(w)
+	for bi := range r.Models[0].Hist.Bins {
+		fmt.Fprintf(w, "%-9s", r.Models[0].Hist.BinLabel(bi))
+		for _, m := range r.Models {
+			n := m.Hist.Normalized(max)
+			fmt.Fprintf(w, " %6.3f|%-15s", n[bi], stats.Bar(n[bi], 15))
+		}
+		fmt.Fprintln(w)
+	}
+}

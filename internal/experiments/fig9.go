@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"qosrm/internal/perfmodel"
+	"qosrm/internal/rm"
+	"qosrm/internal/stats"
+	"qosrm/internal/workload"
+)
+
+// Fig9Row is one workload of the modelling-error study: RM3's savings
+// under each online model and under a perfect model.
+type Fig9Row struct {
+	Name     string
+	Cores    int
+	Scenario workload.Scenario
+	Apps     string
+	// Savings indexed by Model1, Model2, Model3, Perfect.
+	Savings [4]float64
+}
+
+// Fig9Labels names the four bars.
+var Fig9Labels = [4]string{"Model1", "Model2", "Model3", "Perfect"}
+
+// Fig9Result aggregates the study.
+type Fig9Result struct {
+	Rows []Fig9Row
+	// Avg is the plain average saving per model.
+	Avg [4]float64
+	// GapToPerfect is the average shortfall of each online model versus
+	// the perfect-model saving on the same workload.
+	GapToPerfect [3]float64
+}
+
+// Fig9 reruns the Figure 6 workloads under the proposed RM3, swapping
+// the performance/energy model between Model1, Model2, Model3 and the
+// perfect oracle (with phase prediction), all with overheads enabled as
+// in the paper's Figure 9.
+func (c *Context) Fig9() (*Fig9Result, error) {
+	return c.fig9Sizes([]int{4, 8})
+}
+
+// Fig9Sizes bounds the study to the given core counts.
+func (c *Context) Fig9Sizes(sizes []int) (*Fig9Result, error) {
+	return c.fig9Sizes(sizes)
+}
+
+func (c *Context) fig9Sizes(sizes []int) (*Fig9Result, error) {
+	models := []perfmodel.Kind{perfmodel.Model1, perfmodel.Model2, perfmodel.Model3}
+	var rows []Fig9Row
+	var wls []workload.Workload
+	for _, cores := range sizes {
+		for _, s := range workload.Scenarios {
+			ws, err := workload.Generate(s, cores, c.PerScenario, c.Seed)
+			if err != nil {
+				return nil, err
+			}
+			for _, wl := range ws {
+				rows = append(rows, Fig9Row{Name: wl.Name, Cores: cores, Scenario: s, Apps: appNames(wl.Apps)})
+				wls = append(wls, wl)
+			}
+		}
+	}
+	// outs must be fully allocated before job pointers into it are taken.
+	outs := make([][4]runOut, len(wls))
+	var jobs []runJob
+	for oi, wl := range wls {
+		for m, mk := range models {
+			jobs = append(jobs, runJob{
+				apps: wl.Apps,
+				cfg:  c.simConfig(rm.RM3, mk, false, false),
+				out:  &outs[oi][m],
+			})
+		}
+		jobs = append(jobs, runJob{
+			apps: wl.Apps,
+			cfg:  c.simConfig(rm.RM3, perfmodel.Model3, true, false),
+			out:  &outs[oi][3],
+		})
+	}
+	if err := c.runAll(jobs); err != nil {
+		return nil, err
+	}
+	res := &Fig9Result{Rows: rows}
+	for i := range rows {
+		for m := 0; m < 4; m++ {
+			rows[i].Savings[m] = outs[i][m].Saving
+			res.Avg[m] += rows[i].Savings[m] / float64(len(rows))
+		}
+		for m := 0; m < 3; m++ {
+			res.GapToPerfect[m] += (rows[i].Savings[3] - rows[i].Savings[m]) / float64(len(rows))
+		}
+	}
+	return res, nil
+}
+
+// RenderFig9 prints the comparison.
+func RenderFig9(w io.Writer, r *Fig9Result) {
+	fmt.Fprintln(w, "FIGURE 9: RM3 energy savings under different performance models")
+	lastScenario := workload.Scenario(0)
+	for _, row := range r.Rows {
+		if row.Scenario != lastScenario {
+			fmt.Fprintf(w, "-- Scenario %s --\n", row.Scenario)
+			lastScenario = row.Scenario
+		}
+		fmt.Fprintf(w, "%-14s [%s]\n", row.Name, row.Apps)
+		for m, lbl := range Fig9Labels {
+			fmt.Fprintf(w, "   %-7s %6.2f%% |%s|\n", lbl, row.Savings[m]*100,
+				stats.Bar(row.Savings[m]/0.30, 36))
+		}
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "Averages: Model1 %.2f%%  Model2 %.2f%%  Model3 %.2f%%  Perfect %.2f%%\n",
+		r.Avg[0]*100, r.Avg[1]*100, r.Avg[2]*100, r.Avg[3]*100)
+	fmt.Fprintf(w, "Average shortfall vs perfect: Model1 %.2f%%  Model2 %.2f%%  Model3 %.2f%%\n",
+		r.GapToPerfect[0]*100, r.GapToPerfect[1]*100, r.GapToPerfect[2]*100)
+	fmt.Fprintln(w, "(paper: Model3's savings are the closest to the perfect-model results)")
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Report aggregates every experiment's structured result for
+// machine-readable export (JSON). Fields are nil when the corresponding
+// experiment was not run.
+type Report struct {
+	// Meta describes how the results were produced.
+	Meta ReportMeta `json:"meta"`
+
+	TableII  []TableIIRow `json:"table2,omitempty"`
+	Fig1     []Fig1Cell   `json:"fig1,omitempty"`
+	Fig2     []Fig2Row    `json:"fig2,omitempty"`
+	Fig4     *Fig4Result  `json:"fig4,omitempty"`
+	Fig6     *Fig6Result  `json:"fig6,omitempty"`
+	Fig7     *Fig7Result  `json:"fig7,omitempty"`
+	Fig9     *Fig9Result  `json:"fig9,omitempty"`
+	Ablation *AblationSet `json:"ablation,omitempty"`
+}
+
+// ReportMeta records the provenance of a report.
+type ReportMeta struct {
+	Paper       string    `json:"paper"`
+	GeneratedAt time.Time `json:"generated_at"`
+	TraceLen    int       `json:"trace_len"`
+	Warmup      int       `json:"warmup"`
+	Scale       int64     `json:"scale"`
+	PerScenario int       `json:"per_scenario"`
+	Seed        int64     `json:"seed"`
+}
+
+// AblationSet bundles the five ablation studies.
+type AblationSet struct {
+	IndexBits []IndexBitsPoint `json:"index_bits,omitempty"`
+	Sampling  []SamplingPoint  `json:"sampling,omitempty"`
+	Alpha     []AlphaPoint     `json:"alpha,omitempty"`
+	Interval  []IntervalPoint  `json:"interval,omitempty"`
+	GlobalOpt []GlobalOptPoint `json:"global_opt,omitempty"`
+}
+
+// NewReport initialises a report's metadata from the context.
+func (c *Context) NewReport() *Report {
+	return &Report{Meta: ReportMeta{
+		Paper:       "Nejat et al., IPDPS 2020 (arXiv:1911.05114)",
+		GeneratedAt: time.Now().UTC(),
+		TraceLen:    c.DB.TraceLen,
+		Warmup:      c.DB.Warmup,
+		Scale:       c.Scale,
+		PerScenario: c.PerScenario,
+		Seed:        c.Seed,
+	}}
+}
+
+// FullReport runs every experiment (including ablations with their
+// default sweeps) and returns the aggregate. It is the programmatic
+// equivalent of `figures -exp all`.
+func (c *Context) FullReport() (*Report, error) {
+	r := c.NewReport()
+	var err error
+	if r.TableII, err = c.TableII(); err != nil {
+		return nil, fmt.Errorf("table2: %w", err)
+	}
+	r.Fig1 = c.Fig1()
+	if r.Fig2, err = c.Fig2(); err != nil {
+		return nil, fmt.Errorf("fig2: %w", err)
+	}
+	f4 := Fig4()
+	r.Fig4 = &f4
+	if r.Fig6, err = c.Fig6(); err != nil {
+		return nil, fmt.Errorf("fig6: %w", err)
+	}
+	if r.Fig7, err = c.Fig7(); err != nil {
+		return nil, fmt.Errorf("fig7: %w", err)
+	}
+	if r.Fig9, err = c.Fig9(); err != nil {
+		return nil, fmt.Errorf("fig9: %w", err)
+	}
+	r.Ablation = &AblationSet{}
+	if r.Ablation.IndexBits, err = c.AblationIndexBits(nil); err != nil {
+		return nil, fmt.Errorf("ablation/index-bits: %w", err)
+	}
+	if r.Ablation.Sampling, err = c.AblationSampling(nil); err != nil {
+		return nil, fmt.Errorf("ablation/sampling: %w", err)
+	}
+	if r.Ablation.Alpha, err = c.AblationAlpha(nil); err != nil {
+		return nil, fmt.Errorf("ablation/alpha: %w", err)
+	}
+	if r.Ablation.Interval, err = c.AblationInterval(nil); err != nil {
+		return nil, fmt.Errorf("ablation/interval: %w", err)
+	}
+	if r.Ablation.GlobalOpt, err = c.AblationGlobalOpt(); err != nil {
+		return nil, fmt.Errorf("ablation/global-opt: %w", err)
+	}
+	return r, nil
+}
+
+// WriteJSON serialises the report with indentation.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("experiments: encode report: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"qosrm/internal/bench"
+	"qosrm/internal/config"
+	"qosrm/internal/db"
+)
+
+// RenderTableI prints the baseline configuration (Table I), annotated
+// with the representative-region scaling of this reproduction.
+func RenderTableI(w io.Writer) {
+	fmt.Fprintln(w, "TABLE I: Baseline configuration")
+	fmt.Fprintln(w, "Core: out-of-order, branch predictor: Pentium M type")
+	fmt.Fprintf(w, "  %-14s %6s %6s %6s\n", "", "L", "M", "S")
+	row := func(name string, f func(config.CoreParams) int) {
+		fmt.Fprintf(w, "  %-14s %6d %6d %6d\n", name,
+			f(config.Core(config.SizeL)), f(config.Core(config.SizeM)), f(config.Core(config.SizeS)))
+	}
+	row("issue width", func(p config.CoreParams) int { return p.IssueWidth })
+	row("ROB", func(p config.CoreParams) int { return p.ROB })
+	row("RS", func(p config.CoreParams) int { return p.RS })
+	row("LSQ", func(p config.CoreParams) int { return p.LSQ })
+	fmt.Fprintln(w, "Cache: 64B blocks, LRU replacement")
+	fmt.Fprintf(w, "  %-22s %-10s %-10s %-16s\n", "", "L1-I/L1-D", "L2", "L3")
+	fmt.Fprintf(w, "  %-22s %-10s %-10s %-16s\n", "sharing", "private", "private", "shared")
+	fmt.Fprintf(w, "  %-22s %-10s %-10s %-16s\n", "size (represented)",
+		"32 KB", "256 KB", fmt.Sprintf("2 MB × cores"))
+	fmt.Fprintf(w, "  %-22s %-10s %-10s %-16s\n", "size (simulated)",
+		fmt.Sprintf("%d B", config.L1Bytes), fmt.Sprintf("%d B", config.L2Bytes),
+		fmt.Sprintf("%d B × cores", config.L3BytesPerCore))
+	fmt.Fprintf(w, "  %-22s %-10d %-10d %-16s\n", "associativity",
+		config.L1Ways, config.L2Ways, fmt.Sprintf("%d × cores", config.L3WaysPerCore))
+	fmt.Fprintf(w, "  %-22s %-10s %-10s %d–%d ways (%s)\n", "allowed range/core", "-", "-",
+		config.MinWays, config.MaxWays, "256 KB–4 MB represented")
+	fmt.Fprintf(w, "  memory-system scale: 1/%d (see DESIGN.md)\n", config.MemScale)
+	fmt.Fprintf(w, "DRAM: %.0f ns base latency, contention queue model, 5 GB/s per core\n",
+		config.DRAMLatencyNs)
+	fmt.Fprintf(w, "DVFS: core %.2f GHz baseline, %.2f–%.2f GHz range, %.2f–%.2f V, global 2 GHz/1 V\n",
+		config.FBaseGHz, config.FMinGHz, config.FMaxGHz, config.VMin, config.VMax)
+}
+
+// TableIIRow is one application's classification evidence.
+type TableIIRow struct {
+	Name     string
+	Intended bench.Category
+	Measured bench.Category
+	M        db.Measurement
+}
+
+// TableII classifies the whole suite with the Section IV-C rules and
+// reports both the intended (paper, Table II) and measured category.
+func (c *Context) TableII() ([]TableIIRow, error) {
+	var rows []TableIIRow
+	for _, b := range bench.Suite() {
+		cat, m, err := c.DB.Classify(b)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, TableIIRow{Name: b.Name, Intended: b.Category, Measured: cat, M: m})
+	}
+	return rows, nil
+}
+
+// RenderTableII prints the classification table grouped by category.
+func RenderTableII(w io.Writer, rows []TableIIRow) {
+	fmt.Fprintln(w, "TABLE II: Application categories (measured with Section IV-C rules)")
+	match := 0
+	for _, cat := range bench.Categories {
+		fmt.Fprintf(w, "%s:", cat)
+		for _, r := range rows {
+			if r.Measured == cat {
+				fmt.Fprintf(w, " %s", r.Name)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-12s %-6s %-6s  %22s  %20s\n",
+		"app", "paper", "meas", "MPKI(4w/8w/12w)", "MLP(S/M/L)")
+	for _, r := range rows {
+		ok := " "
+		if r.Intended == r.Measured {
+			match++
+		} else {
+			ok = "!"
+		}
+		fmt.Fprintf(w, "%-12s %-6s %-6s%s %7.2f %6.2f %6.2f  %6.2f %6.2f %6.2f\n",
+			r.Name, r.Intended, r.Measured, ok,
+			r.M.MPKI4, r.M.MPKI8, r.M.MPKI12, r.M.MLPS, r.M.MLPM, r.M.MLPL)
+	}
+	fmt.Fprintf(w, "%d/%d match the paper's Table II\n", match, len(rows))
+}

@@ -1,0 +1,159 @@
+// Package perfmodel implements the online analytical performance models
+// the resource managers use to predict the execution time of the next
+// interval for any candidate setting (Section III-C, Eq. 1–3).
+//
+// Three models are compared in the paper:
+//
+//   - Model1 multiplies the total number of LLC misses by the memory
+//     latency — no MLP awareness at all.
+//   - Model2 (the prior-art framework [8]) divides the miss count by the
+//     average MLP measured over the past interval, assuming MLP constant
+//     across all candidate settings.
+//   - Model3 (the paper's proposal) uses the ATD extension's per-(core
+//     size, way allocation) leading-miss estimates.
+//
+// All three share the Eq. 1 core-time structure: compute time scales with
+// dispatch width and frequency, branch/cache time with frequency only,
+// and memory time is frequency-invariant.
+package perfmodel
+
+import (
+	"fmt"
+
+	"qosrm/internal/config"
+	"qosrm/internal/db"
+)
+
+// Kind selects a performance model.
+type Kind int
+
+// The three online models of Section V-B.
+const (
+	Model1 Kind = iota + 1 // total misses × latency
+	Model2                 // constant measured MLP (prior art [8])
+	Model3                 // ATD leading-miss estimates (proposed)
+)
+
+// String returns the paper's model name.
+func (k Kind) String() string {
+	switch k {
+	case Model1:
+		return "Model1"
+	case Model2:
+		return "Model2"
+	case Model3:
+		return "Model3"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// NumWays mirrors the database way-allocation range.
+const NumWays = db.NumWays
+
+// IntervalStats is everything the RM reads at an interval boundary: the
+// hardware performance counters and ATD observations of the interval that
+// just finished, normalised per instruction. It is the model's only input
+// — ground truth never leaks into predictions.
+type IntervalStats struct {
+	// Setting is the configuration the interval ran at.
+	Setting config.Setting
+
+	// CPI-stack components in ns per instruction at Setting:
+	// T0 (compute), T1 (branch + cache) and Tmem (memory stall).
+	T0, T1, Tmem float64
+
+	// MLP is the average memory-level parallelism measured over the
+	// interval (used by Model2 for every candidate setting).
+	MLP float64
+
+	// MissPI[w-MinWays] is the ATD-estimated LLC misses per instruction
+	// at allocation w.
+	MissPI [NumWays]float64
+
+	// LMPI[c][w-MinWays] is the ATD extension's leading misses per
+	// instruction for core size c at allocation w.
+	LMPI [config.NumSizes][NumWays]float64
+
+	// MemAccPI is the measured memory accesses per instruction at the
+	// current allocation (MA of Eq. 5).
+	MemAccPI float64
+}
+
+// FromDB converts a database record (the co-simulator's stand-in for the
+// hardware counters) into interval statistics.
+func FromDB(s *db.Stats, set config.Setting) IntervalStats {
+	n := s.Instructions
+	st := IntervalStats{
+		Setting:  set,
+		T0:       s.BaseNs / n,
+		T1:       (s.BranchNs + s.CacheNs) / n,
+		Tmem:     s.MemNs / n,
+		MLP:      s.MLP,
+		MemAccPI: s.LLCMisses / n,
+	}
+	for w := 0; w < NumWays; w++ {
+		st.MissPI[w] = s.ATDMissCurve[w] / n
+		for c := 0; c < config.NumSizes; c++ {
+			st.LMPI[c][w] = s.ATDLM[c][w] / n
+		}
+	}
+	return st
+}
+
+// missAt returns the ATD miss estimate per instruction at allocation w.
+func (st *IntervalStats) missAt(w int) float64 {
+	return st.MissPI[clampWays(w)-config.MinWays]
+}
+
+// lmAt returns the leading-miss estimate per instruction at (c, w).
+func (st *IntervalStats) lmAt(c config.CoreSize, w int) float64 {
+	return st.LMPI[c][clampWays(w)-config.MinWays]
+}
+
+// MemTime returns the model's memory stall estimate T_mem(c, w) in ns
+// per instruction (Eq. 2 with the model-specific leading-miss count).
+func (st *IntervalStats) MemTime(k Kind, target config.Setting) float64 {
+	switch k {
+	case Model1:
+		return st.missAt(target.Ways) * config.ModelMemLatencyNs
+	case Model2:
+		mlp := st.MLP
+		if mlp < 1 {
+			mlp = 1
+		}
+		return st.missAt(target.Ways) / mlp * config.ModelMemLatencyNs
+	case Model3:
+		return st.lmAt(target.Core, target.Ways) * config.ModelMemLatencyNs
+	default:
+		panic(fmt.Sprintf("perfmodel: unknown model %d", int(k)))
+	}
+}
+
+// TimePI predicts the next interval's execution time in ns per
+// instruction at the target setting (Eq. 1): compute time scales with the
+// dispatch-width ratio and the frequency ratio, branch/cache time with
+// frequency only, and memory time is model- and (c, w)- but not
+// frequency-dependent.
+func (st *IntervalStats) TimePI(k Kind, target config.Setting) float64 {
+	di := float64(config.Core(st.Setting.Core).IssueWidth)
+	dt := float64(config.Core(target.Core).IssueWidth)
+	fRatio := st.Setting.FGHz() / target.FGHz()
+	return (st.T0*(di/dt)+st.T1)*fRatio + st.MemTime(k, target)
+}
+
+// QoS evaluates Eq. 3: whether the predicted time at target is within
+// α × the predicted time at the baseline setting, both predicted with
+// the same model.
+func (st *IntervalStats) QoS(k Kind, target config.Setting, alpha float64) bool {
+	return st.TimePI(k, target) <= st.TimePI(k, config.Baseline())*alpha
+}
+
+func clampWays(w int) int {
+	if w < config.MinWays {
+		return config.MinWays
+	}
+	if w > config.MaxWays {
+		return config.MaxWays
+	}
+	return w
+}

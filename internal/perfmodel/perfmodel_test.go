@@ -1,0 +1,260 @@
+package perfmodel
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"qosrm/internal/bench"
+	"qosrm/internal/config"
+	"qosrm/internal/db"
+)
+
+var (
+	once   sync.Once
+	shared *db.DB
+	dbErr  error
+)
+
+func sharedDB(t *testing.T) *db.DB {
+	t.Helper()
+	once.Do(func() {
+		var benches []*bench.Benchmark
+		for _, n := range []string{"mcf", "bwaves", "xalancbmk"} {
+			b, err := bench.ByName(n)
+			if err != nil {
+				dbErr = err
+				return
+			}
+			benches = append(benches, b)
+		}
+		shared, dbErr = db.Build(benches, db.Options{TraceLen: 16384, Warmup: 4096})
+	})
+	if dbErr != nil {
+		t.Fatal(dbErr)
+	}
+	return shared
+}
+
+func intervalStats(t *testing.T, benchName string, set config.Setting) IntervalStats {
+	t.Helper()
+	s, err := sharedDB(t).Stats(benchName, 0, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FromDB(s, set)
+}
+
+func TestKindString(t *testing.T) {
+	if Model1.String() != "Model1" || Model2.String() != "Model2" || Model3.String() != "Model3" {
+		t.Error("model names wrong")
+	}
+	if Kind(7).String() != "Kind(7)" {
+		t.Error("unknown model string wrong")
+	}
+}
+
+func TestFromDBNormalisesPerInstruction(t *testing.T) {
+	set := config.Baseline()
+	s, _ := sharedDB(t).Stats("mcf", 0, set)
+	st := FromDB(s, set)
+	if math.Abs(st.T0-(s.BaseNs/s.Instructions)) > 1e-12 {
+		t.Error("T0 normalisation wrong")
+	}
+	if math.Abs(st.Tmem-(s.MemNs/s.Instructions)) > 1e-12 {
+		t.Error("Tmem normalisation wrong")
+	}
+	if st.MemAccPI <= 0 {
+		t.Error("memory accesses per instruction missing")
+	}
+}
+
+func TestPredictionAtCurrentSettingMatchesComponents(t *testing.T) {
+	// Predicting the current setting itself returns T0+T1 plus the
+	// model's memory term (frequency and width ratios are 1).
+	set := config.Baseline()
+	st := intervalStats(t, "mcf", set)
+	for _, k := range []Kind{Model1, Model2, Model3} {
+		got := st.TimePI(k, set)
+		want := st.T0 + st.T1 + st.MemTime(k, set)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("%s: self-prediction %.4f, want %.4f", k, got, want)
+		}
+	}
+}
+
+func TestFrequencyScalingExact(t *testing.T) {
+	// Core time scales exactly with f_i/f; the memory term is invariant.
+	st := intervalStats(t, "mcf", config.Baseline())
+	lo := config.Setting{Core: config.SizeM, Freq: 0, Ways: 8}
+	hi := config.Setting{Core: config.SizeM, Freq: config.NumFreqs - 1, Ways: 8}
+	for _, k := range []Kind{Model1, Model2, Model3} {
+		mem := st.MemTime(k, lo)
+		if mem != st.MemTime(k, hi) {
+			t.Fatalf("%s: memory term must be frequency invariant", k)
+		}
+		coreLo := st.TimePI(k, lo) - mem
+		coreHi := st.TimePI(k, hi) - mem
+		want := coreHi * (hi.FGHz() / lo.FGHz())
+		if math.Abs(coreLo-want) > 1e-9 {
+			t.Errorf("%s: frequency scaling wrong: %.5f vs %.5f", k, coreLo, want)
+		}
+	}
+}
+
+func TestWidthScalingAffectsOnlyT0(t *testing.T) {
+	st := intervalStats(t, "mcf", config.Baseline())
+	m := config.Baseline()
+	l := config.Setting{Core: config.SizeL, Freq: config.BaseFreqIdx, Ways: 8}
+	// Under Model2 the memory term ignores the core size, so the whole
+	// difference is T0 halving (width 4 → 8).
+	dm := st.TimePI(Model2, m) - st.TimePI(Model2, l)
+	if math.Abs(dm-st.T0/2) > 1e-9 {
+		t.Errorf("width scaling: ΔT %.5f, want T0/2 = %.5f", dm, st.T0/2)
+	}
+}
+
+func TestModelOrderingOnMemoryTerm(t *testing.T) {
+	// Model1 (no MLP) always predicts at least as much memory time as
+	// Model2 (measured MLP ≥ 1); Model3's estimate is bounded by both
+	// extremes of its LM counters.
+	st := intervalStats(t, "bwaves", config.Baseline())
+	for w := config.MinWays; w <= config.MaxWays; w++ {
+		tgt := config.Setting{Core: config.SizeM, Freq: config.BaseFreqIdx, Ways: w}
+		m1 := st.MemTime(Model1, tgt)
+		m2 := st.MemTime(Model2, tgt)
+		m3 := st.MemTime(Model3, tgt)
+		if m2 > m1+1e-12 {
+			t.Fatalf("Model2 memory term above Model1 at w=%d", w)
+		}
+		if m3 > m1+1e-12 {
+			t.Fatalf("Model3 memory term above Model1 at w=%d", w)
+		}
+	}
+}
+
+func TestModel3SeesCoreSizeInMemoryTerm(t *testing.T) {
+	// The whole point of the extension: Model3's memory term shrinks on
+	// larger cores for a parallelism-sensitive application; Model2's
+	// does not change.
+	st := intervalStats(t, "bwaves", config.Baseline())
+	s := config.Setting{Core: config.SizeS, Freq: config.BaseFreqIdx, Ways: 8}
+	l := config.Setting{Core: config.SizeL, Freq: config.BaseFreqIdx, Ways: 8}
+	if st.MemTime(Model2, s) != st.MemTime(Model2, l) {
+		t.Fatal("Model2 must be blind to core size")
+	}
+	if st.MemTime(Model3, l) >= st.MemTime(Model3, s) {
+		t.Fatal("Model3 must predict more MLP (less stall) on the larger core")
+	}
+}
+
+func TestQoSAtBaselineAlwaysHolds(t *testing.T) {
+	for _, app := range []string{"mcf", "bwaves", "xalancbmk"} {
+		st := intervalStats(t, app, config.Baseline())
+		for _, k := range []Kind{Model1, Model2, Model3} {
+			if !st.QoS(k, config.Baseline(), 1.0) {
+				t.Errorf("%s/%s: baseline must satisfy its own QoS", app, k)
+			}
+		}
+	}
+}
+
+func TestQoSAlphaRelaxes(t *testing.T) {
+	st := intervalStats(t, "mcf", config.Baseline())
+	slow := config.Setting{Core: config.SizeM, Freq: 0, Ways: config.MinWays}
+	if st.QoS(Model3, slow, 1.0) {
+		t.Skip("slow setting unexpectedly within budget")
+	}
+	if !st.QoS(Model3, slow, 100) {
+		t.Error("a huge α must admit any setting")
+	}
+}
+
+func TestPredictionFromNonBaselineCurrent(t *testing.T) {
+	// Statistics collected at a non-baseline setting still predict the
+	// baseline within a reasonable factor of its true time.
+	cur := config.Setting{Core: config.SizeL, Freq: 7, Ways: 12}
+	st := intervalStats(t, "mcf", cur)
+	s, _ := sharedDB(t).Stats("mcf", 0, config.Baseline())
+	actual := s.TPI()
+	pred := st.TimePI(Model3, config.Baseline())
+	if pred < actual*0.5 || pred > actual*2 {
+		t.Errorf("cross-setting prediction %.3f vs actual %.3f", pred, actual)
+	}
+}
+
+func TestMemTimePanicsOnUnknownModel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown model must panic")
+		}
+	}()
+	st := intervalStats(t, "mcf", config.Baseline())
+	st.MemTime(Kind(9), config.Baseline())
+}
+
+func TestWaysClamping(t *testing.T) {
+	st := intervalStats(t, "mcf", config.Baseline())
+	under := config.Setting{Core: config.SizeM, Freq: config.BaseFreqIdx, Ways: config.MinWays}
+	if st.missAt(0) != st.missAt(config.MinWays) {
+		t.Error("ways must clamp from below")
+	}
+	if st.missAt(99) != st.missAt(config.MaxWays) {
+		t.Error("ways must clamp from above")
+	}
+	_ = under
+}
+
+func TestPredictionsPositiveAndFiniteQuick(t *testing.T) {
+	// Property: every model predicts a positive finite time for every
+	// grid setting from any current setting's statistics.
+	st := intervalStats(t, "mcf", config.Baseline())
+	stAlt := intervalStats(t, "bwaves", config.Setting{Core: config.SizeL, Freq: 8, Ways: 3})
+	for _, s := range []IntervalStats{st, stAlt} {
+		for _, k := range []Kind{Model1, Model2, Model3} {
+			for _, c := range config.Sizes {
+				for f := 0; f < config.NumFreqs; f++ {
+					for w := config.MinWays; w <= config.MaxWays; w++ {
+						tgt := config.Setting{Core: c, Freq: f, Ways: w}
+						v := s.TimePI(k, tgt)
+						if !(v > 0) || math.IsInf(v, 0) || math.IsNaN(v) {
+							t.Fatalf("%s at %v: prediction %v", k, tgt, v)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPredictedTimeMonotonicInFrequency(t *testing.T) {
+	// For all models, raising only the frequency never increases the
+	// predicted time (core part shrinks, memory part fixed).
+	st := intervalStats(t, "xalancbmk", config.Baseline())
+	for _, k := range []Kind{Model1, Model2, Model3} {
+		prev := math.Inf(1)
+		for f := 0; f < config.NumFreqs; f++ {
+			v := st.TimePI(k, config.Setting{Core: config.SizeM, Freq: f, Ways: 8})
+			if v > prev+1e-12 {
+				t.Fatalf("%s: prediction grew with frequency at index %d", k, f)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestPredictedTimeMonotonicInWays(t *testing.T) {
+	// More cache never increases predicted time: the ATD miss curve is
+	// monotone and the core part is allocation independent.
+	st := intervalStats(t, "mcf", config.Baseline())
+	for _, k := range []Kind{Model1, Model2, Model3} {
+		prev := math.Inf(1)
+		for w := config.MinWays; w <= config.MaxWays; w++ {
+			v := st.TimePI(k, config.Setting{Core: config.SizeM, Freq: config.BaseFreqIdx, Ways: w})
+			if v > prev+1e-12 {
+				t.Fatalf("%s: prediction grew with ways at w=%d", k, w)
+			}
+			prev = v
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Package power models core, memory and uncore energy, playing the role
+// McPAT plays in the paper's toolchain.
+//
+// The model follows the paper's energy formulation (Section III-D):
+//
+//   - Core dynamic energy is activity-based: every retired instruction
+//     costs epi(c)·(V/V₀)² joules, where epi grows sub-linearly with core
+//     size (idle structures of a large core are clock gated, so an L core
+//     does not cost 4× an S core per instruction, even though it has 4×
+//     the resources). Because dynamic energy is charged per instruction,
+//     dynamic *power* automatically scales with V²·f as in Eq. 4.
+//   - Core static power is constant in time for a given (size, VF) pair
+//     and can be "measured offline" (Section III-D); here it is a table:
+//     linear in core size and proportional to supply voltage.
+//   - Each DRAM access costs a fixed EMemAccessJ.
+//   - The uncore (shared LLC + NoC) draws constant power until the end of
+//     the co-simulation (Section IV-D1).
+package power
+
+import "qosrm/internal/config"
+
+// Core dynamic energy per instruction at the baseline voltage V₀ = 1 V,
+// in joules. Sub-linear in core size: the marginal cost of the extra
+// issue/ROB/LSQ capacity is partially hidden by clock gating.
+var epiDynJ = [config.NumSizes]float64{
+	config.SizeS: 0.48e-9,
+	config.SizeM: 0.60e-9,
+	config.SizeL: 0.78e-9,
+}
+
+// Core static (leakage) power at V₀ = 1 V, in watts. Leakage scales
+// roughly linearly with the amount of powered-on silicon, so doubling
+// the core roughly doubles it; power gating of deactivated sections
+// (Section III-E) is what makes the S and M configurations cheaper.
+// Absolute levels keep leakage at roughly a quarter of baseline core
+// energy, so that the paper's core-size-vs-VF trade-off exists: growing
+// the core costs roughly linearly while raising VF costs quadratically.
+var staticW = [config.NumSizes]float64{
+	config.SizeS: 0.19,
+	config.SizeM: 0.25,
+	config.SizeL: 0.36,
+}
+
+// EMemAccessJ is the energy of a single off-chip memory access (e_mem in
+// Eq. 5): one 64-byte DRAM line transfer including DRAM core and I/O.
+const EMemAccessJ = 8e-9
+
+// UncoreLLCSliceW is the static power of one 2 MB LLC slice and
+// UncoreNoCPerCoreW the network-on-chip power per core. Together they
+// form the "un-core (LLC and network-on-chip) energy" term of
+// Section IV-D1, charged until the end of the co-simulation.
+const (
+	UncoreLLCSliceW   = 0.06
+	UncoreNoCPerCoreW = 0.04
+)
+
+// DynEnergyJ returns the core dynamic energy of executing n instructions
+// on core size c at supply voltage v.
+func DynEnergyJ(c config.CoreSize, v float64, n int64) float64 {
+	r := v / config.VBase
+	return epiDynJ[c] * r * r * float64(n)
+}
+
+// EPIDynJ returns the dynamic energy per instruction of core size c at
+// voltage v. Exposed so the online energy model can "sample" dynamic
+// power the way Eq. 4 assumes.
+func EPIDynJ(c config.CoreSize, v float64) float64 {
+	r := v / config.VBase
+	return epiDynJ[c] * r * r
+}
+
+// StaticPowerW returns the core static power of size c when running at
+// frequency fGHz. Leakage is proportional to the supply voltage needed
+// for that frequency.
+func StaticPowerW(c config.CoreSize, fGHz float64) float64 {
+	return staticW[c] * config.Voltage(fGHz) / config.VBase
+}
+
+// UncorePowerW returns the constant uncore power of an n-core system:
+// n LLC slices plus n NoC stops.
+func UncorePowerW(n int) float64 {
+	return float64(n) * (UncoreLLCSliceW + UncoreNoCPerCoreW)
+}
+
+// MemEnergyJ returns the DRAM energy of n line accesses.
+func MemEnergyJ(n int64) float64 { return float64(n) * EMemAccessJ }
+
+// CoreEnergyJ returns the total core energy of executing n instructions
+// over t nanoseconds on size c at DVFS grid index f: dynamic plus static.
+func CoreEnergyJ(c config.CoreSize, f int, n int64, tNs float64) float64 {
+	fGHz := config.FreqGHz(f)
+	v := config.Voltage(fGHz)
+	return DynEnergyJ(c, v, n) + StaticPowerW(c, fGHz)*tNs*1e-9
+}

@@ -1,0 +1,108 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"qosrm/internal/config"
+)
+
+func TestDynEnergyVoltageSquared(t *testing.T) {
+	// Dynamic energy scales with V² (the quadratic DVFS cost the paper's
+	// argument rests on).
+	e1 := DynEnergyJ(config.SizeM, 1.0, 1000)
+	e2 := DynEnergyJ(config.SizeM, 1.25, 1000)
+	want := e1 * 1.25 * 1.25
+	if math.Abs(e2-want) > 1e-12 {
+		t.Fatalf("V² scaling broken: %g vs %g", e2, want)
+	}
+}
+
+func TestDynEnergyLinearInInstructions(t *testing.T) {
+	f := func(n uint16) bool {
+		e := DynEnergyJ(config.SizeM, 1.0, int64(n))
+		per := EPIDynJ(config.SizeM, 1.0)
+		return math.Abs(e-per*float64(n)) < 1e-18*float64(n)+1e-24
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEPIOrderedByCoreSize(t *testing.T) {
+	s := EPIDynJ(config.SizeS, 1)
+	m := EPIDynJ(config.SizeM, 1)
+	l := EPIDynJ(config.SizeL, 1)
+	if !(s < m && m < l) {
+		t.Fatalf("dynamic EPI not ordered: %g %g %g", s, m, l)
+	}
+	// Sub-linear growth: L costs less than 2× M per instruction, the
+	// property that makes core upsizing cheaper than a VF increase.
+	if l >= 2*m {
+		t.Fatalf("L-core EPI %g not sub-linear versus M %g", l, m)
+	}
+}
+
+func TestStaticPowerOrdered(t *testing.T) {
+	s := StaticPowerW(config.SizeS, config.FBaseGHz)
+	m := StaticPowerW(config.SizeM, config.FBaseGHz)
+	l := StaticPowerW(config.SizeL, config.FBaseGHz)
+	if !(s < m && m < l) {
+		t.Fatalf("static power not ordered: %g %g %g", s, m, l)
+	}
+}
+
+func TestStaticPowerScalesWithVoltage(t *testing.T) {
+	lo := StaticPowerW(config.SizeM, config.FMinGHz)
+	hi := StaticPowerW(config.SizeM, config.FMaxGHz)
+	if lo >= hi {
+		t.Fatal("static power must grow with frequency (voltage)")
+	}
+	ratio := hi / lo
+	want := config.Voltage(config.FMaxGHz) / config.Voltage(config.FMinGHz)
+	if math.Abs(ratio-want) > 1e-9 {
+		t.Fatalf("static power ratio %g, want voltage ratio %g", ratio, want)
+	}
+}
+
+func TestMemEnergy(t *testing.T) {
+	if MemEnergyJ(0) != 0 {
+		t.Fatal("zero accesses cost nothing")
+	}
+	if got := MemEnergyJ(1000); math.Abs(got-1000*EMemAccessJ) > 1e-15 {
+		t.Fatalf("MemEnergyJ(1000) = %g", got)
+	}
+}
+
+func TestUncorePowerScalesWithCores(t *testing.T) {
+	if UncorePowerW(4) != 2*UncorePowerW(2) {
+		t.Fatal("uncore power must be linear in core count")
+	}
+	if UncorePowerW(1) <= 0 {
+		t.Fatal("uncore power must be positive")
+	}
+}
+
+func TestCoreEnergyComposition(t *testing.T) {
+	const n, tNs = int64(1_000_000), 1e6
+	got := CoreEnergyJ(config.SizeM, config.BaseFreqIdx, n, tNs)
+	v := config.Voltage(config.FBaseGHz)
+	want := DynEnergyJ(config.SizeM, v, n) + StaticPowerW(config.SizeM, config.FBaseGHz)*tNs*1e-9
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("CoreEnergyJ = %g, want %g", got, want)
+	}
+}
+
+func TestCoreEnergyMonotonicInFrequencyAtFixedTime(t *testing.T) {
+	// For the same work and time, a higher VF point always costs more —
+	// the quadratic DVFS penalty.
+	prev := 0.0
+	for fi := 0; fi < config.NumFreqs; fi++ {
+		e := CoreEnergyJ(config.SizeM, fi, 1_000_000, 1e6)
+		if e <= prev {
+			t.Fatalf("energy not increasing with VF at index %d", fi)
+		}
+		prev = e
+	}
+}

@@ -1,0 +1,121 @@
+package rm
+
+import (
+	"fmt"
+	"math"
+
+	"qosrm/internal/config"
+	"qosrm/internal/perfmodel"
+)
+
+// aggregate is a reduced energy curve over a group of cores: energy as a
+// function of the total ways granted to the group, plus the split table
+// needed to backtrack the optimum.
+type aggregate struct {
+	lo, hi int // group covers cores lo..hi-1
+	minW   int // smallest representable total allocation
+	energy []float64
+	// split[i] is, for total allocation minW+i, the number of ways given
+	// to the left child group (meaningful only for inner nodes).
+	split []int
+	left  *aggregate
+	right *aggregate
+	// leafCurve is set on leaves.
+	leafCurve *Curve
+}
+
+// GlobalOptimize reduces the per-core energy curves pairwise until a
+// single curve remains (Figure 3), then backtracks the way split that
+// minimises Σ E_j(w_j) subject to Σ w_j = totalWays and
+// MinWays ≤ w_j ≤ MaxWays.
+//
+// It returns the chosen setting per core (Pick entries of each curve at
+// the granted allocation). The boolean is false when no feasible
+// distribution exists, which cannot happen while the baseline setting
+// itself is feasible for every core.
+//
+// The reduction is the paper's polynomial-complexity scheme: combining
+// two curves of length L costs O(L²) and the recursion performs n-1
+// combines for n cores.
+func GlobalOptimize(curves []*Curve, totalWays int) ([]config.Setting, bool) {
+	n := len(curves)
+	if n == 0 {
+		return nil, false
+	}
+	if totalWays < n*config.MinWays || totalWays > n*config.MaxWays {
+		panic(fmt.Sprintf("rm: %d ways cannot be split across %d cores", totalWays, n))
+	}
+	root := reduce(curves, 0, n)
+	idx := totalWays - root.minW
+	if idx < 0 || idx >= len(root.energy) || math.IsInf(root.energy[idx], 1) {
+		return nil, false
+	}
+	out := make([]config.Setting, n)
+	assign(root, totalWays, curves, out)
+	return out, true
+}
+
+// reduce builds the reduction tree over curves[lo:hi].
+func reduce(curves []*Curve, lo, hi int) *aggregate {
+	if hi-lo == 1 {
+		a := &aggregate{
+			lo: lo, hi: hi,
+			minW:      config.MinWays,
+			energy:    make([]float64, perfmodel.NumWays),
+			leafCurve: curves[lo],
+		}
+		copy(a.energy, curves[lo].Energy[:])
+		return a
+	}
+	mid := (lo + hi) / 2
+	l := reduce(curves, lo, mid)
+	r := reduce(curves, mid, hi)
+	return combine(l, r)
+}
+
+// combine merges two group curves: E(W) = min over wl+wr=W of
+// El(wl)+Er(wr).
+func combine(l, r *aggregate) *aggregate {
+	a := &aggregate{
+		lo: l.lo, hi: r.hi,
+		minW:   l.minW + r.minW,
+		left:   l,
+		right:  r,
+		energy: make([]float64, len(l.energy)+len(r.energy)-1),
+		split:  make([]int, len(l.energy)+len(r.energy)-1),
+	}
+	for i := range a.energy {
+		a.energy[i] = math.Inf(1)
+		a.split[i] = -1
+	}
+	for li, le := range l.energy {
+		if math.IsInf(le, 1) {
+			continue
+		}
+		for ri, re := range r.energy {
+			if math.IsInf(re, 1) {
+				continue
+			}
+			i := li + ri
+			if e := le + re; e < a.energy[i] {
+				a.energy[i] = e
+				a.split[i] = l.minW + li
+			}
+		}
+	}
+	return a
+}
+
+// assign walks the reduction tree distributing the granted total.
+func assign(a *aggregate, total int, curves []*Curve, out []config.Setting) {
+	if a.leafCurve != nil {
+		out[a.lo] = a.leafCurve.Pick[total-config.MinWays]
+		return
+	}
+	leftW := a.split[total-a.minW]
+	if leftW < 0 {
+		panic("rm: backtracking through infeasible aggregate")
+	}
+	assign(a.left, leftW, curves, out)
+	assign(a.right, total-leftW, curves, out)
+}

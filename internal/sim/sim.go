@@ -1,0 +1,457 @@
+// Package sim is the multi-core RM co-simulator of Section IV-A
+// (Figure 5): it replays per-phase detailed-simulation results from the
+// database as each application advances through its phase trace, invokes
+// the resource manager at every per-core interval boundary, applies the
+// chosen settings (with DVFS-switch, core-resize and RM instruction
+// overheads), and accounts core, memory and uncore energy exactly as the
+// paper's evaluation does (Section IV-D).
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"qosrm/internal/bench"
+	"qosrm/internal/config"
+	"qosrm/internal/db"
+	"qosrm/internal/perfmodel"
+	"qosrm/internal/power"
+	"qosrm/internal/rm"
+)
+
+// Config selects the manager and simulation scale for one run.
+type Config struct {
+	// RM is the manager to simulate; rm.Idle keeps the baseline setting
+	// and is the reference for energy savings.
+	RM rm.Kind
+	// Model is the performance/energy model the manager predicts with;
+	// ignored when Perfect is set.
+	Model perfmodel.Kind
+	// Perfect replaces the online models with an oracle that knows the
+	// next interval's phase and its true time/energy at every setting
+	// (the "perfect model" of Figures 2 and 9).
+	Perfect bool
+	// Interval is the RM invocation granularity in instructions
+	// (default: the paper's 100 M).
+	Interval int64
+	// Scale divides all application instruction counts so full workload
+	// sweeps finish quickly (default 2048; 1 reproduces paper scale).
+	Scale int64
+	// Alpha is the QoS relaxation parameter (default 1, as in the paper).
+	Alpha float64
+	// DisableOverheads drops RM instruction, DVFS-switch and resize
+	// costs — used by the idealised Figure 2 study.
+	DisableOverheads bool
+	// GreedyGlobal replaces the paper's optimal pairwise curve reduction
+	// with the cheaper marginal-utility heuristic (ablation only).
+	GreedyGlobal bool
+	// Trace, when non-nil, receives one Event per interval boundary —
+	// the "global events" of Figure 5.
+	Trace func(Event)
+}
+
+// Event describes one interval boundary of the co-simulation.
+type Event struct {
+	TimeNs   float64
+	Core     int
+	Bench    string
+	Interval int64 // interval index within the current application run
+	Phase    int   // phase of the completed interval
+	Setting  config.Setting
+	// Allocations is the same-instant snapshot of every core's LLC way
+	// allocation; it always sums to the LLC associativity.
+	Allocations []int
+}
+
+func (c *Config) fill() {
+	if c.Interval <= 0 {
+		c.Interval = config.IntervalInstructions
+	}
+	if c.Scale <= 0 {
+		c.Scale = 2048
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = config.QoSAlpha
+	}
+	if c.Model == 0 {
+		c.Model = perfmodel.Model3
+	}
+}
+
+// AppResult is the per-application outcome of a run.
+type AppResult struct {
+	Bench    string
+	EnergyJ  float64 // core + DRAM energy until the instruction target
+	FinishNs float64 // when the target was reached
+	// Violations / Intervals track per-interval QoS outcomes: an
+	// interval violates when its actual time exceeds the baseline
+	// setting's time for the same work.
+	Intervals  int64
+	Violations int64
+	// ViolationSum accumulates Eq. 6 magnitudes for violating intervals.
+	ViolationSum float64
+	MaxViolation float64
+}
+
+// Result is the outcome of one co-simulation.
+type Result struct {
+	Apps     []AppResult
+	UncoreJ  float64
+	TimeNs   float64 // end of simulation: all apps reached the target
+	EnergyJ  float64 // total: Σ apps + uncore
+	RMCalled int64
+}
+
+// ViolationRate returns the fraction of intervals that violated QoS.
+func (r *Result) ViolationRate() float64 {
+	var v, n int64
+	for _, a := range r.Apps {
+		v += a.Violations
+		n += a.Intervals
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(v) / float64(n)
+}
+
+// core is the simulator's per-core state.
+type core struct {
+	app     *bench.Benchmark
+	setting config.Setting
+	stats   *db.Stats // at (phase, setting)
+
+	target   float64 // instructions to execute in total (scaled)
+	executed float64 // toward target
+	runExec  float64 // within the current application run (for restart)
+	runLen   float64 // scaled application length
+
+	intervalIdx  int64 // within the current run
+	phase        int
+	intervalDone float64 // instructions into the current interval
+	intervalT0   float64 // wall-clock start of the current interval
+	extraNs      float64 // overhead time inside the current interval
+
+	stallNs float64 // pending non-execution time (RM/DVFS overheads)
+
+	curve    *rm.Curve
+	hasCurve bool
+
+	res AppResult
+	fin bool
+}
+
+// Run co-simulates the workload apps (one application per core) under
+// cfg, reading all per-interval behaviour from d.
+func Run(d *db.DB, apps []*bench.Benchmark, cfg Config) (*Result, error) {
+	cfg.fill()
+	n := len(apps)
+	if n == 0 {
+		return nil, fmt.Errorf("sim: empty workload")
+	}
+	// The per-application instruction target is the longest application
+	// of the suite (Section IV-D), scaled.
+	target := float64(config.LongestAppInstrPaper) / float64(cfg.Scale)
+	interval := float64(cfg.Interval)
+
+	cores := make([]*core, n)
+	for i, a := range apps {
+		if d.NumPhases(a.Name) == 0 {
+			return nil, fmt.Errorf("sim: database has no data for %q", a.Name)
+		}
+		c := &core{
+			app:     a,
+			setting: config.Baseline(),
+			target:  target,
+			runLen:  float64(a.TotalInstr) / float64(cfg.Scale),
+			phase:   a.PhaseAt(0),
+			res:     AppResult{Bench: a.Name},
+		}
+		if c.runLen < interval {
+			c.runLen = interval // an application runs at least one interval
+		}
+		var err error
+		c.stats, err = d.Stats(a.Name, c.phase, c.setting)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		cores[i] = c
+	}
+
+	totalWays := config.TotalWays(n)
+	res := &Result{}
+	now := 0.0
+
+	for {
+		// Next event: the earliest per-core interval or target boundary.
+		best := -1
+		bestT := math.Inf(1)
+		for i, c := range cores {
+			if c.fin {
+				continue
+			}
+			remInterval := interval - c.intervalDone
+			remTarget := c.target - c.executed
+			rem := remInterval
+			if remTarget < rem {
+				rem = remTarget
+			}
+			t := now + c.stallNs + rem*c.stats.TPI()
+			if t < bestT {
+				bestT, best = t, i
+			}
+		}
+		if best < 0 {
+			break // all cores reached their targets
+		}
+
+		// Advance every running core to bestT, charging energy.
+		dt := bestT - now
+		for _, c := range cores {
+			if c.fin {
+				continue
+			}
+			d := dt
+			if c.stallNs > 0 {
+				// Overhead time passes without retiring instructions.
+				s := c.stallNs
+				if s > d {
+					s = d
+				}
+				c.stallNs -= s
+				d -= s
+			}
+			c.advance(d / c.stats.TPI())
+		}
+		now = bestT
+
+		c := cores[best]
+		if c.executed >= c.target-1e-6 {
+			c.fin = true
+			c.res.FinishNs = now
+			continue
+		}
+
+		// Interval boundary on core `best` (Figure 5): record QoS, roll
+		// the phase, and invoke the RM.
+		if cfg.Trace != nil {
+			alloc := make([]int, len(cores))
+			for i, o := range cores {
+				alloc[i] = o.setting.Ways
+			}
+			cfg.Trace(Event{
+				TimeNs:      now,
+				Core:        best,
+				Bench:       c.app.Name,
+				Interval:    c.intervalIdx,
+				Phase:       c.phase,
+				Setting:     c.setting,
+				Allocations: alloc,
+			})
+		}
+		c.finishInterval(d, cfg, now)
+		if cfg.RM != rm.Idle {
+			res.RMCalled++
+			invokeRM(d, cfg, cores, best, totalWays)
+		}
+		c.startInterval(d, now)
+	}
+
+	res.TimeNs = now
+	res.UncoreJ = power.UncorePowerW(n) * now * 1e-9
+	res.EnergyJ = res.UncoreJ
+	res.Apps = make([]AppResult, n)
+	for i, c := range cores {
+		res.Apps[i] = c.res
+		res.EnergyJ += c.res.EnergyJ
+	}
+	return res, nil
+}
+
+// advance executes ni instructions at the current setting/phase.
+func (c *core) advance(ni float64) {
+	if ni <= 0 {
+		return
+	}
+	c.res.EnergyJ += c.stats.ActualEnergyJ(c.setting, ni)
+	c.executed += ni
+	c.runExec += ni
+	c.intervalDone += ni
+}
+
+// finishInterval records the QoS outcome of the interval that just
+// completed and advances the application's phase trace.
+func (c *core) finishInterval(d *db.DB, cfg Config, now float64) {
+	// QoS bookkeeping: actual wall time vs the baseline setting's time
+	// for the same instructions and phase.
+	base, err := d.Stats(c.app.Name, c.phase, config.Baseline())
+	if err == nil && c.intervalDone > 0 {
+		actual := now - c.intervalT0 - c.extraNs
+		ref := base.TPI() * c.intervalDone
+		c.res.Intervals++
+		// Count a violation only beyond a 0.1% tolerance; sub-permille
+		// slowdowns are within replay/interpolation noise.
+		if actual > ref*1.001 {
+			c.res.Violations++
+			v := (actual - ref) / ref
+			c.res.ViolationSum += v
+			if v > c.res.MaxViolation {
+				c.res.MaxViolation = v
+			}
+		}
+	}
+
+	// Next interval; restart the application when it completes.
+	c.intervalIdx++
+	if c.runExec >= c.runLen-1e-6 {
+		c.runExec = 0
+		c.intervalIdx = 0
+	}
+	c.phase = c.app.PhaseAt(c.intervalIdx)
+}
+
+// startInterval resets interval-local accounting.
+func (c *core) startInterval(d *db.DB, now float64) {
+	c.intervalDone = 0
+	// Overheads charged at this boundary (RM execution, DVFS switch) are
+	// still pending as stall time; exclude them from the next interval's
+	// QoS measurement.
+	c.extraNs = c.stallNs
+	c.intervalT0 = now
+	if s, err := d.Stats(c.app.Name, c.phase, c.setting); err == nil {
+		c.stats = s
+	}
+}
+
+// invokeRM runs the manager on the invoking core: refresh that core's
+// energy curve from the completed interval's observations, globally
+// redistribute ways, and apply the new settings with their overheads.
+func invokeRM(d *db.DB, cfg Config, cores []*core, inv, totalWays int) {
+	c := cores[inv]
+
+	// Build the invoking core's predictor from the interval that just
+	// finished (its phase index was advanced already; the completed
+	// interval's stats are still in c.stats).
+	var pred rm.Predictor
+	if cfg.Perfect {
+		// The oracle knows the upcoming interval's phase (c.phase was
+		// already advanced by finishInterval) and its true behaviour.
+		pred = &oracle{d: d, app: c.app.Name, phase: c.phase}
+	} else {
+		// The online models see only the completed interval's counters:
+		// c.stats still holds the record the interval ran under.
+		pred = &rm.ModelPredictor{
+			Stats: perfmodel.FromDB(c.stats, c.setting),
+			Model: cfg.Model,
+		}
+	}
+	cv := rm.Localize(pred, cfg.RM, rm.Options{Alpha: cfg.Alpha})
+	c.curve, c.hasCurve = &cv, true
+
+	// Assemble curves for the whole system. Cores that have not yet
+	// produced statistics are pinned at the baseline allocation; cores
+	// that already reached their instruction target keep their current
+	// allocation (their ways are not redistributable — the partition is
+	// physical), pinning them likewise.
+	curves := make([]*rm.Curve, len(cores))
+	for i, o := range cores {
+		switch {
+		case o.fin:
+			curves[i] = pinnedCurve(o.setting)
+		case o.hasCurve:
+			curves[i] = o.curve
+		default:
+			curves[i] = pinnedCurve(config.Baseline())
+		}
+	}
+	var settings []config.Setting
+	var ok bool
+	if cfg.GreedyGlobal {
+		settings, ok = rm.GreedyGlobalOptimize(curves, totalWays)
+	} else {
+		settings, ok = rm.GlobalOptimize(curves, totalWays)
+	}
+	if !ok {
+		return
+	}
+
+	// Apply, charging transition overheads (Section III-E).
+	for i, o := range cores {
+		if o.fin {
+			continue
+		}
+		s := settings[i]
+		if s == o.setting {
+			continue
+		}
+		if !cfg.DisableOverheads {
+			var over float64
+			if s.Freq != o.setting.Freq {
+				over += config.DVFSSwitchTimeNs
+				o.res.EnergyJ += config.DVFSSwitchEnergyJ
+			}
+			if s.Core != o.setting.Core {
+				// Pipeline drain: ~ROB/IPC cycles (Section III-E).
+				over += float64(config.Core(o.setting.Core).ROB) * o.stats.TPI() * config.ResizeDrainFactor
+			}
+			o.stallNs += over
+			o.extraNs += over
+		}
+		o.setting = s
+		if st, err := d.Stats(o.app.Name, o.phase, s); err == nil {
+			o.stats = st
+		}
+	}
+
+	// RM execution overhead runs on the invoking core.
+	if !cfg.DisableOverheads {
+		kindOverhead := config.RMInstructionOverhead(len(cores))
+		if cfg.RM == rm.RM1 || cfg.RM == rm.RM2 {
+			kindOverhead = config.PrevRMInstructionOverhead(len(cores))
+		}
+		t := float64(kindOverhead) * c.stats.TPI()
+		c.res.EnergyJ += c.stats.ActualEnergyJ(c.setting, float64(kindOverhead))
+		c.stallNs += t
+		c.extraNs += t
+	}
+}
+
+// pinnedCurve is feasible only at the given setting's allocation, used
+// for cores that have not yet reported statistics and for cores that
+// already finished their work.
+func pinnedCurve(s config.Setting) *rm.Curve {
+	var cv rm.Curve
+	for i := range cv.Energy {
+		cv.Energy[i] = math.Inf(1)
+	}
+	wi := s.Ways - config.MinWays
+	cv.Energy[wi] = 0
+	cv.Pick[wi] = s
+	return &cv
+}
+
+// oracle is the perfect predictor: it reads the next interval's phase
+// and ground-truth statistics straight from the database.
+type oracle struct {
+	d     *db.DB
+	app   string
+	phase int
+}
+
+// TimePI returns the true next-interval time per instruction at target.
+func (o *oracle) TimePI(target config.Setting) float64 {
+	s, err := o.d.Stats(o.app, o.phase, target)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return s.TPI()
+}
+
+// EnergyPI returns the true next-interval energy per instruction.
+func (o *oracle) EnergyPI(target config.Setting) float64 {
+	s, err := o.d.Stats(o.app, o.phase, target)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return s.ActualEnergyJ(target, 1)
+}

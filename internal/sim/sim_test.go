@@ -1,0 +1,377 @@
+package sim
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"qosrm/internal/bench"
+	"qosrm/internal/config"
+	"qosrm/internal/db"
+	"qosrm/internal/perfmodel"
+	"qosrm/internal/rm"
+)
+
+var (
+	once   sync.Once
+	shared *db.DB
+	dbErr  error
+)
+
+func sharedDB(t *testing.T) *db.DB {
+	t.Helper()
+	once.Do(func() {
+		var benches []*bench.Benchmark
+		for _, n := range []string{"mcf", "povray", "bwaves", "xalancbmk", "libquantum", "omnetpp"} {
+			b, err := bench.ByName(n)
+			if err != nil {
+				dbErr = err
+				return
+			}
+			benches = append(benches, b)
+		}
+		shared, dbErr = db.Build(benches, db.Options{TraceLen: 16384, Warmup: 4096})
+	})
+	if dbErr != nil {
+		t.Fatal(dbErr)
+	}
+	return shared
+}
+
+func apps(t *testing.T, names ...string) []*bench.Benchmark {
+	t.Helper()
+	out := make([]*bench.Benchmark, len(names))
+	for i, n := range names {
+		b, err := bench.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = b
+	}
+	return out
+}
+
+func TestRunValidation(t *testing.T) {
+	d := sharedDB(t)
+	if _, err := Run(d, nil, Config{}); err == nil {
+		t.Error("empty workload must fail")
+	}
+	missing, _ := bench.ByName("gcc") // not in the test database
+	if _, err := Run(d, []*bench.Benchmark{missing}, Config{}); err == nil {
+		t.Error("application absent from the database must fail")
+	}
+}
+
+func TestIdleRunBasics(t *testing.T) {
+	d := sharedDB(t)
+	r, err := Run(d, apps(t, "mcf", "povray"), Config{RM: rm.Idle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EnergyJ <= 0 || r.TimeNs <= 0 {
+		t.Fatal("energy and time must be positive")
+	}
+	if r.RMCalled != 0 {
+		t.Fatal("idle manager must not be invoked")
+	}
+	if len(r.Apps) != 2 {
+		t.Fatal("per-app results missing")
+	}
+	if r.ViolationRate() != 0 {
+		t.Fatalf("idle run violated QoS: %.3f", r.ViolationRate())
+	}
+	// Both applications execute the same scaled instruction target; the
+	// memory-bound one finishes later.
+	if r.Apps[0].FinishNs <= r.Apps[1].FinishNs {
+		t.Error("mcf (memory bound) should finish after povray")
+	}
+	if math.Abs(r.TimeNs-r.Apps[0].FinishNs) > 1e-6 {
+		t.Error("simulation ends when the last app reaches its target")
+	}
+	if r.UncoreJ <= 0 || r.UncoreJ >= r.EnergyJ {
+		t.Error("uncore energy must be positive and below total")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	d := sharedDB(t)
+	cfg := Config{RM: rm.RM3, Model: perfmodel.Model3}
+	a, err := Run(d, apps(t, "mcf", "povray"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Run(d, apps(t, "mcf", "povray"), cfg)
+	if a.EnergyJ != b.EnergyJ || a.TimeNs != b.TimeNs || a.RMCalled != b.RMCalled {
+		t.Fatal("co-simulation must be deterministic")
+	}
+}
+
+func TestManagedRunSavesEnergy(t *testing.T) {
+	d := sharedDB(t)
+	w := apps(t, "povray", "mcf")
+	idle, err := Run(d, w, Config{RM: rm.Idle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	managed, err := Run(d, w, Config{RM: rm.RM3, Perfect: true, DisableOverheads: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if managed.EnergyJ >= idle.EnergyJ {
+		t.Fatalf("perfect RM3 must save energy: %.3f vs %.3f", managed.EnergyJ, idle.EnergyJ)
+	}
+	if managed.RMCalled == 0 {
+		t.Fatal("manager was never invoked")
+	}
+	if managed.ViolationRate() > 0.01 {
+		t.Fatalf("perfect model must not violate QoS: %.3f", managed.ViolationRate())
+	}
+}
+
+func TestRM3SearchSpaceDominatesRM2(t *testing.T) {
+	d := sharedDB(t)
+	w := apps(t, "libquantum", "omnetpp")
+	var energies []float64
+	for _, k := range []rm.Kind{rm.RM1, rm.RM2, rm.RM3} {
+		r, err := Run(d, w, Config{RM: k, Perfect: true, DisableOverheads: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		energies = append(energies, r.EnergyJ)
+	}
+	// With perfect predictions, the nested search spaces must yield
+	// monotonically better (or equal) energy: RM3 ≤ RM2 ≤ RM1 within a
+	// small tolerance for interval dynamics.
+	if energies[2] > energies[1]*1.02 || energies[1] > energies[0]*1.02 {
+		t.Fatalf("nested managers out of order: %v", energies)
+	}
+}
+
+func TestOverheadsCostTimeAndEnergy(t *testing.T) {
+	d := sharedDB(t)
+	w := apps(t, "povray", "mcf")
+	with, err := Run(d, w, Config{RM: rm.RM3, Perfect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Run(d, w, Config{RM: rm.RM3, Perfect: true, DisableOverheads: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.TimeNs <= without.TimeNs {
+		t.Error("overheads must lengthen the run")
+	}
+}
+
+func TestScaleShortensRun(t *testing.T) {
+	d := sharedDB(t)
+	w := apps(t, "povray")
+	small, err := Run(d, w, Config{RM: rm.Idle, Scale: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Run(d, w, Config{RM: rm.Idle, Scale: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := big.TimeNs / small.TimeNs
+	if math.Abs(ratio-4) > 0.2 {
+		t.Fatalf("time ratio %.2f, want ≈ 4 for 4× instructions", ratio)
+	}
+}
+
+func TestSingleCoreWorkload(t *testing.T) {
+	d := sharedDB(t)
+	r, err := Run(d, apps(t, "mcf"), Config{RM: rm.RM3, Model: perfmodel.Model3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EnergyJ <= 0 {
+		t.Fatal("single-core run broken")
+	}
+}
+
+func TestTraceEventsOrderedAndComplete(t *testing.T) {
+	d := sharedDB(t)
+	var events []Event
+	cfg := Config{
+		RM: rm.RM3, Model: perfmodel.Model3,
+		Trace: func(e Event) { events = append(events, e) },
+	}
+	r, err := Run(d, apps(t, "mcf", "povray"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(events)) != r.RMCalled {
+		t.Fatalf("%d events for %d RM invocations", len(events), r.RMCalled)
+	}
+	prev := -1.0
+	for _, e := range events {
+		if e.TimeNs < prev {
+			t.Fatal("events must be time ordered")
+		}
+		prev = e.TimeNs
+		if !e.Setting.Valid() {
+			t.Fatalf("invalid setting in event: %v", e.Setting)
+		}
+		if e.Core < 0 || e.Core > 1 {
+			t.Fatalf("bad core id %d", e.Core)
+		}
+	}
+}
+
+func TestWaysAlwaysConserved(t *testing.T) {
+	// The same-instant allocation snapshot of every event must sum
+	// exactly to the LLC associativity — the Σw_j = A constraint of the
+	// global optimisation.
+	d := sharedDB(t)
+	bad := 0
+	cfg := Config{
+		RM: rm.RM3, Model: perfmodel.Model3,
+		Trace: func(e Event) {
+			sum := 0
+			for _, w := range e.Allocations {
+				sum += w
+			}
+			if sum != config.TotalWays(len(e.Allocations)) {
+				bad++
+			}
+		},
+	}
+	if _, err := Run(d, apps(t, "mcf", "xalancbmk"), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if bad > 0 {
+		t.Fatalf("%d events with non-conserved ways", bad)
+	}
+}
+
+func TestAppsRestartAndKeepPhase(t *testing.T) {
+	// omnetpp is the shortest application (688 B instructions): with the
+	// default scale it restarts several times before reaching the
+	// 4146 B target; interval indices must reset.
+	d := sharedDB(t)
+	sawReset := false
+	var lastInterval int64 = -1
+	cfg := Config{
+		RM: rm.RM1, Model: perfmodel.Model3,
+		Trace: func(e Event) {
+			if e.Core == 0 {
+				if e.Interval < lastInterval {
+					sawReset = true
+				}
+				lastInterval = e.Interval
+			}
+		},
+	}
+	if _, err := Run(d, apps(t, "omnetpp", "mcf"), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !sawReset {
+		t.Fatal("short application never restarted")
+	}
+}
+
+func TestViolationAccounting(t *testing.T) {
+	d := sharedDB(t)
+	r, err := Run(d, apps(t, "mcf", "xalancbmk"), Config{RM: rm.RM3, Model: perfmodel.Model1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range r.Apps {
+		if a.Violations > a.Intervals {
+			t.Fatal("more violations than intervals")
+		}
+		if a.Violations > 0 && a.ViolationSum <= 0 {
+			t.Fatal("violations without magnitude")
+		}
+		if a.MaxViolation > 0 && a.Violations == 0 {
+			t.Fatal("max violation without count")
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}
+	c.fill()
+	if c.Interval != config.IntervalInstructions {
+		t.Error("default interval wrong")
+	}
+	if c.Scale != 2048 {
+		t.Error("default scale wrong")
+	}
+	if c.Alpha != config.QoSAlpha {
+		t.Error("default alpha wrong")
+	}
+	if c.Model != perfmodel.Model3 {
+		t.Error("default model wrong")
+	}
+}
+
+func TestPerfectOracleUsesNextPhase(t *testing.T) {
+	// The perfect run's violation rate must be at most the online
+	// model's on the same (phase-changing) workload.
+	d := sharedDB(t)
+	w := apps(t, "mcf", "bwaves")
+	online, err := Run(d, w, Config{RM: rm.RM3, Model: perfmodel.Model1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perfect, err := Run(d, w, Config{RM: rm.RM3, Perfect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perfect.ViolationRate() > online.ViolationRate()+1e-9 {
+		t.Fatalf("oracle violates more than Model1: %.3f vs %.3f",
+			perfect.ViolationRate(), online.ViolationRate())
+	}
+}
+
+func TestEnergyConservation(t *testing.T) {
+	// Total energy must equal the sum of per-application energies plus
+	// the uncore term.
+	d := sharedDB(t)
+	r, err := Run(d, apps(t, "mcf", "povray", "bwaves", "xalancbmk"), Config{RM: rm.RM3, Model: perfmodel.Model3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := r.UncoreJ
+	for _, a := range r.Apps {
+		sum += a.EnergyJ
+	}
+	if math.Abs(sum-r.EnergyJ) > 1e-9*r.EnergyJ {
+		t.Fatalf("energy not conserved: parts %.9f vs total %.9f", sum, r.EnergyJ)
+	}
+}
+
+func TestAlphaRelaxationIncreasesSavings(t *testing.T) {
+	d := sharedDB(t)
+	w := apps(t, "povray", "mcf")
+	strict, err := Run(d, w, Config{RM: rm.RM3, Perfect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relaxed, err := Run(d, w, Config{RM: rm.RM3, Perfect: true, Alpha: 1.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relaxed.EnergyJ > strict.EnergyJ*1.001 {
+		t.Fatalf("α=1.3 energy %.4f above α=1 energy %.4f", relaxed.EnergyJ, strict.EnergyJ)
+	}
+}
+
+func TestIntervalLengthControlsInvocations(t *testing.T) {
+	d := sharedDB(t)
+	w := apps(t, "povray", "mcf")
+	long, err := Run(d, w, Config{RM: rm.RM2, Model: perfmodel.Model3, Interval: 200_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := Run(d, w, Config{RM: rm.RM2, Model: perfmodel.Model3, Interval: 50_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.RMCalled <= long.RMCalled {
+		t.Fatalf("shorter intervals must invoke the RM more: %d vs %d", short.RMCalled, long.RMCalled)
+	}
+}

@@ -1,0 +1,130 @@
+// Package stats provides the statistical accumulators the evaluation
+// uses: weighted means and standard deviations for QoS-violation
+// magnitudes (Figure 7), histograms of violation sizes (Figure 8), and
+// energy-savings aggregation with the scenario probability weights of
+// Figure 1.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Weighted accumulates a weighted mean and standard deviation.
+type Weighted struct {
+	sumW   float64
+	sumWX  float64
+	sumWX2 float64
+}
+
+// Add records x with weight w (w must be non-negative).
+func (a *Weighted) Add(x, w float64) {
+	a.sumW += w
+	a.sumWX += w * x
+	a.sumWX2 += w * x * x
+}
+
+// Weight returns the accumulated weight mass.
+func (a *Weighted) Weight() float64 { return a.sumW }
+
+// Mean returns the weighted mean (0 when empty).
+func (a *Weighted) Mean() float64 {
+	if a.sumW == 0 {
+		return 0
+	}
+	return a.sumWX / a.sumW
+}
+
+// Std returns the weighted population standard deviation (0 when empty).
+func (a *Weighted) Std() float64 {
+	if a.sumW == 0 {
+		return 0
+	}
+	m := a.Mean()
+	v := a.sumWX2/a.sumW - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Histogram is a fixed-bin histogram over [0, Max) with an overflow bin.
+type Histogram struct {
+	Max   float64
+	Bins  []float64
+	Over  float64
+	total float64
+}
+
+// NewHistogram creates a histogram with n bins covering [0, max).
+func NewHistogram(n int, max float64) *Histogram {
+	if n < 1 || max <= 0 {
+		panic(fmt.Sprintf("stats: invalid histogram shape n=%d max=%g", n, max))
+	}
+	return &Histogram{Max: max, Bins: make([]float64, n)}
+}
+
+// Add records value x with weight w.
+func (h *Histogram) Add(x, w float64) {
+	h.total += w
+	if x >= h.Max {
+		h.Over += w
+		return
+	}
+	if x < 0 {
+		x = 0
+	}
+	i := int(x / h.Max * float64(len(h.Bins)))
+	if i >= len(h.Bins) {
+		i = len(h.Bins) - 1
+	}
+	h.Bins[i] += w
+}
+
+// Total returns the accumulated weight.
+func (h *Histogram) Total() float64 { return h.total }
+
+// Normalized returns bin masses scaled so the largest equals 1, the
+// normalisation Figure 8 uses ("normalized to the maximum number of
+// violations across the three models" — callers pass the global max).
+func (h *Histogram) Normalized(max float64) []float64 {
+	out := make([]float64, len(h.Bins))
+	if max <= 0 {
+		return out
+	}
+	for i, b := range h.Bins {
+		out[i] = b / max
+	}
+	return out
+}
+
+// MaxBin returns the largest bin mass.
+func (h *Histogram) MaxBin() float64 {
+	m := 0.0
+	for _, b := range h.Bins {
+		if b > m {
+			m = b
+		}
+	}
+	return m
+}
+
+// BinLabel formats the range of bin i as a percentage interval.
+func (h *Histogram) BinLabel(i int) string {
+	lo := h.Max / float64(len(h.Bins)) * float64(i)
+	hi := h.Max / float64(len(h.Bins)) * float64(i+1)
+	return fmt.Sprintf("%.0f–%.0f%%", lo*100, hi*100)
+}
+
+// Bar renders a width-w ASCII bar for fraction x in [0,1].
+func Bar(x float64, w int) string {
+	if x < 0 {
+		x = 0
+	}
+	if x > 1 {
+		x = 1
+	}
+	n := int(x*float64(w) + 0.5)
+	return strings.Repeat("#", n) + strings.Repeat(".", w-n)
+}

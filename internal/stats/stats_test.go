@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWeightedAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var a Weighted
+		var xs, ws []float64
+		for i := 0; i < 50; i++ {
+			x, w := rng.Float64()*10, rng.Float64()+0.01
+			xs, ws = append(xs, x), append(ws, w)
+			a.Add(x, w)
+		}
+		var sw, swx float64
+		for i := range xs {
+			sw += ws[i]
+			swx += ws[i] * xs[i]
+		}
+		mean := swx / sw
+		var v float64
+		for i := range xs {
+			v += ws[i] * (xs[i] - mean) * (xs[i] - mean)
+		}
+		std := math.Sqrt(v / sw)
+		return math.Abs(a.Mean()-mean) < 1e-9 && math.Abs(a.Std()-std) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedEmpty(t *testing.T) {
+	var a Weighted
+	if a.Mean() != 0 || a.Std() != 0 || a.Weight() != 0 {
+		t.Fatal("empty accumulator must be zero")
+	}
+}
+
+func TestWeightedSingle(t *testing.T) {
+	var a Weighted
+	a.Add(5, 2)
+	if a.Mean() != 5 || a.Std() != 0 {
+		t.Fatalf("single point: mean %.3f std %.3f", a.Mean(), a.Std())
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(10, 1.0)
+	h.Add(0.05, 1)  // bin 0
+	h.Add(0.15, 2)  // bin 1
+	h.Add(0.999, 3) // bin 9
+	h.Add(1.5, 4)   // overflow
+	h.Add(-0.1, 5)  // clamps to bin 0
+	if h.Bins[0] != 6 || h.Bins[1] != 2 || h.Bins[9] != 3 || h.Over != 4 {
+		t.Fatalf("bins %v over %v", h.Bins, h.Over)
+	}
+	if h.Total() != 15 {
+		t.Fatalf("total %v", h.Total())
+	}
+	if h.MaxBin() != 6 {
+		t.Fatalf("max bin %v", h.MaxBin())
+	}
+}
+
+func TestHistogramNormalized(t *testing.T) {
+	h := NewHistogram(4, 1)
+	h.Add(0.1, 2)
+	h.Add(0.6, 4)
+	n := h.Normalized(4)
+	if n[0] != 0.5 || n[2] != 1 {
+		t.Fatalf("normalized %v", n)
+	}
+	if z := h.Normalized(0); z[0] != 0 {
+		t.Fatal("zero max must normalise to zeros")
+	}
+}
+
+func TestHistogramPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(0, 1)
+}
+
+func TestBinLabel(t *testing.T) {
+	h := NewHistogram(10, 0.5)
+	if got := h.BinLabel(0); got != "0–5%" {
+		t.Fatalf("label %q", got)
+	}
+	if got := h.BinLabel(9); got != "45–50%" {
+		t.Fatalf("label %q", got)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(0.5, 10); got != "#####....." {
+		t.Fatalf("Bar(0.5) = %q", got)
+	}
+	if got := Bar(-1, 5); got != "....." {
+		t.Fatalf("Bar(-1) = %q", got)
+	}
+	if got := Bar(2, 5); got != "#####" {
+		t.Fatalf("Bar(2) = %q", got)
+	}
+	if len(Bar(0.33, 12)) != 12 {
+		t.Fatal("bar width wrong")
+	}
+	if strings.ContainsAny(Bar(0.5, 8), " ") {
+		t.Fatal("bar must not contain spaces")
+	}
+}

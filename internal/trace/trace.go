@@ -1,0 +1,415 @@
+// Package trace generates deterministic synthetic instruction streams.
+//
+// The paper drives its simulators with SimPoint-selected regions of SPEC
+// CPU2006 executions. SPEC binaries and traces are proprietary, so this
+// reproduction replaces them with parameterised synthetic streams: each
+// benchmark phase is a Params value whose knobs control exactly the
+// properties the paper's resource managers care about —
+//
+//   - instruction-level parallelism, via register dependence distances
+//     and the fraction of long-latency arithmetic;
+//   - memory-level parallelism, via bursts of independent loads, the
+//     spacing between loads, and pointer-chase (load-to-load dependent)
+//     fractions;
+//   - cache sensitivity, via a mixture of address regions with different
+//     footprints and access patterns;
+//   - branch behaviour, via branch density and misprediction rate.
+//
+// Streams are reproducible: the same Params (including Seed) always
+// yields the same instruction sequence.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"qosrm/internal/config"
+)
+
+// Kind classifies an instruction for the timing model.
+type Kind uint8
+
+// Instruction kinds. KindALU completes in one cycle, KindMul in four;
+// loads and stores access the memory hierarchy; branches may flush the
+// front end when mispredicted.
+const (
+	KindALU Kind = iota
+	KindMul
+	KindLoad
+	KindStore
+	KindBranch
+)
+
+// String returns a short mnemonic for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindALU:
+		return "alu"
+	case KindMul:
+		return "mul"
+	case KindLoad:
+		return "load"
+	case KindStore:
+		return "store"
+	case KindBranch:
+		return "branch"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// MulLatencyCycles is the execution latency of KindMul instructions.
+const MulLatencyCycles = 4
+
+// Inst is one dynamic instruction of a synthetic stream.
+//
+// Dep1 and Dep2 are backward distances (in dynamic instructions) to the
+// producers of this instruction's source operands; zero means "no
+// dependence". Addr is the byte address touched by loads and stores.
+type Inst struct {
+	Kind       Kind
+	Mispredict bool  // meaningful for KindBranch only
+	Dep1       int32 // backward distance to first producer, 0 = none
+	Dep2       int32 // backward distance to second producer, 0 = none
+	Addr       uint64
+}
+
+// Region describes one address region of a synthetic footprint.
+type Region struct {
+	// Bytes is the region footprint. Regions smaller than the private L2
+	// make their accesses invisible to the LLC; regions of a few MB make
+	// the application cache sensitive around the baseline 2 MB
+	// allocation; regions much larger than the maximum allocation make
+	// it a streaming, cache-insensitive consumer.
+	Bytes uint64
+	// Weight is the relative probability that a memory access falls in
+	// this region. Weights need not sum to one.
+	Weight float64
+	// Sequential selects a striding cursor through the region instead of
+	// uniform random block selection. Sequential regions produce spatial
+	// locality (L1 hits) and, for large footprints, pure streaming.
+	Sequential bool
+	// WindowBytes, when non-zero, restricts random accesses to a working
+	// window of this size that slides through the region (the classic
+	// working-set model). A cache allocation larger than the window
+	// captures nearly all accesses; smaller allocations capture a
+	// proportional share, producing the linear miss-vs-ways utility
+	// curves of cache-sensitive applications.
+	WindowBytes uint64
+	// DriftEvery is the number of region accesses between one-block
+	// advances of the working window; the drift adds a floor of
+	// compulsory misses. Zero keeps the window static.
+	DriftEvery int
+}
+
+// Params fully determines a synthetic instruction stream.
+type Params struct {
+	Seed int64
+
+	// Instruction mix. Fractions must be non-negative and sum to < 1;
+	// the remainder is split between single-cycle ALU and 4-cycle MUL
+	// operations according to MulFrac (a fraction of the remainder).
+	LoadFrac   float64
+	StoreFrac  float64
+	BranchFrac float64
+	MulFrac    float64
+
+	// BranchMissRate is the probability that a branch is mispredicted.
+	BranchMissRate float64
+
+	// DepProb is the probability that a non-load instruction depends on
+	// an earlier instruction; DepMean is the mean backward distance of
+	// such dependences (geometric). Short distances serialise execution
+	// (low ILP); long distances leave the stream issue-width bound.
+	DepProb float64
+	DepMean float64
+
+	// BurstProb is the probability that a due load starts a burst into
+	// the main region (the last region of the mixture) instead of being
+	// a single mixture load. Together with LoadFrac it controls how much
+	// traffic reaches the LLC, and therefore the MPKI.
+	BurstProb float64
+
+	// BurstLen is the number of consecutive independent main-region
+	// loads emitted when a burst starts; bursts model the
+	// independent-miss clusters that create MLP. BurstSpread spreads the
+	// loads of a burst over the instruction stream: a load is emitted
+	// every BurstSpread instructions while a burst is active. Large
+	// spreads make MLP sensitive to ROB size (a small window cannot
+	// cover the whole burst), which is what makes an application
+	// parallelism sensitive.
+	BurstLen    int
+	BurstSpread int
+
+	// ChaseFrac is the fraction of main-region loads that depend on the
+	// previous main-region load (pointer chasing); chased loads
+	// serialise misses and cap MLP near one regardless of window size.
+	ChaseFrac float64
+
+	// StoreMainFrac is the fraction of stores addressed to the main
+	// region (window-aware); these dirty LLC lines and create write-back
+	// traffic to DRAM. The remaining stores follow the region mixture.
+	StoreMainFrac float64
+
+	// Regions is the address footprint mixture; it must be non-empty.
+	Regions []Region
+}
+
+// Validate reports the first problem with p, or nil.
+func (p Params) Validate() error {
+	if p.LoadFrac < 0 || p.StoreFrac < 0 || p.BranchFrac < 0 || p.MulFrac < 0 {
+		return errors.New("trace: negative instruction-mix fraction")
+	}
+	if s := p.LoadFrac + p.StoreFrac + p.BranchFrac; s >= 1 {
+		return fmt.Errorf("trace: load+store+branch fractions sum to %.3f, want < 1", s)
+	}
+	if p.BranchMissRate < 0 || p.BranchMissRate > 1 {
+		return fmt.Errorf("trace: branch miss rate %.3f outside [0,1]", p.BranchMissRate)
+	}
+	if p.DepProb < 0 || p.DepProb > 1 {
+		return fmt.Errorf("trace: dep probability %.3f outside [0,1]", p.DepProb)
+	}
+	if p.ChaseFrac < 0 || p.ChaseFrac > 1 {
+		return fmt.Errorf("trace: chase fraction %.3f outside [0,1]", p.ChaseFrac)
+	}
+	if p.BurstProb < 0 || p.BurstProb > 1 {
+		return fmt.Errorf("trace: burst probability %.3f outside [0,1]", p.BurstProb)
+	}
+	if p.StoreMainFrac < 0 || p.StoreMainFrac > 1 {
+		return fmt.Errorf("trace: store main fraction %.3f outside [0,1]", p.StoreMainFrac)
+	}
+	if len(p.Regions) == 0 {
+		return errors.New("trace: at least one address region required")
+	}
+	total := 0.0
+	for i, r := range p.Regions {
+		if r.Bytes < config.BlockBytes {
+			return fmt.Errorf("trace: region %d smaller than one cache block", i)
+		}
+		if r.Weight < 0 {
+			return fmt.Errorf("trace: region %d has negative weight", i)
+		}
+		if r.WindowBytes > r.Bytes {
+			return fmt.Errorf("trace: region %d window larger than region", i)
+		}
+		if r.DriftEvery < 0 {
+			return fmt.Errorf("trace: region %d has negative drift", i)
+		}
+		total += r.Weight
+	}
+	if total <= 0 {
+		return errors.New("trace: region weights sum to zero")
+	}
+	return nil
+}
+
+// Generator produces the instruction stream described by a Params.
+// It is not safe for concurrent use; create one per goroutine.
+type Generator struct {
+	p         Params
+	rng       *rand.Rand
+	bases     []uint64 // region base addresses
+	cursors   []uint64 // per-region sequential cursors (block units)
+	winStart  []uint64 // per-region working-window start (block units)
+	accesses  []int64  // per-region access counts (drives window drift)
+	cumWeight []float64
+	burstLeft int   // loads remaining in the current burst
+	sinceLoad int   // instructions since the last load of an active burst
+	lastMain  int64 // index of the most recent main-region load, -1 if none
+	emitted   int64
+}
+
+// NewGenerator returns a generator for p. It panics if p is invalid; use
+// Params.Validate to check untrusted parameters first.
+func NewGenerator(p Params) *Generator {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	g := &Generator{
+		p:        p,
+		rng:      rand.New(rand.NewSource(p.Seed)),
+		lastMain: -1,
+	}
+	// Lay regions out back to back, aligned to blocks, with a guard gap
+	// so distinct regions never share a cache block.
+	var next uint64
+	total := 0.0
+	for _, r := range p.Regions {
+		g.bases = append(g.bases, next)
+		g.cursors = append(g.cursors, 0)
+		g.winStart = append(g.winStart, 0)
+		g.accesses = append(g.accesses, 0)
+		blocks := (r.Bytes + config.BlockBytes - 1) / config.BlockBytes
+		next += (blocks + 1) * config.BlockBytes
+		total += r.Weight
+		g.cumWeight = append(g.cumWeight, total)
+	}
+	for i := range g.cumWeight {
+		g.cumWeight[i] /= total
+	}
+	return g
+}
+
+// Params returns the parameters the generator was built with.
+func (g *Generator) Params() Params { return g.p }
+
+// pickRegion samples a region index according to the weight mixture.
+func (g *Generator) pickRegion() int {
+	x := g.rng.Float64()
+	for i, c := range g.cumWeight {
+		if x <= c {
+			return i
+		}
+	}
+	return len(g.cumWeight) - 1
+}
+
+// address produces the next byte address within region ri.
+func (g *Generator) address(ri int) uint64 {
+	r := g.p.Regions[ri]
+	blocks := r.Bytes / config.BlockBytes
+	if blocks == 0 {
+		blocks = 1
+	}
+	var block uint64
+	switch {
+	case r.Sequential:
+		block = g.cursors[ri] % blocks
+		g.cursors[ri]++
+	case r.WindowBytes > 0:
+		// Working-set model: uniform within a window that slides one
+		// block every DriftEvery accesses.
+		g.accesses[ri]++
+		if r.DriftEvery > 0 && g.accesses[ri]%int64(r.DriftEvery) == 0 {
+			g.winStart[ri]++
+		}
+		wblocks := r.WindowBytes / config.BlockBytes
+		if wblocks < 1 {
+			wblocks = 1
+		}
+		block = (g.winStart[ri] + uint64(g.rng.Int63n(int64(wblocks)))) % blocks
+	default:
+		block = uint64(g.rng.Int63n(int64(blocks)))
+	}
+	return g.bases[ri] + block*config.BlockBytes
+}
+
+// mainRegion is the index of the large (LLC-visible) region: the last
+// region of the mixture. Streams with a single region have no distinct
+// main region and return -1.
+func (g *Generator) mainRegion() int {
+	if len(g.p.Regions) < 2 {
+		return -1
+	}
+	return len(g.p.Regions) - 1
+}
+
+// dep samples a backward dependence distance for the instruction at
+// stream index idx, bounded so it never points before the stream start.
+func (g *Generator) dep(idx int64) int32 {
+	if g.p.DepProb <= 0 || g.rng.Float64() >= g.p.DepProb || idx == 0 {
+		return 0
+	}
+	mean := g.p.DepMean
+	if mean < 1 {
+		mean = 1
+	}
+	// Geometric with the requested mean, clamped to the stream prefix.
+	d := int64(1)
+	p := 1 / mean
+	for g.rng.Float64() > p && d < 4*int64(mean) {
+		d++
+	}
+	if d > idx {
+		d = idx
+	}
+	return int32(d)
+}
+
+// Next returns the next instruction of the stream. The stream is
+// unbounded; callers decide how many instructions a phase contains.
+func (g *Generator) Next() Inst {
+	idx := g.emitted
+	g.emitted++
+
+	main := g.mainRegion()
+
+	// An active burst emits one main-region load every BurstSpread
+	// instructions until it drains.
+	if g.burstLeft > 0 {
+		g.sinceLoad++
+		spread := g.p.BurstSpread
+		if spread < 1 {
+			spread = 1
+		}
+		if g.sinceLoad >= spread {
+			g.sinceLoad = 0
+			g.burstLeft--
+			return g.mainLoad(idx, main)
+		}
+	} else if g.rng.Float64() < g.p.LoadFrac {
+		if main >= 0 && g.rng.Float64() < g.p.BurstProb {
+			// Start a burst into the main region.
+			burst := g.p.BurstLen
+			if burst < 1 {
+				burst = 1
+			}
+			g.burstLeft = burst - 1
+			g.sinceLoad = 0
+			return g.mainLoad(idx, main)
+		}
+		// Single load drawn from the full region mixture.
+		ri := g.pickRegion()
+		if ri == main {
+			return g.mainLoad(idx, ri)
+		}
+		return Inst{Kind: KindLoad, Addr: g.address(ri), Dep1: g.dep(idx)}
+	}
+
+	x := g.rng.Float64()
+	rest := 1 - g.p.LoadFrac
+	switch {
+	case x < g.p.StoreFrac/rest:
+		ri := g.pickRegion()
+		if main >= 0 && g.rng.Float64() < g.p.StoreMainFrac {
+			ri = main
+		}
+		return Inst{Kind: KindStore, Addr: g.address(ri), Dep1: g.dep(idx)}
+	case x < (g.p.StoreFrac+g.p.BranchFrac)/rest:
+		return Inst{
+			Kind:       KindBranch,
+			Mispredict: g.rng.Float64() < g.p.BranchMissRate,
+			Dep1:       g.dep(idx),
+		}
+	default:
+		k := KindALU
+		if g.rng.Float64() < g.p.MulFrac {
+			k = KindMul
+		}
+		return Inst{Kind: k, Dep1: g.dep(idx), Dep2: g.dep(idx)}
+	}
+}
+
+// mainLoad emits a load to the main region, applying pointer chasing.
+func (g *Generator) mainLoad(idx int64, ri int) Inst {
+	if ri < 0 {
+		ri = 0
+	}
+	in := Inst{Kind: KindLoad, Addr: g.address(ri)}
+	if g.lastMain >= 0 && g.rng.Float64() < g.p.ChaseFrac {
+		// Pointer chase: this load consumes the previous main load's value.
+		in.Dep1 = int32(idx - g.lastMain)
+	}
+	g.lastMain = idx
+	return in
+}
+
+// Generate materialises the first n instructions of the stream for p.
+func Generate(p Params, n int) []Inst {
+	g := NewGenerator(p)
+	out := make([]Inst, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}

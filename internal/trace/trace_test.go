@@ -1,0 +1,465 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"qosrm/internal/config"
+)
+
+// validParams is a small well-formed parameter set for tests.
+func validParams(seed int64) Params {
+	return Params{
+		Seed:           seed,
+		LoadFrac:       0.25,
+		StoreFrac:      0.08,
+		BranchFrac:     0.12,
+		MulFrac:        0.2,
+		BranchMissRate: 0.05,
+		DepProb:        0.5,
+		DepMean:        4,
+		BurstProb:      0.1,
+		BurstLen:       6,
+		BurstSpread:    8,
+		ChaseFrac:      0.3,
+		Regions: []Region{
+			{Bytes: 4 << 10, Weight: 1, Sequential: true},
+			{Bytes: 64 << 10, Weight: 0},
+		},
+	}
+}
+
+func TestValidateAcceptsValid(t *testing.T) {
+	if err := validParams(1).Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	mutate := []struct {
+		name string
+		f    func(*Params)
+	}{
+		{"negative load frac", func(p *Params) { p.LoadFrac = -0.1 }},
+		{"mix sums to one", func(p *Params) { p.LoadFrac, p.StoreFrac, p.BranchFrac = 0.5, 0.3, 0.3 }},
+		{"branch miss rate", func(p *Params) { p.BranchMissRate = 1.5 }},
+		{"dep prob", func(p *Params) { p.DepProb = -0.2 }},
+		{"chase frac", func(p *Params) { p.ChaseFrac = 2 }},
+		{"burst prob", func(p *Params) { p.BurstProb = -1 }},
+		{"no regions", func(p *Params) { p.Regions = nil }},
+		{"tiny region", func(p *Params) { p.Regions[0].Bytes = 1 }},
+		{"negative weight", func(p *Params) { p.Regions[0].Weight = -1 }},
+		{"zero weights", func(p *Params) { p.Regions[0].Weight = 0; p.Regions[1].Weight = 0 }},
+		{"window too large", func(p *Params) { p.Regions[1].WindowBytes = p.Regions[1].Bytes * 2 }},
+		{"negative drift", func(p *Params) { p.Regions[1].DriftEvery = -3 }},
+	}
+	for _, m := range mutate {
+		p := validParams(1)
+		m.f(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", m.name)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(validParams(42), 5000)
+	b := Generate(validParams(42), 5000)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must produce identical streams")
+	}
+	c := Generate(validParams(43), 5000)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds should produce different streams")
+	}
+}
+
+func TestGeneratorPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewGenerator must panic on invalid params")
+		}
+	}()
+	p := validParams(1)
+	p.Regions = nil
+	NewGenerator(p)
+}
+
+func TestInstructionMix(t *testing.T) {
+	p := validParams(7)
+	// Bursts with spread > 1 dilute the load fraction by design (one
+	// load per BurstSpread instructions while a burst drains); disable
+	// them to test the plain mixture.
+	p.BurstProb = 0
+	const n = 200_000
+	insts := Generate(p, n)
+	counts := map[Kind]int{}
+	for _, in := range insts {
+		counts[in.Kind]++
+	}
+	loadFrac := float64(counts[KindLoad]) / n
+	if math.Abs(loadFrac-p.LoadFrac) > 0.05 {
+		t.Errorf("load fraction %.3f, want ≈ %.3f", loadFrac, p.LoadFrac)
+	}
+	// Store/branch fractions are relative to the non-load remainder.
+	storeFrac := float64(counts[KindStore]) / n
+	if math.Abs(storeFrac-p.StoreFrac) > 0.03 {
+		t.Errorf("store fraction %.3f, want ≈ %.3f", storeFrac, p.StoreFrac)
+	}
+	branchFrac := float64(counts[KindBranch]) / n
+	if math.Abs(branchFrac-p.BranchFrac) > 0.03 {
+		t.Errorf("branch fraction %.3f, want ≈ %.3f", branchFrac, p.BranchFrac)
+	}
+	if counts[KindMul] == 0 || counts[KindALU] == 0 {
+		t.Error("expected both ALU and MUL instructions")
+	}
+}
+
+func TestBranchMissRate(t *testing.T) {
+	p := validParams(11)
+	p.BranchMissRate = 0.25
+	insts := Generate(p, 200_000)
+	branches, missed := 0, 0
+	for _, in := range insts {
+		if in.Kind == KindBranch {
+			branches++
+			if in.Mispredict {
+				missed++
+			}
+		}
+	}
+	got := float64(missed) / float64(branches)
+	if math.Abs(got-0.25) > 0.03 {
+		t.Errorf("mispredict rate %.3f, want ≈ 0.25", got)
+	}
+	for _, in := range insts {
+		if in.Kind != KindBranch && in.Mispredict {
+			t.Fatal("only branches may carry the mispredict flag")
+		}
+	}
+}
+
+func TestDependenceBounds(t *testing.T) {
+	insts := Generate(validParams(3), 50_000)
+	for i, in := range insts {
+		if in.Dep1 < 0 || in.Dep2 < 0 {
+			t.Fatalf("negative dependence at %d", i)
+		}
+		if int(in.Dep1) > i || int(in.Dep2) > i {
+			t.Fatalf("dependence before stream start at %d: %d/%d", i, in.Dep1, in.Dep2)
+		}
+	}
+}
+
+func TestDependenceBoundsQuick(t *testing.T) {
+	// Property: for any seed, dependences never point before the stream.
+	f := func(seed int64) bool {
+		insts := Generate(validParams(seed), 2000)
+		for i, in := range insts {
+			if int(in.Dep1) > i || int(in.Dep2) > i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegionsDoNotOverlap(t *testing.T) {
+	p := validParams(5)
+	g := NewGenerator(p)
+	// Region byte ranges must be disjoint: collect addresses and check
+	// each falls in exactly one region span.
+	spans := make([][2]uint64, len(p.Regions))
+	var next uint64
+	for i, r := range p.Regions {
+		blocks := (r.Bytes + config.BlockBytes - 1) / config.BlockBytes
+		spans[i] = [2]uint64{next, next + blocks*config.BlockBytes}
+		next += (blocks + 1) * config.BlockBytes
+	}
+	for i := 0; i < 50_000; i++ {
+		in := g.Next()
+		if in.Kind != KindLoad && in.Kind != KindStore {
+			continue
+		}
+		hits := 0
+		for _, s := range spans {
+			if in.Addr >= s[0] && in.Addr < s[1] {
+				hits++
+			}
+		}
+		if hits != 1 {
+			t.Fatalf("address %#x falls in %d regions", in.Addr, hits)
+		}
+	}
+}
+
+func TestMainRegionTrafficOnlyViaBursts(t *testing.T) {
+	// With the hot region carrying all mixture weight, main-region loads
+	// exist iff bursts are enabled.
+	p := validParams(9)
+	p.BurstProb = 0
+	mainBase := mainRegionBase(p)
+	for _, in := range Generate(p, 100_000) {
+		if (in.Kind == KindLoad || in.Kind == KindStore) && in.Addr >= mainBase {
+			t.Fatalf("main-region access %#x with BurstProb=0", in.Addr)
+		}
+	}
+	p.BurstProb = 0.2
+	found := false
+	for _, in := range Generate(p, 100_000) {
+		if in.Kind == KindLoad && in.Addr >= mainBase {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("expected main-region loads with BurstProb>0")
+	}
+}
+
+// mainRegionBase computes the main region's base address the same way
+// the generator lays regions out.
+func mainRegionBase(p Params) uint64 {
+	blocks := (p.Regions[0].Bytes + config.BlockBytes - 1) / config.BlockBytes
+	return (blocks + 1) * config.BlockBytes
+}
+
+func TestChaseDependences(t *testing.T) {
+	p := validParams(13)
+	p.ChaseFrac = 1 // every main load depends on the previous one
+	p.BurstProb = 0.3
+	insts := Generate(p, 100_000)
+	mainBase := mainRegionBase(p)
+	last := -1
+	for i, in := range insts {
+		if in.Kind != KindLoad || in.Addr < mainBase {
+			continue
+		}
+		if last >= 0 {
+			if int(in.Dep1) != i-last {
+				t.Fatalf("chased load %d: Dep1=%d, want %d", i, in.Dep1, i-last)
+			}
+		}
+		last = i
+	}
+}
+
+func TestSequentialRegionCursor(t *testing.T) {
+	p := Params{
+		Seed:     1,
+		LoadFrac: 1.0 - 1e-9, // effectively every instruction loads
+		Regions:  []Region{{Bytes: 8 * config.BlockBytes, Weight: 1, Sequential: true}},
+	}
+	// LoadFrac must stay < 1 for validation; use 0.999.
+	p.LoadFrac = 0.999
+	g := NewGenerator(p)
+	var prev uint64
+	seen := 0
+	for seen < 20 {
+		in := g.Next()
+		if in.Kind != KindLoad {
+			continue
+		}
+		if seen > 0 {
+			want := (prev + config.BlockBytes) % (8 * config.BlockBytes)
+			if in.Addr != want {
+				t.Fatalf("sequential cursor jumped: %#x after %#x", in.Addr, prev)
+			}
+		}
+		prev = in.Addr
+		seen++
+	}
+}
+
+func TestWorkingWindowConfinesAccesses(t *testing.T) {
+	// With a static window, all accesses stay within WindowBytes of the
+	// region base.
+	p := Params{
+		Seed:      2,
+		LoadFrac:  0.5,
+		BurstProb: 1,
+		BurstLen:  1, BurstSpread: 1,
+		Regions: []Region{
+			{Bytes: config.BlockBytes, Weight: 1, Sequential: true},
+			{Bytes: 1 << 20, Weight: 0, WindowBytes: 4 << 10, DriftEvery: 0},
+		},
+	}
+	mainBase := mainRegionBase(p)
+	for _, in := range Generate(p, 50_000) {
+		if in.Kind == KindLoad && in.Addr >= mainBase {
+			if in.Addr >= mainBase+4<<10 {
+				t.Fatalf("access %#x outside static window", in.Addr)
+			}
+		}
+	}
+}
+
+func TestWorkingWindowDrift(t *testing.T) {
+	p := Params{
+		Seed:      2,
+		LoadFrac:  0.5,
+		BurstProb: 1,
+		BurstLen:  1, BurstSpread: 1,
+		Regions: []Region{
+			{Bytes: config.BlockBytes, Weight: 1, Sequential: true},
+			{Bytes: 1 << 20, Weight: 0, WindowBytes: 4 << 10, DriftEvery: 4},
+		},
+	}
+	mainBase := mainRegionBase(p)
+	var maxAddr uint64
+	for _, in := range Generate(p, 200_000) {
+		if in.Kind == KindLoad && in.Addr >= mainBase && in.Addr > maxAddr {
+			maxAddr = in.Addr
+		}
+	}
+	if maxAddr < mainBase+8<<10 {
+		t.Fatalf("window did not drift: max address %#x", maxAddr)
+	}
+}
+
+func TestBurstShape(t *testing.T) {
+	// With spread 1 and burst length B, main-region loads come in runs
+	// of exactly B consecutive instructions.
+	p := Params{
+		Seed:      4,
+		LoadFrac:  0.05,
+		BurstProb: 1,
+		BurstLen:  5, BurstSpread: 1,
+		Regions: []Region{
+			{Bytes: config.BlockBytes, Weight: 1, Sequential: true},
+			{Bytes: 1 << 20, Weight: 0},
+		},
+	}
+	mainBase := mainRegionBase(p)
+	insts := Generate(p, 100_000)
+	run := 0
+	runs := map[int]int{}
+	for _, in := range insts {
+		if in.Kind == KindLoad && in.Addr >= mainBase {
+			run++
+		} else if run > 0 {
+			runs[run]++
+			run = 0
+		}
+	}
+	if len(runs) == 0 {
+		t.Fatal("no bursts observed")
+	}
+	for length, count := range runs {
+		if length != 5 {
+			// Back-to-back bursts can concatenate; allow multiples of 5.
+			if length%5 != 0 {
+				t.Errorf("burst run of length %d (×%d), want multiples of 5", length, count)
+			}
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		KindALU: "alu", KindMul: "mul", KindLoad: "load",
+		KindStore: "store", KindBranch: "branch",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Errorf("unknown kind string = %q", Kind(99).String())
+	}
+}
+
+func TestGeneratorParamsAccessor(t *testing.T) {
+	p := validParams(21)
+	g := NewGenerator(p)
+	if !reflect.DeepEqual(g.Params(), p) {
+		t.Error("Params accessor must return the construction parameters")
+	}
+}
+
+func TestStreamIsStationary(t *testing.T) {
+	// The load fraction of the second half matches the first half —
+	// guards against state leaks that change the mix over time.
+	insts := Generate(validParams(17), 200_000)
+	frac := func(s []Inst) float64 {
+		n := 0
+		for _, in := range s {
+			if in.Kind == KindLoad {
+				n++
+			}
+		}
+		return float64(n) / float64(len(s))
+	}
+	a, b := frac(insts[:100_000]), frac(insts[100_000:])
+	if math.Abs(a-b) > 0.02 {
+		t.Errorf("load fraction drifts: %.3f vs %.3f", a, b)
+	}
+}
+
+func TestGenerateMatchesGenerator(t *testing.T) {
+	p := validParams(23)
+	g := NewGenerator(p)
+	batch := Generate(p, 1000)
+	for i := 0; i < 1000; i++ {
+		if got := g.Next(); got != batch[i] {
+			t.Fatalf("Generate diverges from Generator at %d", i)
+		}
+	}
+}
+
+func TestAddressAlignment(t *testing.T) {
+	// All addresses are block-aligned (the hierarchy works in blocks).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := validParams(rng.Int63())
+		for _, in := range Generate(p, 2000) {
+			if in.Kind == KindLoad || in.Kind == KindStore {
+				if in.Addr%config.BlockBytes != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStoreMainFracRoutesStores(t *testing.T) {
+	p := validParams(31)
+	p.StoreMainFrac = 1
+	mainBase := mainRegionBase(p)
+	sawMainStore := false
+	for _, in := range Generate(p, 100_000) {
+		if in.Kind == KindStore && in.Addr >= mainBase {
+			sawMainStore = true
+			break
+		}
+	}
+	if !sawMainStore {
+		t.Fatal("StoreMainFrac=1 must route stores to the main region")
+	}
+
+	p.StoreMainFrac = 0
+	for _, in := range Generate(p, 100_000) {
+		if in.Kind == KindStore && in.Addr >= mainBase {
+			t.Fatal("StoreMainFrac=0 must keep stores out of the main region")
+		}
+	}
+}
+
+func TestStoreMainFracValidation(t *testing.T) {
+	p := validParams(32)
+	p.StoreMainFrac = 1.5
+	if err := p.Validate(); err == nil {
+		t.Fatal("out-of-range StoreMainFrac must be rejected")
+	}
+}

@@ -1,0 +1,213 @@
+// Package workload generates the evaluation workloads of Section IV-C:
+// mixes of benchmark applications drawn from the four taxonomy categories
+// according to the four scenarios identified in the Figure 1 trade-off
+// analysis.
+//
+// For an n-core workload the first half of the cores draws applications
+// from the scenario's App1 category set and the second half from its App2
+// set. Selection is seeded-random (the paper uses Python's
+// random.choice) with a round-robin bias that guarantees every
+// application of a pool appears at least once across a workload set, as
+// the paper's generation loop does.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qosrm/internal/bench"
+)
+
+// Scenario is one of the four workload scenarios of Section II
+// (the bounded rectangles of Figure 1).
+type Scenario int
+
+// The four scenarios. In Scenario1 the proposed RM3 beats prior art; in
+// Scenario2 both are comparable; in Scenario3 only RM3 is effective; in
+// Scenario4 neither saves energy.
+const (
+	Scenario1 Scenario = 1 + iota
+	Scenario2
+	Scenario3
+	Scenario4
+)
+
+// Scenarios lists all scenarios in order.
+var Scenarios = [4]Scenario{Scenario1, Scenario2, Scenario3, Scenario4}
+
+// String returns "S1".."S4".
+func (s Scenario) String() string { return fmt.Sprintf("S%d", int(s)) }
+
+// Cell is one (App1 category, App2 category) mix of Figure 1.
+type Cell struct{ App1, App2 bench.Category }
+
+// Cells returns the Figure 1 cells belonging to the scenario:
+//
+//	S1: App2 ∈ CS-PS with any App1, plus (CI-PS, CS-PI);
+//	S2: App2 = CS-PI with App1 ∈ {CS-PI, CI-PI};
+//	S3: App2 = CI-PS with App1 ∈ {CI-PS, CI-PI};
+//	S4: CI-PI with CI-PI.
+//
+// Together the cells tile the 10 distinct unordered mixes, and their
+// probability masses reproduce the paper's 47 / 22.1 / 22.1 / 8.8%
+// scenario weights.
+func (s Scenario) Cells() []Cell {
+	switch s {
+	case Scenario1:
+		return []Cell{
+			{bench.CSPS, bench.CSPS},
+			{bench.CSPI, bench.CSPS},
+			{bench.CIPS, bench.CSPS},
+			{bench.CIPI, bench.CSPS},
+			{bench.CIPS, bench.CSPI},
+		}
+	case Scenario2:
+		return []Cell{
+			{bench.CSPI, bench.CSPI},
+			{bench.CIPI, bench.CSPI},
+		}
+	case Scenario3:
+		return []Cell{
+			{bench.CIPS, bench.CIPS},
+			{bench.CIPI, bench.CIPS},
+		}
+	case Scenario4:
+		return []Cell{{bench.CIPI, bench.CIPI}}
+	default:
+		panic(fmt.Sprintf("workload: unknown scenario %d", int(s)))
+	}
+}
+
+// categoryCount returns the number of suite applications per category.
+func categoryCount() map[bench.Category]int {
+	m := make(map[bench.Category]int, bench.NumCategories)
+	for _, b := range bench.Suite() {
+		m[b.Category]++
+	}
+	return m
+}
+
+// MixProbability returns the probability that a random two-application
+// mix falls in the (unordered) cell {a, b}: n_a·n_b/27² doubled for
+// distinct categories, as in Figure 1.
+func MixProbability(a, b bench.Category) float64 {
+	counts := categoryCount()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	p := float64(counts[a]) * float64(counts[b]) / float64(total*total)
+	if a != b {
+		p *= 2
+	}
+	return p
+}
+
+// Weight returns the scenario's probability mass — the sum of its cells'
+// mix probabilities (paper: 47%, 22.1%, 22.1%, 8.8%).
+func (s Scenario) Weight() float64 {
+	w := 0.0
+	for _, c := range s.Cells() {
+		w += MixProbability(c.App1, c.App2)
+	}
+	return w
+}
+
+// Workload is one generated application mix.
+type Workload struct {
+	Name     string
+	Scenario Scenario
+	Apps     []*bench.Benchmark
+}
+
+// pool is a seeded round-robin sampler over one category's applications:
+// it shuffles once, then deals applications in order, reshuffling after
+// each full pass, so coverage is guaranteed as soon as a pool has dealt
+// len(pool) applications.
+type pool struct {
+	apps []*bench.Benchmark
+	rng  *rand.Rand
+	next int
+}
+
+func newPool(cat bench.Category, rng *rand.Rand) *pool {
+	byCat := bench.ByCategory()
+	apps := make([]*bench.Benchmark, len(byCat[cat]))
+	copy(apps, byCat[cat])
+	p := &pool{apps: apps, rng: rng}
+	p.shuffle()
+	return p
+}
+
+func (p *pool) shuffle() {
+	p.rng.Shuffle(len(p.apps), func(i, j int) { p.apps[i], p.apps[j] = p.apps[j], p.apps[i] })
+	p.next = 0
+}
+
+func (p *pool) pick() *bench.Benchmark {
+	if p.next >= len(p.apps) {
+		p.shuffle()
+	}
+	b := p.apps[p.next]
+	p.next++
+	return b
+}
+
+// Generate produces count n-core workloads for the scenario,
+// deterministically from seed. Each workload chooses one of the
+// scenario's cells (cycling through them) and fills the first half of
+// the cores from the App1 pool and the second half from the App2 pool.
+func Generate(s Scenario, cores, count int, seed int64) ([]Workload, error) {
+	if cores < 2 || cores%2 != 0 {
+		return nil, fmt.Errorf("workload: core count %d must be even and ≥ 2", cores)
+	}
+	if count < 1 {
+		return nil, fmt.Errorf("workload: count %d must be positive", count)
+	}
+	rng := rand.New(rand.NewSource(seed ^ int64(s)<<32 ^ int64(cores)))
+	pools := make(map[bench.Category]*pool, bench.NumCategories)
+	for _, cat := range bench.Categories {
+		pools[cat] = newPool(cat, rng)
+	}
+	cells := s.Cells()
+	out := make([]Workload, 0, count)
+	for i := 0; i < count; i++ {
+		cell := cells[i%len(cells)]
+		w := Workload{
+			Name:     fmt.Sprintf("%dCore-%s-W%d", cores, s, i+1),
+			Scenario: s,
+			Apps:     make([]*bench.Benchmark, cores),
+		}
+		for j := 0; j < cores/2; j++ {
+			w.Apps[j] = pools[cell.App1].pick()
+		}
+		for j := cores / 2; j < cores; j++ {
+			w.Apps[j] = pools[cell.App2].pick()
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+// TwoCoreExamples returns one representative two-core mix per scenario,
+// mirroring the Figure 2 study.
+func TwoCoreExamples() []Workload {
+	pick := func(name string) *bench.Benchmark {
+		b, err := bench.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		return b
+	}
+	return []Workload{
+		// S1: a CI-PS donor paired with a CS-PS recipient — the mix where
+		// core adaptation buys the most beyond prior art.
+		{Name: "2Core-S1", Scenario: Scenario1, Apps: []*bench.Benchmark{pick("libquantum"), pick("omnetpp")}},
+		// S2: a compute-bound donor with a CS-PI recipient.
+		{Name: "2Core-S2", Scenario: Scenario2, Apps: []*bench.Benchmark{pick("dealII"), pick("xalancbmk")}},
+		// S3: two CI-PS streamers — only core adaptation helps.
+		{Name: "2Core-S3", Scenario: Scenario3, Apps: []*bench.Benchmark{pick("bwaves"), pick("leslie3d")}},
+		// S4: two compute-bound applications.
+		{Name: "2Core-S4", Scenario: Scenario4, Apps: []*bench.Benchmark{pick("povray"), pick("sjeng")}},
+	}
+}

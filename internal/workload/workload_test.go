@@ -1,0 +1,199 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"qosrm/internal/bench"
+)
+
+func TestScenarioCellsTileAllMixes(t *testing.T) {
+	// The four scenarios must cover every unordered category pair
+	// exactly once (the 10 cells of the Figure 1 upper triangle).
+	seen := map[[2]bench.Category]int{}
+	norm := func(a, b bench.Category) [2]bench.Category {
+		if a > b {
+			a, b = b, a
+		}
+		return [2]bench.Category{a, b}
+	}
+	for _, s := range Scenarios {
+		for _, c := range s.Cells() {
+			seen[norm(c.App1, c.App2)]++
+		}
+	}
+	if len(seen) != 10 {
+		t.Fatalf("scenarios cover %d distinct mixes, want 10", len(seen))
+	}
+	for mix, n := range seen {
+		if n != 1 {
+			t.Errorf("mix %v covered %d times", mix, n)
+		}
+	}
+}
+
+func TestScenarioWeightsMatchPaper(t *testing.T) {
+	// Figure 1 / Section V-A: 47%, 22.1%, 22.1%, 8.8%.
+	want := map[Scenario]float64{
+		Scenario1: 0.470,
+		Scenario2: 0.221,
+		Scenario3: 0.221,
+		Scenario4: 0.088,
+	}
+	total := 0.0
+	for s, w := range want {
+		got := s.Weight()
+		if math.Abs(got-w) > 0.005 {
+			t.Errorf("%s weight %.3f, want %.3f", s, got, w)
+		}
+		total += s.Weight()
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("scenario weights sum to %.4f", total)
+	}
+}
+
+func TestMixProbabilityExamples(t *testing.T) {
+	// Figure 1 cell values: CS-PS diagonal 3.4%, CI-PI diagonal 8.8%,
+	// CI-PI×CS-PS 5.5% (doubled off-diagonal).
+	cases := []struct {
+		a, b bench.Category
+		want float64
+	}{
+		{bench.CSPS, bench.CSPS, 25.0 / 729},
+		{bench.CIPI, bench.CIPI, 64.0 / 729},
+		{bench.CIPI, bench.CSPS, 2 * 40.0 / 729},
+		{bench.CSPI, bench.CIPS, 2 * 49.0 / 729},
+	}
+	for _, c := range cases {
+		if got := MixProbability(c.a, c.b); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("P(%s,%s) = %.4f, want %.4f", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Scenario1, 3, 1, 1); err == nil {
+		t.Error("odd core count must fail")
+	}
+	if _, err := Generate(Scenario1, 0, 1, 1); err == nil {
+		t.Error("zero cores must fail")
+	}
+	if _, err := Generate(Scenario1, 4, 0, 1); err == nil {
+		t.Error("zero count must fail")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Scenario1, 4, 6, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Generate(Scenario1, 4, 6, 42)
+	if !reflect.DeepEqual(names(a), names(b)) {
+		t.Fatal("same seed must generate identical workloads")
+	}
+	c, _ := Generate(Scenario1, 4, 6, 43)
+	if reflect.DeepEqual(names(a), names(c)) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func names(ws []Workload) [][]string {
+	out := make([][]string, len(ws))
+	for i, w := range ws {
+		for _, a := range w.Apps {
+			out[i] = append(out[i], a.Name)
+		}
+	}
+	return out
+}
+
+func TestGenerateRespectsScenarioCells(t *testing.T) {
+	for _, s := range Scenarios {
+		ws, err := Generate(s, 4, 8, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range ws {
+			if len(w.Apps) != 4 {
+				t.Fatalf("%s: %d apps", w.Name, len(w.Apps))
+			}
+			// Each half must come from one category of one of the
+			// scenario's cells.
+			firstCat := w.Apps[0].Category
+			secondCat := w.Apps[2].Category
+			ok := false
+			for _, cell := range s.Cells() {
+				if cell.App1 == firstCat && cell.App2 == secondCat {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Errorf("%s: halves (%s, %s) not a %s cell", w.Name, firstCat, secondCat, s)
+			}
+			for _, a := range w.Apps[:2] {
+				if a.Category != firstCat {
+					t.Errorf("%s: first half mixes categories", w.Name)
+				}
+			}
+			for _, a := range w.Apps[2:] {
+				if a.Category != secondCat {
+					t.Errorf("%s: second half mixes categories", w.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateCoverage(t *testing.T) {
+	// Section IV-C: generation continues until every application has
+	// been selected at least once. With round-robin pools, six 8-core
+	// workloads per scenario cover each scenario's pools.
+	used := map[string]bool{}
+	for _, s := range Scenarios {
+		ws, err := Generate(s, 8, 6, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range ws {
+			for _, a := range w.Apps {
+				used[a.Name] = true
+			}
+		}
+	}
+	for _, b := range bench.Suite() {
+		if !used[b.Name] {
+			t.Errorf("application %s never selected across all workloads", b.Name)
+		}
+	}
+}
+
+func TestTwoCoreExamples(t *testing.T) {
+	ex := TwoCoreExamples()
+	if len(ex) != 4 {
+		t.Fatalf("%d examples, want 4", len(ex))
+	}
+	for i, w := range ex {
+		if w.Scenario != Scenarios[i] {
+			t.Errorf("example %d scenario %s, want %s", i, w.Scenario, Scenarios[i])
+		}
+		if len(w.Apps) != 2 {
+			t.Errorf("example %s has %d apps", w.Name, len(w.Apps))
+		}
+	}
+	// The S1 example must pair a recipient from CS-PS per the scenario.
+	if ex[0].Apps[1].Category != bench.CSPS {
+		t.Error("S1 example's second application must be CS-PS")
+	}
+	if ex[3].Apps[0].Category != bench.CIPI || ex[3].Apps[1].Category != bench.CIPI {
+		t.Error("S4 example must be CI-PI × CI-PI")
+	}
+}
+
+func TestScenarioString(t *testing.T) {
+	if Scenario1.String() != "S1" || Scenario4.String() != "S4" {
+		t.Error("scenario names wrong")
+	}
+}

@@ -1,0 +1,208 @@
+// Package qosrm is a full reproduction of "Coordinated Management of
+// Processor Configuration and Cache Partitioning to Optimize Energy
+// under QoS Constraints" (Nejat, Manivannan, Pericàs, Stenström —
+// IPDPS 2020, arXiv:1911.05114).
+//
+// The package exposes the complete stack the paper builds and evaluates:
+//
+//   - a synthetic SPEC CPU2006-like benchmark suite with SimPoint-style
+//     phases (Suite, BenchmarkByName);
+//   - a detailed out-of-order core + partitioned-cache simulation
+//     substrate that produces the per-phase configuration database
+//     (Open / Options);
+//   - the proposed ATD leading-miss extension and the three online
+//     performance models (Model1/Model2/Model3);
+//   - the three resource managers (RM1: LLC partitioning, RM2: +DVFS,
+//     RM3: +core adaptation) with the paper's local/global optimisation;
+//   - the interval-driven multicore co-simulator (System.Run) and one
+//     driver per paper table/figure (System.Experiments).
+//
+// Quick start:
+//
+//	sys, err := qosrm.Open(qosrm.Options{})
+//	if err != nil { ... }
+//	apps := []*qosrm.Benchmark{qosrm.MustBenchmark("povray"), qosrm.MustBenchmark("mcf")}
+//	saving, res, err := sys.Savings(apps, qosrm.SimConfig{RM: qosrm.RM3})
+package qosrm
+
+import (
+	"qosrm/internal/bench"
+	"qosrm/internal/config"
+	"qosrm/internal/db"
+	"qosrm/internal/experiments"
+	"qosrm/internal/perfmodel"
+	"qosrm/internal/rm"
+	"qosrm/internal/sim"
+	"qosrm/internal/trace"
+	"qosrm/internal/workload"
+)
+
+// Re-exported core types. Aliases keep the internal packages as the
+// single source of truth while giving external importers usable names.
+type (
+	// Benchmark is one application of the synthetic suite.
+	Benchmark = bench.Benchmark
+	// Phase is one SimPoint-like program phase of a Benchmark.
+	Phase = bench.Phase
+	// Category is the CS/CI × PS/PI taxonomy cell of an application.
+	Category = bench.Category
+	// TraceParams parameterises a synthetic instruction stream.
+	TraceParams = trace.Params
+	// Region is one address region of a synthetic footprint.
+	Region = trace.Region
+	// Setting is one per-core configuration point (core size, DVFS
+	// index, LLC ways).
+	Setting = config.Setting
+	// CoreSize selects the S/M/L adaptive core configuration.
+	CoreSize = config.CoreSize
+	// RMKind selects a resource manager (Idle, RM1, RM2, RM3).
+	RMKind = rm.Kind
+	// ModelKind selects an online performance model (Model1..Model3).
+	ModelKind = perfmodel.Kind
+	// SimConfig configures one co-simulation run.
+	SimConfig = sim.Config
+	// SimResult is the outcome of one co-simulation run.
+	SimResult = sim.Result
+	// SimEvent is one interval-boundary event (Figure 5).
+	SimEvent = sim.Event
+	// Workload is a generated application mix.
+	Workload = workload.Workload
+	// Scenario is one of the four Figure 1 workload scenarios.
+	Scenario = workload.Scenario
+	// Experiments bundles the paper's table/figure drivers.
+	Experiments = experiments.Context
+	// DB is the per-(application, phase, setting) simulation database.
+	DB = db.DB
+)
+
+// Re-exported enumerations.
+const (
+	SizeS = config.SizeS
+	SizeM = config.SizeM
+	SizeL = config.SizeL
+
+	Idle = rm.Idle
+	RM1  = rm.RM1
+	RM2  = rm.RM2
+	RM3  = rm.RM3
+
+	Model1 = perfmodel.Model1
+	Model2 = perfmodel.Model2
+	Model3 = perfmodel.Model3
+
+	CSPS = bench.CSPS
+	CSPI = bench.CSPI
+	CIPS = bench.CIPS
+	CIPI = bench.CIPI
+
+	Scenario1 = workload.Scenario1
+	Scenario2 = workload.Scenario2
+	Scenario3 = workload.Scenario3
+	Scenario4 = workload.Scenario4
+)
+
+// Baseline returns the fixed reference setting: M core, 2 GHz, 8 ways.
+func Baseline() Setting { return config.Baseline() }
+
+// Suite returns the 27-application synthetic benchmark suite.
+func Suite() []*Benchmark { return bench.Suite() }
+
+// BenchmarkByName looks an application up by its SPEC-style name.
+func BenchmarkByName(name string) (*Benchmark, error) { return bench.ByName(name) }
+
+// MustBenchmark is BenchmarkByName panicking on unknown names; it is
+// meant for examples and tests with literal names.
+func MustBenchmark(name string) *Benchmark {
+	b, err := bench.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// GenerateWorkloads produces count n-core scenario workloads
+// deterministically from seed (Section IV-C).
+func GenerateWorkloads(s Scenario, cores, count int, seed int64) ([]Workload, error) {
+	return workload.Generate(s, cores, count, seed)
+}
+
+// Options configures Open.
+type Options struct {
+	// DBPath caches the simulation database; empty disables caching.
+	DBPath string
+	// TraceLen is the measured instruction count per phase (default
+	// 65536); Warmup the cache warm-up prefix (default 16384).
+	TraceLen int
+	Warmup   int
+	// Workers bounds build parallelism (default GOMAXPROCS).
+	Workers int
+	// Benchmarks restricts the database to a subset of the suite
+	// (default: the full suite).
+	Benchmarks []*Benchmark
+}
+
+// System is the top-level handle: a built simulation database plus the
+// co-simulator and experiment drivers over it.
+type System struct {
+	db *db.DB
+}
+
+// Open builds (or loads from Options.DBPath) the simulation database by
+// running the detailed core/cache simulations over every benchmark
+// phase and every core size, frequency corner and way allocation.
+func Open(o Options) (*System, error) {
+	benches := o.Benchmarks
+	if len(benches) == 0 {
+		benches = bench.Suite()
+	}
+	d, err := db.LoadOrBuild(o.DBPath, benches, db.Options{
+		TraceLen: o.TraceLen,
+		Warmup:   o.Warmup,
+		Workers:  o.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &System{db: d}, nil
+}
+
+// FromDB wraps an already-built database.
+func FromDB(d *DB) *System { return &System{db: d} }
+
+// DB exposes the underlying database.
+func (s *System) DB() *DB { return s.db }
+
+// Run co-simulates one application per core under cfg.
+func (s *System) Run(apps []*Benchmark, cfg SimConfig) (*SimResult, error) {
+	return sim.Run(s.db, apps, cfg)
+}
+
+// Savings runs cfg and the baseline-keeping idle manager on the same
+// workload and returns the fractional energy saving along with the
+// managed run's result.
+func (s *System) Savings(apps []*Benchmark, cfg SimConfig) (float64, *SimResult, error) {
+	idleCfg := cfg
+	idleCfg.RM = Idle
+	idle, err := sim.Run(s.db, apps, idleCfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	r, err := sim.Run(s.db, apps, cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	return 1 - r.EnergyJ/idle.EnergyJ, r, nil
+}
+
+// Classify measures an application's CS/CI × PS/PI category with the
+// Section IV-C rules.
+func (s *System) Classify(b *Benchmark) (Category, error) {
+	cat, _, err := s.db.Classify(b)
+	return cat, err
+}
+
+// Experiments returns the paper's table/figure drivers bound to this
+// system's database.
+func (s *System) Experiments() *Experiments {
+	return experiments.NewContext(s.db)
+}
