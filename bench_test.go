@@ -41,12 +41,27 @@ func benchContext(b *testing.B) *experiments.Context {
 
 // BenchmarkDatabaseBuild measures the detailed-simulation sweep for one
 // benchmark's phases over the full configuration space (the paper's
-// Sniper+McPAT stage, per application).
+// Sniper+McPAT stage, per application). Compare against
+// BenchmarkDatabaseBuildReference, the retained seed sweep; the
+// internal/perfbench suite tracks both (plus the full-suite build) in
+// the committed BENCH_*.json trajectory.
 func BenchmarkDatabaseBuild(b *testing.B) {
 	mcf := MustBenchmark("mcf")
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := db.Build([]*bench.Benchmark{mcf}, db.Options{TraceLen: 8192, Warmup: 2048, Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDatabaseBuildReference is the seed database sweep on the
+// same workload: fresh ATD warmup and one timing walk per grid point.
+func BenchmarkDatabaseBuildReference(b *testing.B) {
+	mcf := MustBenchmark("mcf")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.BuildReference([]*bench.Benchmark{mcf}, db.Options{TraceLen: 8192, Warmup: 2048, Workers: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}

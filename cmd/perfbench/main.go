@@ -1,0 +1,53 @@
+// Command perfbench runs the repository's performance benchmark suite
+// (internal/perfbench) and writes the results as a JSON report, so the
+// performance trajectory of the hot paths — database sweep, RM
+// invocation, record lookup, co-simulation — is recorded alongside the
+// code. Commit the output as BENCH_<n>.json when a PR changes a hot
+// path.
+//
+// Usage:
+//
+//	go run ./cmd/perfbench [-short] [-o BENCH_1.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"qosrm/internal/perfbench"
+)
+
+func main() {
+	short := flag.Bool("short", false, "shrink workloads for CI (subset suite)")
+	out := flag.String("o", "BENCH.json", "output JSON path")
+	flag.Parse()
+
+	start := time.Now()
+	rep, err := perfbench.Run(*short)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfbench:", err)
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfbench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "perfbench:", err)
+		os.Exit(1)
+	}
+
+	for _, r := range rep.Results {
+		fmt.Printf("%-24s %12.0f ns/op %10d B/op %8d allocs/op  (n=%d)\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.N)
+	}
+	fmt.Println()
+	fmt.Print(rep.Summary())
+	fmt.Printf("wrote %s in %s\n", *out, time.Since(start).Round(time.Millisecond))
+}

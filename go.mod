@@ -1,0 +1,3 @@
+module qosrm
+
+go 1.24.0

@@ -59,6 +59,7 @@ type ATD struct {
 	sampleMask  uint64
 	setShift    uint
 	indexMask   int32 // instruction-index window mask (2^bits − 1)
+	robs        [config.NumSizes]int32
 
 	accesses int64 // sampled LLC accesses observed
 	hitHist  [config.MaxWays + 1]int64
@@ -97,6 +98,9 @@ func NewWithIndexBits(sampleShift uint, indexBits int) (*ATD, error) {
 		setShift:    6, // log2(block bytes)
 		indexMask:   int32(1<<indexBits - 1),
 	}
+	for ci, c := range config.Sizes {
+		a.robs[ci] = int32(config.Core(c).ROB)
+	}
 	a.resetLMRegisters()
 	return a, nil
 }
@@ -108,6 +112,16 @@ func MustNew(sampleShift uint) *ATD {
 		panic(err)
 	}
 	return a
+}
+
+// Clone returns a deep copy of the ATD: tag state, histograms and all
+// leading-miss counters. The database sweep warms one ATD per phase and
+// clones it for every (core size, frequency, ways) run, since warmup is
+// setting-independent.
+func (a *ATD) Clone() *ATD {
+	c := *a
+	c.stack = a.stack.Clone()
+	return &c
 }
 
 func (a *ATD) resetLMRegisters() {
@@ -145,6 +159,75 @@ func (a *ATD) Access(addr uint64, instIdx int64, isLoad bool) {
 	if !isLoad {
 		return
 	}
+	// An access at recency position pos misses exactly for allocations
+	// w < pos (and for every allocation when absent): the counters to
+	// update form the prefix wi < pos-MinWays of each bank, so the hit
+	// entries are skipped wholesale instead of tested one by one.
+	limit := numWays
+	if pos != 0 {
+		limit = pos - config.MinWays // pos ≤ MaxWays keeps this < numWays
+		if limit <= 0 {
+			return
+		}
+	}
+	idx := int32(instIdx) & a.indexMask
+	mask := a.indexMask
+	for ci := range a.lm {
+		rob := a.robs[ci]
+		lm := a.lm[ci][:limit]
+		for j := range lm {
+			lm[j].observeMiss(idx, rob, mask)
+		}
+	}
+}
+
+// observeMiss applies the Figure 4 heuristic to one predicted miss. A
+// miss leads when any of these hold, otherwise it overlaps the last
+// leading miss:
+//
+//   - no leading miss has been seen yet (lastLM < 0);
+//   - it is outside the reorder window of the last leading miss
+//     (dist >= rob), so the core cannot overlap them;
+//   - it arrived out of order relative to the last overlapping access
+//     (lastOVDst >= 0 && dist < lastOVDst), which the paper's heuristic
+//     attributes to a serialising data dependence on the previous
+//     leading miss.
+//
+// This is the hottest loop of the database sweep (45 counters per
+// observed miss), so the state transition is computed branchlessly: the
+// conditions become sign bits and the update a select mask. The
+// transitions are exactly the imperative ones above.
+func (s *lmState) observeMiss(idx, rob, indexMask int32) {
+	dist := (idx - s.lastLM) & indexMask
+	lead := uint32(rob-1-dist)>>31 | // dist >= rob
+		uint32(s.lastLM)>>31 | // first miss
+		(uint32(dist-s.lastOVDst)>>31)&^(uint32(s.lastOVDst)>>31) // dist < lastOVDst >= 0
+	m := -int32(lead) // all ones when leading
+	s.count += int64(lead)
+	s.lastLM = (idx & m) | (s.lastLM &^ m)
+	s.lastOVDst = m | (dist &^ m) // -1 when leading, else dist
+}
+
+// AccessReference is the seed implementation of Access, retained
+// verbatim (together with observeMissReference and the stack's
+// AccessReference) so the database sweep's reference path measures the
+// seed's per-access cost, not one sped up by later optimisations. Tests
+// assert Access and AccessReference leave identical state.
+func (a *ATD) AccessReference(addr uint64, instIdx int64, isLoad bool) {
+	if !a.sampled(addr) {
+		return
+	}
+	a.accesses++
+	dense := (addr >> a.setShift >> a.sampleShift << a.setShift) | (addr & (1<<a.setShift - 1))
+	pos := a.stack.AccessReference(dense)
+	if pos == 0 {
+		a.cold++
+	} else {
+		a.hitHist[pos]++
+	}
+	if !isLoad {
+		return
+	}
 	idx := int32(instIdx) & a.indexMask
 	for ci, c := range config.Sizes {
 		rob := int32(config.Core(c).ROB)
@@ -153,13 +236,13 @@ func (a *ATD) Access(addr uint64, instIdx int64, isLoad bool) {
 			if pos != 0 && pos <= w {
 				continue // predicted hit at allocation w: not a miss at all
 			}
-			a.lm[ci][wi].observeMiss(idx, rob, a.indexMask)
+			a.lm[ci][wi].observeMissReference(idx, rob, a.indexMask)
 		}
 	}
 }
 
-// observeMiss applies the Figure 4 heuristic to one predicted miss.
-func (s *lmState) observeMiss(idx, rob, indexMask int32) {
+// observeMissReference is the seed implementation of observeMiss.
+func (s *lmState) observeMissReference(idx, rob, indexMask int32) {
 	if s.lastLM < 0 {
 		// First leading miss.
 		s.count++

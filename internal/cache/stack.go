@@ -67,6 +67,49 @@ func (s *LRUStack) Access(addr uint64) int {
 	val := s.valid[base : base+s.ways]
 	pos := 0
 	for i := 0; i < s.ways; i++ {
+		// Tag first: it almost always differs, sparing the validity load.
+		if row[i] == tag && val[i] {
+			pos = i + 1
+			copy(row[1:], row[:i])
+			copy(val[1:], val[:i])
+			row[0], val[0] = tag, true
+			return pos
+		}
+	}
+	copy(row[1:], row[:s.ways-1])
+	copy(val[1:], val[:s.ways-1])
+	row[0], val[0] = tag, true
+	return 0
+}
+
+// Clone returns a deep copy of the stack: tag, validity and dirty state
+// are duplicated so the copy can be accessed independently. It is the
+// snapshot primitive behind warm-once/run-many database sweeps.
+func (s *LRUStack) Clone() *LRUStack {
+	c := &LRUStack{
+		setShift:  s.setShift,
+		setMask:   s.setMask,
+		ways:      s.ways,
+		tags:      append([]uint64(nil), s.tags...),
+		valid:     append([]bool(nil), s.valid...),
+		blockMask: s.blockMask,
+	}
+	if s.dirty != nil {
+		c.dirty = append([]uint32(nil), s.dirty...)
+	}
+	return c
+}
+
+// AccessReference is the seed implementation of Access, retained
+// verbatim as the equivalence and benchmark baseline for the database
+// sweep's reference path.
+func (s *LRUStack) AccessReference(addr uint64) int {
+	tag := addr & s.blockMask
+	base := int((addr>>s.setShift)&s.setMask) * s.ways
+	row := s.tags[base : base+s.ways]
+	val := s.valid[base : base+s.ways]
+	pos := 0
+	for i := 0; i < s.ways; i++ {
 		if val[i] && row[i] == tag {
 			pos = i + 1
 			copy(row[1:], row[:i])

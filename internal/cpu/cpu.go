@@ -23,7 +23,9 @@
 package cpu
 
 import (
+	"math/bits"
 	"sort"
+	"sync"
 
 	"qosrm/internal/atd"
 	"qosrm/internal/cache"
@@ -49,6 +51,84 @@ type Annotated struct {
 
 	L1Misses int64 // accesses that missed L1-D
 	L2Misses int64 // accesses that missed L2 (== LLC accesses)
+
+	// mu guards profiles, the lazily computed per-allocation counter
+	// sets shared by every timing run over this stream.
+	mu       sync.Mutex
+	profiles [config.MaxWays + 1]*waysStats
+}
+
+// waysStats are the cache-simulation counters of one way allocation.
+// They are frequency- and core-size-independent — the hierarchy
+// behaviour was fixed at annotation time and only the pos-vs-ways
+// comparison depends on the setting — so one count per allocation is
+// shared across every (core size, frequency corner) timing run instead
+// of being re-derived inside each walk.
+type waysStats struct {
+	llcAccesses int64
+	llcHits     int64
+	llcMisses   int64
+	dramLoads   int64
+	writebacks  int64
+	mispredicts int64
+}
+
+// waysProfile returns the counter set for allocation w, computing all
+// allocations' counters in a single pass over the stream on first use:
+// the recency-position histogram gives hits and misses for every w at
+// once (LRU inclusion), and the writeback masks carry one bit per
+// allocation. Safe for concurrent use.
+func (a *Annotated) waysProfile(w int) *waysStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if p := a.profiles[w]; p != nil {
+		return p
+	}
+	var (
+		mispredicts int64
+		accesses    int64
+		loads       int64
+		hitHist     [config.MaxWays + 1]int64 // hits by recency position
+		loadHist    [config.MaxWays + 1]int64
+		wbCount     [config.MaxWays + 1]int64 // writebacks by allocation
+	)
+	for i, in := range a.Insts {
+		switch in.Kind {
+		case trace.KindBranch:
+			if in.Mispredict {
+				mispredicts++
+			}
+		case trace.KindLoad, trace.KindStore:
+			if a.Level[i] != 3 {
+				continue
+			}
+			accesses++
+			pos := int(a.LLCPos[i])
+			isLoad := in.Kind == trace.KindLoad
+			if isLoad {
+				loads++
+				loadHist[pos]++
+			}
+			hitHist[pos]++
+			for m := a.WBMask[i]; m != 0; m &= m - 1 {
+				wbCount[bits.TrailingZeros32(m)+1]++
+			}
+		}
+	}
+	var hits, loadHits int64
+	for ww := 1; ww <= config.MaxWays; ww++ {
+		hits += hitHist[ww]
+		loadHits += loadHist[ww]
+		a.profiles[ww] = &waysStats{
+			llcAccesses: accesses,
+			llcHits:     hits,
+			llcMisses:   accesses - hits,
+			dramLoads:   loads - loadHits,
+			writebacks:  wbCount[ww],
+			mispredicts: mispredicts,
+		}
+	}
+	return a.profiles[w]
 }
 
 // Annotate runs the stream through a fresh Table I private hierarchy and
@@ -165,18 +245,788 @@ type Result struct {
 	Writebacks int64
 }
 
-// llcEvent buffers one LLC access for in-issue-order ATD feeding.
-type llcEvent struct {
-	issueNs float64
-	instIdx int64
-	addr    uint64
-	isLoad  bool
+// LLCEvent is one LLC access of a timing run, buffered for
+// in-issue-order ATD feeding. Two runs of the same annotated stream
+// always produce the same event set — only the issue times, and with
+// them the delivery order, depend on the setting — so a sorted event
+// stream is fully described by its InstIdx sequence. The database sweep
+// exploits that: runs whose sequences match share one fed ATD.
+type LLCEvent struct {
+	IssueNs float64
+	InstIdx int64
+	Addr    uint64
+	IsLoad  bool
 }
 
 // Run executes the annotated stream under rc and returns timing and
 // statistics. It is deterministic and safe for concurrent use with
 // distinct rc.ATD values.
+//
+// This is the optimized walk: it produces results bit-identical to
+// RunReference (enforced by TestRunMatchesReference) while avoiding the
+// reference's per-instruction integer divisions — ring indices are
+// maintained by wraparound arithmetic over power-of-two-padded buffers —
+// and reading the frequency-independent cache counters from the shared
+// per-allocation profile instead of re-counting them in every walk.
 func Run(a *Annotated, rc RunConfig) Result {
+	cp := config.Core(rc.Core)
+	perCycle := 1.0 / rc.FreqGHz // ns per cycle
+
+	n := len(a.Insts)
+	res := Result{Instructions: int64(n)}
+
+	// Ring buffers over the reorder window, padded to powers of two so
+	// the masked indexing below stays in bounds without checks. Only
+	// slots < robSize (resp. < LSQ) are ever touched, so the semantics
+	// match the reference's exactly-sized rings.
+	robSize := cp.ROB
+	ringLen := 1
+	for ringLen < robSize {
+		ringLen <<= 1
+	}
+	ringMask := ringLen - 1
+	done := make([]float64, ringLen)  // completion time (ns) by i % robSize
+	start := make([]float64, ringLen) // execution start time by i % robSize
+	lsq := cp.LSQ
+	memLen := 1
+	for memLen < lsq {
+		memLen <<= 1
+	}
+	memMask := memLen - 1
+	memRing := make([]float64, memLen)
+	mi := 0 // memCount % LSQ, maintained by wraparound
+
+	var (
+		dispatch      float64 // front-end time cursor (ns)
+		frontEndReady float64
+		frontier      float64 // in-order retirement frontier (ns)
+		lastDRAMStart float64 // per-core bandwidth queue cursor
+		lastMissEnd   float64 // end of the latest DRAM service, for LM
+	)
+	dispatchStep := perCycle / float64(cp.IssueWidth)
+
+	var events []LLCEvent
+	if rc.ATD != nil {
+		events = make([]LLCEvent, 0, a.L2Misses)
+	}
+
+	rs := cp.RS
+	hasRS := rs < robSize
+	ways := rc.Ways
+	ri := 0 // i % robSize, maintained by wraparound
+
+	for i, in := range a.Insts {
+		// --- Dispatch constraints ---
+		// The reference resolves each constraint with a data-dependent
+		// branch; on real phase traces those branches are essentially
+		// random, so this path folds them into branchless float maxes.
+		// Every operand is finite and non-negative (absent constraints
+		// contribute 0), for which max() is value-identical to the
+		// reference's compare-and-assign.
+		//
+		// done[ri] still holds the completion time of instruction
+		// i-robSize: the ROB-full constraint.
+		d1 := max(dispatch+dispatchStep, done[ri&ringMask])
+		var rsV, memV float64
+		// Reservation stations: instruction i-RS must have begun
+		// execution before i can occupy a station.
+		if hasRS && i >= rs {
+			j := ri - rs
+			if j < 0 {
+				j += robSize
+			}
+			rsV = start[j&ringMask]
+		}
+		isMem := in.Kind == trace.KindLoad || in.Kind == trace.KindStore
+		if isMem {
+			// Load/store queue: the (memCount-LSQ)-th memory op must
+			// have completed.
+			memV = memRing[mi&memMask]
+		}
+		d := max(d1, frontEndReady, rsV, memV)
+		// The dispatch stall is attributed to the branch refill exactly
+		// when the front end dominated the other constraints — the same
+		// condition the reference tracks imperatively.
+		branchBound := frontEndReady > d1 && rsV <= frontEndReady && memV <= frontEndReady
+		dispatch = d
+
+		// --- Operand readiness ---
+		ready := d + perCycle // register read / rename stage
+		var dv1, dv2 float64
+		if dep := int(in.Dep1); dep > 0 && dep <= robSize && dep <= i {
+			j := ri - dep
+			if j < 0 {
+				j += robSize
+			}
+			dv1 = done[j&ringMask]
+		}
+		if dep := int(in.Dep2); dep > 0 && dep <= robSize && dep <= i {
+			j := ri - dep
+			if j < 0 {
+				j += robSize
+			}
+			dv2 = done[j&ringMask]
+		}
+		ready = max(ready, dv1, dv2)
+		st := ready
+		start[ri&ringMask] = st
+
+		// --- Execution ---
+		var fin float64
+		stallClass := classBase
+		switch in.Kind {
+		case trace.KindALU:
+			fin = st + perCycle
+		case trace.KindMul:
+			fin = st + trace.MulLatencyCycles*perCycle
+		case trace.KindBranch:
+			fin = st + perCycle
+			if in.Mispredict {
+				if r := fin + config.BranchPenaltyCycles*perCycle; r > frontEndReady {
+					frontEndReady = r
+				}
+			}
+		case trace.KindStore:
+			// Stores retire into the write buffer; the cache-state
+			// effects were captured during annotation. Store misses
+			// still consume DRAM bandwidth.
+			fin = st + perCycle
+			if a.Level[i] == 3 {
+				pos := int(a.LLCPos[i])
+				if rc.ATD != nil {
+					events = append(events, LLCEvent{st, int64(i), in.Addr, false})
+				}
+				if pos == 0 || pos > ways {
+					reqNs := st + config.L3LatencyCycles*perCycle
+					sStart := reqNs
+					if lastDRAMStart+config.DRAMServiceNs > sStart {
+						sStart = lastDRAMStart + config.DRAMServiceNs
+					}
+					lastDRAMStart = sStart
+				}
+			}
+		case trace.KindLoad:
+			switch a.Level[i] {
+			case 1:
+				fin = st + config.L1LatencyCycles*perCycle
+			case 2:
+				fin = st + config.L2LatencyCycles*perCycle
+				stallClass = classCache
+			default: // 3: reached the LLC
+				pos := int(a.LLCPos[i])
+				if rc.ATD != nil {
+					events = append(events, LLCEvent{st, int64(i), in.Addr, true})
+				}
+				if pos != 0 && pos <= ways {
+					fin = st + config.L3LatencyCycles*perCycle
+					stallClass = classCache
+				} else {
+					reqNs := st + config.L3LatencyCycles*perCycle
+					sStart := reqNs
+					if lastDRAMStart+config.DRAMServiceNs > sStart {
+						sStart = lastDRAMStart + config.DRAMServiceNs
+					}
+					lastDRAMStart = sStart
+					fin = sStart + config.DRAMLatencyNs
+					stallClass = classMem
+					// Leading-loads ground truth: a miss is leading when
+					// it is not issued within the DRAM latency window of
+					// a previous miss ([12], [13]). Queueing delay
+					// lengthens completion but not the overlap window,
+					// so bandwidth saturation does not collapse the
+					// leading count to zero.
+					if reqNs >= lastMissEnd {
+						res.LeadingMisses++
+					}
+					if end := reqNs + config.DRAMLatencyNs; end > lastMissEnd {
+						lastMissEnd = end
+					}
+				}
+			}
+		}
+		done[ri&ringMask] = fin
+		if isMem {
+			memRing[mi&memMask] = fin
+			mi++
+			if mi == lsq {
+				mi = 0
+			}
+		}
+		ri++
+		if ri == robSize {
+			ri = 0
+		}
+
+		// --- Retirement frontier and stall attribution ---
+		frontier += dispatchStep
+		res.BaseNs += dispatchStep
+		if fin > frontier {
+			stall := fin - frontier
+			frontier = fin
+			if stallClass == classBase && branchBound {
+				stallClass = classBranch
+			}
+			switch stallClass {
+			case classMem:
+				res.MemNs += stall
+			case classCache:
+				res.CacheNs += stall
+			case classBranch:
+				res.BranchNs += stall
+			default:
+				res.BaseNs += stall
+			}
+		}
+	}
+
+	res.TimeNs = frontier
+	res.L1Misses = a.L1Misses
+	pr := a.waysProfile(ways)
+	res.LLCAccesses = pr.llcAccesses
+	res.LLCHits = pr.llcHits
+	res.LLCMisses = pr.llcMisses
+	res.DRAMLoads = pr.dramLoads
+	res.Writebacks = pr.writebacks
+	res.Mispredicts = pr.mispredicts
+	if res.LeadingMisses > 0 {
+		res.MLP = float64(res.DRAMLoads) / float64(res.LeadingMisses)
+	} else {
+		res.MLP = 1
+	}
+
+	if rc.ATD != nil {
+		// Deliver the LLC stream in issue order, as the hardware would
+		// observe it. The sort is stable, so program order is kept among
+		// accesses issued in the same instant — the same contract as the
+		// reference's sort.SliceStable, without its closure overhead.
+		sortEventsStable(events)
+		for _, e := range events {
+			rc.ATD.Access(e.Addr, e.InstIdx, e.IsLoad)
+		}
+	}
+	return res
+}
+
+// sortEventsStable stably sorts events by issue time. Equal issue times
+// keep program order, so the result is the unique stable permutation —
+// identical to what sort.SliceStable produces.
+func sortEventsStable(e []LLCEvent) {
+	var buf []LLCEvent
+	sortEventsStableBuf(e, &buf)
+}
+
+// sortEventsStableBuf is sortEventsStable with a caller-owned merge
+// buffer (grown as needed) so repeated sorts do not reallocate. Issue
+// order mostly follows program order, so the stream decomposes into long
+// non-descending runs; collect them (extending short ones by insertion
+// sort) and merge neighbour pairs ping-pong between the two buffers
+// until one run remains.
+func sortEventsStableBuf(e []LLCEvent, bufp *[]LLCEvent) {
+	const minRun = 32
+	n := len(e)
+	if n < 2 {
+		return
+	}
+	type run struct{ lo, hi int }
+	var runsA, runsB []run
+	for lo := 0; lo < n; {
+		hi := lo + 1
+		for hi < n && e[hi].IssueNs >= e[hi-1].IssueNs {
+			hi++
+		}
+		if hi-lo < minRun {
+			hi = lo + minRun
+			if hi > n {
+				hi = n
+			}
+			insertionSortEvents(e[lo:hi])
+		}
+		runsA = append(runsA, run{lo, hi})
+		lo = hi
+	}
+	if len(runsA) == 1 {
+		return
+	}
+	if cap(*bufp) < n {
+		*bufp = make([]LLCEvent, n)
+	}
+	src, dst := e, (*bufp)[:n]
+	runs := runsA
+	for len(runs) > 1 {
+		merged := runsB[:0]
+		for i := 0; i < len(runs); i += 2 {
+			if i+1 == len(runs) {
+				r := runs[i]
+				copy(dst[r.lo:r.hi], src[r.lo:r.hi])
+				merged = append(merged, r)
+				break
+			}
+			l, r := runs[i], runs[i+1]
+			mergeEvents(dst[l.lo:r.hi], src[l.lo:l.hi], src[l.hi:r.hi])
+			merged = append(merged, run{l.lo, r.hi})
+		}
+		runsB = runs
+		runs = merged
+		src, dst = dst, src
+	}
+	if &src[0] != &e[0] {
+		copy(e, src)
+	}
+}
+
+func insertionSortEvents(e []LLCEvent) {
+	for i := 1; i < len(e); i++ {
+		for j := i; j > 0 && e[j].IssueNs < e[j-1].IssueNs; j-- {
+			e[j], e[j-1] = e[j-1], e[j]
+		}
+	}
+}
+
+// mergeEvents merges two sorted runs into out, taking from the left run
+// on ties to preserve stability.
+func mergeEvents(out, l, r []LLCEvent) {
+	i, j := 0, 0
+	for k := range out {
+		switch {
+		case i < len(l) && (j >= len(r) || l[i].IssueNs <= r[j].IssueNs):
+			out[k] = l[i]
+			i++
+		default:
+			out[k] = r[j]
+			j++
+		}
+	}
+}
+
+// numWays is the number of tracked way allocations (MinWays..MaxWays).
+const numWays = config.MaxWays - config.MinWays + 1
+
+// laneRow is one ring-buffer slot of the sweep walk: a value per lane.
+type laneRow = [numWays]float64
+
+// zeroRow stands in for absent dispatch constraints (its values never
+// change), letting the lane loop below stay branchless.
+var zeroRow laneRow
+
+// SweepScratch is reusable working memory for RunWays: the per-lane
+// event buffers and the merge buffer of the stable sort. One scratch
+// serves any number of sequential RunWays calls; the event slices each
+// call returns alias the scratch and are valid until the next call.
+type SweepScratch struct {
+	flat []LLCEvent
+	buf  []LLCEvent
+	evs  [numWays][]LLCEvent
+}
+
+// lanes carves the scratch into numWays empty event buffers of capacity
+// perLane each.
+func (s *SweepScratch) lanes(perLane int) [][]LLCEvent {
+	need := numWays * perLane
+	if cap(s.flat) < need {
+		s.flat = make([]LLCEvent, need)
+	}
+	flat := s.flat[:cap(s.flat)]
+	for l := range s.evs {
+		base := l * perLane
+		s.evs[l] = flat[base : base : base+perLane]
+	}
+	return s.evs[:]
+}
+
+// RunWays executes the annotated stream at one (core size, frequency)
+// point for every way allocation MinWays..MaxWays in a single
+// interleaved walk, returning the per-allocation results indexed by
+// w-MinWays. When scratch is non-nil it also returns each allocation's
+// LLC event stream, sorted into issue order — exactly the stream Run
+// would deliver to an ATD; the caller replays it (or shares a replay
+// between allocations whose streams are identical, see LLCEvent). The
+// returned streams alias scratch and are valid until its next use.
+//
+// Results are bit-identical to fifteen separate Run calls (enforced by
+// TestRunWaysMatchesReference): each lane performs the same float
+// operations in the same order; only the instruction decode, ring
+// indices and annotation lookups — which are allocation-independent —
+// are shared. The point is throughput: one Run is latency-bound on its
+// serial dispatch→ready→completion float chain, so fifteen independent
+// chains advanced in lockstep hide nearly all of that latency and make
+// the database sweep several times faster than walking allocations one
+// by one.
+func RunWays(a *Annotated, core config.CoreSize, freqGHz float64, scratch *SweepScratch) ([]Result, [][]LLCEvent) {
+	cp := config.Core(core)
+	perCycle := 1.0 / freqGHz // ns per cycle
+
+	n := len(a.Insts)
+	results := make([]Result, numWays)
+	for l := range results {
+		results[l].Instructions = int64(n)
+	}
+
+	robSize := cp.ROB
+	ringLen := 1
+	for ringLen < robSize {
+		ringLen <<= 1
+	}
+	ringMask := ringLen - 1
+	done := make([]laneRow, ringLen)
+	start := make([]laneRow, ringLen)
+	lsq := cp.LSQ
+	memLen := 1
+	for memLen < lsq {
+		memLen <<= 1
+	}
+	memMask := memLen - 1
+	memRing := make([]laneRow, memLen)
+	mi := 0
+
+	var (
+		dispatch      laneRow
+		frontEndReady laneRow
+		frontier      laneRow
+		lastDRAMStart laneRow
+		lastMissEnd   laneRow
+		fins          laneRow
+		leading       [numWays]int64
+	)
+	dispatchStep := perCycle / float64(cp.IssueWidth)
+	l1Ns := config.L1LatencyCycles * perCycle
+	l2Ns := config.L2LatencyCycles * perCycle
+	l3Ns := config.L3LatencyCycles * perCycle
+	mulNs := trace.MulLatencyCycles * perCycle
+	penNs := config.BranchPenaltyCycles * perCycle
+
+	feed := scratch != nil
+	var events [][]LLCEvent
+	if feed {
+		events = scratch.lanes(int(a.L2Misses))
+	}
+
+	rs := cp.RS
+	hasRS := rs < robSize
+	ri := 0
+
+	for i, in := range a.Insts {
+		// --- Dispatch constraints (shared index math, per-lane maxes,
+		// same value sequence as Run) ---
+		row := &done[ri&ringMask]
+		rsRow := &zeroRow
+		if hasRS && i >= rs {
+			j := ri - rs
+			if j < 0 {
+				j += robSize
+			}
+			rsRow = &start[j&ringMask]
+		}
+		isMem := in.Kind == trace.KindLoad || in.Kind == trace.KindStore
+		memRow := &zeroRow
+		if isMem {
+			memRow = &memRing[mi&memMask]
+		}
+		dep1Row := &zeroRow
+		if dep := int(in.Dep1); dep > 0 && dep <= robSize && dep <= i {
+			j := ri - dep
+			if j < 0 {
+				j += robSize
+			}
+			dep1Row = &done[j&ringMask]
+		}
+		dep2Row := &zeroRow
+		if dep := int(in.Dep2); dep > 0 && dep <= robSize && dep <= i {
+			j := ri - dep
+			if j < 0 {
+				j += robSize
+			}
+			dep2Row = &done[j&ringMask]
+		}
+		srow := &start[ri&ringMask]
+		noDeps := dep1Row == &zeroRow && dep2Row == &zeroRow
+
+		// Decode the execution latency and stall class. Every kind
+		// except an LLC load completes a fixed latency after issue, so
+		// its whole lane sweep — dispatch, issue, completion, retirement
+		// — fuses into the single loop below; LLC loads (llc == true)
+		// split their lanes into a DRAM-miss prefix and an LLC-hit
+		// suffix afterwards.
+		lat := perCycle // ALU, branch, store
+		stallClass := classBase
+		llc := false
+		switch in.Kind {
+		case trace.KindMul:
+			lat = mulNs
+		case trace.KindLoad:
+			switch a.Level[i] {
+			case 1:
+				lat = l1Ns
+			case 2:
+				lat = l2Ns
+				stallClass = classCache
+			default:
+				llc = true
+			}
+		}
+
+		if !llc {
+			// --- Fused lane sweep for fixed-latency kinds ---
+			// Four specialisations drop the constraint terms that are
+			// provably absent: a non-memory instruction contributes no
+			// LSQ bound (memV would be 0, and max with 0 is the identity
+			// on these non-negative values), an instruction without
+			// producers skips the dependence maxes. Each variant performs
+			// exactly the reference's remaining float ops in order.
+			switch {
+			case noDeps && !isMem:
+				for l := 0; l < numWays; l++ {
+					d1 := max(dispatch[l]+dispatchStep, row[l])
+					fe := frontEndReady[l]
+					rsV := rsRow[l]
+					d := max(d1, fe, rsV)
+					dispatch[l] = d
+					ready := d + perCycle
+					srow[l] = ready
+					fin := ready + lat
+					fins[l] = fin
+					frontier[l] += dispatchStep
+					results[l].BaseNs += dispatchStep
+					if fin > frontier[l] {
+						stall := fin - frontier[l]
+						frontier[l] = fin
+						switch {
+						case stallClass == classCache:
+							results[l].CacheNs += stall
+						case fe > d1 && rsV <= fe:
+							results[l].BranchNs += stall
+						default:
+							results[l].BaseNs += stall
+						}
+					}
+				}
+			case noDeps:
+				for l := 0; l < numWays; l++ {
+					d1 := max(dispatch[l]+dispatchStep, row[l])
+					fe := frontEndReady[l]
+					rsV := rsRow[l]
+					memV := memRow[l]
+					d := max(d1, fe, rsV, memV)
+					dispatch[l] = d
+					ready := d + perCycle
+					srow[l] = ready
+					fin := ready + lat
+					fins[l] = fin
+					frontier[l] += dispatchStep
+					results[l].BaseNs += dispatchStep
+					if fin > frontier[l] {
+						stall := fin - frontier[l]
+						frontier[l] = fin
+						switch {
+						case stallClass == classCache:
+							results[l].CacheNs += stall
+						case fe > d1 && rsV <= fe && memV <= fe:
+							results[l].BranchNs += stall
+						default:
+							results[l].BaseNs += stall
+						}
+					}
+				}
+			case !isMem:
+				for l := 0; l < numWays; l++ {
+					d1 := max(dispatch[l]+dispatchStep, row[l])
+					fe := frontEndReady[l]
+					rsV := rsRow[l]
+					d := max(d1, fe, rsV)
+					dispatch[l] = d
+					ready := max(d+perCycle, dep1Row[l], dep2Row[l])
+					srow[l] = ready
+					fin := ready + lat
+					fins[l] = fin
+					frontier[l] += dispatchStep
+					results[l].BaseNs += dispatchStep
+					if fin > frontier[l] {
+						stall := fin - frontier[l]
+						frontier[l] = fin
+						switch {
+						case stallClass == classCache:
+							results[l].CacheNs += stall
+						case fe > d1 && rsV <= fe:
+							results[l].BranchNs += stall
+						default:
+							results[l].BaseNs += stall
+						}
+					}
+				}
+			default:
+				for l := 0; l < numWays; l++ {
+					d1 := max(dispatch[l]+dispatchStep, row[l])
+					fe := frontEndReady[l]
+					rsV := rsRow[l]
+					memV := memRow[l]
+					d := max(d1, fe, rsV, memV)
+					dispatch[l] = d
+					ready := max(d+perCycle, dep1Row[l], dep2Row[l])
+					srow[l] = ready
+					fin := ready + lat
+					fins[l] = fin
+					frontier[l] += dispatchStep
+					results[l].BaseNs += dispatchStep
+					if fin > frontier[l] {
+						stall := fin - frontier[l]
+						frontier[l] = fin
+						switch {
+						case stallClass == classCache:
+							results[l].CacheNs += stall
+						case fe > d1 && rsV <= fe && memV <= fe:
+							results[l].BranchNs += stall
+						default:
+							results[l].BaseNs += stall
+						}
+					}
+				}
+			}
+			if in.Kind == trace.KindBranch && in.Mispredict {
+				for l := 0; l < numWays; l++ {
+					if r := fins[l] + penNs; r > frontEndReady[l] {
+						frontEndReady[l] = r
+					}
+				}
+			}
+			if in.Kind == trace.KindStore && a.Level[i] == 3 {
+				miss := missLanes(int(a.LLCPos[i]))
+				for l := 0; l < miss; l++ {
+					// Store miss: consumes DRAM bandwidth, no stall.
+					reqNs := srow[l] + l3Ns
+					sStart := reqNs
+					if lastDRAMStart[l]+config.DRAMServiceNs > sStart {
+						sStart = lastDRAMStart[l] + config.DRAMServiceNs
+					}
+					lastDRAMStart[l] = sStart
+				}
+				if feed {
+					for l := range events {
+						events[l] = append(events[l], LLCEvent{srow[l], int64(i), in.Addr, false})
+					}
+				}
+			}
+		} else {
+			// --- LLC load: one fused pass per stall class — the miss
+			// prefix stalls on memory, the hit suffix on the LLC. ---
+			pos := int(a.LLCPos[i])
+			miss := missLanes(pos)
+			for l := 0; l < miss; l++ {
+				d1 := max(dispatch[l]+dispatchStep, row[l])
+				fe := frontEndReady[l]
+				rsV := rsRow[l]
+				memV := memRow[l]
+				d := max(d1, fe, rsV, memV)
+				dispatch[l] = d
+				ready := max(d+perCycle, dep1Row[l], dep2Row[l])
+				srow[l] = ready
+				reqNs := ready + l3Ns
+				sStart := reqNs
+				if lastDRAMStart[l]+config.DRAMServiceNs > sStart {
+					sStart = lastDRAMStart[l] + config.DRAMServiceNs
+				}
+				lastDRAMStart[l] = sStart
+				fin := sStart + config.DRAMLatencyNs
+				fins[l] = fin
+				if reqNs >= lastMissEnd[l] {
+					leading[l]++
+				}
+				if end := reqNs + config.DRAMLatencyNs; end > lastMissEnd[l] {
+					lastMissEnd[l] = end
+				}
+				frontier[l] += dispatchStep
+				results[l].BaseNs += dispatchStep
+				if fin > frontier[l] {
+					stall := fin - frontier[l]
+					frontier[l] = fin
+					results[l].MemNs += stall
+				}
+			}
+			for l := miss; l < numWays; l++ {
+				d1 := max(dispatch[l]+dispatchStep, row[l])
+				fe := frontEndReady[l]
+				rsV := rsRow[l]
+				memV := memRow[l]
+				d := max(d1, fe, rsV, memV)
+				dispatch[l] = d
+				ready := max(d+perCycle, dep1Row[l], dep2Row[l])
+				srow[l] = ready
+				fin := ready + l3Ns
+				fins[l] = fin
+				frontier[l] += dispatchStep
+				results[l].BaseNs += dispatchStep
+				if fin > frontier[l] {
+					stall := fin - frontier[l]
+					frontier[l] = fin
+					results[l].CacheNs += stall
+				}
+			}
+			if feed {
+				for l := range events {
+					events[l] = append(events[l], LLCEvent{srow[l], int64(i), in.Addr, true})
+				}
+			}
+		}
+
+		*row = fins
+		if isMem {
+			memRing[mi&memMask] = fins
+			mi++
+			if mi == lsq {
+				mi = 0
+			}
+		}
+		ri++
+		if ri == robSize {
+			ri = 0
+		}
+	}
+
+	for l := range results {
+		res := &results[l]
+		res.TimeNs = frontier[l]
+		res.L1Misses = a.L1Misses
+		res.LeadingMisses = leading[l]
+		pr := a.waysProfile(config.MinWays + l)
+		res.LLCAccesses = pr.llcAccesses
+		res.LLCHits = pr.llcHits
+		res.LLCMisses = pr.llcMisses
+		res.DRAMLoads = pr.dramLoads
+		res.Writebacks = pr.writebacks
+		res.Mispredicts = pr.mispredicts
+		if res.LeadingMisses > 0 {
+			res.MLP = float64(res.DRAMLoads) / float64(res.LeadingMisses)
+		} else {
+			res.MLP = 1
+		}
+		if feed {
+			// Deliver order is issue order, stable among simultaneous
+			// accesses — the same contract as Run's feed; replaying the
+			// returned stream into a warm ATD clone reproduces Run's ATD
+			// state exactly.
+			sortEventsStableBuf(events[l], &scratch.buf)
+		}
+	}
+	return results, events
+}
+
+// missLanes returns how many lanes (allocations, smallest first) miss
+// for an access at recency position pos: every lane when the line was
+// absent, otherwise those with fewer than pos ways.
+func missLanes(pos int) int {
+	if pos == 0 {
+		return numWays
+	}
+	m := pos - config.MinWays // pos ≤ MaxWays keeps this ≤ numWays-1
+	if m < 0 {
+		return 0
+	}
+	return m
+}
+
+// RunReference is the seed implementation of Run, retained verbatim as
+// the equivalence baseline: cpu tests assert Run's results match it
+// bit for bit, and the perfbench suite measures the optimized sweep
+// against it. New timing-model behaviour must land in both.
+func RunReference(a *Annotated, rc RunConfig) Result {
 	cp := config.Core(rc.Core)
 	perCycle := 1.0 / rc.FreqGHz // ns per cycle
 
@@ -199,9 +1049,9 @@ func Run(a *Annotated, rc RunConfig) Result {
 	)
 	dispatchStep := perCycle / float64(cp.IssueWidth)
 
-	var events []llcEvent
+	var events []LLCEvent
 	if rc.ATD != nil {
-		events = make([]llcEvent, 0, a.L2Misses)
+		events = make([]LLCEvent, 0, a.L2Misses)
 	}
 
 	for i, in := range a.Insts {
@@ -278,7 +1128,7 @@ func Run(a *Annotated, rc RunConfig) Result {
 				res.LLCAccesses++
 				pos := int(a.LLCPos[i])
 				if rc.ATD != nil {
-					events = append(events, llcEvent{st, int64(i), in.Addr, false})
+					events = append(events, LLCEvent{st, int64(i), in.Addr, false})
 				}
 				if a.WBMask[i]&(1<<(rc.Ways-1)) != 0 {
 					// Dirty-line writeback: costs DRAM energy, but the
@@ -310,7 +1160,7 @@ func Run(a *Annotated, rc RunConfig) Result {
 				res.LLCAccesses++
 				pos := int(a.LLCPos[i])
 				if rc.ATD != nil {
-					events = append(events, llcEvent{st, int64(i), in.Addr, true})
+					events = append(events, LLCEvent{st, int64(i), in.Addr, true})
 				}
 				if a.WBMask[i]&(1<<(rc.Ways-1)) != 0 {
 					// Dirty-victim writeback: energy only; drained behind
@@ -388,13 +1238,27 @@ func Run(a *Annotated, rc RunConfig) Result {
 		// observe it. Stable sort keeps program order among accesses
 		// issued in the same instant.
 		sort.SliceStable(events, func(x, y int) bool {
-			return events[x].issueNs < events[y].issueNs
+			return events[x].IssueNs < events[y].IssueNs
 		})
 		for _, e := range events {
-			rc.ATD.Access(e.addr, e.instIdx, e.isLoad)
+			rc.ATD.AccessReference(e.Addr, e.InstIdx, e.IsLoad)
 		}
 	}
 	return res
+}
+
+// WarmATDReference is the seed warmup replay, feeding through the
+// reference ATD access path; used by the reference database sweep.
+func (a *Annotated) WarmATDReference(d *atd.ATD, n int) {
+	if n > len(a.Insts) {
+		n = len(a.Insts)
+	}
+	for i := 0; i < n; i++ {
+		if a.Level[i] == 3 {
+			d.AccessReference(a.Insts[i].Addr, int64(i), a.Insts[i].Kind == trace.KindLoad)
+		}
+	}
+	d.ResetCounters()
 }
 
 // Stall classes for the retirement-frontier attribution.

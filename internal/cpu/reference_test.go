@@ -1,0 +1,119 @@
+package cpu
+
+import (
+	"testing"
+
+	"qosrm/internal/atd"
+	"qosrm/internal/config"
+	"qosrm/internal/trace"
+)
+
+// TestRunMatchesReference is the optimized walk's correctness contract:
+// for every (core size, frequency corner, ways) point, Run must produce
+// results — timing decomposition, counters, leading misses — and ATD
+// observations bit-identical to the seed implementation RunReference.
+func TestRunMatchesReference(t *testing.T) {
+	for _, seed := range []int64{1, 7} {
+		insts := trace.Generate(testParams(seed), 6144)
+		ann := Annotate(insts)
+		tail := ann.Tail(2048)
+		warm := atd.MustNew(0)
+		ann.WarmATD(warm, 2048)
+
+		for _, c := range config.Sizes {
+			for _, fi := range []int{0, config.BaseFreqIdx, config.NumFreqs - 1} {
+				for w := config.MinWays; w <= config.MaxWays; w += 7 {
+					rc := RunConfig{Core: c, Ways: w, FreqGHz: config.FreqGHz(fi)}
+
+					rcRef := rc
+					aRef := warm.Clone()
+					rcRef.ATD = aRef
+					ref := RunReference(tail, rcRef)
+
+					rcOpt := rc
+					aOpt := warm.Clone()
+					rcOpt.ATD = aOpt
+					opt := Run(tail, rcOpt)
+
+					if opt != ref {
+						t.Fatalf("seed %d c=%v f=%d w=%d: Run=%+v\nRunReference=%+v", seed, c, fi, w, opt, ref)
+					}
+					if aOpt.MissCurve() != aRef.MissCurve() {
+						t.Fatalf("seed %d c=%v f=%d w=%d: ATD miss curves diverge", seed, c, fi, w)
+					}
+					if aOpt.LMMatrix() != aRef.LMMatrix() {
+						t.Fatalf("seed %d c=%v f=%d w=%d: ATD LM matrices diverge", seed, c, fi, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunWaysMatchesReference checks the sweep walk: one RunWays pass
+// must equal fifteen RunReference runs — results and ATD observations —
+// bit for bit, at every core size and frequency corner.
+func TestRunWaysMatchesReference(t *testing.T) {
+	insts := trace.Generate(testParams(5), 6144)
+	ann := Annotate(insts)
+	tail := ann.Tail(2048)
+	warm := atd.MustNew(0)
+	ann.WarmATD(warm, 2048)
+
+	for _, c := range config.Sizes {
+		for _, fi := range []int{0, config.BaseFreqIdx, config.NumFreqs - 1} {
+			f := config.FreqGHz(fi)
+			sweep, events := RunWays(tail, c, f, &SweepScratch{})
+			for l := range sweep {
+				w := config.MinWays + l
+				aRef := warm.Clone()
+				ref := RunReference(tail, RunConfig{Core: c, Ways: w, FreqGHz: f, ATD: aRef})
+				if sweep[l] != ref {
+					t.Fatalf("c=%v f=%d w=%d: RunWays=%+v\nRunReference=%+v", c, fi, w, sweep[l], ref)
+				}
+				// Replaying the returned stream must reproduce the ATD
+				// observations of the reference's internal feed.
+				aSweep := warm.Clone()
+				for _, e := range events[l] {
+					aSweep.Access(e.Addr, e.InstIdx, e.IsLoad)
+				}
+				if aSweep.MissCurve() != aRef.MissCurve() || aSweep.LMMatrix() != aRef.LMMatrix() {
+					t.Fatalf("c=%v f=%d w=%d: ATD observations diverge", c, fi, w)
+				}
+			}
+		}
+	}
+}
+
+// TestCloneIndependence checks that a cloned warm ATD diverges from its
+// source only through its own accesses.
+func TestCloneIndependence(t *testing.T) {
+	insts := trace.Generate(testParams(3), 4096)
+	ann := Annotate(insts)
+	warm := atd.MustNew(0)
+	ann.WarmATD(warm, 4096)
+
+	base := warm.MissCurve()
+	c := warm.Clone()
+	// Drive the clone; the source must not move.
+	for i := 0; i < 512; i++ {
+		c.Access(uint64(i)*64*257, int64(i), true)
+	}
+	if warm.MissCurve() != base {
+		t.Fatal("source ATD mutated by clone accesses")
+	}
+	if c.MissCurve() == base {
+		t.Fatal("clone did not observe its own accesses")
+	}
+}
+
+func BenchmarkRunReference(b *testing.B) {
+	insts := trace.Generate(testParams(1), 16384)
+	ann := Annotate(insts)
+	rc := RunConfig{Core: config.SizeM, Ways: config.BaseWays, FreqGHz: config.FBaseGHz}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunReference(ann, rc)
+	}
+}

@@ -1,0 +1,102 @@
+package db
+
+import (
+	"strings"
+	"testing"
+
+	"qosrm/internal/bench"
+	"qosrm/internal/config"
+	"qosrm/internal/trace"
+)
+
+// TestBuildMatchesReference is the sweep overhaul's correctness
+// contract: the optimized build (shared annotation, warm-cloned ATDs,
+// fifteen-lane walks) must produce a database bit-identical to the seed
+// build for every record of every phase.
+func TestBuildMatchesReference(t *testing.T) {
+	benches := testBenches(t)[:2] // mcf (cache sensitive) and povray (compute bound)
+	opts := Options{TraceLen: 8192, Warmup: 2048}
+	fast, err := Build(benches, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := BuildReference(benches, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range benches {
+		fp, rp := fast.Phases[b.Name], ref.Phases[b.Name]
+		if len(fp) != len(rp) {
+			t.Fatalf("%s: phase count %d vs %d", b.Name, len(fp), len(rp))
+		}
+		for p := range fp {
+			if fp[p].Runs != rp[p].Runs {
+				for ci := range fp[p].Runs {
+					for k := range fp[p].Runs[ci] {
+						for wi := range fp[p].Runs[ci][k] {
+							if fp[p].Runs[ci][k][wi] != rp[p].Runs[ci][k][wi] {
+								t.Fatalf("%s phase %d c=%d k=%d w=%d:\nfast %+v\nref  %+v",
+									b.Name, p, ci, k, config.MinWays+wi,
+									fp[p].Runs[ci][k][wi], rp[p].Runs[ci][k][wi])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStatsMatchesReference checks the dense-grid cache against the
+// seed's per-call interpolation on the entire setting grid.
+func TestStatsMatchesReference(t *testing.T) {
+	d := sharedDB(t)
+	for _, name := range []string{"mcf", "povray"} {
+		for p := 0; p < d.NumPhases(name); p++ {
+			for ci := 0; ci < config.NumSizes; ci++ {
+				for fi := 0; fi < config.NumFreqs; fi++ {
+					for w := config.MinWays; w <= config.MaxWays; w++ {
+						set := config.Setting{Core: config.CoreSize(ci), Freq: fi, Ways: w}
+						fast, err := d.Stats(name, p, set)
+						if err != nil {
+							t.Fatal(err)
+						}
+						ref, err := d.StatsReference(name, p, set)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if *fast != *ref {
+							t.Fatalf("%s phase %d %v:\ndense %+v\nref   %+v", name, p, set, *fast, *ref)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBuildJoinsAllErrors checks that a build with several failing
+// phases reports every failure, not just the first.
+func TestBuildJoinsAllErrors(t *testing.T) {
+	bad := func(name string) *bench.Benchmark {
+		return &bench.Benchmark{
+			Name:       name,
+			TotalInstr: 1,
+			Phases: []bench.Phase{
+				{Params: trace.Params{LoadFrac: -1}, Weight: 1},
+				{Params: trace.Params{LoadFrac: -1}, Weight: 1},
+			},
+		}
+	}
+	b := bad("badbench")
+	if err := b.Validate(); err != nil {
+		t.Skipf("synthetic benchmark rejected before build: %v", err)
+	}
+	_, err := Build([]*bench.Benchmark{b}, Options{TraceLen: 1024, Warmup: 256})
+	if err == nil {
+		t.Fatal("build of invalid phases must fail")
+	}
+	if n := strings.Count(err.Error(), "badbench"); n < 2 {
+		t.Fatalf("want all phase errors joined, got %d mention(s): %v", n, err)
+	}
+}

@@ -1,0 +1,259 @@
+// Package perfbench is the repository's performance measurement layer:
+// a fixed suite of benchmarks over the hot paths of the reproduction —
+// the detailed-simulation database sweep, the per-interval resource-
+// manager invocation (Localize + GlobalOptimize), the database record
+// lookup, and a whole co-simulation — each measured both through its
+// optimized implementation and through the retained seed reference.
+//
+// The suite is executed by cmd/perfbench, which serialises the results
+// as a BENCH_<n>.json file committed to the repository so the
+// performance trajectory is tracked across PRs. Because the optimized
+// and reference paths are asserted bit-identical by the equivalence
+// tests, the ratios reported here measure pure implementation speed,
+// not behavioural drift.
+package perfbench
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"qosrm/internal/bench"
+	"qosrm/internal/config"
+	"qosrm/internal/db"
+	"qosrm/internal/perfmodel"
+	"qosrm/internal/rm"
+	"qosrm/internal/sim"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Report is the serialised form of one suite execution.
+type Report struct {
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	NumCPU    int      `json:"num_cpu"`
+	Short     bool     `json:"short"`
+	Results   []Result `json:"results"`
+}
+
+// Ratio returns NsPerOp(a)/NsPerOp(b), or 0 when either is missing.
+func (r *Report) Ratio(a, b string) float64 {
+	ra, rb := r.find(a), r.find(b)
+	if ra == nil || rb == nil || rb.NsPerOp == 0 {
+		return 0
+	}
+	return ra.NsPerOp / rb.NsPerOp
+}
+
+func (r *Report) find(name string) *Result {
+	for i := range r.Results {
+		if r.Results[i].Name == name {
+			return &r.Results[i]
+		}
+	}
+	return nil
+}
+
+// buildWorkload returns the database-build workload: the full synthetic
+// suite, or a four-application cross-category subset in short mode.
+func buildWorkload(short bool) ([]*bench.Benchmark, db.Options, error) {
+	opts := db.Options{TraceLen: 8192, Warmup: 2048}
+	if short {
+		names := []string{"mcf", "povray", "bwaves", "xalancbmk"}
+		out := make([]*bench.Benchmark, len(names))
+		for i, n := range names {
+			b, err := bench.ByName(n)
+			if err != nil {
+				return nil, opts, err
+			}
+			out[i] = b
+		}
+		return out, opts, nil
+	}
+	return bench.Suite(), opts, nil
+}
+
+// Run executes the suite and collects a report. Short mode shrinks the
+// database workloads so CI finishes in seconds.
+func Run(short bool) (*Report, error) {
+	rep := &Report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Short:     short,
+	}
+
+	benches, opts, err := buildWorkload(short)
+	if err != nil {
+		return nil, err
+	}
+
+	// Shared fixture for the lookup/RM benchmarks: one small database.
+	mcf, err := bench.ByName("mcf")
+	if err != nil {
+		return nil, err
+	}
+	povray, err := bench.ByName("povray")
+	if err != nil {
+		return nil, err
+	}
+	fixture, err := db.Build([]*bench.Benchmark{mcf, povray}, opts)
+	if err != nil {
+		return nil, err
+	}
+	base, err := fixture.Stats("mcf", 0, config.Baseline())
+	if err != nil {
+		return nil, err
+	}
+	pred := &rm.ModelPredictor{
+		Stats: perfmodel.FromDB(base, config.Baseline()),
+		Model: perfmodel.Model3,
+	}
+	const cores = 8
+	refCurves := make([]*rm.Curve, cores)
+	for i := range refCurves {
+		cv := rm.Localize(pred, rm.RM3, rm.Options{})
+		refCurves[i] = &cv
+	}
+
+	add := func(name string, f func(b *testing.B)) {
+		r := testing.Benchmark(f)
+		rep.Results = append(rep.Results, Result{
+			Name:        name,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+
+	// The database sweep, optimized vs seed, on the same workload.
+	add("DatabaseBuild", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Build(benches, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("DatabaseBuildReference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.BuildReference(benches, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// One phase's full configuration sweep (a single cache-sensitive
+	// application), isolating the per-phase cost from suite effects.
+	add("PhaseSweep", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Build([]*bench.Benchmark{mcf}, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Database record lookups across the full grid: the dense cache vs
+	// the seed's per-call interpolation.
+	lookup := func(b *testing.B, stats func(string, int, config.Setting) (*db.Stats, error)) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			set := config.Setting{
+				Core: config.CoreSize(i % config.NumSizes),
+				Freq: i % config.NumFreqs,
+				Ways: config.MinWays + i%db.NumWays,
+			}
+			if _, err := stats("mcf", 0, set); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	add("DBStats", func(b *testing.B) { lookup(b, fixture.Stats) })
+	add("DBStatsReference", func(b *testing.B) { lookup(b, fixture.StatsReference) })
+
+	// One local optimisation (the paper's per-core curve computation).
+	add("Localize", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rm.Localize(pred, rm.RM3, rm.Options{})
+		}
+	})
+
+	// The per-interval RM invocation path of the co-simulator: one
+	// core's curve refresh plus the global redistribution across eight
+	// cores. The optimized path hits the curve cache and reuses the
+	// reduction workspace; the reference recomputes and reallocates, as
+	// the seed simulator did at every interval boundary.
+	add("RMInvocation", func(b *testing.B) {
+		var cache rm.CurveCache
+		var ws rm.Workspace
+		out := make([]config.Setting, cores)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cv := cache.Get(base, func() rm.Curve { return rm.Localize(pred, rm.RM3, rm.Options{}) })
+			refCurves[0] = cv
+			if !ws.Optimize(refCurves, config.TotalWays(cores), out) {
+				b.Fatal("infeasible")
+			}
+		}
+	})
+	add("RMInvocationReference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cv := rm.Localize(pred, rm.RM3, rm.Options{})
+			refCurves[0] = &cv
+			if _, ok := rm.GlobalOptimizeReference(refCurves, config.TotalWays(cores)); !ok {
+				b.Fatal("infeasible")
+			}
+		}
+	})
+
+	// A whole two-core co-simulation, exercising the integrated path
+	// (curve cache, workspace reduction, dense stats lookups).
+	add("CoSimulation", func(b *testing.B) {
+		apps := []*bench.Benchmark{mcf, povray}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(fixture, apps, sim.Config{RM: rm.RM3, Model: perfmodel.Model3}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	return rep, nil
+}
+
+// Summary renders the headline comparisons of a report.
+func (r *Report) Summary() string {
+	s := ""
+	for _, pair := range [][2]string{
+		{"DatabaseBuildReference", "DatabaseBuild"},
+		{"DBStatsReference", "DBStats"},
+		{"RMInvocationReference", "RMInvocation"},
+	} {
+		ratio := r.Ratio(pair[0], pair[1])
+		if ratio == 0 {
+			continue
+		}
+		s += fmt.Sprintf("%s/%s: %.2fx\n", pair[0], pair[1], ratio)
+	}
+	if a, b := r.find("RMInvocationReference"), r.find("RMInvocation"); a != nil && b != nil {
+		s += fmt.Sprintf("RMInvocation allocs/op: %d -> %d\n", a.AllocsPerOp, b.AllocsPerOp)
+	}
+	return s
+}

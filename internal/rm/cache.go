@@ -1,0 +1,42 @@
+// Curve memoization for the per-interval RM invocation path.
+//
+// Localize is a pure function of its predictor, manager kind and QoS
+// options, and the model predictor is in turn a pure function of the
+// database record of the measured interval. The co-simulator therefore
+// sees a bounded set of distinct local optimisations per run — one per
+// (benchmark, phase, setting the interval ran at) with the model
+// predictor, one per (benchmark, phase) with the perfect oracle — while
+// invoking the RM at every interval boundary. The CurveCache memoizes
+// those curves so each is computed once per run instead of at every
+// boundary.
+package rm
+
+// CurveCache memoizes Localize results under caller-chosen comparable
+// keys. A cache is only valid for one fixed (RM kind, model, alpha)
+// combination — the co-simulator owns one per run, so those are
+// implicit in the cache instance; the key carries everything else the
+// predictor depends on (the co-simulator keys model predictors by the
+// measured interval's shared *db.Stats record, which identifies its
+// (benchmark, phase, setting) triple, and oracle predictors by
+// benchmark and phase). Not safe for concurrent use.
+type CurveCache struct {
+	m map[any]*Curve
+}
+
+// Get returns the memoized curve for key, computing and retaining it on
+// first use. The returned curve is shared: callers must treat it as
+// read-only.
+func (c *CurveCache) Get(key any, compute func() Curve) *Curve {
+	if cv, ok := c.m[key]; ok {
+		return cv
+	}
+	if c.m == nil {
+		c.m = make(map[any]*Curve)
+	}
+	cv := compute()
+	c.m[key] = &cv
+	return &cv
+}
+
+// Len returns the number of memoized curves.
+func (c *CurveCache) Len() int { return len(c.m) }

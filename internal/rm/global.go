@@ -8,9 +8,169 @@ import (
 	"qosrm/internal/perfmodel"
 )
 
-// aggregate is a reduced energy curve over a group of cores: energy as a
-// function of the total ways granted to the group, plus the split table
-// needed to backtrack the optimum.
+// GlobalOptimize reduces the per-core energy curves pairwise until a
+// single curve remains (Figure 3), then backtracks the way split that
+// minimises Σ E_j(w_j) subject to Σ w_j = totalWays and
+// MinWays ≤ w_j ≤ MaxWays.
+//
+// It returns the chosen setting per core (Pick entries of each curve at
+// the granted allocation). The boolean is false when no feasible
+// distribution exists, which cannot happen while the baseline setting
+// itself is feasible for every core.
+//
+// The reduction is the paper's polynomial-complexity scheme: combining
+// two curves of length L costs O(L²) and the recursion performs n-1
+// combines for n cores. This entry point allocates a fresh workspace
+// per call; the per-interval hot path in the co-simulator reuses one
+// Workspace across calls instead (see Workspace.Optimize), which is the
+// same computation without the allocations.
+func GlobalOptimize(curves []*Curve, totalWays int) ([]config.Setting, bool) {
+	if len(curves) == 0 {
+		return nil, false
+	}
+	var ws Workspace
+	out := make([]config.Setting, len(curves))
+	if !ws.Optimize(curves, totalWays, out) {
+		return nil, false
+	}
+	return out, true
+}
+
+// Workspace holds the reduction tree of the global optimisation as a
+// reusable arena: node energies, split tables and the tree structure
+// are allocated once per core count and overwritten on every call, so
+// the per-interval invocations of the co-simulator run allocation-free.
+// A Workspace is not safe for concurrent use; its zero value is ready.
+type Workspace struct {
+	n     int
+	nodes []wsNode
+}
+
+// wsNode is one aggregate of the reduction tree: a reduced energy curve
+// over cores lo..hi-1 plus the split table needed to backtrack.
+type wsNode struct {
+	lo, hi      int
+	minW        int // smallest representable total allocation
+	left, right int // child node indices; -1 on leaves
+	energy      []float64
+	// split[i] is, for total allocation minW+i, the number of ways given
+	// to the left child group (inner nodes only).
+	split []int
+}
+
+// Optimize is GlobalOptimize into a caller-provided result slice (len ≥
+// len(curves)), reusing the workspace's reduction tree. The computation
+// — combine order, iteration order, tie-breaking — replicates
+// GlobalOptimizeReference exactly, so the chosen settings are identical
+// to the seed implementation's (enforced by TestWorkspaceMatchesReference).
+func (ws *Workspace) Optimize(curves []*Curve, totalWays int, out []config.Setting) bool {
+	n := len(curves)
+	if n == 0 {
+		return false
+	}
+	if totalWays < n*config.MinWays || totalWays > n*config.MaxWays {
+		panic(fmt.Sprintf("rm: %d ways cannot be split across %d cores", totalWays, n))
+	}
+	ws.ensure(n)
+
+	// Evaluate the tree bottom-up; nodes are stored in post order, so
+	// children always precede their parents.
+	for i := range ws.nodes {
+		nd := &ws.nodes[i]
+		if nd.left < 0 {
+			copy(nd.energy, curves[nd.lo].Energy[:])
+			continue
+		}
+		combineInto(nd, &ws.nodes[nd.left], &ws.nodes[nd.right])
+	}
+	root := len(ws.nodes) - 1
+	idx := totalWays - ws.nodes[root].minW
+	if idx < 0 || idx >= len(ws.nodes[root].energy) || math.IsInf(ws.nodes[root].energy[idx], 1) {
+		return false
+	}
+	ws.assign(root, totalWays, curves, out)
+	return true
+}
+
+// ensure (re)builds the tree structure for n cores; buffers are reused
+// while n is stable.
+func (ws *Workspace) ensure(n int) {
+	if ws.n == n {
+		return
+	}
+	ws.n = n
+	ws.nodes = ws.nodes[:0]
+	var build func(lo, hi int) int
+	build = func(lo, hi int) int {
+		if hi-lo == 1 {
+			ws.nodes = append(ws.nodes, wsNode{
+				lo: lo, hi: hi,
+				minW:   config.MinWays,
+				left:   -1,
+				right:  -1,
+				energy: make([]float64, perfmodel.NumWays),
+			})
+			return len(ws.nodes) - 1
+		}
+		mid := (lo + hi) / 2
+		l := build(lo, mid)
+		r := build(mid, hi)
+		length := len(ws.nodes[l].energy) + len(ws.nodes[r].energy) - 1
+		ws.nodes = append(ws.nodes, wsNode{
+			lo: lo, hi: hi,
+			minW:   ws.nodes[l].minW + ws.nodes[r].minW,
+			left:   l,
+			right:  r,
+			energy: make([]float64, length),
+			split:  make([]int, length),
+		})
+		return len(ws.nodes) - 1
+	}
+	build(0, n)
+}
+
+// combineInto merges two group curves: E(W) = min over wl+wr=W of
+// El(wl)+Er(wr), with the seed's tie-breaking (strictly-smaller wins, so
+// the smallest feasible left allocation is kept on ties).
+func combineInto(a, l, r *wsNode) {
+	for i := range a.energy {
+		a.energy[i] = math.Inf(1)
+		a.split[i] = -1
+	}
+	for li, le := range l.energy {
+		if math.IsInf(le, 1) {
+			continue
+		}
+		for ri, re := range r.energy {
+			if math.IsInf(re, 1) {
+				continue
+			}
+			i := li + ri
+			if e := le + re; e < a.energy[i] {
+				a.energy[i] = e
+				a.split[i] = l.minW + li
+			}
+		}
+	}
+}
+
+// assign walks the reduction tree distributing the granted total.
+func (ws *Workspace) assign(node, total int, curves []*Curve, out []config.Setting) {
+	nd := &ws.nodes[node]
+	if nd.left < 0 {
+		out[nd.lo] = curves[nd.lo].Pick[total-config.MinWays]
+		return
+	}
+	leftW := nd.split[total-nd.minW]
+	if leftW < 0 {
+		panic("rm: backtracking through infeasible aggregate")
+	}
+	ws.assign(nd.left, leftW, curves, out)
+	ws.assign(nd.right, total-leftW, curves, out)
+}
+
+// aggregate is the seed's reduction-tree node, kept for
+// GlobalOptimizeReference.
 type aggregate struct {
 	lo, hi int // group covers cores lo..hi-1
 	minW   int // smallest representable total allocation
@@ -24,20 +184,12 @@ type aggregate struct {
 	leafCurve *Curve
 }
 
-// GlobalOptimize reduces the per-core energy curves pairwise until a
-// single curve remains (Figure 3), then backtracks the way split that
-// minimises Σ E_j(w_j) subject to Σ w_j = totalWays and
-// MinWays ≤ w_j ≤ MaxWays.
-//
-// It returns the chosen setting per core (Pick entries of each curve at
-// the granted allocation). The boolean is false when no feasible
-// distribution exists, which cannot happen while the baseline setting
-// itself is feasible for every core.
-//
-// The reduction is the paper's polynomial-complexity scheme: combining
-// two curves of length L costs O(L²) and the recursion performs n-1
-// combines for n cores.
-func GlobalOptimize(curves []*Curve, totalWays int) ([]config.Setting, bool) {
+// GlobalOptimizeReference is the seed implementation of GlobalOptimize,
+// retained verbatim as the equivalence baseline: it rebuilds the
+// reduction tree with fresh allocations on every call. Tests assert the
+// workspace path returns identical settings; perfbench measures the two
+// against each other.
+func GlobalOptimizeReference(curves []*Curve, totalWays int) ([]config.Setting, bool) {
 	n := len(curves)
 	if n == 0 {
 		return nil, false

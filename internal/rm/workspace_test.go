@@ -1,0 +1,121 @@
+package rm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qosrm/internal/config"
+)
+
+// TestWorkspaceMatchesReference checks the allocation-free workspace
+// reduction against the seed implementation setting-by-setting (not
+// just by total energy): iteration order and tie-breaking are
+// replicated, so the chosen (core, frequency, ways) triples must be
+// identical. One workspace is reused across calls and core counts to
+// exercise buffer reuse.
+func TestWorkspaceMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var ws Workspace
+	out := make([]config.Setting, 8)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(8)
+		curves := randomCurves(rng, n)
+		total := config.TotalWays(n)
+		ref, okRef := GlobalOptimizeReference(curves, total)
+		ok := ws.Optimize(curves, total, out[:n])
+		if ok != okRef {
+			t.Fatalf("trial %d (n=%d): feasibility %v vs reference %v", trial, n, ok, okRef)
+		}
+		if !ok {
+			continue
+		}
+		for i := range ref {
+			if out[i] != ref[i] {
+				t.Fatalf("trial %d (n=%d) core %d: workspace %v, reference %v",
+					trial, n, i, out[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestGlobalOptimizeMatchesReference pins the package-level entry point
+// (fresh workspace per call) to the seed implementation too.
+func TestGlobalOptimizeMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(4)
+		curves := randomCurves(rng, n)
+		total := config.TotalWays(n)
+		fast, okF := GlobalOptimize(curves, total)
+		ref, okR := GlobalOptimizeReference(curves, total)
+		if okF != okR {
+			t.Fatalf("trial %d: feasibility diverges", trial)
+		}
+		for i := range ref {
+			if fast[i] != ref[i] {
+				t.Fatalf("trial %d core %d: %v vs %v", trial, i, fast[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestWorkspaceInfeasible mirrors the reference's infeasibility
+// behaviour.
+func TestWorkspaceInfeasible(t *testing.T) {
+	pin := &Curve{}
+	for i := range pin.Energy {
+		pin.Energy[i] = math.Inf(1)
+	}
+	pin.Energy[0] = 1 // only MinWays feasible
+	pin.Pick[0] = config.Setting{Core: config.SizeM, Freq: 4, Ways: config.MinWays}
+	var ws Workspace
+	out := make([]config.Setting, 2)
+	if ws.Optimize([]*Curve{pin, pin}, 16, out) {
+		t.Fatal("two cores pinned to 2 ways cannot absorb 16")
+	}
+	if ws.Optimize(nil, 16, nil) {
+		t.Fatal("empty input must be infeasible")
+	}
+}
+
+// TestCurveCacheMemoizes checks the memoization contract: one compute
+// per key, shared pointer on hits.
+func TestCurveCacheMemoizes(t *testing.T) {
+	var cc CurveCache
+	calls := 0
+	compute := func() Curve {
+		calls++
+		cv := Curve{}
+		cv.Energy[0] = float64(calls)
+		return cv
+	}
+	a := cc.Get("k1", compute)
+	b := cc.Get("k1", compute)
+	if calls != 1 || a != b {
+		t.Fatalf("want one compute and a shared curve, got %d computes", calls)
+	}
+	c := cc.Get("k2", compute)
+	if calls != 2 || c == a {
+		t.Fatal("distinct keys must compute distinct curves")
+	}
+	if cc.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", cc.Len())
+	}
+}
+
+// BenchmarkGlobalOptimizeWorkspace8 measures the allocation-free path
+// against BenchmarkGlobalOptimize8 (the fresh-allocation entry point).
+func BenchmarkGlobalOptimizeWorkspace8(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	curves := randomCurves(rng, 8)
+	var ws Workspace
+	out := make([]config.Setting, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !ws.Optimize(curves, config.TotalWays(8), out) {
+			b.Fatal("infeasible")
+		}
+	}
+}

@@ -48,6 +48,11 @@ type Config struct {
 	// Trace, when non-nil, receives one Event per interval boundary —
 	// the "global events" of Figure 5.
 	Trace func(Event)
+
+	// noCurveCache disables the per-run Localize memoization; it exists
+	// only so equivalence tests can compare the cached run against the
+	// seed's recompute-every-interval behaviour.
+	noCurveCache bool
 }
 
 // Event describes one interval boundary of the co-simulation.
@@ -136,9 +141,30 @@ type core struct {
 
 	curve    *rm.Curve
 	hasCurve bool
+	pinned   *rm.Curve // set when the core finishes, at its final setting
 
 	res AppResult
 	fin bool
+}
+
+// runState is the per-run working set of the RM invocation path, reused
+// across interval boundaries so the hot path stays allocation-free: the
+// curve cache memoizes Localize per measured (phase, setting) record,
+// the workspace carries the global reduction's buffers, and the slices
+// are assembled in place on every invocation.
+type runState struct {
+	cache      rm.CurveCache
+	ws         rm.Workspace
+	curves     []*rm.Curve
+	settings   []config.Setting
+	pinnedBase *rm.Curve
+}
+
+// oracleKey memoizes perfect-predictor curves: the oracle reads the
+// upcoming phase directly, so its curve depends only on (bench, phase).
+type oracleKey struct {
+	bench string
+	phase int
 }
 
 // Run co-simulates the workload apps (one application per core) under
@@ -180,6 +206,11 @@ func Run(d *db.DB, apps []*bench.Benchmark, cfg Config) (*Result, error) {
 
 	totalWays := config.TotalWays(n)
 	res := &Result{}
+	st := &runState{
+		curves:     make([]*rm.Curve, n),
+		settings:   make([]config.Setting, n),
+		pinnedBase: pinnedCurve(config.Baseline()),
+	}
 	now := 0.0
 
 	for {
@@ -229,6 +260,9 @@ func Run(d *db.DB, apps []*bench.Benchmark, cfg Config) (*Result, error) {
 		if c.executed >= c.target-1e-6 {
 			c.fin = true
 			c.res.FinishNs = now
+			// Its ways stay physically allocated at the final setting;
+			// later global optimisations see it as pinned there.
+			c.pinned = pinnedCurve(c.setting)
 			continue
 		}
 
@@ -249,12 +283,18 @@ func Run(d *db.DB, apps []*bench.Benchmark, cfg Config) (*Result, error) {
 				Allocations: alloc,
 			})
 		}
-		c.finishInterval(d, cfg, now)
+		if err := c.finishInterval(d, cfg, now); err != nil {
+			return nil, err
+		}
 		if cfg.RM != rm.Idle {
 			res.RMCalled++
-			invokeRM(d, cfg, cores, best, totalWays)
+			if err := invokeRM(d, cfg, cores, best, totalWays, st); err != nil {
+				return nil, err
+			}
 		}
-		c.startInterval(d, now)
+		if err := c.startInterval(d, now); err != nil {
+			return nil, err
+		}
 	}
 
 	res.TimeNs = now
@@ -280,12 +320,18 @@ func (c *core) advance(ni float64) {
 }
 
 // finishInterval records the QoS outcome of the interval that just
-// completed and advances the application's phase trace.
-func (c *core) finishInterval(d *db.DB, cfg Config, now float64) {
+// completed and advances the application's phase trace. A database
+// lookup failure here means the co-simulation is reading settings or
+// phases outside the built grid — a bug, not a recoverable state — so
+// it is propagated instead of silently skipping QoS accounting.
+func (c *core) finishInterval(d *db.DB, cfg Config, now float64) error {
 	// QoS bookkeeping: actual wall time vs the baseline setting's time
 	// for the same instructions and phase.
 	base, err := d.Stats(c.app.Name, c.phase, config.Baseline())
-	if err == nil && c.intervalDone > 0 {
+	if err != nil {
+		return fmt.Errorf("sim: baseline stats for %s phase %d: %w", c.app.Name, c.phase, err)
+	}
+	if c.intervalDone > 0 {
 		actual := now - c.intervalT0 - c.extraNs
 		ref := base.TPI() * c.intervalDone
 		c.res.Intervals++
@@ -308,60 +354,82 @@ func (c *core) finishInterval(d *db.DB, cfg Config, now float64) {
 		c.intervalIdx = 0
 	}
 	c.phase = c.app.PhaseAt(c.intervalIdx)
+	return nil
 }
 
-// startInterval resets interval-local accounting.
-func (c *core) startInterval(d *db.DB, now float64) {
+// startInterval resets interval-local accounting. As in finishInterval,
+// an off-grid lookup indicates a bug and is propagated rather than
+// leaving the core silently replaying the previous phase's record.
+func (c *core) startInterval(d *db.DB, now float64) error {
 	c.intervalDone = 0
 	// Overheads charged at this boundary (RM execution, DVFS switch) are
 	// still pending as stall time; exclude them from the next interval's
 	// QoS measurement.
 	c.extraNs = c.stallNs
 	c.intervalT0 = now
-	if s, err := d.Stats(c.app.Name, c.phase, c.setting); err == nil {
-		c.stats = s
+	s, err := d.Stats(c.app.Name, c.phase, c.setting)
+	if err != nil {
+		return fmt.Errorf("sim: stats for %s phase %d at %v: %w", c.app.Name, c.phase, c.setting, err)
 	}
+	c.stats = s
+	return nil
 }
 
 // invokeRM runs the manager on the invoking core: refresh that core's
 // energy curve from the completed interval's observations, globally
 // redistribute ways, and apply the new settings with their overheads.
-func invokeRM(d *db.DB, cfg Config, cores []*core, inv, totalWays int) {
+//
+// The heavy lifting is memoized and allocation-free across invocations:
+// Localize results come from the run's curve cache (the RM kind, model
+// and alpha are fixed per run, so a model-predicted curve is identified
+// by the measured interval's shared database record and an oracle curve
+// by the upcoming (bench, phase)), and the global reduction reuses the
+// run's workspace and slices.
+func invokeRM(d *db.DB, cfg Config, cores []*core, inv, totalWays int, st *runState) error {
 	c := cores[inv]
 
 	// Build the invoking core's predictor from the interval that just
 	// finished (its phase index was advanced already; the completed
 	// interval's stats are still in c.stats).
-	var pred rm.Predictor
-	if cfg.Perfect {
+	opts := rm.Options{Alpha: cfg.Alpha}
+	switch {
+	case cfg.Perfect && cfg.noCurveCache:
+		cv := rm.Localize(&oracle{d: d, app: c.app.Name, phase: c.phase}, cfg.RM, opts)
+		c.curve = &cv
+	case cfg.Perfect:
 		// The oracle knows the upcoming interval's phase (c.phase was
 		// already advanced by finishInterval) and its true behaviour.
-		pred = &oracle{d: d, app: c.app.Name, phase: c.phase}
-	} else {
+		c.curve = st.cache.Get(oracleKey{c.app.Name, c.phase}, func() rm.Curve {
+			return rm.Localize(&oracle{d: d, app: c.app.Name, phase: c.phase}, cfg.RM, opts)
+		})
+	case cfg.noCurveCache:
+		cv := rm.Localize(&rm.ModelPredictor{Stats: perfmodel.FromDB(c.stats, c.setting), Model: cfg.Model}, cfg.RM, opts)
+		c.curve = &cv
+	default:
 		// The online models see only the completed interval's counters:
-		// c.stats still holds the record the interval ran under.
-		pred = &rm.ModelPredictor{
-			Stats: perfmodel.FromDB(c.stats, c.setting),
-			Model: cfg.Model,
-		}
+		// c.stats still holds the record the interval ran under, and —
+		// records being shared grid entries — its pointer identifies the
+		// (bench, phase, setting) the predictor is built from.
+		c.curve = st.cache.Get(c.stats, func() rm.Curve {
+			return rm.Localize(&rm.ModelPredictor{Stats: perfmodel.FromDB(c.stats, c.setting), Model: cfg.Model}, cfg.RM, opts)
+		})
 	}
-	cv := rm.Localize(pred, cfg.RM, rm.Options{Alpha: cfg.Alpha})
-	c.curve, c.hasCurve = &cv, true
+	c.hasCurve = true
 
 	// Assemble curves for the whole system. Cores that have not yet
 	// produced statistics are pinned at the baseline allocation; cores
 	// that already reached their instruction target keep their current
 	// allocation (their ways are not redistributable — the partition is
 	// physical), pinning them likewise.
-	curves := make([]*rm.Curve, len(cores))
+	curves := st.curves
 	for i, o := range cores {
 		switch {
 		case o.fin:
-			curves[i] = pinnedCurve(o.setting)
+			curves[i] = o.pinned
 		case o.hasCurve:
 			curves[i] = o.curve
 		default:
-			curves[i] = pinnedCurve(config.Baseline())
+			curves[i] = st.pinnedBase
 		}
 	}
 	var settings []config.Setting
@@ -369,10 +437,11 @@ func invokeRM(d *db.DB, cfg Config, cores []*core, inv, totalWays int) {
 	if cfg.GreedyGlobal {
 		settings, ok = rm.GreedyGlobalOptimize(curves, totalWays)
 	} else {
-		settings, ok = rm.GlobalOptimize(curves, totalWays)
+		settings = st.settings
+		ok = st.ws.Optimize(curves, totalWays, settings)
 	}
 	if !ok {
-		return
+		return nil
 	}
 
 	// Apply, charging transition overheads (Section III-E).
@@ -398,9 +467,13 @@ func invokeRM(d *db.DB, cfg Config, cores []*core, inv, totalWays int) {
 			o.extraNs += over
 		}
 		o.setting = s
-		if st, err := d.Stats(o.app.Name, o.phase, s); err == nil {
-			o.stats = st
+		stats, err := d.Stats(o.app.Name, o.phase, s)
+		if err != nil {
+			// The optimizer only hands out valid grid settings; failing
+			// to read one back is a bug, not a recoverable state.
+			return fmt.Errorf("sim: stats for %s phase %d at %v: %w", o.app.Name, o.phase, s, err)
 		}
+		o.stats = stats
 	}
 
 	// RM execution overhead runs on the invoking core.
@@ -414,6 +487,7 @@ func invokeRM(d *db.DB, cfg Config, cores []*core, inv, totalWays int) {
 		c.stallNs += t
 		c.extraNs += t
 	}
+	return nil
 }
 
 // pinnedCurve is feasible only at the given setting's allocation, used

@@ -23,6 +23,53 @@
 //	if err != nil { ... }
 //	apps := []*qosrm.Benchmark{qosrm.MustBenchmark("povray"), qosrm.MustBenchmark("mcf")}
 //	saving, res, err := sys.Savings(apps, qosrm.SimConfig{RM: qosrm.RM3})
+//
+// # Performance architecture
+//
+// The two hot paths — the detailed-simulation database sweep and the
+// per-interval RM invocation — share or memoize everything that does not
+// depend on the quantity being varied. Every optimized path is paired
+// with a retained seed implementation (the *Reference functions) and
+// equivalence tests assert the outputs are bit-identical, so these are
+// pure speedups with no numerical drift in figure or table outputs.
+//
+// Database sweep (db.Build): per phase, the trace is generated and its
+// cache hierarchy behaviour annotated once; the ATD is warmed once
+// (warmup is setting-independent) and cloned per run; the fifteen way
+// allocations of a (core size, frequency corner) are walked in one
+// interleaved cpu.RunWays pass, which hides the latency of the walk's
+// serial float dependence chain across lanes; per-allocation LLC/DRAM
+// counters are computed in a single histogram pass shared by all runs;
+// and ATD replays are deduplicated by delivery sequence — two runs
+// whose sorted LLC event streams match provably observe identical ATD
+// state and share one replay. Phases whose measured window never
+// reaches the LLC collapse to one timing walk per (core, frequency).
+// Work is sharded at (phase, core size, corner) granularity across
+// Options.Workers goroutines.
+//
+// RM invocation path (sim.Run): local optimisation curves are memoized
+// per run in an rm.CurveCache — the RM kind, model and alpha are fixed
+// for a run, and a model-predicted curve depends only on the measured
+// interval's database record (benchmark, phase, setting), an oracle
+// curve only on (benchmark, phase) — so rm.Localize runs once per
+// distinct record a core visits instead of at every interval boundary.
+// The global pairwise curve reduction reuses an rm.Workspace (the
+// reduction tree as a preallocated arena) and writes settings into a
+// reused slice, making the per-interval path allocation-free. Database
+// lookups (db.Stats) index into a per-phase dense grid of records,
+// materialised once per phase — corner records copied, off-corner
+// records interpolated — and shared read-only thereafter.
+//
+// Cache invalidation is structural rather than temporal: every cache
+// key pins the full set of inputs its value depends on (phase
+// preparation per (benchmark, phase, trace length, warmup); replay
+// dedup per delivery sequence; curve memo per predictor input record;
+// dense grid per phase), and all cached values are immutable once
+// published, so nothing is ever invalidated in place.
+//
+// The perfbench suite (internal/perfbench, cmd/perfbench) measures both
+// sides of each pair and records the trajectory in committed
+// BENCH_<n>.json files; CI runs it in short mode on every push.
 package qosrm
 
 import (
