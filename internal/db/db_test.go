@@ -305,3 +305,58 @@ func mustBench(t *testing.T, name string) *bench.Benchmark {
 	}
 	return b
 }
+
+// TestBuildRaceStress pins the concurrency contract of the
+// (phase, core size, corner)-sharded sweep for the race detector: a
+// many-worker build — more workers than this machine may have cores —
+// immediately hammered by concurrent readers racing the lazy dense-grid
+// materialisation. `go test -race` (a CI job) turns any unsynchronised
+// access in the shared phase preparation, the ATD replay dedup or the
+// dense cache into a failure.
+func TestBuildRaceStress(t *testing.T) {
+	benches := testBenches(t)[:2]
+	d, err := Build(benches, Options{TraceLen: 8192, Warmup: 2048, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := BuildReference(benches, Options{TraceLen: 8192, Warmup: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				set := config.Setting{
+					Core: config.CoreSize((g + i) % config.NumSizes),
+					Freq: (g * 3) % config.NumFreqs,
+					Ways: config.MinWays + (g+i)%NumWays,
+				}
+				for _, b := range benches {
+					for p := 0; p < d.NumPhases(b.Name); p++ {
+						s, err := d.Stats(b.Name, p, set)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						// The concurrently materialised record must match
+						// the sequential reference build exactly.
+						want, err := ref.Stats(b.Name, p, set)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						if s.TimeNs != want.TimeNs || s.LLCMisses != want.LLCMisses {
+							t.Errorf("%s phase %d %v: racy record differs", b.Name, p, set)
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -23,6 +23,7 @@ import (
 	"qosrm/internal/db"
 	"qosrm/internal/perfmodel"
 	"qosrm/internal/rm"
+	"qosrm/internal/scenario"
 	"qosrm/internal/sim"
 )
 
@@ -235,7 +236,66 @@ func Run(short bool) (*Report, error) {
 		}
 	})
 
+	// The same workload through the dynamic engine (a static
+	// single-job-per-core queue): the ratio to CoSimulation is the
+	// churn machinery's overhead on the common path, with the results
+	// asserted bit-identical by TestDynamicMatchesStaticRun.
+	add("DynamicStaticRun", func(b *testing.B) {
+		dyn := sim.Dynamic{Queues: []sim.Queue{
+			{Jobs: []sim.Job{{App: mcf}}},
+			{Jobs: []sim.Job{{App: povray}}},
+		}}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.RunDynamic(fixture, dyn, sim.Config{RM: rm.RM3, Model: perfmodel.Model3}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// A scenario batch: several churn scenarios — arrivals, departures,
+	// per-app alphas, a QoS step — swept in parallel over the shared
+	// fixture database, the cmd/scenarios hot path.
+	add("ScenarioBatch", func(b *testing.B) {
+		specs := scenarioBatch()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := scenario.Sweep(fixture, specs, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
 	return rep, nil
+}
+
+// scenarioBatch is the fixed churn batch ScenarioBatch sweeps: four
+// two-core scenarios over the fixture applications, exercising
+// departures, delayed arrivals, heterogeneous alphas and QoS steps.
+func scenarioBatch() []scenario.Spec {
+	const work = 4 * 100_000_000 * 2048
+	base := scenario.Spec{
+		Cores: []scenario.CoreSpec{
+			{Jobs: []scenario.JobSpec{
+				{App: "mcf", Work: work, DepartNs: 2e8},
+				{App: "povray", Work: work, Alpha: 1.2},
+			}},
+			{Jobs: []scenario.JobSpec{
+				{App: "povray", Work: work},
+				{App: "mcf", Work: work, ArrivalNs: 3e8},
+			}},
+		},
+		Steps: []scenario.StepSpec{{AtNs: 2.5e8, Alpha: 1.1}},
+	}
+	specs := make([]scenario.Spec, 4)
+	for i := range specs {
+		specs[i] = base
+		specs[i].Name = fmt.Sprintf("bench-%d", i)
+	}
+	specs[1].RM = "RM2"
+	specs[2].Perfect = true
+	specs[3].RM = "RM1"
+	return specs
 }
 
 // Summary renders the headline comparisons of a report.
@@ -254,6 +314,9 @@ func (r *Report) Summary() string {
 	}
 	if a, b := r.find("RMInvocationReference"), r.find("RMInvocation"); a != nil && b != nil {
 		s += fmt.Sprintf("RMInvocation allocs/op: %d -> %d\n", a.AllocsPerOp, b.AllocsPerOp)
+	}
+	if ratio := r.Ratio("DynamicStaticRun", "CoSimulation"); ratio != 0 {
+		s += fmt.Sprintf("dynamic-engine overhead on static runs: %.2fx\n", ratio)
 	}
 	return s
 }

@@ -1,0 +1,401 @@
+// Package scenario is the declarative layer over the dynamic
+// co-simulator: a JSON-loadable scenario specification — per-core
+// application queues with arrivals, departures and per-app QoS
+// relaxations, plus mid-run QoS-target step changes — and a batch runner
+// that sweeps many scenarios in parallel over one shared database.
+//
+// The spec generalises the paper's evaluation beyond its static
+// one-application-per-core mixes: any core count, any queue depth, any
+// churn pattern expressible as arrival/departure times. A Spec compiles
+// to a sim.Dynamic; Run executes it together with an idle-manager twin
+// so every report carries the energy saving the paper's figures are
+// built from.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"qosrm/internal/bench"
+	"qosrm/internal/config"
+	"qosrm/internal/db"
+	"qosrm/internal/perfmodel"
+	"qosrm/internal/rm"
+	"qosrm/internal/sim"
+	"qosrm/internal/workload"
+)
+
+// JobSpec is one queued application of a core's schedule.
+type JobSpec struct {
+	// App names a suite application (e.g. "mcf").
+	App string `json:"app"`
+	// Alpha is the per-app QoS relaxation; 0 inherits the core's base
+	// relaxation (the spec's Alpha, or the latest QoS step's value).
+	Alpha float64 `json:"alpha,omitempty"`
+	// ArrivalNs is the earliest start time; the job also waits for its
+	// queue predecessors.
+	ArrivalNs float64 `json:"arrival_ns,omitempty"`
+	// Work is the instruction budget at paper scale; 0 means the
+	// default target (the suite's longest application).
+	Work float64 `json:"work,omitempty"`
+	// DepartNs forces the job off the core at this time; 0 disables.
+	DepartNs float64 `json:"depart_ns,omitempty"`
+}
+
+// CoreSpec is one core's job queue.
+type CoreSpec struct {
+	Jobs []JobSpec `json:"jobs"`
+}
+
+// StepSpec is one mid-run QoS-target change.
+type StepSpec struct {
+	AtNs float64 `json:"at_ns"`
+	// Core targets one core; omitted (null) applies to every core.
+	Core  *int    `json:"core,omitempty"`
+	Alpha float64 `json:"alpha"`
+}
+
+// Spec is one complete scenario: the workload shape plus the manager
+// configuration to simulate it under.
+type Spec struct {
+	Name string `json:"name"`
+	// RM selects the manager: "Idle", "RM1", "RM2" or "RM3" (default).
+	RM string `json:"rm,omitempty"`
+	// Model selects the online performance model: "Model1".."Model3"
+	// (default "Model3"); ignored when Perfect is set.
+	Model   string `json:"model,omitempty"`
+	Perfect bool   `json:"perfect,omitempty"`
+	// Alpha is the base QoS relaxation (default 1, as in the paper).
+	Alpha float64 `json:"alpha,omitempty"`
+	// Scale divides all instruction counts (default 2048; 1 is paper
+	// scale). Interval is the RM granularity in instructions.
+	Scale            int64 `json:"scale,omitempty"`
+	Interval         int64 `json:"interval,omitempty"`
+	DisableOverheads bool  `json:"disable_overheads,omitempty"`
+
+	Cores []CoreSpec `json:"cores"`
+	Steps []StepSpec `json:"qos_steps,omitempty"`
+}
+
+// ParseRM resolves a manager name ("Idle", "RM1".."RM3"; empty defaults
+// to RM3).
+func ParseRM(s string) (rm.Kind, error) {
+	switch s {
+	case "":
+		return rm.RM3, nil
+	case "Idle":
+		return rm.Idle, nil
+	case "RM1":
+		return rm.RM1, nil
+	case "RM2":
+		return rm.RM2, nil
+	case "RM3":
+		return rm.RM3, nil
+	}
+	return 0, fmt.Errorf("scenario: unknown resource manager %q", s)
+}
+
+// ParseModel resolves a performance-model name ("Model1".."Model3";
+// empty defaults to Model3).
+func ParseModel(s string) (perfmodel.Kind, error) {
+	switch s {
+	case "", "Model3":
+		return perfmodel.Model3, nil
+	case "Model1":
+		return perfmodel.Model1, nil
+	case "Model2":
+		return perfmodel.Model2, nil
+	}
+	return 0, fmt.Errorf("scenario: unknown performance model %q", s)
+}
+
+// Validate reports the first structural problem with the spec: unknown
+// application, manager or model names, empty systems, or out-of-range
+// step targets. Database coverage is checked by the run itself.
+func (s *Spec) Validate() error {
+	if _, err := ParseRM(s.RM); err != nil {
+		return err
+	}
+	if _, err := ParseModel(s.Model); err != nil {
+		return err
+	}
+	if len(s.Cores) == 0 {
+		return fmt.Errorf("scenario %s: no cores", s.Name)
+	}
+	jobs := 0
+	for ci, c := range s.Cores {
+		for ji, j := range c.Jobs {
+			if _, err := bench.ByName(j.App); err != nil {
+				return fmt.Errorf("scenario %s core %d job %d: %w", s.Name, ci, ji, err)
+			}
+			if j.Alpha < 0 || j.ArrivalNs < 0 || j.Work < 0 || j.DepartNs < 0 {
+				return fmt.Errorf("scenario %s core %d job %d: negative parameter", s.Name, ci, ji)
+			}
+			jobs++
+		}
+	}
+	if jobs == 0 {
+		return fmt.Errorf("scenario %s: no jobs", s.Name)
+	}
+	for i, st := range s.Steps {
+		if st.Alpha <= 0 {
+			return fmt.Errorf("scenario %s step %d: alpha %.3f not positive", s.Name, i, st.Alpha)
+		}
+		if st.AtNs < 0 {
+			return fmt.Errorf("scenario %s step %d: negative time", s.Name, i)
+		}
+		if st.Core != nil && (*st.Core < 0 || *st.Core >= len(s.Cores)) {
+			return fmt.Errorf("scenario %s step %d: core %d of %d", s.Name, i, *st.Core, len(s.Cores))
+		}
+	}
+	if s.Alpha < 0 || s.Scale < 0 || s.Interval < 0 {
+		return fmt.Errorf("scenario %s: negative configuration value", s.Name)
+	}
+	return nil
+}
+
+// Compile resolves the spec into the dynamic workload description and
+// the simulator configuration that executes it.
+func (s *Spec) Compile() (sim.Dynamic, sim.Config, error) {
+	if err := s.Validate(); err != nil {
+		return sim.Dynamic{}, sim.Config{}, err
+	}
+	kind, _ := ParseRM(s.RM)
+	model, _ := ParseModel(s.Model)
+	cfg := sim.Config{
+		RM:               kind,
+		Model:            model,
+		Perfect:          s.Perfect,
+		Alpha:            s.Alpha,
+		Scale:            s.Scale,
+		Interval:         s.Interval,
+		DisableOverheads: s.DisableOverheads,
+	}
+	dyn := sim.Dynamic{Queues: make([]sim.Queue, len(s.Cores))}
+	for ci, c := range s.Cores {
+		q := sim.Queue{Jobs: make([]sim.Job, len(c.Jobs))}
+		for ji, j := range c.Jobs {
+			app, err := bench.ByName(j.App)
+			if err != nil {
+				return sim.Dynamic{}, sim.Config{}, err
+			}
+			q.Jobs[ji] = sim.Job{
+				App:       app,
+				Alpha:     j.Alpha,
+				ArrivalNs: j.ArrivalNs,
+				Work:      j.Work,
+				DepartNs:  j.DepartNs,
+			}
+		}
+		dyn.Queues[ci] = q
+	}
+	for _, st := range s.Steps {
+		core := -1
+		if st.Core != nil {
+			core = *st.Core
+		}
+		dyn.Steps = append(dyn.Steps, sim.QoSStep{AtNs: st.AtNs, Core: core, Alpha: st.Alpha})
+	}
+	return dyn, cfg, nil
+}
+
+// Benchmarks returns the distinct applications the spec schedules, in
+// first-use order — the minimal database a run needs.
+func (s *Spec) Benchmarks() []*bench.Benchmark {
+	return Benchmarks([]Spec{*s})
+}
+
+// Benchmarks returns the distinct applications a batch of specs
+// schedules, in first-use order.
+func Benchmarks(specs []Spec) []*bench.Benchmark {
+	seen := map[string]bool{}
+	var out []*bench.Benchmark
+	for _, s := range specs {
+		for _, c := range s.Cores {
+			for _, j := range c.Jobs {
+				if seen[j.App] {
+					continue
+				}
+				seen[j.App] = true
+				if b, err := bench.ByName(j.App); err == nil {
+					out = append(out, b)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Load parses one scenario file: either a single spec object or an
+// array of specs.
+func Load(r io.Reader) ([]Spec, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) == 0 {
+		return nil, errors.New("scenario: empty input")
+	}
+	if trimmed[0] == '[' {
+		var specs []Spec
+		if err := json.Unmarshal(data, &specs); err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		return specs, nil
+	}
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return []Spec{s}, nil
+}
+
+// LoadFile is Load over a file path.
+func LoadFile(path string) ([]Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Report is the outcome of one scenario run: the managed result, the
+// idle-manager twin it is normalised against, and the headline metrics
+// derived from the pair.
+type Report struct {
+	Name string `json:"name"`
+	RM   string `json:"rm"`
+	// Saving is the fractional energy saving of the managed run over
+	// the idle (baseline-keeping) manager on the identical schedule.
+	Saving      float64 `json:"saving"`
+	EnergyJ     float64 `json:"energy_j"`
+	IdleEnergyJ float64 `json:"idle_energy_j"`
+	TimeNs      float64 `json:"time_ns"`
+	RMCalled    int64   `json:"rm_called"`
+	// ViolationRate measures against the strict baseline time;
+	// BudgetViolationRate against each job's own α-relaxed target.
+	ViolationRate       float64 `json:"violation_rate"`
+	BudgetViolationRate float64 `json:"budget_violation_rate"`
+	// Jobs is the managed run's per-job outcome.
+	Jobs []sim.JobResult `json:"jobs"`
+}
+
+// Run executes the spec against the database: the configured manager
+// plus the idle twin that anchors the energy saving.
+func Run(d *db.DB, s *Spec) (*Report, error) {
+	dyn, cfg, err := s.Compile()
+	if err != nil {
+		return nil, err
+	}
+	kind, _ := ParseRM(s.RM)
+	idleCfg := cfg
+	idleCfg.RM = rm.Idle
+	idle, err := sim.RunDynamic(d, dyn, idleCfg)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	// An idle-manager spec IS its own twin; don't simulate it twice.
+	r := idle
+	if kind != rm.Idle {
+		r, err = sim.RunDynamic(d, dyn, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+	}
+	return &Report{
+		Name:                s.Name,
+		RM:                  kind.String(),
+		Saving:              1 - r.EnergyJ/idle.EnergyJ,
+		EnergyJ:             r.EnergyJ,
+		IdleEnergyJ:         idle.EnergyJ,
+		TimeNs:              r.TimeNs,
+		RMCalled:            r.RMCalled,
+		ViolationRate:       r.ViolationRate(),
+		BudgetViolationRate: r.BudgetViolationRate(),
+		Jobs:                r.Jobs,
+	}, nil
+}
+
+// Sweep runs a batch of scenarios in parallel over the shared database,
+// bounded by workers (≤ 0 means one worker per scenario). Reports come
+// back in spec order; failures are collected and joined, and the
+// remaining scenarios still run.
+func Sweep(d *db.DB, specs []Spec, workers int) ([]*Report, error) {
+	if len(specs) == 0 {
+		return nil, errors.New("scenario: empty sweep")
+	}
+	if workers <= 0 || workers > len(specs) {
+		workers = len(specs)
+	}
+	reports := make([]*Report, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	ch := make(chan int, len(specs))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				reports[i], errs[i] = Run(d, &specs[i])
+			}
+		}()
+	}
+	for i := range specs {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return reports, err
+	}
+	return reports, nil
+}
+
+// FromChurn converts a generated churn schedule (workload.GenerateChurn)
+// into a runnable spec: arrival fractions scale to horizonNs and work
+// fractions to the default instruction target. The remaining Spec fields
+// keep their defaults (RM3, Model3, paper alpha) and can be adjusted on
+// the returned value.
+func FromChurn(name string, churn [][]workload.ChurnEntry, horizonNs float64) Spec {
+	s := Spec{Name: name, Cores: make([]CoreSpec, len(churn))}
+	for ci, q := range churn {
+		jobs := make([]JobSpec, len(q))
+		for ji, e := range q {
+			jobs[ji] = JobSpec{
+				App:       e.App.Name,
+				Alpha:     e.Alpha,
+				ArrivalNs: e.ArrivalFrac * horizonNs,
+				Work:      e.WorkFrac * float64(config.LongestAppInstrPaper),
+			}
+		}
+		s.Cores[ci] = CoreSpec{Jobs: jobs}
+	}
+	// Entries with the paper's strict alpha stay implicit so QoS steps
+	// can still retarget them.
+	for ci := range s.Cores {
+		for ji := range s.Cores[ci].Jobs {
+			if s.Cores[ci].Jobs[ji].Alpha == 1.0 {
+				s.Cores[ci].Jobs[ji].Alpha = 0
+			}
+		}
+	}
+	sortJobsByArrival(&s)
+	return s
+}
+
+// sortJobsByArrival keeps each queue in arrival order, which is how the
+// engine consumes it.
+func sortJobsByArrival(s *Spec) {
+	for ci := range s.Cores {
+		jobs := s.Cores[ci].Jobs
+		sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].ArrivalNs < jobs[j].ArrivalNs })
+	}
+}

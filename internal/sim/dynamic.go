@@ -1,0 +1,553 @@
+// Dynamic co-simulation: the multiprogrammed-churn extension of the
+// static engine in sim.go. Where Run pins one application per core for
+// the whole simulation, RunDynamic drives per-core application queues —
+// jobs arrive, execute a bounded amount of work, finish or depart early,
+// and the next queued job takes over the core — with per-application QoS
+// relaxation and mid-run QoS-target step changes. Everything inside an
+// interval (energy accounting, QoS bookkeeping, RM invocation, overhead
+// charging) is shared with the static engine through the core methods,
+// and a static one-job-per-core queue reproduces Run bit for bit
+// (asserted by TestDynamicMatchesStaticRun).
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"qosrm/internal/bench"
+	"qosrm/internal/config"
+	"qosrm/internal/db"
+	"qosrm/internal/power"
+	"qosrm/internal/rm"
+)
+
+// Job is one queued application of a dynamic run.
+type Job struct {
+	// App is the application to execute; it must be present in the
+	// database the run reads from.
+	App *bench.Benchmark
+	// Alpha is the per-application QoS relaxation. Zero inherits the
+	// core's base relaxation (Config.Alpha, or the latest QoS step's
+	// value); an explicit value applies to this job only.
+	Alpha float64
+	// ArrivalNs is the earliest time the job may start. A job also waits
+	// for its predecessors in the queue to finish or depart.
+	ArrivalNs float64
+	// Work is the instruction count to execute, at paper scale (the
+	// engine divides by Config.Scale). Zero means the static engine's
+	// default target, the suite's longest application.
+	Work float64
+	// DepartNs forces the job off the core at this time even if its work
+	// is unfinished (a user abandoning a request, a migration, a kill).
+	// Zero means the job runs to completion.
+	DepartNs float64
+}
+
+// Queue is one core's job queue, executed in order.
+type Queue struct {
+	Jobs []Job
+}
+
+// QoSStep is one mid-run change of a core's QoS relaxation: at AtNs the
+// targeted core's alpha becomes Alpha, taking effect at its subsequent
+// RM invocations.
+type QoSStep struct {
+	AtNs  float64
+	Core  int // target core; -1 applies to every core
+	Alpha float64
+}
+
+// Dynamic is the workload description of one dynamic run: a queue per
+// core plus an optional QoS step schedule.
+type Dynamic struct {
+	Queues []Queue
+	Steps  []QoSStep
+}
+
+// Validate reports the first problem with the description against the
+// database the run would read from.
+func (dyn *Dynamic) Validate(d *db.DB) error {
+	if len(dyn.Queues) == 0 {
+		return fmt.Errorf("sim: dynamic run needs at least one core")
+	}
+	jobs := 0
+	for ci, q := range dyn.Queues {
+		for ji, j := range q.Jobs {
+			if j.App == nil {
+				return fmt.Errorf("sim: core %d job %d has no application", ci, ji)
+			}
+			if d.NumPhases(j.App.Name) == 0 {
+				return fmt.Errorf("sim: database has no data for %q (core %d job %d)", j.App.Name, ci, ji)
+			}
+			if j.Alpha < 0 || j.ArrivalNs < 0 || j.Work < 0 || j.DepartNs < 0 {
+				return fmt.Errorf("sim: core %d job %d has a negative parameter", ci, ji)
+			}
+			jobs++
+		}
+	}
+	if jobs == 0 {
+		return fmt.Errorf("sim: dynamic run has no jobs")
+	}
+	for i, s := range dyn.Steps {
+		if s.Alpha <= 0 {
+			return fmt.Errorf("sim: QoS step %d alpha %.3f not positive", i, s.Alpha)
+		}
+		if s.Core < -1 || s.Core >= len(dyn.Queues) {
+			return fmt.Errorf("sim: QoS step %d targets core %d of %d", i, s.Core, len(dyn.Queues))
+		}
+		if s.AtNs < 0 {
+			return fmt.Errorf("sim: QoS step %d at negative time", i)
+		}
+	}
+	return nil
+}
+
+// JobResult is the outcome of one queued job.
+type JobResult struct {
+	Core int
+	Slot int // index within the core's queue
+	AppResult
+	// StartNs is when the job began executing (≥ its arrival time).
+	StartNs float64
+	// Alpha is the QoS relaxation in effect when the job ended.
+	Alpha float64
+	// Departed marks jobs forced off the core before completing their
+	// work; FinishNs is then the departure time.
+	Departed bool
+}
+
+// DynamicResult is the outcome of one dynamic co-simulation.
+type DynamicResult struct {
+	// Jobs holds one result per executed job, in completion order.
+	Jobs     []JobResult
+	UncoreJ  float64
+	TimeNs   float64
+	EnergyJ  float64 // total: Σ jobs + uncore
+	RMCalled int64
+}
+
+// ViolationRate returns the fraction of intervals that violated QoS
+// (measured against the strict baseline), across all jobs.
+func (r *DynamicResult) ViolationRate() float64 {
+	var v, n int64
+	for _, j := range r.Jobs {
+		v += j.Violations
+		n += j.Intervals
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(v) / float64(n)
+}
+
+// BudgetViolationRate returns the fraction of intervals that exceeded
+// their job's α-relaxed target — the per-app QoS contract a
+// heterogeneous-alpha scenario actually promises.
+func (r *DynamicResult) BudgetViolationRate() float64 {
+	var v, n int64
+	for _, j := range r.Jobs {
+		v += j.BudgetViolations
+		n += j.Intervals
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(v) / float64(n)
+}
+
+// dynCore is the dynamic engine's per-core state: the shared interval
+// machinery plus the queue position and a memoized self-pinned curve.
+type dynCore struct {
+	core
+	jobs    []Job
+	next    int // index of the next job to start
+	slot    int // index of the running job; -1 while idle
+	startNs float64
+	depart  float64 // running job's departure time (0 = none)
+	// baseAlpha is the relaxation jobs without an explicit Alpha inherit:
+	// Config.Alpha until a QoS step overwrites it. explicitAlpha marks a
+	// running job that carries its own Alpha, which QoS steps respect.
+	baseAlpha     float64
+	explicitAlpha bool
+
+	// pinnedCv caches pinnedCurve(setting) for the core's current
+	// setting; idle cores and cores whose running job has not produced
+	// statistics yet enter the global optimisation pinned there.
+	pinnedCv *rm.Curve
+	pinnedAt config.Setting
+}
+
+// pinnedSelf returns the curve that represents this core as immovable at
+// its current setting.
+func (c *dynCore) pinnedSelf() *rm.Curve {
+	if c.pinnedCv == nil || c.pinnedAt != c.setting {
+		c.pinnedCv = pinnedCurve(c.setting)
+		c.pinnedAt = c.setting
+	}
+	return c.pinnedCv
+}
+
+// active reports whether a job is currently executing on the core.
+func (c *dynCore) active() bool { return c.slot >= 0 }
+
+// event kinds of the dynamic engine's main loop. Simultaneous events
+// resolve by scan order: QoS steps apply before anything else at the
+// same instant, then cores in index order; within one core a departure
+// fires only when strictly earlier than the core's interval or target
+// boundary, so an exact tie lets the job complete its work first.
+const (
+	evNone = iota
+	evStep
+	evDepart
+	evBoundary
+	evArrive
+)
+
+// RunDynamic co-simulates a dynamic workload under cfg, reading all
+// per-interval behaviour from d. Cores with no running job idle at their
+// last setting — their LLC ways stay physically allocated and are pinned
+// in the global optimisation, and they draw no core energy (uncore power
+// is charged for the whole chip as usual). An arriving job inherits the
+// core's current setting until its first interval completes and the RM
+// reallocates; a finishing or departing job triggers an immediate global
+// re-optimisation when its core's queue continues.
+func RunDynamic(d *db.DB, dyn Dynamic, cfg Config) (*DynamicResult, error) {
+	cfg.fill()
+	if err := dyn.Validate(d); err != nil {
+		return nil, err
+	}
+	n := len(dyn.Queues)
+	interval := float64(cfg.Interval)
+
+	// Steps apply in time order; sort a copy so specs may list them in
+	// any order (ties keep spec order).
+	steps := make([]QoSStep, len(dyn.Steps))
+	copy(steps, dyn.Steps)
+	sort.SliceStable(steps, func(i, j int) bool { return steps[i].AtNs < steps[j].AtNs })
+
+	cores := make([]*dynCore, n)
+	for i, q := range dyn.Queues {
+		c := &dynCore{jobs: q.Jobs, slot: -1, baseAlpha: cfg.Alpha}
+		c.setting = config.Baseline()
+		c.alpha = cfg.Alpha
+		cores[i] = c
+	}
+
+	totalWays := config.TotalWays(n)
+	res := &DynamicResult{}
+	st := &runState{
+		curves:     make([]*rm.Curve, n),
+		settings:   make([]config.Setting, n),
+		pinnedBase: pinnedCurve(config.Baseline()),
+	}
+	now := 0.0
+	stepIdx := 0
+
+	for {
+		// Once every queue is drained, remaining QoS steps have nothing
+		// left to retarget: end the run instead of letting no-op step
+		// events stretch the wall clock (and with it the uncore energy).
+		busy := false
+		for _, c := range cores {
+			if c.active() || c.next < len(c.jobs) {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			break
+		}
+
+		// Next event: the earliest QoS step, departure, interval/target
+		// boundary or arrival across the system. Candidates are scanned
+		// in a fixed order with strict comparisons, so simultaneous
+		// events resolve deterministically: the earlier-scanned
+		// candidate wins a tie — the step schedule first, then cores in
+		// index order (within one core, a departure preempts the core's
+		// own boundary only when strictly earlier).
+		kind := evNone
+		best := -1
+		bestT := math.Inf(1)
+		if stepIdx < len(steps) {
+			kind, bestT = evStep, steps[stepIdx].AtNs
+		}
+		for i, c := range cores {
+			if !c.active() {
+				if c.next < len(c.jobs) {
+					t := c.jobs[c.next].ArrivalNs
+					if t < now {
+						t = now // overdue arrivals start immediately
+					}
+					if t < bestT {
+						kind, best, bestT = evArrive, i, t
+					}
+				}
+				continue
+			}
+			remInterval := interval - c.intervalDone
+			remTarget := c.target - c.executed
+			rem := remInterval
+			if remTarget < rem {
+				rem = remTarget
+			}
+			t := now + c.stallNs + rem*c.stats.TPI()
+			if c.depart > 0 && c.depart < t {
+				if c.depart < bestT {
+					kind, best, bestT = evDepart, i, c.depart
+				}
+				continue
+			}
+			if t < bestT {
+				kind, best, bestT = evBoundary, i, t
+			}
+		}
+		if kind == evNone {
+			break // nothing left but exhausted step/queue state
+		}
+		if bestT < now {
+			bestT = now
+		}
+
+		// Advance every running core to bestT, charging energy.
+		dt := bestT - now
+		for _, c := range cores {
+			if !c.active() {
+				continue
+			}
+			d := dt
+			if c.stallNs > 0 {
+				// Overhead time passes without retiring instructions.
+				s := c.stallNs
+				if s > d {
+					s = d
+				}
+				c.stallNs -= s
+				d -= s
+			}
+			c.advance(d / c.stats.TPI())
+		}
+		now = bestT
+
+		switch kind {
+		case evStep:
+			s := steps[stepIdx]
+			stepIdx++
+			// A step retargets the core's base relaxation and the running
+			// job, unless that job carries its own explicit per-app
+			// relaxation — an explicit alpha is a per-job contract.
+			for i, c := range cores {
+				if s.Core == -1 || s.Core == i {
+					c.baseAlpha = s.Alpha
+					if !c.explicitAlpha {
+						c.alpha = s.Alpha
+					}
+				}
+			}
+
+		case evArrive:
+			if err := cores[best].startNext(d, &cfg, now, interval); err != nil {
+				return nil, err
+			}
+
+		case evDepart:
+			if err := transition(d, &cfg, cores, best, totalWays, st, res, now, interval, true); err != nil {
+				return nil, err
+			}
+
+		case evBoundary:
+			c := cores[best]
+			if c.executed >= c.target-1e-6 {
+				if err := transition(d, &cfg, cores, best, totalWays, st, res, now, interval, false); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			// Interval boundary (Figure 5): record QoS, roll the phase,
+			// and invoke the RM — exactly the static engine's path.
+			if cfg.Trace != nil {
+				alloc := make([]int, n)
+				for i, o := range cores {
+					alloc[i] = o.setting.Ways
+				}
+				cfg.Trace(Event{
+					TimeNs:      now,
+					Core:        best,
+					Bench:       c.app.Name,
+					Interval:    c.intervalIdx,
+					Phase:       c.phase,
+					Setting:     c.setting,
+					Allocations: alloc,
+				})
+			}
+			if err := c.finishInterval(d, cfg, now); err != nil {
+				return nil, err
+			}
+			if cfg.RM != rm.Idle {
+				res.RMCalled++
+				if err := invokeRMDynamic(d, &cfg, cores, best, totalWays, st, true); err != nil {
+					return nil, err
+				}
+			}
+			if err := c.startInterval(d, now); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	res.TimeNs = now
+	res.UncoreJ = power.UncorePowerW(n) * now * 1e-9
+	res.EnergyJ = res.UncoreJ
+	// Jobs are recorded in completion order; total in (core, slot) order
+	// so the summation sequence — and with it the floating-point result —
+	// matches the static engine's per-core accumulation exactly.
+	for i := 0; i < n; i++ {
+		for j := range res.Jobs {
+			if res.Jobs[j].Core == i {
+				res.EnergyJ += res.Jobs[j].EnergyJ
+			}
+		}
+	}
+	return res, nil
+}
+
+// transition ends core inv's running job (departed tells why), triggers
+// the churn re-optimisation when the queue continues, and starts the
+// next job if it has already arrived.
+func transition(d *db.DB, cfg *Config, cores []*dynCore, inv, totalWays int, st *runState, res *DynamicResult, now, interval float64, departed bool) error {
+	c := cores[inv]
+	c.res.FinishNs = now
+	res.Jobs = append(res.Jobs, JobResult{
+		Core:      inv,
+		Slot:      c.slot,
+		AppResult: c.res,
+		StartNs:   c.startNs,
+		Alpha:     c.alpha,
+		Departed:  departed,
+	})
+	c.slot = -1
+	c.app = nil
+	c.stats = nil
+	c.depart = 0
+	c.explicitAlpha = false
+	c.hasCurve = false
+	c.curve = nil
+	if c.next >= len(c.jobs) {
+		// Queue drained: the core idles forever at its final setting,
+		// its ways pinned — the static engine's finished-core behaviour.
+		return nil
+	}
+
+	// The next job starts now if it has arrived; otherwise the core
+	// idles until the arrival event fires.
+	if c.jobs[c.next].ArrivalNs <= now {
+		if err := c.startNext(d, cfg, now, interval); err != nil {
+			return err
+		}
+	}
+
+	// Churn re-optimisation (the "RM re-optimises when an application
+	// finishes or departs" rule): the transitioning core enters pinned
+	// at its current setting — the incoming application has produced no
+	// statistics and the partition is physical — and every other core's
+	// latest curve is re-reduced so the rest of the system can shift its
+	// allocations in response to the churn.
+	if cfg.RM != rm.Idle {
+		res.RMCalled++
+		if err := invokeRMDynamic(d, cfg, cores, inv, totalWays, st, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// startNext begins the core's next queued job at the core's current
+// setting. A job whose departure time already passed departs again
+// immediately (as a zero-work departure event) on the next loop turn.
+func (c *dynCore) startNext(d *db.DB, cfg *Config, now, interval float64) error {
+	j := c.jobs[c.next]
+	c.slot = c.next
+	c.next++
+	c.startNs = now
+	c.app = j.App
+	c.alpha = c.baseAlpha
+	c.explicitAlpha = j.Alpha > 0
+	if c.explicitAlpha {
+		c.alpha = j.Alpha
+	}
+	work := j.Work
+	if work <= 0 {
+		work = float64(config.LongestAppInstrPaper)
+	}
+	c.target = work / float64(cfg.Scale)
+	c.executed = 0
+	c.runExec = 0
+	c.runLen = float64(j.App.TotalInstr) / float64(cfg.Scale)
+	if c.runLen < interval {
+		c.runLen = interval // an application runs at least one interval
+	}
+	c.intervalIdx = 0
+	c.phase = j.App.PhaseAt(0)
+	c.depart = j.DepartNs
+	c.res = AppResult{Bench: j.App.Name}
+	c.fin = false
+	c.hasCurve = false
+	c.curve = nil
+	if err := c.startInterval(d, now); err != nil {
+		return err
+	}
+	return nil
+}
+
+// invokeRMDynamic is the dynamic engine's manager invocation. With
+// refresh set (the interval-boundary path) the invoking core rebuilds
+// its curve from the interval that just completed; churn boundaries pass
+// refresh=false and the transitioning core enters pinned instead, since
+// its incoming application has not produced statistics yet. Idle cores
+// are always pinned at their current setting, so their physically held
+// ways are never redistributed.
+func invokeRMDynamic(d *db.DB, cfg *Config, cores []*dynCore, inv, totalWays int, st *runState, refresh bool) error {
+	c := cores[inv]
+	if refresh {
+		c.refreshCurve(d, cfg, st)
+	}
+
+	curves := st.curves
+	for i, o := range cores {
+		if o.active() && o.hasCurve {
+			curves[i] = o.curve
+		} else {
+			curves[i] = o.pinnedSelf()
+		}
+	}
+	var settings []config.Setting
+	var ok bool
+	if cfg.GreedyGlobal {
+		settings, ok = rm.GreedyGlobalOptimize(curves, totalWays)
+	} else {
+		settings = st.settings
+		ok = st.ws.Optimize(curves, totalWays, settings)
+	}
+	if !ok {
+		return nil
+	}
+
+	// Apply, charging transition overheads. Idle cores only track their
+	// (pinned, hence unchanged) way allocation.
+	for i, o := range cores {
+		if !o.active() {
+			o.setting.Ways = settings[i].Ways
+			continue
+		}
+		if err := o.applySetting(d, cfg, settings[i]); err != nil {
+			return err
+		}
+	}
+
+	// RM execution overhead runs on the invoking core when it is busy;
+	// a churn invocation on an emptied core has no application to bill.
+	if c.active() {
+		c.chargeRMOverhead(cfg, len(cores))
+	}
+	return nil
+}

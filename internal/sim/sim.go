@@ -96,6 +96,11 @@ type AppResult struct {
 	// ViolationSum accumulates Eq. 6 magnitudes for violating intervals.
 	ViolationSum float64
 	MaxViolation float64
+	// BudgetViolations counts intervals exceeding the application's own
+	// α-relaxed target (α × baseline time, Eq. 3) — the per-app QoS
+	// contract. With α = 1 it equals Violations; a relaxed application
+	// exceeds the strict baseline by design without breaking its budget.
+	BudgetViolations int64
 }
 
 // Result is the outcome of one co-simulation.
@@ -120,11 +125,29 @@ func (r *Result) ViolationRate() float64 {
 	return float64(v) / float64(n)
 }
 
+// BudgetViolationRate returns the fraction of intervals that exceeded
+// their application's α-relaxed target.
+func (r *Result) BudgetViolationRate() float64 {
+	var v, n int64
+	for _, a := range r.Apps {
+		v += a.BudgetViolations
+		n += a.Intervals
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(v) / float64(n)
+}
+
 // core is the simulator's per-core state.
 type core struct {
 	app     *bench.Benchmark
 	setting config.Setting
 	stats   *db.Stats // at (phase, setting)
+	// alpha is the QoS relaxation the core's RM invocations run under.
+	// Static runs copy Config.Alpha here once; dynamic runs vary it per
+	// application and through mid-run QoS steps.
+	alpha float64
 
 	target   float64 // instructions to execute in total (scaled)
 	executed float64 // toward target
@@ -167,6 +190,16 @@ type oracleKey struct {
 	phase int
 }
 
+// curveKey scopes a memoized curve to the QoS relaxation it was computed
+// with. A run no longer has a single alpha — dynamic runs carry per-app
+// relaxations and mid-run QoS steps — so the predictor identity (a
+// shared *db.Stats record or an oracleKey) alone does not pin down the
+// local optimisation's inputs.
+type curveKey struct {
+	pred  any
+	alpha float64
+}
+
 // Run co-simulates the workload apps (one application per core) under
 // cfg, reading all per-interval behaviour from d.
 func Run(d *db.DB, apps []*bench.Benchmark, cfg Config) (*Result, error) {
@@ -188,6 +221,7 @@ func Run(d *db.DB, apps []*bench.Benchmark, cfg Config) (*Result, error) {
 		c := &core{
 			app:     a,
 			setting: config.Baseline(),
+			alpha:   cfg.Alpha,
 			target:  target,
 			runLen:  float64(a.TotalInstr) / float64(cfg.Scale),
 			phase:   a.PhaseAt(0),
@@ -345,6 +379,9 @@ func (c *core) finishInterval(d *db.DB, cfg Config, now float64) error {
 				c.res.MaxViolation = v
 			}
 		}
+		if actual > ref*c.alpha*1.001 {
+			c.res.BudgetViolations++
+		}
 	}
 
 	// Next interval; restart the application when it completes.
@@ -387,34 +424,7 @@ func (c *core) startInterval(d *db.DB, now float64) error {
 // run's workspace and slices.
 func invokeRM(d *db.DB, cfg Config, cores []*core, inv, totalWays int, st *runState) error {
 	c := cores[inv]
-
-	// Build the invoking core's predictor from the interval that just
-	// finished (its phase index was advanced already; the completed
-	// interval's stats are still in c.stats).
-	opts := rm.Options{Alpha: cfg.Alpha}
-	switch {
-	case cfg.Perfect && cfg.noCurveCache:
-		cv := rm.Localize(&oracle{d: d, app: c.app.Name, phase: c.phase}, cfg.RM, opts)
-		c.curve = &cv
-	case cfg.Perfect:
-		// The oracle knows the upcoming interval's phase (c.phase was
-		// already advanced by finishInterval) and its true behaviour.
-		c.curve = st.cache.Get(oracleKey{c.app.Name, c.phase}, func() rm.Curve {
-			return rm.Localize(&oracle{d: d, app: c.app.Name, phase: c.phase}, cfg.RM, opts)
-		})
-	case cfg.noCurveCache:
-		cv := rm.Localize(&rm.ModelPredictor{Stats: perfmodel.FromDB(c.stats, c.setting), Model: cfg.Model}, cfg.RM, opts)
-		c.curve = &cv
-	default:
-		// The online models see only the completed interval's counters:
-		// c.stats still holds the record the interval ran under, and —
-		// records being shared grid entries — its pointer identifies the
-		// (bench, phase, setting) the predictor is built from.
-		c.curve = st.cache.Get(c.stats, func() rm.Curve {
-			return rm.Localize(&rm.ModelPredictor{Stats: perfmodel.FromDB(c.stats, c.setting), Model: cfg.Model}, cfg.RM, opts)
-		})
-	}
-	c.hasCurve = true
+	c.refreshCurve(d, &cfg, st)
 
 	// Assemble curves for the whole system. Cores that have not yet
 	// produced statistics are pinned at the baseline allocation; cores
@@ -449,45 +459,92 @@ func invokeRM(d *db.DB, cfg Config, cores []*core, inv, totalWays int, st *runSt
 		if o.fin {
 			continue
 		}
-		s := settings[i]
-		if s == o.setting {
-			continue
+		if err := o.applySetting(d, &cfg, settings[i]); err != nil {
+			return err
 		}
-		if !cfg.DisableOverheads {
-			var over float64
-			if s.Freq != o.setting.Freq {
-				over += config.DVFSSwitchTimeNs
-				o.res.EnergyJ += config.DVFSSwitchEnergyJ
-			}
-			if s.Core != o.setting.Core {
-				// Pipeline drain: ~ROB/IPC cycles (Section III-E).
-				over += float64(config.Core(o.setting.Core).ROB) * o.stats.TPI() * config.ResizeDrainFactor
-			}
-			o.stallNs += over
-			o.extraNs += over
-		}
-		o.setting = s
-		stats, err := d.Stats(o.app.Name, o.phase, s)
-		if err != nil {
-			// The optimizer only hands out valid grid settings; failing
-			// to read one back is a bug, not a recoverable state.
-			return fmt.Errorf("sim: stats for %s phase %d at %v: %w", o.app.Name, o.phase, s, err)
-		}
-		o.stats = stats
 	}
 
 	// RM execution overhead runs on the invoking core.
-	if !cfg.DisableOverheads {
-		kindOverhead := config.RMInstructionOverhead(len(cores))
-		if cfg.RM == rm.RM1 || cfg.RM == rm.RM2 {
-			kindOverhead = config.PrevRMInstructionOverhead(len(cores))
-		}
-		t := float64(kindOverhead) * c.stats.TPI()
-		c.res.EnergyJ += c.stats.ActualEnergyJ(c.setting, float64(kindOverhead))
-		c.stallNs += t
-		c.extraNs += t
-	}
+	c.chargeRMOverhead(&cfg, len(cores))
 	return nil
+}
+
+// refreshCurve rebuilds the invoking core's energy curve from the
+// interval that just finished (its phase index was advanced already; the
+// completed interval's stats are still in c.stats), going through the
+// run's curve cache unless the equivalence tests disabled it.
+func (c *core) refreshCurve(d *db.DB, cfg *Config, st *runState) {
+	opts := rm.Options{Alpha: c.alpha}
+	switch {
+	case cfg.Perfect && cfg.noCurveCache:
+		cv := rm.Localize(&oracle{d: d, app: c.app.Name, phase: c.phase}, cfg.RM, opts)
+		c.curve = &cv
+	case cfg.Perfect:
+		// The oracle knows the upcoming interval's phase (c.phase was
+		// already advanced by finishInterval) and its true behaviour.
+		c.curve = st.cache.Get(curveKey{oracleKey{c.app.Name, c.phase}, c.alpha}, func() rm.Curve {
+			return rm.Localize(&oracle{d: d, app: c.app.Name, phase: c.phase}, cfg.RM, opts)
+		})
+	case cfg.noCurveCache:
+		cv := rm.Localize(&rm.ModelPredictor{Stats: perfmodel.FromDB(c.stats, c.setting), Model: cfg.Model}, cfg.RM, opts)
+		c.curve = &cv
+	default:
+		// The online models see only the completed interval's counters:
+		// c.stats still holds the record the interval ran under, and —
+		// records being shared grid entries — its pointer identifies the
+		// (bench, phase, setting) the predictor is built from.
+		c.curve = st.cache.Get(curveKey{c.stats, c.alpha}, func() rm.Curve {
+			return rm.Localize(&rm.ModelPredictor{Stats: perfmodel.FromDB(c.stats, c.setting), Model: cfg.Model}, cfg.RM, opts)
+		})
+	}
+	c.hasCurve = true
+}
+
+// applySetting switches the core to s, charging DVFS-switch and
+// pipeline-drain overheads (Section III-E) and refreshing the stats
+// record the core executes under. A no-op when s is the current setting.
+func (o *core) applySetting(d *db.DB, cfg *Config, s config.Setting) error {
+	if s == o.setting {
+		return nil
+	}
+	if !cfg.DisableOverheads {
+		var over float64
+		if s.Freq != o.setting.Freq {
+			over += config.DVFSSwitchTimeNs
+			o.res.EnergyJ += config.DVFSSwitchEnergyJ
+		}
+		if s.Core != o.setting.Core {
+			// Pipeline drain: ~ROB/IPC cycles (Section III-E).
+			over += float64(config.Core(o.setting.Core).ROB) * o.stats.TPI() * config.ResizeDrainFactor
+		}
+		o.stallNs += over
+		o.extraNs += over
+	}
+	o.setting = s
+	stats, err := d.Stats(o.app.Name, o.phase, s)
+	if err != nil {
+		// The optimizer only hands out valid grid settings; failing
+		// to read one back is a bug, not a recoverable state.
+		return fmt.Errorf("sim: stats for %s phase %d at %v: %w", o.app.Name, o.phase, s, err)
+	}
+	o.stats = stats
+	return nil
+}
+
+// chargeRMOverhead bills one RM execution (Section III-E) to the core it
+// ran on, as stall time plus the energy of its instructions.
+func (c *core) chargeRMOverhead(cfg *Config, n int) {
+	if cfg.DisableOverheads {
+		return
+	}
+	kindOverhead := config.RMInstructionOverhead(n)
+	if cfg.RM == rm.RM1 || cfg.RM == rm.RM2 {
+		kindOverhead = config.PrevRMInstructionOverhead(n)
+	}
+	t := float64(kindOverhead) * c.stats.TPI()
+	c.res.EnergyJ += c.stats.ActualEnergyJ(c.setting, float64(kindOverhead))
+	c.stallNs += t
+	c.extraNs += t
 }
 
 // pinnedCurve is feasible only at the given setting's allocation, used

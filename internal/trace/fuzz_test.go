@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"qosrm/internal/config"
+)
+
+// FuzzParamsValidate fuzzes the untrusted-parameter gate: Validate must
+// never panic, and any parameter set it accepts must generate without
+// panicking and deterministically — the same Params (including Seed)
+// always yields the same instruction sequence, which everything from the
+// database sweep's shared phase preparation to the replay dedup relies
+// on.
+func FuzzParamsValidate(f *testing.F) {
+	add := func(p Params) {
+		var r Region
+		if len(p.Regions) > 0 {
+			r = p.Regions[0]
+		}
+		f.Add(p.Seed, p.LoadFrac, p.StoreFrac, p.BranchFrac, p.MulFrac,
+			p.BranchMissRate, p.DepProb, p.DepMean, p.BurstProb,
+			p.ChaseFrac, p.StoreMainFrac, p.BurstLen, p.BurstSpread,
+			r.Bytes, r.Weight, r.Sequential, r.WindowBytes, r.DriftEvery)
+	}
+	// A well-formed cache-sensitive stream, a streaming one, and the
+	// hazards Validate exists to catch.
+	add(Params{
+		Seed: 1, LoadFrac: 0.3, StoreFrac: 0.1, BranchFrac: 0.15,
+		MulFrac: 0.2, BranchMissRate: 0.02, DepProb: 0.5, DepMean: 6,
+		BurstProb: 0.1, ChaseFrac: 0.3, StoreMainFrac: 0.2,
+		BurstLen: 8, BurstSpread: 4,
+		Regions: []Region{{Bytes: 1 << 20, Weight: 1, WindowBytes: 1 << 14, DriftEvery: 64}},
+	})
+	add(Params{
+		Seed: 7, LoadFrac: 0.4,
+		Regions: []Region{{Bytes: 1 << 28, Weight: 1, Sequential: true}},
+	})
+	add(Params{LoadFrac: -0.5, Regions: []Region{{Bytes: 4096, Weight: 1}}})
+	add(Params{LoadFrac: 0.2, Regions: []Region{{Bytes: 1 << 63, Weight: 1}}})
+
+	f.Fuzz(func(t *testing.T, seed int64,
+		loadFrac, storeFrac, branchFrac, mulFrac, missRate, depProb,
+		depMean, burstProb, chaseFrac, storeMainFrac float64,
+		burstLen, burstSpread int,
+		rBytes uint64, rWeight float64, rSeq bool, rWindow uint64, rDrift int) {
+		p := Params{
+			Seed:           seed,
+			LoadFrac:       loadFrac,
+			StoreFrac:      storeFrac,
+			BranchFrac:     branchFrac,
+			MulFrac:        mulFrac,
+			BranchMissRate: missRate,
+			DepProb:        depProb,
+			DepMean:        depMean,
+			BurstProb:      burstProb,
+			ChaseFrac:      chaseFrac,
+			StoreMainFrac:  storeMainFrac,
+			BurstLen:       burstLen,
+			BurstSpread:    burstSpread,
+			Regions: []Region{
+				{Bytes: rBytes, Weight: rWeight, Sequential: rSeq, WindowBytes: rWindow, DriftEvery: rDrift},
+				// A fixed second region so two-region mixtures (which
+				// have a distinct main region) are always exercised.
+				{Bytes: 1 << 20, Weight: 0.5},
+			},
+		}
+		if err := p.Validate(); err != nil {
+			return // rejected is fine; panicking is not
+		}
+		const n = 512
+		a := Generate(p, n)
+		b := Generate(p, n)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatal("accepted parameters generated non-deterministically")
+		}
+		for i, in := range a {
+			if in.Dep1 < 0 || int64(in.Dep1) > int64(i) {
+				t.Fatalf("instruction %d dependence %d out of range", i, in.Dep1)
+			}
+			if (in.Kind == KindLoad || in.Kind == KindStore) && in.Addr%config.BlockBytes != 0 {
+				t.Fatalf("instruction %d: address %d not block aligned", i, in.Addr)
+			}
+			if in.Mispredict && in.Kind != KindBranch {
+				t.Fatalf("instruction %d: non-branch mispredicts", i)
+			}
+		}
+	})
+}

@@ -22,6 +22,7 @@ package trace
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"qosrm/internal/config"
@@ -155,13 +156,36 @@ type Params struct {
 	Regions []Region
 }
 
+// MaxRegionBytes bounds one region's footprint (1 TiB). The bound keeps
+// block arithmetic far from integer overflow for any Validate-accepted
+// parameter set (found by FuzzParamsValidate: a region of 2⁶³ bytes
+// drives the block sampler's int64 conversion negative).
+const MaxRegionBytes = 1 << 40
+
+// MaxRegions bounds the footprint mixture size.
+const MaxRegions = 256
+
 // Validate reports the first problem with p, or nil.
 func (p Params) Validate() error {
+	for _, f := range [...]float64{
+		p.LoadFrac, p.StoreFrac, p.BranchFrac, p.MulFrac,
+		p.BranchMissRate, p.DepProb, p.DepMean, p.BurstProb,
+		p.ChaseFrac, p.StoreMainFrac,
+	} {
+		// NaNs would slide through every range check below (all
+		// comparisons are false), so reject non-finite values first.
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return errors.New("trace: non-finite parameter")
+		}
+	}
 	if p.LoadFrac < 0 || p.StoreFrac < 0 || p.BranchFrac < 0 || p.MulFrac < 0 {
 		return errors.New("trace: negative instruction-mix fraction")
 	}
 	if s := p.LoadFrac + p.StoreFrac + p.BranchFrac; s >= 1 {
 		return fmt.Errorf("trace: load+store+branch fractions sum to %.3f, want < 1", s)
+	}
+	if p.DepMean < 0 {
+		return fmt.Errorf("trace: negative dependence distance %.3f", p.DepMean)
 	}
 	if p.BranchMissRate < 0 || p.BranchMissRate > 1 {
 		return fmt.Errorf("trace: branch miss rate %.3f outside [0,1]", p.BranchMissRate)
@@ -181,13 +205,19 @@ func (p Params) Validate() error {
 	if len(p.Regions) == 0 {
 		return errors.New("trace: at least one address region required")
 	}
+	if len(p.Regions) > MaxRegions {
+		return fmt.Errorf("trace: %d regions, want at most %d", len(p.Regions), MaxRegions)
+	}
 	total := 0.0
 	for i, r := range p.Regions {
 		if r.Bytes < config.BlockBytes {
 			return fmt.Errorf("trace: region %d smaller than one cache block", i)
 		}
-		if r.Weight < 0 {
-			return fmt.Errorf("trace: region %d has negative weight", i)
+		if r.Bytes > MaxRegionBytes {
+			return fmt.Errorf("trace: region %d larger than %d bytes", i, uint64(MaxRegionBytes))
+		}
+		if r.Weight < 0 || math.IsNaN(r.Weight) || math.IsInf(r.Weight, 0) {
+			return fmt.Errorf("trace: region %d weight not a finite non-negative number", i)
 		}
 		if r.WindowBytes > r.Bytes {
 			return fmt.Errorf("trace: region %d window larger than region", i)
@@ -197,8 +227,8 @@ func (p Params) Validate() error {
 		}
 		total += r.Weight
 	}
-	if total <= 0 {
-		return errors.New("trace: region weights sum to zero")
+	if total <= 0 || math.IsInf(total, 0) {
+		return errors.New("trace: region weights sum to zero or overflow")
 	}
 	return nil
 }

@@ -189,6 +189,71 @@ func Generate(s Scenario, cores, count int, seed int64) ([]Workload, error) {
 	return out, nil
 }
 
+// ChurnEntry is one queued application of a generated churn schedule.
+// The fractions are dimensionless so callers can scale a schedule to any
+// simulation horizon and instruction budget (internal/scenario does).
+type ChurnEntry struct {
+	App *bench.Benchmark
+	// Alpha is the per-application QoS relaxation drawn for the entry.
+	Alpha float64
+	// ArrivalFrac positions the entry's arrival on the schedule horizon:
+	// the entry arrives after ArrivalFrac of the nominal timeline.
+	ArrivalFrac float64
+	// WorkFrac is the entry's instruction budget as a fraction of the
+	// full application target.
+	WorkFrac float64
+}
+
+// churnAlphas is the per-application QoS relaxation pool churn schedules
+// draw from: most jobs keep the paper's strict target, some tolerate a
+// little slack, a few a lot.
+var churnAlphas = [4]float64{1.0, 1.0, 1.1, 1.25}
+
+// GenerateChurn produces an n-core multiprogrammed churn schedule for
+// the scenario, deterministically from seed: depth waves of
+// applications, each wave drawn from one of the scenario's Figure 1
+// cells exactly as Generate draws its static mixes (first half of the
+// cores from the App1 pool, second half from the App2 pool), with
+// staggered arrivals, bounded per-job work and per-application QoS
+// relaxations. The result is one queue per core, wave k of every queue
+// arriving around k/depth of the horizon.
+func GenerateChurn(s Scenario, cores, depth int, seed int64) ([][]ChurnEntry, error) {
+	if cores < 2 || cores%2 != 0 {
+		return nil, fmt.Errorf("workload: core count %d must be even and ≥ 2", cores)
+	}
+	if depth < 1 {
+		return nil, fmt.Errorf("workload: queue depth %d must be positive", depth)
+	}
+	rng := rand.New(rand.NewSource(seed ^ int64(s)<<32 ^ int64(cores) ^ int64(depth)<<16))
+	pools := make(map[bench.Category]*pool, bench.NumCategories)
+	for _, cat := range bench.Categories {
+		pools[cat] = newPool(cat, rng)
+	}
+	cells := s.Cells()
+	out := make([][]ChurnEntry, cores)
+	for k := 0; k < depth; k++ {
+		cell := cells[k%len(cells)]
+		for c := 0; c < cores; c++ {
+			p := pools[cell.App1]
+			if c >= cores/2 {
+				p = pools[cell.App2]
+			}
+			e := ChurnEntry{
+				App:      p.pick(),
+				Alpha:    churnAlphas[rng.Intn(len(churnAlphas))],
+				WorkFrac: 0.2 + 0.3*rng.Float64(),
+			}
+			if k > 0 {
+				// Later waves arrive staggered with jitter; the first
+				// wave starts the run.
+				e.ArrivalFrac = (float64(k) + 0.5*rng.Float64()) / float64(depth)
+			}
+			out[c] = append(out[c], e)
+		}
+	}
+	return out, nil
+}
+
 // TwoCoreExamples returns one representative two-core mix per scenario,
 // mirroring the Figure 2 study.
 func TwoCoreExamples() []Workload {

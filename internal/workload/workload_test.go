@@ -197,3 +197,136 @@ func TestScenarioString(t *testing.T) {
 		t.Error("scenario names wrong")
 	}
 }
+
+func TestMixProbabilitiesSumToOne(t *testing.T) {
+	// Property: the 10 unordered category mixes partition the space of
+	// random two-application draws, so their probabilities sum to 1.
+	total := 0.0
+	for i, a := range bench.Categories {
+		for _, b := range bench.Categories[i:] {
+			total += MixProbability(a, b)
+		}
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("mix probabilities sum to %.12f, want 1", total)
+	}
+	// And the scenario weights — sums of disjoint cell masses — must
+	// total ≈100%.
+	w := 0.0
+	for _, s := range Scenarios {
+		w += s.Weight()
+	}
+	if math.Abs(w-1) > 1e-12 {
+		t.Errorf("scenario weights sum to %.12f, want 1", w)
+	}
+}
+
+func TestGeneratePoolCoverageProperty(t *testing.T) {
+	// Property (Section IV-C): across a generated workload set, every
+	// application of every pool a scenario draws from appears at least
+	// once — the round-robin pools guarantee it once enough picks have
+	// been dealt, for any seed.
+	for seed := int64(1); seed <= 8; seed++ {
+		for _, s := range Scenarios {
+			ws, err := Generate(s, 8, 12, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			used := map[string]bool{}
+			for _, w := range ws {
+				for _, a := range w.Apps {
+					used[a.Name] = true
+				}
+			}
+			pools := map[bench.Category]bool{}
+			for _, c := range s.Cells() {
+				pools[c.App1] = true
+				pools[c.App2] = true
+			}
+			for cat, members := range bench.ByCategory() {
+				if !pools[cat] {
+					continue
+				}
+				for _, b := range members {
+					if !used[b.Name] {
+						t.Errorf("seed %d %s: pool member %s never selected", seed, s, b.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateChurnValidation(t *testing.T) {
+	if _, err := GenerateChurn(Scenario1, 3, 2, 1); err == nil {
+		t.Error("odd core count must fail")
+	}
+	if _, err := GenerateChurn(Scenario1, 4, 0, 1); err == nil {
+		t.Error("zero depth must fail")
+	}
+}
+
+func TestGenerateChurnDeterministic(t *testing.T) {
+	a, err := GenerateChurn(Scenario1, 4, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := GenerateChurn(Scenario1, 4, 3, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must generate identical schedules")
+	}
+	c, _ := GenerateChurn(Scenario1, 4, 3, 43)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestGenerateChurnShape(t *testing.T) {
+	const cores, depth = 4, 5
+	for _, s := range Scenarios {
+		qs, err := GenerateChurn(s, cores, depth, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(qs) != cores {
+			t.Fatalf("%s: %d queues, want %d", s, len(qs), cores)
+		}
+		cells := s.Cells()
+		alphaPool := map[float64]bool{}
+		for _, a := range churnAlphas {
+			alphaPool[a] = true
+		}
+		for c, q := range qs {
+			if len(q) != depth {
+				t.Fatalf("%s core %d: %d entries, want %d", s, c, len(q), depth)
+			}
+			for k, e := range q {
+				// Wave k draws from cell k (cycling): first half of the
+				// cores from App1's pool, second half from App2's.
+				cell := cells[k%len(cells)]
+				want := cell.App1
+				if c >= cores/2 {
+					want = cell.App2
+				}
+				if e.App.Category != want {
+					t.Errorf("%s core %d wave %d: app %s of %s, want %s",
+						s, c, k, e.App.Name, e.App.Category, want)
+				}
+				if !alphaPool[e.Alpha] {
+					t.Errorf("alpha %v outside the churn pool", e.Alpha)
+				}
+				if e.WorkFrac < 0.2 || e.WorkFrac >= 0.5 {
+					t.Errorf("work fraction %v outside [0.2, 0.5)", e.WorkFrac)
+				}
+				lo := float64(k) / depth
+				hi := (float64(k) + 0.5) / depth
+				if k == 0 {
+					lo, hi = 0, 0
+				}
+				if e.ArrivalFrac < lo || e.ArrivalFrac > hi {
+					t.Errorf("wave %d arrival %v outside [%v, %v]", k, e.ArrivalFrac, lo, hi)
+				}
+			}
+		}
+	}
+}

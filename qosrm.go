@@ -70,6 +70,33 @@
 // The perfbench suite (internal/perfbench, cmd/perfbench) measures both
 // sides of each pair and records the trajectory in committed
 // BENCH_<n>.json files; CI runs it in short mode on every push.
+//
+// # Scenario engine
+//
+// The paper evaluates its managers on static workloads only: one
+// application pinned per core, one global QoS target, run to completion.
+// The scenario engine generalises that to dynamic, declarative
+// scenarios. sim.RunDynamic drives per-core application queues — jobs
+// arrive, execute a bounded instruction budget, finish or depart early,
+// and the next queued job takes over the core, at which point the RM
+// immediately re-optimises the whole system — with per-application QoS
+// relaxation (heterogeneous alpha instead of the single global knob) and
+// mid-run QoS-target step changes. A core between jobs idles at its last
+// setting with its LLC ways pinned; an arriving job inherits the core's
+// setting until its first interval produces statistics.
+//
+// internal/scenario layers a JSON-loadable specification on top
+// (ScenarioSpec): application queues by name, arrival/departure times,
+// per-job alphas and QoS steps, plus the manager/model configuration to
+// run under. System.RunScenario executes one spec together with an
+// idle-manager twin so the report carries the paper's energy-saving
+// metric; System.SweepScenarios batches many specs in parallel over the
+// shared database. GenerateChurnWorkloads extends the Section IV-C
+// generator to emit multiprogrammed churn schedules from the four
+// Figure 1 scenario categories, and cmd/scenarios is the batch CLI over
+// scenario files. A static single-job-per-core scenario reproduces
+// System.Run bit for bit (equivalence-tested, like every optimized pair
+// above).
 package qosrm
 
 import (
@@ -79,6 +106,7 @@ import (
 	"qosrm/internal/experiments"
 	"qosrm/internal/perfmodel"
 	"qosrm/internal/rm"
+	"qosrm/internal/scenario"
 	"qosrm/internal/sim"
 	"qosrm/internal/trace"
 	"qosrm/internal/workload"
@@ -120,6 +148,33 @@ type (
 	Experiments = experiments.Context
 	// DB is the per-(application, phase, setting) simulation database.
 	DB = db.DB
+
+	// Dynamic describes a multiprogrammed-churn workload: per-core job
+	// queues plus a QoS step schedule.
+	Dynamic = sim.Dynamic
+	// DynJob is one queued application of a dynamic run.
+	DynJob = sim.Job
+	// DynQueue is one core's job queue.
+	DynQueue = sim.Queue
+	// QoSStep is one mid-run QoS-target change.
+	QoSStep = sim.QoSStep
+	// DynamicResult is the outcome of one dynamic co-simulation.
+	DynamicResult = sim.DynamicResult
+	// JobResult is the outcome of one queued job.
+	JobResult = sim.JobResult
+	// ScenarioSpec is the JSON-loadable declarative scenario.
+	ScenarioSpec = scenario.Spec
+	// ScenarioCore is one core's queue in a scenario spec.
+	ScenarioCore = scenario.CoreSpec
+	// ScenarioJob is one queued application in a scenario spec.
+	ScenarioJob = scenario.JobSpec
+	// ScenarioStep is one mid-run QoS change in a scenario spec.
+	ScenarioStep = scenario.StepSpec
+	// ScenarioReport is the outcome of one scenario run.
+	ScenarioReport = scenario.Report
+	// ChurnEntry is one queued application of a generated churn
+	// schedule.
+	ChurnEntry = workload.ChurnEntry
 )
 
 // Re-exported enumerations.
@@ -173,6 +228,26 @@ func GenerateWorkloads(s Scenario, cores, count int, seed int64) ([]Workload, er
 	return workload.Generate(s, cores, count, seed)
 }
 
+// GenerateChurnWorkloads produces an n-core multiprogrammed churn
+// schedule for the scenario — depth waves of applications per core with
+// staggered arrivals, bounded work and per-app QoS relaxations —
+// deterministically from seed. ChurnScenario turns the result into a
+// runnable spec.
+func GenerateChurnWorkloads(s Scenario, cores, depth int, seed int64) ([][]ChurnEntry, error) {
+	return workload.GenerateChurn(s, cores, depth, seed)
+}
+
+// ChurnScenario converts a generated churn schedule into a runnable
+// scenario spec whose arrivals span horizonNs.
+func ChurnScenario(name string, churn [][]ChurnEntry, horizonNs float64) ScenarioSpec {
+	return scenario.FromChurn(name, churn, horizonNs)
+}
+
+// LoadScenarios parses a scenario file: one spec object or an array.
+func LoadScenarios(path string) ([]ScenarioSpec, error) {
+	return scenario.LoadFile(path)
+}
+
 // Options configures Open.
 type Options struct {
 	// DBPath caches the simulation database; empty disables caching.
@@ -222,6 +297,28 @@ func (s *System) DB() *DB { return s.db }
 // Run co-simulates one application per core under cfg.
 func (s *System) Run(apps []*Benchmark, cfg SimConfig) (*SimResult, error) {
 	return sim.Run(s.db, apps, cfg)
+}
+
+// RunDynamic co-simulates a multiprogrammed-churn workload under cfg:
+// per-core job queues with arrivals and departures, per-app QoS
+// relaxation and mid-run QoS steps.
+func (s *System) RunDynamic(dyn Dynamic, cfg SimConfig) (*DynamicResult, error) {
+	return sim.RunDynamic(s.db, dyn, cfg)
+}
+
+// RunScenario executes one declarative scenario together with its
+// idle-manager twin and reports the energy saving, QoS outcome and
+// per-job results.
+func (s *System) RunScenario(spec *ScenarioSpec) (*ScenarioReport, error) {
+	return scenario.Run(s.db, spec)
+}
+
+// SweepScenarios runs a batch of scenarios in parallel over the shared
+// database, bounded by workers (≤ 0 runs one worker per scenario).
+// Reports come back in spec order; failures are joined and the
+// remaining scenarios still run.
+func (s *System) SweepScenarios(specs []ScenarioSpec, workers int) ([]*ScenarioReport, error) {
+	return scenario.Sweep(s.db, specs, workers)
 }
 
 // Savings runs cfg and the baseline-keeping idle manager on the same

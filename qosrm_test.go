@@ -117,6 +117,49 @@ func TestExperimentsBinding(t *testing.T) {
 	}
 }
 
+func TestScenarioFacade(t *testing.T) {
+	sys := sharedSystem(t)
+	const work = 4 * 100_000_000 * 2048
+	spec := ScenarioSpec{
+		Name: "facade",
+		Cores: []ScenarioCore{
+			{Jobs: []ScenarioJob{
+				{App: "mcf", Work: work},
+				{App: "povray", Work: work, Alpha: 1.2},
+			}},
+			{Jobs: []ScenarioJob{{App: "libquantum", Work: 2 * work}}},
+		},
+	}
+	rep, err := sys.RunScenario(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Jobs) != 3 || rep.RM != "RM3" {
+		t.Fatalf("bad report: %+v", rep)
+	}
+	reps, err := sys.SweepScenarios([]ScenarioSpec{spec, spec}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 || reps[0].EnergyJ != reps[1].EnergyJ {
+		t.Fatal("sweep of identical specs must agree")
+	}
+}
+
+func TestChurnWorkloadFacade(t *testing.T) {
+	churn, err := GenerateChurnWorkloads(Scenario3, 4, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := ChurnScenario("churn", churn, 1e9)
+	if len(spec.Cores) != 4 {
+		t.Fatalf("%d cores", len(spec.Cores))
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestOpenCachesDatabase(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "db.gz")
 	opts := Options{
