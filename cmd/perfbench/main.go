@@ -5,9 +5,17 @@
 // code. Commit the output as BENCH_<n>.json when a PR changes a hot
 // path.
 //
+// With -baseline it additionally acts as a regression gate: the fresh
+// results are diffed against the committed baseline report and the run
+// fails when a watched hot path (DatabaseBuild, RMInvocation,
+// CoSimulation) regressed by more than -gate (default 25%). A failing
+// comparison is re-measured up to -gate-retries times and judged on the
+// best observed run, so co-tenant noise on shared CI runners does not
+// fail the gate spuriously.
+//
 // Usage:
 //
-//	go run ./cmd/perfbench [-short] [-o BENCH_1.json]
+//	go run ./cmd/perfbench [-short] [-o BENCH_1.json] [-baseline BENCH_2.json] [-gate 0.25]
 package main
 
 import (
@@ -23,6 +31,9 @@ import (
 func main() {
 	short := flag.Bool("short", false, "shrink workloads for CI (subset suite)")
 	out := flag.String("o", "BENCH.json", "output JSON path")
+	baseline := flag.String("baseline", "", "committed report to gate regressions against")
+	gate := flag.Float64("gate", 0.25, "max allowed ns/op regression vs -baseline (fraction)")
+	retries := flag.Int("gate-retries", 1, "re-measurements before a gate failure is final")
 	flag.Parse()
 
 	start := time.Now()
@@ -32,16 +43,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "perfbench:", err)
-		os.Exit(1)
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "perfbench:", err)
-		os.Exit(1)
-	}
+	writeReport(*out, rep)
 
 	for _, r := range rep.Results {
 		fmt.Printf("%-24s %12.0f ns/op %10d B/op %8d allocs/op  (n=%d)\n",
@@ -50,4 +52,57 @@ func main() {
 	fmt.Println()
 	fmt.Print(rep.Summary())
 	fmt.Printf("wrote %s in %s\n", *out, time.Since(start).Round(time.Millisecond))
+
+	if *baseline != "" {
+		base, err := perfbench.LoadReport(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench:", err)
+			os.Exit(1)
+		}
+		names := perfbench.GateNames(rep, base)
+		if len(names) < len(perfbench.GateBenchmarks) {
+			fmt.Printf("gate: baseline %s and this run differ in short mode; gating %v only\n", *baseline, names)
+		}
+		best := rep
+		for try := 0; ; try++ {
+			err := perfbench.Gate(best, base, names, *gate)
+			if err == nil {
+				fmt.Printf("gate vs %s passed (limit +%.0f%%)\n", *baseline, 100**gate)
+				break
+			}
+			if try >= *retries {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			// Shared runners are noisy and a co-tenant can only slow a
+			// measurement down: re-measure and gate on the best of the
+			// observed runs before declaring a regression.
+			fmt.Printf("gate attempt %d failed (%v); re-measuring\n", try+1, err)
+			again, err := perfbench.Run(*short)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "perfbench:", err)
+				os.Exit(1)
+			}
+			best = perfbench.BestOf(best, again)
+		}
+		if best != rep {
+			// The gate passed on re-measured numbers: keep the written
+			// artifact consistent with what the gate accepted.
+			writeReport(*out, best)
+		}
+	}
+}
+
+// writeReport serialises a report to path, exiting on failure.
+func writeReport(path string, rep *perfbench.Report) {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfbench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "perfbench:", err)
+		os.Exit(1)
+	}
 }

@@ -54,7 +54,11 @@ const numWays = config.MaxWays - config.MinWays + 1
 // ATD is an auxiliary tag directory for one core's view of the LLC,
 // with the leading-miss extension.
 type ATD struct {
-	stack       *cache.LRUStack
+	stack *cache.LRUStack
+	// cow replaces stack on forked ATDs (see Fork): a copy-on-write view
+	// of the parent's tag state that materialises only the sets this
+	// descendant touches.
+	cow         *cache.COWStack
 	sampleShift uint
 	sampleMask  uint64
 	setShift    uint
@@ -65,9 +69,11 @@ type ATD struct {
 	hitHist  [config.MaxWays + 1]int64
 	cold     int64
 
-	// lm[c][w-MinWays] is the extension counter for core size c and
-	// allocation w: 3 × 15 = 45 counters (the paper budgets 48).
-	lm [config.NumSizes][numWays]lmState
+	// lm[w-MinWays][c] is the extension counter for allocation w and
+	// core size c: 15 × 3 = 45 counters (the paper budgets 48). The
+	// layout is way-major so the hot update — a prefix of allocations,
+	// all three core sizes each — walks memory densely.
+	lm [numWays][config.NumSizes]lmState
 }
 
 // New returns an ATD sampling one in 2^sampleShift LLC sets with the
@@ -120,15 +126,48 @@ func MustNew(sampleShift uint) *ATD {
 // setting-independent.
 func (a *ATD) Clone() *ATD {
 	c := *a
-	c.stack = a.stack.Clone()
+	if a.cow != nil {
+		c.cow = a.cow.Clone()
+	} else {
+		c.stack = a.stack.Clone()
+	}
 	return &c
 }
 
+// Fork returns a copy-on-write descendant of the ATD: counters and
+// leading-miss registers are copied by value, and the tag state is a
+// COW view that shares every set with a until the fork touches it. The
+// parent is frozen by the fork — it must not observe further accesses
+// (reading its estimates stays safe) — which is exactly the shape of a
+// prefix-sharing replay tree: interior snapshots are immutable, only
+// leaves advance. Fork is cheap (one small row-index table) compared to
+// Clone's full tag copy.
+func (a *ATD) Fork() *ATD {
+	c := *a
+	if a.cow != nil {
+		c.cow = a.cow.Fork()
+	} else {
+		c.cow = a.stack.ForkCOW()
+		c.stack = nil
+	}
+	return &c
+}
+
+// MaterializedSets returns how many tag sets this fork has privately
+// copied, or -1 when the ATD is not a fork. It is the COW store's work
+// measure, exposed for tests and diagnostics.
+func (a *ATD) MaterializedSets() int {
+	if a.cow == nil {
+		return -1
+	}
+	return a.cow.MaterializedSets()
+}
+
 func (a *ATD) resetLMRegisters() {
-	for c := range a.lm {
-		for w := range a.lm[c] {
-			a.lm[c][w].lastLM = -1
-			a.lm[c][w].lastOVDst = -1
+	for w := range a.lm {
+		for c := range a.lm[w] {
+			a.lm[w][c].lastLM = -1
+			a.lm[w][c].lastOVDst = -1
 		}
 	}
 }
@@ -150,7 +189,12 @@ func (a *ATD) Access(addr uint64, instIdx int64, isLoad bool) {
 	a.accesses++
 	// Shift the sampled bits out so the stack sees a dense set index.
 	dense := (addr >> a.setShift >> a.sampleShift << a.setShift) | (addr & (1<<a.setShift - 1))
-	pos := a.stack.Access(dense)
+	var pos int
+	if a.cow != nil {
+		pos = a.cow.Access(dense)
+	} else {
+		pos = a.stack.Access(dense)
+	}
 	if pos == 0 {
 		a.cold++
 	} else {
@@ -172,12 +216,13 @@ func (a *ATD) Access(addr uint64, instIdx int64, isLoad bool) {
 	}
 	idx := int32(instIdx) & a.indexMask
 	mask := a.indexMask
-	for ci := range a.lm {
-		rob := a.robs[ci]
-		lm := a.lm[ci][:limit]
-		for j := range lm {
-			lm[j].observeMiss(idx, rob, mask)
-		}
+	r0, r1, r2 := a.robs[0], a.robs[1], a.robs[2]
+	lm := a.lm[:limit]
+	for j := range lm {
+		b := &lm[j]
+		b[0].observeMiss(idx, r0, mask)
+		b[1].observeMiss(idx, r1, mask)
+		b[2].observeMiss(idx, r2, mask)
 	}
 }
 
@@ -236,7 +281,7 @@ func (a *ATD) AccessReference(addr uint64, instIdx int64, isLoad bool) {
 			if pos != 0 && pos <= w {
 				continue // predicted hit at allocation w: not a miss at all
 			}
-			a.lm[ci][wi].observeMissReference(idx, rob, a.indexMask)
+			a.lm[wi][ci].observeMissReference(idx, rob, a.indexMask)
 		}
 	}
 }
@@ -299,7 +344,7 @@ func (a *ATD) Misses(w int) int64 {
 // leading (non-overlapped) misses for core size c and allocation w.
 func (a *ATD) LeadingMisses(c config.CoreSize, w int) int64 {
 	wi := clampWays(w) - config.MinWays
-	return a.lm[c][wi].count * a.scale()
+	return a.lm[wi][c].count * a.scale()
 }
 
 // MLP returns the estimated memory-level parallelism at (c, w): total
@@ -333,7 +378,7 @@ func (a *ATD) LMMatrix() [config.NumSizes][numWays]int64 {
 	var out [config.NumSizes][numWays]int64
 	for c := range out {
 		for w := range out[c] {
-			out[c][w] = a.lm[c][w].count * a.scale()
+			out[c][w] = a.lm[w][c].count * a.scale()
 		}
 	}
 	return out
@@ -346,9 +391,9 @@ func (a *ATD) ResetCounters() {
 	for i := range a.hitHist {
 		a.hitHist[i] = 0
 	}
-	for c := range a.lm {
-		for w := range a.lm[c] {
-			a.lm[c][w].count = 0
+	for w := range a.lm {
+		for c := range a.lm[w] {
+			a.lm[w][c].count = 0
 		}
 	}
 	a.resetLMRegisters()

@@ -1,0 +1,83 @@
+package atd
+
+import (
+	"math/rand"
+	"testing"
+
+	"qosrm/internal/config"
+)
+
+// forkAddr returns a block address spread across the ATD's sets.
+func forkAddr(rng *rand.Rand) uint64 { return uint64(rng.Intn(1024)) * config.BlockBytes }
+
+// TestForkMatchesClone feeds a COW fork and a deep clone the same
+// access stream and requires identical estimates — Fork's bit-identity
+// contract.
+func TestForkMatchesClone(t *testing.T) {
+	for _, seed := range []int64{1, 5} {
+		rng := rand.New(rand.NewSource(seed))
+		warm := MustNew(0)
+		for i := 0; i < 1500; i++ {
+			warm.Access(forkAddr(rng), int64(i), rng.Intn(4) != 0)
+		}
+		warm.ResetCounters()
+
+		clone := warm.Clone()
+		fork := warm.Fork()
+		for i := 0; i < 3000; i++ {
+			addr := forkAddr(rng)
+			load := rng.Intn(4) != 0
+			clone.Access(addr, int64(i), load)
+			fork.Access(addr, int64(i), load)
+		}
+		if clone.MissCurve() != fork.MissCurve() {
+			t.Fatalf("seed %d: miss curves diverge", seed)
+		}
+		if clone.LMMatrix() != fork.LMMatrix() {
+			t.Fatalf("seed %d: LM matrices diverge", seed)
+		}
+		if clone.Accesses() != fork.Accesses() {
+			t.Fatalf("seed %d: access counts diverge", seed)
+		}
+	}
+}
+
+// TestForkChainIsolation forks a descendant of a descendant and checks
+// that driving the grandchild leaves the intermediate snapshot's
+// estimates untouched.
+func TestForkChainIsolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	warm := MustNew(0)
+	for i := 0; i < 1000; i++ {
+		warm.Access(forkAddr(rng), int64(i), true)
+	}
+	warm.ResetCounters()
+	warmCurve := warm.MissCurve()
+
+	mid := warm.Fork()
+	for i := 0; i < 800; i++ {
+		mid.Access(forkAddr(rng), int64(i), true)
+	}
+	midCurve, midLM := mid.MissCurve(), mid.LMMatrix()
+
+	leaf := mid.Fork()
+	for i := 0; i < 800; i++ {
+		leaf.Access(forkAddr(rng), int64(i), rng.Intn(2) == 0)
+	}
+
+	if mid.MissCurve() != midCurve || mid.LMMatrix() != midLM {
+		t.Fatal("leaf accesses mutated the intermediate snapshot")
+	}
+	if warm.MissCurve() != warmCurve {
+		t.Fatal("descendant accesses mutated the warm root")
+	}
+	if leaf.MissCurve() == midCurve {
+		t.Fatal("leaf did not observe its own accesses")
+	}
+	if m := leaf.MaterializedSets(); m < 0 {
+		t.Fatal("leaf does not report as a fork")
+	}
+	if m := warm.MaterializedSets(); m != -1 {
+		t.Fatalf("warm root reports as a fork (%d)", m)
+	}
+}

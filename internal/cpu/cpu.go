@@ -52,10 +52,17 @@ type Annotated struct {
 	L1Misses int64 // accesses that missed L1-D
 	L2Misses int64 // accesses that missed L2 (== LLC accesses)
 
-	// mu guards profiles, the lazily computed per-allocation counter
-	// sets shared by every timing run over this stream.
+	// mu guards profiles and llcEvents, the lazily computed
+	// setting-independent views shared by every timing run over this
+	// stream.
 	mu       sync.Mutex
 	profiles [config.MaxWays + 1]*waysStats
+	// llcEvents is the stream's LLC access list in program order (see
+	// LLCEvents); classes and latCyc are the sweep walk's precomputed
+	// per-instruction kernel classes and latencies (see sweepMeta).
+	llcEvents []LLCEvent
+	classes   []uint8
+	latCyc    []uint8
 }
 
 // waysStats are the cache-simulation counters of one way allocation.
@@ -596,430 +603,6 @@ func mergeEvents(out, l, r []LLCEvent) {
 			j++
 		}
 	}
-}
-
-// numWays is the number of tracked way allocations (MinWays..MaxWays).
-const numWays = config.MaxWays - config.MinWays + 1
-
-// laneRow is one ring-buffer slot of the sweep walk: a value per lane.
-type laneRow = [numWays]float64
-
-// zeroRow stands in for absent dispatch constraints (its values never
-// change), letting the lane loop below stay branchless.
-var zeroRow laneRow
-
-// SweepScratch is reusable working memory for RunWays: the per-lane
-// event buffers and the merge buffer of the stable sort. One scratch
-// serves any number of sequential RunWays calls; the event slices each
-// call returns alias the scratch and are valid until the next call.
-type SweepScratch struct {
-	flat []LLCEvent
-	buf  []LLCEvent
-	evs  [numWays][]LLCEvent
-}
-
-// lanes carves the scratch into numWays empty event buffers of capacity
-// perLane each.
-func (s *SweepScratch) lanes(perLane int) [][]LLCEvent {
-	need := numWays * perLane
-	if cap(s.flat) < need {
-		s.flat = make([]LLCEvent, need)
-	}
-	flat := s.flat[:cap(s.flat)]
-	for l := range s.evs {
-		base := l * perLane
-		s.evs[l] = flat[base : base : base+perLane]
-	}
-	return s.evs[:]
-}
-
-// RunWays executes the annotated stream at one (core size, frequency)
-// point for every way allocation MinWays..MaxWays in a single
-// interleaved walk, returning the per-allocation results indexed by
-// w-MinWays. When scratch is non-nil it also returns each allocation's
-// LLC event stream, sorted into issue order — exactly the stream Run
-// would deliver to an ATD; the caller replays it (or shares a replay
-// between allocations whose streams are identical, see LLCEvent). The
-// returned streams alias scratch and are valid until its next use.
-//
-// Results are bit-identical to fifteen separate Run calls (enforced by
-// TestRunWaysMatchesReference): each lane performs the same float
-// operations in the same order; only the instruction decode, ring
-// indices and annotation lookups — which are allocation-independent —
-// are shared. The point is throughput: one Run is latency-bound on its
-// serial dispatch→ready→completion float chain, so fifteen independent
-// chains advanced in lockstep hide nearly all of that latency and make
-// the database sweep several times faster than walking allocations one
-// by one.
-func RunWays(a *Annotated, core config.CoreSize, freqGHz float64, scratch *SweepScratch) ([]Result, [][]LLCEvent) {
-	cp := config.Core(core)
-	perCycle := 1.0 / freqGHz // ns per cycle
-
-	n := len(a.Insts)
-	results := make([]Result, numWays)
-	for l := range results {
-		results[l].Instructions = int64(n)
-	}
-
-	robSize := cp.ROB
-	ringLen := 1
-	for ringLen < robSize {
-		ringLen <<= 1
-	}
-	ringMask := ringLen - 1
-	done := make([]laneRow, ringLen)
-	start := make([]laneRow, ringLen)
-	lsq := cp.LSQ
-	memLen := 1
-	for memLen < lsq {
-		memLen <<= 1
-	}
-	memMask := memLen - 1
-	memRing := make([]laneRow, memLen)
-	mi := 0
-
-	var (
-		dispatch      laneRow
-		frontEndReady laneRow
-		frontier      laneRow
-		lastDRAMStart laneRow
-		lastMissEnd   laneRow
-		fins          laneRow
-		leading       [numWays]int64
-	)
-	dispatchStep := perCycle / float64(cp.IssueWidth)
-	l1Ns := config.L1LatencyCycles * perCycle
-	l2Ns := config.L2LatencyCycles * perCycle
-	l3Ns := config.L3LatencyCycles * perCycle
-	mulNs := trace.MulLatencyCycles * perCycle
-	penNs := config.BranchPenaltyCycles * perCycle
-
-	feed := scratch != nil
-	var events [][]LLCEvent
-	if feed {
-		events = scratch.lanes(int(a.L2Misses))
-	}
-
-	rs := cp.RS
-	hasRS := rs < robSize
-	ri := 0
-
-	for i, in := range a.Insts {
-		// --- Dispatch constraints (shared index math, per-lane maxes,
-		// same value sequence as Run) ---
-		row := &done[ri&ringMask]
-		rsRow := &zeroRow
-		if hasRS && i >= rs {
-			j := ri - rs
-			if j < 0 {
-				j += robSize
-			}
-			rsRow = &start[j&ringMask]
-		}
-		isMem := in.Kind == trace.KindLoad || in.Kind == trace.KindStore
-		memRow := &zeroRow
-		if isMem {
-			memRow = &memRing[mi&memMask]
-		}
-		dep1Row := &zeroRow
-		if dep := int(in.Dep1); dep > 0 && dep <= robSize && dep <= i {
-			j := ri - dep
-			if j < 0 {
-				j += robSize
-			}
-			dep1Row = &done[j&ringMask]
-		}
-		dep2Row := &zeroRow
-		if dep := int(in.Dep2); dep > 0 && dep <= robSize && dep <= i {
-			j := ri - dep
-			if j < 0 {
-				j += robSize
-			}
-			dep2Row = &done[j&ringMask]
-		}
-		srow := &start[ri&ringMask]
-		noDeps := dep1Row == &zeroRow && dep2Row == &zeroRow
-
-		// Decode the execution latency and stall class. Every kind
-		// except an LLC load completes a fixed latency after issue, so
-		// its whole lane sweep — dispatch, issue, completion, retirement
-		// — fuses into the single loop below; LLC loads (llc == true)
-		// split their lanes into a DRAM-miss prefix and an LLC-hit
-		// suffix afterwards.
-		lat := perCycle // ALU, branch, store
-		stallClass := classBase
-		llc := false
-		switch in.Kind {
-		case trace.KindMul:
-			lat = mulNs
-		case trace.KindLoad:
-			switch a.Level[i] {
-			case 1:
-				lat = l1Ns
-			case 2:
-				lat = l2Ns
-				stallClass = classCache
-			default:
-				llc = true
-			}
-		}
-
-		if !llc {
-			// --- Fused lane sweep for fixed-latency kinds ---
-			// Four specialisations drop the constraint terms that are
-			// provably absent: a non-memory instruction contributes no
-			// LSQ bound (memV would be 0, and max with 0 is the identity
-			// on these non-negative values), an instruction without
-			// producers skips the dependence maxes. Each variant performs
-			// exactly the reference's remaining float ops in order.
-			switch {
-			case noDeps && !isMem:
-				for l := 0; l < numWays; l++ {
-					d1 := max(dispatch[l]+dispatchStep, row[l])
-					fe := frontEndReady[l]
-					rsV := rsRow[l]
-					d := max(d1, fe, rsV)
-					dispatch[l] = d
-					ready := d + perCycle
-					srow[l] = ready
-					fin := ready + lat
-					fins[l] = fin
-					frontier[l] += dispatchStep
-					results[l].BaseNs += dispatchStep
-					if fin > frontier[l] {
-						stall := fin - frontier[l]
-						frontier[l] = fin
-						switch {
-						case stallClass == classCache:
-							results[l].CacheNs += stall
-						case fe > d1 && rsV <= fe:
-							results[l].BranchNs += stall
-						default:
-							results[l].BaseNs += stall
-						}
-					}
-				}
-			case noDeps:
-				for l := 0; l < numWays; l++ {
-					d1 := max(dispatch[l]+dispatchStep, row[l])
-					fe := frontEndReady[l]
-					rsV := rsRow[l]
-					memV := memRow[l]
-					d := max(d1, fe, rsV, memV)
-					dispatch[l] = d
-					ready := d + perCycle
-					srow[l] = ready
-					fin := ready + lat
-					fins[l] = fin
-					frontier[l] += dispatchStep
-					results[l].BaseNs += dispatchStep
-					if fin > frontier[l] {
-						stall := fin - frontier[l]
-						frontier[l] = fin
-						switch {
-						case stallClass == classCache:
-							results[l].CacheNs += stall
-						case fe > d1 && rsV <= fe && memV <= fe:
-							results[l].BranchNs += stall
-						default:
-							results[l].BaseNs += stall
-						}
-					}
-				}
-			case !isMem:
-				for l := 0; l < numWays; l++ {
-					d1 := max(dispatch[l]+dispatchStep, row[l])
-					fe := frontEndReady[l]
-					rsV := rsRow[l]
-					d := max(d1, fe, rsV)
-					dispatch[l] = d
-					ready := max(d+perCycle, dep1Row[l], dep2Row[l])
-					srow[l] = ready
-					fin := ready + lat
-					fins[l] = fin
-					frontier[l] += dispatchStep
-					results[l].BaseNs += dispatchStep
-					if fin > frontier[l] {
-						stall := fin - frontier[l]
-						frontier[l] = fin
-						switch {
-						case stallClass == classCache:
-							results[l].CacheNs += stall
-						case fe > d1 && rsV <= fe:
-							results[l].BranchNs += stall
-						default:
-							results[l].BaseNs += stall
-						}
-					}
-				}
-			default:
-				for l := 0; l < numWays; l++ {
-					d1 := max(dispatch[l]+dispatchStep, row[l])
-					fe := frontEndReady[l]
-					rsV := rsRow[l]
-					memV := memRow[l]
-					d := max(d1, fe, rsV, memV)
-					dispatch[l] = d
-					ready := max(d+perCycle, dep1Row[l], dep2Row[l])
-					srow[l] = ready
-					fin := ready + lat
-					fins[l] = fin
-					frontier[l] += dispatchStep
-					results[l].BaseNs += dispatchStep
-					if fin > frontier[l] {
-						stall := fin - frontier[l]
-						frontier[l] = fin
-						switch {
-						case stallClass == classCache:
-							results[l].CacheNs += stall
-						case fe > d1 && rsV <= fe && memV <= fe:
-							results[l].BranchNs += stall
-						default:
-							results[l].BaseNs += stall
-						}
-					}
-				}
-			}
-			if in.Kind == trace.KindBranch && in.Mispredict {
-				for l := 0; l < numWays; l++ {
-					if r := fins[l] + penNs; r > frontEndReady[l] {
-						frontEndReady[l] = r
-					}
-				}
-			}
-			if in.Kind == trace.KindStore && a.Level[i] == 3 {
-				miss := missLanes(int(a.LLCPos[i]))
-				for l := 0; l < miss; l++ {
-					// Store miss: consumes DRAM bandwidth, no stall.
-					reqNs := srow[l] + l3Ns
-					sStart := reqNs
-					if lastDRAMStart[l]+config.DRAMServiceNs > sStart {
-						sStart = lastDRAMStart[l] + config.DRAMServiceNs
-					}
-					lastDRAMStart[l] = sStart
-				}
-				if feed {
-					for l := range events {
-						events[l] = append(events[l], LLCEvent{srow[l], int64(i), in.Addr, false})
-					}
-				}
-			}
-		} else {
-			// --- LLC load: one fused pass per stall class — the miss
-			// prefix stalls on memory, the hit suffix on the LLC. ---
-			pos := int(a.LLCPos[i])
-			miss := missLanes(pos)
-			for l := 0; l < miss; l++ {
-				d1 := max(dispatch[l]+dispatchStep, row[l])
-				fe := frontEndReady[l]
-				rsV := rsRow[l]
-				memV := memRow[l]
-				d := max(d1, fe, rsV, memV)
-				dispatch[l] = d
-				ready := max(d+perCycle, dep1Row[l], dep2Row[l])
-				srow[l] = ready
-				reqNs := ready + l3Ns
-				sStart := reqNs
-				if lastDRAMStart[l]+config.DRAMServiceNs > sStart {
-					sStart = lastDRAMStart[l] + config.DRAMServiceNs
-				}
-				lastDRAMStart[l] = sStart
-				fin := sStart + config.DRAMLatencyNs
-				fins[l] = fin
-				if reqNs >= lastMissEnd[l] {
-					leading[l]++
-				}
-				if end := reqNs + config.DRAMLatencyNs; end > lastMissEnd[l] {
-					lastMissEnd[l] = end
-				}
-				frontier[l] += dispatchStep
-				results[l].BaseNs += dispatchStep
-				if fin > frontier[l] {
-					stall := fin - frontier[l]
-					frontier[l] = fin
-					results[l].MemNs += stall
-				}
-			}
-			for l := miss; l < numWays; l++ {
-				d1 := max(dispatch[l]+dispatchStep, row[l])
-				fe := frontEndReady[l]
-				rsV := rsRow[l]
-				memV := memRow[l]
-				d := max(d1, fe, rsV, memV)
-				dispatch[l] = d
-				ready := max(d+perCycle, dep1Row[l], dep2Row[l])
-				srow[l] = ready
-				fin := ready + l3Ns
-				fins[l] = fin
-				frontier[l] += dispatchStep
-				results[l].BaseNs += dispatchStep
-				if fin > frontier[l] {
-					stall := fin - frontier[l]
-					frontier[l] = fin
-					results[l].CacheNs += stall
-				}
-			}
-			if feed {
-				for l := range events {
-					events[l] = append(events[l], LLCEvent{srow[l], int64(i), in.Addr, true})
-				}
-			}
-		}
-
-		*row = fins
-		if isMem {
-			memRing[mi&memMask] = fins
-			mi++
-			if mi == lsq {
-				mi = 0
-			}
-		}
-		ri++
-		if ri == robSize {
-			ri = 0
-		}
-	}
-
-	for l := range results {
-		res := &results[l]
-		res.TimeNs = frontier[l]
-		res.L1Misses = a.L1Misses
-		res.LeadingMisses = leading[l]
-		pr := a.waysProfile(config.MinWays + l)
-		res.LLCAccesses = pr.llcAccesses
-		res.LLCHits = pr.llcHits
-		res.LLCMisses = pr.llcMisses
-		res.DRAMLoads = pr.dramLoads
-		res.Writebacks = pr.writebacks
-		res.Mispredicts = pr.mispredicts
-		if res.LeadingMisses > 0 {
-			res.MLP = float64(res.DRAMLoads) / float64(res.LeadingMisses)
-		} else {
-			res.MLP = 1
-		}
-		if feed {
-			// Deliver order is issue order, stable among simultaneous
-			// accesses — the same contract as Run's feed; replaying the
-			// returned stream into a warm ATD clone reproduces Run's ATD
-			// state exactly.
-			sortEventsStableBuf(events[l], &scratch.buf)
-		}
-	}
-	return results, events
-}
-
-// missLanes returns how many lanes (allocations, smallest first) miss
-// for an access at recency position pos: every lane when the line was
-// absent, otherwise those with fewer than pos ways.
-func missLanes(pos int) int {
-	if pos == 0 {
-		return numWays
-	}
-	m := pos - config.MinWays // pos ≤ MaxWays keeps this ≤ numWays-1
-	if m < 0 {
-		return 0
-	}
-	return m
 }
 
 // RunReference is the seed implementation of Run, retained verbatim as

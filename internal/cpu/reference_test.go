@@ -60,10 +60,11 @@ func TestRunWaysMatchesReference(t *testing.T) {
 	warm := atd.MustNew(0)
 	ann.WarmATD(warm, 2048)
 
+	stream := tail.LLCEvents()
 	for _, c := range config.Sizes {
 		for _, fi := range []int{0, config.BaseFreqIdx, config.NumFreqs - 1} {
 			f := config.FreqGHz(fi)
-			sweep, events := RunWays(tail, c, f, &SweepScratch{})
+			sweep, perms := RunWays(tail, c, f, &SweepScratch{})
 			for l := range sweep {
 				w := config.MinWays + l
 				aRef := warm.Clone()
@@ -71,14 +72,22 @@ func TestRunWaysMatchesReference(t *testing.T) {
 				if sweep[l] != ref {
 					t.Fatalf("c=%v f=%d w=%d: RunWays=%+v\nRunReference=%+v", c, fi, w, sweep[l], ref)
 				}
-				// Replaying the returned stream must reproduce the ATD
-				// observations of the reference's internal feed.
+				// Replaying the shared event list in the returned
+				// delivery order must reproduce the ATD observations of
+				// the reference's internal feed — through a clone and
+				// through a COW fork alike.
 				aSweep := warm.Clone()
-				for _, e := range events[l] {
+				aFork := warm.Fork()
+				for _, r := range perms[l] {
+					e := stream[r]
 					aSweep.Access(e.Addr, e.InstIdx, e.IsLoad)
+					aFork.Access(e.Addr, e.InstIdx, e.IsLoad)
 				}
 				if aSweep.MissCurve() != aRef.MissCurve() || aSweep.LMMatrix() != aRef.LMMatrix() {
 					t.Fatalf("c=%v f=%d w=%d: ATD observations diverge", c, fi, w)
+				}
+				if aFork.MissCurve() != aRef.MissCurve() || aFork.LMMatrix() != aRef.LMMatrix() {
+					t.Fatalf("c=%v f=%d w=%d: forked ATD observations diverge", c, fi, w)
 				}
 			}
 		}

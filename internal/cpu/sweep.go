@@ -1,0 +1,1107 @@
+package cpu
+
+// The lane-parallel sweep kernel: one walk of an annotated stream
+// advancing all fifteen way allocations at once.
+//
+// A single timing walk is latency-bound on its serial
+// dispatch→ready→completion float chain, so independent chains advanced
+// in lockstep hide nearly all of that latency. This file restructures
+// the walk as a batched kernel over structure-of-arrays per-lane state:
+// every quantity that varies by lane — time cursors, retirement
+// frontiers, DRAM queue and MLP-window state, per-stall-class
+// accumulators — is a laneRow (a flat [15]float64), and each
+// instruction runs one straight-line loop over the lanes of the
+// specialisation that matches its kind. Completion times are written
+// into the ring rows in place (each lane reads its slot before
+// overwriting it, like the reference's scalar ring), so no per-lane
+// state is copied between instructions.
+//
+// Two structural savings come from the annotation being
+// setting-independent:
+//
+//   - Dynamic lane grouping: an access at recency position pos splits
+//     the lanes into a miss prefix (fewer than pos ways) and a hit
+//     suffix, and that is the only way two lanes can ever diverge. The
+//     walk therefore partitions lanes into groups of indistinguishable
+//     allocations, starting from one all-lane group and splitting a
+//     group — duplicating its state column — only at the instant an
+//     access boundary falls inside its interval. Every instruction
+//     advances one representative chain per group; compute-bound
+//     phases walk one or two chains instead of fifteen.
+//
+//   - Shared events: all runs of one stream observe the same LLC event
+//     set in program order (LLCEvents); only the delivery order varies
+//     with the setting. The walk records one issue-time row per event
+//     (a single laneRow store) and the delivery order of lane l is
+//     recovered afterwards as a stable argsort of column l — a compact
+//     (time, ordinal) key sort that moves 16-byte pairs instead of
+//     32-byte events, skipped entirely for lanes whose issue columns
+//     match their neighbour's.
+
+import (
+	"qosrm/internal/config"
+	"qosrm/internal/trace"
+)
+
+// numWays is the number of tracked way allocations (MinWays..MaxWays).
+const numWays = config.MaxWays - config.MinWays + 1
+
+// laneRow is one structure-of-arrays slot of the sweep walk: a value
+// per lane.
+type laneRow = [numWays]float64
+
+// zeroRow stands in for absent dispatch constraints (its values never
+// change), letting the lane kernels avoid per-lane presence branches.
+var zeroRow laneRow
+
+// LLCEvents returns the stream's LLC accesses in program order with
+// their instruction indices and load/store kinds. The event set is
+// fixed by the annotation — every timing run of this stream observes
+// exactly these events, only their delivery order varies with the
+// setting — so one shared list serves all runs; a run's delivery order
+// is the permutation RunWays returns. IssueNs is zero in the shared
+// list. Computed once, safe for concurrent use; callers must not
+// mutate the result.
+func (a *Annotated) LLCEvents() []LLCEvent {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.llcEvents == nil {
+		evs := make([]LLCEvent, 0, a.L2Misses)
+		for i := range a.Insts {
+			if a.Level[i] == 3 {
+				evs = append(evs, LLCEvent{
+					InstIdx: int64(i),
+					Addr:    a.Insts[i].Addr,
+					IsLoad:  a.Insts[i].Kind == trace.KindLoad,
+				})
+			}
+		}
+		a.llcEvents = evs
+	}
+	return a.llcEvents
+}
+
+// permKey is one sort key of the delivery-order argsort: an issue time
+// and the event's program-order ordinal.
+type permKey struct {
+	t float64
+	e int32
+}
+
+// SweepScratch is reusable working memory for RunWays: the issue-time
+// matrix, the per-lane delivery permutations and the argsort buffers.
+// One scratch serves any number of sequential RunWays calls; the
+// permutations each call returns alias the scratch and are valid until
+// the next call.
+type SweepScratch struct {
+	issue  []laneRow // one row per LLC event: per-group issue times
+	flat   []int32   // backing store for the returned permutations
+	perms  [numWays][]int32
+	wperms [numWays][]int32 // per way lane, mapped from group perms
+	keys   []permKey
+	buf    []permKey
+	rings  []laneRow // zeroed backing store for the walk's ring buffers
+}
+
+// ringRows returns a zeroed slice of n ring rows, reusing the scratch
+// backing store across calls.
+func (s *SweepScratch) ringRows(n int) []laneRow {
+	if cap(s.rings) < n {
+		s.rings = make([]laneRow, n)
+		return s.rings[:n]
+	}
+	r := s.rings[:n]
+	for i := range r {
+		r[i] = laneRow{}
+	}
+	return r
+}
+
+// issueRows returns the issue matrix with one row per event.
+func (s *SweepScratch) issueRows(nEv int) []laneRow {
+	if cap(s.issue) < nEv {
+		s.issue = make([]laneRow, nEv)
+	}
+	return s.issue[:nEv]
+}
+
+// sortLanes converts the filled issue matrix into per-lane delivery
+// permutations: perms[l] lists event ordinals in the stable order of
+// lane l's issue times — exactly the order Run's ATD feed delivers.
+// Only the first walked lanes are sorted; the identical tail group and
+// any lane whose issue column matches its neighbour's share one
+// permutation slice (callers detect sharing by pointer equality and
+// skip duplicate replays without comparing contents).
+func (s *SweepScratch) sortLanes(issue []laneRow, walked int) [][]int32 {
+	nEv := len(issue)
+	if cap(s.flat) < walked*nEv {
+		s.flat = make([]int32, walked*nEv)
+	}
+	if cap(s.keys) < nEv {
+		s.keys = make([]permKey, nEv)
+	}
+	keys := s.keys[:nEv]
+	for l := 0; l < walked; l++ {
+		if l > 0 && laneColsEqual(issue, l) {
+			s.perms[l] = s.perms[l-1]
+			continue
+		}
+		if l == 0 {
+			for e := range issue {
+				keys[e] = permKey{issue[e][0], int32(e)}
+			}
+		} else {
+			// Seed from the previous lane's delivery order: adjacent
+			// lanes deliver nearly alike, so the keys arrive almost
+			// sorted and the merge loop collapses to a pass or two. The
+			// comparator is the total order (time, ordinal), whose
+			// unique result is the same permutation whatever the seed.
+			prev := s.perms[l-1]
+			for r := range prev {
+				e := prev[r]
+				keys[r] = permKey{issue[e][l], e}
+			}
+		}
+		sortKeysStable(keys, &s.buf)
+		p := s.flat[l*nEv : l*nEv+nEv : l*nEv+nEv]
+		for e := range keys {
+			p[e] = keys[e].e
+		}
+		s.perms[l] = p
+	}
+	for l := walked; l < numWays; l++ {
+		s.perms[l] = s.perms[walked-1]
+	}
+	return s.perms[:]
+}
+
+// laneColsEqual reports whether lane l's issue column equals lane l-1's.
+func laneColsEqual(issue []laneRow, l int) bool {
+	for e := range issue {
+		if issue[e][l] != issue[e][l-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// sortKeysStable sorts keys in the (time, ordinal) total order using
+// the natural-runs merge of sortEventsStableBuf. Ordinals make keys
+// unique, so the result equals a stable sort by time over program
+// order — the reference feed's delivery contract — while the input may
+// arrive in any seed order (sortLanes seeds from the previous lane's
+// permutation, leaving only a handful of runs to merge).
+func sortKeysStable(k []permKey, bufp *[]permKey) {
+	const minRun = 32
+	n := len(k)
+	if n < 2 {
+		return
+	}
+	type run struct{ lo, hi int }
+	var runsA, runsB []run
+	for lo := 0; lo < n; {
+		hi := lo + 1
+		for hi < n && !keyLess(k[hi], k[hi-1]) {
+			hi++
+		}
+		if hi-lo < minRun {
+			hi = lo + minRun
+			if hi > n {
+				hi = n
+			}
+			insertionSortKeys(k[lo:hi])
+		}
+		runsA = append(runsA, run{lo, hi})
+		lo = hi
+	}
+	if len(runsA) == 1 {
+		return
+	}
+	if cap(*bufp) < n {
+		*bufp = make([]permKey, n)
+	}
+	src, dst := k, (*bufp)[:n]
+	runs := runsA
+	for len(runs) > 1 {
+		merged := runsB[:0]
+		for i := 0; i < len(runs); i += 2 {
+			if i+1 == len(runs) {
+				r := runs[i]
+				copy(dst[r.lo:r.hi], src[r.lo:r.hi])
+				merged = append(merged, r)
+				break
+			}
+			l, r := runs[i], runs[i+1]
+			mergeKeys(dst[l.lo:r.hi], src[l.lo:l.hi], src[l.hi:r.hi])
+			merged = append(merged, run{l.lo, r.hi})
+		}
+		runsB = runs
+		runs = merged
+		src, dst = dst, src
+	}
+	if &src[0] != &k[0] {
+		copy(k, src)
+	}
+}
+
+func insertionSortKeys(k []permKey) {
+	for i := 1; i < len(k); i++ {
+		for j := i; j > 0 && keyLess(k[j], k[j-1]); j-- {
+			k[j], k[j-1] = k[j-1], k[j]
+		}
+	}
+}
+
+// keyLess is the (time, ordinal) total order. Ordinals are unique, so
+// the sorted sequence is unique — equal-time events land in program
+// order regardless of input order, which is exactly the stable-by-time
+// contract of the reference feed.
+func keyLess(a, b permKey) bool {
+	return a.t < b.t || (a.t == b.t && a.e < b.e)
+}
+
+// mergeKeys merges two sorted runs into out, taking from the left run
+// on ties to preserve stability.
+func mergeKeys(out, l, r []permKey) {
+	i, j := 0, 0
+	for x := range out {
+		switch {
+		case i < len(l) && (j >= len(r) || !keyLess(r[j], l[i])):
+			out[x] = l[i]
+			i++
+		default:
+			out[x] = r[j]
+			j++
+		}
+	}
+}
+
+// Kernel classes of the sweep walk, precomputed per instruction by
+// sweepMeta. The class folds every setting-independent decode decision
+// — kind, hit level, producer presence — into one byte, so the walk's
+// per-instruction dispatch is a single jump instead of a chain of
+// data-dependent branches.
+const (
+	clsBase          = iota // no producers, no memory slot (ALU/Mul/predicted branch)
+	clsBaseMem              // no producers, memory slot (L1 load, non-LLC store)
+	clsBaseDep1             // one producer, no memory slot
+	clsBaseDep              // two producers, no memory slot
+	clsBaseDep1Mem          // one producer, memory slot
+	clsBaseDepMem           // two producers, memory slot
+	clsL2Load               // L2-hit load: cache-class stall
+	clsLLCLoad              // reaches the LLC: miss/hit group split
+	clsStoreLLC             // store reaching the LLC, no producers
+	clsStoreLLCDep          // store reaching the LLC, producers
+	clsBranchMiss           // mispredicted branch, no producers
+	clsBranchMissDep        // mispredicted branch, producers
+)
+
+// sweepMeta returns the per-instruction kernel class and execution
+// latency in cycles — both setting-independent — computed once per
+// stream and shared by every walk.
+func (a *Annotated) sweepMeta() ([]uint8, []uint8) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.classes == nil {
+		cls := make([]uint8, len(a.Insts))
+		lat := make([]uint8, len(a.Insts))
+		for i, in := range a.Insts {
+			hasDep := in.Dep1 > 0 || in.Dep2 > 0
+			// Two-producer kernels pay a wider readiness reduction, so
+			// instructions with a single producer get their own class.
+			clsDep, clsDepMem := uint8(clsBaseDep), uint8(clsBaseDepMem)
+			if in.Dep2 == 0 {
+				clsDep, clsDepMem = clsBaseDep1, clsBaseDep1Mem
+			}
+			c, lc := uint8(clsBase), uint8(1)
+			switch in.Kind {
+			case trace.KindMul:
+				lc = trace.MulLatencyCycles
+				if hasDep {
+					c = clsDep
+				}
+			case trace.KindBranch:
+				switch {
+				case in.Mispredict && hasDep:
+					c = clsBranchMissDep
+				case in.Mispredict:
+					c = clsBranchMiss
+				case hasDep:
+					c = clsDep
+				}
+			case trace.KindStore:
+				switch {
+				case a.Level[i] == 3 && hasDep:
+					c = clsStoreLLCDep
+				case a.Level[i] == 3:
+					c = clsStoreLLC
+				case hasDep:
+					c = clsDepMem
+				default:
+					c = clsBaseMem
+				}
+			case trace.KindLoad:
+				switch a.Level[i] {
+				case 1:
+					lc = config.L1LatencyCycles
+					c = clsBaseMem
+					if hasDep {
+						c = clsDepMem
+					}
+				case 2:
+					lc = config.L2LatencyCycles
+					c = clsL2Load
+				default:
+					c = clsLLCLoad
+				}
+			default: // ALU
+				if hasDep {
+					c = clsDep
+				}
+			}
+			cls[i] = c
+			lat[i] = lc
+		}
+		a.classes, a.latCyc = cls, lat
+	}
+	return a.classes, a.latCyc
+}
+
+// sweepState is the per-group structure-of-arrays state of one walk:
+// time cursors, the MLP window, outstanding-miss (DRAM queue) state,
+// the CPI-stack accumulators and the group partition itself.
+type sweepState struct {
+	dispatch      laneRow
+	frontEndReady laneRow
+	frontier      laneRow
+	lastDRAMStart laneRow
+	lastMissEnd   laneRow
+	baseNs        laneRow
+	branchNs      laneRow
+	cacheNs       laneRow
+	memNs         laneRow
+	leading       [numWays]int64
+
+	// Group g covers way lanes [lo[g], up[g]); groups are stored in
+	// creation order and splits only refine the partition.
+	lo, up [numWays]int
+	nG     int
+}
+
+// split duplicates group g's state column into a new group covering
+// [posB, up[g]) — the instant an access's miss/hit boundary first falls
+// inside g's interval, its halves become distinguishable and each
+// continues as an independent chain with bit-identical history.
+func (st *sweepState) split(g, posB, ev int, done, start, memRing, issue []laneRow) {
+	n := st.nG
+	for r := range done {
+		done[r][n] = done[r][g]
+	}
+	for r := range start {
+		start[r][n] = start[r][g]
+	}
+	for r := range memRing {
+		memRing[r][n] = memRing[r][g]
+	}
+	st.dispatch[n] = st.dispatch[g]
+	st.frontEndReady[n] = st.frontEndReady[g]
+	st.frontier[n] = st.frontier[g]
+	st.lastDRAMStart[n] = st.lastDRAMStart[g]
+	st.lastMissEnd[n] = st.lastMissEnd[g]
+	st.baseNs[n] = st.baseNs[g]
+	st.branchNs[n] = st.branchNs[g]
+	st.cacheNs[n] = st.cacheNs[g]
+	st.memNs[n] = st.memNs[g]
+	st.leading[n] = st.leading[g]
+	for e := 0; e < ev; e++ {
+		issue[e][n] = issue[e][g]
+	}
+	st.lo[n], st.up[n] = posB, st.up[g]
+	st.up[g] = posB
+	st.nG = n + 1
+}
+
+// depRowOf resolves one producer distance to its completion-time ring
+// row, or the zero row when the producer is absent, beyond the reorder
+// window, or before the stream start — the reference's validity rule.
+func depRowOf(done []laneRow, ringMask, ri, robSize, i int, dep int32) *laneRow {
+	if d := int(dep); d > 0 && d <= robSize && d <= i {
+		j := ri - d
+		if j < 0 {
+			j += robSize
+		}
+		return &done[j&ringMask]
+	}
+	return &zeroRow
+}
+
+// RunWays executes the annotated stream at one (core size, frequency)
+// point for every way allocation MinWays..MaxWays in a single batched
+// walk, returning the per-allocation results indexed by w-MinWays. When
+// scratch is non-nil (and the stream has LLC traffic) it also returns
+// each lane's delivery permutation over the shared LLCEvents list —
+// replaying LLCEvents in that order into a warm ATD clone (or fork)
+// reproduces Run's ATD state exactly. The permutations alias scratch
+// and are valid until its next use; lanes with identical delivery
+// orders share one slice.
+//
+// Lanes are walked as dynamically refined groups: the walk starts with
+// one group spanning every allocation (all lanes are indistinguishable
+// until an LLC access tells them apart) and splits a group only when an
+// access's miss/hit boundary falls strictly inside its way interval,
+// duplicating the group's state column at that instant. A group's
+// representative performs exactly the float operations each of its
+// member lanes would, so results remain bit-identical to fifteen
+// separate Run calls (enforced by TestRunWaysMatchesReference) while
+// the average instruction advances far fewer than fifteen chains.
+func RunWays(a *Annotated, core config.CoreSize, freqGHz float64, scratch *SweepScratch) ([]Result, [][]int32) {
+	cp := config.Core(core)
+	perCycle := 1.0 / freqGHz // ns per cycle
+
+	n := len(a.Insts)
+	results := make([]Result, numWays)
+	for l := range results {
+		results[l].Instructions = int64(n)
+	}
+	classes, latCyc := a.sweepMeta()
+
+	// Ring buffers over the reorder window, padded to powers of two so
+	// the masked indexing below stays in bounds without checks. Only
+	// slots < robSize (resp. < LSQ) are ever touched, so the semantics
+	// match the reference's exactly-sized rings. Each ring slot is a
+	// laneRow indexed by group; a group reads its slot entry before
+	// overwriting it within one instruction, exactly as the reference's
+	// scalar ring does.
+	robSize := cp.ROB
+	ringLen := 1
+	for ringLen < robSize {
+		ringLen <<= 1
+	}
+	ringMask := ringLen - 1
+	lsq := cp.LSQ
+	memLen := 1
+	for memLen < lsq {
+		memLen <<= 1
+	}
+	memMask := memLen - 1
+	var done, start, memRing []laneRow
+	if scratch != nil {
+		rows := scratch.ringRows(2*ringLen + memLen)
+		done, start, memRing = rows[:ringLen:ringLen], rows[ringLen:2*ringLen:2*ringLen], rows[2*ringLen:]
+	} else {
+		done = make([]laneRow, ringLen)
+		start = make([]laneRow, ringLen)
+		memRing = make([]laneRow, memLen)
+	}
+	mi := 0 // memCount % LSQ, maintained by wraparound
+
+	var st sweepState
+	st.nG = 1
+	st.up[0] = numWays
+	// Aliases keep the kernels free of st. noise; laneRow pointers
+	// auto-indirect on indexing.
+	dispatch := &st.dispatch
+	frontEndReady := &st.frontEndReady
+	frontier := &st.frontier
+	lastDRAMStart := &st.lastDRAMStart
+	lastMissEnd := &st.lastMissEnd
+	baseNs := &st.baseNs
+	branchNs := &st.branchNs
+	cacheNs := &st.cacheNs
+	memNs := &st.memNs
+	leading := &st.leading
+
+	dispatchStep := perCycle / float64(cp.IssueWidth)
+	l3Ns := config.L3LatencyCycles * perCycle
+	penNs := config.BranchPenaltyCycles * perCycle
+
+	feed := scratch != nil && a.L2Misses > 0
+	var issue []laneRow
+	if feed {
+		issue = scratch.issueRows(int(a.L2Misses))
+	}
+	ev := 0
+
+	rs := cp.RS
+	hasRS := rs < robSize
+	ri := 0 // i % robSize, maintained by wraparound
+
+	for i := 0; i < n; i++ {
+		// --- Shared per-instruction state: ring rows and the
+		// reservation-station constraint (everything else is resolved
+		// inside the class kernels that need it) ---
+		row := &done[ri&ringMask]
+		srow := &start[ri&ringMask]
+		rsRow := &zeroRow
+		if hasRS && i >= rs {
+			j := ri - rs
+			if j < 0 {
+				j += robSize
+			}
+			rsRow = &start[j&ringMask]
+		}
+		nG := st.nG
+
+		switch classes[i] {
+		case clsBase:
+			lat := float64(latCyc[i]) * perCycle
+			for l := 0; l < nG; l++ {
+				d1 := dispatch[l] + dispatchStep
+				if v := row[l]; v > d1 {
+					d1 = v
+				}
+				fe := frontEndReady[l]
+				rsV := rsRow[l]
+				d := d1
+				if fe > d {
+					d = fe
+				}
+				if rsV > d {
+					d = rsV
+				}
+				dispatch[l] = d
+				ready := d + perCycle
+				srow[l] = ready
+				fin := ready + lat
+				row[l] = fin
+				fr := frontier[l] + dispatchStep
+				baseNs[l] += dispatchStep
+				if fin > fr {
+					frontier[l] = fin
+					if fe > d1 && rsV <= fe {
+						branchNs[l] += fin - fr
+					} else {
+						baseNs[l] += fin - fr
+					}
+				} else {
+					frontier[l] = fr
+				}
+			}
+
+		case clsBaseDep1:
+			lat := float64(latCyc[i]) * perCycle
+			dep1Row := depRowOf(done, ringMask, ri, robSize, i, a.Insts[i].Dep1)
+			for l := 0; l < nG; l++ {
+				d1 := dispatch[l] + dispatchStep
+				if v := row[l]; v > d1 {
+					d1 = v
+				}
+				fe := frontEndReady[l]
+				rsV := rsRow[l]
+				d := d1
+				if fe > d {
+					d = fe
+				}
+				if rsV > d {
+					d = rsV
+				}
+				dispatch[l] = d
+				ready := max(d+perCycle, dep1Row[l])
+				srow[l] = ready
+				fin := ready + lat
+				row[l] = fin
+				fr := frontier[l] + dispatchStep
+				baseNs[l] += dispatchStep
+				if fin > fr {
+					frontier[l] = fin
+					if fe > d1 && rsV <= fe {
+						branchNs[l] += fin - fr
+					} else {
+						baseNs[l] += fin - fr
+					}
+				} else {
+					frontier[l] = fr
+				}
+			}
+
+		case clsBaseDep:
+			lat := float64(latCyc[i]) * perCycle
+			in := &a.Insts[i]
+			dep1Row := depRowOf(done, ringMask, ri, robSize, i, in.Dep1)
+			dep2Row := depRowOf(done, ringMask, ri, robSize, i, in.Dep2)
+			for l := 0; l < nG; l++ {
+				d1 := dispatch[l] + dispatchStep
+				if v := row[l]; v > d1 {
+					d1 = v
+				}
+				fe := frontEndReady[l]
+				rsV := rsRow[l]
+				d := d1
+				if fe > d {
+					d = fe
+				}
+				if rsV > d {
+					d = rsV
+				}
+				dispatch[l] = d
+				ready := max(d+perCycle, dep1Row[l], dep2Row[l])
+				srow[l] = ready
+				fin := ready + lat
+				row[l] = fin
+				fr := frontier[l] + dispatchStep
+				baseNs[l] += dispatchStep
+				if fin > fr {
+					frontier[l] = fin
+					if fe > d1 && rsV <= fe {
+						branchNs[l] += fin - fr
+					} else {
+						baseNs[l] += fin - fr
+					}
+				} else {
+					frontier[l] = fr
+				}
+			}
+
+		case clsBaseMem:
+			lat := float64(latCyc[i]) * perCycle
+			memRow := &memRing[mi&memMask]
+			for l := 0; l < nG; l++ {
+				d1 := dispatch[l] + dispatchStep
+				if v := row[l]; v > d1 {
+					d1 = v
+				}
+				fe := frontEndReady[l]
+				rsV := rsRow[l]
+				memV := memRow[l]
+				d := d1
+				if fe > d {
+					d = fe
+				}
+				if rsV > d {
+					d = rsV
+				}
+				if memV > d {
+					d = memV
+				}
+				dispatch[l] = d
+				ready := d + perCycle
+				srow[l] = ready
+				fin := ready + lat
+				row[l] = fin
+				memRow[l] = fin
+				fr := frontier[l] + dispatchStep
+				baseNs[l] += dispatchStep
+				if fin > fr {
+					frontier[l] = fin
+					if fe > d1 && rsV <= fe && memV <= fe {
+						branchNs[l] += fin - fr
+					} else {
+						baseNs[l] += fin - fr
+					}
+				} else {
+					frontier[l] = fr
+				}
+			}
+			mi++
+			if mi == lsq {
+				mi = 0
+			}
+
+		case clsBaseDep1Mem:
+			lat := float64(latCyc[i]) * perCycle
+			dep1Row := depRowOf(done, ringMask, ri, robSize, i, a.Insts[i].Dep1)
+			memRow := &memRing[mi&memMask]
+			for l := 0; l < nG; l++ {
+				d1 := dispatch[l] + dispatchStep
+				if v := row[l]; v > d1 {
+					d1 = v
+				}
+				fe := frontEndReady[l]
+				rsV := rsRow[l]
+				memV := memRow[l]
+				d := d1
+				if fe > d {
+					d = fe
+				}
+				if rsV > d {
+					d = rsV
+				}
+				if memV > d {
+					d = memV
+				}
+				dispatch[l] = d
+				ready := max(d+perCycle, dep1Row[l])
+				srow[l] = ready
+				fin := ready + lat
+				row[l] = fin
+				memRow[l] = fin
+				fr := frontier[l] + dispatchStep
+				baseNs[l] += dispatchStep
+				if fin > fr {
+					frontier[l] = fin
+					if fe > d1 && rsV <= fe && memV <= fe {
+						branchNs[l] += fin - fr
+					} else {
+						baseNs[l] += fin - fr
+					}
+				} else {
+					frontier[l] = fr
+				}
+			}
+			mi++
+			if mi == lsq {
+				mi = 0
+			}
+
+		case clsBaseDepMem:
+			lat := float64(latCyc[i]) * perCycle
+			in := &a.Insts[i]
+			dep1Row := depRowOf(done, ringMask, ri, robSize, i, in.Dep1)
+			dep2Row := depRowOf(done, ringMask, ri, robSize, i, in.Dep2)
+			memRow := &memRing[mi&memMask]
+			for l := 0; l < nG; l++ {
+				d1 := dispatch[l] + dispatchStep
+				if v := row[l]; v > d1 {
+					d1 = v
+				}
+				fe := frontEndReady[l]
+				rsV := rsRow[l]
+				memV := memRow[l]
+				d := d1
+				if fe > d {
+					d = fe
+				}
+				if rsV > d {
+					d = rsV
+				}
+				if memV > d {
+					d = memV
+				}
+				dispatch[l] = d
+				ready := max(d+perCycle, dep1Row[l], dep2Row[l])
+				srow[l] = ready
+				fin := ready + lat
+				row[l] = fin
+				memRow[l] = fin
+				fr := frontier[l] + dispatchStep
+				baseNs[l] += dispatchStep
+				if fin > fr {
+					frontier[l] = fin
+					if fe > d1 && rsV <= fe && memV <= fe {
+						branchNs[l] += fin - fr
+					} else {
+						baseNs[l] += fin - fr
+					}
+				} else {
+					frontier[l] = fr
+				}
+			}
+			mi++
+			if mi == lsq {
+				mi = 0
+			}
+
+		case clsL2Load:
+			// L2-hit load: fixed latency, every stall is cache-class
+			// (it wins over branch attribution).
+			lat := float64(latCyc[i]) * perCycle
+			in := &a.Insts[i]
+			dep1Row := depRowOf(done, ringMask, ri, robSize, i, in.Dep1)
+			dep2Row := depRowOf(done, ringMask, ri, robSize, i, in.Dep2)
+			memRow := &memRing[mi&memMask]
+			for l := 0; l < nG; l++ {
+				d1 := dispatch[l] + dispatchStep
+				if v := row[l]; v > d1 {
+					d1 = v
+				}
+				d := d1
+				if v := frontEndReady[l]; v > d {
+					d = v
+				}
+				if v := rsRow[l]; v > d {
+					d = v
+				}
+				if v := memRow[l]; v > d {
+					d = v
+				}
+				dispatch[l] = d
+				ready := max(d+perCycle, dep1Row[l], dep2Row[l])
+				srow[l] = ready
+				fin := ready + lat
+				row[l] = fin
+				memRow[l] = fin
+				fr := frontier[l] + dispatchStep
+				baseNs[l] += dispatchStep
+				if fin > fr {
+					frontier[l] = fin
+					cacheNs[l] += fin - fr
+				} else {
+					frontier[l] = fr
+				}
+			}
+			mi++
+			if mi == lsq {
+				mi = 0
+			}
+
+		case clsLLCLoad:
+			// LLC load: miss groups stall on memory (DRAM queue + MLP
+			// window), hit groups on the LLC. The boundary split keeps
+			// every group uniformly one or the other.
+			posB := llcBoundary(int(a.LLCPos[i]))
+			if posB > 0 && posB < numWays {
+				for g := 0; g < nG; g++ {
+					if st.lo[g] < posB && posB < st.up[g] {
+						st.split(g, posB, ev, done, start, memRing, issue)
+						nG = st.nG
+						break
+					}
+				}
+			}
+			in := &a.Insts[i]
+			dep1Row := depRowOf(done, ringMask, ri, robSize, i, in.Dep1)
+			dep2Row := depRowOf(done, ringMask, ri, robSize, i, in.Dep2)
+			memRow := &memRing[mi&memMask]
+			lo := &st.lo
+			for l := 0; l < nG; l++ {
+				d1 := dispatch[l] + dispatchStep
+				if v := row[l]; v > d1 {
+					d1 = v
+				}
+				d := d1
+				if v := frontEndReady[l]; v > d {
+					d = v
+				}
+				if v := rsRow[l]; v > d {
+					d = v
+				}
+				if v := memRow[l]; v > d {
+					d = v
+				}
+				dispatch[l] = d
+				ready := max(d+perCycle, dep1Row[l], dep2Row[l])
+				srow[l] = ready
+				fr := frontier[l] + dispatchStep
+				baseNs[l] += dispatchStep
+				if lo[l] < posB {
+					reqNs := ready + l3Ns
+					sStart := reqNs
+					if v := lastDRAMStart[l] + config.DRAMServiceNs; v > sStart {
+						sStart = v
+					}
+					lastDRAMStart[l] = sStart
+					fin := sStart + config.DRAMLatencyNs
+					// Leading-loads ground truth: a miss is leading when
+					// it is not issued within the DRAM latency window of
+					// a previous miss; queueing delay lengthens
+					// completion but not the overlap window.
+					if reqNs >= lastMissEnd[l] {
+						leading[l]++
+					}
+					if end := reqNs + config.DRAMLatencyNs; end > lastMissEnd[l] {
+						lastMissEnd[l] = end
+					}
+					row[l] = fin
+					memRow[l] = fin
+					if fin > fr {
+						frontier[l] = fin
+						memNs[l] += fin - fr
+					} else {
+						frontier[l] = fr
+					}
+				} else {
+					fin := ready + l3Ns
+					row[l] = fin
+					memRow[l] = fin
+					if fin > fr {
+						frontier[l] = fin
+						cacheNs[l] += fin - fr
+					} else {
+						frontier[l] = fr
+					}
+				}
+			}
+			if feed {
+				issue[ev] = *srow
+				ev++
+			}
+			mi++
+			if mi == lsq {
+				mi = 0
+			}
+
+		case clsStoreLLC, clsStoreLLCDep:
+			// Store reaching the LLC: retires into the write buffer
+			// after one cycle; a miss additionally consumes DRAM
+			// bandwidth without stalling the pipeline.
+			posB := llcBoundary(int(a.LLCPos[i]))
+			if posB > 0 && posB < numWays {
+				for g := 0; g < nG; g++ {
+					if st.lo[g] < posB && posB < st.up[g] {
+						st.split(g, posB, ev, done, start, memRing, issue)
+						nG = st.nG
+						break
+					}
+				}
+			}
+			dep1Row, dep2Row := &zeroRow, &zeroRow
+			if classes[i] == clsStoreLLCDep {
+				in := &a.Insts[i]
+				dep1Row = depRowOf(done, ringMask, ri, robSize, i, in.Dep1)
+				dep2Row = depRowOf(done, ringMask, ri, robSize, i, in.Dep2)
+			}
+			memRow := &memRing[mi&memMask]
+			lo := &st.lo
+			for l := 0; l < nG; l++ {
+				d1 := dispatch[l] + dispatchStep
+				if v := row[l]; v > d1 {
+					d1 = v
+				}
+				fe := frontEndReady[l]
+				rsV := rsRow[l]
+				memV := memRow[l]
+				d := d1
+				if fe > d {
+					d = fe
+				}
+				if rsV > d {
+					d = rsV
+				}
+				if memV > d {
+					d = memV
+				}
+				dispatch[l] = d
+				ready := max(d+perCycle, dep1Row[l], dep2Row[l])
+				srow[l] = ready
+				fin := ready + perCycle
+				row[l] = fin
+				memRow[l] = fin
+				if lo[l] < posB {
+					reqNs := ready + l3Ns
+					sStart := reqNs
+					if v := lastDRAMStart[l] + config.DRAMServiceNs; v > sStart {
+						sStart = v
+					}
+					lastDRAMStart[l] = sStart
+				}
+				fr := frontier[l] + dispatchStep
+				baseNs[l] += dispatchStep
+				if fin > fr {
+					frontier[l] = fin
+					if fe > d1 && rsV <= fe && memV <= fe {
+						branchNs[l] += fin - fr
+					} else {
+						baseNs[l] += fin - fr
+					}
+				} else {
+					frontier[l] = fr
+				}
+			}
+			if feed {
+				issue[ev] = *srow
+				ev++
+			}
+			mi++
+			if mi == lsq {
+				mi = 0
+			}
+
+		default: // clsBranchMiss, clsBranchMissDep
+			// Mispredicted branch: the base kernel plus the front-end
+			// refill that gates later dispatch.
+			dep1Row, dep2Row := &zeroRow, &zeroRow
+			if classes[i] == clsBranchMissDep {
+				in := &a.Insts[i]
+				dep1Row = depRowOf(done, ringMask, ri, robSize, i, in.Dep1)
+				dep2Row = depRowOf(done, ringMask, ri, robSize, i, in.Dep2)
+			}
+			for l := 0; l < nG; l++ {
+				d1 := dispatch[l] + dispatchStep
+				if v := row[l]; v > d1 {
+					d1 = v
+				}
+				fe := frontEndReady[l]
+				rsV := rsRow[l]
+				d := d1
+				if fe > d {
+					d = fe
+				}
+				if rsV > d {
+					d = rsV
+				}
+				dispatch[l] = d
+				ready := max(d+perCycle, dep1Row[l], dep2Row[l])
+				srow[l] = ready
+				fin := ready + perCycle
+				row[l] = fin
+				fr := frontier[l] + dispatchStep
+				baseNs[l] += dispatchStep
+				if fin > fr {
+					frontier[l] = fin
+					if fe > d1 && rsV <= fe {
+						branchNs[l] += fin - fr
+					} else {
+						baseNs[l] += fin - fr
+					}
+				} else {
+					frontier[l] = fr
+				}
+				if r := fin + penNs; r > frontEndReady[l] {
+					frontEndReady[l] = r
+				}
+			}
+		}
+
+		ri++
+		if ri == robSize {
+			ri = 0
+		}
+	}
+
+	// Expand the group representatives to their member lanes: timing and
+	// leading-miss state are group values, the cache counters come from
+	// the shared per-allocation profile and are exact per lane.
+	var groupOf [numWays]int
+	for g := 0; g < st.nG; g++ {
+		for l := st.lo[g]; l < st.up[g]; l++ {
+			groupOf[l] = g
+		}
+	}
+	for l := range results {
+		res := &results[l]
+		g := groupOf[l]
+		res.TimeNs = frontier[g]
+		res.BaseNs = baseNs[g]
+		res.BranchNs = branchNs[g]
+		res.CacheNs = cacheNs[g]
+		res.MemNs = memNs[g]
+		res.L1Misses = a.L1Misses
+		res.LeadingMisses = leading[g]
+		pr := a.waysProfile(config.MinWays + l)
+		res.LLCAccesses = pr.llcAccesses
+		res.LLCHits = pr.llcHits
+		res.LLCMisses = pr.llcMisses
+		res.DRAMLoads = pr.dramLoads
+		res.Writebacks = pr.writebacks
+		res.Mispredicts = pr.mispredicts
+		if res.LeadingMisses > 0 {
+			res.MLP = float64(res.DRAMLoads) / float64(res.LeadingMisses)
+		} else {
+			res.MLP = 1
+		}
+	}
+
+	var perms [][]int32
+	if feed {
+		gperms := scratch.sortLanes(issue, st.nG)
+		for l := range scratch.wperms {
+			scratch.wperms[l] = gperms[groupOf[l]]
+		}
+		perms = scratch.wperms[:]
+	}
+	return results, perms
+}
+
+// llcBoundary converts an LLC recency position into the way-lane miss
+// boundary: lanes below it (fewer than pos ways) miss. Position 0 means
+// the line was absent from every tracked way, so every lane misses.
+func llcBoundary(pos int) int {
+	if pos == 0 {
+		return numWays
+	}
+	b := pos - config.MinWays // pos ≤ MaxWays keeps this ≤ numWays-1
+	if b < 0 {
+		b = 0
+	}
+	return b
+}

@@ -133,29 +133,41 @@ func (o *Options) fill() {
 }
 
 // phasePrep is the setting-independent part of one phase's sweep: the
-// generated trace, its annotated hierarchy behaviour and one ATD warmed
-// over the warmup prefix. It is computed once per phase (lazily, by
-// whichever worker gets there first) and shared by all of the phase's
-// sweep shards.
+// generated trace, its annotated hierarchy behaviour, one ATD warmed
+// over the warmup prefix, and the phase's shared LLC event list. It is
+// computed once per phase (lazily, by whichever worker gets there
+// first) and shared by all of the phase's sweep shards.
 type phasePrep struct {
 	once sync.Once
 	err  error
 	tail *cpu.Annotated
 	warm *atd.ATD
 
-	// fed deduplicates ATD replays across the phase's runs, keyed by a
-	// hash of the delivery sequence. The event set of a run is fixed by
-	// the annotation — only delivery order varies with the setting — so
-	// two runs with the same sequence provably see identical ATD
-	// observations and can share one replayed instance.
-	mu  sync.Mutex
-	fed map[uint64][]*fedATD
+	// events is the phase's LLC access set in program order. Every run
+	// of the phase observes exactly these events — only the delivery
+	// order varies with the setting — so one shared list serves all
+	// replays and a run is fully described by its delivery permutation.
+	events []cpu.LLCEvent
+
+	// tree is the prefix-sharing replay trie over delivery permutations
+	// (see replayNode); mu guards it.
+	mu   sync.Mutex
+	tree replayNode
 }
 
-// fedATD is one replayed ATD and the delivery sequence that produced it.
-type fedATD struct {
-	seq []int64
-	atd *atd.ATD
+// replayNode is one node of a phase's replay tree: a radix-trie node
+// over delivery sequences. state is the ATD after observing the node's
+// path from the warm root; edge holds the event ordinals replayed
+// between the parent's snapshot and this one. Interior snapshots are
+// frozen (they have COW descendants); leaf states are what the sweep
+// records read. Where the seed's dedup could only reuse a replay whose
+// entire sequence matched, the tree forks a copy-on-write snapshot at
+// the divergence point, so runs sharing a prefix replay only their
+// divergent suffixes.
+type replayNode struct {
+	edge     []int32
+	state    *atd.ATD
+	children []*replayNode
 }
 
 func (pp *phasePrep) prepare(p trace.Params, opts Options) error {
@@ -169,66 +181,98 @@ func (pp *phasePrep) prepare(p trace.Params, opts Options) error {
 		pp.tail = full.Tail(opts.Warmup)
 		pp.warm = atd.MustNew(0)
 		full.WarmATD(pp.warm, opts.Warmup)
-		pp.fed = make(map[uint64][]*fedATD)
+		pp.events = pp.tail.LLCEvents()
+		pp.tree.state = pp.warm
 	})
 	return pp.err
 }
 
-// replay returns an ATD that has observed events — one run's LLC stream,
-// already in issue order — on top of the phase's warm tag state. Runs
-// with identical delivery sequences share one instance; the result is
-// treated as read-only by all holders.
-func (pp *phasePrep) replay(events []cpu.LLCEvent) *atd.ATD {
-	if len(events) == 0 {
+// replay returns an ATD that has observed the phase's LLC events in the
+// delivery order perm (event ordinals into pp.events) on top of the
+// warm tag state. The replay tree shares work across runs: an exact
+// duplicate returns the existing instance, and a run whose sequence
+// shares a prefix with earlier runs forks a COW snapshot at the
+// divergence point and replays only its suffix. All returned ATDs are
+// read-only for every holder.
+func (pp *phasePrep) replay(perm []int32) *atd.ATD {
+	if len(perm) == 0 {
 		// No LLC traffic: every run observes exactly the warm state.
 		return pp.warm
 	}
-	h := uint64(14695981039346656037) // FNV-1a over the delivery sequence
-	for _, e := range events {
-		h ^= uint64(e.InstIdx)
-		h *= 1099511628211
-	}
-	pp.mu.Lock()
-	for _, f := range pp.fed[h] {
-		if sameSequence(f.seq, events) {
-			pp.mu.Unlock()
-			return f.atd
-		}
-	}
-	pp.mu.Unlock()
-
-	// Replay outside the lock so concurrent shards do not serialise on
-	// the expensive feed; a racing duplicate is discarded below.
-	a := pp.warm.Clone()
-	seq := make([]int64, len(events))
-	for i, e := range events {
-		seq[i] = e.InstIdx
-		a.Access(e.Addr, e.InstIdx, e.IsLoad)
-	}
-
 	pp.mu.Lock()
 	defer pp.mu.Unlock()
-	for _, f := range pp.fed[h] {
-		if sameSequence(f.seq, events) {
-			return f.atd
+	cur := &pp.tree
+	i := 0
+	for {
+		var next *replayNode
+		for _, ch := range cur.children {
+			if ch.edge[0] == perm[i] {
+				next = ch
+				break
+			}
 		}
+		if next == nil {
+			// No shared prefix beyond cur: fork and replay the suffix.
+			return pp.grow(cur, perm[i:])
+		}
+		e := next.edge
+		j := 1
+		m := len(e)
+		if rem := len(perm) - i; rem < m {
+			m = rem
+		}
+		for j < m && e[j] == perm[i+j] {
+			j++
+		}
+		if j == len(e) {
+			cur = next
+			i += j
+			if i == len(perm) {
+				// Exact duplicate of an earlier replay.
+				return cur.state
+			}
+			continue
+		}
+		// Diverged inside the edge: split it at j. The intermediate
+		// snapshot forks the parent's state and replays the shared
+		// prefix; the existing child keeps its state under a shortened
+		// edge, and the new run forks the intermediate snapshot.
+		mid := &replayNode{edge: e[:j:j]}
+		mid.state = pp.feed(cur.state.Fork(), mid.edge)
+		next.edge = e[j:]
+		mid.children = append(mid.children, next)
+		for ci, ch := range cur.children {
+			if ch == next {
+				cur.children[ci] = mid
+				break
+			}
+		}
+		if i+j == len(perm) {
+			// Unreachable while all sequences have equal length (no
+			// sequence is a strict prefix of another), but keep the
+			// trie correct if that ever changes.
+			return mid.state
+		}
+		return pp.grow(mid, perm[i+j:])
 	}
-	pp.fed[h] = append(pp.fed[h], &fedATD{seq: seq, atd: a})
-	return a
 }
 
-// sameSequence reports whether the replayed sequence seq matches the
-// delivery order of events.
-func sameSequence(seq []int64, events []cpu.LLCEvent) bool {
-	if len(seq) != len(events) {
-		return false
+// grow extends the tree below parent with the given delivery suffix,
+// replaying it onto a fork of parent's state, and returns the state.
+func (pp *phasePrep) grow(parent *replayNode, suffix []int32) *atd.ATD {
+	leaf := &replayNode{edge: append([]int32(nil), suffix...)}
+	leaf.state = pp.feed(parent.state.Fork(), leaf.edge)
+	parent.children = append(parent.children, leaf)
+	return leaf.state
+}
+
+// feed replays the given event ordinals into a and returns it.
+func (pp *phasePrep) feed(a *atd.ATD, seq []int32) *atd.ATD {
+	for _, r := range seq {
+		e := pp.events[r]
+		a.Access(e.Addr, e.InstIdx, e.IsLoad)
 	}
-	for i := range seq {
-		if seq[i] != events[i].InstIdx {
-			return false
-		}
-	}
-	return true
+	return a
 }
 
 // Build runs the detailed simulations for every phase of every benchmark
@@ -237,10 +281,13 @@ func sameSequence(seq []int64, events []cpu.LLCEvent) bool {
 // database is not usable on error.
 //
 // The sweep shares everything that is setting-independent: the trace is
-// generated and annotated once per phase, the ATD — whose warmup does
-// not depend on the setting under test — is warmed once per phase and
-// cloned per run, and the fifteen way allocations of one (core size,
-// frequency corner) are walked simultaneously by cpu.RunWays. The
+// generated and annotated once per phase; the fifteen way allocations of
+// one (core size, frequency corner) are walked by a single cpu.RunWays
+// pass that advances only as many chains as the allocations are
+// distinguishable into; and ATD observations come from a per-phase
+// replay tree over the ATD — warmed once, since warmup does not depend
+// on the setting — whose copy-on-write snapshots let runs sharing a
+// delivery-sequence prefix replay only their divergent suffixes. The
 // result is bit-identical to the reference sweep (BuildReference), which
 // re-derives all of this for each of the ~135 runs of a phase.
 func Build(benches []*bench.Benchmark, opts Options) (*DB, error) {
@@ -270,7 +317,7 @@ func build(benches []*bench.Benchmark, opts Options, reference bool) (*DB, error
 		ci    int // core-size shard; -1 = whole phase (reference mode)
 		k     int // frequency-corner shard
 	}
-	var jobs []job
+	var perPhase [][]job
 	for _, b := range benches {
 		if err := b.Validate(); err != nil {
 			return nil, fmt.Errorf("db: %w", err)
@@ -278,17 +325,36 @@ func build(benches []*bench.Benchmark, opts Options, reference bool) (*DB, error
 		d.Phases[b.Name] = make([]*phaseData, len(b.Phases))
 		for p := range b.Phases {
 			if reference {
-				jobs = append(jobs, job{b: b, phase: p, ci: -1})
+				perPhase = append(perPhase, []job{{b: b, phase: p, ci: -1}})
 				continue
 			}
 			prep := &phasePrep{}
 			pd := &phaseData{}
 			d.Phases[b.Name][p] = pd
+			var shard []job
 			for ci := range config.Sizes {
 				for k := range fCorners {
-					jobs = append(jobs, job{b: b, phase: p, prep: prep, pd: pd, ci: ci, k: k})
+					shard = append(shard, job{b: b, phase: p, prep: prep, pd: pd, ci: ci, k: k})
 				}
 			}
+			perPhase = append(perPhase, shard)
+		}
+	}
+	// Round-robin the phases' shards so concurrent workers land on
+	// DIFFERENT phases: adjacent same-phase jobs would contend on the
+	// phase's lazy preparation and serialize on its replay-tree lock,
+	// flattening multi-core scaling.
+	var jobs []job
+	for i := 0; ; i++ {
+		added := false
+		for _, shard := range perPhase {
+			if i < len(shard) {
+				jobs = append(jobs, shard[i])
+				added = true
+			}
+		}
+		if !added {
+			break
 		}
 	}
 
@@ -371,9 +437,20 @@ func buildShard(p trace.Params, opts Options, prep *phasePrep, pd *phaseData, ci
 		}
 		return nil
 	}
-	results, events := cpu.RunWays(prep.tail, config.Sizes[ci], config.FreqGHz(fCorners[k]), scratch)
+	results, perms := cpu.RunWays(prep.tail, config.Sizes[ci], config.FreqGHz(fCorners[k]), scratch)
+	var prevPerm []int32
+	var prevATD *atd.ATD
 	for wi := range results {
-		fillStats(&pd.Runs[ci][k][wi], &results[wi], prep.replay(events[wi]))
+		p := perms[wi]
+		// Adjacent lanes with identical delivery orders share one
+		// permutation slice (RunWays's contract); reuse the replay
+		// without taking the tree lock.
+		a := prevATD
+		if prevATD == nil || &p[0] != &prevPerm[0] {
+			a = prep.replay(p)
+			prevPerm, prevATD = p, a
+		}
+		fillStats(&pd.Runs[ci][k][wi], &results[wi], a)
 	}
 	return nil
 }

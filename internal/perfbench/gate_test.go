@@ -1,0 +1,87 @@
+package perfbench
+
+import (
+	"strings"
+	"testing"
+)
+
+func report(entries map[string]float64) *Report {
+	r := &Report{}
+	for name, ns := range entries {
+		r.Results = append(r.Results, Result{Name: name, NsPerOp: ns})
+	}
+	return r
+}
+
+func TestGatePassesWithinLimit(t *testing.T) {
+	base := report(map[string]float64{"A": 100, "B": 200})
+	fresh := report(map[string]float64{"A": 120, "B": 190})
+	if err := Gate(fresh, base, []string{"A", "B"}, 0.25); err != nil {
+		t.Fatalf("within-limit gate failed: %v", err)
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	base := report(map[string]float64{"A": 100})
+	fresh := report(map[string]float64{"A": 130})
+	err := Gate(fresh, base, []string{"A"}, 0.25)
+	if err == nil {
+		t.Fatal("30% regression passed a 25% gate")
+	}
+	if !strings.Contains(err.Error(), "A:") {
+		t.Fatalf("error does not name the regressed benchmark: %v", err)
+	}
+}
+
+func TestGateFailsOnMissingEntries(t *testing.T) {
+	base := report(map[string]float64{"A": 100})
+	fresh := report(map[string]float64{})
+	if err := Gate(fresh, base, []string{"A"}, 0.25); err == nil {
+		t.Fatal("missing fresh entry passed the gate")
+	}
+	if err := Gate(base, fresh, []string{"A"}, 0.25); err == nil {
+		t.Fatal("missing baseline entry passed the gate")
+	}
+}
+
+func TestGateWatchesCommittedBaseline(t *testing.T) {
+	// The repository baseline must contain every watched benchmark,
+	// otherwise the CI gate would fail on bookkeeping rather than on
+	// performance.
+	base, err := LoadReport("../../BENCH_2.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range GateBenchmarks {
+		if base.find(name) == nil {
+			t.Errorf("baseline BENCH_2.json is missing gate benchmark %q", name)
+		}
+	}
+}
+
+func TestBestOfTakesMinimumPerBenchmark(t *testing.T) {
+	a := report(map[string]float64{"A": 100, "B": 300})
+	b := report(map[string]float64{"A": 150, "B": 200})
+	best := BestOf(a, b)
+	if got := best.find("A").NsPerOp; got != 100 {
+		t.Fatalf("A: got %.0f, want 100", got)
+	}
+	if got := best.find("B").NsPerOp; got != 200 {
+		t.Fatalf("B: got %.0f, want 200", got)
+	}
+	// Inputs untouched.
+	if a.find("B").NsPerOp != 300 {
+		t.Fatal("BestOf mutated its input")
+	}
+}
+
+func TestGateNamesDropsModeDependentEntries(t *testing.T) {
+	full := &Report{Short: false}
+	short := &Report{Short: true}
+	if got := GateNames(short, full); len(got) >= len(GateBenchmarks) {
+		t.Fatalf("mode-mismatched reports must not gate mode-dependent entries, got %v", got)
+	}
+	if got := GateNames(full, full); len(got) != len(GateBenchmarks) {
+		t.Fatalf("matching modes must gate all benchmarks, got %v", got)
+	}
+}

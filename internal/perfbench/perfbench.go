@@ -14,8 +14,11 @@
 package perfbench
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"runtime"
+	"strings"
 	"testing"
 
 	"qosrm/internal/bench"
@@ -155,6 +158,28 @@ func Run(short bool) (*Report, error) {
 			}
 		}
 	})
+
+	// Parallel scaling of the sharded sweep: the same build at fixed
+	// worker counts plus the machine width, so the committed reports
+	// record the scaling curve rather than 1-core numbers only.
+	seenW := map[int]bool{}
+	for _, w := range []int{1, 2, 4, runtime.NumCPU()} {
+		if seenW[w] {
+			continue
+		}
+		seenW[w] = true
+		workers := w
+		add(fmt.Sprintf("DatabaseBuildParallel/W%d", workers), func(b *testing.B) {
+			o := opts
+			o.Workers = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Build(benches, o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 
 	// One phase's full configuration sweep (a single cache-sensitive
 	// application), isolating the per-phase cost from suite effects.
@@ -298,6 +323,71 @@ func scenarioBatch() []scenario.Spec {
 	return specs
 }
 
+// GateBenchmarks are the hot-path entries the CI regression gate
+// watches.
+var GateBenchmarks = []string{"DatabaseBuild", "RMInvocation", "CoSimulation"}
+
+// GateNames returns the subset of GateBenchmarks that is meaningfully
+// comparable between the two reports. DatabaseBuild's workload depends
+// on the report's Short mode (the short suite is a small subset), so
+// comparing a short run against a full baseline would make its gate
+// vacuously green; the RM-invocation and co-simulation fixtures are
+// identical in both modes.
+func GateNames(fresh, baseline *Report) []string {
+	if fresh.Short == baseline.Short {
+		return GateBenchmarks
+	}
+	return []string{"RMInvocation", "CoSimulation"}
+}
+
+// Gate compares a fresh report against a committed baseline and returns
+// an error when any watched benchmark regressed by more than maxRegress
+// (a fraction: 0.25 fails on >25% higher ns/op). Entries missing from
+// either report fail the gate — a silently dropped benchmark must not
+// read as a pass. Machine differences make cross-host comparisons
+// approximate; the gate is deliberately loose and only catches gross
+// regressions.
+func Gate(fresh, baseline *Report, names []string, maxRegress float64) error {
+	var errs []string
+	for _, name := range names {
+		f, b := fresh.find(name), baseline.find(name)
+		switch {
+		case b == nil:
+			errs = append(errs, fmt.Sprintf("%s: missing from baseline", name))
+		case f == nil:
+			errs = append(errs, fmt.Sprintf("%s: missing from fresh run", name))
+		case b.NsPerOp > 0 && f.NsPerOp > b.NsPerOp*(1+maxRegress):
+			errs = append(errs, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (+%.0f%%, limit +%.0f%%)",
+				name, f.NsPerOp, b.NsPerOp, 100*(f.NsPerOp/b.NsPerOp-1), 100*maxRegress))
+		}
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("perfbench gate: %s", strings.Join(errs, "; "))
+	}
+	return nil
+}
+
+// BestOf merges measurement runs into a noise-robust report: for every
+// benchmark name appearing in the first report, the result with the
+// lowest ns/op across all reports is kept. Minimum-of-runs is the
+// standard estimator for regression gating on shared machines — a
+// co-tenant can only inflate a measurement, never deflate it.
+func BestOf(reports ...*Report) *Report {
+	if len(reports) == 0 {
+		return nil
+	}
+	out := *reports[0]
+	out.Results = append([]Result(nil), reports[0].Results...)
+	for i := range out.Results {
+		for _, r := range reports[1:] {
+			if cand := r.find(out.Results[i].Name); cand != nil && cand.NsPerOp < out.Results[i].NsPerOp {
+				out.Results[i] = *cand
+			}
+		}
+	}
+	return &out
+}
+
 // Summary renders the headline comparisons of a report.
 func (r *Report) Summary() string {
 	s := ""
@@ -318,5 +408,34 @@ func (r *Report) Summary() string {
 	if ratio := r.Ratio("DynamicStaticRun", "CoSimulation"); ratio != 0 {
 		s += fmt.Sprintf("dynamic-engine overhead on static runs: %.2fx\n", ratio)
 	}
+	first, last := "", ""
+	for _, res := range r.Results {
+		if strings.HasPrefix(res.Name, "DatabaseBuildParallel/") {
+			if first == "" {
+				first = res.Name
+			}
+			last = res.Name
+		}
+	}
+	if first != "" && last != first {
+		if ratio := r.Ratio(first, last); ratio != 0 {
+			s += fmt.Sprintf("build parallel scaling %s -> %s: %.2fx\n",
+				strings.TrimPrefix(first, "DatabaseBuildParallel/"),
+				strings.TrimPrefix(last, "DatabaseBuildParallel/"), ratio)
+		}
+	}
 	return s
+}
+
+// LoadReport reads a committed BENCH_<n>.json report.
+func LoadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("perfbench: %s: %w", path, err)
+	}
+	return &r, nil
 }

@@ -1,0 +1,26 @@
+package rm
+
+import (
+	"testing"
+
+	"qosrm/internal/config"
+)
+
+// flatPredictor is a trivial allocation-free predictor: every setting
+// is feasible and equally good, which exercises the full search space.
+type flatPredictor struct{}
+
+func (flatPredictor) TimePI(config.Setting) float64   { return 1 }
+func (flatPredictor) EnergyPI(config.Setting) float64 { return 1 }
+
+// TestLocalizeAllocationFree pins the per-interval hot path's budget:
+// the local optimisation must not allocate (its search-space tables are
+// package-level), for any manager kind.
+func TestLocalizeAllocationFree(t *testing.T) {
+	for _, kind := range []Kind{Idle, RM1, RM2, RM3} {
+		n := testing.AllocsPerRun(100, func() { Localize(flatPredictor{}, kind, Options{}) })
+		if n > 0 {
+			t.Errorf("%v: Localize allocates %.0f times per call, want 0", kind, n)
+		}
+	}
+}

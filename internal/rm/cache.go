@@ -40,3 +40,9 @@ func (c *CurveCache) Get(key any, compute func() Curve) *Curve {
 
 // Len returns the number of memoized curves.
 func (c *CurveCache) Len() int { return len(c.m) }
+
+// Reset drops every memoized curve while keeping the map's storage, so
+// a cache can be re-scoped to a new (RM kind, model, alpha regime)
+// without reallocating. Callers holding curves from before the reset
+// may keep reading them — curves are immutable once published.
+func (c *CurveCache) Reset() { clear(c.m) }

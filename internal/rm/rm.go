@@ -153,26 +153,38 @@ func Localize(p Predictor, kind Kind, opts Options) Curve {
 	return cv
 }
 
+// Shared search-space tables: Localize runs at every interval boundary
+// of every co-simulated core, so its per-call slices are hoisted here
+// once. All slices are read-only.
+var (
+	allFreqs = func() []int {
+		f := make([]int, config.NumFreqs)
+		for i := range f {
+			f[i] = i
+		}
+		return f
+	}()
+	baseFreqOnly = []int{config.BaseFreqIdx}
+	baseCoreOnly = []config.CoreSize{config.SizeM}
+	allCores     = []config.CoreSize{config.SizeS, config.SizeM, config.SizeL}
+)
+
 // searchSpace returns the core sizes and frequency indices a manager
 // kind may choose from. Frequencies are ascending so the first feasible
-// one is f*.
+// one is f*. The returned slices are shared and must not be mutated.
 func searchSpace(kind Kind) ([]config.CoreSize, []int) {
-	allF := make([]int, config.NumFreqs)
-	for i := range allF {
-		allF[i] = i
-	}
 	switch kind {
 	case Idle:
-		return []config.CoreSize{config.SizeM}, []int{config.BaseFreqIdx}
+		return baseCoreOnly, baseFreqOnly
 	case RM1:
 		// LLC partitioning only: baseline core and VF.
-		return []config.CoreSize{config.SizeM}, []int{config.BaseFreqIdx}
+		return baseCoreOnly, baseFreqOnly
 	case RM2:
 		// Partitioning + per-core DVFS (prior art).
-		return []config.CoreSize{config.SizeM}, allF
+		return baseCoreOnly, allFreqs
 	case RM3:
 		// Partitioning + DVFS + core adaptation (proposed).
-		return []config.CoreSize{config.SizeS, config.SizeM, config.SizeL}, allF
+		return allCores, allFreqs
 	default:
 		panic(fmt.Sprintf("rm: unknown kind %d", int(kind)))
 	}

@@ -291,6 +291,14 @@ type Report struct {
 // Run executes the spec against the database: the configured manager
 // plus the idle twin that anchors the energy saving.
 func Run(d *db.DB, s *Spec) (*Report, error) {
+	return RunWS(d, s, nil)
+}
+
+// RunWS is Run reusing a dynamic-engine workspace across calls (nil for
+// a one-shot run): the idle twin and the managed run share its buffers,
+// and a sweep worker passes the same workspace for every spec so curve
+// memos and per-core state survive across the batch.
+func RunWS(d *db.DB, s *Spec, ws *sim.RunWorkspace) (*Report, error) {
 	dyn, cfg, err := s.Compile()
 	if err != nil {
 		return nil, err
@@ -298,14 +306,14 @@ func Run(d *db.DB, s *Spec) (*Report, error) {
 	kind, _ := ParseRM(s.RM)
 	idleCfg := cfg
 	idleCfg.RM = rm.Idle
-	idle, err := sim.RunDynamic(d, dyn, idleCfg)
+	idle, err := sim.RunDynamicWS(d, dyn, idleCfg, ws)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
 	}
 	// An idle-manager spec IS its own twin; don't simulate it twice.
 	r := idle
 	if kind != rm.Idle {
-		r, err = sim.RunDynamic(d, dyn, cfg)
+		r, err = sim.RunDynamicWS(d, dyn, cfg, ws)
 		if err != nil {
 			return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
 		}
@@ -343,8 +351,11 @@ func Sweep(d *db.DB, specs []Spec, workers int) ([]*Report, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One dynamic-engine workspace per worker: buffers and curve
+			// memos are reused across the worker's share of the batch.
+			var ws sim.RunWorkspace
 			for i := range ch {
-				reports[i], errs[i] = Run(d, &specs[i])
+				reports[i], errs[i] = RunWS(d, &specs[i], &ws)
 			}
 		}()
 	}

@@ -18,6 +18,7 @@ import (
 	"qosrm/internal/bench"
 	"qosrm/internal/config"
 	"qosrm/internal/db"
+	"qosrm/internal/perfmodel"
 	"qosrm/internal/power"
 	"qosrm/internal/rm"
 )
@@ -204,6 +205,53 @@ const (
 	evArrive
 )
 
+// RunWorkspace is the reusable working set of dynamic co-simulations:
+// the per-core state, the sorted step schedule, the global reduction's
+// buffers and the Localize memoization, all retained across runs so a
+// scenario sweep executes each spec (and its idle twin) without
+// rebuilding them. The curve cache is scoped to one (database, manager,
+// model, oracle) combination and resets itself when a run arrives with
+// a different one; everything else is config-independent. The zero
+// value is ready. Not safe for concurrent use — use one workspace per
+// sweep worker.
+type RunWorkspace struct {
+	steps []QoSStep
+	cores []dynCore
+	ptrs  []*dynCore
+	st    runState
+
+	// Scope of the memoized curves in st.cache.
+	db      *db.DB
+	rm      rm.Kind
+	model   perfmodel.Kind
+	perfect bool
+	scoped  bool
+}
+
+// scope prepares the workspace's run state for a run against (d, cfg):
+// buffers are resized for n cores and the curve cache is dropped unless
+// the run reads the same database with the same manager, model and
+// oracle mode that filled it (alpha is part of every cache key, so it
+// needs no scoping). Idle-manager runs never invoke the RM, so they
+// neither read nor re-scope the cache — a spec's idle twin leaves the
+// managed configuration's memo intact.
+func (w *RunWorkspace) scope(d *db.DB, cfg *Config, n int) *runState {
+	if cfg.RM != rm.Idle &&
+		(!w.scoped || w.db != d || w.rm != cfg.RM || w.model != cfg.Model || w.perfect != cfg.Perfect) {
+		w.st.cache.Reset()
+		w.db, w.rm, w.model, w.perfect = d, cfg.RM, cfg.Model, cfg.Perfect
+		w.scoped = true
+	}
+	if cap(w.st.curves) < n {
+		w.st.curves = make([]*rm.Curve, n)
+		w.st.settings = make([]config.Setting, n)
+	}
+	w.st.curves = w.st.curves[:n]
+	w.st.settings = w.st.settings[:n]
+	w.st.pinnedBase = pinnedBaseline()
+	return &w.st
+}
+
 // RunDynamic co-simulates a dynamic workload under cfg, reading all
 // per-interval behaviour from d. Cores with no running job idle at their
 // last setting — their LLC ways stay physically allocated and are pinned
@@ -213,22 +261,42 @@ const (
 // reallocates; a finishing or departing job triggers an immediate global
 // re-optimisation when its core's queue continues.
 func RunDynamic(d *db.DB, dyn Dynamic, cfg Config) (*DynamicResult, error) {
+	return RunDynamicWS(d, dyn, cfg, nil)
+}
+
+// RunDynamicWS is RunDynamic reusing a workspace across calls; ws may
+// be nil for a one-shot run. Results are identical to RunDynamic's —
+// the workspace only recycles buffers and memoized curves whose keys
+// pin all of their inputs.
+func RunDynamicWS(d *db.DB, dyn Dynamic, cfg Config, ws *RunWorkspace) (*DynamicResult, error) {
 	cfg.fill()
 	if err := dyn.Validate(d); err != nil {
 		return nil, err
 	}
 	n := len(dyn.Queues)
 	interval := float64(cfg.Interval)
+	if ws == nil {
+		ws = &RunWorkspace{}
+	}
 
-	// Steps apply in time order; sort a copy so specs may list them in
-	// any order (ties keep spec order).
-	steps := make([]QoSStep, len(dyn.Steps))
-	copy(steps, dyn.Steps)
+	// Steps apply in time order; sort a reused copy so specs may list
+	// them in any order (ties keep spec order).
+	steps := append(ws.steps[:0], dyn.Steps...)
+	ws.steps = steps
 	sort.SliceStable(steps, func(i, j int) bool { return steps[i].AtNs < steps[j].AtNs })
 
-	cores := make([]*dynCore, n)
+	if cap(ws.cores) < n {
+		ws.cores = make([]dynCore, n)
+		ws.ptrs = make([]*dynCore, n)
+	}
+	ws.cores = ws.cores[:n]
+	cores := ws.ptrs[:n]
 	for i, q := range dyn.Queues {
-		c := &dynCore{jobs: q.Jobs, slot: -1, baseAlpha: cfg.Alpha}
+		c := &ws.cores[i]
+		// Reset per-run state; the pinned-curve memo survives across
+		// runs (a pinned curve depends only on its setting).
+		*c = dynCore{jobs: q.Jobs, slot: -1, baseAlpha: cfg.Alpha,
+			pinnedCv: c.pinnedCv, pinnedAt: c.pinnedAt}
 		c.setting = config.Baseline()
 		c.alpha = cfg.Alpha
 		cores[i] = c
@@ -236,11 +304,7 @@ func RunDynamic(d *db.DB, dyn Dynamic, cfg Config) (*DynamicResult, error) {
 
 	totalWays := config.TotalWays(n)
 	res := &DynamicResult{}
-	st := &runState{
-		curves:     make([]*rm.Curve, n),
-		settings:   make([]config.Setting, n),
-		pinnedBase: pinnedCurve(config.Baseline()),
-	}
+	st := ws.scope(d, &cfg, n)
 	now := 0.0
 	stepIdx := 0
 

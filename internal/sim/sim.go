@@ -10,6 +10,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"qosrm/internal/bench"
 	"qosrm/internal/config"
@@ -243,7 +244,7 @@ func Run(d *db.DB, apps []*bench.Benchmark, cfg Config) (*Result, error) {
 	st := &runState{
 		curves:     make([]*rm.Curve, n),
 		settings:   make([]config.Setting, n),
-		pinnedBase: pinnedCurve(config.Baseline()),
+		pinnedBase: pinnedBaseline(),
 	}
 	now := 0.0
 
@@ -546,6 +547,12 @@ func (c *core) chargeRMOverhead(cfg *Config, n int) {
 	c.stallNs += t
 	c.extraNs += t
 }
+
+// pinnedBaseline returns the shared pinned curve at the baseline
+// setting — the same for every run, so it is built once.
+var pinnedBaseline = sync.OnceValue(func() *rm.Curve {
+	return pinnedCurve(config.Baseline())
+})
 
 // pinnedCurve is feasible only at the given setting's allocation, used
 // for cores that have not yet reported statistics and for cores that

@@ -34,18 +34,33 @@
 // pure speedups with no numerical drift in figure or table outputs.
 //
 // Database sweep (db.Build): per phase, the trace is generated and its
-// cache hierarchy behaviour annotated once; the ATD is warmed once
-// (warmup is setting-independent) and cloned per run; the fifteen way
-// allocations of a (core size, frequency corner) are walked in one
-// interleaved cpu.RunWays pass, which hides the latency of the walk's
-// serial float dependence chain across lanes; per-allocation LLC/DRAM
-// counters are computed in a single histogram pass shared by all runs;
-// and ATD replays are deduplicated by delivery sequence — two runs
-// whose sorted LLC event streams match provably observe identical ATD
-// state and share one replay. Phases whose measured window never
-// reaches the LLC collapse to one timing walk per (core, frequency).
-// Work is sharded at (phase, core size, corner) granularity across
-// Options.Workers goroutines.
+// cache hierarchy behaviour annotated once, and each instruction's
+// kernel class and latency are precomputed, both setting-independent.
+// The fifteen way allocations of a (core size, frequency corner) are
+// walked in one cpu.RunWays pass over structure-of-arrays per-lane
+// state, which hides the latency of the walk's serial float dependence
+// chain across lanes; the walk partitions allocations into dynamically
+// refined groups — lanes can only diverge where an LLC access's
+// miss/hit boundary falls inside their interval, so one representative
+// chain serves each still-indistinguishable group and compute-bound
+// phases walk one or two chains instead of fifteen. Per-allocation
+// LLC/DRAM counters are computed in a single histogram pass shared by
+// all runs.
+//
+// ATD observations come from a per-phase prefix-sharing replay tree:
+// all runs of a phase observe the same LLC event set (only delivery
+// order varies with the setting), so a run is its delivery permutation,
+// recovered from the walk's issue-time matrix by a compact seeded
+// argsort. Identical permutations share one replayed ATD, and a run
+// whose permutation shares a prefix with earlier runs forks a
+// copy-on-write snapshot at the divergence point — tag state lives in
+// flat structure-of-arrays rows shared between the warm state and all
+// descendants (cache.COWStack), and a fork copies only the sets it
+// actually touches — then replays only its divergent suffix. Phases
+// whose measured window never reaches the LLC collapse to one timing
+// walk per (core, frequency). Work is sharded at (phase, core size,
+// corner) granularity across Options.Workers goroutines; the
+// DatabaseBuildParallel perfbench entries record the scaling curve.
 //
 // RM invocation path (sim.Run): local optimisation curves are memoized
 // per run in an rm.CurveCache — the RM kind, model and alpha are fixed
@@ -67,9 +82,16 @@
 // dense grid per phase), and all cached values are immutable once
 // published, so nothing is ever invalidated in place.
 //
+// The scenario sweep reuses a sim.RunWorkspace per worker — per-core
+// state, the global reduction's arena and the curve memoization
+// (re-scoped automatically when a run changes database, manager, model
+// or oracle mode) survive across a spec and its idle twin.
+//
 // The perfbench suite (internal/perfbench, cmd/perfbench) measures both
 // sides of each pair and records the trajectory in committed
-// BENCH_<n>.json files; CI runs it in short mode on every push.
+// BENCH_<n>.json files; CI runs it in short mode on every push and
+// gates merges on >25% ns/op regressions of the watched hot paths
+// against the committed baseline (perfbench.Gate).
 //
 // # Scenario engine
 //
