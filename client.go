@@ -1,0 +1,183 @@
+package qosrm
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"qosrm/internal/server"
+)
+
+// Serving-layer types, re-exported so clients and embedders need only
+// this package.
+type (
+	// ServerOptions configures an embedded qosrmd API server.
+	ServerOptions = server.Options
+	// Server is the qosrmd API server; see System.NewServer.
+	Server = server.Server
+	// ServiceHealth is the GET /healthz response.
+	ServiceHealth = server.Health
+	// ServiceJob is the status of one asynchronous sweep job.
+	ServiceJob = server.JobStatus
+	// SavingsRequest is the POST /v1/savings body.
+	SavingsRequest = server.SavingsRequest
+	// SavingsResponse is the POST /v1/savings response.
+	SavingsResponse = server.SavingsResponse
+)
+
+// NewServer starts the qosrmd API server — the same serving layer
+// cmd/qosrmd runs — over this system's database: savings evaluations,
+// synchronous scenario runs and an asynchronous sweep-job queue backed
+// by a bounded worker pool. The caller owns the lifecycle: mount
+// Handler() on a listener and Close() the server on shutdown.
+func (s *System) NewServer(opts ServerOptions) *Server {
+	return server.New(s.db, opts)
+}
+
+// Client is a qosrmd API client; DialService returns a connected one.
+type Client struct {
+	base string
+	// HTTPClient may be replaced before first use; DialService installs
+	// a default with a 30 s overall timeout.
+	HTTPClient *http.Client
+}
+
+// DialService connects to a running qosrmd instance at baseURL (e.g.
+// "http://127.0.0.1:8423") and verifies it is healthy before returning.
+func DialService(baseURL string) (*Client, error) {
+	c := &Client{
+		base:       strings.TrimRight(baseURL, "/"),
+		HTTPClient: &http.Client{Timeout: 30 * time.Second},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := c.Health(ctx); err != nil {
+		return nil, fmt.Errorf("qosrm: dial %s: %w", baseURL, err)
+	}
+	return c, nil
+}
+
+// Health fetches the service's health report.
+func (c *Client) Health(ctx context.Context) (*ServiceHealth, error) {
+	var h ServiceHealth
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// Savings evaluates an application mix on the service: the configured
+// manager against its idle twin, exactly System.Savings but on the
+// server's shared warm database.
+func (c *Client) Savings(ctx context.Context, req *SavingsRequest) (*SavingsResponse, error) {
+	var out SavingsResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/savings", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// RunScenario executes one declarative scenario synchronously on the
+// service. The report is bit-identical to System.RunScenario on the
+// same spec (equivalence-tested).
+func (c *Client) RunScenario(ctx context.Context, spec *ScenarioSpec) (*ScenarioReport, error) {
+	var out ScenarioReport
+	if err := c.do(ctx, http.MethodPost, "/v1/scenarios", spec, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SubmitSweep queues a batch of scenarios as an asynchronous job and
+// returns its initial status (carrying the job ID to poll).
+func (c *Client) SubmitSweep(ctx context.Context, specs []ScenarioSpec) (*ServiceJob, error) {
+	var out ServiceJob
+	req := struct {
+		Specs []ScenarioSpec `json:"specs"`
+	}{specs}
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Job fetches the current status of an asynchronous job.
+func (c *Client) Job(ctx context.Context, id string) (*ServiceJob, error) {
+	var out ServiceJob
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// WaitJob polls a job until it finishes (done or failed) or ctx
+// expires. poll ≤ 0 defaults to 50 ms.
+func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*ServiceJob, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	for {
+		j, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if j.State == server.JobDone || j.State == server.JobFailed {
+			return j, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// do runs one JSON round trip, decoding the service's error envelope on
+// non-2xx statuses.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("qosrm: %s %s: %w", method, path, err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("qosrm: %s %s: %w", method, path, err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.HTTPClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("qosrm: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("qosrm: %s %s: %w", method, path, err)
+	}
+	if resp.StatusCode >= 300 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return fmt.Errorf("qosrm: %s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("qosrm: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("qosrm: %s %s: decode response: %w", method, path, err)
+	}
+	return nil
+}

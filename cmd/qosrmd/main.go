@@ -1,0 +1,122 @@
+// Command qosrmd is the QoS-RM serving daemon: it loads a prebuilt
+// database snapshot (or builds the database on first start) and serves
+// the HTTP/JSON API — savings evaluations, synchronous scenario runs,
+// asynchronous sweep jobs, health and metrics — so any number of clients
+// share one warm database instead of rebuilding it per process.
+//
+// Usage:
+//
+//	qosrmd -snapshot suite.qosdb [-addr :8423]
+//	qosrmd -snapshot suite.qosdb -build [-tracelen 65536] [-warmup 16384]
+//
+// With -build, a missing or stale snapshot is rebuilt from the compiled
+// suite and saved back to -snapshot, so the first boot pays the sweep
+// once and every later boot is a fast load. Without -build, a bad
+// snapshot is a startup error (the deployment intended an offline dbgen
+// feed).
+//
+// SIGINT/SIGTERM drain gracefully: the listener stops accepting, inflight
+// requests get a shutdown grace period, and the job worker pool is
+// cancelled through the lifecycle context.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"qosrm/internal/bench"
+	"qosrm/internal/db"
+	"qosrm/internal/dbstore"
+	"qosrm/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qosrmd: ")
+	addr := flag.String("addr", ":8423", "listen address")
+	snapshot := flag.String("snapshot", "suite.qosdb", "database snapshot path (see cmd/dbgen)")
+	build := flag.Bool("build", false, "build the database (and save the snapshot) when the snapshot is missing or stale")
+	traceLen := flag.Int("tracelen", 65536, "instructions per phase for -build")
+	warmup := flag.Int("warmup", 16384, "warm-up instructions per phase for -build")
+	buildWorkers := flag.Int("build-workers", 0, "parallel builders for -build (0 = GOMAXPROCS)")
+	pool := flag.Int("pool", 0, "job worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 256, "max queued scenarios across all jobs")
+	maxBody := flag.Int64("max-body", 1<<20, "max request body bytes")
+	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	d, err := openDB(ctx, *snapshot, *build, *traceLen, *warmup, *buildWorkers)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := server.New(d, server.Options{
+		Workers:      *pool,
+		QueueDepth:   *queue,
+		MaxBodyBytes: *maxBody,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	log.Printf("serving %d benchmarks on %s", len(d.Benchmarks()), *addr)
+
+	select {
+	case err := <-errCh:
+		srv.Close()
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down (grace %s)", *grace)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	srv.Close()
+}
+
+// openDB resolves the database the daemon serves: the snapshot when it
+// loads cleanly, else a fresh build (saved back) when -build allows it.
+func openDB(ctx context.Context, path string, build bool, traceLen, warmup, workers int) (*db.DB, error) {
+	start := time.Now()
+	d, h, err := dbstore.Load(path)
+	if err == nil {
+		log.Printf("loaded %s: %d benchmarks / %d phases, %d bytes, %s",
+			path, h.Benchmarks, h.Phases, h.Bytes, time.Since(start).Round(time.Millisecond))
+		return d, nil
+	}
+	if !build {
+		return nil, fmt.Errorf("%w (run dbgen, or pass -build)", err)
+	}
+	if !errors.Is(err, os.ErrNotExist) {
+		log.Printf("snapshot unusable (%v); rebuilding", err)
+	}
+	d, err = db.BuildContext(ctx, bench.Suite(), db.Options{
+		TraceLen: traceLen,
+		Warmup:   warmup,
+		Workers:  workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := dbstore.Save(path, d); err != nil {
+		return nil, err
+	}
+	log.Printf("built and saved %s in %s", path, time.Since(start).Round(time.Millisecond))
+	return d, nil
+}

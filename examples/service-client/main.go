@@ -1,0 +1,123 @@
+// Service client: the serving layer end to end in one process. The
+// example opens a system with a snapshot path — the first run builds
+// the database and saves the snapshot, every later run cold-starts by
+// loading it (the same files cmd/dbgen emits and cmd/qosrmd boots
+// from) — mounts the qosrmd API server on a loopback listener, then
+// talks to it purely through the HTTP client: health, a savings
+// evaluation, a synchronous scenario run, and an asynchronous sweep job
+// polled to completion.
+//
+// Against a separately deployed daemon, replace the embedded server
+// with qosrm.DialService("http://host:8423") and keep the rest.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"qosrm"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A snapshot beside the cache dir: run the example twice to see the
+	// cold start switch from "build" to "load".
+	cache, err := os.UserCacheDir()
+	if err != nil {
+		cache = os.TempDir()
+	}
+	snapshot := filepath.Join(cache, "qosrm-service-example.qosdb")
+
+	apps := []string{"mcf", "povray", "bwaves", "xalancbmk"}
+	benches := make([]*qosrm.Benchmark, len(apps))
+	for i, n := range apps {
+		benches[i] = qosrm.MustBenchmark(n)
+	}
+	start := time.Now()
+	sys, err := qosrm.Open(qosrm.Options{
+		TraceLen:     16384,
+		Warmup:       4096,
+		Benchmarks:   benches,
+		SnapshotPath: snapshot,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("database ready in %s (snapshot: %s)\n",
+		time.Since(start).Round(time.Millisecond), snapshot)
+
+	// Mount the qosrmd API on a loopback listener.
+	srv := sys.NewServer(qosrm.ServerOptions{Workers: 2})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	ctx := context.Background()
+	client, err := qosrm.DialService("http://" + ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	health, err := client.Health(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("connected: %d benchmarks / %d phases served\n\n", health.Benchmarks, health.Phases)
+
+	// A savings evaluation over the wire.
+	sav, err := client.Savings(ctx, &qosrm.SavingsRequest{Apps: apps, RM: "RM3"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("RM3 on %v: saving %.2f%%, %d RM calls, violations %.2f%%\n\n",
+		apps, sav.Saving*100, sav.RMCalled, sav.ViolationRate*100)
+
+	// A synchronous scenario run: bit-identical to sys.RunScenario.
+	const work = 4 * 100_000_000 * 2048
+	spec := qosrm.ScenarioSpec{
+		Name: "service-churn",
+		Cores: []qosrm.ScenarioCore{
+			{Jobs: []qosrm.ScenarioJob{
+				{App: "mcf", Work: work, DepartNs: 2.5e8},
+				{App: "povray", Work: work, Alpha: 1.2},
+			}},
+			{Jobs: []qosrm.ScenarioJob{{App: "bwaves", Work: work}}},
+		},
+	}
+	rep, err := client.RunScenario(ctx, &spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scenario %q over HTTP: saving %.2f%% across %d jobs\n\n",
+		rep.Name, rep.Saving*100, len(rep.Jobs))
+
+	// An asynchronous sweep: every manager on the same scenario.
+	specs := []qosrm.ScenarioSpec{spec, spec, spec}
+	specs[0].Name, specs[0].RM = "sweep-rm1", "RM1"
+	specs[1].Name, specs[1].RM = "sweep-rm2", "RM2"
+	specs[2].Name, specs[2].RM = "sweep-rm3", "RM3"
+	job, err := client.SubmitSweep(ctx, specs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("job %s queued (%d scenarios)\n", job.ID, job.Total)
+	job, err = client.WaitJob(ctx, job.ID, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range job.Reports {
+		fmt.Printf("  %-4s saving %6.2f%%  budget-violations %5.2f%%\n",
+			r.RM, r.Saving*100, r.BudgetViolationRate*100)
+	}
+}

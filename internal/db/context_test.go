@@ -1,0 +1,73 @@
+package db
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"qosrm/internal/bench"
+)
+
+// TestBuildContextCancelled pins the build's cancellation contract: a
+// cancelled context yields no database and the context's error, and the
+// workers drain their queue without simulating anything (the build
+// returns in far less time than the sweep itself would take).
+func TestBuildContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	d, err := BuildContext(ctx, bench.Suite(), Options{TraceLen: 16384, Warmup: 4096})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if d != nil {
+		t.Fatal("cancelled build returned a database")
+	}
+	// A full-suite build at this trace length takes seconds; draining
+	// the job queue must not.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled build took %v, not prompt", elapsed)
+	}
+}
+
+// TestBuildContextMidBuild cancels while workers are simulating and
+// checks the build aborts early instead of completing the sweep.
+func TestBuildContextMidBuild(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	d, err := BuildContext(ctx, bench.Suite(), Options{TraceLen: 65536, Warmup: 16384, Workers: 2})
+	if err == nil {
+		// The machine may genuinely finish the suite in 10 ms one day;
+		// then the result must at least be complete.
+		if !d.Covers(bench.Suite()) {
+			t.Fatal("uncancelled build returned an incomplete database")
+		}
+		return
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if d != nil {
+		t.Fatal("cancelled build returned a database")
+	}
+}
+
+// TestBuildBackgroundUnaffected asserts Build still succeeds end to end
+// through the context-threaded path.
+func TestBuildBackgroundUnaffected(t *testing.T) {
+	mcf, err := bench.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := BuildContext(context.Background(), []*bench.Benchmark{mcf}, Options{TraceLen: 2048, Warmup: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Covers([]*bench.Benchmark{mcf}) {
+		t.Fatal("build missing phases")
+	}
+}

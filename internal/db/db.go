@@ -19,6 +19,7 @@
 package db
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -130,6 +131,15 @@ func (o *Options) fill() {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
+}
+
+// WithDefaults returns a copy of o with unset fields resolved — the
+// parameters a Build call with o would actually use. Callers comparing
+// a request against an existing database (snapshot staleness checks)
+// need the resolved values.
+func (o Options) WithDefaults() Options {
+	o.fill()
+	return o
 }
 
 // phasePrep is the setting-independent part of one phase's sweep: the
@@ -291,7 +301,16 @@ func (pp *phasePrep) feed(a *atd.ATD, seq []int32) *atd.ATD {
 // result is bit-identical to the reference sweep (BuildReference), which
 // re-derives all of this for each of the ~135 runs of a phase.
 func Build(benches []*bench.Benchmark, opts Options) (*DB, error) {
-	return build(benches, opts, false)
+	return build(context.Background(), benches, opts, false)
+}
+
+// BuildContext is Build honouring ctx: workers check for cancellation
+// before starting each (phase, core size, corner) shard, so a cancelled
+// build abandons its remaining work promptly (in-flight shards finish;
+// a shard is a few milliseconds of simulation). A cancelled build
+// returns ctx's error and no database.
+func BuildContext(ctx context.Context, benches []*bench.Benchmark, opts Options) (*DB, error) {
+	return build(ctx, benches, opts, false)
 }
 
 // BuildReference is the seed implementation of Build, retained as the
@@ -299,10 +318,10 @@ func Build(benches []*bench.Benchmark, opts Options) (*DB, error) {
 // re-creates and re-warms the ATD for every run and walks each (core
 // size, frequency, ways) point separately via cpu.RunReference.
 func BuildReference(benches []*bench.Benchmark, opts Options) (*DB, error) {
-	return build(benches, opts, true)
+	return build(context.Background(), benches, opts, true)
 }
 
-func build(benches []*bench.Benchmark, opts Options, reference bool) (*DB, error) {
+func build(ctx context.Context, benches []*bench.Benchmark, opts Options, reference bool) (*DB, error) {
 	opts.fill()
 	d := &DB{
 		TraceLen: opts.TraceLen,
@@ -379,6 +398,9 @@ func build(benches []*bench.Benchmark, opts Options, reference bool) (*DB, error
 			defer wg.Done()
 			scratch := &cpu.SweepScratch{}
 			for j := range ch {
+				if ctx.Err() != nil {
+					continue // cancelled: drain the queue without simulating
+				}
 				var err error
 				if j.ci < 0 {
 					var pd *phaseData
@@ -407,6 +429,11 @@ func build(benches []*bench.Benchmark, opts Options, reference bool) (*DB, error
 	}
 	close(ch)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		// A cancelled build must not look partially usable either, and
+		// skipped shards are not per-phase failures worth enumerating.
+		return nil, fmt.Errorf("db: build cancelled: %w", err)
+	}
 	if len(errs) > 0 {
 		// A failed build must not look partially usable: every worker
 		// error is reported, and the phase map is dropped with the error.

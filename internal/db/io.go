@@ -92,17 +92,4 @@ func LoadOrBuild(path string, benches []*bench.Benchmark, opts Options) (*DB, er
 }
 
 // complete reports whether d covers every phase of every benchmark.
-func complete(d *DB, benches []*bench.Benchmark) bool {
-	for _, b := range benches {
-		phases, ok := d.Phases[b.Name]
-		if !ok || len(phases) != len(b.Phases) {
-			return false
-		}
-		for _, p := range phases {
-			if p == nil {
-				return false
-			}
-		}
-	}
-	return true
-}
+func complete(d *DB, benches []*bench.Benchmark) bool { return d.Covers(benches) }

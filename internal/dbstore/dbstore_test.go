@@ -1,0 +1,218 @@
+package dbstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"qosrm/internal/bench"
+	"qosrm/internal/config"
+	"qosrm/internal/db"
+)
+
+// buildSmall builds a small database for serialisation tests.
+func buildSmall(t *testing.T, names []string, traceLen, warmup int) *db.DB {
+	t.Helper()
+	benches := make([]*bench.Benchmark, len(names))
+	for i, n := range names {
+		b, err := bench.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		benches[i] = b
+	}
+	d, err := db.Build(benches, db.Options{TraceLen: traceLen, Warmup: warmup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// statsEqual compares two records bit for bit (NaN-safe, unlike ==).
+func statsEqual(a, b *db.Stats) bool {
+	eq := func(x, y float64) bool { return math.Float64bits(x) == math.Float64bits(y) }
+	if !eq(a.Instructions, b.Instructions) || !eq(a.TimeNs, b.TimeNs) ||
+		!eq(a.BaseNs, b.BaseNs) || !eq(a.BranchNs, b.BranchNs) ||
+		!eq(a.CacheNs, b.CacheNs) || !eq(a.MemNs, b.MemNs) ||
+		!eq(a.L1Misses, b.L1Misses) || !eq(a.LLCAccesses, b.LLCAccesses) ||
+		!eq(a.LLCHits, b.LLCHits) || !eq(a.LLCMisses, b.LLCMisses) ||
+		!eq(a.DRAMLoads, b.DRAMLoads) || !eq(a.Writebacks, b.Writebacks) ||
+		!eq(a.LeadingMisses, b.LeadingMisses) || !eq(a.Mispredicts, b.Mispredicts) ||
+		!eq(a.MLP, b.MLP) {
+		return false
+	}
+	for wi := range a.ATDMissCurve {
+		if !eq(a.ATDMissCurve[wi], b.ATDMissCurve[wi]) {
+			return false
+		}
+	}
+	for ci := range a.ATDLM {
+		for wi := range a.ATDLM[ci] {
+			if !eq(a.ATDLM[ci][wi], b.ATDLM[ci][wi]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestRoundTripBitIdentical is the equivalence property of the snapshot
+// store: across suite subsets and trace lengths, a saved-then-loaded
+// database matches the freshly built one bit for bit — both the raw
+// simulated corners and every record the dense interpolated grid serves.
+func TestRoundTripBitIdentical(t *testing.T) {
+	cases := []struct {
+		names            []string
+		traceLen, warmup int
+	}{
+		{[]string{"mcf"}, 2048, 512},
+		{[]string{"mcf", "povray"}, 4096, 1024},
+		{[]string{"bwaves", "xalancbmk", "povray"}, 2048, 0},
+	}
+	for _, tc := range cases {
+		d := buildSmall(t, tc.names, tc.traceLen, tc.warmup)
+		path := filepath.Join(t.TempDir(), "suite.qosdb")
+		if err := Save(path, d); err != nil {
+			t.Fatalf("%v: %v", tc.names, err)
+		}
+		got, h, err := Load(path)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.names, err)
+		}
+		if got.TraceLen != d.TraceLen || got.Warmup != d.Warmup {
+			t.Fatalf("%v: params %d/%d, want %d/%d", tc.names, got.TraceLen, got.Warmup, d.TraceLen, d.Warmup)
+		}
+		if h.Benchmarks != len(tc.names) {
+			t.Fatalf("%v: header says %d benchmarks", tc.names, h.Benchmarks)
+		}
+		for _, name := range tc.names {
+			if got.NumPhases(name) != d.NumPhases(name) {
+				t.Fatalf("%s: %d phases, want %d", name, got.NumPhases(name), d.NumPhases(name))
+			}
+			for p := 0; p < d.NumPhases(name); p++ {
+				want, err := d.Corners(name, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				have, err := got.Corners(name, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for ci := range want {
+					for k := range want[ci] {
+						for wi := range want[ci][k] {
+							if !statsEqual(&want[ci][k][wi], &have[ci][k][wi]) {
+								t.Fatalf("%s phase %d corner [%d][%d][%d] differs after round trip", name, p, ci, k, wi)
+							}
+						}
+					}
+				}
+				// The dense grid a loaded database serves must also match:
+				// every (core, frequency, ways) record, interpolated ones
+				// included.
+				for ci := 0; ci < config.NumSizes; ci++ {
+					for fi := 0; fi < config.NumFreqs; fi++ {
+						for w := config.MinWays; w <= config.MaxWays; w++ {
+							set := config.Setting{Core: config.CoreSize(ci), Freq: fi, Ways: w}
+							want, err := d.Stats(name, p, set)
+							if err != nil {
+								t.Fatal(err)
+							}
+							have, err := got.Stats(name, p, set)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if !statsEqual(want, have) {
+								t.Fatalf("%s phase %d %v: dense record differs after round trip", name, p, set)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWriteCanonical asserts the format is canonical: serialising the
+// same database twice yields identical bytes.
+func TestWriteCanonical(t *testing.T) {
+	d := buildSmall(t, []string{"povray", "mcf"}, 2048, 512)
+	var a, b bytes.Buffer
+	if err := Write(&a, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, d); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two serialisations of one database differ")
+	}
+}
+
+// snapshotBytes renders one small snapshot for corruption tests.
+func snapshotBytes(t *testing.T) []byte {
+	t.Helper()
+	d := buildSmall(t, []string{"mcf"}, 2048, 512)
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRejectsCorruption(t *testing.T) {
+	valid := snapshotBytes(t)
+	if _, _, err := Read(bytes.NewReader(valid)); err != nil {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+
+	t.Run("bad magic", func(t *testing.T) {
+		b := append([]byte(nil), valid...)
+		b[0] ^= 0xff
+		if _, _, err := Read(bytes.NewReader(b)); err == nil {
+			t.Fatal("bad magic accepted")
+		}
+	})
+	t.Run("version bump", func(t *testing.T) {
+		b := append([]byte(nil), valid...)
+		binary.LittleEndian.PutUint32(b[8:12], Version+1)
+		_, _, err := Read(bytes.NewReader(b))
+		if !errors.Is(err, ErrVersion) {
+			t.Fatalf("want ErrVersion, got %v", err)
+		}
+	})
+	t.Run("payload bit flip", func(t *testing.T) {
+		b := append([]byte(nil), valid...)
+		b[len(b)/2] ^= 0x01
+		if _, _, err := Read(bytes.NewReader(b)); err == nil {
+			t.Fatal("bit-flipped payload accepted")
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for _, n := range []int{0, 1, headerSize - 1, headerSize, len(valid) / 2, len(valid) - 1} {
+			if _, _, err := Read(bytes.NewReader(valid[:n])); err == nil {
+				t.Fatalf("truncation to %d bytes accepted", n)
+			}
+		}
+	})
+	t.Run("trailing data", func(t *testing.T) {
+		b := append(append([]byte(nil), valid...), 0x00)
+		if _, _, err := Read(bytes.NewReader(b)); err == nil {
+			t.Fatal("trailing data accepted")
+		}
+	})
+	t.Run("stale params hash", func(t *testing.T) {
+		// Rewrite the stored hash and re-seal the envelope: the payload
+		// is intact (checksum passes) but claims different parameters —
+		// the stale-snapshot case the hash exists to catch.
+		b := append([]byte(nil), valid...)
+		binary.LittleEndian.PutUint64(b[16:24], binary.LittleEndian.Uint64(b[16:24])^0xdeadbeef)
+		_, _, err := Read(bytes.NewReader(b))
+		if !errors.Is(err, ErrStale) {
+			t.Fatalf("want ErrStale, got %v", err)
+		}
+	})
+}

@@ -14,9 +14,13 @@
 package perfbench
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
@@ -24,9 +28,11 @@ import (
 	"qosrm/internal/bench"
 	"qosrm/internal/config"
 	"qosrm/internal/db"
+	"qosrm/internal/dbstore"
 	"qosrm/internal/perfmodel"
 	"qosrm/internal/rm"
 	"qosrm/internal/scenario"
+	"qosrm/internal/server"
 	"qosrm/internal/sim"
 )
 
@@ -181,6 +187,42 @@ func Run(short bool) (*Report, error) {
 		})
 	}
 
+	// Snapshot cold start vs the equivalent build: the same workload as
+	// DatabaseBuild, loaded from a prebuilt dbstore snapshot — the
+	// qosrmd boot path. The ratio to DatabaseBuild is the cold-start
+	// speedup the serving layer's snapshot store buys (the ISSUE 4
+	// acceptance bar is ≥10×).
+	snapDir, err := os.MkdirTemp("", "qosrm-perfbench")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(snapDir)
+	snapPath := filepath.Join(snapDir, "suite.qosdb")
+	snapDB, err := db.Build(benches, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := dbstore.Save(snapPath, snapDB); err != nil {
+		return nil, err
+	}
+	add("DatabaseSnapshotSave", func(b *testing.B) {
+		out := filepath.Join(snapDir, "save.qosdb")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := dbstore.Save(out, snapDB); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("DatabaseSnapshotLoad", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := dbstore.Load(snapPath); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
 	// One phase's full configuration sweep (a single cache-sensitive
 	// application), isolating the per-phase cost from suite effects.
 	add("PhaseSweep", func(b *testing.B) {
@@ -290,6 +332,39 @@ func Run(short bool) (*Report, error) {
 			}
 		}
 	})
+
+	// One scenario through the HTTP serving layer: POST /v1/scenarios
+	// against an in-process qosrmd server over the fixture database —
+	// the full request path (decode, validate, simulate, encode). The
+	// delta to a bare scenario run is the serving overhead per request.
+	srv := server.New(fixture, server.Options{Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	specJSON, err := json.Marshal(scenarioBatch()[0])
+	if err != nil {
+		ts.Close()
+		srv.Close()
+		return nil, err
+	}
+	add("ServerScenarioRequest", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			resp, err := http.Post(ts.URL+"/v1/scenarios", "application/json", bytes.NewReader(specJSON))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var rep scenario.Report
+			if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+				resp.Body.Close()
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK || rep.Name == "" {
+				b.Fatalf("status %d, report %+v", resp.StatusCode, rep)
+			}
+		}
+	})
+	ts.Close()
+	srv.Close()
 
 	return rep, nil
 }
@@ -407,6 +482,9 @@ func (r *Report) Summary() string {
 	}
 	if ratio := r.Ratio("DynamicStaticRun", "CoSimulation"); ratio != 0 {
 		s += fmt.Sprintf("dynamic-engine overhead on static runs: %.2fx\n", ratio)
+	}
+	if ratio := r.Ratio("DatabaseBuild", "DatabaseSnapshotLoad"); ratio != 0 {
+		s += fmt.Sprintf("snapshot cold start vs build: %.1fx faster\n", ratio)
 	}
 	first, last := "", ""
 	for _, res := range r.Results {

@@ -1,0 +1,42 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestSweepContextCancelled pins the sweep's cancellation contract:
+// once the context is cancelled, unprocessed scenarios are abandoned
+// and every failure carries the context's error.
+func TestSweepContextCancelled(t *testing.T) {
+	d := sharedDB(t)
+	specs := []Spec{testSpec("c1"), testSpec("c2"), testSpec("c3"), testSpec("c4")}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	reports, err := SweepContext(ctx, d, specs, 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	for i, r := range reports {
+		if r != nil {
+			t.Fatalf("cancelled sweep produced report %d", i)
+		}
+	}
+}
+
+// TestRunCtxCancelled checks the single-scenario path: a cancelled
+// context aborts the run's simulations with the context's error.
+func TestRunCtxCancelled(t *testing.T) {
+	d := sharedDB(t)
+	spec := testSpec("cancel")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r, err := RunCtx(ctx, d, &spec, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if r != nil {
+		t.Fatal("cancelled run returned a report")
+	}
+}

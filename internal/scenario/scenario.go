@@ -14,6 +14,7 @@ package scenario
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -299,6 +300,14 @@ func Run(d *db.DB, s *Spec) (*Report, error) {
 // and a sweep worker passes the same workspace for every spec so curve
 // memos and per-core state survive across the batch.
 func RunWS(d *db.DB, s *Spec, ws *sim.RunWorkspace) (*Report, error) {
+	return RunCtx(nil, d, s, ws)
+}
+
+// RunCtx is RunWS honouring ctx: both the idle twin and the managed run
+// poll for cancellation, so a serving layer can abandon a request's
+// in-flight simulations when the client goes away. A nil ctx disables
+// the checks.
+func RunCtx(ctx context.Context, d *db.DB, s *Spec, ws *sim.RunWorkspace) (*Report, error) {
 	dyn, cfg, err := s.Compile()
 	if err != nil {
 		return nil, err
@@ -306,14 +315,14 @@ func RunWS(d *db.DB, s *Spec, ws *sim.RunWorkspace) (*Report, error) {
 	kind, _ := ParseRM(s.RM)
 	idleCfg := cfg
 	idleCfg.RM = rm.Idle
-	idle, err := sim.RunDynamicWS(d, dyn, idleCfg, ws)
+	idle, err := sim.RunDynamicCtx(ctx, d, dyn, idleCfg, ws)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
 	}
 	// An idle-manager spec IS its own twin; don't simulate it twice.
 	r := idle
 	if kind != rm.Idle {
-		r, err = sim.RunDynamicWS(d, dyn, cfg, ws)
+		r, err = sim.RunDynamicCtx(ctx, d, dyn, cfg, ws)
 		if err != nil {
 			return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
 		}
@@ -337,6 +346,15 @@ func RunWS(d *db.DB, s *Spec, ws *sim.RunWorkspace) (*Report, error) {
 // back in spec order; failures are collected and joined, and the
 // remaining scenarios still run.
 func Sweep(d *db.DB, specs []Spec, workers int) ([]*Report, error) {
+	return SweepContext(nil, d, specs, workers)
+}
+
+// SweepContext is Sweep honouring ctx: workers stop picking up new
+// scenarios once ctx is cancelled and in-flight runs abandon at their
+// next event-loop check, so the whole batch returns promptly with ctx's
+// error recorded for every unfinished spec. A nil ctx disables the
+// checks.
+func SweepContext(ctx context.Context, d *db.DB, specs []Spec, workers int) ([]*Report, error) {
 	if len(specs) == 0 {
 		return nil, errors.New("scenario: empty sweep")
 	}
@@ -355,7 +373,11 @@ func Sweep(d *db.DB, specs []Spec, workers int) ([]*Report, error) {
 			// memos are reused across the worker's share of the batch.
 			var ws sim.RunWorkspace
 			for i := range ch {
-				reports[i], errs[i] = RunWS(d, &specs[i], &ws)
+				if ctx != nil && ctx.Err() != nil {
+					errs[i] = fmt.Errorf("scenario %s: %w", specs[i].Name, ctx.Err())
+					continue
+				}
+				reports[i], errs[i] = RunCtx(ctx, d, &specs[i], &ws)
 			}
 		}()
 	}

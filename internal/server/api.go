@@ -1,0 +1,76 @@
+package server
+
+import (
+	"qosrm/internal/scenario"
+	"qosrm/internal/sim"
+)
+
+// SavingsRequest is the body of POST /v1/savings: an application mix
+// (one name per core) plus the manager configuration to evaluate it
+// under. The manager/model names and defaults match the scenario spec's
+// ("RM3"/"Model3" when empty).
+type SavingsRequest struct {
+	Apps             []string `json:"apps"`
+	RM               string   `json:"rm,omitempty"`
+	Model            string   `json:"model,omitempty"`
+	Perfect          bool     `json:"perfect,omitempty"`
+	Alpha            float64  `json:"alpha,omitempty"`
+	Scale            int64    `json:"scale,omitempty"`
+	Interval         int64    `json:"interval,omitempty"`
+	DisableOverheads bool     `json:"disable_overheads,omitempty"`
+}
+
+// SavingsResponse is the outcome of one savings evaluation: the
+// fractional energy saving of the managed run over the idle
+// (baseline-keeping) manager on the same workload, plus the managed
+// run's headline numbers and per-application results.
+type SavingsResponse struct {
+	Saving        float64         `json:"saving"`
+	EnergyJ       float64         `json:"energy_j"`
+	IdleEnergyJ   float64         `json:"idle_energy_j"`
+	TimeNs        float64         `json:"time_ns"`
+	RMCalled      int64           `json:"rm_called"`
+	ViolationRate float64         `json:"violation_rate"`
+	Apps          []sim.AppResult `json:"apps"`
+}
+
+// JobRequest is the body of POST /v1/jobs: a batch of scenario specs to
+// sweep asynchronously over the server's worker pool.
+type JobRequest struct {
+	Specs []scenario.Spec `json:"specs"`
+}
+
+// Job states, in lifecycle order.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// JobStatus is the response of POST /v1/jobs and GET /v1/jobs/{id}.
+// Reports is populated once the job is done, in spec order, with null
+// entries for specs that failed (their errors are joined in Error).
+type JobStatus struct {
+	ID      string             `json:"id"`
+	State   string             `json:"state"`
+	Total   int                `json:"total"`
+	Done    int                `json:"done"`
+	Reports []*scenario.Report `json:"reports,omitempty"`
+	Error   string             `json:"error,omitempty"`
+}
+
+// Health is the response of GET /healthz.
+type Health struct {
+	Status        string  `json:"status"`
+	Benchmarks    int     `json:"benchmarks"`
+	Phases        int     `json:"phases"`
+	TraceLen      int     `json:"trace_len"`
+	Workers       int     `json:"workers"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// errorResponse is the JSON envelope of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}

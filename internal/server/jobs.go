@@ -1,0 +1,154 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"qosrm/internal/scenario"
+	"qosrm/internal/sim"
+)
+
+// job is one asynchronous sweep: a batch of specs fanned out as
+// per-scenario work items over the server's worker pool.
+type job struct {
+	id    string
+	specs []scenario.Spec
+
+	mu      sync.Mutex
+	started int
+	done    int
+	reports []*scenario.Report
+	errs    []error
+}
+
+// workItem is one scenario of one job, the unit the worker pool
+// consumes.
+type workItem struct {
+	j   *job
+	idx int
+}
+
+// status snapshots the job for the API.
+func (j *job) status() *JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := &JobStatus{ID: j.id, Total: len(j.specs), Done: j.done}
+	switch {
+	case j.done == len(j.specs):
+		st.State = JobDone
+		var msgs []string
+		for _, err := range j.errs {
+			if err != nil {
+				msgs = append(msgs, err.Error())
+			}
+		}
+		if len(msgs) > 0 {
+			st.State = JobFailed
+			st.Error = strings.Join(msgs, "; ")
+		}
+		st.Reports = append([]*scenario.Report(nil), j.reports...)
+	case j.started > 0:
+		st.State = JobRunning
+	default:
+		st.State = JobQueued
+	}
+	return st
+}
+
+// complete records one scenario's outcome and reports whether this
+// completion finished the whole job (exactly one completion does, which
+// keeps the finished-jobs metric race-free).
+func (j *job) complete(idx int, rep *scenario.Report, err error) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.reports[idx] = rep
+	j.errs[idx] = err
+	j.done++
+	return j.done == len(j.specs)
+}
+
+// begin marks one scenario as picked up by a worker.
+func (j *job) begin() {
+	j.mu.Lock()
+	j.started++
+	j.mu.Unlock()
+}
+
+// errQueueFull is returned when a job submission does not fit in the
+// server's bounded queue.
+var errQueueFull = errors.New("job queue full")
+
+// submit registers a new job and enqueues its scenarios. Queue capacity
+// for the whole batch is reserved atomically up front, so a job is
+// either fully queued or rejected — never half-admitted.
+func (s *Server) submit(specs []scenario.Spec) (*job, error) {
+	j := &job{
+		specs:   specs,
+		reports: make([]*scenario.Report, len(specs)),
+		errs:    make([]error, len(specs)),
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, errors.New("server shutting down")
+	}
+	if s.queued+len(specs) > s.opts.QueueDepth {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d queued of %d, %d requested",
+			errQueueFull, s.queued, s.opts.QueueDepth, len(specs))
+	}
+	s.queued += len(specs)
+	s.jobSeq++
+	j.id = fmt.Sprintf("j%d", s.jobSeq)
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+
+	// The channel's capacity is QueueDepth, and the reservation above
+	// guarantees the free slots: these sends never block.
+	for i := range specs {
+		s.queue <- workItem{j: j, idx: i}
+	}
+	s.metrics.jobsSubmitted.Add(1)
+	s.metrics.specsQueued.Add(int64(len(specs)))
+	return j, nil
+}
+
+// jobByID looks a job up.
+func (s *Server) jobByID(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// worker is one pool goroutine: it owns a dynamic-engine workspace that
+// survives across all scenarios it executes (the same per-worker reuse
+// as scenario.Sweep) and runs items until the server closes. Runs are
+// bound to the server's lifecycle context, so Close aborts in-flight
+// simulations promptly.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	var ws sim.RunWorkspace
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case it := <-s.queue:
+			it.j.begin()
+			rep, err := scenario.RunCtx(s.ctx, s.db, &it.j.specs[it.idx], &ws)
+			finished := it.j.complete(it.idx, rep, err)
+			if err != nil {
+				s.metrics.specsFailed.Add(1)
+			}
+			s.metrics.specsRun.Add(1)
+			s.mu.Lock()
+			s.queued--
+			s.mu.Unlock()
+			if finished {
+				s.metrics.jobsFinished.Add(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,439 @@
+// Package server is the QoS-RM serving layer: an HTTP/JSON service over
+// one warm configuration database, so many processes and clients share a
+// single build (or snapshot load) instead of each rebuilding it.
+//
+// Endpoints:
+//
+//	POST /v1/savings      application mix + manager config → energy
+//	                      saving and per-app results (synchronous)
+//	POST /v1/scenarios    one scenario.Spec body → scenario.Report
+//	                      (synchronous; bit-identical to the in-process
+//	                      System.RunScenario, equivalence-tested)
+//	POST /v1/jobs         a batch of specs → job id; the batch is swept
+//	                      asynchronously by a bounded worker pool, each
+//	                      worker reusing one sim.RunWorkspace across all
+//	                      scenarios it executes
+//	GET  /v1/jobs/{id}    job progress and, once done, the reports
+//	GET  /healthz         liveness + the database the server holds
+//	GET  /metrics         Prometheus-style text counters
+//
+// Request bodies are size-bounded, specs are validated with the same
+// scenario.Validate the library uses, synchronous runs are cancelled
+// when the client disconnects, and Close aborts in-flight work through
+// the lifecycle context threaded into the simulation engines.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qosrm/internal/bench"
+	"qosrm/internal/db"
+	"qosrm/internal/rm"
+	"qosrm/internal/scenario"
+	"qosrm/internal/sim"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the job worker pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the number of queued-but-unfinished scenarios
+	// across all jobs (default 256). A submission that does not fit is
+	// rejected with 503 rather than queued unboundedly.
+	QueueDepth int
+	// MaxBodyBytes bounds request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// MaxApps bounds the core count of one savings request (default 64).
+	MaxApps int
+}
+
+func (o *Options) fill() {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	if o.MaxApps <= 0 {
+		o.MaxApps = 64
+	}
+}
+
+// metrics are the server's monotonic counters, exposed at /metrics.
+type metrics struct {
+	requests      [routeCount]atomic.Int64
+	errors        atomic.Int64
+	specsQueued   atomic.Int64
+	specsRun      atomic.Int64
+	specsFailed   atomic.Int64
+	jobsSubmitted atomic.Int64
+	jobsFinished  atomic.Int64
+	savingsNs     atomic.Int64
+	scenariosNs   atomic.Int64
+}
+
+// route indexes the per-endpoint request counters.
+type route int
+
+const (
+	routeSavings route = iota
+	routeScenarios
+	routeJobs
+	routeJobGet
+	routeHealth
+	routeMetrics
+	routeCount
+)
+
+var routeNames = [routeCount]string{
+	"/v1/savings", "/v1/scenarios", "/v1/jobs", "/v1/jobs/{id}", "/healthz", "/metrics",
+}
+
+// Server serves the QoS-RM API over one built database.
+type Server struct {
+	db    *db.DB
+	opts  Options
+	start time.Time
+	mux   *http.ServeMux
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	queue  chan workItem
+
+	mu     sync.Mutex
+	closed bool
+	queued int
+	jobSeq int64
+	jobs   map[string]*job
+
+	metrics metrics
+}
+
+// New starts a server over d: the worker pool is running on return.
+// Callers own the lifecycle and must Close it.
+func New(d *db.DB, opts Options) *Server {
+	opts.fill()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		db:     d,
+		opts:   opts,
+		start:  time.Now(),
+		ctx:    ctx,
+		cancel: cancel,
+		queue:  make(chan workItem, opts.QueueDepth),
+		jobs:   make(map[string]*job),
+	}
+	s.mux = http.NewServeMux()
+	s.handle("POST /v1/savings", routeSavings, s.handleSavings)
+	s.handle("POST /v1/scenarios", routeScenarios, s.handleScenario)
+	s.handle("POST /v1/jobs", routeJobs, s.handleJobSubmit)
+	s.handle("GET /v1/jobs/{id}", routeJobGet, s.handleJobGet)
+	s.handle("GET /healthz", routeHealth, s.handleHealth)
+	s.handle("GET /metrics", routeMetrics, s.handleMetrics)
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops accepting jobs, cancels in-flight simulations through the
+// lifecycle context and waits for the worker pool to exit. Scenarios
+// still queued are abandoned; their jobs never reach the done state.
+// Close is idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cancel()
+	s.wg.Wait()
+}
+
+// handle registers one pattern with the request-counting wrapper.
+func (s *Server) handle(pattern string, rt route, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.requests[rt].Add(1)
+		h(w, r)
+	})
+}
+
+// fail writes the JSON error envelope and counts it.
+func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	s.metrics.errors.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeJSON writes a 200 response.
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	s.writeJSONStatus(w, http.StatusOK, v)
+}
+
+// writeJSONStatus writes a JSON response with an explicit status. The
+// Content-Type must be set before WriteHeader freezes the headers.
+func (s *Server) writeJSONStatus(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.metrics.errors.Add(1)
+	}
+}
+
+// readJSON decodes a size-bounded request body, distinguishing
+// oversized bodies (413) from malformed ones (400). Unknown fields are
+// rejected so misspelled knobs fail loudly instead of silently running
+// a default configuration.
+func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.fail(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", s.opts.MaxBodyBytes)
+		} else {
+			s.fail(w, http.StatusBadRequest, "invalid request body: %v", err)
+		}
+		return false
+	}
+	if dec.More() {
+		s.fail(w, http.StatusBadRequest, "trailing data after request body")
+		return false
+	}
+	return true
+}
+
+// handleSavings evaluates one application mix: the configured manager
+// against its idle twin, both cancelled if the client disconnects.
+func (s *Server) handleSavings(w http.ResponseWriter, r *http.Request) {
+	var req SavingsRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if len(req.Apps) == 0 {
+		s.fail(w, http.StatusBadRequest, "no applications")
+		return
+	}
+	if len(req.Apps) > s.opts.MaxApps {
+		s.fail(w, http.StatusBadRequest, "%d applications exceed the %d-core limit", len(req.Apps), s.opts.MaxApps)
+		return
+	}
+	apps := make([]*bench.Benchmark, len(req.Apps))
+	for i, name := range req.Apps {
+		b, err := bench.ByName(name)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if s.db.NumPhases(name) == 0 {
+			s.fail(w, http.StatusBadRequest, "database has no data for %q", name)
+			return
+		}
+		apps[i] = b
+	}
+	kind, err := scenario.ParseRM(req.RM)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	model, err := scenario.ParseModel(req.Model)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Alpha < 0 || req.Scale < 0 || req.Interval < 0 {
+		s.fail(w, http.StatusBadRequest, "negative configuration value")
+		return
+	}
+	cfg := sim.Config{
+		RM:               kind,
+		Model:            model,
+		Perfect:          req.Perfect,
+		Alpha:            req.Alpha,
+		Scale:            req.Scale,
+		Interval:         req.Interval,
+		DisableOverheads: req.DisableOverheads,
+	}
+	t0 := time.Now()
+	idleCfg := cfg
+	idleCfg.RM = rm.Idle
+	idle, err := sim.RunCtx(r.Context(), s.db, apps, idleCfg)
+	if err != nil {
+		s.runError(w, r, err)
+		return
+	}
+	// An idle request is its own twin (the same shortcut scenario.Run
+	// takes): saving is zero by construction.
+	managed := idle
+	if kind != rm.Idle {
+		managed, err = sim.RunCtx(r.Context(), s.db, apps, cfg)
+		if err != nil {
+			s.runError(w, r, err)
+			return
+		}
+	}
+	s.metrics.savingsNs.Add(time.Since(t0).Nanoseconds())
+	s.writeJSON(w, &SavingsResponse{
+		Saving:        1 - managed.EnergyJ/idle.EnergyJ,
+		EnergyJ:       managed.EnergyJ,
+		IdleEnergyJ:   idle.EnergyJ,
+		TimeNs:        managed.TimeNs,
+		RMCalled:      managed.RMCalled,
+		ViolationRate: managed.ViolationRate(),
+		Apps:          managed.Apps,
+	})
+}
+
+// handleScenario runs one declarative scenario synchronously.
+func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
+	var spec scenario.Spec
+	if !s.readJSON(w, r, &spec) {
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if name, ok := s.uncovered(&spec); !ok {
+		s.fail(w, http.StatusBadRequest, "database has no data for %q", name)
+		return
+	}
+	t0 := time.Now()
+	rep, err := scenario.RunCtx(r.Context(), s.db, &spec, nil)
+	if err != nil {
+		s.runError(w, r, err)
+		return
+	}
+	s.metrics.scenariosNs.Add(time.Since(t0).Nanoseconds())
+	s.writeJSON(w, rep)
+}
+
+// handleJobSubmit queues an asynchronous sweep.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if len(req.Specs) == 0 {
+		s.fail(w, http.StatusBadRequest, "no scenarios")
+		return
+	}
+	if len(req.Specs) > s.opts.QueueDepth {
+		// A batch that exceeds the queue's total capacity can never be
+		// admitted, no matter how idle the server is: that is a permanent
+		// client error, not a transient 503 worth retrying.
+		s.fail(w, http.StatusBadRequest, "batch of %d scenarios exceeds the queue capacity of %d; split the sweep",
+			len(req.Specs), s.opts.QueueDepth)
+		return
+	}
+	for i := range req.Specs {
+		if err := req.Specs[i].Validate(); err != nil {
+			s.fail(w, http.StatusBadRequest, "spec %d: %v", i, err)
+			return
+		}
+		if name, ok := s.uncovered(&req.Specs[i]); !ok {
+			s.fail(w, http.StatusBadRequest, "spec %d: database has no data for %q", i, name)
+			return
+		}
+	}
+	j, err := s.submit(req.Specs)
+	if err != nil {
+		// Both remaining rejection causes — queue currently full, server
+		// shutting down — are transient: 503 tells the client to retry.
+		s.fail(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	s.writeJSONStatus(w, http.StatusAccepted, j.status())
+}
+
+// handleJobGet reports a job's progress.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j := s.jobByID(id)
+	if j == nil {
+		s.fail(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	s.writeJSON(w, j.status())
+}
+
+// handleHealth reports liveness plus what the server is serving.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	phases := 0
+	for _, name := range s.db.Benchmarks() {
+		phases += s.db.NumPhases(name)
+	}
+	s.writeJSON(w, &Health{
+		Status:        "ok",
+		Benchmarks:    len(s.db.Benchmarks()),
+		Phases:        phases,
+		TraceLen:      s.db.TraceLen,
+		Workers:       s.opts.Workers,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
+}
+
+// handleMetrics renders the Prometheus-style counter text.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	queued := s.queued
+	jobs := len(s.jobs)
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	for rt := route(0); rt < routeCount; rt++ {
+		fmt.Fprintf(w, "qosrmd_requests_total{path=%q} %d\n", routeNames[rt], s.metrics.requests[rt].Load())
+	}
+	fmt.Fprintf(w, "qosrmd_request_errors_total %d\n", s.metrics.errors.Load())
+	fmt.Fprintf(w, "qosrmd_jobs_submitted_total %d\n", s.metrics.jobsSubmitted.Load())
+	fmt.Fprintf(w, "qosrmd_jobs_finished_total %d\n", s.metrics.jobsFinished.Load())
+	fmt.Fprintf(w, "qosrmd_jobs_tracked %d\n", jobs)
+	fmt.Fprintf(w, "qosrmd_scenarios_queued_total %d\n", s.metrics.specsQueued.Load())
+	fmt.Fprintf(w, "qosrmd_scenarios_run_total %d\n", s.metrics.specsRun.Load())
+	fmt.Fprintf(w, "qosrmd_scenarios_failed_total %d\n", s.metrics.specsFailed.Load())
+	fmt.Fprintf(w, "qosrmd_scenario_queue_depth %d\n", queued)
+	fmt.Fprintf(w, "qosrmd_workers %d\n", s.opts.Workers)
+	fmt.Fprintf(w, "qosrmd_savings_busy_seconds_total %g\n", float64(s.metrics.savingsNs.Load())/1e9)
+	fmt.Fprintf(w, "qosrmd_scenarios_busy_seconds_total %g\n", float64(s.metrics.scenariosNs.Load())/1e9)
+	fmt.Fprintf(w, "qosrmd_uptime_seconds %g\n", time.Since(s.start).Seconds())
+	fmt.Fprintf(w, "qosrmd_db_benchmarks %d\n", len(s.db.Benchmarks()))
+	fmt.Fprintf(w, "qosrmd_db_trace_len %d\n", s.db.TraceLen)
+}
+
+// uncovered returns the first scheduled application the database has no
+// data for, with ok=false; ok=true means the spec is fully covered.
+func (s *Server) uncovered(spec *scenario.Spec) (string, bool) {
+	for _, b := range spec.Benchmarks() {
+		if s.db.NumPhases(b.Name) == 0 {
+			return b.Name, false
+		}
+	}
+	return "", true
+}
+
+// runError maps a simulation failure: client disconnects surface as 499
+// (the de-facto "client closed request" status), anything else is a
+// server-side 500 — request validation already rejected everything a
+// client could get wrong.
+func (s *Server) runError(w http.ResponseWriter, r *http.Request, err error) {
+	if errors.Is(err, context.Canceled) && r.Context().Err() != nil {
+		s.fail(w, 499, "request cancelled")
+		return
+	}
+	s.fail(w, http.StatusInternalServerError, "%v", err)
+}

@@ -11,6 +11,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -269,6 +270,16 @@ func RunDynamic(d *db.DB, dyn Dynamic, cfg Config) (*DynamicResult, error) {
 // the workspace only recycles buffers and memoized curves whose keys
 // pin all of their inputs.
 func RunDynamicWS(d *db.DB, dyn Dynamic, cfg Config, ws *RunWorkspace) (*DynamicResult, error) {
+	return RunDynamicCtx(nil, d, dyn, cfg, ws)
+}
+
+// RunDynamicCtx is RunDynamicWS honouring ctx: the event loop polls for
+// cancellation between events, so a server can abandon an in-flight
+// co-simulation as soon as its client disconnects or the service shuts
+// down. A nil ctx disables the checks. A cancelled run returns ctx's
+// error and no result; cancellation never changes the result of a run
+// that completes.
+func RunDynamicCtx(ctx context.Context, d *db.DB, dyn Dynamic, cfg Config, ws *RunWorkspace) (*DynamicResult, error) {
 	cfg.fill()
 	if err := dyn.Validate(d); err != nil {
 		return nil, err
@@ -309,6 +320,13 @@ func RunDynamicWS(d *db.DB, dyn Dynamic, cfg Config, ws *RunWorkspace) (*Dynamic
 	stepIdx := 0
 
 	for {
+		if ctx != nil {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		// Once every queue is drained, remaining QoS steps have nothing
 		// left to retarget: end the run instead of letting no-op step
 		// events stretch the wall clock (and with it the uncore energy).

@@ -8,6 +8,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -204,6 +205,14 @@ type curveKey struct {
 // Run co-simulates the workload apps (one application per core) under
 // cfg, reading all per-interval behaviour from d.
 func Run(d *db.DB, apps []*bench.Benchmark, cfg Config) (*Result, error) {
+	return RunCtx(nil, d, apps, cfg)
+}
+
+// RunCtx is Run honouring ctx: the event loop polls for cancellation
+// between interval boundaries, so servers can abandon in-flight
+// co-simulations promptly. A nil ctx disables the checks; a cancelled
+// run returns ctx's error and no result.
+func RunCtx(ctx context.Context, d *db.DB, apps []*bench.Benchmark, cfg Config) (*Result, error) {
 	cfg.fill()
 	n := len(apps)
 	if n == 0 {
@@ -249,6 +258,13 @@ func Run(d *db.DB, apps []*bench.Benchmark, cfg Config) (*Result, error) {
 	now := 0.0
 
 	for {
+		if ctx != nil {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		// Next event: the earliest per-core interval or target boundary.
 		best := -1
 		bestT := math.Inf(1)

@@ -107,6 +107,42 @@
 // setting with its LLC ways pinned; an arriving job inherits the core's
 // setting until its first interval produces statistics.
 //
+// # Serving architecture
+//
+// Every consumer above links the library and owns a database in
+// process. The serving layer turns that into a shared long-running
+// service. Two pieces compose it:
+//
+// internal/dbstore is the persistent snapshot store: a versioned binary
+// format (magic, format version, params hash, checksum, then the
+// per-phase simulated corner records) that round-trips a built database
+// bit-identically — only the simulated corners are stored, and the
+// dense interpolated grid is re-materialised deterministically after a
+// load, so a loaded database is indistinguishable from a freshly built
+// one. Cold start becomes a file read: the DatabaseSnapshotLoad
+// perfbench entry measures the load at well over an order of magnitude
+// faster than the equivalent db.Build. Snapshots are integrity-checked
+// in layers (magic/version, CRC-64 checksum, structural bounds, params
+// hash against the compiled-in suite definition), fuzz-tested to reject
+// corrupt input cleanly, and written atomically. Options.SnapshotPath
+// plugs the store into Open, System.Snapshot saves one, and cmd/dbgen
+// emits (-o) and verifies (-load -verify) them offline.
+//
+// internal/server + cmd/qosrmd is the HTTP/JSON service over one warm
+// database: POST /v1/savings (application mix → energy saving and
+// per-app results), POST /v1/scenarios (one declarative scenario,
+// synchronous, bit-identical to System.RunScenario — equivalence-
+// tested), POST /v1/jobs + GET /v1/jobs/{id} (asynchronous sweep jobs
+// over a bounded worker pool, each worker reusing one sim.RunWorkspace
+// across every scenario it executes), plus /healthz and a
+// Prometheus-style /metrics. Request bodies are size-bounded and
+// validated with the same scenario.Validate the library uses;
+// cancellation is threaded through the engines (sim.RunCtx,
+// sim.RunDynamicCtx, scenario.SweepContext, db.BuildContext), so client
+// disconnects and daemon shutdown abandon in-flight simulations
+// promptly. System.NewServer embeds the same server in any process, and
+// DialService returns the matching client.
+//
 // internal/scenario layers a JSON-loadable specification on top
 // (ScenarioSpec): application queues by name, arrival/departure times,
 // per-job alphas and QoS steps, plus the manager/model configuration to
@@ -125,6 +161,7 @@ import (
 	"qosrm/internal/bench"
 	"qosrm/internal/config"
 	"qosrm/internal/db"
+	"qosrm/internal/dbstore"
 	"qosrm/internal/experiments"
 	"qosrm/internal/perfmodel"
 	"qosrm/internal/rm"
@@ -274,6 +311,13 @@ func LoadScenarios(path string) ([]ScenarioSpec, error) {
 type Options struct {
 	// DBPath caches the simulation database; empty disables caching.
 	DBPath string
+	// SnapshotPath caches the database in the versioned binary snapshot
+	// format (internal/dbstore) — the same files cmd/dbgen emits and
+	// cmd/qosrmd boots from. A valid snapshot covering the requested
+	// benchmarks at the requested trace length is loaded (bit-identical
+	// to a fresh build); otherwise the database is built and the
+	// snapshot written back. Takes precedence over DBPath.
+	SnapshotPath string
 	// TraceLen is the measured instruction count per phase (default
 	// 65536); Warmup the cache warm-up prefix (default 16384).
 	TraceLen int
@@ -299,11 +343,28 @@ func Open(o Options) (*System, error) {
 	if len(benches) == 0 {
 		benches = bench.Suite()
 	}
-	d, err := db.LoadOrBuild(o.DBPath, benches, db.Options{
+	opts := db.Options{
 		TraceLen: o.TraceLen,
 		Warmup:   o.Warmup,
 		Workers:  o.Workers,
-	})
+	}
+	if o.SnapshotPath != "" {
+		filled := opts.WithDefaults()
+		if d, _, err := dbstore.Load(o.SnapshotPath); err == nil &&
+			d.TraceLen == filled.TraceLen && d.Warmup == filled.Warmup &&
+			d.Covers(benches) {
+			return &System{db: d}, nil
+		}
+		d, err := db.Build(benches, opts)
+		if err != nil {
+			return nil, err
+		}
+		if err := dbstore.Save(o.SnapshotPath, d); err != nil {
+			return nil, err
+		}
+		return &System{db: d}, nil
+	}
+	d, err := db.LoadOrBuild(o.DBPath, benches, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -312,6 +373,12 @@ func Open(o Options) (*System, error) {
 
 // FromDB wraps an already-built database.
 func FromDB(d *DB) *System { return &System{db: d} }
+
+// Snapshot writes the system's database to path in the versioned binary
+// snapshot format, ready for cmd/qosrmd cold starts (or a later Open
+// with Options.SnapshotPath). The write is atomic: a crash mid-save
+// never leaves a truncated snapshot behind.
+func (s *System) Snapshot(path string) error { return dbstore.Save(path, s.db) }
 
 // DB exposes the underlying database.
 func (s *System) DB() *DB { return s.db }

@@ -1,0 +1,189 @@
+package qosrm
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// serviceSpec is a small scenario used by the serving-layer tests.
+func serviceSpec(name string) ScenarioSpec {
+	const work = 3 * 100_000_000 * 2048
+	return ScenarioSpec{
+		Name: name,
+		RM:   "RM3",
+		Cores: []ScenarioCore{
+			{Jobs: []ScenarioJob{
+				{App: "mcf", Work: work, DepartNs: 2e8},
+				{App: "povray", Work: work, Alpha: 1.2},
+			}},
+			{Jobs: []ScenarioJob{{App: "libquantum", Work: work}}},
+		},
+	}
+}
+
+// TestServiceEndToEnd drives the public serving surface: NewServer on a
+// loopback listener, DialService, and the client methods — asserting
+// the over-the-wire results are bit-identical to the in-process API.
+func TestServiceEndToEnd(t *testing.T) {
+	sys := sharedSystem(t)
+	srv := sys.NewServer(ServerOptions{Workers: 2})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	client, err := DialService("http://" + ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	h, err := client.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Benchmarks != 4 {
+		t.Fatalf("unexpected health %+v", h)
+	}
+
+	// Savings over the wire vs in process.
+	apps := []*Benchmark{MustBenchmark("mcf"), MustBenchmark("povray")}
+	wantSaving, wantRes, err := sys.Savings(apps, SimConfig{RM: RM3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Savings(ctx, &SavingsRequest{Apps: []string{"mcf", "povray"}, RM: "RM3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Saving != wantSaving || got.EnergyJ != wantRes.EnergyJ || got.TimeNs != wantRes.TimeNs {
+		t.Fatalf("service savings (%v, %v, %v) != in-process (%v, %v, %v)",
+			got.Saving, got.EnergyJ, got.TimeNs, wantSaving, wantRes.EnergyJ, wantRes.TimeNs)
+	}
+	if !reflect.DeepEqual(got.Apps, wantRes.Apps) {
+		t.Fatal("service per-app results differ from in-process run")
+	}
+
+	// Scenario over the wire vs in process: bit-identical reports.
+	spec := serviceSpec("svc")
+	want, err := sys.RunScenario(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := client.RunScenario(ctx, &spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, want) {
+		t.Fatalf("service scenario report differs from in-process run:\n got %+v\nwant %+v", rep, want)
+	}
+
+	// Async sweep job polled to completion.
+	specs := []ScenarioSpec{serviceSpec("svc-a"), serviceSpec("svc-b")}
+	job, err := client.SubmitSweep(ctx, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err = client.WaitJob(ctx, job.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != "done" || len(job.Reports) != 2 {
+		t.Fatalf("job did not complete cleanly: %+v", job)
+	}
+	wantReports, err := sys.SweepScenarios(specs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantReports {
+		if !reflect.DeepEqual(job.Reports[i], wantReports[i]) {
+			t.Fatalf("job report %d differs from in-process sweep", i)
+		}
+	}
+
+	// Server-side validation surfaces as client errors.
+	if _, err := client.Savings(ctx, &SavingsRequest{Apps: []string{"nosuch"}}); err == nil {
+		t.Fatal("unknown application accepted")
+	}
+
+	// DialService refuses a dead endpoint.
+	if _, err := DialService("http://127.0.0.1:1"); err == nil {
+		t.Fatal("dial of dead endpoint succeeded")
+	}
+}
+
+// TestOpenSnapshotPath pins the snapshot cold-start path: the first
+// Open builds and saves, the second loads, and both systems serve
+// bit-identical results.
+func TestOpenSnapshotPath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "suite.qosdb")
+	opts := Options{
+		TraceLen:     8192,
+		Warmup:       2048,
+		Benchmarks:   []*Benchmark{MustBenchmark("mcf"), MustBenchmark("povray")},
+		SnapshotPath: path,
+	}
+	built, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps := []*Benchmark{MustBenchmark("mcf"), MustBenchmark("povray")}
+	s1, r1, err := built.Savings(apps, SimConfig{RM: RM3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, r2, err := loaded.Savings(apps, SimConfig{RM: RM3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 || !reflect.DeepEqual(r1, r2) {
+		t.Fatal("snapshot-loaded system diverges from freshly built one")
+	}
+
+	// A system can also snapshot itself for a later cold start.
+	path2 := filepath.Join(t.TempDir(), "copy.qosdb")
+	if err := built.Snapshot(path2); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Open(Options{
+		TraceLen:     8192,
+		Warmup:       2048,
+		Benchmarks:   opts.Benchmarks,
+		SnapshotPath: path2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3, _, err := again.Savings(apps, SimConfig{RM: RM3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3 != s1 {
+		t.Fatal("System.Snapshot round trip diverges")
+	}
+
+	// A snapshot built with different warm-up parameters is stale, not
+	// servable: requesting another warmup must rebuild, never silently
+	// reuse the file.
+	stale := opts
+	stale.Warmup = 1024
+	rebuilt, err := Open(stale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.DB().Warmup != 1024 {
+		t.Fatalf("Open served a stale snapshot: warmup %d, want 1024", rebuilt.DB().Warmup)
+	}
+}
