@@ -51,6 +51,7 @@ func main() {
 	queue := flag.Int("queue", 256, "max queued scenarios across all jobs")
 	maxBody := flag.Int64("max-body", 1<<20, "max request body bytes")
 	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period")
+	jobTTL := flag.Duration("job-ttl", time.Hour, "how long finished jobs stay queryable before GC (negative keeps them forever)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -65,6 +66,7 @@ func main() {
 		Workers:      *pool,
 		QueueDepth:   *queue,
 		MaxBodyBytes: *maxBody,
+		JobTTL:       *jobTTL,
 	})
 	hs := &http.Server{
 		Addr:              *addr,

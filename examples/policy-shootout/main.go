@@ -1,0 +1,72 @@
+// Policy shoot-out: the same multiprogrammed churn workload decided by
+// every registered allocation policy — "model3" (the paper's optimal
+// pairwise curve reduction), "greedy" (the marginal-utility heuristic)
+// and "brute" (exhaustive enumeration) — so the optimality gap the
+// cheaper heuristics leave is measured on identical schedules. The
+// churn itself is drawn from a Poisson arrival process, the trace-like
+// load the PR 5 generator added, and a second pass demonstrates
+// idle-way donation on top of the winning policy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qosrm"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A small database keeps the example fast; the scheduled
+	// applications are known up front.
+	churn, err := qosrm.GenerateChurnWorkloadsOpts(qosrm.Scenario1, 4, 3, 42,
+		qosrm.ChurnOptions{Process: qosrm.ArrivalPoisson})
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := qosrm.ChurnScenario("poisson-churn", churn, 2e9)
+
+	var apps []*qosrm.Benchmark
+	seen := map[string]bool{}
+	for _, core := range spec.Cores {
+		for _, j := range core.Jobs {
+			if !seen[j.App] {
+				seen[j.App] = true
+				apps = append(apps, qosrm.MustBenchmark(j.App))
+			}
+		}
+	}
+	sys, err := qosrm.Open(qosrm.Options{TraceLen: 16384, Warmup: 4096, Benchmarks: apps})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("== Policy shoot-out over %q (%d cores, %d apps) ==\n",
+		spec.Name, len(spec.Cores), len(apps))
+	specs, err := qosrm.PolicySweep([]qosrm.ScenarioSpec{spec}, sys.Policies())
+	if err != nil {
+		log.Fatal(err)
+	}
+	reports, err := sys.SweepScenarios(specs, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range reports {
+		fmt.Printf("  %-7s saving %6.2f%%  violations %6.3f%%  budget %6.3f%%  rm calls %d\n",
+			r.Policy, r.Saving*100, r.ViolationRate*100, r.BudgetViolationRate*100, r.RMCalled)
+	}
+
+	fmt.Println()
+	fmt.Println("== Idle-way donation on the same workload ==")
+	for _, donate := range []bool{false, true} {
+		s := spec
+		s.Name = fmt.Sprintf("%s donate=%v", spec.Name, donate)
+		s.DonateIdleWays = donate
+		r, err := sys.RunScenario(&s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  donate=%-5v saving %6.2f%%  rm calls %d\n", donate, r.Saving*100, r.RMCalled)
+	}
+}

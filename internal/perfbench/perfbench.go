@@ -322,9 +322,27 @@ func Run(short bool) (*Report, error) {
 
 	// A scenario batch: several churn scenarios — arrivals, departures,
 	// per-app alphas, a QoS step — swept in parallel over the shared
-	// fixture database, the cmd/scenarios hot path.
+	// fixture database, the cmd/scenarios hot path. Runs on the unified
+	// engine (as every entry above does since the PR 5 unification).
 	add("ScenarioBatch", func(b *testing.B) {
 		specs := scenarioBatch()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := scenario.Sweep(fixture, specs, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// A policy-comparison sweep: one churn scenario cloned across every
+	// registered allocation policy (model3 / greedy / brute) and swept
+	// over the shared database — the policy shoot-out path of
+	// cmd/scenarios -policies and examples/policy-shootout.
+	add("PolicySweep", func(b *testing.B) {
+		specs, err := scenario.PolicySweep(scenarioBatch()[:1], rm.PolicyNames())
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := scenario.Sweep(fixture, specs, 0); err != nil {
@@ -400,19 +418,19 @@ func scenarioBatch() []scenario.Spec {
 
 // GateBenchmarks are the hot-path entries the CI regression gate
 // watches.
-var GateBenchmarks = []string{"DatabaseBuild", "RMInvocation", "CoSimulation"}
+var GateBenchmarks = []string{"DatabaseBuild", "RMInvocation", "CoSimulation", "ScenarioBatch"}
 
 // GateNames returns the subset of GateBenchmarks that is meaningfully
 // comparable between the two reports. DatabaseBuild's workload depends
 // on the report's Short mode (the short suite is a small subset), so
 // comparing a short run against a full baseline would make its gate
-// vacuously green; the RM-invocation and co-simulation fixtures are
-// identical in both modes.
+// vacuously green; the RM-invocation, co-simulation and scenario-batch
+// fixtures are identical in both modes.
 func GateNames(fresh, baseline *Report) []string {
 	if fresh.Short == baseline.Short {
 		return GateBenchmarks
 	}
-	return []string{"RMInvocation", "CoSimulation"}
+	return []string{"RMInvocation", "CoSimulation", "ScenarioBatch"}
 }
 
 // Gate compares a fresh report against a committed baseline and returns

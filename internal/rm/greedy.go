@@ -22,10 +22,21 @@ func GreedyGlobalOptimize(curves []*Curve, totalWays int) ([]config.Setting, boo
 	if n == 0 {
 		return nil, false
 	}
-	alloc := make([]int, n)
+	out := make([]config.Setting, n)
+	if !greedyAllocate(curves, totalWays, make([]int, n), out) {
+		return nil, false
+	}
+	return out, true
+}
+
+// greedyAllocate is the heuristic's core, writing into caller-provided
+// buffers (len(alloc) == len(curves), len(out) ≥ len(curves)) so the
+// policy layer can run it allocation-free per invocation.
+func greedyAllocate(curves []*Curve, totalWays int, alloc []int, out []config.Setting) bool {
+	n := len(curves)
 	remaining := totalWays - n*config.MinWays
 	if remaining < 0 {
-		return nil, false
+		return false
 	}
 	for i := range alloc {
 		alloc[i] = config.MinWays
@@ -55,16 +66,15 @@ func GreedyGlobalOptimize(curves []*Curve, totalWays int) ([]config.Setting, boo
 			}
 		}
 		if best < 0 {
-			return nil, false
+			return false
 		}
 		alloc[best]++
 	}
-	out := make([]config.Setting, n)
 	for i, w := range alloc {
 		if math.IsInf(curves[i].Energy[w-config.MinWays], 1) {
-			return nil, false
+			return false
 		}
 		out[i] = curves[i].Pick[w-config.MinWays]
 	}
-	return out, true
+	return true
 }

@@ -1,0 +1,183 @@
+package scenario
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"qosrm/internal/rm"
+)
+
+func TestValidateSpecsRejectsDuplicateNames(t *testing.T) {
+	specs := []Spec{testSpec("a"), testSpec("b")}
+	if err := ValidateSpecs(specs); err != nil {
+		t.Fatalf("distinct names rejected: %v", err)
+	}
+	specs[1].Name = "a"
+	err := ValidateSpecs(specs)
+	if err == nil || !strings.Contains(err.Error(), `"a"`) {
+		t.Fatalf("duplicate names not rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsShadowingSteps(t *testing.T) {
+	core0, core1 := 0, 1
+	base := testSpec("steps")
+	cases := []struct {
+		name  string
+		steps []StepSpec
+		ok    bool
+	}{
+		{"same-core-same-time", []StepSpec{
+			{AtNs: 1e8, Core: &core0, Alpha: 1.1},
+			{AtNs: 1e8, Core: &core0, Alpha: 1.2},
+		}, false},
+		{"global-shadows-targeted", []StepSpec{
+			{AtNs: 1e8, Alpha: 1.1},
+			{AtNs: 1e8, Core: &core1, Alpha: 1.2},
+		}, false},
+		{"two-globals", []StepSpec{
+			{AtNs: 1e8, Alpha: 1.1},
+			{AtNs: 1e8, Alpha: 1.2},
+		}, false},
+		{"distinct-cores-same-time", []StepSpec{
+			{AtNs: 1e8, Core: &core0, Alpha: 1.1},
+			{AtNs: 1e8, Core: &core1, Alpha: 1.2},
+		}, true},
+		{"same-core-distinct-times", []StepSpec{
+			{AtNs: 1e8, Core: &core0, Alpha: 1.1},
+			{AtNs: 2e8, Core: &core0, Alpha: 1.2},
+		}, true},
+	}
+	for _, tc := range cases {
+		s := base
+		s.Steps = tc.steps
+		err := s.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: valid steps rejected: %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: shadowing steps accepted", tc.name)
+		}
+	}
+}
+
+func TestValidateRejectsNonFinite(t *testing.T) {
+	mut := []func(*Spec){
+		func(s *Spec) { s.Alpha = math.NaN() },
+		func(s *Spec) { s.Cores[0].Jobs[0].Work = math.Inf(1) },
+		func(s *Spec) { s.Cores[0].Jobs[0].ArrivalNs = math.NaN() },
+		func(s *Spec) { s.Cores[0].Jobs[1].DepartNs = math.Inf(1) },
+		func(s *Spec) { s.Steps[0].AtNs = math.Inf(1) },
+		func(s *Spec) { s.Steps[0].Alpha = math.NaN() },
+	}
+	for i, m := range mut {
+		s := testSpec("nf")
+		m(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("mutation %d: non-finite value accepted", i)
+		}
+	}
+}
+
+func TestValidatePolicyNames(t *testing.T) {
+	s := testSpec("pol")
+	for _, p := range rm.PolicyNames() {
+		s.Policy = p
+		if err := s.Validate(); err != nil {
+			t.Errorf("policy %q rejected: %v", p, err)
+		}
+	}
+	s.Policy = "alpha-beta"
+	if err := s.Validate(); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestPolicySweepExpands(t *testing.T) {
+	specs, err := PolicySweep([]Spec{testSpec("x"), testSpec("y")}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * len(rm.PolicyNames())
+	if len(specs) != want {
+		t.Fatalf("%d specs, want %d", len(specs), want)
+	}
+	if err := ValidateSpecs(specs); err != nil {
+		t.Fatalf("sweep output invalid: %v", err)
+	}
+	if specs[0].Name != "x+model3" || specs[0].Policy != rm.PolicyModel3 {
+		t.Errorf("first clone mislabelled: %+v", specs[0].Name)
+	}
+	if _, err := PolicySweep([]Spec{testSpec("x")}, []string{"nope"}); err == nil {
+		t.Error("unknown policy accepted by sweep")
+	}
+}
+
+// TestPolicySpecsRunEndToEnd: a policy-comparison sweep over one
+// workload runs through the scenario engine, every report labelled with
+// its policy, and the cheap heuristics produce valid (if possibly
+// worse) savings.
+func TestPolicySpecsRunEndToEnd(t *testing.T) {
+	d := sharedDB(t)
+	specs, err := PolicySweep([]Spec{testSpec("shootout")}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := Sweep(d, specs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPolicy := map[string]*Report{}
+	for _, r := range reports {
+		byPolicy[r.Policy] = r
+	}
+	for _, p := range rm.PolicyNames() {
+		r := byPolicy[p]
+		if r == nil {
+			t.Fatalf("no report for policy %q", p)
+		}
+		if r.EnergyJ <= 0 || r.RMCalled == 0 {
+			t.Errorf("policy %q: degenerate report %+v", p, r)
+		}
+	}
+	// Identical idle twins: the baseline energy must agree across the
+	// sweep (policies only change the managed run).
+	if a, b := byPolicy[rm.PolicyModel3].IdleEnergyJ, byPolicy[rm.PolicyGreedy].IdleEnergyJ; a != b {
+		t.Errorf("idle twins diverge across policies: %v vs %v", a, b)
+	}
+}
+
+// TestSpecRoundTripNewFields pins the on-disk format of the PR 5
+// additions: policy, donate_idle_ways and per-job priority survive a
+// marshal/parse cycle.
+func TestSpecRoundTripNewFields(t *testing.T) {
+	s := testSpec("rt-new")
+	s.Policy = rm.PolicyGreedy
+	s.DonateIdleWays = true
+	s.Cores[0].Jobs[0].Priority = -2
+	s.Cores[1].Jobs[1].Priority = 7
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(strings.NewReader(string(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[0].Policy != s.Policy || !back[0].DonateIdleWays ||
+		back[0].Cores[0].Jobs[0].Priority != -2 || back[0].Cores[1].Jobs[1].Priority != 7 {
+		t.Errorf("round trip dropped new fields: %+v", back[0])
+	}
+	dyn, cfg, err := back[0].Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Policy != rm.PolicyGreedy || !cfg.DonateIdleWays {
+		t.Errorf("compile dropped policy/donation: %+v", cfg)
+	}
+	if dyn.Queues[0].Jobs[0].Priority != -2 {
+		t.Errorf("compile dropped priority: %+v", dyn.Queues[0].Jobs[0])
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"sync"
@@ -47,6 +48,10 @@ type JobSpec struct {
 	Work float64 `json:"work,omitempty"`
 	// DepartNs forces the job off the core at this time; 0 disables.
 	DepartNs float64 `json:"depart_ns,omitempty"`
+	// Priority orders jobs within the queue (higher first; an arriving
+	// strictly-higher-priority job preempts the running one). All-zero
+	// priorities keep strict queue order.
+	Priority int `json:"priority,omitempty"`
 }
 
 // CoreSpec is one core's job queue.
@@ -72,6 +77,12 @@ type Spec struct {
 	// (default "Model3"); ignored when Perfect is set.
 	Model   string `json:"model,omitempty"`
 	Perfect bool   `json:"perfect,omitempty"`
+	// Policy selects the global allocation policy: "model3" (default,
+	// the paper's optimal reduction), "greedy" or "brute".
+	Policy string `json:"policy,omitempty"`
+	// DonateIdleWays lets drained cores donate their LLC ways back to
+	// the optimisation instead of pinning them at the final setting.
+	DonateIdleWays bool `json:"donate_idle_ways,omitempty"`
 	// Alpha is the base QoS relaxation (default 1, as in the paper).
 	Alpha float64 `json:"alpha,omitempty"`
 	// Scale divides all instruction counts (default 2048; 1 is paper
@@ -116,14 +127,34 @@ func ParseModel(s string) (perfmodel.Kind, error) {
 	return 0, fmt.Errorf("scenario: unknown performance model %q", s)
 }
 
+// ParsePolicy resolves an allocation-policy name to its canonical form
+// (empty defaults to "model3", the paper's optimal reduction; see
+// rm.PolicyNames for the registry).
+func ParsePolicy(s string) (string, error) {
+	if s == "" {
+		return rm.PolicyModel3, nil
+	}
+	if _, err := rm.NewPolicy(s); err != nil {
+		return "", fmt.Errorf("scenario: %w", err)
+	}
+	return s, nil
+}
+
 // Validate reports the first structural problem with the spec: unknown
-// application, manager or model names, empty systems, or out-of-range
-// step targets. Database coverage is checked by the run itself.
+// application, manager, model or policy names, empty systems, non-finite
+// numeric fields, out-of-range step targets, or QoS steps that would
+// silently shadow each other (two steps at the same instant whose core
+// targets overlap — the later-listed one would win by engine tie-break,
+// which is never what the spec author meant). Database coverage is
+// checked by the run itself.
 func (s *Spec) Validate() error {
 	if _, err := ParseRM(s.RM); err != nil {
 		return err
 	}
 	if _, err := ParseModel(s.Model); err != nil {
+		return err
+	}
+	if _, err := ParsePolicy(s.Policy); err != nil {
 		return err
 	}
 	if len(s.Cores) == 0 {
@@ -135,6 +166,9 @@ func (s *Spec) Validate() error {
 			if _, err := bench.ByName(j.App); err != nil {
 				return fmt.Errorf("scenario %s core %d job %d: %w", s.Name, ci, ji, err)
 			}
+			if !finite(j.Alpha) || !finite(j.ArrivalNs) || !finite(j.Work) || !finite(j.DepartNs) {
+				return fmt.Errorf("scenario %s core %d job %d: non-finite parameter", s.Name, ci, ji)
+			}
 			if j.Alpha < 0 || j.ArrivalNs < 0 || j.Work < 0 || j.DepartNs < 0 {
 				return fmt.Errorf("scenario %s core %d job %d: negative parameter", s.Name, ci, ji)
 			}
@@ -145,6 +179,9 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("scenario %s: no jobs", s.Name)
 	}
 	for i, st := range s.Steps {
+		if !finite(st.AtNs) || !finite(st.Alpha) {
+			return fmt.Errorf("scenario %s step %d: non-finite value", s.Name, i)
+		}
 		if st.Alpha <= 0 {
 			return fmt.Errorf("scenario %s step %d: alpha %.3f not positive", s.Name, i, st.Alpha)
 		}
@@ -154,9 +191,50 @@ func (s *Spec) Validate() error {
 		if st.Core != nil && (*st.Core < 0 || *st.Core >= len(s.Cores)) {
 			return fmt.Errorf("scenario %s step %d: core %d of %d", s.Name, i, *st.Core, len(s.Cores))
 		}
+		for k := 0; k < i; k++ {
+			prev := s.Steps[k]
+			if prev.AtNs == st.AtNs && stepsOverlap(prev.Core, st.Core) {
+				return fmt.Errorf("scenario %s: steps %d and %d both fire at %g ns for the same core — one would silently shadow the other",
+					s.Name, k, i, st.AtNs)
+			}
+		}
+	}
+	if !finite(s.Alpha) {
+		return fmt.Errorf("scenario %s: non-finite alpha", s.Name)
 	}
 	if s.Alpha < 0 || s.Scale < 0 || s.Interval < 0 {
 		return fmt.Errorf("scenario %s: negative configuration value", s.Name)
+	}
+	return nil
+}
+
+// finite rejects the NaN/±Inf values encoding/json happily produces
+// from "1e999"-style literals.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// stepsOverlap reports whether two step core targets touch a common
+// core (nil targets every core).
+func stepsOverlap(a, b *int) bool {
+	if a == nil || b == nil {
+		return true
+	}
+	return *a == *b
+}
+
+// ValidateSpecs validates a batch: every spec individually, plus
+// cross-spec rules — duplicate scenario names are rejected because
+// sweep reports are keyed by name and a duplicate would silently shadow
+// its twin in any downstream aggregation.
+func ValidateSpecs(specs []Spec) error {
+	seen := make(map[string]int, len(specs))
+	for i := range specs {
+		if err := specs[i].Validate(); err != nil {
+			return err
+		}
+		if prev, dup := seen[specs[i].Name]; dup {
+			return fmt.Errorf("scenario: specs %d and %d share the name %q", prev, i, specs[i].Name)
+		}
+		seen[specs[i].Name] = i
 	}
 	return nil
 }
@@ -169,6 +247,7 @@ func (s *Spec) Compile() (sim.Dynamic, sim.Config, error) {
 	}
 	kind, _ := ParseRM(s.RM)
 	model, _ := ParseModel(s.Model)
+	policy, _ := ParsePolicy(s.Policy)
 	cfg := sim.Config{
 		RM:               kind,
 		Model:            model,
@@ -177,6 +256,8 @@ func (s *Spec) Compile() (sim.Dynamic, sim.Config, error) {
 		Scale:            s.Scale,
 		Interval:         s.Interval,
 		DisableOverheads: s.DisableOverheads,
+		Policy:           policy,
+		DonateIdleWays:   s.DonateIdleWays,
 	}
 	dyn := sim.Dynamic{Queues: make([]sim.Queue, len(s.Cores))}
 	for ci, c := range s.Cores {
@@ -192,6 +273,7 @@ func (s *Spec) Compile() (sim.Dynamic, sim.Config, error) {
 				ArrivalNs: j.ArrivalNs,
 				Work:      j.Work,
 				DepartNs:  j.DepartNs,
+				Priority:  j.Priority,
 			}
 		}
 		dyn.Queues[ci] = q
@@ -274,6 +356,8 @@ func LoadFile(path string) ([]Spec, error) {
 type Report struct {
 	Name string `json:"name"`
 	RM   string `json:"rm"`
+	// Policy is the allocation policy the managed run decided with.
+	Policy string `json:"policy"`
 	// Saving is the fractional energy saving of the managed run over
 	// the idle (baseline-keeping) manager on the identical schedule.
 	Saving      float64 `json:"saving"`
@@ -327,9 +411,11 @@ func RunCtx(ctx context.Context, d *db.DB, s *Spec, ws *sim.RunWorkspace) (*Repo
 			return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
 		}
 	}
+	policy, _ := ParsePolicy(s.Policy)
 	return &Report{
 		Name:                s.Name,
 		RM:                  kind.String(),
+		Policy:              policy,
 		Saving:              1 - r.EnergyJ/idle.EnergyJ,
 		EnergyJ:             r.EnergyJ,
 		IdleEnergyJ:         idle.EnergyJ,
@@ -390,6 +476,32 @@ func SweepContext(ctx context.Context, d *db.DB, specs []Spec, workers int) ([]*
 		return reports, err
 	}
 	return reports, nil
+}
+
+// PolicySweep expands specs along the allocation-policy axis: every
+// spec is cloned once per named policy (empty policies defaults to the
+// full registry), names suffixed "+<policy>" so reports stay uniquely
+// keyed — the input for a policy shoot-out over identical workloads.
+func PolicySweep(specs []Spec, policies []string) ([]Spec, error) {
+	if len(policies) == 0 {
+		policies = rm.PolicyNames()
+	}
+	for _, p := range policies {
+		if _, err := ParsePolicy(p); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]Spec, 0, len(specs)*len(policies))
+	for _, s := range specs {
+		for _, p := range policies {
+			clone := s
+			canon, _ := ParsePolicy(p)
+			clone.Policy = canon
+			clone.Name = s.Name + "+" + canon
+			out = append(out, clone)
+		}
+	}
+	return out, nil
 }
 
 // FromChurn converts a generated churn schedule (workload.GenerateChurn)

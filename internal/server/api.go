@@ -10,14 +10,17 @@ import (
 // under. The manager/model names and defaults match the scenario spec's
 // ("RM3"/"Model3" when empty).
 type SavingsRequest struct {
-	Apps             []string `json:"apps"`
-	RM               string   `json:"rm,omitempty"`
-	Model            string   `json:"model,omitempty"`
-	Perfect          bool     `json:"perfect,omitempty"`
-	Alpha            float64  `json:"alpha,omitempty"`
-	Scale            int64    `json:"scale,omitempty"`
-	Interval         int64    `json:"interval,omitempty"`
-	DisableOverheads bool     `json:"disable_overheads,omitempty"`
+	Apps  []string `json:"apps"`
+	RM    string   `json:"rm,omitempty"`
+	Model string   `json:"model,omitempty"`
+	// Policy selects the allocation policy per request: "model3"
+	// (default), "greedy" or "brute".
+	Policy           string  `json:"policy,omitempty"`
+	Perfect          bool    `json:"perfect,omitempty"`
+	Alpha            float64 `json:"alpha,omitempty"`
+	Scale            int64   `json:"scale,omitempty"`
+	Interval         int64   `json:"interval,omitempty"`
+	DisableOverheads bool    `json:"disable_overheads,omitempty"`
 }
 
 // SavingsResponse is the outcome of one savings evaluation: the
@@ -25,6 +28,8 @@ type SavingsRequest struct {
 // (baseline-keeping) manager on the same workload, plus the managed
 // run's headline numbers and per-application results.
 type SavingsResponse struct {
+	// Policy is the allocation policy the managed run decided with.
+	Policy        string          `json:"policy"`
 	Saving        float64         `json:"saving"`
 	EnergyJ       float64         `json:"energy_j"`
 	IdleEnergyJ   float64         `json:"idle_energy_j"`

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"qosrm/internal/scenario"
 	"qosrm/internal/sim"
@@ -21,6 +22,9 @@ type job struct {
 	done    int
 	reports []*scenario.Report
 	errs    []error
+	// finishedAt is the completion instant of the last scenario; the
+	// TTL GC collects the job once it has aged past Options.JobTTL.
+	finishedAt time.Time
 }
 
 // workItem is one scenario of one job, the unit the worker pool
@@ -57,16 +61,29 @@ func (j *job) status() *JobStatus {
 	return st
 }
 
-// complete records one scenario's outcome and reports whether this
-// completion finished the whole job (exactly one completion does, which
-// keeps the finished-jobs metric race-free).
-func (j *job) complete(idx int, rep *scenario.Report, err error) bool {
+// complete records one scenario's outcome at time now and reports
+// whether this completion finished the whole job (exactly one
+// completion does, which keeps the finished-jobs metric race-free and
+// stamps finishedAt exactly once).
+func (j *job) complete(idx int, rep *scenario.Report, err error, now time.Time) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.reports[idx] = rep
 	j.errs[idx] = err
 	j.done++
-	return j.done == len(j.specs)
+	finished := j.done == len(j.specs)
+	if finished {
+		j.finishedAt = now
+	}
+	return finished
+}
+
+// finishedTime returns when the job finished; ok is false while it is
+// still queued or running.
+func (j *job) finishedTime() (time.Time, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.finishedAt, j.done == len(j.specs)
 }
 
 // begin marks one scenario as picked up by a worker.
@@ -138,11 +155,14 @@ func (s *Server) worker() {
 		case it := <-s.queue:
 			it.j.begin()
 			rep, err := scenario.RunCtx(s.ctx, s.db, &it.j.specs[it.idx], &ws)
-			finished := it.j.complete(it.idx, rep, err)
+			finished := it.j.complete(it.idx, rep, err, s.now())
 			if err != nil {
 				s.metrics.specsFailed.Add(1)
 			}
 			s.metrics.specsRun.Add(1)
+			if rep != nil {
+				s.metrics.countPolicy(rep.Policy)
+			}
 			s.mu.Lock()
 			s.queued--
 			s.mu.Unlock()

@@ -53,6 +53,18 @@ type Options struct {
 	MaxBodyBytes int64
 	// MaxApps bounds the core count of one savings request (default 64).
 	MaxApps int
+	// JobTTL is how long finished (done or failed) jobs stay queryable
+	// before the GC loop drops them; a long-lived daemon must not grow
+	// its jobs map forever. Default 1 h; negative retains jobs for the
+	// server's lifetime (the pre-TTL behaviour). Unfinished jobs are
+	// never collected.
+	JobTTL time.Duration
+
+	// clock overrides the server's time source; nil means time.Now.
+	// Unexported: only in-package tests drive the job GC with a fake
+	// clock (it must be set before New starts the GC loop — replacing
+	// the clock on a live server would race with it).
+	clock func() time.Time
 }
 
 func (o *Options) fill() {
@@ -68,6 +80,12 @@ func (o *Options) fill() {
 	if o.MaxApps <= 0 {
 		o.MaxApps = 64
 	}
+	if o.JobTTL == 0 {
+		o.JobTTL = time.Hour
+	}
+	if o.clock == nil {
+		o.clock = time.Now
+	}
 }
 
 // metrics are the server's monotonic counters, exposed at /metrics.
@@ -79,8 +97,28 @@ type metrics struct {
 	specsFailed   atomic.Int64
 	jobsSubmitted atomic.Int64
 	jobsFinished  atomic.Int64
+	jobsExpired   atomic.Int64
 	savingsNs     atomic.Int64
 	scenariosNs   atomic.Int64
+	// policyRuns counts managed runs per allocation policy, indexed as
+	// policyNames — the per-policy serving metric. Sized from the
+	// registry at server construction, so new policies get a slot
+	// automatically.
+	policyRuns []atomic.Int64
+}
+
+// policyNames snapshots the policy registry once; countPolicy and the
+// /metrics renderer index policyRuns by this slice.
+var policyNames = rm.PolicyNames()
+
+// countPolicy records one managed run under its allocation policy.
+func (m *metrics) countPolicy(name string) {
+	for i, n := range policyNames {
+		if n == name {
+			m.policyRuns[i].Add(1)
+			return
+		}
+	}
 }
 
 // route indexes the per-endpoint request counters.
@@ -106,6 +144,9 @@ type Server struct {
 	opts  Options
 	start time.Time
 	mux   *http.ServeMux
+	// now is the server's clock (Options.clock, default time.Now);
+	// tests inject a fake one to drive the job GC deterministically.
+	now func() time.Time
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -130,11 +171,13 @@ func New(d *db.DB, opts Options) *Server {
 		db:     d,
 		opts:   opts,
 		start:  time.Now(),
+		now:    opts.clock,
 		ctx:    ctx,
 		cancel: cancel,
 		queue:  make(chan workItem, opts.QueueDepth),
 		jobs:   make(map[string]*job),
 	}
+	s.metrics.policyRuns = make([]atomic.Int64, len(policyNames))
 	s.mux = http.NewServeMux()
 	s.handle("POST /v1/savings", routeSavings, s.handleSavings)
 	s.handle("POST /v1/scenarios", routeScenarios, s.handleScenario)
@@ -146,7 +189,59 @@ func New(d *db.DB, opts Options) *Server {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	if opts.JobTTL > 0 {
+		s.wg.Add(1)
+		go s.gcLoop()
+	}
 	return s
+}
+
+// gcLoop periodically expires finished jobs older than JobTTL. The
+// sweep itself is gcFinishedJobs, unit-testable with a fake clock.
+func (s *Server) gcLoop() {
+	defer s.wg.Done()
+	// Sweep a few times per TTL; clamp so tiny TTLs don't spin and huge
+	// ones still notice restarts of the config within a minute.
+	interval := s.opts.JobTTL / 4
+	if interval < time.Second {
+		interval = time.Second
+	}
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-t.C:
+			s.gcFinishedJobs(s.now())
+		}
+	}
+}
+
+// gcFinishedJobs drops jobs that finished more than JobTTL before now
+// and reports how many it expired. Unfinished jobs are never touched:
+// a job still queued or running stays queryable however old it is.
+func (s *Server) gcFinishedJobs(now time.Time) int {
+	ttl := s.opts.JobTTL
+	if ttl <= 0 {
+		return 0
+	}
+	expired := 0
+	s.mu.Lock()
+	for id, j := range s.jobs {
+		if fin, ok := j.finishedTime(); ok && now.Sub(fin) > ttl {
+			delete(s.jobs, id)
+			expired++
+		}
+	}
+	s.mu.Unlock()
+	if expired > 0 {
+		s.metrics.jobsExpired.Add(int64(expired))
+	}
+	return expired
 }
 
 // Handler returns the server's HTTP handler.
@@ -257,6 +352,11 @@ func (s *Server) handleSavings(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	policy, err := scenario.ParsePolicy(req.Policy)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	if req.Alpha < 0 || req.Scale < 0 || req.Interval < 0 {
 		s.fail(w, http.StatusBadRequest, "negative configuration value")
 		return
@@ -269,6 +369,7 @@ func (s *Server) handleSavings(w http.ResponseWriter, r *http.Request) {
 		Scale:            req.Scale,
 		Interval:         req.Interval,
 		DisableOverheads: req.DisableOverheads,
+		Policy:           policy,
 	}
 	t0 := time.Now()
 	idleCfg := cfg
@@ -289,7 +390,9 @@ func (s *Server) handleSavings(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.metrics.savingsNs.Add(time.Since(t0).Nanoseconds())
+	s.metrics.countPolicy(policy)
 	s.writeJSON(w, &SavingsResponse{
+		Policy:        policy,
 		Saving:        1 - managed.EnergyJ/idle.EnergyJ,
 		EnergyJ:       managed.EnergyJ,
 		IdleEnergyJ:   idle.EnergyJ,
@@ -321,6 +424,7 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.scenariosNs.Add(time.Since(t0).Nanoseconds())
+	s.metrics.countPolicy(rep.Policy)
 	s.writeJSON(w, rep)
 }
 
@@ -342,11 +446,14 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			len(req.Specs), s.opts.QueueDepth)
 		return
 	}
+	// Batch-level validation also rejects duplicate scenario names: the
+	// job's reports are consumed keyed by name, where a duplicate would
+	// silently shadow its twin.
+	if err := scenario.ValidateSpecs(req.Specs); err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	for i := range req.Specs {
-		if err := req.Specs[i].Validate(); err != nil {
-			s.fail(w, http.StatusBadRequest, "spec %d: %v", i, err)
-			return
-		}
 		if name, ok := s.uncovered(&req.Specs[i]); !ok {
 			s.fail(w, http.StatusBadRequest, "spec %d: database has no data for %q", i, name)
 			return
@@ -402,7 +509,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "qosrmd_request_errors_total %d\n", s.metrics.errors.Load())
 	fmt.Fprintf(w, "qosrmd_jobs_submitted_total %d\n", s.metrics.jobsSubmitted.Load())
 	fmt.Fprintf(w, "qosrmd_jobs_finished_total %d\n", s.metrics.jobsFinished.Load())
+	fmt.Fprintf(w, "qosrmd_jobs_expired_total %d\n", s.metrics.jobsExpired.Load())
 	fmt.Fprintf(w, "qosrmd_jobs_tracked %d\n", jobs)
+	fmt.Fprintf(w, "qosrmd_job_ttl_seconds %g\n", s.opts.JobTTL.Seconds())
+	for i, name := range policyNames {
+		fmt.Fprintf(w, "qosrmd_policy_runs_total{policy=%q} %d\n", name, s.metrics.policyRuns[i].Load())
+	}
 	fmt.Fprintf(w, "qosrmd_scenarios_queued_total %d\n", s.metrics.specsQueued.Load())
 	fmt.Fprintf(w, "qosrmd_scenarios_run_total %d\n", s.metrics.specsRun.Load())
 	fmt.Fprintf(w, "qosrmd_scenarios_failed_total %d\n", s.metrics.specsFailed.Load())

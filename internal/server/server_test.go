@@ -156,6 +156,7 @@ func TestSavingsMatchesInProcess(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := SavingsResponse{
+		Policy:        rm.PolicyModel3,
 		Saving:        1 - managed.EnergyJ/idle.EnergyJ,
 		EnergyJ:       managed.EnergyJ,
 		IdleEnergyJ:   idle.EnergyJ,

@@ -1,0 +1,192 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"qosrm/internal/rm"
+	"qosrm/internal/scenario"
+)
+
+// fakeClock is a mutex-guarded settable clock for the GC tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// submitAndWait submits one small job and polls it to completion.
+func submitAndWait(t *testing.T, ts string, name string) string {
+	t.Helper()
+	var st JobStatus
+	code, raw := postJSON(t, ts+"/v1/jobs", JobRequest{Specs: []scenario.Spec{testSpec(name)}}, &st)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", code, raw)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for st.State != JobDone && st.State != JobFailed {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", st.ID, st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+		if code := getJSON(t, ts+"/v1/jobs/"+st.ID, &st); code != http.StatusOK {
+			t.Fatalf("poll status %d", code)
+		}
+	}
+	if st.State != JobDone {
+		t.Fatalf("job failed: %+v", st)
+	}
+	return st.ID
+}
+
+func TestFinishedJobsExpireAfterTTL(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	srv, ts := newTestServer(t, Options{Workers: 1, JobTTL: time.Hour, clock: clock.now})
+
+	id := submitAndWait(t, ts.URL, "ttl-job")
+
+	// Young finished job: a sweep must keep it.
+	if n := srv.gcFinishedJobs(clock.now()); n != 0 {
+		t.Fatalf("fresh job expired: %d", n)
+	}
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+id, nil); code != http.StatusOK {
+		t.Fatalf("fresh job gone: status %d", code)
+	}
+
+	// Within TTL: still kept.
+	clock.advance(59 * time.Minute)
+	if n := srv.gcFinishedJobs(clock.now()); n != 0 {
+		t.Fatalf("job expired before its TTL: %d", n)
+	}
+
+	// Past TTL: collected, 404s afterwards, metric counts it.
+	clock.advance(2 * time.Minute)
+	if n := srv.gcFinishedJobs(clock.now()); n != 1 {
+		t.Fatalf("expired %d jobs, want 1", n)
+	}
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+id, nil); code != http.StatusNotFound {
+		t.Fatalf("expired job still served: status %d", code)
+	}
+	if got := srv.metrics.jobsExpired.Load(); got != 1 {
+		t.Fatalf("jobs_expired_total %d, want 1", got)
+	}
+}
+
+func TestUnfinishedJobsNeverExpire(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	// Fabricate an unfinished job directly (white box): the worker pool
+	// never picks it up, so it stays in the queued state forever.
+	srv, _ := newTestServer(t, Options{Workers: 1, JobTTL: time.Minute, clock: clock.now})
+	j := &job{id: "stuck", specs: make([]scenario.Spec, 1),
+		reports: make([]*scenario.Report, 1), errs: make([]error, 1)}
+	srv.mu.Lock()
+	srv.jobs[j.id] = j
+	srv.mu.Unlock()
+
+	clock.advance(24 * time.Hour)
+	if n := srv.gcFinishedJobs(clock.now()); n != 0 {
+		t.Fatalf("unfinished job expired: %d", n)
+	}
+	if srv.jobByID("stuck") == nil {
+		t.Fatal("unfinished job dropped")
+	}
+}
+
+func TestNegativeTTLDisablesGC(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	srv, ts := newTestServer(t, Options{Workers: 1, JobTTL: -1, clock: clock.now})
+	id := submitAndWait(t, ts.URL, "forever-job")
+	clock.advance(1000 * time.Hour)
+	if n := srv.gcFinishedJobs(clock.now()); n != 0 {
+		t.Fatalf("GC ran with a negative TTL: %d", n)
+	}
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+id, nil); code != http.StatusOK {
+		t.Fatalf("job dropped despite disabled TTL: status %d", code)
+	}
+}
+
+func TestDefaultTTLIsAnHour(t *testing.T) {
+	o := Options{}
+	o.fill()
+	if o.JobTTL != time.Hour {
+		t.Fatalf("default JobTTL %v, want 1h", o.JobTTL)
+	}
+}
+
+// TestPolicyPerRequest: the API accepts a policy name on savings and
+// scenario requests, labels responses with it, rejects unknown names,
+// and counts per-policy runs in /metrics.
+func TestPolicyPerRequest(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+
+	var sv SavingsResponse
+	code, raw := postJSON(t, ts.URL+"/v1/savings",
+		SavingsRequest{Apps: []string{"mcf", "povray"}, RM: "RM3", Policy: "greedy"}, &sv)
+	if code != http.StatusOK {
+		t.Fatalf("greedy savings status %d: %s", code, raw)
+	}
+	if sv.Policy != rm.PolicyGreedy {
+		t.Fatalf("savings policy label %q", sv.Policy)
+	}
+
+	spec := testSpec("policy-req")
+	spec.Policy = "brute"
+	var rep scenario.Report
+	code, raw = postJSON(t, ts.URL+"/v1/scenarios", &spec, &rep)
+	if code != http.StatusOK {
+		t.Fatalf("brute scenario status %d: %s", code, raw)
+	}
+	if rep.Policy != rm.PolicyBrute {
+		t.Fatalf("scenario policy label %q", rep.Policy)
+	}
+
+	code, raw = postJSON(t, ts.URL+"/v1/savings",
+		SavingsRequest{Apps: []string{"mcf"}, Policy: "quantum"}, nil)
+	if code != http.StatusBadRequest || !strings.Contains(raw, "quantum") {
+		t.Fatalf("unknown policy: status %d body %s", code, raw)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`qosrmd_policy_runs_total{policy="greedy"} 1`,
+		`qosrmd_policy_runs_total{policy="brute"} 1`,
+		`qosrmd_policy_runs_total{policy="model3"} 0`,
+		"qosrmd_jobs_expired_total 0",
+		"qosrmd_job_ttl_seconds 3600",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestJobBatchRejectsDuplicateNames pins the batch-level validation at
+// the API edge.
+func TestJobBatchRejectsDuplicateNames(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	code, raw := postJSON(t, ts.URL+"/v1/jobs",
+		JobRequest{Specs: []scenario.Spec{testSpec("dup"), testSpec("dup")}}, nil)
+	if code != http.StatusBadRequest || !strings.Contains(raw, "dup") {
+		t.Fatalf("duplicate names: status %d body %s", code, raw)
+	}
+}

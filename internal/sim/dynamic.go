@@ -1,27 +1,20 @@
-// Dynamic co-simulation: the multiprogrammed-churn extension of the
-// static engine in sim.go. Where Run pins one application per core for
-// the whole simulation, RunDynamic drives per-core application queues —
-// jobs arrive, execute a bounded amount of work, finish or depart early,
-// and the next queued job takes over the core — with per-application QoS
-// relaxation and mid-run QoS-target step changes. Everything inside an
-// interval (energy accounting, QoS bookkeeping, RM invocation, overhead
-// charging) is shared with the static engine through the core methods,
-// and a static one-job-per-core queue reproduces Run bit for bit
-// (asserted by TestDynamicMatchesStaticRun).
+// The dynamic workload description: per-core application queues — jobs
+// arrive, execute a bounded amount of work, finish or depart early, and
+// the next queued job takes over the core — with per-application QoS
+// relaxation, optional queue priorities (a strictly higher-priority
+// arrival preempts the running job, which resumes later with its
+// progress intact) and mid-run QoS-target step changes. The unified
+// event-driven engine executing these descriptions lives in engine.go;
+// a static one-job-per-core queue reproduces the paper's static
+// evaluation (sim.Run) bit for bit.
 package sim
 
 import (
 	"context"
 	"fmt"
-	"math"
-	"sort"
 
 	"qosrm/internal/bench"
-	"qosrm/internal/config"
 	"qosrm/internal/db"
-	"qosrm/internal/perfmodel"
-	"qosrm/internal/power"
-	"qosrm/internal/rm"
 )
 
 // Job is one queued application of a dynamic run.
@@ -44,6 +37,14 @@ type Job struct {
 	// is unfinished (a user abandoning a request, a migration, a kill).
 	// Zero means the job runs to completion.
 	DepartNs float64
+	// Priority orders jobs within their queue: when the core frees, the
+	// highest-priority arrived job runs first (ties keep queue order),
+	// and an arriving job with strictly higher priority than the running
+	// one preempts it — the preempted job resumes later with its
+	// executed work intact. While every priority in a queue is zero the
+	// queue executes in strict order, exactly the pre-priority engine.
+	// Negative priorities mark background work.
+	Priority int
 }
 
 // Queue is one core's job queue, executed in order.
@@ -117,6 +118,9 @@ type JobResult struct {
 	// Departed marks jobs forced off the core before completing their
 	// work; FinishNs is then the departure time.
 	Departed bool
+	// Preemptions counts how often the job was suspended by a
+	// higher-priority arrival before finishing.
+	Preemptions int
 }
 
 // DynamicResult is the outcome of one dynamic co-simulation.
@@ -158,106 +162,12 @@ func (r *DynamicResult) BudgetViolationRate() float64 {
 	return float64(v) / float64(n)
 }
 
-// dynCore is the dynamic engine's per-core state: the shared interval
-// machinery plus the queue position and a memoized self-pinned curve.
-type dynCore struct {
-	core
-	jobs    []Job
-	next    int // index of the next job to start
-	slot    int // index of the running job; -1 while idle
-	startNs float64
-	depart  float64 // running job's departure time (0 = none)
-	// baseAlpha is the relaxation jobs without an explicit Alpha inherit:
-	// Config.Alpha until a QoS step overwrites it. explicitAlpha marks a
-	// running job that carries its own Alpha, which QoS steps respect.
-	baseAlpha     float64
-	explicitAlpha bool
-
-	// pinnedCv caches pinnedCurve(setting) for the core's current
-	// setting; idle cores and cores whose running job has not produced
-	// statistics yet enter the global optimisation pinned there.
-	pinnedCv *rm.Curve
-	pinnedAt config.Setting
-}
-
-// pinnedSelf returns the curve that represents this core as immovable at
-// its current setting.
-func (c *dynCore) pinnedSelf() *rm.Curve {
-	if c.pinnedCv == nil || c.pinnedAt != c.setting {
-		c.pinnedCv = pinnedCurve(c.setting)
-		c.pinnedAt = c.setting
-	}
-	return c.pinnedCv
-}
-
-// active reports whether a job is currently executing on the core.
-func (c *dynCore) active() bool { return c.slot >= 0 }
-
-// event kinds of the dynamic engine's main loop. Simultaneous events
-// resolve by scan order: QoS steps apply before anything else at the
-// same instant, then cores in index order; within one core a departure
-// fires only when strictly earlier than the core's interval or target
-// boundary, so an exact tie lets the job complete its work first.
-const (
-	evNone = iota
-	evStep
-	evDepart
-	evBoundary
-	evArrive
-)
-
-// RunWorkspace is the reusable working set of dynamic co-simulations:
-// the per-core state, the sorted step schedule, the global reduction's
-// buffers and the Localize memoization, all retained across runs so a
-// scenario sweep executes each spec (and its idle twin) without
-// rebuilding them. The curve cache is scoped to one (database, manager,
-// model, oracle) combination and resets itself when a run arrives with
-// a different one; everything else is config-independent. The zero
-// value is ready. Not safe for concurrent use — use one workspace per
-// sweep worker.
-type RunWorkspace struct {
-	steps []QoSStep
-	cores []dynCore
-	ptrs  []*dynCore
-	st    runState
-
-	// Scope of the memoized curves in st.cache.
-	db      *db.DB
-	rm      rm.Kind
-	model   perfmodel.Kind
-	perfect bool
-	scoped  bool
-}
-
-// scope prepares the workspace's run state for a run against (d, cfg):
-// buffers are resized for n cores and the curve cache is dropped unless
-// the run reads the same database with the same manager, model and
-// oracle mode that filled it (alpha is part of every cache key, so it
-// needs no scoping). Idle-manager runs never invoke the RM, so they
-// neither read nor re-scope the cache — a spec's idle twin leaves the
-// managed configuration's memo intact.
-func (w *RunWorkspace) scope(d *db.DB, cfg *Config, n int) *runState {
-	if cfg.RM != rm.Idle &&
-		(!w.scoped || w.db != d || w.rm != cfg.RM || w.model != cfg.Model || w.perfect != cfg.Perfect) {
-		w.st.cache.Reset()
-		w.db, w.rm, w.model, w.perfect = d, cfg.RM, cfg.Model, cfg.Perfect
-		w.scoped = true
-	}
-	if cap(w.st.curves) < n {
-		w.st.curves = make([]*rm.Curve, n)
-		w.st.settings = make([]config.Setting, n)
-	}
-	w.st.curves = w.st.curves[:n]
-	w.st.settings = w.st.settings[:n]
-	w.st.pinnedBase = pinnedBaseline()
-	return &w.st
-}
-
 // RunDynamic co-simulates a dynamic workload under cfg, reading all
 // per-interval behaviour from d. Cores with no running job idle at their
 // last setting — their LLC ways stay physically allocated and are pinned
-// in the global optimisation, and they draw no core energy (uncore power
-// is charged for the whole chip as usual). An arriving job inherits the
+// in the global optimisation (unless Config.DonateIdleWays frees a
+// drained core's ways), and they draw no core energy (uncore power is
+// charged for the whole chip as usual). An arriving job inherits the
 // core's current setting until its first interval completes and the RM
 // reallocates; a finishing or departing job triggers an immediate global
 // re-optimisation when its core's queue continues.
@@ -280,356 +190,5 @@ func RunDynamicWS(d *db.DB, dyn Dynamic, cfg Config, ws *RunWorkspace) (*Dynamic
 // error and no result; cancellation never changes the result of a run
 // that completes.
 func RunDynamicCtx(ctx context.Context, d *db.DB, dyn Dynamic, cfg Config, ws *RunWorkspace) (*DynamicResult, error) {
-	cfg.fill()
-	if err := dyn.Validate(d); err != nil {
-		return nil, err
-	}
-	n := len(dyn.Queues)
-	interval := float64(cfg.Interval)
-	if ws == nil {
-		ws = &RunWorkspace{}
-	}
-
-	// Steps apply in time order; sort a reused copy so specs may list
-	// them in any order (ties keep spec order).
-	steps := append(ws.steps[:0], dyn.Steps...)
-	ws.steps = steps
-	sort.SliceStable(steps, func(i, j int) bool { return steps[i].AtNs < steps[j].AtNs })
-
-	if cap(ws.cores) < n {
-		ws.cores = make([]dynCore, n)
-		ws.ptrs = make([]*dynCore, n)
-	}
-	ws.cores = ws.cores[:n]
-	cores := ws.ptrs[:n]
-	for i, q := range dyn.Queues {
-		c := &ws.cores[i]
-		// Reset per-run state; the pinned-curve memo survives across
-		// runs (a pinned curve depends only on its setting).
-		*c = dynCore{jobs: q.Jobs, slot: -1, baseAlpha: cfg.Alpha,
-			pinnedCv: c.pinnedCv, pinnedAt: c.pinnedAt}
-		c.setting = config.Baseline()
-		c.alpha = cfg.Alpha
-		cores[i] = c
-	}
-
-	totalWays := config.TotalWays(n)
-	res := &DynamicResult{}
-	st := ws.scope(d, &cfg, n)
-	now := 0.0
-	stepIdx := 0
-
-	for {
-		if ctx != nil {
-			select {
-			case <-ctx.Done():
-				return nil, ctx.Err()
-			default:
-			}
-		}
-		// Once every queue is drained, remaining QoS steps have nothing
-		// left to retarget: end the run instead of letting no-op step
-		// events stretch the wall clock (and with it the uncore energy).
-		busy := false
-		for _, c := range cores {
-			if c.active() || c.next < len(c.jobs) {
-				busy = true
-				break
-			}
-		}
-		if !busy {
-			break
-		}
-
-		// Next event: the earliest QoS step, departure, interval/target
-		// boundary or arrival across the system. Candidates are scanned
-		// in a fixed order with strict comparisons, so simultaneous
-		// events resolve deterministically: the earlier-scanned
-		// candidate wins a tie — the step schedule first, then cores in
-		// index order (within one core, a departure preempts the core's
-		// own boundary only when strictly earlier).
-		kind := evNone
-		best := -1
-		bestT := math.Inf(1)
-		if stepIdx < len(steps) {
-			kind, bestT = evStep, steps[stepIdx].AtNs
-		}
-		for i, c := range cores {
-			if !c.active() {
-				if c.next < len(c.jobs) {
-					t := c.jobs[c.next].ArrivalNs
-					if t < now {
-						t = now // overdue arrivals start immediately
-					}
-					if t < bestT {
-						kind, best, bestT = evArrive, i, t
-					}
-				}
-				continue
-			}
-			remInterval := interval - c.intervalDone
-			remTarget := c.target - c.executed
-			rem := remInterval
-			if remTarget < rem {
-				rem = remTarget
-			}
-			t := now + c.stallNs + rem*c.stats.TPI()
-			if c.depart > 0 && c.depart < t {
-				if c.depart < bestT {
-					kind, best, bestT = evDepart, i, c.depart
-				}
-				continue
-			}
-			if t < bestT {
-				kind, best, bestT = evBoundary, i, t
-			}
-		}
-		if kind == evNone {
-			break // nothing left but exhausted step/queue state
-		}
-		if bestT < now {
-			bestT = now
-		}
-
-		// Advance every running core to bestT, charging energy.
-		dt := bestT - now
-		for _, c := range cores {
-			if !c.active() {
-				continue
-			}
-			d := dt
-			if c.stallNs > 0 {
-				// Overhead time passes without retiring instructions.
-				s := c.stallNs
-				if s > d {
-					s = d
-				}
-				c.stallNs -= s
-				d -= s
-			}
-			c.advance(d / c.stats.TPI())
-		}
-		now = bestT
-
-		switch kind {
-		case evStep:
-			s := steps[stepIdx]
-			stepIdx++
-			// A step retargets the core's base relaxation and the running
-			// job, unless that job carries its own explicit per-app
-			// relaxation — an explicit alpha is a per-job contract.
-			for i, c := range cores {
-				if s.Core == -1 || s.Core == i {
-					c.baseAlpha = s.Alpha
-					if !c.explicitAlpha {
-						c.alpha = s.Alpha
-					}
-				}
-			}
-
-		case evArrive:
-			if err := cores[best].startNext(d, &cfg, now, interval); err != nil {
-				return nil, err
-			}
-
-		case evDepart:
-			if err := transition(d, &cfg, cores, best, totalWays, st, res, now, interval, true); err != nil {
-				return nil, err
-			}
-
-		case evBoundary:
-			c := cores[best]
-			if c.executed >= c.target-1e-6 {
-				if err := transition(d, &cfg, cores, best, totalWays, st, res, now, interval, false); err != nil {
-					return nil, err
-				}
-				continue
-			}
-			// Interval boundary (Figure 5): record QoS, roll the phase,
-			// and invoke the RM — exactly the static engine's path.
-			if cfg.Trace != nil {
-				alloc := make([]int, n)
-				for i, o := range cores {
-					alloc[i] = o.setting.Ways
-				}
-				cfg.Trace(Event{
-					TimeNs:      now,
-					Core:        best,
-					Bench:       c.app.Name,
-					Interval:    c.intervalIdx,
-					Phase:       c.phase,
-					Setting:     c.setting,
-					Allocations: alloc,
-				})
-			}
-			if err := c.finishInterval(d, cfg, now); err != nil {
-				return nil, err
-			}
-			if cfg.RM != rm.Idle {
-				res.RMCalled++
-				if err := invokeRMDynamic(d, &cfg, cores, best, totalWays, st, true); err != nil {
-					return nil, err
-				}
-			}
-			if err := c.startInterval(d, now); err != nil {
-				return nil, err
-			}
-		}
-	}
-
-	res.TimeNs = now
-	res.UncoreJ = power.UncorePowerW(n) * now * 1e-9
-	res.EnergyJ = res.UncoreJ
-	// Jobs are recorded in completion order; total in (core, slot) order
-	// so the summation sequence — and with it the floating-point result —
-	// matches the static engine's per-core accumulation exactly.
-	for i := 0; i < n; i++ {
-		for j := range res.Jobs {
-			if res.Jobs[j].Core == i {
-				res.EnergyJ += res.Jobs[j].EnergyJ
-			}
-		}
-	}
-	return res, nil
-}
-
-// transition ends core inv's running job (departed tells why), triggers
-// the churn re-optimisation when the queue continues, and starts the
-// next job if it has already arrived.
-func transition(d *db.DB, cfg *Config, cores []*dynCore, inv, totalWays int, st *runState, res *DynamicResult, now, interval float64, departed bool) error {
-	c := cores[inv]
-	c.res.FinishNs = now
-	res.Jobs = append(res.Jobs, JobResult{
-		Core:      inv,
-		Slot:      c.slot,
-		AppResult: c.res,
-		StartNs:   c.startNs,
-		Alpha:     c.alpha,
-		Departed:  departed,
-	})
-	c.slot = -1
-	c.app = nil
-	c.stats = nil
-	c.depart = 0
-	c.explicitAlpha = false
-	c.hasCurve = false
-	c.curve = nil
-	if c.next >= len(c.jobs) {
-		// Queue drained: the core idles forever at its final setting,
-		// its ways pinned — the static engine's finished-core behaviour.
-		return nil
-	}
-
-	// The next job starts now if it has arrived; otherwise the core
-	// idles until the arrival event fires.
-	if c.jobs[c.next].ArrivalNs <= now {
-		if err := c.startNext(d, cfg, now, interval); err != nil {
-			return err
-		}
-	}
-
-	// Churn re-optimisation (the "RM re-optimises when an application
-	// finishes or departs" rule): the transitioning core enters pinned
-	// at its current setting — the incoming application has produced no
-	// statistics and the partition is physical — and every other core's
-	// latest curve is re-reduced so the rest of the system can shift its
-	// allocations in response to the churn.
-	if cfg.RM != rm.Idle {
-		res.RMCalled++
-		if err := invokeRMDynamic(d, cfg, cores, inv, totalWays, st, false); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// startNext begins the core's next queued job at the core's current
-// setting. A job whose departure time already passed departs again
-// immediately (as a zero-work departure event) on the next loop turn.
-func (c *dynCore) startNext(d *db.DB, cfg *Config, now, interval float64) error {
-	j := c.jobs[c.next]
-	c.slot = c.next
-	c.next++
-	c.startNs = now
-	c.app = j.App
-	c.alpha = c.baseAlpha
-	c.explicitAlpha = j.Alpha > 0
-	if c.explicitAlpha {
-		c.alpha = j.Alpha
-	}
-	work := j.Work
-	if work <= 0 {
-		work = float64(config.LongestAppInstrPaper)
-	}
-	c.target = work / float64(cfg.Scale)
-	c.executed = 0
-	c.runExec = 0
-	c.runLen = float64(j.App.TotalInstr) / float64(cfg.Scale)
-	if c.runLen < interval {
-		c.runLen = interval // an application runs at least one interval
-	}
-	c.intervalIdx = 0
-	c.phase = j.App.PhaseAt(0)
-	c.depart = j.DepartNs
-	c.res = AppResult{Bench: j.App.Name}
-	c.fin = false
-	c.hasCurve = false
-	c.curve = nil
-	if err := c.startInterval(d, now); err != nil {
-		return err
-	}
-	return nil
-}
-
-// invokeRMDynamic is the dynamic engine's manager invocation. With
-// refresh set (the interval-boundary path) the invoking core rebuilds
-// its curve from the interval that just completed; churn boundaries pass
-// refresh=false and the transitioning core enters pinned instead, since
-// its incoming application has not produced statistics yet. Idle cores
-// are always pinned at their current setting, so their physically held
-// ways are never redistributed.
-func invokeRMDynamic(d *db.DB, cfg *Config, cores []*dynCore, inv, totalWays int, st *runState, refresh bool) error {
-	c := cores[inv]
-	if refresh {
-		c.refreshCurve(d, cfg, st)
-	}
-
-	curves := st.curves
-	for i, o := range cores {
-		if o.active() && o.hasCurve {
-			curves[i] = o.curve
-		} else {
-			curves[i] = o.pinnedSelf()
-		}
-	}
-	var settings []config.Setting
-	var ok bool
-	if cfg.GreedyGlobal {
-		settings, ok = rm.GreedyGlobalOptimize(curves, totalWays)
-	} else {
-		settings = st.settings
-		ok = st.ws.Optimize(curves, totalWays, settings)
-	}
-	if !ok {
-		return nil
-	}
-
-	// Apply, charging transition overheads. Idle cores only track their
-	// (pinned, hence unchanged) way allocation.
-	for i, o := range cores {
-		if !o.active() {
-			o.setting.Ways = settings[i].Ways
-			continue
-		}
-		if err := o.applySetting(d, cfg, settings[i]); err != nil {
-			return err
-		}
-	}
-
-	// RM execution overhead runs on the invoking core when it is busy;
-	// a churn invocation on an emptied core has no application to bill.
-	if c.active() {
-		c.chargeRMOverhead(cfg, len(cores))
-	}
-	return nil
+	return runEngine(ctx, d, dyn, cfg, ws)
 }

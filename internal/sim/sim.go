@@ -1,10 +1,26 @@
 // Package sim is the multi-core RM co-simulator of Section IV-A
-// (Figure 5): it replays per-phase detailed-simulation results from the
-// database as each application advances through its phase trace, invokes
-// the resource manager at every per-core interval boundary, applies the
+// (Figure 5), built around one event-driven engine (engine.go): it
+// replays per-phase detailed-simulation results from the database as
+// each application advances through its phase trace, invokes the
+// resource manager at every per-core interval boundary, applies the
 // chosen settings (with DVFS-switch, core-resize and RM instruction
 // overheads), and accounts core, memory and uncore energy exactly as the
 // paper's evaluation does (Section IV-D).
+//
+// The engine drives per-core job queues — jobs arrive, execute a bounded
+// amount of work, finish or depart early, and the next queued job takes
+// over the core — with per-application QoS relaxation, mid-run QoS-target
+// steps, optional queue priorities with preemption, and optional
+// donation of drained cores' LLC ways. The paper's static evaluation
+// (one application pinned per core, Run) is the degenerate schedule of
+// one zero-arrival run-to-target job per core; StaticWorkload builds it
+// and Run routes through the same engine.
+//
+// The allocation decision itself — per-core energy curves in, per-core
+// settings out — is delegated to a pluggable rm.Policy selected by
+// Config.Policy, so optimizer variants (the paper's optimal reduction,
+// the greedy heuristic, brute-force enumeration, future game-theoretic
+// solvers) are interchangeable without touching the event loop.
 package sim
 
 import (
@@ -17,7 +33,6 @@ import (
 	"qosrm/internal/config"
 	"qosrm/internal/db"
 	"qosrm/internal/perfmodel"
-	"qosrm/internal/power"
 	"qosrm/internal/rm"
 )
 
@@ -44,9 +59,22 @@ type Config struct {
 	// DisableOverheads drops RM instruction, DVFS-switch and resize
 	// costs — used by the idealised Figure 2 study.
 	DisableOverheads bool
-	// GreedyGlobal replaces the paper's optimal pairwise curve reduction
-	// with the cheaper marginal-utility heuristic (ablation only).
+	// Policy names the global allocation policy the manager decides
+	// with: "model3" (the paper's optimal pairwise curve reduction, the
+	// default), "greedy" (marginal-utility heuristic) or "brute"
+	// (exhaustive enumeration; exponential — small core counts only).
+	// See rm.PolicyNames.
+	Policy string
+	// GreedyGlobal is the legacy spelling of Policy: "greedy", kept for
+	// the ablation drivers; it applies only while Policy is empty.
 	GreedyGlobal bool
+	// DonateIdleWays lets a drained core — its queue exhausted, the
+	// unified engine's generalisation of the static engine's finished
+	// core — donate its LLC ways back to the global optimisation instead
+	// of keeping them pinned at its final setting, and triggers an
+	// immediate re-optimisation when a queue drains. Off by default,
+	// preserving the paper's finished-core rule bit for bit.
+	DonateIdleWays bool
 	// Trace, when non-nil, receives one Event per interval boundary —
 	// the "global events" of Figure 5.
 	Trace func(Event)
@@ -83,6 +111,17 @@ func (c *Config) fill() {
 	if c.Model == 0 {
 		c.Model = perfmodel.Model3
 	}
+}
+
+// policyName resolves the effective allocation policy name.
+func (c *Config) policyName() string {
+	if c.Policy != "" {
+		return c.Policy
+	}
+	if c.GreedyGlobal {
+		return rm.PolicyGreedy
+	}
+	return rm.PolicyModel3
 }
 
 // AppResult is the per-application outcome of a run.
@@ -141,7 +180,7 @@ func (r *Result) BudgetViolationRate() float64 {
 	return float64(v) / float64(n)
 }
 
-// core is the simulator's per-core state.
+// core is the engine's per-core interval state.
 type core struct {
 	app     *bench.Benchmark
 	setting config.Setting
@@ -172,19 +211,6 @@ type core struct {
 	fin bool
 }
 
-// runState is the per-run working set of the RM invocation path, reused
-// across interval boundaries so the hot path stays allocation-free: the
-// curve cache memoizes Localize per measured (phase, setting) record,
-// the workspace carries the global reduction's buffers, and the slices
-// are assembled in place on every invocation.
-type runState struct {
-	cache      rm.CurveCache
-	ws         rm.Workspace
-	curves     []*rm.Curve
-	settings   []config.Setting
-	pinnedBase *rm.Curve
-}
-
 // oracleKey memoizes perfect-predictor curves: the oracle reads the
 // upcoming phase directly, so its curve depends only on (bench, phase).
 type oracleKey struct {
@@ -202,6 +228,18 @@ type curveKey struct {
 	alpha float64
 }
 
+// StaticWorkload wraps the paper's static evaluation shape — one
+// application pinned per core, running to the default instruction
+// target — as the degenerate dynamic schedule the unified engine
+// executes: one zero-arrival, run-to-completion job per core.
+func StaticWorkload(apps []*bench.Benchmark) Dynamic {
+	dyn := Dynamic{Queues: make([]Queue, len(apps))}
+	for i, a := range apps {
+		dyn.Queues[i] = Queue{Jobs: []Job{{App: a}}}
+	}
+	return dyn
+}
+
 // Run co-simulates the workload apps (one application per core) under
 // cfg, reading all per-interval behaviour from d.
 func Run(d *db.DB, apps []*bench.Benchmark, cfg Config) (*Result, error) {
@@ -212,149 +250,30 @@ func Run(d *db.DB, apps []*bench.Benchmark, cfg Config) (*Result, error) {
 // between interval boundaries, so servers can abandon in-flight
 // co-simulations promptly. A nil ctx disables the checks; a cancelled
 // run returns ctx's error and no result.
+//
+// The static workload is executed by the unified engine as one
+// run-to-target job per core; the result is bit-identical to the seed
+// static co-simulator's (pinned by the cross-seed property tests against
+// runStaticReference).
 func RunCtx(ctx context.Context, d *db.DB, apps []*bench.Benchmark, cfg Config) (*Result, error) {
-	cfg.fill()
-	n := len(apps)
-	if n == 0 {
+	if len(apps) == 0 {
 		return nil, fmt.Errorf("sim: empty workload")
 	}
-	// The per-application instruction target is the longest application
-	// of the suite (Section IV-D), scaled.
-	target := float64(config.LongestAppInstrPaper) / float64(cfg.Scale)
-	interval := float64(cfg.Interval)
-
-	cores := make([]*core, n)
-	for i, a := range apps {
-		if d.NumPhases(a.Name) == 0 {
-			return nil, fmt.Errorf("sim: database has no data for %q", a.Name)
-		}
-		c := &core{
-			app:     a,
-			setting: config.Baseline(),
-			alpha:   cfg.Alpha,
-			target:  target,
-			runLen:  float64(a.TotalInstr) / float64(cfg.Scale),
-			phase:   a.PhaseAt(0),
-			res:     AppResult{Bench: a.Name},
-		}
-		if c.runLen < interval {
-			c.runLen = interval // an application runs at least one interval
-		}
-		var err error
-		c.stats, err = d.Stats(a.Name, c.phase, c.setting)
-		if err != nil {
-			return nil, fmt.Errorf("sim: %w", err)
-		}
-		cores[i] = c
+	dr, err := runEngine(ctx, d, StaticWorkload(apps), cfg, nil)
+	if err != nil {
+		return nil, err
 	}
-
-	totalWays := config.TotalWays(n)
-	res := &Result{}
-	st := &runState{
-		curves:     make([]*rm.Curve, n),
-		settings:   make([]config.Setting, n),
-		pinnedBase: pinnedBaseline(),
+	res := &Result{
+		UncoreJ:  dr.UncoreJ,
+		TimeNs:   dr.TimeNs,
+		EnergyJ:  dr.EnergyJ,
+		RMCalled: dr.RMCalled,
+		Apps:     make([]AppResult, len(apps)),
 	}
-	now := 0.0
-
-	for {
-		if ctx != nil {
-			select {
-			case <-ctx.Done():
-				return nil, ctx.Err()
-			default:
-			}
-		}
-		// Next event: the earliest per-core interval or target boundary.
-		best := -1
-		bestT := math.Inf(1)
-		for i, c := range cores {
-			if c.fin {
-				continue
-			}
-			remInterval := interval - c.intervalDone
-			remTarget := c.target - c.executed
-			rem := remInterval
-			if remTarget < rem {
-				rem = remTarget
-			}
-			t := now + c.stallNs + rem*c.stats.TPI()
-			if t < bestT {
-				bestT, best = t, i
-			}
-		}
-		if best < 0 {
-			break // all cores reached their targets
-		}
-
-		// Advance every running core to bestT, charging energy.
-		dt := bestT - now
-		for _, c := range cores {
-			if c.fin {
-				continue
-			}
-			d := dt
-			if c.stallNs > 0 {
-				// Overhead time passes without retiring instructions.
-				s := c.stallNs
-				if s > d {
-					s = d
-				}
-				c.stallNs -= s
-				d -= s
-			}
-			c.advance(d / c.stats.TPI())
-		}
-		now = bestT
-
-		c := cores[best]
-		if c.executed >= c.target-1e-6 {
-			c.fin = true
-			c.res.FinishNs = now
-			// Its ways stay physically allocated at the final setting;
-			// later global optimisations see it as pinned there.
-			c.pinned = pinnedCurve(c.setting)
-			continue
-		}
-
-		// Interval boundary on core `best` (Figure 5): record QoS, roll
-		// the phase, and invoke the RM.
-		if cfg.Trace != nil {
-			alloc := make([]int, len(cores))
-			for i, o := range cores {
-				alloc[i] = o.setting.Ways
-			}
-			cfg.Trace(Event{
-				TimeNs:      now,
-				Core:        best,
-				Bench:       c.app.Name,
-				Interval:    c.intervalIdx,
-				Phase:       c.phase,
-				Setting:     c.setting,
-				Allocations: alloc,
-			})
-		}
-		if err := c.finishInterval(d, cfg, now); err != nil {
-			return nil, err
-		}
-		if cfg.RM != rm.Idle {
-			res.RMCalled++
-			if err := invokeRM(d, cfg, cores, best, totalWays, st); err != nil {
-				return nil, err
-			}
-		}
-		if err := c.startInterval(d, now); err != nil {
-			return nil, err
-		}
-	}
-
-	res.TimeNs = now
-	res.UncoreJ = power.UncorePowerW(n) * now * 1e-9
-	res.EnergyJ = res.UncoreJ
-	res.Apps = make([]AppResult, n)
-	for i, c := range cores {
-		res.Apps[i] = c.res
-		res.EnergyJ += c.res.EnergyJ
+	// Exactly one run-to-completion job per core: fold the per-job
+	// outcomes back into the static per-core result shape.
+	for i := range dr.Jobs {
+		res.Apps[dr.Jobs[i].Core] = dr.Jobs[i].AppResult
 	}
 	return res, nil
 }
@@ -429,68 +348,11 @@ func (c *core) startInterval(d *db.DB, now float64) error {
 	return nil
 }
 
-// invokeRM runs the manager on the invoking core: refresh that core's
-// energy curve from the completed interval's observations, globally
-// redistribute ways, and apply the new settings with their overheads.
-//
-// The heavy lifting is memoized and allocation-free across invocations:
-// Localize results come from the run's curve cache (the RM kind, model
-// and alpha are fixed per run, so a model-predicted curve is identified
-// by the measured interval's shared database record and an oracle curve
-// by the upcoming (bench, phase)), and the global reduction reuses the
-// run's workspace and slices.
-func invokeRM(d *db.DB, cfg Config, cores []*core, inv, totalWays int, st *runState) error {
-	c := cores[inv]
-	c.refreshCurve(d, &cfg, st)
-
-	// Assemble curves for the whole system. Cores that have not yet
-	// produced statistics are pinned at the baseline allocation; cores
-	// that already reached their instruction target keep their current
-	// allocation (their ways are not redistributable — the partition is
-	// physical), pinning them likewise.
-	curves := st.curves
-	for i, o := range cores {
-		switch {
-		case o.fin:
-			curves[i] = o.pinned
-		case o.hasCurve:
-			curves[i] = o.curve
-		default:
-			curves[i] = st.pinnedBase
-		}
-	}
-	var settings []config.Setting
-	var ok bool
-	if cfg.GreedyGlobal {
-		settings, ok = rm.GreedyGlobalOptimize(curves, totalWays)
-	} else {
-		settings = st.settings
-		ok = st.ws.Optimize(curves, totalWays, settings)
-	}
-	if !ok {
-		return nil
-	}
-
-	// Apply, charging transition overheads (Section III-E).
-	for i, o := range cores {
-		if o.fin {
-			continue
-		}
-		if err := o.applySetting(d, &cfg, settings[i]); err != nil {
-			return err
-		}
-	}
-
-	// RM execution overhead runs on the invoking core.
-	c.chargeRMOverhead(&cfg, len(cores))
-	return nil
-}
-
 // refreshCurve rebuilds the invoking core's energy curve from the
 // interval that just finished (its phase index was advanced already; the
 // completed interval's stats are still in c.stats), going through the
 // run's curve cache unless the equivalence tests disabled it.
-func (c *core) refreshCurve(d *db.DB, cfg *Config, st *runState) {
+func (c *core) refreshCurve(d *db.DB, cfg *Config, cache *rm.CurveCache) {
 	opts := rm.Options{Alpha: c.alpha}
 	switch {
 	case cfg.Perfect && cfg.noCurveCache:
@@ -499,7 +361,7 @@ func (c *core) refreshCurve(d *db.DB, cfg *Config, st *runState) {
 	case cfg.Perfect:
 		// The oracle knows the upcoming interval's phase (c.phase was
 		// already advanced by finishInterval) and its true behaviour.
-		c.curve = st.cache.Get(curveKey{oracleKey{c.app.Name, c.phase}, c.alpha}, func() rm.Curve {
+		c.curve = cache.Get(curveKey{oracleKey{c.app.Name, c.phase}, c.alpha}, func() rm.Curve {
 			return rm.Localize(&oracle{d: d, app: c.app.Name, phase: c.phase}, cfg.RM, opts)
 		})
 	case cfg.noCurveCache:
@@ -510,7 +372,7 @@ func (c *core) refreshCurve(d *db.DB, cfg *Config, st *runState) {
 		// c.stats still holds the record the interval ran under, and —
 		// records being shared grid entries — its pointer identifies the
 		// (bench, phase, setting) the predictor is built from.
-		c.curve = st.cache.Get(curveKey{c.stats, c.alpha}, func() rm.Curve {
+		c.curve = cache.Get(curveKey{c.stats, c.alpha}, func() rm.Curve {
 			return rm.Localize(&rm.ModelPredictor{Stats: perfmodel.FromDB(c.stats, c.setting), Model: cfg.Model}, cfg.RM, opts)
 		})
 	}
@@ -581,6 +443,19 @@ func pinnedCurve(s config.Setting) *rm.Curve {
 	wi := s.Ways - config.MinWays
 	cv.Energy[wi] = 0
 	cv.Pick[wi] = s
+	return &cv
+}
+
+// donorCurve accepts every allocation at zero energy: a drained core
+// donating its ways is indifferent to how many it keeps, so the
+// optimisation hands it the minimum the reduction's tie-breaking settles
+// on and frees the rest for running cores. Core size and frequency stay
+// at the drained core's final operating point.
+func donorCurve(s config.Setting) *rm.Curve {
+	var cv rm.Curve
+	for i := range cv.Energy {
+		cv.Pick[i] = config.Setting{Core: s.Core, Freq: s.Freq, Ways: config.MinWays + i}
+	}
 	return &cv
 }
 

@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestGenerateChurnOptsDefaultMatchesGenerateChurn(t *testing.T) {
+	// The zero options must reproduce the original schedule exactly —
+	// same rng consumption, same entries — so every existing caller and
+	// committed scenario file is untouched by the arrival-process
+	// extension.
+	for seed := int64(0); seed < 5; seed++ {
+		want, err := GenerateChurn(Scenario1, 4, 3, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := GenerateChurnOpts(Scenario1, 4, 3, seed, ChurnOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: options default drifted from GenerateChurn", seed)
+		}
+	}
+}
+
+func TestArrivalProcessesDeterministicPerSeed(t *testing.T) {
+	for _, proc := range []ArrivalProcess{ArrivalStaggered, ArrivalPoisson, ArrivalDiurnal} {
+		a, err := GenerateChurnOpts(Scenario2, 4, 4, 11, ChurnOptions{Process: proc})
+		if err != nil {
+			t.Fatalf("%v: %v", proc, err)
+		}
+		b, err := GenerateChurnOpts(Scenario2, 4, 4, 11, ChurnOptions{Process: proc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%v: same seed produced different schedules", proc)
+		}
+		c, err := GenerateChurnOpts(Scenario2, 4, 4, 12, ChurnOptions{Process: proc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reflect.DeepEqual(a, c) {
+			t.Errorf("%v: different seeds produced identical schedules", proc)
+		}
+	}
+}
+
+func TestArrivalsSortedPerQueue(t *testing.T) {
+	for _, proc := range []ArrivalProcess{ArrivalPoisson, ArrivalDiurnal} {
+		churn, err := GenerateChurnOpts(Scenario1, 6, 5, 3, ChurnOptions{Process: proc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c, q := range churn {
+			prev := -1.0
+			for _, e := range q {
+				if e.ArrivalFrac < prev {
+					t.Fatalf("%v: core %d queue not in arrival order", proc, c)
+				}
+				prev = e.ArrivalFrac
+				if e.ArrivalFrac < 0 || math.IsNaN(e.ArrivalFrac) {
+					t.Fatalf("%v: bad arrival %v", proc, e.ArrivalFrac)
+				}
+			}
+		}
+	}
+}
+
+func TestPoissonInterArrivalMean(t *testing.T) {
+	// With rate r, inter-arrival times are Exp(1/r): across a deep
+	// schedule the mean spacing must land near 1/r.
+	const depth = 400
+	const rate = 8.0
+	churn, err := GenerateChurnOpts(Scenario1, 2, depth, 17, ChurnOptions{Process: ArrivalPoisson, Rate: rate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	var n int
+	for _, q := range churn {
+		prev := 0.0
+		for _, e := range q {
+			sum += e.ArrivalFrac - prev
+			prev = e.ArrivalFrac
+			n++
+		}
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-1/rate) > 0.25/rate {
+		t.Fatalf("mean inter-arrival %.4f, want ≈ %.4f", mean, 1/rate)
+	}
+}
+
+func TestDiurnalConcentratesMidHorizon(t *testing.T) {
+	// Intensity 1 − 0.8·cos(2πt) peaks at t = 0.5: the middle half of
+	// the horizon must receive clearly more than half the arrivals
+	// (its analytic mass is ½ + 0.8/π ≈ 0.755).
+	const depth = 300
+	churn, err := GenerateChurnOpts(Scenario1, 2, depth, 29, ChurnOptions{Process: ArrivalDiurnal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, total := 0, 0
+	for _, q := range churn {
+		for _, e := range q {
+			total++
+			if e.ArrivalFrac >= 0.25 && e.ArrivalFrac < 0.75 {
+				mid++
+			}
+			if e.ArrivalFrac < 0 || e.ArrivalFrac > 1 {
+				t.Fatalf("diurnal arrival %v outside the horizon", e.ArrivalFrac)
+			}
+		}
+	}
+	frac := float64(mid) / float64(total)
+	if frac < 0.65 {
+		t.Fatalf("middle-half arrival share %.3f, want > 0.65 (diurnal peak missing)", frac)
+	}
+}
+
+func TestParseArrivalProcess(t *testing.T) {
+	for name, want := range map[string]ArrivalProcess{
+		"": ArrivalStaggered, "staggered": ArrivalStaggered,
+		"poisson": ArrivalPoisson, "diurnal": ArrivalDiurnal,
+	} {
+		got, err := ParseArrivalProcess(name)
+		if err != nil || got != want {
+			t.Errorf("ParseArrivalProcess(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseArrivalProcess("bursty"); err == nil {
+		t.Error("unknown process accepted")
+	}
+	if _, err := GenerateChurnOpts(Scenario1, 2, 2, 1, ChurnOptions{Rate: math.NaN()}); err == nil {
+		t.Error("NaN rate accepted")
+	}
+}

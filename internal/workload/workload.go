@@ -13,7 +13,9 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"sort"
 
 	"qosrm/internal/bench"
 )
@@ -209,6 +211,63 @@ type ChurnEntry struct {
 // little slack, a few a lot.
 var churnAlphas = [4]float64{1.0, 1.0, 1.1, 1.25}
 
+// ArrivalProcess selects how a generated churn schedule positions its
+// arrivals on the horizon.
+type ArrivalProcess int
+
+const (
+	// ArrivalStaggered is the wave schedule: wave k of every queue
+	// arrives around k/depth of the horizon with jitter — the original
+	// GenerateChurn behaviour.
+	ArrivalStaggered ArrivalProcess = iota
+	// ArrivalPoisson draws memoryless per-core arrivals at a constant
+	// rate: exponential inter-arrival times accumulated per queue, the
+	// classic open-system trace shape.
+	ArrivalPoisson
+	// ArrivalDiurnal draws arrivals from a non-homogeneous process whose
+	// intensity peaks mid-horizon (1 − 0.8·cos 2πt), the day/night load
+	// curve of a user-facing service.
+	ArrivalDiurnal
+)
+
+// String returns the process's flag spelling.
+func (p ArrivalProcess) String() string {
+	switch p {
+	case ArrivalStaggered:
+		return "staggered"
+	case ArrivalPoisson:
+		return "poisson"
+	case ArrivalDiurnal:
+		return "diurnal"
+	}
+	return fmt.Sprintf("ArrivalProcess(%d)", int(p))
+}
+
+// ParseArrivalProcess resolves a process name (empty defaults to
+// staggered).
+func ParseArrivalProcess(s string) (ArrivalProcess, error) {
+	switch s {
+	case "", "staggered":
+		return ArrivalStaggered, nil
+	case "poisson":
+		return ArrivalPoisson, nil
+	case "diurnal":
+		return ArrivalDiurnal, nil
+	}
+	return 0, fmt.Errorf("workload: unknown arrival process %q (want staggered, poisson or diurnal)", s)
+}
+
+// ChurnOptions tunes GenerateChurnOpts beyond the defaults.
+type ChurnOptions struct {
+	// Process selects the arrival process (default staggered).
+	Process ArrivalProcess
+	// Rate is the expected number of arrivals per core over the horizon
+	// for the Poisson and diurnal processes; 0 defaults to depth, so the
+	// generated load matches the staggered schedule's density. Ignored
+	// by the staggered process.
+	Rate float64
+}
+
 // GenerateChurn produces an n-core multiprogrammed churn schedule for
 // the scenario, deterministically from seed: depth waves of
 // applications, each wave drawn from one of the scenario's Figure 1
@@ -218,11 +277,29 @@ var churnAlphas = [4]float64{1.0, 1.0, 1.1, 1.25}
 // relaxations. The result is one queue per core, wave k of every queue
 // arriving around k/depth of the horizon.
 func GenerateChurn(s Scenario, cores, depth int, seed int64) ([][]ChurnEntry, error) {
+	return GenerateChurnOpts(s, cores, depth, seed, ChurnOptions{})
+}
+
+// GenerateChurnOpts is GenerateChurn with a selectable arrival process,
+// so policy sweeps can run over trace-like load instead of only the
+// staggered wave schedule. Every (seed, options) pair is deterministic;
+// the zero options reproduce GenerateChurn exactly. Poisson and diurnal
+// arrivals are sorted per queue (the order the engine consumes); an
+// arrival fraction may exceed 1 — the tail of an open arrival stream
+// past the nominal horizon.
+func GenerateChurnOpts(s Scenario, cores, depth int, seed int64, opt ChurnOptions) ([][]ChurnEntry, error) {
 	if cores < 2 || cores%2 != 0 {
 		return nil, fmt.Errorf("workload: core count %d must be even and ≥ 2", cores)
 	}
 	if depth < 1 {
 		return nil, fmt.Errorf("workload: queue depth %d must be positive", depth)
+	}
+	if opt.Rate < 0 || math.IsNaN(opt.Rate) || math.IsInf(opt.Rate, 0) {
+		return nil, fmt.Errorf("workload: arrival rate %v must be a non-negative finite value", opt.Rate)
+	}
+	rate := opt.Rate
+	if rate == 0 {
+		rate = float64(depth)
 	}
 	rng := rand.New(rand.NewSource(seed ^ int64(s)<<32 ^ int64(cores) ^ int64(depth)<<16))
 	pools := make(map[bench.Category]*pool, bench.NumCategories)
@@ -231,6 +308,7 @@ func GenerateChurn(s Scenario, cores, depth int, seed int64) ([][]ChurnEntry, er
 	}
 	cells := s.Cells()
 	out := make([][]ChurnEntry, cores)
+	poissonAcc := make([]float64, cores)
 	for k := 0; k < depth; k++ {
 		cell := cells[k%len(cells)]
 		for c := 0; c < cores; c++ {
@@ -243,15 +321,59 @@ func GenerateChurn(s Scenario, cores, depth int, seed int64) ([][]ChurnEntry, er
 				Alpha:    churnAlphas[rng.Intn(len(churnAlphas))],
 				WorkFrac: 0.2 + 0.3*rng.Float64(),
 			}
-			if k > 0 {
-				// Later waves arrive staggered with jitter; the first
-				// wave starts the run.
-				e.ArrivalFrac = (float64(k) + 0.5*rng.Float64()) / float64(depth)
+			switch opt.Process {
+			case ArrivalStaggered:
+				if k > 0 {
+					// Later waves arrive staggered with jitter; the first
+					// wave starts the run.
+					e.ArrivalFrac = (float64(k) + 0.5*rng.Float64()) / float64(depth)
+				}
+			case ArrivalPoisson:
+				poissonAcc[c] += rng.ExpFloat64() / rate
+				e.ArrivalFrac = poissonAcc[c]
+			case ArrivalDiurnal:
+				e.ArrivalFrac = diurnalArrival(rng.Float64())
+			default:
+				return nil, fmt.Errorf("workload: unknown arrival process %d", int(opt.Process))
 			}
 			out[c] = append(out[c], e)
 		}
 	}
+	if opt.Process == ArrivalDiurnal {
+		// Independent draws are unordered; queues are consumed in
+		// arrival order.
+		for c := range out {
+			sort.SliceStable(out[c], func(i, j int) bool {
+				return out[c][i].ArrivalFrac < out[c][j].ArrivalFrac
+			})
+		}
+	}
 	return out, nil
+}
+
+// diurnalAmplitude shapes the diurnal intensity 1 − a·cos(2πt): load
+// bottoms out at 1−a of the mean at the horizon edges and peaks at 1+a
+// mid-horizon.
+const diurnalAmplitude = 0.8
+
+// diurnalArrival inverts the diurnal CDF F(t) = t − a·sin(2πt)/2π by
+// bisection: u uniform in [0,1) maps to an arrival fraction whose
+// density follows the day curve. F is strictly increasing for a < 1, so
+// the inversion is well-defined; 52 halvings reach float64 resolution.
+func diurnalArrival(u float64) float64 {
+	cdf := func(t float64) float64 {
+		return t - diurnalAmplitude*math.Sin(2*math.Pi*t)/(2*math.Pi)
+	}
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 52; i++ {
+		mid := (lo + hi) / 2
+		if cdf(mid) < u {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
 }
 
 // TwoCoreExamples returns one representative two-core mix per scenario,

@@ -83,9 +83,45 @@
 // published, so nothing is ever invalidated in place.
 //
 // The scenario sweep reuses a sim.RunWorkspace per worker — per-core
-// state, the global reduction's arena and the curve memoization
-// (re-scoped automatically when a run changes database, manager, model
-// or oracle mode) survive across a spec and its idle twin.
+// state, the allocation policy's arena and the curve memoization
+// (re-scoped automatically when a run changes database, manager, model,
+// policy or oracle mode) survive across a spec and its idle twin.
+//
+// # Engine & policy architecture
+//
+// One event-driven engine executes every workload shape (internal/sim,
+// engine.go). The paper's static evaluation — one application pinned per
+// core, run to a fixed instruction target — is the degenerate schedule
+// of one zero-arrival run-to-completion job per core; System.Run builds
+// exactly that schedule and routes it through the same loop that drives
+// multiprogrammed churn, per-app QoS relaxation, mid-run QoS steps,
+// queue priorities and way donation. The pre-unification static and
+// dynamic loops are retained verbatim as references and cross-seed
+// property tests pin the unified engine bit-identical to both on their
+// shared feature set — the retained-reference pattern used by every
+// optimized pair in this package.
+//
+// The allocation decision — per-core energy curves in, per-core
+// (core size, frequency, ways) settings out — sits behind the rm.Policy
+// interface. Three named policies ship: "model3" (the paper's optimal
+// pairwise curve reduction, the default), "greedy" (the marginal-utility
+// heuristic) and "brute" (exhaustive enumeration, the optimality
+// reference for small systems). A policy is selected per run
+// (SimConfig.Policy), per scenario (ScenarioSpec.Policy, the "policy"
+// JSON field), per HTTP request (the savings/scenario/job bodies), or
+// system-wide (Options.Policy); System.Policies lists the registry and
+// PolicySweep expands a scenario batch along the policy axis for
+// shoot-out comparisons. New optimizers — priority-aware allocation,
+// the integer-programming-game equilibrium solvers of the related-work
+// list — drop in as additional policies without touching the engine.
+//
+// Two scheduling extensions ride on the unified engine: drained cores
+// can donate their pinned LLC ways back to the optimisation
+// (SimConfig.DonateIdleWays / the "donate_idle_ways" spec field), and
+// queue priorities with preemption (Job.Priority / the per-job
+// "priority" spec field) let urgent arrivals suspend background work,
+// which later resumes with its progress intact. Both default off,
+// preserving the paper's semantics bit for bit.
 //
 // The perfbench suite (internal/perfbench, cmd/perfbench) measures both
 // sides of each pair and records the trajectory in committed
@@ -234,6 +270,13 @@ type (
 	// ChurnEntry is one queued application of a generated churn
 	// schedule.
 	ChurnEntry = workload.ChurnEntry
+	// ChurnOptions tunes churn generation (arrival process, rate).
+	ChurnOptions = workload.ChurnOptions
+	// ArrivalProcess selects a churn arrival process.
+	ArrivalProcess = workload.ArrivalProcess
+	// AllocationPolicy is the pluggable global allocation decision of
+	// the resource manager; see Policies for the named registry.
+	AllocationPolicy = rm.Policy
 )
 
 // Re-exported enumerations.
@@ -260,7 +303,36 @@ const (
 	Scenario2 = workload.Scenario2
 	Scenario3 = workload.Scenario3
 	Scenario4 = workload.Scenario4
+
+	ArrivalStaggered = workload.ArrivalStaggered
+	ArrivalPoisson   = workload.ArrivalPoisson
+	ArrivalDiurnal   = workload.ArrivalDiurnal
+
+	// The named allocation policies (see Policies).
+	PolicyModel3 = rm.PolicyModel3
+	PolicyGreedy = rm.PolicyGreedy
+	PolicyBrute  = rm.PolicyBrute
 )
+
+// Policies lists the registered allocation policies, default first.
+func Policies() []string { return rm.PolicyNames() }
+
+// Policies lists the allocation policies a system's runs can select
+// (the package registry; default first).
+func (s *System) Policies() []string { return rm.PolicyNames() }
+
+// NewPolicy instantiates a named allocation policy for direct use of
+// the rm layer; the co-simulator normally selects one by name through
+// SimConfig.Policy instead.
+func NewPolicy(name string) (AllocationPolicy, error) { return rm.NewPolicy(name) }
+
+// PolicySweep expands scenario specs along the allocation-policy axis
+// (empty policies defaults to the full registry), names suffixed
+// "+<policy>" — the input for a policy shoot-out on identical
+// workloads.
+func PolicySweep(specs []ScenarioSpec, policies []string) ([]ScenarioSpec, error) {
+	return scenario.PolicySweep(specs, policies)
+}
 
 // Baseline returns the fixed reference setting: M core, 2 GHz, 8 ways.
 func Baseline() Setting { return config.Baseline() }
@@ -296,6 +368,19 @@ func GenerateChurnWorkloads(s Scenario, cores, depth int, seed int64) ([][]Churn
 	return workload.GenerateChurn(s, cores, depth, seed)
 }
 
+// GenerateChurnWorkloadsOpts is GenerateChurnWorkloads with a
+// selectable arrival process (staggered waves, Poisson, diurnal) and
+// rate, for trace-like load instead of the wave schedule.
+func GenerateChurnWorkloadsOpts(s Scenario, cores, depth int, seed int64, opt ChurnOptions) ([][]ChurnEntry, error) {
+	return workload.GenerateChurnOpts(s, cores, depth, seed, opt)
+}
+
+// ParseArrivalProcess resolves an arrival-process name ("staggered",
+// "poisson", "diurnal"; empty defaults to staggered).
+func ParseArrivalProcess(name string) (ArrivalProcess, error) {
+	return workload.ParseArrivalProcess(name)
+}
+
 // ChurnScenario converts a generated churn schedule into a runnable
 // scenario spec whose arrivals span horizonNs.
 func ChurnScenario(name string, churn [][]ChurnEntry, horizonNs float64) ScenarioSpec {
@@ -327,18 +412,29 @@ type Options struct {
 	// Benchmarks restricts the database to a subset of the suite
 	// (default: the full suite).
 	Benchmarks []*Benchmark
+	// Policy is the system-wide default allocation policy ("model3",
+	// "greedy" or "brute"; see Policies). It applies whenever a run's
+	// SimConfig or a scenario spec does not name a policy itself; empty
+	// keeps the paper's optimal reduction ("model3").
+	Policy string
 }
 
 // System is the top-level handle: a built simulation database plus the
 // co-simulator and experiment drivers over it.
 type System struct {
 	db *db.DB
+	// policy is the Options.Policy default threaded into every run that
+	// does not select its own.
+	policy string
 }
 
 // Open builds (or loads from Options.DBPath) the simulation database by
 // running the detailed core/cache simulations over every benchmark
 // phase and every core size, frequency corner and way allocation.
 func Open(o Options) (*System, error) {
+	if _, err := scenario.ParsePolicy(o.Policy); err != nil {
+		return nil, err
+	}
 	benches := o.Benchmarks
 	if len(benches) == 0 {
 		benches = bench.Suite()
@@ -353,7 +449,7 @@ func Open(o Options) (*System, error) {
 		if d, _, err := dbstore.Load(o.SnapshotPath); err == nil &&
 			d.TraceLen == filled.TraceLen && d.Warmup == filled.Warmup &&
 			d.Covers(benches) {
-			return &System{db: d}, nil
+			return &System{db: d, policy: o.Policy}, nil
 		}
 		d, err := db.Build(benches, opts)
 		if err != nil {
@@ -362,13 +458,13 @@ func Open(o Options) (*System, error) {
 		if err := dbstore.Save(o.SnapshotPath, d); err != nil {
 			return nil, err
 		}
-		return &System{db: d}, nil
+		return &System{db: d, policy: o.Policy}, nil
 	}
 	d, err := db.LoadOrBuild(o.DBPath, benches, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &System{db: d}, nil
+	return &System{db: d, policy: o.Policy}, nil
 }
 
 // FromDB wraps an already-built database.
@@ -383,23 +479,43 @@ func (s *System) Snapshot(path string) error { return dbstore.Save(path, s.db) }
 // DB exposes the underlying database.
 func (s *System) DB() *DB { return s.db }
 
+// withPolicy threads the system-wide default policy into a run whose
+// configuration does not select one.
+func (s *System) withPolicy(cfg SimConfig) SimConfig {
+	if cfg.Policy == "" {
+		cfg.Policy = s.policy
+	}
+	return cfg
+}
+
+// withSpecPolicy does the same for a scenario spec (on a copy; the
+// caller's spec is never mutated).
+func (s *System) withSpecPolicy(spec *ScenarioSpec) *ScenarioSpec {
+	if spec.Policy != "" || s.policy == "" {
+		return spec
+	}
+	clone := *spec
+	clone.Policy = s.policy
+	return &clone
+}
+
 // Run co-simulates one application per core under cfg.
 func (s *System) Run(apps []*Benchmark, cfg SimConfig) (*SimResult, error) {
-	return sim.Run(s.db, apps, cfg)
+	return sim.Run(s.db, apps, s.withPolicy(cfg))
 }
 
 // RunDynamic co-simulates a multiprogrammed-churn workload under cfg:
 // per-core job queues with arrivals and departures, per-app QoS
-// relaxation and mid-run QoS steps.
+// relaxation, queue priorities and mid-run QoS steps.
 func (s *System) RunDynamic(dyn Dynamic, cfg SimConfig) (*DynamicResult, error) {
-	return sim.RunDynamic(s.db, dyn, cfg)
+	return sim.RunDynamic(s.db, dyn, s.withPolicy(cfg))
 }
 
 // RunScenario executes one declarative scenario together with its
 // idle-manager twin and reports the energy saving, QoS outcome and
 // per-job results.
 func (s *System) RunScenario(spec *ScenarioSpec) (*ScenarioReport, error) {
-	return scenario.Run(s.db, spec)
+	return scenario.Run(s.db, s.withSpecPolicy(spec))
 }
 
 // SweepScenarios runs a batch of scenarios in parallel over the shared
@@ -407,6 +523,13 @@ func (s *System) RunScenario(spec *ScenarioSpec) (*ScenarioReport, error) {
 // Reports come back in spec order; failures are joined and the
 // remaining scenarios still run.
 func (s *System) SweepScenarios(specs []ScenarioSpec, workers int) ([]*ScenarioReport, error) {
+	if s.policy != "" {
+		withDefault := make([]ScenarioSpec, len(specs))
+		for i := range specs {
+			withDefault[i] = *s.withSpecPolicy(&specs[i])
+		}
+		specs = withDefault
+	}
 	return scenario.Sweep(s.db, specs, workers)
 }
 
@@ -414,6 +537,7 @@ func (s *System) SweepScenarios(specs []ScenarioSpec, workers int) ([]*ScenarioR
 // workload and returns the fractional energy saving along with the
 // managed run's result.
 func (s *System) Savings(apps []*Benchmark, cfg SimConfig) (float64, *SimResult, error) {
+	cfg = s.withPolicy(cfg)
 	idleCfg := cfg
 	idleCfg.RM = Idle
 	idle, err := sim.Run(s.db, apps, idleCfg)
