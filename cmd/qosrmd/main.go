@@ -8,6 +8,13 @@
 //
 //	qosrmd -snapshot suite.qosdb [-addr :8423]
 //	qosrmd -snapshot suite.qosdb -build [-tracelen 65536] [-warmup 16384]
+//	qosrmd -snapshot suite.qosdb -journal jobs.jnl [-rate 100] [-burst 200]
+//
+// With -journal, submitted sweep jobs are journaled to disk before they
+// are acknowledged: a daemon killed mid-sweep re-enqueues the unfinished
+// scenarios on the next boot and serves already-computed reports from
+// the log. With -rate, each client host gets a token bucket; limited
+// requests receive 429 with a Retry-After header.
 //
 // With -build, a missing or stale snapshot is rebuilt from the compiled
 // suite and saved back to -snapshot, so the first boot pays the sweep
@@ -52,6 +59,10 @@ func main() {
 	maxBody := flag.Int64("max-body", 1<<20, "max request body bytes")
 	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period")
 	jobTTL := flag.Duration("job-ttl", time.Hour, "how long finished jobs stay queryable before GC (negative keeps them forever)")
+	journal := flag.String("journal", "", "job journal path; when set, submitted jobs survive crashes and restarts (empty disables)")
+	rate := flag.Float64("rate", 0, "per-client request rate limit in requests/second (0 disables)")
+	burst := flag.Int("burst", 0, "rate-limit burst size (0 = one second of -rate)")
+	retries := flag.Int("job-retries", 0, "retries per failed scenario before its error is recorded (0 = default 2, negative disables)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -62,12 +73,19 @@ func main() {
 		log.Fatal(err)
 	}
 
-	srv := server.New(d, server.Options{
+	srv, err := server.New(d, server.Options{
 		Workers:      *pool,
 		QueueDepth:   *queue,
 		MaxBodyBytes: *maxBody,
 		JobTTL:       *jobTTL,
+		JournalPath:  *journal,
+		JobRetries:   *retries,
+		RatePerSec:   *rate,
+		RateBurst:    *burst,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

@@ -143,12 +143,26 @@ func sortedNames(d *db.DB) []string {
 // temporary sibling first and renames into place, so a crash mid-write
 // never leaves a truncated snapshot behind for the next cold start.
 func Save(path string, d *db.DB) error {
+	if err := AtomicWrite(path, func(f *os.File) error { return Write(f, d) }); err != nil {
+		return fmt.Errorf("dbstore: save: %w", err)
+	}
+	return nil
+}
+
+// AtomicWrite is the crash-safe file-replacement envelope every
+// persistent artefact in this codebase uses (snapshots here, the job
+// journal's compaction in internal/jobstore): write runs against a
+// temporary sibling of path, which is fsynced, closed and renamed into
+// place, followed by a best-effort directory sync so the rename itself
+// is durable. A crash at any point leaves either the old file or the
+// complete new one — never a truncated hybrid.
+func AtomicWrite(path string, write func(*os.File) error) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
-		return fmt.Errorf("dbstore: save: %w", err)
+		return err
 	}
-	if err := Write(f, d); err != nil {
+	if err := write(f); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -160,23 +174,27 @@ func Save(path string, d *db.DB) error {
 	if err := f.Sync(); err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return fmt.Errorf("dbstore: save: %w", err)
+		return err
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
-		return fmt.Errorf("dbstore: save: %w", err)
+		return err
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
-		return fmt.Errorf("dbstore: save: %w", err)
+		return err
 	}
-	// Best-effort directory sync so the rename itself is durable.
 	if dir, err := os.Open(filepath.Dir(path)); err == nil {
 		dir.Sync()
 		dir.Close()
 	}
 	return nil
 }
+
+// Checksum is the CRC-64/ECMA all persistent formats in this codebase
+// frame their payloads with (the snapshot payload here, every journal
+// record in internal/jobstore).
+func Checksum(p []byte) uint64 { return crc64.Checksum(p, crcTable) }
 
 // Write serialises the database to w in snapshot format.
 func Write(w io.Writer, d *db.DB) error {

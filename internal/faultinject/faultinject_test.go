@@ -1,0 +1,194 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisarmedEvalIsNil(t *testing.T) {
+	Reset()
+	if err := Eval("nosuch.point"); err != nil {
+		t.Fatalf("disarmed eval returned %v", err)
+	}
+}
+
+func TestErrorKind(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Enable("p.err", "error"); err != nil {
+		t.Fatal(err)
+	}
+	err := Eval("p.err")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed error point returned %v", err)
+	}
+	if Hits("p.err") != 1 {
+		t.Fatalf("hits %d, want 1", Hits("p.err"))
+	}
+	// Other points stay disarmed.
+	if err := Eval("p.other"); err != nil {
+		t.Fatalf("unarmed sibling returned %v", err)
+	}
+}
+
+func TestCountedArming(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Enable("p.count", "error*2"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := Eval("p.count"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("eval %d: %v", i, err)
+		}
+	}
+	if err := Eval("p.count"); err != nil {
+		t.Fatalf("exhausted point still fires: %v", err)
+	}
+	if Hits("p.count") != 2 {
+		t.Fatalf("hits %d, want 2", Hits("p.count"))
+	}
+}
+
+func TestStallKind(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Enable("p.stall", "stall:20ms"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Eval("p.stall"); err != nil {
+		t.Fatalf("stall returned %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("stall slept only %v", d)
+	}
+}
+
+func TestPanicKind(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Enable("p.panic", "panic"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic point did not panic")
+		}
+	}()
+	Eval("p.panic")
+}
+
+func TestProbabilityRoughlyHonored(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Enable("p.prob", "error:0.5"); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	for i := 0; i < 1000; i++ {
+		if Eval("p.prob") != nil {
+			fired++
+		}
+	}
+	if fired < 300 || fired > 700 {
+		t.Fatalf("p=0.5 fired %d/1000", fired)
+	}
+}
+
+func TestEnableAllGrammar(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := EnableAll("a=error; b=stall:1ms*3 ;; c=off"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Eval("a"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("a: %v", err)
+	}
+	if err := Eval("b"); err != nil {
+		t.Fatalf("b: %v", err)
+	}
+	if err := Eval("c"); err != nil {
+		t.Fatalf("c: %v", err)
+	}
+}
+
+func TestBadSpecsRejected(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	for _, spec := range []string{
+		"quantum", "error:2", "error:-1", "error*0", "error*x",
+		"stall:banana", "exit:999",
+	} {
+		if err := Enable("p.bad", spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+	if err := EnableAll("not-a-pair"); err == nil {
+		t.Error("pairless EnableAll accepted")
+	}
+	// A failed Enable must not leave the point half-armed.
+	if err := Eval("p.bad"); err != nil {
+		t.Fatalf("rejected spec armed the point: %v", err)
+	}
+}
+
+func TestRearmReplacesPrevious(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Enable("p.re", "error"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Enable("p.re", "off"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Eval("p.re"); err != nil {
+		t.Fatalf("disarmed point fired: %v", err)
+	}
+	if armed.Load() != 0 {
+		t.Fatalf("armed count %d after disarm", armed.Load())
+	}
+}
+
+// TestConcurrentEval drives one armed counted point from many
+// goroutines: the count must be exact (no double-fires, no misses)
+// and the race detector must stay quiet.
+func TestConcurrentEval(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Enable("p.conc", "error*100"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var fired atomic64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if Eval("p.conc") != nil {
+					fired.add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := fired.load(); got != 100 {
+		t.Fatalf("fired %d, want exactly 100", got)
+	}
+	if Hits("p.conc") != 100 {
+		t.Fatalf("hits %d, want 100", Hits("p.conc"))
+	}
+}
+
+// atomic64 avoids importing sync/atomic under a name that shadows the
+// package's own use.
+type atomic64 struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (a *atomic64) add(d int64) { a.mu.Lock(); a.n += d; a.mu.Unlock() }
+func (a *atomic64) load() int64 { a.mu.Lock(); defer a.mu.Unlock(); return a.n }

@@ -355,7 +355,10 @@ func Run(short bool) (*Report, error) {
 	// against an in-process qosrmd server over the fixture database —
 	// the full request path (decode, validate, simulate, encode). The
 	// delta to a bare scenario run is the serving overhead per request.
-	srv := server.New(fixture, server.Options{Workers: 2})
+	srv, err := server.New(fixture, server.Options{Workers: 2})
+	if err != nil {
+		return nil, err
+	}
 	ts := httptest.NewServer(srv.Handler())
 	specJSON, err := json.Marshal(scenarioBatch()[0])
 	if err != nil {

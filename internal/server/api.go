@@ -57,7 +57,10 @@ const (
 // Reports is populated once the job is done, in spec order, with null
 // entries for specs that failed (their errors are joined in Error).
 type JobStatus struct {
-	ID      string             `json:"id"`
+	ID string `json:"id"`
+	// Key echoes the Idempotency-Key the job was submitted under, if
+	// any: a client retrying a submit can confirm it was deduplicated.
+	Key     string             `json:"key,omitempty"`
 	State   string             `json:"state"`
 	Total   int                `json:"total"`
 	Done    int                `json:"done"`
@@ -65,7 +68,10 @@ type JobStatus struct {
 	Error   string             `json:"error,omitempty"`
 }
 
-// Health is the response of GET /healthz.
+// Health is the response of GET /healthz. Status is "ok" in steady
+// state and "degraded" when the scenario queue is near capacity — a
+// load balancer can shift traffic away before submissions start
+// bouncing with 503s.
 type Health struct {
 	Status        string  `json:"status"`
 	Benchmarks    int     `json:"benchmarks"`
@@ -73,9 +79,47 @@ type Health struct {
 	TraceLen      int     `json:"trace_len"`
 	Workers       int     `json:"workers"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Queued and QueueDepth expose the scenario queue's occupancy, the
+	// quantity the degraded threshold is computed from.
+	Queued     int `json:"queued"`
+	QueueDepth int `json:"queue_depth"`
+	// Journal reports whether job state is journaled to disk (i.e. jobs
+	// survive a crash or restart of this server).
+	Journal bool `json:"journal"`
 }
 
-// errorResponse is the JSON envelope of every non-2xx response.
+// Health states.
+const (
+	HealthOK       = "ok"
+	HealthDegraded = "degraded"
+)
+
+// Machine-readable rejection reasons, carried in the error envelope's
+// "reason" field so clients can route on them — retry the transient
+// ones, surface the permanent ones — without matching message strings.
+const (
+	// ReasonBatchTooLarge (400): the batch exceeds the queue's total
+	// capacity and can never be admitted. Permanent: split the sweep.
+	ReasonBatchTooLarge = "batch_too_large"
+	// ReasonQueueFull (503): the queue is occupied right now.
+	// Transient: retry with backoff.
+	ReasonQueueFull = "queue_full"
+	// ReasonShuttingDown (503): this instance is draining. Transient
+	// against a deployment (another instance or the restarted daemon
+	// will accept the retry).
+	ReasonShuttingDown = "shutting_down"
+	// ReasonRateLimited (429): the per-client token bucket is empty.
+	// Transient: retry after the advertised delay.
+	ReasonRateLimited = "rate_limited"
+	// ReasonJournal (500): the job journal rejected the write, so the
+	// submission could not be made durable and was not admitted.
+	ReasonJournal = "journal_error"
+)
+
+// errorResponse is the JSON envelope of every non-2xx response. Reason
+// is present on rejections with a machine-readable classification (see
+// the Reason* constants); Error is always human-readable.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error  string `json:"error"`
+	Reason string `json:"reason,omitempty"`
 }

@@ -1,0 +1,167 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"qosrm/internal/faultinject"
+	"qosrm/internal/scenario"
+)
+
+// chaosSpec is a deliberately light scenario so the chaos loop's many
+// cycles stay fast under -race.
+func chaosSpec(name string, seed int) scenario.Spec {
+	const work = 100_000_000 * 2048
+	return scenario.Spec{
+		Name: name,
+		RM:   "RM3",
+		Cores: []scenario.CoreSpec{
+			{Jobs: []scenario.JobSpec{{App: "mcf", Work: work, Alpha: 1 + 0.05*float64(seed%4)}}},
+			{Jobs: []scenario.JobSpec{{App: "povray", Work: work}}},
+		},
+	}
+}
+
+// TestChaosKillRestartCycles is the crash-safety acceptance test: one
+// journal lives through many abrupt server deaths (Close cancels
+// in-flight work mid-scenario — the in-process equivalent of SIGKILL
+// for journal state, since unfinished scenarios get no finish event)
+// while concurrent submitters re-submit a fixed pool of idempotency
+// keys and random failpoints inject stalls, scenario errors and journal
+// write failures. Invariants checked across every cycle:
+//
+//   - zero lost: every job whose submit was acknowledged exists after
+//     every subsequent restart;
+//   - zero duplicated: an idempotency key maps to exactly one job id,
+//     forever, and the final job count equals the key count;
+//   - bit-identical: every report equals the uninterrupted in-process
+//     sweep of the same specs.
+func TestChaosKillRestartCycles(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	d := sharedDB(t)
+	path := filepath.Join(t.TempDir(), "chaos.jnl")
+
+	// The job pool and its uninterrupted reference reports.
+	const numJobs = 8
+	type refJob struct {
+		key   string
+		specs []scenario.Spec
+		want  []*scenario.Report
+	}
+	refs := make([]refJob, numJobs)
+	for i := range refs {
+		specs := []scenario.Spec{chaosSpec(fmt.Sprintf("chaos-%d-a", i), i)}
+		if i%2 == 0 {
+			specs = append(specs, chaosSpec(fmt.Sprintf("chaos-%d-b", i), i+1))
+		}
+		want, err := scenario.Sweep(d, specs, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = refJob{key: fmt.Sprintf("chaos-key-%d", i), specs: specs, want: want}
+	}
+
+	// Seeded: the cycle schedule is reproducible, the interleaving inside
+	// each cycle is not — the invariants hold under any interleaving.
+	rng := rand.New(rand.NewSource(42))
+	var mu sync.Mutex
+	keyToID := make(map[string]string)
+
+	const cycles = 24
+	for cycle := 0; cycle < cycles; cycle++ {
+		srv, err := New(d, Options{Workers: 2, JournalPath: path, QueueDepth: 64})
+		if err != nil {
+			t.Fatalf("cycle %d: boot: %v", cycle, err)
+		}
+		// Zero lost: every previously acknowledged job survived the kill.
+		for key, id := range keyToID {
+			if srv.jobByID(id) == nil {
+				t.Fatalf("cycle %d: job %s (key %s) lost across restart", cycle, id, key)
+			}
+		}
+
+		// Random fault of the cycle (counted, so it always disarms).
+		switch rng.Intn(4) {
+		case 0:
+			faultinject.Enable("server.worker", fmt.Sprintf("stall:%dms*%d", 5+rng.Intn(20), 1+rng.Intn(3)))
+		case 1:
+			faultinject.Enable("server.worker", fmt.Sprintf("error*%d", 1+rng.Intn(2)))
+		case 2:
+			faultinject.Enable("jobstore.append", "error*1")
+		}
+
+		// Concurrent submitters hammering overlapping keys.
+		var wg sync.WaitGroup
+		for s := 2 + rng.Intn(3); s > 0; s-- {
+			picks := make([]int, 1+rng.Intn(3))
+			for c := range picks {
+				picks[c] = rng.Intn(numJobs)
+			}
+			wg.Add(1)
+			go func(picks []int) {
+				defer wg.Done()
+				for _, i := range picks {
+					j, _, err := srv.submit(refs[i].specs, refs[i].key)
+					if err != nil {
+						continue // not acknowledged: free to retry next cycle
+					}
+					mu.Lock()
+					if prev, ok := keyToID[refs[i].key]; ok && prev != j.id {
+						t.Errorf("cycle %d: key %s duplicated: job %s and %s", cycle, refs[i].key, prev, j.id)
+					} else {
+						keyToID[refs[i].key] = j.id
+					}
+					mu.Unlock()
+				}
+			}(picks)
+		}
+		wg.Wait()
+
+		// Let workers make partial progress, then kill mid-flight.
+		time.Sleep(time.Duration(rng.Intn(25)) * time.Millisecond)
+		faultinject.Reset()
+		srv.Close()
+	}
+
+	// Final boot: drain everything and audit.
+	srv, err := New(d, Options{Workers: 4, JournalPath: path, QueueDepth: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for i := range refs {
+		if _, ok := keyToID[refs[i].key]; ok {
+			continue
+		}
+		j, _, err := srv.submit(refs[i].specs, refs[i].key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keyToID[refs[i].key] = j.id
+	}
+	for i := range refs {
+		id := keyToID[refs[i].key]
+		st := waitJobDone(t, srv, id)
+		if st.State != JobDone || st.Error != "" {
+			t.Fatalf("key %s (job %s) did not complete cleanly: %+v", refs[i].key, id, st)
+		}
+		for k := range refs[i].want {
+			if !reflect.DeepEqual(st.Reports[k], refs[i].want[k]) {
+				t.Fatalf("key %s report %d differs from the uninterrupted run", refs[i].key, k)
+			}
+		}
+	}
+	// Zero duplicated, globally: exactly one job per key, nothing else.
+	srv.mu.Lock()
+	total := len(srv.jobs)
+	srv.mu.Unlock()
+	if total != numJobs {
+		t.Fatalf("%d jobs tracked after %d cycles, want %d (lost or duplicated work)", total, cycles, numJobs)
+	}
+}

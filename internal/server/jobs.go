@@ -1,12 +1,15 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
 	"sync"
 	"time"
 
+	"qosrm/internal/faultinject"
+	"qosrm/internal/jobstore"
 	"qosrm/internal/scenario"
 	"qosrm/internal/sim"
 )
@@ -14,7 +17,10 @@ import (
 // job is one asynchronous sweep: a batch of specs fanned out as
 // per-scenario work items over the server's worker pool.
 type job struct {
-	id    string
+	id string
+	// key is the Idempotency-Key the job was submitted under ("" when
+	// none); immutable after creation.
+	key   string
 	specs []scenario.Spec
 
 	mu      sync.Mutex
@@ -28,17 +34,19 @@ type job struct {
 }
 
 // workItem is one scenario of one job, the unit the worker pool
-// consumes.
+// consumes. attempts counts how often a worker has already tried (and
+// failed) this scenario, bounding retries at Options.JobRetries.
 type workItem struct {
-	j   *job
-	idx int
+	j        *job
+	idx      int
+	attempts int
 }
 
 // status snapshots the job for the API.
 func (j *job) status() *JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	st := &JobStatus{ID: j.id, Total: len(j.specs), Done: j.done}
+	st := &JobStatus{ID: j.id, Key: j.key, Total: len(j.specs), Done: j.done}
 	switch {
 	case j.done == len(j.specs):
 		st.State = JobDone
@@ -93,44 +101,95 @@ func (j *job) begin() {
 	j.mu.Unlock()
 }
 
-// errQueueFull is returned when a job submission does not fit in the
-// server's bounded queue.
-var errQueueFull = errors.New("job queue full")
+// journalEvents renders the job's current state as the minimal event
+// sequence that replays back to it: one submit plus a finish per
+// completed scenario. Compaction rewrites the journal from these.
+func (j *job) journalEvents() []jobstore.Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	evs := []jobstore.Event{{Type: jobstore.EventSubmit, Job: j.id, Key: j.key, Specs: j.specs}}
+	for i := range j.specs {
+		if j.reports[i] == nil && j.errs[i] == nil {
+			continue
+		}
+		ev := jobstore.Event{Type: jobstore.EventFinish, Job: j.id, Index: i, Report: j.reports[i]}
+		if j.errs[i] != nil {
+			ev.Error = j.errs[i].Error()
+		}
+		evs = append(evs, ev)
+	}
+	return evs
+}
+
+// Submission rejection sentinels; handleJobSubmit maps them to the
+// machine-readable Reason* envelope fields.
+var (
+	// errQueueFull: the batch does not fit the bounded queue right now.
+	errQueueFull = errors.New("job queue full")
+	// errClosed: the server is draining.
+	errClosed = errors.New("server shutting down")
+	// errJournal: the submission could not be made durable.
+	errJournal = errors.New("job journal write failed")
+)
 
 // submit registers a new job and enqueues its scenarios. Queue capacity
 // for the whole batch is reserved atomically up front, so a job is
-// either fully queued or rejected — never half-admitted.
-func (s *Server) submit(specs []scenario.Spec) (*job, error) {
-	j := &job{
+// either fully queued or rejected — never half-admitted. A non-empty
+// idempotency key that matches an existing job short-circuits to that
+// job with replayed=true. With a journal, the submit event is appended
+// (and fsynced) before the job becomes visible: every acknowledged job
+// is recoverable.
+func (s *Server) submit(specs []scenario.Spec, key string) (j *job, replayed bool, err error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, false, errClosed
+	}
+	if key != "" {
+		if prev := s.jobs[s.keys[key]]; prev != nil {
+			s.mu.Unlock()
+			return prev, true, nil
+		}
+	}
+	if s.queued+len(specs) > s.opts.QueueDepth {
+		queued := s.queued
+		s.mu.Unlock()
+		return nil, false, fmt.Errorf("%w: %d queued of %d, %d requested",
+			errQueueFull, queued, s.opts.QueueDepth, len(specs))
+	}
+	s.jobSeq++
+	j = &job{
+		id:      fmt.Sprintf("j%d", s.jobSeq),
+		key:     key,
 		specs:   specs,
 		reports: make([]*scenario.Report, len(specs)),
 		errs:    make([]error, len(specs)),
 	}
-
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil, errors.New("server shutting down")
-	}
-	if s.queued+len(specs) > s.opts.QueueDepth {
-		s.mu.Unlock()
-		return nil, fmt.Errorf("%w: %d queued of %d, %d requested",
-			errQueueFull, s.queued, s.opts.QueueDepth, len(specs))
+	if s.journal != nil {
+		ev := jobstore.Event{Type: jobstore.EventSubmit, Job: j.id, Key: key, Specs: specs}
+		if aerr := s.journal.Append(ev); aerr != nil {
+			// Not admitted: the id sequence keeps its gap, nothing was
+			// registered, and the caller gets a non-retryable 500.
+			s.mu.Unlock()
+			s.metrics.journalErrors.Add(1)
+			return nil, false, fmt.Errorf("%w: %v", errJournal, aerr)
+		}
 	}
 	s.queued += len(specs)
-	s.jobSeq++
-	j.id = fmt.Sprintf("j%d", s.jobSeq)
 	s.jobs[j.id] = j
+	if key != "" {
+		s.keys[key] = j.id
+	}
 	s.mu.Unlock()
 
-	// The channel's capacity is QueueDepth, and the reservation above
-	// guarantees the free slots: these sends never block.
+	// The channel holds at least QueueDepth items, and the reservation
+	// above guarantees the free slots: these sends never block.
 	for i := range specs {
 		s.queue <- workItem{j: j, idx: i}
 	}
 	s.metrics.jobsSubmitted.Add(1)
 	s.metrics.specsQueued.Add(int64(len(specs)))
-	return j, nil
+	return j, false, nil
 }
 
 // jobByID looks a job up.
@@ -140,11 +199,36 @@ func (s *Server) jobByID(id string) *job {
 	return s.jobs[id]
 }
 
+// runScenario executes one scenario, converting a worker panic into an
+// ordinary scenario error so one poisoned spec cannot take down the
+// pool (the goroutine, its workspace, and every queued scenario behind
+// it). The "server.worker" failpoint injects errors, stalls or panics
+// here for the chaos tests.
+func (s *Server) runScenario(spec *scenario.Spec, ws *sim.RunWorkspace) (rep *scenario.Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.workerPanics.Add(1)
+			rep, err = nil, fmt.Errorf("worker panic: %v", r)
+		}
+	}()
+	if err := faultinject.Eval("server.worker"); err != nil {
+		return nil, err
+	}
+	return scenario.RunCtx(s.ctx, s.db, spec, ws)
+}
+
 // worker is one pool goroutine: it owns a dynamic-engine workspace that
 // survives across all scenarios it executes (the same per-worker reuse
 // as scenario.Sweep) and runs items until the server closes. Runs are
 // bound to the server's lifecycle context, so Close aborts in-flight
 // simulations promptly.
+//
+// Failure handling: a scenario that errors is retried up to
+// Options.JobRetries times by re-enqueueing its work item (the queue
+// slot it occupied is provably free, so the send cannot block); only
+// the final failure is recorded. A scenario cancelled by shutdown is
+// dropped without recording anything — with a journal it has no finish
+// event, so the next boot re-enqueues it.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	var ws sim.RunWorkspace
@@ -154,7 +238,39 @@ func (s *Server) worker() {
 			return
 		case it := <-s.queue:
 			it.j.begin()
-			rep, err := scenario.RunCtx(s.ctx, s.db, &it.j.specs[it.idx], &ws)
+			if s.journal != nil && it.attempts == 0 {
+				ev := jobstore.Event{Type: jobstore.EventStart, Job: it.j.id, Index: it.idx}
+				if err := s.journal.Append(ev); err != nil {
+					s.metrics.journalErrors.Add(1)
+				}
+			}
+			rep, err := s.runScenario(&it.j.specs[it.idx], &ws)
+			if err != nil {
+				if s.ctx.Err() != nil && errors.Is(err, context.Canceled) {
+					// Shutdown raced the run: leave the scenario
+					// unfinished (and unjournaled) so replay re-runs it.
+					return
+				}
+				if it.attempts < s.opts.JobRetries {
+					it.attempts++
+					s.metrics.specsRetried.Add(1)
+					select {
+					case s.queue <- it:
+					case <-s.ctx.Done():
+						return
+					}
+					continue
+				}
+			}
+			if s.journal != nil {
+				ev := jobstore.Event{Type: jobstore.EventFinish, Job: it.j.id, Index: it.idx, Report: rep}
+				if err != nil {
+					ev.Error = err.Error()
+				}
+				if aerr := s.journal.Append(ev); aerr != nil {
+					s.metrics.journalErrors.Add(1)
+				}
+			}
 			finished := it.j.complete(it.idx, rep, err, s.now())
 			if err != nil {
 				s.metrics.specsFailed.Add(1)

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"errors"
+	"sort"
+	"strconv"
+
+	"qosrm/internal/jobstore"
+	"qosrm/internal/scenario"
+)
+
+// replayJournal rebuilds the job table from a journal's event stream
+// and returns the scenarios that were acknowledged but never finished,
+// in deterministic (job, index) order, for re-enqueueing. Called from
+// New before the worker pool starts, so it touches server state without
+// locking.
+//
+// Replay semantics:
+//
+//   - submit: registers the job (specs, idempotency key) exactly as the
+//     original POST did; duplicate submit records (possible after an
+//     interrupted compaction) are ignored.
+//   - start: informational only — a started-but-unfinished scenario is
+//     indistinguishable from a queued one after a crash and re-runs.
+//     The engine is deterministic, so the re-run reproduces the report
+//     the lost run would have produced.
+//   - finish: fills the scenario's report or error; the job serves it
+//     without recomputing. Fully-finished jobs get finishedAt stamped
+//     at boot, restarting their TTL (the journal does not record wall
+//     clocks, and serving a report too long beats dropping it too
+//     early).
+//   - expire: drops the job and its key, mirroring the TTL GC.
+func (s *Server) replayJournal(events []jobstore.Event) []workItem {
+	boot := s.now()
+	for _, ev := range events {
+		s.metrics.journalReplays.Add(1)
+		switch ev.Type {
+		case jobstore.EventSubmit:
+			if _, dup := s.jobs[ev.Job]; dup || ev.Job == "" {
+				continue
+			}
+			j := &job{
+				id:      ev.Job,
+				key:     ev.Key,
+				specs:   ev.Specs,
+				reports: make([]*scenario.Report, len(ev.Specs)),
+				errs:    make([]error, len(ev.Specs)),
+			}
+			s.jobs[j.id] = j
+			if j.key != "" {
+				s.keys[j.key] = j.id
+			}
+			// jobSeq resumes past every replayed id so new jobs never
+			// collide with journaled ones.
+			if n, ok := jobNum(j.id); ok && n > s.jobSeq {
+				s.jobSeq = n
+			}
+		case jobstore.EventFinish:
+			j := s.jobs[ev.Job]
+			if j == nil || ev.Index < 0 || ev.Index >= len(j.specs) {
+				continue
+			}
+			if j.reports[ev.Index] != nil || j.errs[ev.Index] != nil {
+				continue
+			}
+			j.reports[ev.Index] = ev.Report
+			switch {
+			case ev.Error != "":
+				j.errs[ev.Index] = errors.New(ev.Error)
+			case ev.Report == nil:
+				j.errs[ev.Index] = errors.New("journal: finish event without report")
+			}
+			j.done++
+			if j.done == len(j.specs) {
+				j.finishedAt = boot
+			}
+		case jobstore.EventExpire:
+			if j := s.jobs[ev.Job]; j != nil {
+				delete(s.jobs, ev.Job)
+				if j.key != "" {
+					delete(s.keys, j.key)
+				}
+			}
+		}
+	}
+
+	var pending []workItem
+	for _, j := range s.jobs {
+		for i := range j.specs {
+			if j.reports[i] == nil && j.errs[i] == nil {
+				pending = append(pending, workItem{j: j, idx: i})
+			}
+		}
+	}
+	sort.Slice(pending, func(a, b int) bool {
+		na, _ := jobNum(pending[a].j.id)
+		nb, _ := jobNum(pending[b].j.id)
+		if na != nb {
+			return na < nb
+		}
+		return pending[a].idx < pending[b].idx
+	})
+	return pending
+}
+
+// jobNum extracts the sequence number of a "j<n>" job id.
+func jobNum(id string) (int64, bool) {
+	if len(id) < 2 || id[0] != 'j' {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(id[1:], 10, 64)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}

@@ -1,0 +1,88 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// maxClients bounds the limiter's bucket map; when a new client would
+// exceed it, fully-refilled (i.e. idle) buckets are pruned first — they
+// are indistinguishable from fresh ones, so dropping them changes no
+// admission decision.
+const maxClients = 4096
+
+// rateLimiter is a per-client token bucket: each client refills at
+// rate tokens/second up to burst, and one request costs one token.
+// Clients are keyed by the caller (the server uses the remote host).
+type rateLimiter struct {
+	rate  float64
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newRateLimiter builds a limiter; rate must be positive. burst <= 0
+// defaults to ceil(rate) (one second of traffic), never below 1.
+func newRateLimiter(rate float64, burst int, now func() time.Time) *rateLimiter {
+	b := float64(burst)
+	if b <= 0 {
+		b = math.Ceil(rate)
+	}
+	if b < 1 {
+		b = 1
+	}
+	return &rateLimiter{rate: rate, burst: b, now: now, buckets: make(map[string]*bucket)}
+}
+
+// allow spends one token of the client's bucket, reporting whether one
+// was available.
+func (l *rateLimiter) allow(client string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b, ok := l.buckets[client]
+	if !ok {
+		if len(l.buckets) >= maxClients {
+			l.prune(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[client] = b
+	} else {
+		b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}
+
+// retryAfter is the delay advertised to a limited client: the time one
+// token takes to refill, rounded up to whole seconds (the Retry-After
+// header's granularity), at least 1.
+func (l *rateLimiter) retryAfter() time.Duration {
+	secs := math.Ceil(1 / l.rate)
+	if secs < 1 {
+		secs = 1
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// prune drops buckets that have refilled completely; must be called
+// with the mutex held.
+func (l *rateLimiter) prune(now time.Time) {
+	for k, b := range l.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*l.rate >= l.burst {
+			delete(l.buckets, k)
+		}
+	}
+}

@@ -28,14 +28,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"qosrm/internal/bench"
 	"qosrm/internal/db"
+	"qosrm/internal/jobstore"
 	"qosrm/internal/rm"
 	"qosrm/internal/scenario"
 	"qosrm/internal/sim"
@@ -59,6 +62,26 @@ type Options struct {
 	// server's lifetime (the pre-TTL behaviour). Unfinished jobs are
 	// never collected.
 	JobTTL time.Duration
+	// JournalPath enables the durable job journal (internal/jobstore):
+	// submissions are journaled before they are acknowledged, scenario
+	// outcomes as they complete, and New replays the journal — pending
+	// scenarios re-enqueue, finished reports are served from the log —
+	// so a crashed or redeployed daemon resumes where it stopped.
+	// Empty keeps job state purely in memory.
+	JournalPath string
+	// JobRetries is how many times a failed scenario is retried before
+	// its error is recorded (transient faults — an injected failpoint,
+	// a panicking worker — should not fail a whole sweep). Default 2;
+	// negative disables retries.
+	JobRetries int
+	// RatePerSec enables per-client token-bucket rate limiting of the
+	// /v1 endpoints at this sustained rate; 0 disables limiting.
+	// Clients are keyed by remote host. Limited requests get 429 with a
+	// Retry-After header.
+	RatePerSec float64
+	// RateBurst is the token-bucket depth (default: one second's worth
+	// of RatePerSec).
+	RateBurst int
 
 	// clock overrides the server's time source; nil means time.Now.
 	// Unexported: only in-package tests drive the job GC with a fake
@@ -83,6 +106,12 @@ func (o *Options) fill() {
 	if o.JobTTL == 0 {
 		o.JobTTL = time.Hour
 	}
+	switch {
+	case o.JobRetries == 0:
+		o.JobRetries = 2
+	case o.JobRetries < 0:
+		o.JobRetries = 0
+	}
 	if o.clock == nil {
 		o.clock = time.Now
 	}
@@ -95,11 +124,22 @@ type metrics struct {
 	specsQueued   atomic.Int64
 	specsRun      atomic.Int64
 	specsFailed   atomic.Int64
+	specsRetried  atomic.Int64
 	jobsSubmitted atomic.Int64
 	jobsFinished  atomic.Int64
 	jobsExpired   atomic.Int64
 	savingsNs     atomic.Int64
 	scenariosNs   atomic.Int64
+	// Reliability counters: requests shed at the edge (rate limit +
+	// transient 503s), submissions deduplicated by idempotency key,
+	// worker panics converted to scenario errors, and the journal's
+	// replay/append/compaction activity.
+	requestsShed      atomic.Int64
+	idempotentReplays atomic.Int64
+	workerPanics      atomic.Int64
+	journalReplays    atomic.Int64
+	journalErrors     atomic.Int64
+	journalCompacts   atomic.Int64
 	// policyRuns counts managed runs per allocation policy, indexed as
 	// policyNames — the per-policy serving metric. Sized from the
 	// registry at server construction, so new policies get a slot
@@ -147,6 +187,10 @@ type Server struct {
 	// now is the server's clock (Options.clock, default time.Now);
 	// tests inject a fake one to drive the job GC deterministically.
 	now func() time.Time
+	// journal is the durable job log (nil without Options.JournalPath);
+	// limiter the per-client token bucket (nil without RatePerSec).
+	journal *jobstore.Journal
+	limiter *rateLimiter
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -158,13 +202,18 @@ type Server struct {
 	queued int
 	jobSeq int64
 	jobs   map[string]*job
+	// keys maps idempotency keys to job ids; entries live exactly as
+	// long as their job (expiry drops both).
+	keys map[string]string
 
 	metrics metrics
 }
 
-// New starts a server over d: the worker pool is running on return.
-// Callers own the lifecycle and must Close it.
-func New(d *db.DB, opts Options) *Server {
+// New starts a server over d: the worker pool is running on return,
+// and if Options.JournalPath is set the journal has been replayed —
+// unfinished scenarios from the previous process are already queued
+// again. Callers own the lifecycle and must Close it.
+func New(d *db.DB, opts Options) (*Server, error) {
 	opts.fill()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
@@ -174,17 +223,44 @@ func New(d *db.DB, opts Options) *Server {
 		now:    opts.clock,
 		ctx:    ctx,
 		cancel: cancel,
-		queue:  make(chan workItem, opts.QueueDepth),
 		jobs:   make(map[string]*job),
+		keys:   make(map[string]string),
 	}
 	s.metrics.policyRuns = make([]atomic.Int64, len(policyNames))
+	if opts.RatePerSec > 0 {
+		s.limiter = newRateLimiter(opts.RatePerSec, opts.RateBurst, s.now)
+	}
+
+	var pending []workItem
+	if opts.JournalPath != "" {
+		journal, info, err := jobstore.Open(opts.JournalPath)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.journal = journal
+		pending = s.replayJournal(info.Events)
+	}
+	// The queue must hold every replayed pending scenario even when the
+	// previous process ran with a deeper queue; new submissions are
+	// still admitted against Options.QueueDepth only.
+	depth := opts.QueueDepth
+	if len(pending) > depth {
+		depth = len(pending)
+	}
+	s.queue = make(chan workItem, depth)
+	for _, it := range pending {
+		s.queue <- it
+	}
+	s.queued = len(pending)
+
 	s.mux = http.NewServeMux()
-	s.handle("POST /v1/savings", routeSavings, s.handleSavings)
-	s.handle("POST /v1/scenarios", routeScenarios, s.handleScenario)
-	s.handle("POST /v1/jobs", routeJobs, s.handleJobSubmit)
-	s.handle("GET /v1/jobs/{id}", routeJobGet, s.handleJobGet)
-	s.handle("GET /healthz", routeHealth, s.handleHealth)
-	s.handle("GET /metrics", routeMetrics, s.handleMetrics)
+	s.handle("POST /v1/savings", routeSavings, true, s.handleSavings)
+	s.handle("POST /v1/scenarios", routeScenarios, true, s.handleScenario)
+	s.handle("POST /v1/jobs", routeJobs, true, s.handleJobSubmit)
+	s.handle("GET /v1/jobs/{id}", routeJobGet, true, s.handleJobGet)
+	s.handle("GET /healthz", routeHealth, false, s.handleHealth)
+	s.handle("GET /metrics", routeMetrics, false, s.handleMetrics)
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -193,7 +269,7 @@ func New(d *db.DB, opts Options) *Server {
 		s.wg.Add(1)
 		go s.gcLoop()
 	}
-	return s
+	return s, nil
 }
 
 // gcLoop periodically expires finished jobs older than JobTTL. The
@@ -224,6 +300,9 @@ func (s *Server) gcLoop() {
 // gcFinishedJobs drops jobs that finished more than JobTTL before now
 // and reports how many it expired. Unfinished jobs are never touched:
 // a job still queued or running stays queryable however old it is.
+// With a journal, each expiry is journaled and the journal is then
+// compacted to the surviving live set, so the log's size tracks the
+// live jobs instead of the server's full history.
 func (s *Server) gcFinishedJobs(now time.Time) int {
 	ttl := s.opts.JobTTL
 	if ttl <= 0 {
@@ -234,14 +313,49 @@ func (s *Server) gcFinishedJobs(now time.Time) int {
 	for id, j := range s.jobs {
 		if fin, ok := j.finishedTime(); ok && now.Sub(fin) > ttl {
 			delete(s.jobs, id)
+			if j.key != "" {
+				delete(s.keys, j.key)
+			}
 			expired++
+			if s.journal != nil {
+				if err := s.journal.Append(jobstore.Event{Type: jobstore.EventExpire, Job: id}); err != nil {
+					s.metrics.journalErrors.Add(1)
+				}
+			}
 		}
 	}
 	s.mu.Unlock()
 	if expired > 0 {
 		s.metrics.jobsExpired.Add(int64(expired))
+		s.compactJournal()
 	}
 	return expired
+}
+
+// compactJournal rewrites the journal to the current live jobs. A
+// finish journaled concurrently with the rewrite can be dropped by it;
+// that scenario simply re-runs after a restart (deterministically, to
+// the identical report), so compaction never needs to block the
+// workers.
+func (s *Server) compactJournal() {
+	if s.journal == nil {
+		return
+	}
+	s.mu.Lock()
+	live := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		live = append(live, j)
+	}
+	s.mu.Unlock()
+	var events []jobstore.Event
+	for _, j := range live {
+		events = append(events, j.journalEvents()...)
+	}
+	if err := s.journal.Compact(events); err != nil {
+		s.metrics.journalErrors.Add(1)
+		return
+	}
+	s.metrics.journalCompacts.Add(1)
 }
 
 // Handler returns the server's HTTP handler.
@@ -249,30 +363,59 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Close stops accepting jobs, cancels in-flight simulations through the
 // lifecycle context and waits for the worker pool to exit. Scenarios
-// still queued are abandoned; their jobs never reach the done state.
-// Close is idempotent.
+// still queued are abandoned in memory; with a journal they stay
+// pending on disk and the next boot re-enqueues them. Close is
+// idempotent.
 func (s *Server) Close() {
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
 	s.cancel()
 	s.wg.Wait()
+	if s.journal != nil {
+		s.journal.Close()
+	}
 }
 
-// handle registers one pattern with the request-counting wrapper.
-func (s *Server) handle(pattern string, rt route, h http.HandlerFunc) {
+// handle registers one pattern with the request-counting wrapper;
+// limited routes additionally pass through the per-client token bucket
+// when one is configured.
+func (s *Server) handle(pattern string, rt route, limited bool, h http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.requests[rt].Add(1)
+		if limited && s.limiter != nil {
+			client := r.RemoteAddr
+			if host, _, err := net.SplitHostPort(client); err == nil {
+				client = host
+			}
+			if !s.limiter.allow(client) {
+				s.metrics.requestsShed.Add(1)
+				w.Header().Set("Retry-After", strconv.Itoa(int(s.limiter.retryAfter().Seconds())))
+				s.failReason(w, http.StatusTooManyRequests, ReasonRateLimited,
+					"client %s exceeds %g requests/s", client, s.opts.RatePerSec)
+				return
+			}
+		}
 		h(w, r)
 	})
 }
 
 // fail writes the JSON error envelope and counts it.
 func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	s.failReason(w, status, "", format, args...)
+}
+
+// failReason is fail carrying a machine-readable rejection reason (see
+// the Reason* constants). Transient rejections (503) advertise a
+// Retry-After so well-behaved clients back off instead of hammering.
+func (s *Server) failReason(w http.ResponseWriter, status int, reason, format string, args ...any) {
 	s.metrics.errors.Add(1)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...)})
+	json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...), Reason: reason})
 }
 
 // writeJSON writes a 200 response.
@@ -428,8 +571,16 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, rep)
 }
 
-// handleJobSubmit queues an asynchronous sweep.
+// handleJobSubmit queues an asynchronous sweep. An Idempotency-Key
+// header makes the submit safe to retry: a key already seen (in this
+// process or replayed from the journal) returns the existing job
+// instead of queuing a duplicate.
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	key := r.Header.Get("Idempotency-Key")
+	if len(key) > 256 {
+		s.fail(w, http.StatusBadRequest, "Idempotency-Key exceeds 256 bytes")
+		return
+	}
 	var req JobRequest
 	if !s.readJSON(w, r, &req) {
 		return
@@ -442,7 +593,8 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		// A batch that exceeds the queue's total capacity can never be
 		// admitted, no matter how idle the server is: that is a permanent
 		// client error, not a transient 503 worth retrying.
-		s.fail(w, http.StatusBadRequest, "batch of %d scenarios exceeds the queue capacity of %d; split the sweep",
+		s.failReason(w, http.StatusBadRequest, ReasonBatchTooLarge,
+			"batch of %d scenarios exceeds the queue capacity of %d; split the sweep",
 			len(req.Specs), s.opts.QueueDepth)
 		return
 	}
@@ -459,12 +611,24 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	j, err := s.submit(req.Specs)
-	if err != nil {
-		// Both remaining rejection causes — queue currently full, server
-		// shutting down — are transient: 503 tells the client to retry.
-		s.fail(w, http.StatusServiceUnavailable, "%v", err)
+	j, replayed, err := s.submit(req.Specs, key)
+	switch {
+	case errors.Is(err, errJournal):
+		// The submission could not be made durable, so it was not
+		// admitted: acknowledging it would promise crash-safety the
+		// journal cannot deliver.
+		s.failReason(w, http.StatusInternalServerError, ReasonJournal, "%v", err)
 		return
+	case errors.Is(err, errClosed):
+		s.failReason(w, http.StatusServiceUnavailable, ReasonShuttingDown, "%v", err)
+		return
+	case err != nil:
+		s.failReason(w, http.StatusServiceUnavailable, ReasonQueueFull, "%v", err)
+		return
+	}
+	if replayed {
+		s.metrics.idempotentReplays.Add(1)
+		w.Header().Set("Idempotency-Replayed", "true")
 	}
 	s.writeJSONStatus(w, http.StatusAccepted, j.status())
 }
@@ -480,19 +644,32 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, j.status())
 }
 
-// handleHealth reports liveness plus what the server is serving.
+// handleHealth reports liveness plus what the server is serving. The
+// status flips to "degraded" when the scenario queue reaches 90% of
+// QueueDepth: submissions are about to bounce with 503s, and a load
+// balancer watching /healthz can shift traffic away first.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	phases := 0
 	for _, name := range s.db.Benchmarks() {
 		phases += s.db.NumPhases(name)
 	}
+	s.mu.Lock()
+	queued := s.queued
+	s.mu.Unlock()
+	status := HealthOK
+	if queued*10 >= s.opts.QueueDepth*9 {
+		status = HealthDegraded
+	}
 	s.writeJSON(w, &Health{
-		Status:        "ok",
+		Status:        status,
 		Benchmarks:    len(s.db.Benchmarks()),
 		Phases:        phases,
 		TraceLen:      s.db.TraceLen,
 		Workers:       s.opts.Workers,
 		UptimeSeconds: time.Since(s.start).Seconds(),
+		Queued:        queued,
+		QueueDepth:    s.opts.QueueDepth,
+		Journal:       s.journal != nil,
 	})
 }
 
@@ -518,7 +695,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "qosrmd_scenarios_queued_total %d\n", s.metrics.specsQueued.Load())
 	fmt.Fprintf(w, "qosrmd_scenarios_run_total %d\n", s.metrics.specsRun.Load())
 	fmt.Fprintf(w, "qosrmd_scenarios_failed_total %d\n", s.metrics.specsFailed.Load())
+	fmt.Fprintf(w, "qosrmd_scenarios_retried_total %d\n", s.metrics.specsRetried.Load())
 	fmt.Fprintf(w, "qosrmd_scenario_queue_depth %d\n", queued)
+	fmt.Fprintf(w, "qosrmd_requests_shed_total %d\n", s.metrics.requestsShed.Load())
+	fmt.Fprintf(w, "qosrmd_idempotent_replays_total %d\n", s.metrics.idempotentReplays.Load())
+	fmt.Fprintf(w, "qosrmd_worker_panics_total %d\n", s.metrics.workerPanics.Load())
+	journalEnabled := 0
+	if s.journal != nil {
+		journalEnabled = 1
+		fmt.Fprintf(w, "qosrmd_journal_records %d\n", s.journal.Records())
+		fmt.Fprintf(w, "qosrmd_journal_size_bytes %d\n", s.journal.Size())
+	}
+	fmt.Fprintf(w, "qosrmd_journal_enabled %d\n", journalEnabled)
+	fmt.Fprintf(w, "qosrmd_journal_replays_total %d\n", s.metrics.journalReplays.Load())
+	fmt.Fprintf(w, "qosrmd_journal_errors_total %d\n", s.metrics.journalErrors.Load())
+	fmt.Fprintf(w, "qosrmd_journal_compactions_total %d\n", s.metrics.journalCompacts.Load())
 	fmt.Fprintf(w, "qosrmd_workers %d\n", s.opts.Workers)
 	fmt.Fprintf(w, "qosrmd_savings_busy_seconds_total %g\n", float64(s.metrics.savingsNs.Load())/1e9)
 	fmt.Fprintf(w, "qosrmd_scenarios_busy_seconds_total %g\n", float64(s.metrics.scenariosNs.Load())/1e9)

@@ -50,7 +50,10 @@ func sharedDB(t *testing.T) *db.DB {
 // database and tears both down with the test.
 func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
 	t.Helper()
-	srv := New(sharedDB(t), opts)
+	srv, err := New(sharedDB(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -336,7 +339,10 @@ func TestJobQueueBound(t *testing.T) {
 // TestCloseRejectsJobs checks graceful shutdown semantics on the job
 // path: after Close, submissions are refused as unavailable.
 func TestCloseRejectsJobs(t *testing.T) {
-	srv := New(sharedDB(t), Options{Workers: 1})
+	srv, err := New(sharedDB(t), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	srv.Close()

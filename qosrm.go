@@ -179,6 +179,56 @@
 // promptly. System.NewServer embeds the same server in any process, and
 // DialService returns the matching client.
 //
+// # Reliability architecture
+//
+// The serving layer is crash-safe end to end; three mechanisms compose
+// it.
+//
+// Journal (internal/jobstore): an append-only, CRC-framed job journal
+// reusing the dbstore envelope idiom — a magic/version header, then
+// [length, CRC-64, JSON payload] frames, fsynced per append, rotated
+// by atomic rename on compaction. Four event types record a job's
+// lifecycle: submit (specs + idempotency key), start, finish (report
+// or error), expire. The submit event is appended and fsynced before
+// the 202 acknowledgement, so every acknowledged job is recoverable; a
+// failed append refuses the submission (500, reason "journal_error")
+// rather than promise durability it cannot deliver. On boot the server
+// replays the journal: finished scenarios serve their reports straight
+// from the log, acknowledged-but-unfinished ones re-enqueue — and
+// because the engine is deterministic, the re-run reproduces the
+// report bit for bit, so a SIGKILL mid-sweep loses nothing. Loading
+// truncates a torn final record (the shape a crash mid-append leaves)
+// and stops at the first corrupt frame, keeping the valid prefix;
+// FuzzJournalLoad pins that recovery is clean and idempotent. TTL
+// expiry journals an expire event and compacts the log down to the
+// live jobs.
+//
+// Failpoints (internal/faultinject): a registry of named injection
+// points (jobstore.append, jobstore.compact, server.worker) armed by
+// tests or the QOSRM_FAILPOINTS environment variable with specs like
+// "error*2", "stall:10ms", "panic", each optionally counted or
+// probabilistic. Worker execution converts injected (and real) panics
+// into scenario errors, retries transient failures a bounded number of
+// times (ServerOptions.JobRetries), and the chaos test drives dozens
+// of random kill/restart cycles against one journal asserting no job
+// is ever lost or duplicated.
+//
+// Hardened edge: POST /v1/jobs honours an Idempotency-Key header —
+// keys persist in the journal, so a retried submit returns the
+// existing job even across a server restart. Rejections carry a
+// machine-readable "reason" ("batch_too_large" permanent vs
+// "queue_full"/"shutting_down" transient vs "rate_limited"), 503s and
+// 429s advertise Retry-After, per-client token-bucket rate limiting is
+// available via ServerOptions.RatePerSec, and /healthz degrades to
+// "degraded" when the queue nears capacity. The client (DialService)
+// retries transient failures — connection refused/reset, 429, 502/503/
+// 504 — with exponential backoff and jitter, honours Retry-After,
+// attaches a fresh idempotency key to every SubmitSweep, and WaitJob
+// polls with jittered backoff instead of a fixed interval. The journal
+// and edge counters (qosrmd_journal_replays_total,
+// qosrmd_requests_shed_total, qosrmd_scenarios_retried_total, worker
+// panics, idempotent replays, compactions) surface at /metrics.
+//
 // internal/scenario layers a JSON-loadable specification on top
 // (ScenarioSpec): application queues by name, arrival/departure times,
 // per-job alphas and QoS steps, plus the manager/model configuration to

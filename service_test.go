@@ -2,10 +2,14 @@ package qosrm
 
 import (
 	"context"
+	"errors"
+	"io"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"path/filepath"
 	"reflect"
+	"sync/atomic"
 	"testing"
 )
 
@@ -30,7 +34,10 @@ func serviceSpec(name string) ScenarioSpec {
 // the over-the-wire results are bit-identical to the in-process API.
 func TestServiceEndToEnd(t *testing.T) {
 	sys := sharedSystem(t)
-	srv := sys.NewServer(ServerOptions{Workers: 2})
+	srv, err := sys.NewServer(ServerOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer srv.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -117,6 +124,71 @@ func TestServiceEndToEnd(t *testing.T) {
 	// DialService refuses a dead endpoint.
 	if _, err := DialService("http://127.0.0.1:1"); err == nil {
 		t.Fatal("dial of dead endpoint succeeded")
+	}
+}
+
+// TestClientRetriesTransientFailures pins the client's retry contract:
+// transient statuses (503 with Retry-After) are retried with backoff
+// until the server recovers, while permanent rejections (400) surface
+// immediately as a typed ServiceError carrying the machine-readable
+// reason — one request, no retries.
+func TestClientRetriesTransientFailures(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, `{"error":"queue full","reason":"queue_full"}`)
+			return
+		}
+		io.WriteString(w, `{"status":"ok","benchmarks":1}`)
+	}))
+	defer ts.Close()
+
+	c := &Client{base: ts.URL, HTTPClient: ts.Client()}
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatalf("health after transient 503s: %v", err)
+	}
+	if h.Status != "ok" || calls.Load() != 3 {
+		t.Fatalf("status %q after %d calls, want ok after 3", h.Status, calls.Load())
+	}
+
+	// Permanent rejection: no retry, typed error with the reason.
+	calls.Store(0)
+	perm := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		io.WriteString(w, `{"error":"batch of 999 scenarios exceeds the queue capacity","reason":"batch_too_large"}`)
+	}))
+	defer perm.Close()
+	cp := &Client{base: perm.URL, HTTPClient: perm.Client()}
+	_, err = cp.Health(context.Background())
+	var se *ServiceError
+	if !errors.As(err, &se) {
+		t.Fatalf("error not a ServiceError: %v", err)
+	}
+	if se.StatusCode != http.StatusBadRequest || se.Reason != "batch_too_large" || se.Temporary() {
+		t.Fatalf("unexpected ServiceError %+v", se)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("permanent 400 retried: %d calls", calls.Load())
+	}
+
+	// Exhausted retries surface the last transient error, not a hang.
+	calls.Store(0)
+	always := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, `{"error":"draining","reason":"shutting_down"}`)
+	}))
+	defer always.Close()
+	ca := &Client{base: always.URL, HTTPClient: always.Client(), MaxRetries: 1}
+	if _, err := ca.Health(context.Background()); !errors.As(err, &se) || !se.Temporary() {
+		t.Fatalf("exhausted retries: %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("MaxRetries 1 made %d calls, want 2", calls.Load())
 	}
 }
 
