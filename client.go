@@ -1,26 +1,15 @@
 package qosrm
 
 import (
-	"bytes"
-	"context"
-	"crypto/rand"
-	"encoding/hex"
-	"encoding/json"
-	"errors"
-	"fmt"
-	"io"
-	mrand "math/rand"
-	"net/http"
-	"net/url"
-	"strconv"
-	"strings"
-	"time"
-
+	"qosrm/internal/client"
 	"qosrm/internal/server"
 )
 
 // Serving-layer types, re-exported so clients and embedders need only
-// this package.
+// this package. The implementations live in internal/server (the
+// daemon), internal/api (the wire types) and internal/client (the
+// retrying client — the same code a cluster node uses to forward
+// overflow jobs to a peer).
 type (
 	// ServerOptions configures an embedded qosrmd API server.
 	ServerOptions = server.Options
@@ -28,12 +17,23 @@ type (
 	Server = server.Server
 	// ServiceHealth is the GET /healthz response.
 	ServiceHealth = server.Health
-	// ServiceJob is the status of one asynchronous sweep job.
+	// ServiceJob is the status of one asynchronous sweep job. Origin is
+	// non-empty when a cluster node forwarded the submit to a peer: the
+	// job lives there, and Client.At(job.Origin) polls it.
 	ServiceJob = server.JobStatus
 	// SavingsRequest is the POST /v1/savings body.
 	SavingsRequest = server.SavingsRequest
 	// SavingsResponse is the POST /v1/savings response.
 	SavingsResponse = server.SavingsResponse
+	// Client is a qosrmd API client; see DialService. Transient
+	// failures (connection refused/reset, 429, 502/503/504) are retried
+	// with exponential backoff and jitter, honouring Retry-After.
+	Client = client.Client
+	// ServiceError is a non-2xx response from the service, carrying the
+	// machine-readable rejection reason ("queue_full", "rate_limited",
+	// "batch_too_large", ...) so callers can route on Reason instead of
+	// matching message strings.
+	ServiceError = client.ServiceError
 )
 
 // NewServer starts the qosrmd API server — the same serving layer
@@ -41,322 +41,23 @@ type (
 // synchronous scenario runs and an asynchronous sweep-job queue backed
 // by a bounded worker pool. With ServerOptions.JournalPath set, the job
 // queue is crash-safe: New replays the journal, so the error return
-// covers an unopenable or version-incompatible journal file. The caller
-// owns the lifecycle: mount Handler() on a listener and Close() the
-// server on shutdown.
+// covers an unopenable or version-incompatible journal file. With
+// ServerOptions.Peers set, the node runs in cluster mode and forwards
+// overflow jobs to its least-loaded live peer instead of answering 503.
+// The caller owns the lifecycle: mount Handler() on a listener and
+// Close() the server on shutdown.
 func (s *System) NewServer(opts ServerOptions) (*Server, error) {
 	return server.New(s.db, opts)
 }
 
-// ServiceError is a non-2xx response from the service, carrying the
-// machine-readable rejection reason when the server classified it (e.g.
-// "batch_too_large", "queue_full", "rate_limited") so callers can route
-// on Reason instead of matching message strings.
-type ServiceError struct {
-	StatusCode int
-	Reason     string
-	Message    string
-	// RetryAfter is the server-advertised backoff (0 when the response
-	// carried no Retry-After header).
-	RetryAfter time.Duration
-}
-
-func (e *ServiceError) Error() string {
-	if e.Message != "" {
-		return fmt.Sprintf("%s (HTTP %d)", e.Message, e.StatusCode)
-	}
-	return fmt.Sprintf("HTTP %d", e.StatusCode)
-}
-
-// Temporary reports whether the rejection is worth retrying: rate
-// limiting, a bad gateway in front of the daemon, an overloaded or
-// draining instance.
-func (e *ServiceError) Temporary() bool {
-	switch e.StatusCode {
-	case http.StatusTooManyRequests, http.StatusBadGateway,
-		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
-		return true
-	}
-	return false
-}
-
-// Client is a qosrmd API client; DialService returns a connected one.
-// Requests that fail transiently — connection refused or reset, 429,
-// 502/503/504 — are retried with exponential backoff and jitter,
-// honouring the server's Retry-After. Every request the client issues
-// is safe to retry: GETs trivially, the synchronous POSTs because they
-// are pure computations, and SubmitSweep because it attaches an
-// Idempotency-Key the server deduplicates on.
-type Client struct {
-	base string
-	// HTTPClient may be replaced before first use; DialService installs
-	// a default with a 30 s overall timeout.
-	HTTPClient *http.Client
-	// MaxRetries bounds retry attempts after the first try (default 3;
-	// negative disables retrying).
-	MaxRetries int
-}
-
-// Client retry tuning: the first retry waits about retryBaseDelay,
-// doubling per attempt up to retryMaxDelay, each delay jittered to
-// [delay/2, delay) so synchronized clients spread out.
-const (
-	retryBaseDelay = 100 * time.Millisecond
-	retryMaxDelay  = 5 * time.Second
-)
-
 // DialService connects to a running qosrmd instance at baseURL (e.g.
 // "http://127.0.0.1:8423") and verifies it is healthy before returning.
 func DialService(baseURL string) (*Client, error) {
-	c := &Client{
-		base:       strings.TrimRight(baseURL, "/"),
-		HTTPClient: &http.Client{Timeout: 30 * time.Second},
-	}
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer cancel()
-	if _, err := c.Health(ctx); err != nil {
-		return nil, fmt.Errorf("qosrm: dial %s: %w", baseURL, err)
-	}
-	return c, nil
+	return client.Dial(baseURL)
 }
 
-// Health fetches the service's health report.
-func (c *Client) Health(ctx context.Context) (*ServiceHealth, error) {
-	var h ServiceHealth
-	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &h); err != nil {
-		return nil, err
-	}
-	return &h, nil
-}
-
-// Savings evaluates an application mix on the service: the configured
-// manager against its idle twin, exactly System.Savings but on the
-// server's shared warm database.
-func (c *Client) Savings(ctx context.Context, req *SavingsRequest) (*SavingsResponse, error) {
-	var out SavingsResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/savings", req, &out); err != nil {
-		return nil, err
-	}
-	return &out, nil
-}
-
-// RunScenario executes one declarative scenario synchronously on the
-// service. The report is bit-identical to System.RunScenario on the
-// same spec (equivalence-tested).
-func (c *Client) RunScenario(ctx context.Context, spec *ScenarioSpec) (*ScenarioReport, error) {
-	var out ScenarioReport
-	if err := c.do(ctx, http.MethodPost, "/v1/scenarios", spec, &out); err != nil {
-		return nil, err
-	}
-	return &out, nil
-}
-
-// SubmitSweep queues a batch of scenarios as an asynchronous job and
-// returns its initial status (carrying the job ID to poll). The submit
-// carries a fresh random Idempotency-Key, so the client's own retries
-// (and any caller-level retry of a failed SubmitSweep call that reuses
-// the returned job) cannot enqueue the sweep twice.
-func (c *Client) SubmitSweep(ctx context.Context, specs []ScenarioSpec) (*ServiceJob, error) {
-	return c.SubmitSweepKey(ctx, specs, newIdempotencyKey())
-}
-
-// SubmitSweepKey is SubmitSweep under a caller-chosen idempotency key:
-// submitting the same key again — from this process or a restarted one,
-// against the same or a restarted server (when it journals) — returns
-// the existing job instead of queuing a duplicate.
-func (c *Client) SubmitSweepKey(ctx context.Context, specs []ScenarioSpec, key string) (*ServiceJob, error) {
-	var out ServiceJob
-	req := struct {
-		Specs []ScenarioSpec `json:"specs"`
-	}{specs}
-	hdr := http.Header{}
-	if key != "" {
-		hdr.Set("Idempotency-Key", key)
-	}
-	if err := c.doHeaders(ctx, http.MethodPost, "/v1/jobs", hdr, req, &out); err != nil {
-		return nil, err
-	}
-	return &out, nil
-}
-
-// newIdempotencyKey draws a 128-bit random key.
-func newIdempotencyKey() string {
-	var b [16]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		// crypto/rand failing is effectively fatal platform breakage;
-		// an empty key degrades to a non-idempotent submit.
-		return ""
-	}
-	return "qosrm-" + hex.EncodeToString(b[:])
-}
-
-// Job fetches the current status of an asynchronous job.
-func (c *Client) Job(ctx context.Context, id string) (*ServiceJob, error) {
-	var out ServiceJob
-	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &out); err != nil {
-		return nil, err
-	}
-	return &out, nil
-}
-
-// WaitJob polls a job until it finishes (done or failed) or ctx
-// expires. Polling backs off: the first check comes quickly (short jobs
-// return fast), then the interval doubles with jitter up to poll, which
-// caps the cadence. poll ≤ 0 defaults to 250 ms.
-func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*ServiceJob, error) {
-	if poll <= 0 {
-		poll = 250 * time.Millisecond
-	}
-	delay := 10 * time.Millisecond
-	if delay > poll {
-		delay = poll
-	}
-	for {
-		j, err := c.Job(ctx, id)
-		if err != nil {
-			return nil, err
-		}
-		if j.State == server.JobDone || j.State == server.JobFailed {
-			return j, nil
-		}
-		select {
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		case <-time.After(jitter(delay)):
-		}
-		if delay *= 2; delay > poll {
-			delay = poll
-		}
-	}
-}
-
-// jitter spreads a delay uniformly over [d/2, d) so many waiters do not
-// poll in lockstep.
-func jitter(d time.Duration) time.Duration {
-	if d <= 1 {
-		return d
-	}
-	return d/2 + time.Duration(mrand.Int63n(int64(d/2)))
-}
-
-// do runs one JSON exchange with the retry loop around it.
-func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	return c.doHeaders(ctx, method, path, nil, in, out)
-}
-
-// doHeaders marshals the body once and retries the round trip on
-// transient failures: network errors the context did not cause, and
-// ServiceError.Temporary() statuses. Backoff doubles per attempt with
-// jitter; a server-advertised Retry-After longer than the computed
-// delay wins.
-func (c *Client) doHeaders(ctx context.Context, method, path string, hdr http.Header, in, out any) error {
-	var data []byte
-	if in != nil {
-		var err error
-		if data, err = json.Marshal(in); err != nil {
-			return fmt.Errorf("qosrm: %s %s: %w", method, path, err)
-		}
-	}
-	retries := c.MaxRetries
-	switch {
-	case retries == 0:
-		retries = 3
-	case retries < 0:
-		retries = 0
-	}
-	delay := retryBaseDelay
-	for attempt := 0; ; attempt++ {
-		err := c.doOnce(ctx, method, path, hdr, data, in != nil, out)
-		if err == nil {
-			return nil
-		}
-		if attempt >= retries || ctx.Err() != nil || !transient(err) {
-			return err
-		}
-		wait := jitter(delay)
-		var se *ServiceError
-		if asServiceError(err, &se) && se.RetryAfter > wait {
-			wait = se.RetryAfter
-		}
-		select {
-		case <-ctx.Done():
-			return ctx.Err()
-		case <-time.After(wait):
-		}
-		if delay *= 2; delay > retryMaxDelay {
-			delay = retryMaxDelay
-		}
-	}
-}
-
-// doOnce is one JSON round trip, decoding the service's error envelope
-// on non-2xx statuses into a *ServiceError.
-func (c *Client) doOnce(ctx context.Context, method, path string, hdr http.Header, data []byte, hasBody bool, out any) error {
-	var body io.Reader
-	if hasBody {
-		body = bytes.NewReader(data)
-	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
-	if err != nil {
-		return fmt.Errorf("qosrm: %s %s: %w", method, path, err)
-	}
-	for k, vs := range hdr {
-		req.Header[k] = vs
-	}
-	if hasBody {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.HTTPClient.Do(req)
-	if err != nil {
-		return fmt.Errorf("qosrm: %s %s: %w", method, path, err)
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
-	if err != nil {
-		return fmt.Errorf("qosrm: %s %s: %w", method, path, err)
-	}
-	if resp.StatusCode >= 300 {
-		se := &ServiceError{StatusCode: resp.StatusCode}
-		var e struct {
-			Error  string `json:"error"`
-			Reason string `json:"reason"`
-		}
-		if json.Unmarshal(raw, &e) == nil {
-			se.Message, se.Reason = e.Error, e.Reason
-		}
-		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
-			se.RetryAfter = time.Duration(secs) * time.Second
-		}
-		return fmt.Errorf("qosrm: %s %s: %w", method, path, se)
-	}
-	if out == nil {
-		return nil
-	}
-	if err := json.Unmarshal(raw, out); err != nil {
-		return fmt.Errorf("qosrm: %s %s: decode response: %w", method, path, err)
-	}
-	return nil
-}
-
-// transient reports whether an exchange failure is worth retrying: a
-// Temporary service rejection, or a transport-level error (connection
-// refused/reset, broken pipe) that was not the caller's own context
-// firing.
-func transient(err error) bool {
-	var se *ServiceError
-	if asServiceError(err, &se) {
-		return se.Temporary()
-	}
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		return false
-	}
-	// Remaining failures wrap a transport error from http.Client.Do —
-	// the dial, write or read failed.
-	var ue *url.Error
-	return errors.As(err, &ue)
-}
-
-// asServiceError unwraps a *ServiceError if err carries one.
-func asServiceError(err error, se **ServiceError) bool {
-	return errors.As(err, se)
+// NewClient returns a client for the qosrmd instance at baseURL without
+// probing it; DialService is NewClient plus a health check.
+func NewClient(baseURL string) *Client {
+	return client.New(baseURL)
 }

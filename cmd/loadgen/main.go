@@ -1,0 +1,94 @@
+// Command loadgen drives open-loop load against a running qosrmd node
+// and reports what its admission control did with it: achieved
+// throughput, p50/p99 submit latency, reject rate, and — against a
+// cluster node — how many submits a peer absorbed. Arrivals follow a
+// fixed schedule (the vegeta model): the generator never slows down
+// because the server queues, which is exactly the load shape that makes
+// queue-full shedding and peer forwarding observable.
+//
+// Usage:
+//
+//	loadgen -url http://127.0.0.1:8423 -rps 400 -duration 5s
+//	loadgen -url http://a:8423 -rps 800 -duration 10s -apps mcf,povray -o load.json
+//
+// The JSON result matches the entries perfbench embeds in the committed
+// BENCH_<n>.json reports, so ad-hoc runs are comparable to the tracked
+// trajectory.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"qosrm/internal/client"
+	"qosrm/internal/loadgen"
+	"qosrm/internal/scenario"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+	url := flag.String("url", "http://127.0.0.1:8423", "qosrmd base URL to attack")
+	rps := flag.Float64("rps", 100, "target arrival rate (requests/second)")
+	duration := flag.Duration("duration", 5*time.Second, "attack duration")
+	inflight := flag.Int("inflight", 64, "max concurrent requests")
+	apps := flag.String("apps", "mcf,povray", "comma-separated applications, one core each, in every submitted scenario")
+	work := flag.Float64("work", 3*100_000_000*2048, "instructions per job in every submitted scenario")
+	name := flag.String("name", "loadgen", "label for the result")
+	out := flag.String("o", "", "write the JSON result here (default stdout)")
+	flag.Parse()
+
+	var cores []scenario.CoreSpec
+	for _, app := range strings.Split(*apps, ",") {
+		if app = strings.TrimSpace(app); app != "" {
+			cores = append(cores, scenario.CoreSpec{Jobs: []scenario.JobSpec{{App: app, Work: *work}}})
+		}
+	}
+	if len(cores) == 0 {
+		log.Fatal("no applications given")
+	}
+
+	c, err := client.Dial(*url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Rejections are the measurement: the client must surface them, not
+	// retry them away.
+	c.MaxRetries = -1
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("attacking %s at %g req/s for %s", *url, *rps, *duration)
+	res := loadgen.Run(ctx, loadgen.Config{
+		Name:        *name,
+		RPS:         *rps,
+		Duration:    *duration,
+		MaxInflight: *inflight,
+		Attack: loadgen.SubmitAttack(c, func(name string) scenario.Spec {
+			return scenario.Spec{Name: name, RM: "RM3", Cores: cores}
+		}),
+	})
+
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: sent %d: %d ok (%d forwarded), %d rejected (%.1f%%), %d errors, %d dropped; p50 %.1fms p99 %.1fms, %.0f admitted/s\n",
+		res.Sent, res.OK, res.Forwarded, res.Rejected, 100*res.RejectRate, res.Errors, res.Dropped,
+		res.P50Ms, res.P99Ms, res.AchievedRPS)
+}

@@ -15,7 +15,13 @@
 //
 // Usage:
 //
-//	go run ./cmd/perfbench [-short] [-o BENCH_1.json] [-baseline BENCH_2.json] [-gate 0.25]
+//	go run ./cmd/perfbench [-short] [-o BENCH_1.json] [-baseline BENCH_2.json] [-gate 0.25] [-load]
+//
+// With -load, the report additionally embeds an open-loop load-test
+// comparison (internal/loadgen): the same saturating arrival rate fired
+// at one standalone node and at a two-node cluster, recording reject
+// rate, admitted throughput and p50/p99 submit latency for each. The
+// gate ignores these entries; the committed trajectory tracks them.
 package main
 
 import (
@@ -34,6 +40,7 @@ func main() {
 	baseline := flag.String("baseline", "", "committed report to gate regressions against")
 	gate := flag.Float64("gate", 0.25, "max allowed ns/op regression vs -baseline (fraction)")
 	retries := flag.Int("gate-retries", 1, "re-measurements before a gate failure is final")
+	load := flag.Bool("load", false, "also run the open-loop load comparison (single node vs two-node cluster) and embed it in the report")
 	flag.Parse()
 
 	start := time.Now()
@@ -41,6 +48,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "perfbench:", err)
 		os.Exit(1)
+	}
+	if *load {
+		if rep.Load, err = perfbench.RunLoad(*short); err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench:", err)
+			os.Exit(1)
+		}
 	}
 
 	writeReport(*out, rep)

@@ -9,6 +9,16 @@
 //	qosrmd -snapshot suite.qosdb [-addr :8423]
 //	qosrmd -snapshot suite.qosdb -build [-tracelen 65536] [-warmup 16384]
 //	qosrmd -snapshot suite.qosdb -journal jobs.jnl [-rate 100] [-burst 200]
+//	qosrmd -snapshot suite.qosdb -peers http://b:8423,http://c:8423
+//
+// With -peers, the daemon runs in cluster mode: a sweep submission that
+// would be rejected with queue_full is forwarded to the least-loaded
+// live peer (ranked by each peer's /healthz queue occupancy) with the
+// caller's Idempotency-Key propagated verbatim; the response carries
+// the peer's job handle with "origin" set to the peer's base URL, and
+// the peer's journal owns the job. The X-Qosrm-Forwarded hop counter
+// (bounded by -forward-hops) keeps a fully saturated cluster from
+// looping a job between nodes: it degrades to an honest 503.
 //
 // With -journal, submitted sweep jobs are journaled to disk before they
 // are acknowledged: a daemon killed mid-sweep re-enqueues the unfinished
@@ -36,6 +46,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -63,6 +74,8 @@ func main() {
 	rate := flag.Float64("rate", 0, "per-client request rate limit in requests/second (0 disables)")
 	burst := flag.Int("burst", 0, "rate-limit burst size (0 = one second of -rate)")
 	retries := flag.Int("job-retries", 0, "retries per failed scenario before its error is recorded (0 = default 2, negative disables)")
+	peers := flag.String("peers", "", "comma-separated base URLs of cluster peers (e.g. http://a:8423,http://b:8423); queue-full submits are forwarded to the least-loaded live peer (empty runs standalone)")
+	forwardHops := flag.Int("forward-hops", 0, "max peer-forwarding hops before a saturated cluster answers 503 (0 = default 1, negative disables forwarding)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -82,6 +95,8 @@ func main() {
 		JobRetries:   *retries,
 		RatePerSec:   *rate,
 		RateBurst:    *burst,
+		Peers:        splitPeers(*peers),
+		ForwardHops:  *forwardHops,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -108,6 +123,18 @@ func main() {
 		log.Printf("shutdown: %v", err)
 	}
 	srv.Close()
+}
+
+// splitPeers parses the -peers list, dropping empty entries so a
+// trailing comma is harmless.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // openDB resolves the database the daemon serves: the snapshot when it

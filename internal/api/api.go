@@ -1,0 +1,161 @@
+// Package api holds the wire types of the qosrmd HTTP/JSON API: request
+// and response bodies, job and health states, header names and the
+// machine-readable rejection reasons. It is the shared leaf both sides
+// of the protocol import — internal/server implements it, the retrying
+// client (internal/client) speaks it, and a qosrmd node forwarding jobs
+// to a cluster peer is simultaneously both — so neither side needs to
+// depend on the other's implementation.
+package api
+
+import (
+	"qosrm/internal/scenario"
+	"qosrm/internal/sim"
+)
+
+// Header names of the protocol's out-of-band fields.
+const (
+	// IdempotencyKeyHeader makes POST /v1/jobs safe to retry: a key the
+	// server has already seen returns the existing job instead of
+	// queuing a duplicate. A node forwarding a job to a peer propagates
+	// the caller's key verbatim, so the dedupe contract holds across the
+	// cluster.
+	IdempotencyKeyHeader = "Idempotency-Key"
+	// IdempotencyReplayedHeader is set to "true" on a submit response
+	// that was served from an existing job instead of a new admission.
+	IdempotencyReplayedHeader = "Idempotency-Replayed"
+	// ForwardedHeader counts the peer-forwarding hops a submit has
+	// already taken through the cluster. A node only forwards a request
+	// whose hop count is below its configured limit, so a fully
+	// saturated cluster degrades to an honest 503 instead of bouncing
+	// the job between nodes forever.
+	ForwardedHeader = "X-Qosrm-Forwarded"
+)
+
+// SavingsRequest is the body of POST /v1/savings: an application mix
+// (one name per core) plus the manager configuration to evaluate it
+// under. The manager/model names and defaults match the scenario spec's
+// ("RM3"/"Model3" when empty).
+type SavingsRequest struct {
+	Apps  []string `json:"apps"`
+	RM    string   `json:"rm,omitempty"`
+	Model string   `json:"model,omitempty"`
+	// Policy selects the allocation policy per request: "model3"
+	// (default), "greedy" or "brute".
+	Policy           string  `json:"policy,omitempty"`
+	Perfect          bool    `json:"perfect,omitempty"`
+	Alpha            float64 `json:"alpha,omitempty"`
+	Scale            int64   `json:"scale,omitempty"`
+	Interval         int64   `json:"interval,omitempty"`
+	DisableOverheads bool    `json:"disable_overheads,omitempty"`
+}
+
+// SavingsResponse is the outcome of one savings evaluation: the
+// fractional energy saving of the managed run over the idle
+// (baseline-keeping) manager on the same workload, plus the managed
+// run's headline numbers and per-application results.
+type SavingsResponse struct {
+	// Policy is the allocation policy the managed run decided with.
+	Policy        string          `json:"policy"`
+	Saving        float64         `json:"saving"`
+	EnergyJ       float64         `json:"energy_j"`
+	IdleEnergyJ   float64         `json:"idle_energy_j"`
+	TimeNs        float64         `json:"time_ns"`
+	RMCalled      int64           `json:"rm_called"`
+	ViolationRate float64         `json:"violation_rate"`
+	Apps          []sim.AppResult `json:"apps"`
+}
+
+// JobRequest is the body of POST /v1/jobs: a batch of scenario specs to
+// sweep asynchronously over the server's worker pool.
+type JobRequest struct {
+	Specs []scenario.Spec `json:"specs"`
+}
+
+// Job states, in lifecycle order.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// JobStatus is the response of POST /v1/jobs and GET /v1/jobs/{id}.
+// Reports is populated once the job is done, in spec order, with null
+// entries for specs that failed (their errors are joined in Error).
+type JobStatus struct {
+	ID string `json:"id"`
+	// Key echoes the Idempotency-Key the job was submitted under, if
+	// any: a client retrying a submit can confirm it was deduplicated.
+	Key   string `json:"key,omitempty"`
+	State string `json:"state"`
+	Total int    `json:"total"`
+	Done  int    `json:"done"`
+	// Origin is the base URL of the cluster peer that admitted the job
+	// when the submit was forwarded there ("" when this node admitted
+	// it). The job lives on the origin node: poll GET /v1/jobs/{id}
+	// there — its journal owns the job's crash-safety story.
+	Origin  string             `json:"origin,omitempty"`
+	Reports []*scenario.Report `json:"reports,omitempty"`
+	Error   string             `json:"error,omitempty"`
+}
+
+// Health is the response of GET /healthz. Status is "ok" in steady
+// state and "degraded" when the scenario queue is near capacity — a
+// load balancer can shift traffic away before submissions start
+// bouncing with 503s, and cluster peers rank each other by the
+// Queued/QueueDepth fields when picking a forwarding target.
+type Health struct {
+	Status        string  `json:"status"`
+	Benchmarks    int     `json:"benchmarks"`
+	Phases        int     `json:"phases"`
+	TraceLen      int     `json:"trace_len"`
+	Workers       int     `json:"workers"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Queued and QueueDepth expose the scenario queue's occupancy, the
+	// quantity the degraded threshold is computed from.
+	Queued     int `json:"queued"`
+	QueueDepth int `json:"queue_depth"`
+	// Journal reports whether job state is journaled to disk (i.e. jobs
+	// survive a crash or restart of this server).
+	Journal bool `json:"journal"`
+	// Peers is the number of cluster peers this node can forward
+	// overflow jobs to (0 when it runs standalone).
+	Peers int `json:"peers,omitempty"`
+}
+
+// Health states.
+const (
+	HealthOK       = "ok"
+	HealthDegraded = "degraded"
+)
+
+// Machine-readable rejection reasons, carried in the error envelope's
+// "reason" field so clients can route on them — retry the transient
+// ones, surface the permanent ones — without matching message strings.
+const (
+	// ReasonBatchTooLarge (400): the batch exceeds the queue's total
+	// capacity and can never be admitted. Permanent: split the sweep.
+	ReasonBatchTooLarge = "batch_too_large"
+	// ReasonQueueFull (503): the queue is occupied right now — and, in
+	// a cluster, no live peer could take the overflow either.
+	// Transient: retry with backoff.
+	ReasonQueueFull = "queue_full"
+	// ReasonShuttingDown (503): this instance is draining. Transient
+	// against a deployment (another instance or the restarted daemon
+	// will accept the retry).
+	ReasonShuttingDown = "shutting_down"
+	// ReasonRateLimited (429): the per-client token bucket is empty.
+	// Transient: retry after the advertised delay.
+	ReasonRateLimited = "rate_limited"
+	// ReasonJournal (500): the job journal rejected the write, so the
+	// submission could not be made durable and was not admitted.
+	ReasonJournal = "journal_error"
+)
+
+// ErrorResponse is the JSON envelope of every non-2xx response. Reason
+// is present on rejections with a machine-readable classification (see
+// the Reason* constants); Error is always human-readable.
+type ErrorResponse struct {
+	Error  string `json:"error"`
+	Reason string `json:"reason,omitempty"`
+}

@@ -1,0 +1,398 @@
+// Package client is the retrying qosrmd API client. It is used from
+// two places: the public qosrm package re-exports it (DialService), and
+// a qosrmd node in cluster mode uses the same client to forward
+// overflow jobs to its peers — the retry, backoff and idempotency
+// machinery is identical in both roles, so it lives once, here.
+package client
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	mrand "math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"qosrm/internal/api"
+	"qosrm/internal/scenario"
+)
+
+// ServiceError is a non-2xx response from the service, carrying the
+// machine-readable rejection reason when the server classified it (e.g.
+// "batch_too_large", "queue_full", "rate_limited") so callers can route
+// on Reason instead of matching message strings.
+type ServiceError struct {
+	StatusCode int
+	Reason     string
+	Message    string
+	// RetryAfter is the server-advertised backoff (0 when the response
+	// carried no Retry-After header).
+	RetryAfter time.Duration
+}
+
+func (e *ServiceError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("%s (HTTP %d)", e.Message, e.StatusCode)
+	}
+	return fmt.Sprintf("HTTP %d", e.StatusCode)
+}
+
+// Temporary reports whether the rejection is worth retrying: rate
+// limiting, a bad gateway in front of the daemon, an overloaded or
+// draining instance.
+func (e *ServiceError) Temporary() bool {
+	switch e.StatusCode {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// ReasonResponseTooLarge is the client-side rejection reason of a
+// response body exceeding the decode bound: the exchange succeeded at
+// the HTTP layer but the payload cannot be represented faithfully, so
+// the client refuses it instead of decoding a silent truncation.
+const ReasonResponseTooLarge = "response_too_large"
+
+// maxResponseBytes bounds how much of a response body the client reads.
+// A body larger than this — an absurdly oversized sweep report — is
+// rejected with a ReasonResponseTooLarge ServiceError rather than
+// silently truncated into a JSON decode error. Variable so tests can
+// shrink it.
+var maxResponseBytes int64 = 64 << 20
+
+// Client is a qosrmd API client; Dial returns a connected one.
+// Requests that fail transiently — connection refused or reset, 429,
+// 502/503/504 — are retried with exponential backoff and jitter,
+// honouring the server's Retry-After. Every request the client issues
+// is safe to retry: GETs trivially, the synchronous POSTs because they
+// are pure computations, and SubmitSweep because it attaches an
+// Idempotency-Key the server deduplicates on.
+type Client struct {
+	base string
+	// HTTPClient may be replaced before first use; Dial installs a
+	// default with a 30 s overall timeout.
+	HTTPClient *http.Client
+	// MaxRetries bounds retry attempts after the first try (default 3;
+	// negative disables retrying).
+	MaxRetries int
+}
+
+// Client retry tuning: the first retry waits about retryBaseDelay,
+// doubling per attempt up to retryMaxDelay, each delay jittered to
+// [delay/2, delay) so synchronized clients spread out.
+const (
+	retryBaseDelay = 100 * time.Millisecond
+	retryMaxDelay  = 5 * time.Second
+)
+
+// New returns a client for the qosrmd instance at baseURL without
+// probing it; Dial is New plus a health check.
+func New(baseURL string) *Client {
+	return &Client{
+		base:       strings.TrimRight(baseURL, "/"),
+		HTTPClient: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// Dial connects to a running qosrmd instance at baseURL (e.g.
+// "http://127.0.0.1:8423") and verifies it is healthy before returning.
+func Dial(baseURL string) (*Client, error) {
+	c := New(baseURL)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := c.Health(ctx); err != nil {
+		return nil, fmt.Errorf("qosrm: dial %s: %w", baseURL, err)
+	}
+	return c, nil
+}
+
+// Base returns the base URL this client talks to.
+func (c *Client) Base() string { return c.base }
+
+// At returns a client for another node of the same cluster — the
+// JobStatus.Origin of a forwarded submit — sharing this client's HTTP
+// transport and retry budget. The origin node is where a forwarded job
+// must be polled.
+func (c *Client) At(baseURL string) *Client {
+	return &Client{
+		base:       strings.TrimRight(baseURL, "/"),
+		HTTPClient: c.HTTPClient,
+		MaxRetries: c.MaxRetries,
+	}
+}
+
+// Health fetches the service's health report.
+func (c *Client) Health(ctx context.Context) (*api.Health, error) {
+	var h api.Health
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// Savings evaluates an application mix on the service: the configured
+// manager against its idle twin, exactly System.Savings but on the
+// server's shared warm database.
+func (c *Client) Savings(ctx context.Context, req *api.SavingsRequest) (*api.SavingsResponse, error) {
+	var out api.SavingsResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/savings", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// RunScenario executes one declarative scenario synchronously on the
+// service. The report is bit-identical to System.RunScenario on the
+// same spec (equivalence-tested).
+func (c *Client) RunScenario(ctx context.Context, spec *scenario.Spec) (*scenario.Report, error) {
+	var out scenario.Report
+	if err := c.do(ctx, http.MethodPost, "/v1/scenarios", spec, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SubmitSweep queues a batch of scenarios as an asynchronous job and
+// returns its initial status (carrying the job ID to poll). The submit
+// carries a fresh random Idempotency-Key, so the client's own retries
+// (and any caller-level retry of a failed SubmitSweep call that reuses
+// the returned job) cannot enqueue the sweep twice.
+func (c *Client) SubmitSweep(ctx context.Context, specs []scenario.Spec) (*api.JobStatus, error) {
+	return c.SubmitSweepKey(ctx, specs, NewIdempotencyKey())
+}
+
+// SubmitSweepKey is SubmitSweep under a caller-chosen idempotency key:
+// submitting the same key again — from this process or a restarted one,
+// against the same or a restarted server (when it journals) — returns
+// the existing job instead of queuing a duplicate.
+func (c *Client) SubmitSweepKey(ctx context.Context, specs []scenario.Spec, key string) (*api.JobStatus, error) {
+	return c.submit(ctx, specs, key, 0)
+}
+
+// ForwardSweep is the cluster-internal submit a qosrmd node uses to
+// push an overflow batch to a peer: the caller's idempotency key is
+// propagated verbatim (so the dedupe contract holds across nodes) and
+// the hop count travels in the X-Qosrm-Forwarded header, letting the
+// receiving node refuse to forward past its own hop limit.
+func (c *Client) ForwardSweep(ctx context.Context, specs []scenario.Spec, key string, hops int) (*api.JobStatus, error) {
+	return c.submit(ctx, specs, key, hops)
+}
+
+func (c *Client) submit(ctx context.Context, specs []scenario.Spec, key string, hops int) (*api.JobStatus, error) {
+	var out api.JobStatus
+	req := api.JobRequest{Specs: specs}
+	hdr := http.Header{}
+	if key != "" {
+		hdr.Set(api.IdempotencyKeyHeader, key)
+	}
+	if hops > 0 {
+		hdr.Set(api.ForwardedHeader, strconv.Itoa(hops))
+	}
+	if err := c.doHeaders(ctx, http.MethodPost, "/v1/jobs", hdr, req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// NewIdempotencyKey draws a 128-bit random key.
+func NewIdempotencyKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal platform breakage;
+		// an empty key degrades to a non-idempotent submit.
+		return ""
+	}
+	return "qosrm-" + hex.EncodeToString(b[:])
+}
+
+// Job fetches the current status of an asynchronous job.
+func (c *Client) Job(ctx context.Context, id string) (*api.JobStatus, error) {
+	var out api.JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// WaitJob polls a job until it finishes (done or failed) or ctx
+// expires. Polling backs off: the first check comes quickly (short jobs
+// return fast), then the interval doubles with jitter up to poll, which
+// caps the cadence. poll ≤ 0 defaults to 250 ms.
+//
+// A poll answered with 404 is terminal, not retried: the job's TTL
+// expired between polls (or the id never existed), and no amount of
+// waiting brings it back.
+func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*api.JobStatus, error) {
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	delay := 10 * time.Millisecond
+	if delay > poll {
+		delay = poll
+	}
+	for {
+		j, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if j.State == api.JobDone || j.State == api.JobFailed {
+			return j, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(jitter(delay)):
+		}
+		if delay *= 2; delay > poll {
+			delay = poll
+		}
+	}
+}
+
+// jitter spreads a delay uniformly over [d/2, d) so many waiters do not
+// poll in lockstep.
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	return d/2 + time.Duration(mrand.Int63n(int64(d/2)))
+}
+
+// do runs one JSON exchange with the retry loop around it.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	return c.doHeaders(ctx, method, path, nil, in, out)
+}
+
+// doHeaders marshals the body once and retries the round trip on
+// transient failures: network errors the context did not cause, and
+// ServiceError.Temporary() statuses. Backoff doubles per attempt with
+// jitter; a server-advertised Retry-After longer than the computed
+// delay wins.
+func (c *Client) doHeaders(ctx context.Context, method, path string, hdr http.Header, in, out any) error {
+	var data []byte
+	if in != nil {
+		var err error
+		if data, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("qosrm: %s %s: %w", method, path, err)
+		}
+	}
+	retries := c.MaxRetries
+	switch {
+	case retries == 0:
+		retries = 3
+	case retries < 0:
+		retries = 0
+	}
+	delay := retryBaseDelay
+	for attempt := 0; ; attempt++ {
+		err := c.doOnce(ctx, method, path, hdr, data, in != nil, out)
+		if err == nil {
+			return nil
+		}
+		if attempt >= retries || ctx.Err() != nil || !transient(err) {
+			return err
+		}
+		wait := jitter(delay)
+		var se *ServiceError
+		if asServiceError(err, &se) && se.RetryAfter > wait {
+			wait = se.RetryAfter
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(wait):
+		}
+		if delay *= 2; delay > retryMaxDelay {
+			delay = retryMaxDelay
+		}
+	}
+}
+
+// doOnce is one JSON round trip, decoding the service's error envelope
+// on non-2xx statuses into a *ServiceError.
+func (c *Client) doOnce(ctx context.Context, method, path string, hdr http.Header, data []byte, hasBody bool, out any) error {
+	var body io.Reader
+	if hasBody {
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("qosrm: %s %s: %w", method, path, err)
+	}
+	for k, vs := range hdr {
+		req.Header[k] = vs
+	}
+	if hasBody {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.HTTPClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("qosrm: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	// Read one byte past the bound so an exactly-truncated body is
+	// distinguishable from one that merely fills it.
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes+1))
+	if err != nil {
+		return fmt.Errorf("qosrm: %s %s: %w", method, path, err)
+	}
+	if int64(len(raw)) > maxResponseBytes {
+		se := &ServiceError{
+			StatusCode: resp.StatusCode,
+			Reason:     ReasonResponseTooLarge,
+			Message:    fmt.Sprintf("response exceeds %d bytes", maxResponseBytes),
+		}
+		return fmt.Errorf("qosrm: %s %s: %w", method, path, se)
+	}
+	if resp.StatusCode >= 300 {
+		se := &ServiceError{StatusCode: resp.StatusCode}
+		var e api.ErrorResponse
+		if json.Unmarshal(raw, &e) == nil {
+			se.Message, se.Reason = e.Error, e.Reason
+		}
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			se.RetryAfter = time.Duration(secs) * time.Second
+		}
+		return fmt.Errorf("qosrm: %s %s: %w", method, path, se)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("qosrm: %s %s: decode response: %w", method, path, err)
+	}
+	return nil
+}
+
+// transient reports whether an exchange failure is worth retrying: a
+// Temporary service rejection, or a transport-level error (connection
+// refused/reset, broken pipe) that was not the caller's own context
+// firing.
+func transient(err error) bool {
+	var se *ServiceError
+	if asServiceError(err, &se) {
+		return se.Temporary()
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	// Remaining failures wrap a transport error from http.Client.Do —
+	// the dial, write or read failed.
+	var ue *url.Error
+	return errors.As(err, &ue)
+}
+
+// asServiceError unwraps a *ServiceError if err carries one.
+func asServiceError(err error, se **ServiceError) bool {
+	return errors.As(err, se)
+}

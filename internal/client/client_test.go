@@ -1,0 +1,83 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestOversizedResponseRejected: a response body past the decode bound
+// surfaces as a typed response_too_large ServiceError, never as the
+// opaque JSON decode error a silent truncation would produce.
+func TestOversizedResponseRejected(t *testing.T) {
+	old := maxResponseBytes
+	maxResponseBytes = 1 << 10
+	t.Cleanup(func() { maxResponseBytes = old })
+
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"status":"ok","pad":"`))
+		w.Write([]byte(strings.Repeat("x", 4<<10)))
+		w.Write([]byte(`"}`))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.HTTPClient = ts.Client()
+	c.MaxRetries = -1
+	_, err := c.Health(context.Background())
+	var se *ServiceError
+	if !errors.As(err, &se) {
+		t.Fatalf("oversized body error not a ServiceError: %v", err)
+	}
+	if se.Reason != ReasonResponseTooLarge {
+		t.Fatalf("reason %q, want %q", se.Reason, ReasonResponseTooLarge)
+	}
+	if se.StatusCode != http.StatusOK {
+		t.Fatalf("status %d recorded, want 200 (the HTTP exchange succeeded)", se.StatusCode)
+	}
+
+	// A body that exactly fills the bound is fine: the limit is a bound,
+	// not an off-by-one trap.
+	exact := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body := `{"status":"ok","benchmarks":1`
+		body += strings.Repeat(" ", int(maxResponseBytes)-len(body)-1) + "}"
+		io.WriteString(w, body)
+	}))
+	defer exact.Close()
+	ce := New(exact.URL)
+	ce.HTTPClient = exact.Client()
+	if h, err := ce.Health(context.Background()); err != nil || h.Status != "ok" {
+		t.Fatalf("exactly-bounded body rejected: %v", err)
+	}
+}
+
+// TestWaitJobExpiredIsTerminal: a job whose TTL expired between polls
+// answers 404 — WaitJob must surface that as a terminal error after a
+// single request, not spin retrying a job that will never come back.
+func TestWaitJobExpiredIsTerminal(t *testing.T) {
+	calls := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		w.WriteHeader(http.StatusNotFound)
+		io.WriteString(w, `{"error":"unknown job \"gone\""}`)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.HTTPClient = ts.Client()
+	_, err := c.WaitJob(context.Background(), "gone", 0)
+	var se *ServiceError
+	if !errors.As(err, &se) || se.StatusCode != http.StatusNotFound {
+		t.Fatalf("expired job error: %v, want a 404 ServiceError", err)
+	}
+	if se.Temporary() {
+		t.Fatal("404 classified as temporary")
+	}
+	if calls != 1 {
+		t.Fatalf("terminal 404 polled %d times, want 1", calls)
+	}
+}

@@ -1,0 +1,196 @@
+// Package loadgen is an open-loop load generator for qosrmd: requests
+// are launched on a fixed arrival schedule (a target rate), not after
+// the previous response — the vegeta model. Open-loop load is what
+// admission control actually faces in production: clients do not slow
+// down because the server queues, so a saturated node must shed, and
+// the generator measures exactly how much it sheds (reject rate), how
+// fast it answers what it admits (p50/p99), and how much load a cluster
+// peer absorbed (forwarded count).
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qosrm/internal/client"
+	"qosrm/internal/scenario"
+)
+
+// Outcome classifies one attacked request.
+type Outcome struct {
+	// Rejected means admission was refused (queue full, rate limited,
+	// draining) — the request worked, the server said no.
+	Rejected bool
+	// Error means the exchange itself failed (transport error,
+	// unexpected status), distinct from an honest rejection.
+	Error bool
+	// Forwarded means a cluster peer admitted the request on the
+	// target's behalf (the job handle carries an Origin).
+	Forwarded bool
+}
+
+// Config parameterises one attack run.
+type Config struct {
+	// Name labels the run in the result (e.g. "single-node").
+	Name string
+	// RPS is the target arrival rate; one request is launched every
+	// 1/RPS regardless of how previous requests are faring.
+	RPS float64
+	// Duration bounds the arrival schedule; in-flight requests are
+	// drained (and measured) past it.
+	Duration time.Duration
+	// MaxInflight caps concurrent requests (default 64). An arrival
+	// finding the cap exhausted is dropped and counted — the generator
+	// itself never becomes the queue it is trying to measure.
+	MaxInflight int
+	// Attack issues one request and classifies it.
+	Attack func(ctx context.Context) Outcome
+}
+
+// Result is one attack run's measurement, serialised into the
+// repository's BENCH_<n>.json trajectory.
+type Result struct {
+	Name        string  `json:"name"`
+	TargetRPS   float64 `json:"target_rps"`
+	DurationSec float64 `json:"duration_sec"`
+	Sent        int     `json:"sent"`
+	OK          int     `json:"ok"`
+	Rejected    int     `json:"rejected"`
+	Forwarded   int     `json:"forwarded"`
+	Errors      int     `json:"errors"`
+	Dropped     int     `json:"dropped"`
+	// AchievedRPS is admitted requests per second of attack time — the
+	// throughput the node (or cluster) actually absorbed.
+	AchievedRPS float64 `json:"achieved_rps"`
+	// RejectRate is Rejected/Sent.
+	RejectRate float64 `json:"reject_rate"`
+	P50Ms      float64 `json:"p50_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+}
+
+// Run executes one open-loop attack and reports the measurement.
+func Run(ctx context.Context, cfg Config) *Result {
+	maxInflight := cfg.MaxInflight
+	if maxInflight <= 0 {
+		maxInflight = 64
+	}
+	interval := time.Duration(float64(time.Second) / cfg.RPS)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		res       = Result{Name: cfg.Name, TargetRPS: cfg.RPS}
+		wg        sync.WaitGroup
+		sem       = make(chan struct{}, maxInflight)
+	)
+	record := func(out Outcome, lat time.Duration) {
+		mu.Lock()
+		defer mu.Unlock()
+		latencies = append(latencies, lat)
+		switch {
+		case out.Error:
+			res.Errors++
+		case out.Rejected:
+			res.Rejected++
+		default:
+			res.OK++
+			if out.Forwarded {
+				res.Forwarded++
+			}
+		}
+	}
+
+	start := time.Now()
+	total := int(cfg.RPS*cfg.Duration.Seconds() + 0.5)
+attack:
+	for i := 0; i < total; i++ {
+		// Arrival i is due at start + i*interval regardless of how
+		// earlier requests are faring. Sleeping until the due time
+		// (rather than ranging over a ticker, which coalesces missed
+		// ticks) means a scheduling hiccup is repaid with a catch-up
+		// burst instead of silently lowering the offered rate — the
+		// generator delivers the target RPS it claims to.
+		if d := time.Until(start.Add(time.Duration(i) * interval)); d > 0 {
+			select {
+			case <-ctx.Done():
+				break attack
+			case <-time.After(d):
+			}
+		} else if ctx.Err() != nil {
+			break attack
+		}
+		res.Sent++
+		select {
+		case sem <- struct{}{}:
+		default:
+			// The open loop must not close itself: an arrival that
+			// cannot launch is shed here, visibly, instead of
+			// queueing inside the generator.
+			res.Dropped++
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			out := cfg.Attack(ctx)
+			record(out, time.Since(t0))
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res.DurationSec = elapsed.Seconds()
+	if res.Sent > 0 {
+		res.RejectRate = float64(res.Rejected) / float64(res.Sent)
+	}
+	if elapsed > 0 {
+		res.AchievedRPS = float64(res.OK) / elapsed.Seconds()
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	res.P50Ms = percentileMs(latencies, 0.50)
+	res.P99Ms = percentileMs(latencies, 0.99)
+	return &res
+}
+
+// percentileMs reads the q-quantile of sorted latencies in
+// milliseconds (0 when nothing completed).
+func percentileMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+// SubmitAttack returns an Attack that submits one-scenario sweep jobs
+// to a qosrmd node through c, each under a fresh idempotency key and a
+// unique scenario name. A 429/503 counts as rejected, any other failure
+// as an error, and an admission whose job handle names a peer (a
+// cluster forward) as forwarded. The client must not retry internally
+// (set MaxRetries < 0): the generator wants to observe every rejection,
+// not have the client absorb them.
+func SubmitAttack(c *client.Client, spec func(name string) scenario.Spec) func(ctx context.Context) Outcome {
+	var seq atomic.Int64
+	return func(ctx context.Context) Outcome {
+		sp := spec(fmt.Sprintf("load-%d", seq.Add(1)))
+		st, err := c.SubmitSweepKey(ctx, []scenario.Spec{sp}, client.NewIdempotencyKey())
+		if err != nil {
+			var se *client.ServiceError
+			if errors.As(err, &se) && (se.StatusCode == 429 || se.StatusCode == 503) {
+				return Outcome{Rejected: true}
+			}
+			return Outcome{Error: true}
+		}
+		return Outcome{Forwarded: st.Origin != ""}
+	}
+}

@@ -1,0 +1,84 @@
+package loadgen
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestOpenLoopAccounting: every launched arrival is accounted exactly
+// once (ok + rejected + errors + dropped = sent), classification
+// follows the attack's outcomes, and the derived rates are consistent.
+func TestOpenLoopAccounting(t *testing.T) {
+	var n atomic.Int64
+	res := Run(context.Background(), Config{
+		Name:     "unit",
+		RPS:      2000,
+		Duration: 100 * time.Millisecond,
+		Attack: func(ctx context.Context) Outcome {
+			// Every third request rejected, every seventh forwarded.
+			i := n.Add(1)
+			if i%3 == 0 {
+				return Outcome{Rejected: true}
+			}
+			return Outcome{Forwarded: i%7 == 0}
+		},
+	})
+	if res.Sent == 0 {
+		t.Fatal("open loop launched nothing")
+	}
+	if got := res.OK + res.Rejected + res.Errors + res.Dropped; got != res.Sent {
+		t.Fatalf("accounting leak: ok %d + rejected %d + errors %d + dropped %d != sent %d",
+			res.OK, res.Rejected, res.Errors, res.Dropped, res.Sent)
+	}
+	if res.Rejected == 0 || res.Forwarded == 0 {
+		t.Fatalf("classification lost outcomes: %+v", res)
+	}
+	if res.RejectRate <= 0 || res.RejectRate >= 1 {
+		t.Fatalf("reject rate %v out of range", res.RejectRate)
+	}
+	if res.AchievedRPS <= 0 {
+		t.Fatalf("achieved RPS %v", res.AchievedRPS)
+	}
+	if res.P99Ms < res.P50Ms {
+		t.Fatalf("p99 %vms below p50 %vms", res.P99Ms, res.P50Ms)
+	}
+}
+
+// TestOpenLoopShedsAtInflightCap: with a slow attack and a tiny cap the
+// generator drops arrivals instead of queueing them — the open loop
+// stays open.
+func TestOpenLoopShedsAtInflightCap(t *testing.T) {
+	res := Run(context.Background(), Config{
+		Name:        "cap",
+		RPS:         500,
+		Duration:    100 * time.Millisecond,
+		MaxInflight: 1,
+		Attack: func(ctx context.Context) Outcome {
+			time.Sleep(20 * time.Millisecond)
+			return Outcome{}
+		},
+	})
+	if res.Dropped == 0 {
+		t.Fatalf("saturated generator queued instead of dropping: %+v", res)
+	}
+	if res.OK == 0 {
+		t.Fatalf("nothing completed: %+v", res)
+	}
+}
+
+// TestRunHonoursContext: a cancelled context ends the attack early.
+func TestRunHonoursContext(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	Run(ctx, Config{
+		RPS:      100,
+		Duration: 10 * time.Second,
+		Attack:   func(ctx context.Context) Outcome { return Outcome{} },
+	})
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("cancelled run kept attacking")
+	}
+}

@@ -1,0 +1,31 @@
+package perfbench
+
+import "testing"
+
+// TestLoadComparisonClusterShedsLess pins the property the committed
+// BENCH reports rely on: at the same saturating open-loop load, the
+// two-node cluster rejects strictly less than the standalone node,
+// because the overflow lands on the peer instead of being shed.
+func TestLoadComparisonClusterShedsLess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load comparison attacks in real time")
+	}
+	load, err := RunLoad(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(load) != 2 {
+		t.Fatalf("topologies measured: %d, want 2", len(load))
+	}
+	single, cluster := load[0], load[1]
+	if single.Rejected == 0 {
+		t.Fatalf("single node not saturated (nothing rejected): %+v", single)
+	}
+	if cluster.Forwarded == 0 {
+		t.Fatalf("cluster absorbed no overflow via forwarding: %+v", cluster)
+	}
+	if cluster.RejectRate >= single.RejectRate {
+		t.Fatalf("cluster reject rate %.3f not below single-node %.3f",
+			cluster.RejectRate, single.RejectRate)
+	}
+}

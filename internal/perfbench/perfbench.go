@@ -29,6 +29,7 @@ import (
 	"qosrm/internal/config"
 	"qosrm/internal/db"
 	"qosrm/internal/dbstore"
+	"qosrm/internal/loadgen"
 	"qosrm/internal/perfmodel"
 	"qosrm/internal/rm"
 	"qosrm/internal/scenario"
@@ -53,6 +54,11 @@ type Report struct {
 	NumCPU    int      `json:"num_cpu"`
 	Short     bool     `json:"short"`
 	Results   []Result `json:"results"`
+	// Load holds the open-loop load-test topology comparison from
+	// RunLoad (cmd/perfbench -load). The regression gate ignores it —
+	// reject rates and tail latencies on shared runners are too noisy
+	// to gate on — but the committed trajectory records them.
+	Load []*loadgen.Result `json:"load,omitempty"`
 }
 
 // Ratio returns NsPerOp(a)/NsPerOp(b), or 0 when either is missing.
@@ -522,6 +528,10 @@ func (r *Report) Summary() string {
 				strings.TrimPrefix(first, "DatabaseBuildParallel/"),
 				strings.TrimPrefix(last, "DatabaseBuildParallel/"), ratio)
 		}
+	}
+	for _, l := range r.Load {
+		s += fmt.Sprintf("load %s @ %.0f req/s: %.1f%% rejected, %.0f admitted/s, p50 %.1fms p99 %.1fms (%d forwarded)\n",
+			l.Name, l.TargetRPS, 100*l.RejectRate, l.AchievedRPS, l.P50Ms, l.P99Ms, l.Forwarded)
 	}
 	return s
 }

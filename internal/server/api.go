@@ -1,125 +1,40 @@
 package server
 
-import (
-	"qosrm/internal/scenario"
-	"qosrm/internal/sim"
+import "qosrm/internal/api"
+
+// The wire types live in internal/api — the shared leaf of the server,
+// the retrying client and the cluster-forwarding path between nodes.
+// The aliases keep this package's surface (and its tests) unchanged.
+type (
+	SavingsRequest  = api.SavingsRequest
+	SavingsResponse = api.SavingsResponse
+	JobRequest      = api.JobRequest
+	JobStatus       = api.JobStatus
+	Health          = api.Health
 )
-
-// SavingsRequest is the body of POST /v1/savings: an application mix
-// (one name per core) plus the manager configuration to evaluate it
-// under. The manager/model names and defaults match the scenario spec's
-// ("RM3"/"Model3" when empty).
-type SavingsRequest struct {
-	Apps  []string `json:"apps"`
-	RM    string   `json:"rm,omitempty"`
-	Model string   `json:"model,omitempty"`
-	// Policy selects the allocation policy per request: "model3"
-	// (default), "greedy" or "brute".
-	Policy           string  `json:"policy,omitempty"`
-	Perfect          bool    `json:"perfect,omitempty"`
-	Alpha            float64 `json:"alpha,omitempty"`
-	Scale            int64   `json:"scale,omitempty"`
-	Interval         int64   `json:"interval,omitempty"`
-	DisableOverheads bool    `json:"disable_overheads,omitempty"`
-}
-
-// SavingsResponse is the outcome of one savings evaluation: the
-// fractional energy saving of the managed run over the idle
-// (baseline-keeping) manager on the same workload, plus the managed
-// run's headline numbers and per-application results.
-type SavingsResponse struct {
-	// Policy is the allocation policy the managed run decided with.
-	Policy        string          `json:"policy"`
-	Saving        float64         `json:"saving"`
-	EnergyJ       float64         `json:"energy_j"`
-	IdleEnergyJ   float64         `json:"idle_energy_j"`
-	TimeNs        float64         `json:"time_ns"`
-	RMCalled      int64           `json:"rm_called"`
-	ViolationRate float64         `json:"violation_rate"`
-	Apps          []sim.AppResult `json:"apps"`
-}
-
-// JobRequest is the body of POST /v1/jobs: a batch of scenario specs to
-// sweep asynchronously over the server's worker pool.
-type JobRequest struct {
-	Specs []scenario.Spec `json:"specs"`
-}
 
 // Job states, in lifecycle order.
 const (
-	JobQueued  = "queued"
-	JobRunning = "running"
-	JobDone    = "done"
-	JobFailed  = "failed"
+	JobQueued  = api.JobQueued
+	JobRunning = api.JobRunning
+	JobDone    = api.JobDone
+	JobFailed  = api.JobFailed
 )
-
-// JobStatus is the response of POST /v1/jobs and GET /v1/jobs/{id}.
-// Reports is populated once the job is done, in spec order, with null
-// entries for specs that failed (their errors are joined in Error).
-type JobStatus struct {
-	ID string `json:"id"`
-	// Key echoes the Idempotency-Key the job was submitted under, if
-	// any: a client retrying a submit can confirm it was deduplicated.
-	Key     string             `json:"key,omitempty"`
-	State   string             `json:"state"`
-	Total   int                `json:"total"`
-	Done    int                `json:"done"`
-	Reports []*scenario.Report `json:"reports,omitempty"`
-	Error   string             `json:"error,omitempty"`
-}
-
-// Health is the response of GET /healthz. Status is "ok" in steady
-// state and "degraded" when the scenario queue is near capacity — a
-// load balancer can shift traffic away before submissions start
-// bouncing with 503s.
-type Health struct {
-	Status        string  `json:"status"`
-	Benchmarks    int     `json:"benchmarks"`
-	Phases        int     `json:"phases"`
-	TraceLen      int     `json:"trace_len"`
-	Workers       int     `json:"workers"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
-	// Queued and QueueDepth expose the scenario queue's occupancy, the
-	// quantity the degraded threshold is computed from.
-	Queued     int `json:"queued"`
-	QueueDepth int `json:"queue_depth"`
-	// Journal reports whether job state is journaled to disk (i.e. jobs
-	// survive a crash or restart of this server).
-	Journal bool `json:"journal"`
-}
 
 // Health states.
 const (
-	HealthOK       = "ok"
-	HealthDegraded = "degraded"
+	HealthOK       = api.HealthOK
+	HealthDegraded = api.HealthDegraded
 )
 
-// Machine-readable rejection reasons, carried in the error envelope's
-// "reason" field so clients can route on them — retry the transient
-// ones, surface the permanent ones — without matching message strings.
+// Machine-readable rejection reasons (see internal/api).
 const (
-	// ReasonBatchTooLarge (400): the batch exceeds the queue's total
-	// capacity and can never be admitted. Permanent: split the sweep.
-	ReasonBatchTooLarge = "batch_too_large"
-	// ReasonQueueFull (503): the queue is occupied right now.
-	// Transient: retry with backoff.
-	ReasonQueueFull = "queue_full"
-	// ReasonShuttingDown (503): this instance is draining. Transient
-	// against a deployment (another instance or the restarted daemon
-	// will accept the retry).
-	ReasonShuttingDown = "shutting_down"
-	// ReasonRateLimited (429): the per-client token bucket is empty.
-	// Transient: retry after the advertised delay.
-	ReasonRateLimited = "rate_limited"
-	// ReasonJournal (500): the job journal rejected the write, so the
-	// submission could not be made durable and was not admitted.
-	ReasonJournal = "journal_error"
+	ReasonBatchTooLarge = api.ReasonBatchTooLarge
+	ReasonQueueFull     = api.ReasonQueueFull
+	ReasonShuttingDown  = api.ReasonShuttingDown
+	ReasonRateLimited   = api.ReasonRateLimited
+	ReasonJournal       = api.ReasonJournal
 )
 
-// errorResponse is the JSON envelope of every non-2xx response. Reason
-// is present on rejections with a machine-readable classification (see
-// the Reason* constants); Error is always human-readable.
-type errorResponse struct {
-	Error  string `json:"error"`
-	Reason string `json:"reason,omitempty"`
-}
+// errorResponse is the JSON envelope of every non-2xx response.
+type errorResponse = api.ErrorResponse

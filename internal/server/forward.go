@@ -1,0 +1,180 @@
+package server
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"qosrm/internal/api"
+	"qosrm/internal/client"
+	"qosrm/internal/scenario"
+)
+
+// Cluster mode: a node with Options.Peers forwards a submit it would
+// otherwise reject with queue_full to the least-loaded live peer. The
+// peer admits the job exactly as a direct submit would — journaled
+// before the 202, deduplicated by the caller's Idempotency-Key, which
+// travels verbatim — and this node answers the caller with the peer's
+// job handle, the peer recorded in JobStatus.Origin. The job's
+// crash-safety story belongs entirely to the origin node's journal;
+// the forwarding node never half-owns it.
+//
+// The X-Qosrm-Forwarded header counts hops: a node only forwards a
+// request whose hop count is below Options.ForwardHops, so a fully
+// saturated cluster degrades to an honest queue_full 503 instead of a
+// forwarding loop.
+
+// peerHealthTTL is how long one /healthz poll of a peer stays fresh:
+// long enough that a saturating submit storm does not multiply into a
+// healthz storm on the peers, short enough that load ranking tracks a
+// draining queue.
+const peerHealthTTL = 200 * time.Millisecond
+
+// peer is one cluster node this server can forward overflow to, with a
+// briefly-cached view of its /healthz load report.
+type peer struct {
+	base   string
+	client *client.Client
+
+	mu     sync.Mutex
+	polled time.Time
+	health *api.Health
+	err    error
+}
+
+// load returns the peer's health, polling at most once per
+// peerHealthTTL. A poll error is cached for the same interval: a dead
+// peer costs one timed-out probe per TTL, not one per rejected submit.
+func (p *peer) load(ctx context.Context, now time.Time) (*api.Health, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if now.Sub(p.polled) < peerHealthTTL && (p.health != nil || p.err != nil) {
+		return p.health, p.err
+	}
+	p.polled = now
+	p.health, p.err = p.client.Health(ctx)
+	return p.health, p.err
+}
+
+// forwarder holds the peer set of a cluster-mode server.
+type forwarder struct {
+	peers []*peer
+}
+
+// newForwarder builds the peer set. Forwarding clients do not retry:
+// the cluster-level fallback — try the next peer, then answer 503 — is
+// the retry policy, and stacking per-peer backoff under it would stall
+// the submit path.
+func newForwarder(bases []string) *forwarder {
+	f := &forwarder{}
+	for _, base := range bases {
+		c := client.New(base)
+		c.MaxRetries = -1
+		f.peers = append(f.peers, &peer{base: c.Base(), client: c})
+	}
+	return f
+}
+
+// rank returns the live peers ordered by queue occupancy, least loaded
+// first. Peers whose health poll failed are dropped; peers reporting a
+// full queue stay ranked last rather than dropped — their view is up
+// to peerHealthTTL stale, and the forward attempt itself is the
+// authoritative admission check.
+func (f *forwarder) rank(ctx context.Context, now time.Time) []*peer {
+	type ranked struct {
+		p    *peer
+		load float64
+	}
+	var live []ranked
+	for _, p := range f.peers {
+		h, err := p.load(ctx, now)
+		if err != nil || h == nil {
+			continue
+		}
+		occ := 1.0
+		if h.QueueDepth > 0 {
+			occ = float64(h.Queued) / float64(h.QueueDepth)
+		}
+		live = append(live, ranked{p: p, load: occ})
+	}
+	sort.SliceStable(live, func(a, b int) bool { return live[a].load < live[b].load })
+	out := make([]*peer, len(live))
+	for i, r := range live {
+		out[i] = r.p
+	}
+	return out
+}
+
+// forwardedRef remembers a batch this node forwarded under an
+// idempotency key: origin node, job id, and the acceptance-time status
+// snapshot served if the origin is briefly unreachable. Entries age out
+// with the job TTL, like the local key map.
+type forwardedRef struct {
+	origin string
+	id     string
+	at     time.Time
+	status JobStatus
+}
+
+// tryForward pushes an overflow batch to the least-loaded live peer.
+// It returns (status, true) on success — Origin filled in, the key
+// remembered for dedupe — and (nil, false) when no peer could take the
+// batch, in which case the caller answers the honest queue_full 503.
+func (s *Server) tryForward(ctx context.Context, specs []scenario.Spec, key string, hops int) (*JobStatus, bool) {
+	if s.forwarder == nil || hops >= s.opts.ForwardHops {
+		return nil, false
+	}
+	ctx, cancel := context.WithTimeout(ctx, s.opts.ForwardTimeout)
+	defer cancel()
+	peers := s.forwarder.rank(ctx, s.now())
+	for _, p := range peers {
+		st, err := p.client.ForwardSweep(ctx, specs, key, hops+1)
+		if err != nil {
+			continue
+		}
+		// A multi-hop forward already carries the deeper origin; a
+		// direct admission on the peer is stamped with the peer itself.
+		if st.Origin == "" {
+			st.Origin = p.base
+		}
+		s.metrics.jobsForwarded.Add(1)
+		if key != "" {
+			s.mu.Lock()
+			s.forwardedKeys[key] = &forwardedRef{origin: st.Origin, id: st.ID, at: s.now(), status: *st}
+			s.mu.Unlock()
+		}
+		return st, true
+	}
+	if len(peers) > 0 || len(s.forwarder.peers) > 0 {
+		s.metrics.forwardFailed.Add(1)
+	}
+	return nil, false
+}
+
+// forwardedByKey resolves a previously-forwarded idempotency key to the
+// job's current status on its origin node; ok is false when the key was
+// never forwarded. When the origin is unreachable the acceptance-time
+// snapshot is served instead — the handle (id + origin) is what the
+// caller needs to keep polling, and it is immutable.
+func (s *Server) forwardedByKey(ctx context.Context, key string) (*JobStatus, bool) {
+	if key == "" {
+		return nil, false
+	}
+	s.mu.Lock()
+	ref := s.forwardedKeys[key]
+	s.mu.Unlock()
+	if ref == nil {
+		return nil, false
+	}
+	ctx, cancel := context.WithTimeout(ctx, s.opts.ForwardTimeout)
+	defer cancel()
+	c := client.New(ref.origin)
+	c.MaxRetries = -1
+	if st, err := c.Job(ctx, ref.id); err == nil {
+		st.Origin = ref.origin
+		return st, true
+	}
+	st := ref.status
+	return &st, true
+}

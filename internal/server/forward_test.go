@@ -1,0 +1,284 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"qosrm/internal/scenario"
+)
+
+// reserveNode reserves a loopback listener so its URL can appear in a
+// peer list before the node behind it exists — the only way two nodes
+// can name each other in Options.Peers.
+func reserveNode(t *testing.T) (net.Listener, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ln, "http://" + ln.Addr().String()
+}
+
+// serveNode mounts a server on a reserved listener and tears both down
+// with the test.
+func serveNode(t *testing.T, srv *Server, ln net.Listener) {
+	t.Helper()
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Close()
+	})
+}
+
+// fillQueue forces a server's queue occupancy (white box), making
+// queue-full admission deterministic without racing real workers.
+func fillQueue(srv *Server, n int) {
+	srv.mu.Lock()
+	srv.queued = n
+	srv.mu.Unlock()
+}
+
+// submitJob posts a sweep to base, with an Idempotency-Key when key is
+// non-empty, returning the response, raw body, and the decoded status
+// (zero-valued on a rejection).
+func submitJob(t *testing.T, base, key string, specs []scenario.Spec) (*http.Response, string, JobStatus) {
+	t.Helper()
+	data, err := json.Marshal(JobRequest{Specs: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/jobs", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if key != "" {
+		req.Header.Set("Idempotency-Key", key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := readBody(t, resp)
+	var st JobStatus
+	json.Unmarshal([]byte(raw), &st)
+	return resp, raw, st
+}
+
+// TestClusterForwardsOverflowToLeastLoadedPeer: a node whose queue is
+// full hands the batch to the least-loaded live peer — not the first
+// listed one — and answers with the peer's job handle, Origin naming
+// the node that owns the job. The forwarded job completes on the peer
+// with a report bit-identical to a direct run.
+func TestClusterForwardsOverflowToLeastLoadedPeer(t *testing.T) {
+	lnB, urlB := reserveNode(t)
+	lnC, urlC := reserveNode(t)
+	srvB, err := New(sharedDB(t), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvC, err := New(sharedDB(t), Options{Workers: 1, QueueDepth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveNode(t, srvB, lnB)
+	serveNode(t, srvC, lnC)
+	// C is nearly full, B is idle; C listed first so selection must be
+	// by load ranking, not list order.
+	fillQueue(srvC, 9)
+
+	lnA, _ := reserveNode(t)
+	srvA, err := New(sharedDB(t), Options{Workers: 1, QueueDepth: 2, Peers: []string{urlC, urlB}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveNode(t, srvA, lnA)
+	fillQueue(srvA, 2)
+
+	spec := testSpec("cluster-fwd")
+	resp, raw, st := submitJob(t, "http://"+lnA.Addr().String(), "", []scenario.Spec{spec})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("forwarded submit: %d %s", resp.StatusCode, raw)
+	}
+	if st.Origin != urlB {
+		t.Fatalf("origin %q, want least-loaded peer %q", st.Origin, urlB)
+	}
+	// The job lives on B alone: the origin node's journal/queue owns it.
+	if srvA.jobByID(st.ID) != nil || srvC.jobByID(st.ID) != nil {
+		t.Fatal("forwarded job exists on a node other than its origin")
+	}
+	done := waitJobDone(t, srvB, st.ID)
+	if done.State != JobDone || len(done.Reports) != 1 {
+		t.Fatalf("forwarded job did not complete on origin: %+v", done)
+	}
+	want, err := scenario.RunCtx(context.Background(), sharedDB(t), &spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(done.Reports[0], want) {
+		t.Fatal("forwarded report differs from a direct run")
+	}
+
+	if got := srvA.metrics.jobsForwarded.Load(); got != 1 {
+		t.Fatalf("jobs_forwarded_total %d, want 1", got)
+	}
+	if got := srvB.metrics.forwardReceived.Load(); got != 1 {
+		t.Fatalf("jobs_forward_received_total %d, want 1", got)
+	}
+
+	// The cluster surfaces in /healthz and /metrics.
+	var h Health
+	if code := getJSON(t, "http://"+lnA.Addr().String()+"/healthz", &h); code != http.StatusOK || h.Peers != 2 {
+		t.Fatalf("healthz peers %d (code %d), want 2", h.Peers, code)
+	}
+	mresp, err := http.Get("http://" + lnA.Addr().String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readBody(t, mresp)
+	for _, line := range []string{"qosrmd_cluster_peers 2", "qosrmd_jobs_forwarded_total 1"} {
+		if !strings.Contains(body, line) {
+			t.Fatalf("metrics missing %q:\n%s", line, body)
+		}
+	}
+}
+
+// TestClusterHopLimitDegradesTo503: when every node is saturated, the
+// hop counter stops the batch from looping between peers — the second
+// node refuses to forward a once-forwarded submit, so the first answers
+// an honest queue_full 503.
+func TestClusterHopLimitDegradesTo503(t *testing.T) {
+	lnA, urlA := reserveNode(t)
+	lnB, urlB := reserveNode(t)
+	srvA, err := New(sharedDB(t), Options{Workers: 1, QueueDepth: 2, Peers: []string{urlB}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvB, err := New(sharedDB(t), Options{Workers: 1, QueueDepth: 2, Peers: []string{urlA}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveNode(t, srvA, lnA)
+	serveNode(t, srvB, lnB)
+	fillQueue(srvA, 2)
+	fillQueue(srvB, 2)
+
+	resp, raw, _ := submitJob(t, urlA, "", []scenario.Spec{testSpec("cluster-loop")})
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(raw, `"reason":"queue_full"`) {
+		t.Fatalf("saturated cluster: %d %s, want 503 queue_full", resp.StatusCode, raw)
+	}
+	if got := srvA.metrics.forwardFailed.Load(); got != 1 {
+		t.Fatalf("job_forward_failures_total %d, want 1", got)
+	}
+	// B refused at the hop limit without attempting a forward of its own.
+	if got := srvB.metrics.jobsForwarded.Load(); got != 0 {
+		t.Fatalf("hop-limited node forwarded anyway (%d)", got)
+	}
+}
+
+// TestClusterIdempotencyKeyThroughEitherNode: a key whose submit was
+// forwarded resolves to the same job when retried — through the node
+// that forwarded it (which remembers the origin) and through the origin
+// itself (which deduplicated on the verbatim key).
+func TestClusterIdempotencyKeyThroughEitherNode(t *testing.T) {
+	lnB, urlB := reserveNode(t)
+	srvB, err := New(sharedDB(t), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveNode(t, srvB, lnB)
+
+	lnA, urlA := reserveNode(t)
+	srvA, err := New(sharedDB(t), Options{Workers: 1, QueueDepth: 2, Peers: []string{urlB}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveNode(t, srvA, lnA)
+	fillQueue(srvA, 2)
+
+	const key = "cluster-idem-key"
+	specs := []scenario.Spec{testSpec("cluster-idem")}
+	r1, raw, st1 := submitJob(t, urlA, key, specs)
+	if r1.StatusCode != http.StatusAccepted || st1.Origin != urlB {
+		t.Fatalf("forwarded submit: %d %s", r1.StatusCode, raw)
+	}
+	if r1.Header.Get("Idempotency-Replayed") != "" {
+		t.Fatal("fresh forwarded submit marked as replayed")
+	}
+	waitJobDone(t, srvB, st1.ID)
+
+	// Retry through the forwarding node: same job, marked replayed,
+	// origin preserved so the caller knows where to poll.
+	r2, _, st2 := submitJob(t, urlA, key, specs)
+	if r2.StatusCode != http.StatusAccepted || st2.ID != st1.ID || st2.Origin != urlB {
+		t.Fatalf("retry via forwarder: %d id %s origin %s, want %s at %s",
+			r2.StatusCode, st2.ID, st2.Origin, st1.ID, urlB)
+	}
+	if r2.Header.Get("Idempotency-Replayed") != "true" {
+		t.Fatal("retry via forwarder not marked as replayed")
+	}
+
+	// Retry directly at the origin: the key travelled verbatim, so the
+	// origin's own dedupe map resolves it to the same job.
+	r3, _, st3 := submitJob(t, urlB, key, specs)
+	if r3.StatusCode != http.StatusAccepted || st3.ID != st1.ID {
+		t.Fatalf("retry via origin: %d id %s, want %s", r3.StatusCode, st3.ID, st1.ID)
+	}
+	if r3.Header.Get("Idempotency-Replayed") != "true" {
+		t.Fatal("retry via origin not marked as replayed")
+	}
+}
+
+// TestClusterForwardedJobSurvivesPeerRestart: a forwarded job is owned
+// by the origin node's journal — after the origin crashes and reboots
+// from its journal, the job is still queryable under the same ID with
+// bit-identical reports.
+func TestClusterForwardedJobSurvivesPeerRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "peer.jnl")
+	lnB, urlB := reserveNode(t)
+	srvB, err := New(sharedDB(t), Options{Workers: 1, JournalPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hsB := &http.Server{Handler: srvB.Handler()}
+	go hsB.Serve(lnB)
+
+	lnA, urlA := reserveNode(t)
+	srvA, err := New(sharedDB(t), Options{Workers: 1, QueueDepth: 2, Peers: []string{urlB}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveNode(t, srvA, lnA)
+	fillQueue(srvA, 2)
+
+	resp, raw, st := submitJob(t, urlA, "restart-key", []scenario.Spec{testSpec("cluster-crash")})
+	if resp.StatusCode != http.StatusAccepted || st.Origin != urlB {
+		t.Fatalf("forwarded submit: %d %s", resp.StatusCode, raw)
+	}
+	done := waitJobDone(t, srvB, st.ID)
+
+	// The origin goes down and reboots from its journal.
+	hsB.Close()
+	srvB.Close()
+	srvB2, err := New(sharedDB(t), Options{Workers: 1, JournalPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvB2.Close()
+	j := srvB2.jobByID(st.ID)
+	if j == nil {
+		t.Fatalf("forwarded job %s lost across origin restart", st.ID)
+	}
+	st2 := j.status()
+	if st2.State != JobDone || !reflect.DeepEqual(st2.Reports, done.Reports) {
+		t.Fatalf("replayed forwarded job diverges: %+v", st2)
+	}
+}

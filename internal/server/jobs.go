@@ -237,7 +237,13 @@ func (s *Server) worker() {
 		case <-s.ctx.Done():
 			return
 		case it := <-s.queue:
-			it.j.begin()
+			if it.attempts == 0 {
+				// Only the first pickup starts the scenario; a retried
+				// item re-entering the queue is the same unit of work,
+				// so counting it again would let job.started exceed
+				// len(specs) and overstate progress in the job status.
+				it.j.begin()
+			}
 			if s.journal != nil && it.attempts == 0 {
 				ev := jobstore.Event{Type: jobstore.EventStart, Job: it.j.id, Index: it.idx}
 				if err := s.journal.Append(ev); err != nil {

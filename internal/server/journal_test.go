@@ -391,6 +391,14 @@ func TestWorkerRetriesTransientFailure(t *testing.T) {
 	if got := srv.metrics.specsRetried.Load(); got != 2 {
 		t.Fatalf("scenarios_retried_total %d, want 2", got)
 	}
+	// Retried pickups are the same unit of work: started counts the
+	// scenario once, not once per attempt.
+	j.mu.Lock()
+	started := j.started
+	j.mu.Unlock()
+	if started != 1 {
+		t.Fatalf("job.started %d after 2 retries, want 1", started)
+	}
 }
 
 // TestWorkerPanicRecovered: a panicking scenario neither kills the pool

@@ -9,7 +9,9 @@ import (
 // maxClients bounds the limiter's bucket map; when a new client would
 // exceed it, fully-refilled (i.e. idle) buckets are pruned first — they
 // are indistinguishable from fresh ones, so dropping them changes no
-// admission decision.
+// admission decision. When even pruning frees nothing (maxClients
+// clients all mid-refill), the stalest bucket is evicted so the map
+// never grows past the cap.
 const maxClients = 4096
 
 // rateLimiter is a per-client token bucket: each client refills at
@@ -52,6 +54,14 @@ func (l *rateLimiter) allow(client string) bool {
 	if !ok {
 		if len(l.buckets) >= maxClients {
 			l.prune(now)
+			// Every bucket may still be mid-refill (maxClients busy
+			// clients); the cap is a hard bound, not advisory, so make
+			// room by evicting the stalest bucket — the client least
+			// likely to return, and the one whose forgotten state is
+			// closest to a fresh bucket anyway.
+			for len(l.buckets) >= maxClients {
+				l.evictStalest()
+			}
 		}
 		b = &bucket{tokens: l.burst, last: now}
 		l.buckets[client] = b
@@ -85,4 +95,18 @@ func (l *rateLimiter) prune(now time.Time) {
 			delete(l.buckets, k)
 		}
 	}
+}
+
+// evictStalest drops the bucket with the oldest last-seen time; must be
+// called with the mutex held and a non-empty map.
+func (l *rateLimiter) evictStalest() {
+	var stalest string
+	var oldest time.Time
+	first := true
+	for k, b := range l.buckets {
+		if first || b.last.Before(oldest) {
+			stalest, oldest, first = k, b.last, false
+		}
+	}
+	delete(l.buckets, stalest)
 }

@@ -1,0 +1,50 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestRateLimiterCapIsHard: maxClients is a hard bound, not advisory.
+// With every bucket mid-refill (a frozen clock means prune can never
+// free one), hammering the limiter with far more distinct clients than
+// the cap must evict stale buckets instead of growing the map.
+func TestRateLimiterCapIsHard(t *testing.T) {
+	now := time.Now()
+	l := newRateLimiter(1, 1, func() time.Time { return now })
+
+	for i := 0; i < 2*maxClients; i++ {
+		// Nudge the clock forward a hair per client: not enough to
+		// refill any bucket (prune stays empty-handed), but enough to
+		// make "stalest" well-defined.
+		now = now.Add(time.Microsecond)
+		if !l.allow(fmt.Sprintf("client-%d", i)) {
+			t.Fatalf("fresh client %d denied its first request", i)
+		}
+		if n := len(l.buckets); n > maxClients {
+			t.Fatalf("bucket map grew to %d after %d clients (cap %d)", n, i+1, maxClients)
+		}
+	}
+	if n := len(l.buckets); n != maxClients {
+		t.Fatalf("bucket map at %d after hammering, want exactly %d", n, maxClients)
+	}
+	// The survivors are the most recent clients: the stalest half was
+	// evicted, so an early client is gone and a late one remains.
+	if _, ok := l.buckets["client-0"]; ok {
+		t.Fatal("stalest bucket survived eviction")
+	}
+	if _, ok := l.buckets[fmt.Sprintf("client-%d", 2*maxClients-1)]; !ok {
+		t.Fatal("freshest bucket missing")
+	}
+
+	// Once buckets refill, the ordinary prune path takes over again: a
+	// new client empties the idle map instead of evicting live state.
+	now = now.Add(time.Hour)
+	if !l.allow("after-idle") {
+		t.Fatal("client denied after refill")
+	}
+	if n := len(l.buckets); n != 1 {
+		t.Fatalf("idle buckets not pruned: %d remain", n)
+	}
+}

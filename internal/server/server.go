@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"qosrm/internal/api"
 	"qosrm/internal/bench"
 	"qosrm/internal/db"
 	"qosrm/internal/jobstore"
@@ -82,6 +83,22 @@ type Options struct {
 	// RateBurst is the token-bucket depth (default: one second's worth
 	// of RatePerSec).
 	RateBurst int
+	// Peers enables cluster mode: the base URLs of the other qosrmd
+	// nodes (e.g. "http://b:8423"). A submit this node would reject
+	// with queue_full is forwarded to the least-loaded live peer
+	// (ranked by the /healthz Queued/QueueDepth fields) instead; the
+	// caller gets the peer's job handle with JobStatus.Origin set, and
+	// the peer's journal owns the job. Empty runs standalone.
+	Peers []string
+	// ForwardHops bounds forwarding chains through the cluster: a
+	// request whose X-Qosrm-Forwarded hop count has reached this limit
+	// is rejected with queue_full instead of forwarded again, so a
+	// saturated cluster cannot loop a job between nodes. Default 1
+	// (one forward, never re-forwarded); negative disables forwarding.
+	ForwardHops int
+	// ForwardTimeout bounds one forwarding attempt end to end — peer
+	// health polls plus the forwarded submit (default 5 s).
+	ForwardTimeout time.Duration
 
 	// clock overrides the server's time source; nil means time.Now.
 	// Unexported: only in-package tests drive the job GC with a fake
@@ -112,6 +129,15 @@ func (o *Options) fill() {
 	case o.JobRetries < 0:
 		o.JobRetries = 0
 	}
+	switch {
+	case o.ForwardHops == 0:
+		o.ForwardHops = 1
+	case o.ForwardHops < 0:
+		o.ForwardHops = 0
+	}
+	if o.ForwardTimeout <= 0 {
+		o.ForwardTimeout = 5 * time.Second
+	}
 	if o.clock == nil {
 		o.clock = time.Now
 	}
@@ -140,6 +166,13 @@ type metrics struct {
 	journalReplays    atomic.Int64
 	journalErrors     atomic.Int64
 	journalCompacts   atomic.Int64
+	// Cluster counters: batches this node pushed to a peer, batches it
+	// admitted on behalf of a peer, and forwarding attempts that found
+	// no peer able to take the overflow (the caller then got the
+	// honest queue_full 503).
+	jobsForwarded   atomic.Int64
+	forwardReceived atomic.Int64
+	forwardFailed   atomic.Int64
 	// policyRuns counts managed runs per allocation policy, indexed as
 	// policyNames — the per-policy serving metric. Sized from the
 	// registry at server construction, so new policies get a slot
@@ -188,9 +221,11 @@ type Server struct {
 	// tests inject a fake one to drive the job GC deterministically.
 	now func() time.Time
 	// journal is the durable job log (nil without Options.JournalPath);
-	// limiter the per-client token bucket (nil without RatePerSec).
-	journal *jobstore.Journal
-	limiter *rateLimiter
+	// limiter the per-client token bucket (nil without RatePerSec);
+	// forwarder the cluster peer set (nil without Options.Peers).
+	journal   *jobstore.Journal
+	limiter   *rateLimiter
+	forwarder *forwarder
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -203,8 +238,12 @@ type Server struct {
 	jobSeq int64
 	jobs   map[string]*job
 	// keys maps idempotency keys to job ids; entries live exactly as
-	// long as their job (expiry drops both).
-	keys map[string]string
+	// long as their job (expiry drops both). forwardedKeys maps keys
+	// this node forwarded to a peer onto the peer's job handle, so a
+	// retried submit resolves to the same job through either node;
+	// entries age out with the job TTL.
+	keys          map[string]string
+	forwardedKeys map[string]*forwardedRef
 
 	metrics metrics
 }
@@ -217,18 +256,22 @@ func New(d *db.DB, opts Options) (*Server, error) {
 	opts.fill()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		db:     d,
-		opts:   opts,
-		start:  time.Now(),
-		now:    opts.clock,
-		ctx:    ctx,
-		cancel: cancel,
-		jobs:   make(map[string]*job),
-		keys:   make(map[string]string),
+		db:            d,
+		opts:          opts,
+		start:         time.Now(),
+		now:           opts.clock,
+		ctx:           ctx,
+		cancel:        cancel,
+		jobs:          make(map[string]*job),
+		keys:          make(map[string]string),
+		forwardedKeys: make(map[string]*forwardedRef),
 	}
 	s.metrics.policyRuns = make([]atomic.Int64, len(policyNames))
 	if opts.RatePerSec > 0 {
 		s.limiter = newRateLimiter(opts.RatePerSec, opts.RateBurst, s.now)
+	}
+	if len(opts.Peers) > 0 {
+		s.forwarder = newForwarder(opts.Peers)
 	}
 
 	var pending []workItem
@@ -310,6 +353,13 @@ func (s *Server) gcFinishedJobs(now time.Time) int {
 	}
 	expired := 0
 	s.mu.Lock()
+	// Forwarded-key records age out on the same clock as local jobs;
+	// the origin node's own TTL GC owns the job itself.
+	for key, ref := range s.forwardedKeys {
+		if now.Sub(ref.at) > ttl {
+			delete(s.forwardedKeys, key)
+		}
+	}
 	for id, j := range s.jobs {
 		if fin, ok := j.finishedTime(); ok && now.Sub(fin) > ttl {
 			delete(s.jobs, id)
@@ -574,9 +624,13 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 // handleJobSubmit queues an asynchronous sweep. An Idempotency-Key
 // header makes the submit safe to retry: a key already seen (in this
 // process or replayed from the journal) returns the existing job
-// instead of queuing a duplicate.
+// instead of queuing a duplicate — and a key this node forwarded to a
+// cluster peer resolves to the peer's job, so the dedupe contract
+// holds through either node. When the local queue is full and peers
+// are configured, the batch is forwarded to the least-loaded live peer
+// instead of rejected.
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
-	key := r.Header.Get("Idempotency-Key")
+	key := r.Header.Get(api.IdempotencyKeyHeader)
 	if len(key) > 256 {
 		s.fail(w, http.StatusBadRequest, "Idempotency-Key exceeds 256 bytes")
 		return
@@ -611,6 +665,13 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if st, ok := s.forwardedByKey(r.Context(), key); ok {
+		s.metrics.idempotentReplays.Add(1)
+		w.Header().Set(api.IdempotencyReplayedHeader, "true")
+		s.writeJSONStatus(w, http.StatusAccepted, st)
+		return
+	}
+	hops := forwardHops(r)
 	j, replayed, err := s.submit(req.Specs, key)
 	switch {
 	case errors.Is(err, errJournal):
@@ -623,14 +684,37 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		s.failReason(w, http.StatusServiceUnavailable, ReasonShuttingDown, "%v", err)
 		return
 	case err != nil:
+		// Queue full: in cluster mode, hand the batch to a peer before
+		// giving up. A forward that finds no taker (every peer dead or
+		// itself saturated) falls through to the honest 503.
+		if st, ok := s.tryForward(r.Context(), req.Specs, key, hops); ok {
+			s.writeJSONStatus(w, http.StatusAccepted, st)
+			return
+		}
 		s.failReason(w, http.StatusServiceUnavailable, ReasonQueueFull, "%v", err)
 		return
 	}
 	if replayed {
 		s.metrics.idempotentReplays.Add(1)
-		w.Header().Set("Idempotency-Replayed", "true")
+		w.Header().Set(api.IdempotencyReplayedHeader, "true")
+	} else if hops > 0 {
+		s.metrics.forwardReceived.Add(1)
 	}
 	s.writeJSONStatus(w, http.StatusAccepted, j.status())
+}
+
+// forwardHops reads the X-Qosrm-Forwarded hop count of a submit (0
+// when absent or malformed).
+func forwardHops(r *http.Request) int {
+	v := r.Header.Get(api.ForwardedHeader)
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
 }
 
 // handleJobGet reports a job's progress.
@@ -670,6 +754,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Queued:        queued,
 		QueueDepth:    s.opts.QueueDepth,
 		Journal:       s.journal != nil,
+		Peers:         len(s.opts.Peers),
 	})
 }
 
@@ -698,6 +783,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "qosrmd_scenarios_retried_total %d\n", s.metrics.specsRetried.Load())
 	fmt.Fprintf(w, "qosrmd_scenario_queue_depth %d\n", queued)
 	fmt.Fprintf(w, "qosrmd_requests_shed_total %d\n", s.metrics.requestsShed.Load())
+	fmt.Fprintf(w, "qosrmd_cluster_peers %d\n", len(s.opts.Peers))
+	fmt.Fprintf(w, "qosrmd_jobs_forwarded_total %d\n", s.metrics.jobsForwarded.Load())
+	fmt.Fprintf(w, "qosrmd_jobs_forward_received_total %d\n", s.metrics.forwardReceived.Load())
+	fmt.Fprintf(w, "qosrmd_job_forward_failures_total %d\n", s.metrics.forwardFailed.Load())
 	fmt.Fprintf(w, "qosrmd_idempotent_replays_total %d\n", s.metrics.idempotentReplays.Load())
 	fmt.Fprintf(w, "qosrmd_worker_panics_total %d\n", s.metrics.workerPanics.Load())
 	journalEnabled := 0

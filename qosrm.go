@@ -179,6 +179,16 @@
 // promptly. System.NewServer embeds the same server in any process, and
 // DialService returns the matching client.
 //
+// Cluster topology: qosrmd nodes are peers, not replicas — each owns
+// its own database snapshot, queue and journal, and a static peer list
+// (qosrmd -peers, ServerOptions.Peers) links them. There is no
+// leader and no shared state; the only cross-node interaction is
+// overflow forwarding on the submit path, so a node with no live peers
+// behaves exactly like a standalone one. internal/loadgen and
+// cmd/loadgen provide the matching open-loop load harness (fixed
+// arrival rate, vegeta-style), and the committed BENCH reports embed a
+// single-node vs two-node comparison at the same saturating load.
+//
 // # Reliability architecture
 //
 // The serving layer is crash-safe end to end; three mechanisms compose
@@ -228,6 +238,30 @@
 // and edge counters (qosrmd_journal_replays_total,
 // qosrmd_requests_shed_total, qosrmd_scenarios_retried_total, worker
 // panics, idempotent replays, compactions) surface at /metrics.
+//
+// Peer forwarding: a cluster-mode node that would reject a sweep
+// submission with queue_full instead offers it to its least-loaded
+// live peer — peers are ranked by the Queued/QueueDepth occupancy
+// their (briefly cached) /healthz reports, dead peers are skipped —
+// and answers the caller with the peer's job handle, the peer's base
+// URL recorded in the status's "origin" field. The semantics are
+// deliberately narrow. Ownership: the job belongs entirely to the
+// origin node — it is journaled there before the 202, polled there
+// (Client.At(origin)), and recovered from that node's journal after a
+// crash; the forwarding node keeps only a key→origin memo. Idempotency:
+// the caller's Idempotency-Key travels verbatim with the forward, so a
+// retried submit resolves to the same job through either node — the
+// forwarder answers from its memo (refreshing the status from the
+// origin when reachable), the origin from its own persisted key map.
+// Loops: every forwarded hop increments the X-Qosrm-Forwarded header
+// and a node only forwards requests whose hop count is below its
+// ForwardHops budget (default 1), so a fully saturated cluster answers
+// an honest queue_full 503 instead of bouncing the batch between
+// nodes. Forwarding clients do not retry internally — trying the next
+// peer, then failing over to the 503, is the retry policy. The
+// forwarded/received/failed counters surface at /metrics
+// (qosrmd_jobs_forwarded_total, qosrmd_jobs_forward_received_total,
+// qosrmd_job_forward_failures_total, qosrmd_cluster_peers).
 //
 // internal/scenario layers a JSON-loadable specification on top
 // (ScenarioSpec): application queues by name, arrival/departure times,

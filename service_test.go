@@ -145,7 +145,8 @@ func TestClientRetriesTransientFailures(t *testing.T) {
 	}))
 	defer ts.Close()
 
-	c := &Client{base: ts.URL, HTTPClient: ts.Client()}
+	c := NewClient(ts.URL)
+	c.HTTPClient = ts.Client()
 	h, err := c.Health(context.Background())
 	if err != nil {
 		t.Fatalf("health after transient 503s: %v", err)
@@ -162,7 +163,8 @@ func TestClientRetriesTransientFailures(t *testing.T) {
 		io.WriteString(w, `{"error":"batch of 999 scenarios exceeds the queue capacity","reason":"batch_too_large"}`)
 	}))
 	defer perm.Close()
-	cp := &Client{base: perm.URL, HTTPClient: perm.Client()}
+	cp := NewClient(perm.URL)
+	cp.HTTPClient = perm.Client()
 	_, err = cp.Health(context.Background())
 	var se *ServiceError
 	if !errors.As(err, &se) {
@@ -183,7 +185,9 @@ func TestClientRetriesTransientFailures(t *testing.T) {
 		io.WriteString(w, `{"error":"draining","reason":"shutting_down"}`)
 	}))
 	defer always.Close()
-	ca := &Client{base: always.URL, HTTPClient: always.Client(), MaxRetries: 1}
+	ca := NewClient(always.URL)
+	ca.HTTPClient = always.Client()
+	ca.MaxRetries = 1
 	if _, err := ca.Health(context.Background()); !errors.As(err, &se) || !se.Temporary() {
 		t.Fatalf("exhausted retries: %v", err)
 	}
