@@ -1,6 +1,8 @@
 package qosrm
 
 import (
+	"context"
+
 	"qosrm/internal/client"
 	"qosrm/internal/server"
 )
@@ -42,12 +44,27 @@ type (
 // by a bounded worker pool. With ServerOptions.JournalPath set, the job
 // queue is crash-safe: New replays the journal, so the error return
 // covers an unopenable or version-incompatible journal file. With
-// ServerOptions.Peers set, the node runs in cluster mode and forwards
-// overflow jobs to its least-loaded live peer instead of answering 503.
-// The caller owns the lifecycle: mount Handler() on a listener and
+// ServerOptions.Peers or Join naming gossip seeds (and Advertise set so
+// peers can reach this node), the node runs in cluster mode: it
+// discovers the rest of the cluster by anti-entropy gossip, expels dead
+// members within seconds via a SWIM-lite failure detector, and forwards
+// overflow jobs to the least-loaded live member instead of answering
+// 503. The caller owns the lifecycle: mount Handler() on a listener and
 // Close() the server on shutdown.
 func (s *System) NewServer(opts ServerOptions) (*Server, error) {
 	return server.New(s.db, opts)
+}
+
+// FetchClusterSnapshot bootstraps a joining node that has no local
+// database: it fetches the dbstore snapshot from the first reachable
+// seed (GET /v1/snapshot), verifies it end to end — magic, version,
+// checksum, params hash against this binary's compiled-in suite —
+// persists it to path (atomic; "" skips persisting) and returns the
+// loaded database, ready for FromDB(...).NewServer, along with the seed
+// that served it. A version or suite mismatch refuses the join: every
+// node of a cluster must serve the same database build.
+func FetchClusterSnapshot(ctx context.Context, path string, seeds []string) (*DB, string, error) {
+	return server.FetchSnapshot(ctx, path, seeds)
 }
 
 // DialService connects to a running qosrmd instance at baseURL (e.g.

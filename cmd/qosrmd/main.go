@@ -10,15 +10,30 @@
 //	qosrmd -snapshot suite.qosdb -build [-tracelen 65536] [-warmup 16384]
 //	qosrmd -snapshot suite.qosdb -journal jobs.jnl [-rate 100] [-burst 200]
 //	qosrmd -snapshot suite.qosdb -peers http://b:8423,http://c:8423
+//	qosrmd -snapshot node-c.qosdb -join http://a:8423 -advertise http://c:8425
 //
-// With -peers, the daemon runs in cluster mode: a sweep submission that
-// would be rejected with queue_full is forwarded to the least-loaded
-// live peer (ranked by each peer's /healthz queue occupancy) with the
-// caller's Idempotency-Key propagated verbatim; the response carries
-// the peer's job handle with "origin" set to the peer's base URL, and
-// the peer's journal owns the job. The X-Qosrm-Forwarded hop counter
-// (bounded by -forward-hops) keeps a fully saturated cluster from
-// looping a job between nodes: it degrades to an honest 503.
+// With -join or -peers, the daemon runs in cluster mode. Both flags
+// seed the gossip membership: the node exchanges member lists with the
+// addresses it knows every -gossip interval, discovers the rest of the
+// cluster from them, and a SWIM-lite failure detector (alive → suspect
+// on a missed probe → dead after a confirmation round -suspect later)
+// keeps the forwarding rotation live — dead peers leave it within
+// seconds, rejoining ones re-enter without any restarts. A sweep
+// submission that would be rejected with queue_full is forwarded to the
+// least-loaded live member (ranked by /healthz queue occupancy) with
+// the caller's Idempotency-Key propagated verbatim; the response
+// carries the member's job handle with "origin" set, and the member's
+// journal owns the job. The X-Qosrm-Forward-Trail header names every
+// node a forward has visited (bounded by -forward-hops), so multi-hop
+// forwarding terminates in any topology and a fully saturated cluster
+// degrades to an honest 503.
+//
+// A joining node that has no usable snapshot on disk fetches one from a
+// seed: GET /v1/snapshot streams the dbstore bytes, which are fully
+// verified (magic, version, CRC, params hash against this binary's
+// suite) before a byte is trusted, persisted to -snapshot, and served
+// warm. A params-hash mismatch refuses the join — a node built from a
+// different suite must not serve this cluster's jobs.
 //
 // With -journal, submitted sweep jobs are journaled to disk before they
 // are acknowledged: a daemon killed mid-sweep re-enqueues the unfinished
@@ -74,29 +89,39 @@ func main() {
 	rate := flag.Float64("rate", 0, "per-client request rate limit in requests/second (0 disables)")
 	burst := flag.Int("burst", 0, "rate-limit burst size (0 = one second of -rate)")
 	retries := flag.Int("job-retries", 0, "retries per failed scenario before its error is recorded (0 = default 2, negative disables)")
-	peers := flag.String("peers", "", "comma-separated base URLs of cluster peers (e.g. http://a:8423,http://b:8423); queue-full submits are forwarded to the least-loaded live peer (empty runs standalone)")
-	forwardHops := flag.Int("forward-hops", 0, "max peer-forwarding hops before a saturated cluster answers 503 (0 = default 1, negative disables forwarding)")
+	peers := flag.String("peers", "", "comma-separated base URLs of cluster seed peers (e.g. http://a:8423,http://b:8423); gossip discovers the rest (empty with no -join runs standalone)")
+	join := flag.String("join", "", "comma-separated seed URLs of an existing cluster to join; with no usable -snapshot on disk, the database snapshot is fetched and verified from a seed")
+	nodeID := flag.String("node-id", "", "stable cluster node identity (default: random per boot; fix it so restarts are recognised as rejoins)")
+	advertise := flag.String("advertise", "", "base URL peers reach this node at (default derived from -addr; required to enter peers' forwarding rotations)")
+	gossip := flag.Duration("gossip", 0, "anti-entropy gossip interval (0 = default 1s, negative disables)")
+	suspectT := flag.Duration("suspect", 0, "failure-detector confirmation window before a suspect peer is declared dead (0 = default 3s)")
+	forwardHops := flag.Int("forward-hops", 0, "max peer-forwarding hops before a saturated cluster answers 503 (0 = default 3, negative disables forwarding)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	d, err := openDB(ctx, *snapshot, *build, *traceLen, *warmup, *buildWorkers)
+	seeds := append(splitPeers(*peers), splitPeers(*join)...)
+	d, err := openDB(ctx, *snapshot, *build, *traceLen, *warmup, *buildWorkers, splitPeers(*join))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	srv, err := server.New(d, server.Options{
-		Workers:      *pool,
-		QueueDepth:   *queue,
-		MaxBodyBytes: *maxBody,
-		JobTTL:       *jobTTL,
-		JournalPath:  *journal,
-		JobRetries:   *retries,
-		RatePerSec:   *rate,
-		RateBurst:    *burst,
-		Peers:        splitPeers(*peers),
-		ForwardHops:  *forwardHops,
+		Workers:        *pool,
+		QueueDepth:     *queue,
+		MaxBodyBytes:   *maxBody,
+		JobTTL:         *jobTTL,
+		JournalPath:    *journal,
+		JobRetries:     *retries,
+		RatePerSec:     *rate,
+		RateBurst:      *burst,
+		Peers:          seeds,
+		NodeID:         *nodeID,
+		Advertise:      advertiseURL(*advertise, *addr),
+		GossipInterval: *gossip,
+		SuspectTimeout: *suspectT,
+		ForwardHops:    *forwardHops,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -137,9 +162,28 @@ func splitPeers(s string) []string {
 	return out
 }
 
+// advertiseURL resolves the base URL peers reach this node at: the
+// explicit -advertise when given, else one derived from -addr (a bare
+// ":8423" becomes "http://127.0.0.1:8423" — right for local clusters,
+// wrong across hosts, which is what -advertise is for).
+func advertiseURL(advertise, addr string) string {
+	if advertise != "" {
+		return strings.TrimRight(advertise, "/")
+	}
+	if addr == "" {
+		return ""
+	}
+	if strings.HasPrefix(addr, ":") {
+		return "http://127.0.0.1" + addr
+	}
+	return "http://" + addr
+}
+
 // openDB resolves the database the daemon serves: the snapshot when it
-// loads cleanly, else a fresh build (saved back) when -build allows it.
-func openDB(ctx context.Context, path string, build bool, traceLen, warmup, workers int) (*db.DB, error) {
+// loads cleanly, else one fetched and verified from a -join seed (the
+// snapshot-serve join path — persisted back so the next boot is a local
+// load), else a fresh build (saved back) when -build allows it.
+func openDB(ctx context.Context, path string, build bool, traceLen, warmup, workers int, join []string) (*db.DB, error) {
 	start := time.Now()
 	d, h, err := dbstore.Load(path)
 	if err == nil {
@@ -147,8 +191,26 @@ func openDB(ctx context.Context, path string, build bool, traceLen, warmup, work
 			path, h.Benchmarks, h.Phases, h.Bytes, time.Since(start).Round(time.Millisecond))
 		return d, nil
 	}
+	if len(join) > 0 {
+		d, seed, ferr := server.FetchSnapshot(ctx, path, join)
+		if ferr == nil {
+			log.Printf("fetched snapshot from %s and saved %s in %s",
+				seed, path, time.Since(start).Round(time.Millisecond))
+			return d, nil
+		}
+		if errors.Is(ferr, dbstore.ErrStale) || errors.Is(ferr, dbstore.ErrVersion) {
+			// The cluster serves a different database build than this
+			// binary: joining it is wrong, and so would be building a
+			// local database that disagrees with it.
+			return nil, fmt.Errorf("join refused: %w", ferr)
+		}
+		log.Printf("snapshot fetch failed (%v)", ferr)
+		if !build {
+			return nil, fmt.Errorf("no usable snapshot (%v) and fetch failed: %w", err, ferr)
+		}
+	}
 	if !build {
-		return nil, fmt.Errorf("%w (run dbgen, or pass -build)", err)
+		return nil, fmt.Errorf("%w (run dbgen, pass -join to fetch from a cluster, or pass -build)", err)
 	}
 	if !errors.Is(err, os.ErrNotExist) {
 		log.Printf("snapshot unusable (%v); rebuilding", err)

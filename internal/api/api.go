@@ -23,12 +23,14 @@ const (
 	// IdempotencyReplayedHeader is set to "true" on a submit response
 	// that was served from an existing job instead of a new admission.
 	IdempotencyReplayedHeader = "Idempotency-Replayed"
-	// ForwardedHeader counts the peer-forwarding hops a submit has
-	// already taken through the cluster. A node only forwards a request
-	// whose hop count is below its configured limit, so a fully
-	// saturated cluster degrades to an honest 503 instead of bouncing
-	// the job between nodes forever.
-	ForwardedHeader = "X-Qosrm-Forwarded"
+	// ForwardTrailHeader carries the node IDs a forwarded submit has
+	// already visited, comma-separated, oldest first. A node forwards
+	// only while the trail is shorter than its hop budget, and never to
+	// a node already on the trail — so multi-hop forwarding terminates
+	// in any topology without revisiting a node, and a fully saturated
+	// cluster degrades to an honest 503 instead of bouncing the job
+	// between nodes forever.
+	ForwardTrailHeader = "X-Qosrm-Forward-Trail"
 )
 
 // SavingsRequest is the body of POST /v1/savings: an application mix
@@ -118,8 +120,20 @@ type Health struct {
 	// Journal reports whether job state is journaled to disk (i.e. jobs
 	// survive a crash or restart of this server).
 	Journal bool `json:"journal"`
-	// Peers is the number of cluster peers this node can forward
-	// overflow jobs to (0 when it runs standalone).
+	// Node is the serving node's stable cluster identity. Peers use it
+	// to resolve an address to a node ID before the first gossip round
+	// completes, which is what makes trail-based forwarding loop-safe
+	// from the very first forward.
+	Node string `json:"node,omitempty"`
+	// ParamsHash fingerprints the database build this node serves
+	// (dbstore.ParamsHash, hex). Nodes with different hashes refuse
+	// each other's joins and never share a forwarding rotation.
+	ParamsHash string `json:"params_hash,omitempty"`
+	// Peers is the number of cluster nodes currently in this node's
+	// forwarding rotation — live and suspect members plus not-yet-
+	// resolved seeds (0 when it runs standalone). Dynamic: dead peers
+	// leave the count within the suspect timeout and rejoining ones
+	// re-enter it.
 	Peers int `json:"peers,omitempty"`
 }
 
@@ -150,6 +164,11 @@ const (
 	// ReasonJournal (500): the job journal rejected the write, so the
 	// submission could not be made durable and was not admitted.
 	ReasonJournal = "journal_error"
+	// ReasonClusterMismatch (409): the other node serves a different
+	// database build (params hash) than this one, so admitting it to
+	// the cluster would hand jobs to a node that computes different
+	// answers. Permanent: redeploy with matching snapshots.
+	ReasonClusterMismatch = "cluster_mismatch"
 )
 
 // ErrorResponse is the JSON envelope of every non-2xx response. Reason

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"qosrm/internal/api"
+	"qosrm/internal/cluster"
 	"qosrm/internal/scenario"
 )
 
@@ -176,27 +177,28 @@ func (c *Client) SubmitSweep(ctx context.Context, specs []scenario.Spec) (*api.J
 // against the same or a restarted server (when it journals) — returns
 // the existing job instead of queuing a duplicate.
 func (c *Client) SubmitSweepKey(ctx context.Context, specs []scenario.Spec, key string) (*api.JobStatus, error) {
-	return c.submit(ctx, specs, key, 0)
+	return c.submit(ctx, specs, key, nil)
 }
 
 // ForwardSweep is the cluster-internal submit a qosrmd node uses to
 // push an overflow batch to a peer: the caller's idempotency key is
 // propagated verbatim (so the dedupe contract holds across nodes) and
-// the hop count travels in the X-Qosrm-Forwarded header, letting the
-// receiving node refuse to forward past its own hop limit.
-func (c *Client) ForwardSweep(ctx context.Context, specs []scenario.Spec, key string, hops int) (*api.JobStatus, error) {
-	return c.submit(ctx, specs, key, hops)
+// the visited-node trail travels in the X-Qosrm-Forward-Trail header,
+// letting the receiving node skip every node the batch has already
+// been through and refuse to forward past its own hop budget.
+func (c *Client) ForwardSweep(ctx context.Context, specs []scenario.Spec, key string, trail []string) (*api.JobStatus, error) {
+	return c.submit(ctx, specs, key, trail)
 }
 
-func (c *Client) submit(ctx context.Context, specs []scenario.Spec, key string, hops int) (*api.JobStatus, error) {
+func (c *Client) submit(ctx context.Context, specs []scenario.Spec, key string, trail []string) (*api.JobStatus, error) {
 	var out api.JobStatus
 	req := api.JobRequest{Specs: specs}
 	hdr := http.Header{}
 	if key != "" {
 		hdr.Set(api.IdempotencyKeyHeader, key)
 	}
-	if hops > 0 {
-		hdr.Set(api.ForwardedHeader, strconv.Itoa(hops))
+	if len(trail) > 0 {
+		hdr.Set(api.ForwardTrailHeader, strings.Join(trail, ","))
 	}
 	if err := c.doHeaders(ctx, http.MethodPost, "/v1/jobs", hdr, req, &out); err != nil {
 		return nil, err
@@ -213,6 +215,62 @@ func NewIdempotencyKey() string {
 		return ""
 	}
 	return "qosrm-" + hex.EncodeToString(b[:])
+}
+
+// ClusterView fetches a node's membership view (GET /v1/cluster): its
+// self entry plus every member it tracks. This is the pull-only half of
+// the anti-entropy protocol, usable by any observer.
+func (c *Client) ClusterView(ctx context.Context) (*cluster.Exchange, error) {
+	var out cluster.Exchange
+	if err := c.do(ctx, http.MethodGet, "/v1/cluster", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ExchangeCluster runs one push-pull anti-entropy exchange (POST
+// /v1/cluster): the receiver merges ex and answers with its own view
+// for the caller to merge back. This is the gossip transport a qosrmd
+// node drives every gossip interval.
+func (c *Client) ExchangeCluster(ctx context.Context, ex *cluster.Exchange) (*cluster.Exchange, error) {
+	var out cluster.Exchange
+	if err := c.do(ctx, http.MethodPost, "/v1/cluster", ex, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// maxSnapshotBytes bounds a fetched database snapshot — matching the
+// dbstore reader's own payload bound, far above any real suite.
+const maxSnapshotBytes = 1 << 31
+
+// Snapshot fetches a node's database snapshot bytes (GET /v1/snapshot),
+// the dbstore binary format verbatim. The caller must verify them with
+// the dbstore loader before trusting a byte — server.FetchSnapshot is
+// the join flow that does.
+func (c *Client) Snapshot(ctx context.Context) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/snapshot", nil)
+	if err != nil {
+		return nil, fmt.Errorf("qosrm: GET /v1/snapshot: %w", err)
+	}
+	resp, err := c.HTTPClient.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("qosrm: GET /v1/snapshot: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		se := &ServiceError{StatusCode: resp.StatusCode}
+		var e api.ErrorResponse
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&e) == nil {
+			se.Message, se.Reason = e.Error, e.Reason
+		}
+		return nil, fmt.Errorf("qosrm: GET /v1/snapshot: %w", se)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxSnapshotBytes))
+	if err != nil {
+		return nil, fmt.Errorf("qosrm: GET /v1/snapshot: %w", err)
+	}
+	return data, nil
 }
 
 // Job fetches the current status of an asynchronous job.

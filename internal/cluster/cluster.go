@@ -1,0 +1,553 @@
+// Package cluster is the gossip membership and failure-detection layer
+// of a qosrmd cluster: each node keeps a local view of every other node
+// — address, stable node ID, incarnation, liveness state — and views
+// converge by periodic anti-entropy exchange (push-pull of the full
+// member list over GET/POST /v1/cluster, which internal/server mounts).
+//
+// The failure detector is SWIM-lite. Every probe interval a node
+// exchanges member lists with each address it knows (small clusters, so
+// probing everyone beats probing a random member — convergence in one
+// round instead of O(log n)); a member whose exchange fails goes alive →
+// suspect, and a further failed probe after SuspectTimeout confirms
+// suspect → dead. Dead members leave the forwarding rotation but stay
+// probed until DeadTTL prunes them — that re-probe is what heals a
+// partition (a "dead" node that answers again is directly observed
+// alive) and what delivers the death rumor to a node that never died, so
+// it can refute it.
+//
+// Refutation is incarnation-based, exactly SWIM's: only a node itself
+// increments its own incarnation. When a node learns — from any exchange
+// — that someone claims it suspect or dead at an incarnation at least
+// its own, it bumps its incarnation past the claim and re-asserts
+// itself; higher incarnations win every merge, so the re-assertion
+// overrides the stale rumor everywhere it spread. A node that crashes
+// and reboots (same ID, incarnation reset) refutes its own tombstone the
+// same way on first contact, which is why rejoining needs no restart of
+// anything else.
+//
+// The package is a pure state machine — no I/O, no goroutines, no HTTP;
+// internal/server owns the loop, the endpoints and the transport. That
+// keeps membership property-testable: the convergence test drives N
+// in-process instances through random kills, rejoins and partitions on a
+// fake clock and asserts every live view converges.
+package cluster
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// State is a member's liveness as one node sees it, ordered by badness:
+// a merge at equal incarnation keeps the worse state, so a death rumor
+// can only be overridden by the subject's own higher incarnation.
+type State int
+
+const (
+	// Alive: the most recent probe (or fresher gossip) succeeded.
+	Alive State = iota
+	// Suspect: a probe missed; the member stays in the forwarding
+	// rotation, ranked last, until a confirmation round settles it.
+	Suspect
+	// Dead: a further probe failed after SuspectTimeout. Dead members
+	// leave the rotation but are still probed until DeadTTL prunes
+	// them, so a healed partition or a rejoin is noticed.
+	Dead
+)
+
+// Wire spellings of State.
+const (
+	StateAlive   = "alive"
+	StateSuspect = "suspect"
+	StateDead    = "dead"
+)
+
+func (s State) String() string {
+	switch s {
+	case Alive:
+		return StateAlive
+	case Suspect:
+		return StateSuspect
+	default:
+		return StateDead
+	}
+}
+
+// parseState maps a wire state; anything unrecognised is treated as
+// suspect — an unknown claim must not revive a member (alive) nor
+// tombstone it (dead) on its own.
+func parseState(s string) State {
+	switch s {
+	case StateAlive:
+		return Alive
+	case StateDead:
+		return Dead
+	default:
+		return Suspect
+	}
+}
+
+// Member is the gossiped record of one node.
+type Member struct {
+	// ID is the node's stable identity (qosrmd -node-id, random per
+	// boot when unset). The trail-based forwarding loop protection and
+	// the membership map key by it.
+	ID string `json:"id"`
+	// Addr is the base URL peers reach the node at ("" while unknown —
+	// a node that does not advertise can probe and forward, but never
+	// enters anyone else's rotation).
+	Addr string `json:"addr,omitempty"`
+	// Incarnation is the node's self-asserted liveness epoch. Only the
+	// node itself increments it (to refute suspicion); higher
+	// incarnations win every merge unconditionally.
+	Incarnation uint64 `json:"incarnation"`
+	// State is the sender's view: "alive", "suspect" or "dead".
+	State string `json:"state"`
+	// ParamsHash fingerprints the database build the node serves
+	// (dbstore.ParamsHash, hex). Nodes with different hashes never
+	// admit each other into a rotation — version-skew safety.
+	ParamsHash string `json:"params_hash,omitempty"`
+}
+
+// Exchange is the anti-entropy body of GET/POST /v1/cluster: the
+// sender's self entry plus its full member view. POST merges both ways
+// (the receiver merges the request, the sender merges the response);
+// GET is the pull-only half for nodes that cannot advertise.
+type Exchange struct {
+	From    Member   `json:"from"`
+	Members []Member `json:"members,omitempty"`
+}
+
+// Config parameterises a Membership.
+type Config struct {
+	// ID is this node's stable identity; NewID() supplies a random one.
+	ID string
+	// Addr is the advertised base URL ("" = do not introduce self).
+	Addr string
+	// ParamsHash is this node's database fingerprint (hex).
+	ParamsHash string
+	// Seeds are addresses probed while no member covers them — the
+	// -join/-peers bootstrap list.
+	Seeds []string
+	// SuspectTimeout is the confirmation window: a suspect member whose
+	// next failed probe comes at least this long after the suspicion
+	// goes dead. Default 3 s.
+	SuspectTimeout time.Duration
+	// DeadTTL is how long a dead member stays tracked (and probed for
+	// rejoin) before it is pruned. Default 40× SuspectTimeout.
+	DeadTTL time.Duration
+	// Clock overrides the time source (tests); nil means time.Now.
+	Clock func() time.Time
+}
+
+// NewID draws a random 48-bit node identity.
+func NewID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal platform breakage;
+		// a fixed ID degrades loop protection, not correctness.
+		return "node-0"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// memberState is the tracked view of one remote node.
+type memberState struct {
+	id        string
+	addr      string
+	inc       uint64
+	hash      string
+	state     State
+	suspectAt time.Time // when the current suspicion started
+	deadAt    time.Time // when the member was confirmed dead
+	lastAck   time.Time // last successful direct exchange
+}
+
+func (m *memberState) wire() Member {
+	return Member{ID: m.id, Addr: m.addr, Incarnation: m.inc, State: m.state.String(), ParamsHash: m.hash}
+}
+
+// Membership is one node's view of the cluster. All methods are safe
+// for concurrent use.
+type Membership struct {
+	cfg Config
+
+	mu      sync.Mutex
+	inc     uint64
+	members map[string]*memberState // by ID; never contains self
+	// selfAddrs are seed addresses that turned out to be this node
+	// itself (symmetric seed lists) — skipped forever.
+	selfAddrs map[string]bool
+}
+
+// New builds a membership view. The node starts at incarnation 1
+// knowing only its seeds.
+func New(cfg Config) *Membership {
+	if cfg.ID == "" {
+		cfg.ID = NewID()
+	}
+	if cfg.SuspectTimeout <= 0 {
+		cfg.SuspectTimeout = 3 * time.Second
+	}
+	if cfg.DeadTTL <= 0 {
+		cfg.DeadTTL = 40 * cfg.SuspectTimeout
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	seeds := make([]string, 0, len(cfg.Seeds))
+	for _, s := range cfg.Seeds {
+		if s = strings.TrimRight(strings.TrimSpace(s), "/"); s != "" && s != cfg.Addr {
+			seeds = append(seeds, s)
+		}
+	}
+	cfg.Seeds = seeds
+	return &Membership{
+		cfg:       cfg,
+		inc:       1,
+		members:   make(map[string]*memberState),
+		selfAddrs: make(map[string]bool),
+	}
+}
+
+// ID returns this node's identity.
+func (m *Membership) ID() string { return m.cfg.ID }
+
+// Incarnation returns this node's current self-asserted incarnation.
+func (m *Membership) Incarnation() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.inc
+}
+
+// Self returns this node's own gossip entry.
+func (m *Membership) Self() Member {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.self()
+}
+
+func (m *Membership) self() Member {
+	return Member{ID: m.cfg.ID, Addr: m.cfg.Addr, Incarnation: m.inc, State: StateAlive, ParamsHash: m.cfg.ParamsHash}
+}
+
+// Snapshot renders the full view for an exchange: self first (when
+// advertised), then every tracked member, sorted by ID — the format is
+// canonical so tests can compare views directly.
+func (m *Membership) Snapshot() []Member {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Member, 0, len(m.members)+1)
+	if m.cfg.Addr != "" {
+		out = append(out, m.self())
+	}
+	ids := make([]string, 0, len(m.members))
+	for id := range m.members {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		out = append(out, m.members[id].wire())
+	}
+	return out
+}
+
+// Merge applies a remote view and reports whether it forced a
+// self-refutation (someone claimed this node suspect or dead, and the
+// node bumped its incarnation past the claim).
+func (m *Membership) Merge(list []Member) (refuted bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.cfg.Clock()
+	for i := range list {
+		if m.mergeEntry(&list[i], now) {
+			refuted = true
+		}
+	}
+	return refuted
+}
+
+// mergeEntry folds one remote record in. Merge order: a higher
+// incarnation wins unconditionally; at equal incarnation the worse
+// state wins (dead > suspect > alive), so a rumor is only ever
+// overridden by the subject's own re-assertion.
+func (m *Membership) mergeEntry(e *Member, now time.Time) (refuted bool) {
+	if e.ID == "" {
+		return false
+	}
+	if e.ID == m.cfg.ID {
+		// Claims about this node itself: refute suspicion by bumping
+		// past it — only the node owns its incarnation.
+		st := parseState(e.State)
+		switch {
+		case st != Alive && e.Incarnation >= m.inc:
+			m.inc = e.Incarnation + 1
+			return true
+		case st == Alive && e.Incarnation > m.inc:
+			// A stale ghost of a previous boot asserted higher: adopt,
+			// so this process's claims are at least as fresh.
+			m.inc = e.Incarnation
+		}
+		return false
+	}
+	if e.ParamsHash != "" && m.cfg.ParamsHash != "" && e.ParamsHash != m.cfg.ParamsHash {
+		// Version skew: a node serving a different database build never
+		// enters this view (and so never the forwarding rotation).
+		return false
+	}
+	st := parseState(e.State)
+	me, ok := m.members[e.ID]
+	if !ok {
+		if e.Addr == "" && st == Dead {
+			// An unreachable tombstone carries no information worth
+			// tracking (nothing to probe, nothing to rotate to).
+			return false
+		}
+		me = &memberState{id: e.ID, addr: e.Addr, inc: e.Incarnation, hash: e.ParamsHash, state: st}
+		switch st {
+		case Suspect:
+			me.suspectAt = now
+		case Dead:
+			me.deadAt = now
+		}
+		m.members[e.ID] = me
+		return false
+	}
+	switch {
+	case e.Incarnation > me.inc:
+		me.inc = e.Incarnation
+		m.setState(me, st, now)
+	case e.Incarnation == me.inc && st > me.state:
+		// Anti-flap: a rumor about a member this node heard from
+		// directly within the confirmation window is ignored — the
+		// local detector is fresher than the gossip path, and the
+		// rumor's holder will deliver it to the subject itself (dead
+		// members keep being probed), triggering the real refutation.
+		if now.Sub(me.lastAck) < m.cfg.SuspectTimeout {
+			break
+		}
+		m.setState(me, st, now)
+	}
+	if me.addr == "" && e.Addr != "" {
+		me.addr = e.Addr
+	}
+	if me.hash == "" && e.ParamsHash != "" {
+		me.hash = e.ParamsHash
+	}
+	return false
+}
+
+// setState moves a member to st, stamping the transition times the
+// failure detector and the pruner key off.
+func (m *Membership) setState(me *memberState, st State, now time.Time) {
+	if me.state == st {
+		return
+	}
+	me.state = st
+	switch st {
+	case Suspect:
+		me.suspectAt = now
+	case Dead:
+		me.deadAt = now
+	}
+}
+
+// Ack records a successful direct exchange with addr: the responder
+// (ex.From) is observed alive — direct evidence, overriding any rumor
+// at any incarnation — and its view is merged. A different member still
+// claiming the same address is a ghost of a previous boot and is
+// tombstoned, since one address serves one node.
+func (m *Membership) Ack(addr string, ex *Exchange) (refuted bool) {
+	addr = strings.TrimRight(addr, "/")
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.cfg.Clock()
+	for i := range ex.Members {
+		if m.mergeEntry(&ex.Members[i], now) {
+			refuted = true
+		}
+	}
+	from := ex.From
+	if from.ID == m.cfg.ID {
+		// The probed address answered as this node itself: a seed list
+		// naming our own URL. Never probe it again.
+		m.selfAddrs[addr] = true
+		return refuted
+	}
+	if from.ID == "" {
+		return refuted
+	}
+	if from.ParamsHash != "" && m.cfg.ParamsHash != "" && from.ParamsHash != m.cfg.ParamsHash {
+		return refuted
+	}
+	me, ok := m.members[from.ID]
+	if !ok {
+		me = &memberState{id: from.ID}
+		m.members[from.ID] = me
+	}
+	me.addr = addr
+	if from.Addr != "" {
+		me.addr = strings.TrimRight(from.Addr, "/")
+	}
+	if from.Incarnation > me.inc {
+		me.inc = from.Incarnation
+	}
+	if from.ParamsHash != "" {
+		me.hash = from.ParamsHash
+	}
+	me.state = Alive
+	me.suspectAt = time.Time{}
+	me.lastAck = now
+	// One address serves one node: a different member still claiming
+	// this address is a ghost of a previous boot. (Address-less members
+	// — nodes that do not advertise — are exempt; they share "".)
+	if me.addr != "" {
+		for _, other := range m.members {
+			if other.id != me.id && other.addr == me.addr && other.state != Dead {
+				m.setState(other, Dead, now)
+			}
+		}
+	}
+	return refuted
+}
+
+// Resolve records a node identity learned out of band (the forwarder's
+// /healthz poll carries the node ID): a seed address becomes a real
+// member before any gossip round completes, so trail-based loop
+// protection applies from the very first forward.
+func (m *Membership) Resolve(addr, id string) {
+	addr = strings.TrimRight(addr, "/")
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if id == "" {
+		return
+	}
+	if id == m.cfg.ID {
+		m.selfAddrs[addr] = true
+		return
+	}
+	if me, ok := m.members[id]; ok {
+		if me.addr == "" {
+			me.addr = addr
+		}
+		return
+	}
+	m.members[id] = &memberState{id: id, addr: addr, state: Alive, lastAck: m.cfg.Clock()}
+}
+
+// Fail records a failed probe of addr: alive goes suspect, and a
+// suspect whose suspicion is at least SuspectTimeout old is confirmed
+// dead. Unresolved seeds have no member to transition — they just stay
+// seeds, probed again next round.
+func (m *Membership) Fail(addr string) {
+	addr = strings.TrimRight(addr, "/")
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.cfg.Clock()
+	for _, me := range m.members {
+		if me.addr != addr {
+			continue
+		}
+		switch me.state {
+		case Alive:
+			m.setState(me, Suspect, now)
+		case Suspect:
+			if now.Sub(me.suspectAt) >= m.cfg.SuspectTimeout {
+				m.setState(me, Dead, now)
+			}
+		}
+	}
+}
+
+// ProbeTargets returns the addresses to exchange with this round: every
+// tracked member with a known address — dead ones included, which is
+// how rejoins and healed partitions are noticed and how death rumors
+// reach their subject for refutation — plus any seed no member covers.
+// Dead members past DeadTTL are pruned here.
+func (m *Membership) ProbeTargets() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.cfg.Clock()
+	covered := map[string]bool{}
+	var out []string
+	for id, me := range m.members {
+		if me.state == Dead && now.Sub(me.deadAt) > m.cfg.DeadTTL {
+			delete(m.members, id)
+			continue
+		}
+		if me.addr == "" || covered[me.addr] {
+			continue
+		}
+		covered[me.addr] = true
+		out = append(out, me.addr)
+	}
+	for _, s := range m.cfg.Seeds {
+		if !covered[s] && !m.selfAddrs[s] {
+			covered[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Rotation returns the forwardable peers: non-dead members with a known
+// address (alive before suspect is the caller's ranking concern — the
+// State field travels along), plus unresolved seeds as address-only
+// placeholder members whose identity the forwarder's health poll
+// resolves before the first forward.
+func (m *Membership) Rotation() []Member {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	covered := map[string]bool{}
+	var out []Member
+	for _, me := range m.members {
+		if me.state == Dead || me.addr == "" {
+			continue
+		}
+		covered[me.addr] = true
+		out = append(out, me.wire())
+	}
+	for _, s := range m.cfg.Seeds {
+		if !covered[s] && !m.selfAddrs[s] {
+			out = append(out, Member{Addr: s, State: StateAlive})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Addr < out[b].Addr })
+	return out
+}
+
+// Counts reports how many tracked members are in each state.
+func (m *Membership) Counts() (alive, suspect, dead int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, me := range m.members {
+		switch me.state {
+		case Alive:
+			alive++
+		case Suspect:
+			suspect++
+		case Dead:
+			dead++
+		}
+	}
+	return alive, suspect, dead
+}
+
+// Live returns the IDs this node considers alive, itself included —
+// the set the convergence tests compare across nodes.
+func (m *Membership) Live() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := []string{m.cfg.ID}
+	for id, me := range m.members {
+		if me.state == Alive {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,394 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+)
+
+const (
+	tick    = 100 * time.Millisecond // simulated gossip interval
+	suspect = 300 * time.Millisecond
+)
+
+// fakeClock is a hand-advanced time source shared by every node in a
+// simulation, so suspicion timeouts are deterministic.
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) Now() time.Time { return c.now }
+
+func newNode(clk *fakeClock, id, addr string, seeds ...string) *Membership {
+	return New(Config{
+		ID: id, Addr: addr, ParamsHash: "abc",
+		Seeds:          seeds,
+		SuspectTimeout: suspect,
+		Clock:          clk.Now,
+	})
+}
+
+func TestRefutationBumpsIncarnation(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	m := newNode(clk, "a", "http://a")
+	if got := m.Incarnation(); got != 1 {
+		t.Fatalf("fresh incarnation = %d, want 1", got)
+	}
+	// A rumor at a lower incarnation is stale: no refutation needed.
+	if m.Merge([]Member{{ID: "a", State: StateSuspect, Incarnation: 0}}) {
+		t.Fatal("stale rumor should not refute")
+	}
+	if got := m.Incarnation(); got != 1 {
+		t.Fatalf("incarnation after stale rumor = %d, want 1", got)
+	}
+	// A rumor at the current incarnation must be refuted by bumping past it.
+	if !m.Merge([]Member{{ID: "a", State: StateDead, Incarnation: 1}}) {
+		t.Fatal("current-incarnation death rumor should refute")
+	}
+	if got := m.Incarnation(); got != 2 {
+		t.Fatalf("incarnation after refutation = %d, want 2", got)
+	}
+	// A ghost of a previous boot asserting itself alive at a higher
+	// incarnation: adopt it so our own claims stay freshest.
+	m.Merge([]Member{{ID: "a", State: StateAlive, Incarnation: 7}})
+	if got := m.Incarnation(); got != 7 {
+		t.Fatalf("incarnation after ghost = %d, want 7", got)
+	}
+}
+
+func TestMergePrecedence(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	m := newNode(clk, "a", "http://a")
+	m.Merge([]Member{{ID: "b", Addr: "http://b", State: StateAlive, Incarnation: 3}})
+
+	// Equal incarnation: the worse state wins.
+	m.Merge([]Member{{ID: "b", State: StateSuspect, Incarnation: 3}})
+	if _, s, _ := m.Counts(); s != 1 {
+		t.Fatal("equal-incarnation suspect should have won over alive")
+	}
+	// Equal incarnation, better state: ignored.
+	m.Merge([]Member{{ID: "b", State: StateAlive, Incarnation: 3}})
+	if _, s, _ := m.Counts(); s != 1 {
+		t.Fatal("equal-incarnation alive must not override suspect")
+	}
+	// Higher incarnation: the subject re-asserted itself; alive wins.
+	m.Merge([]Member{{ID: "b", State: StateAlive, Incarnation: 4}})
+	if a, _, _ := m.Counts(); a != 1 {
+		t.Fatal("higher-incarnation alive should have revived b")
+	}
+	// Lower incarnation dead: stale, ignored.
+	m.Merge([]Member{{ID: "b", State: StateDead, Incarnation: 2}})
+	if a, _, _ := m.Counts(); a != 1 {
+		t.Fatal("stale death rumor should be ignored")
+	}
+}
+
+func TestParamsHashMismatchExcluded(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	m := newNode(clk, "a", "http://a")
+	m.Merge([]Member{{ID: "b", Addr: "http://b", State: StateAlive, Incarnation: 1, ParamsHash: "zzz"}})
+	if a, s, d := m.Counts(); a+s+d != 0 {
+		t.Fatalf("version-skewed member tracked: %d/%d/%d", a, s, d)
+	}
+	if got := m.Rotation(); len(got) != 0 {
+		t.Fatalf("version-skewed member in rotation: %v", got)
+	}
+}
+
+func TestFailureDetection(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	m := newNode(clk, "a", "http://a")
+	m.Ack("http://b", &Exchange{From: Member{ID: "b", Addr: "http://b", Incarnation: 1, State: StateAlive}})
+
+	m.Fail("http://b")
+	if _, s, _ := m.Counts(); s != 1 {
+		t.Fatal("first missed probe should suspect")
+	}
+	// A failure inside the confirmation window must not kill yet.
+	clk.now = clk.now.Add(suspect / 2)
+	m.Fail("http://b")
+	if _, _, d := m.Counts(); d != 0 {
+		t.Fatal("confirmed dead before SuspectTimeout elapsed")
+	}
+	clk.now = clk.now.Add(suspect)
+	m.Fail("http://b")
+	if _, _, d := m.Counts(); d != 1 {
+		t.Fatal("second missed probe after SuspectTimeout should confirm dead")
+	}
+	// Dead members leave the rotation but stay probed (rejoin detection)…
+	if got := m.Rotation(); len(got) != 0 {
+		t.Fatalf("dead member still in rotation: %v", got)
+	}
+	if got := m.ProbeTargets(); !reflect.DeepEqual(got, []string{"http://b"}) {
+		t.Fatalf("dead member not probed: %v", got)
+	}
+	// …until DeadTTL prunes them.
+	clk.now = clk.now.Add(41 * suspect)
+	if got := m.ProbeTargets(); len(got) != 0 {
+		t.Fatalf("dead member not pruned after DeadTTL: %v", got)
+	}
+}
+
+func TestAckRevivesAndCleansGhosts(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	m := newNode(clk, "a", "http://a")
+	m.Merge([]Member{{ID: "old", Addr: "http://b", State: StateAlive, Incarnation: 5}})
+	// The address answers as a different node: the previous occupant is
+	// a ghost of an earlier boot.
+	m.Ack("http://b", &Exchange{From: Member{ID: "new", Addr: "http://b", Incarnation: 1, State: StateAlive}})
+	a, _, d := m.Counts()
+	if a != 1 || d != 1 {
+		t.Fatalf("ghost cleanup: alive=%d dead=%d, want 1/1", a, d)
+	}
+	rot := m.Rotation()
+	if len(rot) != 1 || rot[0].ID != "new" {
+		t.Fatalf("rotation = %v, want just the new occupant", rot)
+	}
+	// Direct evidence overrides any rumor: a dead member that answers a
+	// probe is alive again, even at the same incarnation.
+	m.Merge([]Member{{ID: "new", State: StateDead, Incarnation: 1}})
+	clk.now = clk.now.Add(2 * suspect) // age out the anti-flap window
+	m.Merge([]Member{{ID: "new", State: StateDead, Incarnation: 1}})
+	if _, _, d := m.Counts(); d != 2 {
+		t.Fatal("rumor should have killed 'new' outside the anti-flap window")
+	}
+	m.Ack("http://b", &Exchange{From: Member{ID: "new", Addr: "http://b", Incarnation: 1, State: StateAlive}})
+	if a, _, _ := m.Counts(); a != 1 {
+		t.Fatal("direct ack should revive a dead member")
+	}
+}
+
+func TestSeedsAndResolve(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	m := newNode(clk, "a", "http://a", "http://b/", "http://a", "http://c")
+	// Own address is dropped from the seed list; the rest are probed and
+	// appear in the rotation as unresolved placeholders.
+	if got := m.ProbeTargets(); !reflect.DeepEqual(got, []string{"http://b", "http://c"}) {
+		t.Fatalf("seed probe targets = %v", got)
+	}
+	rot := m.Rotation()
+	if len(rot) != 2 || rot[0].ID != "" {
+		t.Fatalf("unresolved seeds missing from rotation: %v", rot)
+	}
+	// The health poll resolves c's identity out of band.
+	m.Resolve("http://c", "c")
+	rot = m.Rotation()
+	var ids []string
+	for _, mm := range rot {
+		ids = append(ids, mm.ID)
+	}
+	if !reflect.DeepEqual(ids, []string{"", "c"}) {
+		t.Fatalf("rotation after resolve = %v", ids)
+	}
+	// A seed that answers as ourselves (symmetric seed lists) is
+	// permanently skipped.
+	m.Ack("http://b", &Exchange{From: m.Self()})
+	if got := m.ProbeTargets(); !reflect.DeepEqual(got, []string{"http://c"}) {
+		t.Fatalf("self seed still probed: %v", got)
+	}
+	if got := m.Rotation(); len(got) != 1 {
+		t.Fatalf("self seed still in rotation: %v", got)
+	}
+}
+
+// --- convergence property test -------------------------------------
+
+// simNode is one in-process cluster node: a membership view plus an
+// up/down flag the simulated transport honours.
+type simNode struct {
+	m    *Membership
+	id   string
+	addr string
+	up   bool
+}
+
+// sim drives N nodes through synchronous gossip rounds over a fake
+// transport with controllable partitions.
+type sim struct {
+	clk   *fakeClock
+	nodes []*simNode
+	byA   map[string]*simNode
+	group map[string]int // addr → partition id; same id = reachable
+}
+
+func newSim(n int) *sim {
+	s := &sim{clk: &fakeClock{now: time.Unix(0, 0)}, byA: map[string]*simNode{}, group: map[string]int{}}
+	seed := "http://n0"
+	for i := 0; i < n; i++ {
+		addr := fmt.Sprintf("http://n%d", i)
+		var seeds []string
+		if addr != seed {
+			seeds = []string{seed}
+		}
+		node := &simNode{id: fmt.Sprintf("id%d", i), addr: addr, up: true}
+		node.m = newNode(s.clk, node.id, node.addr, seeds...)
+		s.nodes = append(s.nodes, node)
+		s.byA[addr] = node
+	}
+	return s
+}
+
+func (s *sim) connected(a, b string) bool { return s.group[a] == s.group[b] }
+
+// round advances the clock one gossip interval and has every live node
+// run one anti-entropy pass: push-pull with each of its probe targets,
+// exactly the server's loop shape.
+func (s *sim) round() {
+	s.clk.now = s.clk.now.Add(tick)
+	for _, n := range s.nodes {
+		if !n.up {
+			continue
+		}
+		for _, target := range n.m.ProbeTargets() {
+			peer := s.byA[target]
+			if peer == nil || !peer.up || !s.connected(n.addr, target) {
+				n.m.Fail(target)
+				continue
+			}
+			// POST /v1/cluster: the receiver merges the request, the
+			// sender merges the response — both sides observe the other
+			// directly.
+			req := &Exchange{From: n.m.Self(), Members: n.m.Snapshot()}
+			peer.m.Ack(req.From.Addr, req)
+			resp := &Exchange{From: peer.m.Self(), Members: peer.m.Snapshot()}
+			n.m.Ack(target, resp)
+		}
+	}
+}
+
+// liveIDs is the ground truth: IDs of nodes currently up.
+func (s *sim) liveIDs() []string {
+	var out []string
+	for _, n := range s.nodes {
+		if n.up {
+			out = append(out, n.id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// converged reports whether every live node's Live() view equals the
+// ground-truth live set.
+func (s *sim) converged() bool {
+	want := s.liveIDs()
+	for _, n := range s.nodes {
+		if !n.up {
+			continue
+		}
+		if !reflect.DeepEqual(n.m.Live(), want) {
+			return false
+		}
+	}
+	return true
+}
+
+// waitConverged runs rounds until the views converge, bounding how
+// many; the bound is generous because a suspect member needs
+// SuspectTimeout to be confirmed dead.
+func (s *sim) waitConverged(t *testing.T, what string, rounds int) {
+	t.Helper()
+	for i := 0; i < rounds; i++ {
+		if s.converged() {
+			return
+		}
+		s.round()
+	}
+	if !s.converged() {
+		want := s.liveIDs()
+		for _, n := range s.nodes {
+			if n.up {
+				t.Logf("node %s view: %v (up=%v)", n.id, n.m.Live(), n.up)
+			}
+		}
+		t.Fatalf("%s: views did not converge to %v", what, want)
+	}
+}
+
+func TestMembershipConverges(t *testing.T) {
+	s := newSim(5)
+	s.waitConverged(t, "bootstrap", 10)
+
+	// Kill one node: the rest must expel it within the suspect timeout
+	// plus a confirmation round.
+	s.nodes[2].up = false
+	deadline := int(suspect/tick) + 3
+	s.waitConverged(t, "single kill", deadline)
+
+	// Rejoin with a fresh incarnation-1 membership (a process restart):
+	// the cluster holds a dead tombstone at the same incarnation, so
+	// re-entry exercises the refutation path.
+	n := s.nodes[2]
+	n.m = newNode(s.clk, n.id, n.addr, "http://n0")
+	n.up = true
+	s.waitConverged(t, "rejoin", 10)
+}
+
+func TestMembershipHealsPartition(t *testing.T) {
+	s := newSim(4)
+	s.waitConverged(t, "bootstrap", 10)
+
+	// Split 2/2. Each side declares the other dead.
+	s.group[s.nodes[2].addr] = 1
+	s.group[s.nodes[3].addr] = 1
+	for i := 0; i < int(suspect/tick)+3; i++ {
+		s.round()
+	}
+	if a, _, d := s.nodes[0].m.Counts(); a != 1 || d != 2 {
+		t.Fatalf("majority-side view during partition: alive=%d dead=%d, want 1/2", a, d)
+	}
+
+	// Heal. Dead members are still probed, so each side re-observes the
+	// other directly and the death rumors are refuted.
+	s.group = map[string]int{}
+	s.waitConverged(t, "heal", 12)
+}
+
+func TestMembershipConvergesUnderChaos(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	s := newSim(6)
+	s.waitConverged(t, "bootstrap", 10)
+
+	for step := 0; step < 30; step++ {
+		switch op := rng.Intn(4); op {
+		case 0: // kill a random live node (keep a majority up)
+			if len(s.liveIDs()) > 3 {
+				for _, i := range rng.Perm(len(s.nodes)) {
+					if s.nodes[i].up {
+						s.nodes[i].up = false
+						break
+					}
+				}
+			}
+		case 1: // restart a random dead node with a fresh membership
+			for _, i := range rng.Perm(len(s.nodes)) {
+				if n := s.nodes[i]; !n.up {
+					n.m = newNode(s.clk, n.id, n.addr, "http://n0")
+					n.up = true
+					break
+				}
+			}
+		case 2: // partition a random node away for a few rounds
+			addr := s.nodes[rng.Intn(len(s.nodes))].addr
+			s.group[addr] = 1 + rng.Intn(2)
+		case 3: // heal all partitions
+			s.group = map[string]int{}
+		}
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			s.round()
+		}
+	}
+
+	// Quiesce: heal everything, restart nothing further, and require
+	// every surviving view to converge on the true live set.
+	s.group = map[string]int{}
+	for _, i := range rng.Perm(len(s.nodes)) {
+		if n := s.nodes[i]; !n.up {
+			n.m = newNode(s.clk, n.id, n.addr, "http://n0")
+			n.up = true
+			break // one rejoin rides along to keep the end state interesting
+		}
+	}
+	s.waitConverged(t, "post-chaos", int(suspect/tick)+20)
+}

@@ -34,6 +34,8 @@ const (
 	ReasonShuttingDown  = api.ReasonShuttingDown
 	ReasonRateLimited   = api.ReasonRateLimited
 	ReasonJournal       = api.ReasonJournal
+
+	ReasonClusterMismatch = api.ReasonClusterMismatch
 )
 
 // errorResponse is the JSON envelope of every non-2xx response.

@@ -1,0 +1,201 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"qosrm/internal/client"
+	"qosrm/internal/cluster"
+	"qosrm/internal/db"
+	"qosrm/internal/dbstore"
+	"qosrm/internal/faultinject"
+)
+
+// Failpoints on the cluster paths, armed by the chaos tests and the CI
+// smoke via QOSRM_FAILPOINTS:
+//
+//	cluster.gossip   one anti-entropy probe fails as if the network
+//	                 dropped it (the failure detector sees a miss)
+//	server.snapshot  GET /v1/snapshot answers 500 instead of streaming
+//	cluster.fetch    a joining node's snapshot fetch from one seed fails
+const (
+	fpGossip   = "cluster.gossip"
+	fpSnapshot = "server.snapshot"
+	fpFetch    = "cluster.fetch"
+)
+
+// gossipProbeTimeout bounds one anti-entropy exchange; an unreachable
+// peer must register as a missed probe quickly enough that the detector
+// confirms it dead within a couple of rounds past SuspectTimeout.
+const gossipProbeTimeout = 2 * time.Second
+
+// gossipLoop drives the anti-entropy protocol: every GossipInterval the
+// node exchanges member lists with each address it tracks. With no
+// seeds and no members the loop is a no-op ticker — every node is
+// always joinable, whether or not it was booted as part of a cluster.
+func (s *Server) gossipLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.opts.GossipInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-t.C:
+			s.gossipRound(s.ctx)
+		}
+	}
+}
+
+// gossipRound runs one concurrent push-pull pass over the probe targets
+// — live members, suspect members, dead members still within their TTL
+// (how rejoins and healed partitions are noticed), and unresolved
+// seeds.
+func (s *Server) gossipRound(ctx context.Context) {
+	targets := s.cluster.ProbeTargets()
+	if len(targets) == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	for _, addr := range targets {
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			s.exchangeWith(ctx, addr)
+		}(addr)
+	}
+	wg.Wait()
+}
+
+// exchangeWith runs one push-pull exchange: POST this node's view to
+// addr, merge the view it answers with. A failed exchange is a missed
+// probe — the failure detector advances addr's member toward dead.
+func (s *Server) exchangeWith(ctx context.Context, addr string) {
+	if err := faultinject.Eval(fpGossip); err != nil {
+		s.cluster.Fail(addr)
+		s.metrics.clusterProbeFailures.Add(1)
+		return
+	}
+	ctx, cancel := context.WithTimeout(ctx, gossipProbeTimeout)
+	defer cancel()
+	ex := &cluster.Exchange{From: s.cluster.Self(), Members: s.cluster.Snapshot()}
+	resp, err := s.forwarder.client(addr).ExchangeCluster(ctx, ex)
+	if err != nil {
+		s.cluster.Fail(addr)
+		s.metrics.clusterProbeFailures.Add(1)
+		return
+	}
+	if s.cluster.Ack(addr, resp) {
+		s.metrics.clusterRefutations.Add(1)
+	}
+	s.metrics.clusterExchanges.Add(1)
+}
+
+// handleClusterGet serves this node's membership view — the pull-only
+// half of the anti-entropy protocol, also the observability surface
+// (qosrmctl, dashboards) for cluster state.
+func (s *Server) handleClusterGet(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, &cluster.Exchange{From: s.cluster.Self(), Members: s.cluster.Snapshot()})
+}
+
+// handleClusterPost is one push-pull gossip exchange: merge the
+// sender's view, answer with this node's. A sender serving a different
+// database build is refused with cluster_mismatch — admitting it would
+// hand jobs to a node that computes different answers.
+func (s *Server) handleClusterPost(w http.ResponseWriter, r *http.Request) {
+	var ex cluster.Exchange
+	if !s.readJSON(w, r, &ex) {
+		return
+	}
+	if ex.From.ParamsHash != "" && ex.From.ParamsHash != s.paramsHash {
+		s.failReason(w, http.StatusConflict, ReasonClusterMismatch,
+			"node %s serves database %s; this node serves %s",
+			ex.From.ID, ex.From.ParamsHash, s.paramsHash)
+		return
+	}
+	if s.cluster.Ack(strings.TrimRight(ex.From.Addr, "/"), &ex) {
+		s.metrics.clusterRefutations.Add(1)
+	}
+	s.writeJSON(w, &cluster.Exchange{From: s.cluster.Self(), Members: s.cluster.Snapshot()})
+}
+
+// handleSnapshot streams the database snapshot bytes in dbstore's
+// versioned binary format — magic, version, params hash, CRC — exactly
+// what Save writes to disk, so the fetching side verifies it with the
+// unmodified dbstore loader.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if err := faultinject.Eval(fpSnapshot); err != nil {
+		s.fail(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := dbstore.Write(w, s.db); err != nil {
+		// Headers are gone; all we can do is count it and cut the
+		// stream, which the fetcher's CRC check turns into a clean
+		// verification failure.
+		s.metrics.errors.Add(1)
+		return
+	}
+	s.metrics.snapshotsServed.Add(1)
+}
+
+// FetchSnapshot bootstraps a node that has no local snapshot: it asks
+// each seed in turn for GET /v1/snapshot and verifies the bytes with
+// the full dbstore loader — magic, version, checksum, structural
+// bounds, and the params hash against this binary's own suite — before
+// trusting a byte. The verified snapshot is persisted to path (atomic
+// temp-and-rename; "" skips persisting) and the loaded database
+// returned along with the seed that served it.
+//
+// A version or params-hash mismatch (dbstore.ErrVersion / ErrStale)
+// refuses the join immediately instead of trying further seeds: every
+// cluster node must serve the same database build, so a skewed snapshot
+// means joining is itself wrong, not that this seed was unlucky.
+func FetchSnapshot(ctx context.Context, path string, seeds []string) (*db.DB, string, error) {
+	var lastErr error
+	for _, seed := range seeds {
+		seed = strings.TrimRight(strings.TrimSpace(seed), "/")
+		if seed == "" {
+			continue
+		}
+		if err := faultinject.Eval(fpFetch); err != nil {
+			lastErr = fmt.Errorf("fetch snapshot from %s: %w", seed, err)
+			continue
+		}
+		c := client.New(seed)
+		c.MaxRetries = -1
+		data, err := c.Snapshot(ctx)
+		if err != nil {
+			lastErr = fmt.Errorf("fetch snapshot from %s: %w", seed, err)
+			continue
+		}
+		d, _, err := dbstore.Read(bytes.NewReader(data))
+		if err != nil {
+			lastErr = fmt.Errorf("snapshot from %s: %w", seed, err)
+			if errors.Is(err, dbstore.ErrStale) || errors.Is(err, dbstore.ErrVersion) {
+				return nil, "", lastErr
+			}
+			continue
+		}
+		if path != "" {
+			if err := dbstore.AtomicWrite(path, func(f *os.File) error {
+				_, werr := f.Write(data)
+				return werr
+			}); err != nil {
+				return nil, "", fmt.Errorf("persist fetched snapshot: %w", err)
+			}
+		}
+		return d, seed, nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no seed to fetch a snapshot from")
+	}
+	return nil, "", lastErr
+}

@@ -1,0 +1,748 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"qosrm/internal/cluster"
+	"qosrm/internal/dbstore"
+	"qosrm/internal/faultinject"
+	"qosrm/internal/scenario"
+)
+
+// TestForwardTrailMultiHopRing: in a ring where every node knows only
+// its successor (a → b → c → a), a submit at a saturated a hops through
+// a saturated b and lands on c — the trail carries both visited nodes,
+// so the deeper origin comes back to the caller. With c saturated too,
+// the trail stops the batch after one visit per node: no loop, an
+// honest 503 at the entry point.
+func TestForwardTrailMultiHopRing(t *testing.T) {
+	lnA, urlA := reserveNode(t)
+	lnB, urlB := reserveNode(t)
+	lnC, urlC := reserveNode(t)
+	mk := func(id string, depth int, peer string) *Server {
+		t.Helper()
+		srv, err := New(sharedDB(t), Options{
+			Workers: 1, QueueDepth: depth, NodeID: id,
+			Peers: []string{peer}, GossipInterval: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv
+	}
+	// Gossip is off so each node's rotation stays exactly its ring
+	// successor — the multi-hop path is forced, not load-ranked away.
+	srvA := mk("ring-a", 2, urlB)
+	srvB := mk("ring-b", 2, urlC)
+	srvC := mk("ring-c", 10, urlA)
+	serveNode(t, srvA, lnA)
+	serveNode(t, srvB, lnB)
+	serveNode(t, srvC, lnC)
+	fillQueue(srvA, 2)
+	fillQueue(srvB, 2)
+
+	spec := testSpec("ring-hop2")
+	resp, raw, st := submitJob(t, urlA, "", []scenario.Spec{spec})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("two-hop submit: %d %s", resp.StatusCode, raw)
+	}
+	if st.Origin != urlC {
+		t.Fatalf("origin %q, want the second-hop node %q", st.Origin, urlC)
+	}
+	done := waitJobDone(t, srvC, st.ID)
+	want, err := scenario.RunCtx(context.Background(), sharedDB(t), &spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != JobDone || !reflect.DeepEqual(done.Reports[0], want) {
+		t.Fatal("two-hop forwarded report differs from a direct run")
+	}
+	if a, b := srvA.metrics.jobsForwarded.Load(), srvB.metrics.jobsForwarded.Load(); a != 1 || b != 1 {
+		t.Fatalf("jobs_forwarded a=%d b=%d, want 1 and 1 (one hop each)", a, b)
+	}
+	if b, c := srvB.metrics.forwardReceived.Load(), srvC.metrics.forwardReceived.Load(); b != 0 || c != 1 {
+		t.Fatalf("forward_received b=%d c=%d, want 0 and 1 (only the admitting node receives)", b, c)
+	}
+
+	// Saturate c as well: a → b → c, then c's only peer (a) is already
+	// on the trail, so the ring terminates with every node visited
+	// exactly once.
+	fillQueue(srvC, 10)
+	resp2, raw2, _ := submitJob(t, urlA, "", []scenario.Spec{testSpec("ring-503")})
+	if resp2.StatusCode != http.StatusServiceUnavailable || !strings.Contains(raw2, `"reason":"queue_full"`) {
+		t.Fatalf("saturated ring: %d %s, want 503 queue_full", resp2.StatusCode, raw2)
+	}
+	for _, n := range []struct {
+		name string
+		srv  *Server
+	}{{"a", srvA}, {"b", srvB}, {"c", srvC}} {
+		if got := n.srv.metrics.requests[routeJobs].Load(); got != 2 {
+			t.Fatalf("node %s saw %d submits across both rounds, want 2 (trail must stop revisits)", n.name, got)
+		}
+		if got := n.srv.metrics.forwardFailed.Load(); got != 1 {
+			t.Fatalf("node %s forward_failures %d, want 1 from the saturated round", n.name, got)
+		}
+	}
+}
+
+// TestGossipDiscoversExpelsAndReadmits is the membership lifecycle over
+// real HTTP: b and c seed only a, yet discover each other through a's
+// gossip; a killed node is expelled from every rotation within the
+// suspect window; the same identity rebooting at the same address
+// refutes its death rumor and is readmitted — no other node restarts.
+func TestGossipDiscoversExpelsAndReadmits(t *testing.T) {
+	lnA, urlA := reserveNode(t)
+	lnB, urlB := reserveNode(t)
+	lnC, urlC := reserveNode(t)
+	opts := func(id, url string, seeds ...string) Options {
+		return Options{
+			Workers: 1, NodeID: id, Advertise: url, Peers: seeds,
+			GossipInterval: 25 * time.Millisecond, SuspectTimeout: 150 * time.Millisecond,
+		}
+	}
+	srvA, err := New(sharedDB(t), opts("gsp-a", urlA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvB, err := New(sharedDB(t), opts("gsp-b", urlB, urlA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvC, err := New(sharedDB(t), opts("gsp-c", urlC, urlA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveNode(t, srvA, lnA)
+	serveNode(t, srvB, lnB)
+	hsC := &http.Server{Handler: srvC.Handler()}
+	go hsC.Serve(lnC)
+	var killCOnce sync.Once
+	killC := func() { killCOnce.Do(func() { hsC.Close(); srvC.Close() }) }
+	t.Cleanup(killC)
+
+	waitFor := func(desc string, d time.Duration, ok func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(d)
+		for !ok() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", desc)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	want := []string{"gsp-a", "gsp-b", "gsp-c"}
+	inRotation := func(srv *Server, addr string) bool {
+		for _, m := range srv.cluster.Rotation() {
+			if m.Addr == addr {
+				return true
+			}
+		}
+		return false
+	}
+	waitFor("transitive discovery", 5*time.Second, func() bool {
+		return reflect.DeepEqual(srvA.cluster.Live(), want) &&
+			reflect.DeepEqual(srvB.cluster.Live(), want) &&
+			reflect.DeepEqual(srvC.cluster.Live(), want)
+	})
+	// b and c never seeded each other, yet each ended in the other's
+	// forwarding rotation — membership travelled through a.
+	if !inRotation(srvB, urlC) || !inRotation(srvC, urlB) {
+		t.Fatal("transitively discovered members missing from rotations")
+	}
+
+	// Abrupt death: connections cut, nothing drained.
+	killC()
+	waitFor("expulsion of the dead node", 5*time.Second, func() bool {
+		_, _, da := srvA.cluster.Counts()
+		_, _, db := srvB.cluster.Counts()
+		return da >= 1 && db >= 1 && !inRotation(srvA, urlC) && !inRotation(srvB, urlC)
+	})
+
+	// Reboot at the same address with the same identity. Survivors keep
+	// probing the dead address, so the rejoin is noticed and the death
+	// rumor refuted without anyone else restarting.
+	var lnC2 net.Listener
+	waitFor("listener reuse", 2*time.Second, func() bool {
+		ln, lerr := net.Listen("tcp", lnC.Addr().String())
+		if lerr != nil {
+			return false
+		}
+		lnC2 = ln
+		return true
+	})
+	srvC2, err := New(sharedDB(t), opts("gsp-c", urlC, urlA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveNode(t, srvC2, lnC2)
+	waitFor("readmission after reboot", 5*time.Second, func() bool {
+		return reflect.DeepEqual(srvA.cluster.Live(), want) &&
+			reflect.DeepEqual(srvB.cluster.Live(), want) &&
+			reflect.DeepEqual(srvC2.cluster.Live(), want)
+	})
+	if !inRotation(srvA, urlC) || !inRotation(srvB, urlC) {
+		t.Fatal("rejoined node missing from rotations")
+	}
+}
+
+// TestForwardedKeysExpireWithJobTTL: the forwarded-key references a node
+// keeps for idempotent replay are swept by the same TTL GC as local
+// jobs — a long-lived forwarding node does not leak a ref per key.
+func TestForwardedKeysExpireWithJobTTL(t *testing.T) {
+	lnB, _ := reserveNode(t)
+	srvB, err := New(sharedDB(t), Options{Workers: 1, GossipInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveNode(t, srvB, lnB)
+	urlB := "http://" + lnB.Addr().String()
+
+	clock := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	lnA, urlA := reserveNode(t)
+	srvA, err := New(sharedDB(t), Options{
+		Workers: 1, QueueDepth: 2, JobTTL: time.Hour,
+		Peers: []string{urlB}, GossipInterval: -1, clock: clock.now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveNode(t, srvA, lnA)
+	fillQueue(srvA, 2)
+
+	const key = "fwd-ttl-key"
+	resp, raw, st := submitJob(t, urlA, key, []scenario.Spec{testSpec("fwd-ttl")})
+	if resp.StatusCode != http.StatusAccepted || st.Origin != urlB {
+		t.Fatalf("forwarded submit: %d %s", resp.StatusCode, raw)
+	}
+	waitJobDone(t, srvB, st.ID)
+
+	// Within the TTL a GC pass keeps the ref and the key still resolves.
+	srvA.gcFinishedJobs(clock.now())
+	if got, ok := srvA.forwardedByKey(context.Background(), key); !ok || got.ID != st.ID {
+		t.Fatalf("fresh forwarded key did not resolve (ok=%v)", ok)
+	}
+
+	// Past the TTL the ref is gone, on the same clock the job GC uses.
+	clock.advance(time.Hour + time.Minute)
+	srvA.gcFinishedJobs(clock.now())
+	srvA.mu.Lock()
+	_, still := srvA.forwardedKeys[key]
+	srvA.mu.Unlock()
+	if still {
+		t.Fatal("forwarded key survived the job-TTL sweep")
+	}
+	if _, ok := srvA.forwardedByKey(context.Background(), key); ok {
+		t.Fatal("expired forwarded key still resolves")
+	}
+}
+
+// TestPeerProbeSingleFlight: concurrent rankers share one health probe
+// per peer per TTL instead of stacking probes — a submit storm must not
+// multiply into a healthz storm on the peers.
+func TestPeerProbeSingleFlight(t *testing.T) {
+	srvB, tsB := newTestServer(t, Options{})
+	lnA, _ := reserveNode(t)
+	srvA, err := New(sharedDB(t), Options{Workers: 1, Peers: []string{tsB.URL}, GossipInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveNode(t, srvA, lnA)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			srvA.forwarder.load(context.Background(), tsB.URL)
+		}()
+	}
+	wg.Wait()
+	if got := srvB.metrics.requests[routeHealth].Load(); got != 1 {
+		t.Fatalf("8 concurrent rankers cost %d health polls, want 1 (single-flight)", got)
+	}
+	// The probe resolved the peer's node identity out of band: the seed
+	// address is a real member before any gossip round ran.
+	rot := srvA.cluster.Rotation()
+	if len(rot) != 1 || rot[0].ID != srvB.opts.NodeID {
+		t.Fatalf("health probe did not resolve the seed's identity: %+v", rot)
+	}
+}
+
+// TestPeerProbeStalledPeerDoesNotBlockOthers pins the fix for the probe
+// serialization bug: the forwarder must not hold its lock across the
+// network call, so one stalled peer never delays probes of healthy
+// ones, and rank probes its candidates concurrently.
+func TestPeerProbeStalledPeerDoesNotBlockOthers(t *testing.T) {
+	old := probeTimeout
+	probeTimeout = 100 * time.Millisecond
+	t.Cleanup(func() { probeTimeout = old })
+
+	stalled := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-time.After(5 * time.Second):
+		}
+	}))
+	t.Cleanup(stalled.Close)
+	_, tsB := newTestServer(t, Options{})
+	lnA, _ := reserveNode(t)
+	srvA, err := New(sharedDB(t), Options{
+		Workers: 1, Peers: []string{stalled.URL, tsB.URL}, GossipInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveNode(t, srvA, lnA)
+
+	// Park a probe on the stalled peer...
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		srvA.forwarder.load(ctx, stalled.URL)
+	}()
+	t.Cleanup(wg.Wait)
+	time.Sleep(20 * time.Millisecond)
+
+	// ...and probe the healthy one: it must answer immediately.
+	start := time.Now()
+	if _, err := srvA.forwarder.load(context.Background(), tsB.URL); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 500*time.Millisecond {
+		t.Fatalf("healthy-peer probe took %s behind a stalled peer", d)
+	}
+
+	// rank sees both candidates; the stalled one costs probeTimeout, in
+	// parallel with (not ahead of) the healthy one.
+	start = time.Now()
+	peers := srvA.forwarder.rank(context.Background(), map[string]bool{})
+	if len(peers) != 1 || peers[0].base != tsB.URL {
+		t.Fatalf("rank = %+v, want only the healthy peer", peers)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("rank took %s with one stalled peer, want ~probeTimeout", d)
+	}
+}
+
+// TestSnapshotJoinFetchVerifyPersist: a joining node with no local
+// database fetches the snapshot from a seed, verifies it end to end
+// with the dbstore loader, persists it for the next boot, and serves
+// the identical build. Bad seeds — unreachable, truncated stream,
+// failpoint-broken — are skipped or surfaced, never trusted.
+func TestSnapshotJoinFetchVerifyPersist(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	srvA, tsA := newTestServer(t, Options{})
+	path := filepath.Join(t.TempDir(), "join.qosdb")
+	ctx := context.Background()
+
+	// An unreachable seed is skipped; the live one serves.
+	d, seed, err := FetchSnapshot(ctx, path, []string{"http://127.0.0.1:1", tsA.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seed != tsA.URL {
+		t.Fatalf("served by %q, want %q", seed, tsA.URL)
+	}
+	if got := srvA.metrics.snapshotsServed.Load(); got != 1 {
+		t.Fatalf("snapshots_served_total %d, want 1", got)
+	}
+
+	// The fetched database is the seed's build, and the node booted on
+	// it would gossip the identical params hash.
+	srvJ, err := New(d, Options{Workers: 1, GossipInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvJ.Close()
+	if srvJ.paramsHash != srvA.paramsHash {
+		t.Fatalf("fetched build hash %s, seed serves %s", srvJ.paramsHash, srvA.paramsHash)
+	}
+
+	// The persisted copy boots the next process warm via a plain load.
+	d2, _, err := dbstore.Load(path)
+	if err != nil {
+		t.Fatalf("persisted snapshot does not load: %v", err)
+	}
+	if got := fmt.Sprintf("%016x", dbstore.ParamsHash(d2)); got != srvA.paramsHash {
+		t.Fatalf("persisted build hash %s, want %s", got, srvA.paramsHash)
+	}
+
+	// A seed streaming truncated bytes fails CRC verification and the
+	// fetch falls through to the next seed.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(raw[:len(raw)-8])
+	}))
+	t.Cleanup(trunc.Close)
+	if _, seed, err = FetchSnapshot(ctx, "", []string{trunc.URL, tsA.URL}); err != nil || seed != tsA.URL {
+		t.Fatalf("truncated seed not skipped: seed %q err %v", seed, err)
+	}
+
+	// The serve-side failpoint turns the endpoint into a 500 — the chaos
+	// hook CI arms — and the fetch reports it instead of trusting bytes.
+	faultinject.Enable(fpSnapshot, "error")
+	if _, _, err := FetchSnapshot(ctx, "", []string{tsA.URL}); err == nil {
+		t.Fatal("fetch succeeded against a broken snapshot endpoint")
+	}
+	faultinject.Enable(fpSnapshot, "off")
+
+	// The fetch-side failpoint fails one attempt; the next seed serves.
+	faultinject.Enable(fpFetch, "error*1")
+	if _, _, err := FetchSnapshot(ctx, "", []string{tsA.URL, tsA.URL}); err != nil {
+		t.Fatalf("fetch did not fall through the failpointed seed: %v", err)
+	}
+}
+
+// TestClusterExchangeRefusesParamsMismatch: a node serving a different
+// database build is refused at the gossip layer with 409
+// cluster_mismatch and never enters the membership; a matching node is
+// admitted and answered with this node's view.
+func TestClusterExchangeRefusesParamsMismatch(t *testing.T) {
+	srvA, tsA := newTestServer(t, Options{})
+	bad := cluster.Exchange{From: cluster.Member{
+		ID: "imposter", Addr: "http://127.0.0.1:1", Incarnation: 1,
+		State: cluster.StateAlive, ParamsHash: strings.Repeat("0", 16),
+	}}
+	code, body := postJSON(t, tsA.URL+"/v1/cluster", &bad, nil)
+	if code != http.StatusConflict || !strings.Contains(body, ReasonClusterMismatch) {
+		t.Fatalf("mismatched exchange: %d %s, want 409 %s", code, body, ReasonClusterMismatch)
+	}
+	if a, s, dd := srvA.cluster.Counts(); a+s+dd != 0 {
+		t.Fatal("mismatched node entered the membership")
+	}
+
+	good := cluster.Exchange{From: cluster.Member{
+		ID: "kin", Addr: "http://127.0.0.1:2", Incarnation: 1,
+		State: cluster.StateAlive, ParamsHash: srvA.paramsHash,
+	}}
+	var view cluster.Exchange
+	if code, body := postJSON(t, tsA.URL+"/v1/cluster", &good, &view); code != http.StatusOK {
+		t.Fatalf("matching exchange refused: %d %s", code, body)
+	}
+	if view.From.ID != srvA.cluster.ID() {
+		t.Fatalf("exchange answered by %q, want this node's view", view.From.ID)
+	}
+	if a, _, _ := srvA.cluster.Counts(); a != 1 {
+		t.Fatal("matching node not admitted alive")
+	}
+}
+
+// partitionCtrl is the switchboard the chaos test cuts links on.
+// Cluster-facing requests from a named node to a blocked host fail at
+// the transport — exactly what a network partition looks like to the
+// gossip and forwarding paths — while the harness's own client traffic
+// uses the default transport and still reaches every node.
+type partitionCtrl struct {
+	mu      sync.Mutex
+	blocked map[string]bool // "node->host:port"
+}
+
+func (c *partitionCtrl) cut(node, host string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.blocked == nil {
+		c.blocked = make(map[string]bool)
+	}
+	c.blocked[node+"->"+host] = true
+}
+
+func (c *partitionCtrl) heal() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.blocked = make(map[string]bool)
+}
+
+func (c *partitionCtrl) isBlocked(node, host string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.blocked[node+"->"+host]
+}
+
+type partitionTransport struct {
+	node string
+	ctrl *partitionCtrl
+}
+
+func (p *partitionTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if p.ctrl.isBlocked(p.node, req.URL.Host) {
+		return nil, fmt.Errorf("partitioned: %s cannot reach %s", p.node, req.URL.Host)
+	}
+	return http.DefaultTransport.RoundTrip(req)
+}
+
+// TestClusterChaosThreeNodes is the cluster-level crash drill: three
+// journaled gossiping nodes under queue pressure take keyed submissions
+// while one is SIGKILL-style killed mid-wave and rebooted from its
+// journal, another is partitioned from the rest and healed, and a burst
+// of gossip loss rattles the failure detector. Afterwards membership
+// reconverges, every accepted job resolves on its origin with a report
+// bit-identical to an uninterrupted direct run, and replaying any key
+// at its origin returns the same job — zero lost, zero duplicated.
+func TestClusterChaosThreeNodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second real-time chaos drill")
+	}
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+
+	type node struct {
+		name, id, url, addr, jnl string
+		hs                       *http.Server
+		srv                      *Server
+		up                       atomic.Bool
+	}
+	dir := t.TempDir()
+	ctrl := &partitionCtrl{}
+	nodes := make([]*node, 3)
+	lns := make([]net.Listener, 3)
+	for i, name := range []string{"a", "b", "c"} {
+		ln, url := reserveNode(t)
+		lns[i] = ln
+		nodes[i] = &node{
+			name: name, id: "chaos-" + name, url: url,
+			addr: ln.Addr().String(), jnl: filepath.Join(dir, name+".jnl"),
+		}
+	}
+	byURL := map[string]*node{}
+	for _, n := range nodes {
+		byURL[n.url] = n
+	}
+	peersOf := func(i int) (seeds []string) {
+		for j, n := range nodes {
+			if j != i {
+				seeds = append(seeds, n.url)
+			}
+		}
+		return seeds
+	}
+	boot := func(i int, ln net.Listener) {
+		t.Helper()
+		n := nodes[i]
+		if ln == nil {
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				var lerr error
+				if ln, lerr = net.Listen("tcp", n.addr); lerr == nil {
+					break
+				} else if time.Now().After(deadline) {
+					t.Fatalf("relisten %s: %v", n.addr, lerr)
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		}
+		srv, err := New(sharedDB(t), Options{
+			Workers: 2, QueueDepth: 3, JobTTL: time.Hour,
+			JournalPath: n.jnl, NodeID: n.id, Advertise: n.url, Peers: peersOf(i),
+			GossipInterval: 25 * time.Millisecond, SuspectTimeout: 200 * time.Millisecond,
+			transport:      &partitionTransport{node: n.name, ctrl: ctrl},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.srv = srv
+		n.hs = &http.Server{Handler: srv.Handler()}
+		n.up.Store(true)
+		go n.hs.Serve(ln)
+	}
+	kill := func(i int) {
+		n := nodes[i]
+		if !n.up.CompareAndSwap(true, false) {
+			return
+		}
+		n.hs.Close()
+		n.srv.Close()
+	}
+	t.Cleanup(func() {
+		for i := range nodes {
+			kill(i)
+		}
+	})
+	for i := range nodes {
+		boot(i, lns[i])
+	}
+
+	waitFor := func(desc string, d time.Duration, ok func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(d)
+		for !ok() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", desc)
+			}
+			time.Sleep(15 * time.Millisecond)
+		}
+	}
+	wantLive := []string{"chaos-a", "chaos-b", "chaos-c"}
+	converged := func() bool {
+		for _, n := range nodes {
+			if n.up.Load() && !reflect.DeepEqual(n.srv.cluster.Live(), wantLive) {
+				return false
+			}
+		}
+		return true
+	}
+	waitFor("initial convergence", 10*time.Second, converged)
+
+	// Real queue pressure so waves overflow and forward: every scenario
+	// run stalls a beat on the worker failpoint.
+	faultinject.Enable("server.worker", "stall:20ms")
+
+	type handle struct{ key, spec, origin, id string }
+	var (
+		hmu     sync.Mutex
+		handles []handle
+	)
+	trySubmit := func(base, key string, specs []scenario.Spec) (int, JobStatus, error) {
+		data, err := json.Marshal(JobRequest{Specs: specs})
+		if err != nil {
+			return 0, JobStatus{}, err
+		}
+		req, err := http.NewRequest(http.MethodPost, base+"/v1/jobs", bytes.NewReader(data))
+		if err != nil {
+			return 0, JobStatus{}, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if key != "" {
+			req.Header.Set("Idempotency-Key", key)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return 0, JobStatus{}, err
+		}
+		defer resp.Body.Close()
+		var st JobStatus
+		if resp.StatusCode == http.StatusAccepted {
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				return 0, JobStatus{}, err
+			}
+		} else {
+			io.Copy(io.Discard, resp.Body)
+		}
+		return resp.StatusCode, st, nil
+	}
+	submit := func(key, specName string, prefer int) {
+		specs := []scenario.Spec{testSpec(specName)}
+		deadline := time.Now().Add(15 * time.Second)
+		for attempt := 0; ; attempt++ {
+			n := nodes[(prefer+attempt)%len(nodes)]
+			if n.up.Load() {
+				if code, st, err := trySubmit(n.url, key, specs); err == nil && code == http.StatusAccepted {
+					origin := st.Origin
+					if origin == "" {
+						origin = n.url
+					}
+					hmu.Lock()
+					handles = append(handles, handle{key: key, spec: specName, origin: origin, id: st.ID})
+					hmu.Unlock()
+					return
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Errorf("submit %s found no taker", key)
+				return
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+	wave := func(tag string, count, prefer int) {
+		for k := 0; k < count; k++ {
+			submit(fmt.Sprintf("%s-%d", tag, k), fmt.Sprintf("chaos-%s-%d", tag, k), prefer+k)
+		}
+	}
+
+	wave("w1", 4, 0)
+
+	// SIGKILL-style: node b vanishes mid-wave — connections cut, queue
+	// not drained — and the survivors expel it within the suspect window.
+	doneCh := make(chan struct{})
+	go func() { defer close(doneCh); wave("w2", 4, 0) }()
+	time.Sleep(30 * time.Millisecond)
+	kill(1)
+	<-doneCh
+	waitFor("expulsion of killed node", 5*time.Second, func() bool {
+		_, _, da := nodes[0].srv.cluster.Counts()
+		_, _, dc := nodes[2].srv.cluster.Counts()
+		return da >= 1 && dc >= 1
+	})
+	wave("w3", 3, 2)
+
+	// b reboots from its journal under the same identity: the rejoin
+	// refutes its own death rumor; nothing else restarts.
+	boot(1, nil)
+	waitFor("readmission of rebooted node", 10*time.Second, converged)
+
+	// Partition c from a and b, cluster traffic only.
+	ctrl.cut("c", nodes[0].addr)
+	ctrl.cut("c", nodes[1].addr)
+	ctrl.cut("a", nodes[2].addr)
+	ctrl.cut("b", nodes[2].addr)
+	waitFor("partition detected on both sides", 5*time.Second, func() bool {
+		_, _, da := nodes[0].srv.cluster.Counts()
+		_, _, dc := nodes[2].srv.cluster.Counts()
+		return da >= 1 && dc >= 2
+	})
+	wave("w4", 3, 0)
+	ctrl.heal()
+
+	// A burst of dropped gossip on every node: the detector wobbles and
+	// the probes that follow re-ack everyone.
+	faultinject.Enable(fpGossip, "error*30")
+	time.Sleep(150 * time.Millisecond)
+	faultinject.Enable(fpGossip, "off")
+
+	waitFor("final convergence", 10*time.Second, converged)
+	faultinject.Enable("server.worker", "off")
+
+	// Zero lost: every accepted handle resolves on its origin with a
+	// report bit-identical to an uninterrupted direct run.
+	refs := map[string]*scenario.Report{}
+	for _, h := range handles {
+		if _, ok := refs[h.spec]; ok {
+			continue
+		}
+		spec := testSpec(h.spec)
+		want, err := scenario.RunCtx(context.Background(), sharedDB(t), &spec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[h.spec] = want
+	}
+	for _, h := range handles {
+		origin := byURL[h.origin]
+		if origin == nil {
+			t.Fatalf("job %s reports origin %q, not a cluster node", h.key, h.origin)
+		}
+		st := waitJobDone(t, origin.srv, h.id)
+		if st.State != JobDone || len(st.Reports) != 1 || !reflect.DeepEqual(st.Reports[0], refs[h.spec]) {
+			t.Fatalf("job %s on %s: state %s, report diverges from direct run", h.key, h.origin, st.State)
+		}
+	}
+	// Zero duplicated: replaying any key at its origin returns the same
+	// job, not a second admission.
+	for _, h := range handles {
+		code, st, err := trySubmit(h.origin, h.key, []scenario.Spec{testSpec(h.spec)})
+		if err != nil || code != http.StatusAccepted || st.ID != h.id {
+			t.Fatalf("key %s replay at origin: code %d id %q err %v, want %s", h.key, code, st.ID, err, h.id)
+		}
+	}
+}

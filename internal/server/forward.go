@@ -2,28 +2,34 @@ package server
 
 import (
 	"context"
+	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"qosrm/internal/api"
 	"qosrm/internal/client"
+	"qosrm/internal/cluster"
 	"qosrm/internal/scenario"
 )
 
-// Cluster mode: a node with Options.Peers forwards a submit it would
-// otherwise reject with queue_full to the least-loaded live peer. The
-// peer admits the job exactly as a direct submit would — journaled
-// before the 202, deduplicated by the caller's Idempotency-Key, which
-// travels verbatim — and this node answers the caller with the peer's
-// job handle, the peer recorded in JobStatus.Origin. The job's
-// crash-safety story belongs entirely to the origin node's journal;
-// the forwarding node never half-owns it.
+// Cluster forwarding: a node whose queue is full hands the batch to the
+// least-loaded live member of its gossip rotation instead of shedding
+// it. The member admits the job exactly as a direct submit would —
+// journaled before the 202, deduplicated by the caller's
+// Idempotency-Key, which travels verbatim — and this node answers the
+// caller with the member's job handle, the admitting node recorded in
+// JobStatus.Origin. The job's crash-safety story belongs entirely to
+// the origin node's journal; the forwarding node never half-owns it.
 //
-// The X-Qosrm-Forwarded header counts hops: a node only forwards a
-// request whose hop count is below Options.ForwardHops, so a fully
-// saturated cluster degrades to an honest queue_full 503 instead of a
-// forwarding loop.
+// Loop safety is trail-based: the X-Qosrm-Forward-Trail header names
+// every node the batch has visited, each hop appends itself, and rank
+// excludes trail members — so a forward chain of up to ForwardHops hops
+// terminates in any topology without revisiting a node. The trail is
+// node IDs, not addresses; for seeds gossip has not resolved yet, the
+// /healthz probe's Node field supplies the ID, so the exclusion holds
+// from the very first forward.
 
 // peerHealthTTL is how long one /healthz poll of a peer stays fresh:
 // long enough that a saturating submit storm does not multiply into a
@@ -31,79 +37,210 @@ import (
 // draining queue.
 const peerHealthTTL = 200 * time.Millisecond
 
-// peer is one cluster node this server can forward overflow to, with a
-// briefly-cached view of its /healthz load report.
-type peer struct {
-	base   string
-	client *client.Client
+// probeTimeout bounds one concurrent health probe inside rank: a dead
+// peer costs at most this slice of the forward budget, and the live
+// peers' probes run alongside it rather than behind it. Variable so
+// tests can shrink it.
+var probeTimeout = time.Second
 
-	mu     sync.Mutex
-	polled time.Time
-	health *api.Health
-	err    error
+// peerHealth is the single-flight cached health of one peer address.
+type peerHealth struct {
+	polled   time.Time
+	h        *api.Health
+	err      error
+	inflight chan struct{} // non-nil while one refresh is on the wire
 }
 
-// load returns the peer's health, polling at most once per
-// peerHealthTTL. A poll error is cached for the same interval: a dead
-// peer costs one timed-out probe per TTL, not one per rejected submit.
-func (p *peer) load(ctx context.Context, now time.Time) (*api.Health, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if now.Sub(p.polled) < peerHealthTTL && (p.health != nil || p.err != nil) {
-		return p.health, p.err
-	}
-	p.polled = now
-	p.health, p.err = p.client.Health(ctx)
-	return p.health, p.err
-}
-
-// forwarder holds the peer set of a cluster-mode server.
+// forwarder owns the cluster-facing HTTP machinery: one cached client
+// per peer address — shared by health probes, gossip exchanges,
+// forwards and origin polls, so connections are reused and the failure
+// detector's view applies everywhere — plus the single-flight health
+// cache rank reads.
 type forwarder struct {
-	peers []*peer
+	s     *Server
+	httpc *http.Client
+
+	mu      sync.Mutex
+	clients map[string]*client.Client
+	health  map[string]*peerHealth
 }
 
-// newForwarder builds the peer set. Forwarding clients do not retry:
-// the cluster-level fallback — try the next peer, then answer 503 — is
-// the retry policy, and stacking per-peer backoff under it would stall
-// the submit path.
-func newForwarder(bases []string) *forwarder {
-	f := &forwarder{}
-	for _, base := range bases {
-		c := client.New(base)
+func newForwarder(s *Server) *forwarder {
+	httpc := &http.Client{Timeout: 30 * time.Second}
+	if s.opts.transport != nil {
+		httpc.Transport = s.opts.transport
+	}
+	return &forwarder{
+		s:       s,
+		httpc:   httpc,
+		clients: make(map[string]*client.Client),
+		health:  make(map[string]*peerHealth),
+	}
+}
+
+// client returns the cached client for base. Cluster-internal clients
+// do not retry: the cluster-level fallback — try the next peer, then
+// answer 503 — is the retry policy, and stacking per-peer backoff under
+// it would stall the submit path.
+func (f *forwarder) client(base string) *client.Client {
+	base = strings.TrimRight(base, "/")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.clients[base]
+	if !ok {
+		c = client.New(base)
 		c.MaxRetries = -1
-		f.peers = append(f.peers, &peer{base: c.Base(), client: c})
+		c.HTTPClient = f.httpc
+		f.clients[base] = c
 	}
-	return f
+	return c
 }
 
-// rank returns the live peers ordered by queue occupancy, least loaded
-// first. Peers whose health poll failed are dropped; peers reporting a
-// full queue stay ranked last rather than dropped — their view is up
-// to peerHealthTTL stale, and the forward attempt itself is the
-// authoritative admission check.
-func (f *forwarder) rank(ctx context.Context, now time.Time) []*peer {
-	type ranked struct {
-		p    *peer
-		load float64
+// sweep drops cached clients and health entries for addresses no longer
+// tracked by the membership, so a long-lived node does not accumulate
+// state for every peer that ever existed. Called from the GC loop.
+func (f *forwarder) sweep() {
+	keep := make(map[string]bool)
+	for _, t := range f.s.cluster.ProbeTargets() {
+		keep[t] = true
 	}
-	var live []ranked
-	for _, p := range f.peers {
-		h, err := p.load(ctx, now)
-		if err != nil || h == nil {
+	for _, m := range f.s.cluster.Rotation() {
+		keep[strings.TrimRight(m.Addr, "/")] = true
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for base := range f.clients {
+		if !keep[base] {
+			delete(f.clients, base)
+		}
+	}
+	for base, e := range f.health {
+		if !keep[base] && e.inflight == nil {
+			delete(f.health, base)
+		}
+	}
+}
+
+// load returns base's health, polling at most once per peerHealthTTL
+// across all concurrent callers. The poll runs with no lock held and is
+// single-flighted: one stalled peer never blocks submits ranking the
+// others, concurrent rankers share one probe instead of stacking
+// probes, and a dead peer costs one timed-out probe per TTL, not one
+// per rejected submit. A successful poll also resolves the peer's node
+// ID into the membership (seed addresses become real members before the
+// first gossip round completes).
+func (f *forwarder) load(ctx context.Context, base string) (*api.Health, error) {
+	base = strings.TrimRight(base, "/")
+	f.mu.Lock()
+	e, ok := f.health[base]
+	if !ok {
+		e = &peerHealth{}
+		f.health[base] = e
+	}
+	for {
+		if f.s.now().Sub(e.polled) < peerHealthTTL && (e.h != nil || e.err != nil) {
+			h, err := e.h, e.err
+			f.mu.Unlock()
+			return h, err
+		}
+		if e.inflight == nil {
+			break
+		}
+		// Another caller's probe is on the wire: wait for it rather
+		// than stacking a second probe on the same peer.
+		done := e.inflight
+		f.mu.Unlock()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		f.mu.Lock()
+	}
+	done := make(chan struct{})
+	e.inflight = done
+	f.mu.Unlock()
+
+	h, err := f.client(base).Health(ctx)
+	if err == nil && h != nil && h.Node != "" {
+		f.s.cluster.Resolve(base, h.Node)
+	}
+	f.mu.Lock()
+	e.h, e.err, e.polled = h, err, f.s.now()
+	e.inflight = nil
+	f.mu.Unlock()
+	close(done)
+	return h, err
+}
+
+// rankedPeer is one forward candidate after ranking.
+type rankedPeer struct {
+	base    string
+	load    float64
+	suspect bool
+}
+
+// rank returns the forwardable peers ordered by queue occupancy, least
+// loaded first, suspect members after all alive ones. Candidates come
+// from the gossip rotation, so dead peers are gone before a probe is
+// ever spent on them; the remaining probes run concurrently, each
+// bounded by probeTimeout. Members whose node ID appears in exclude
+// (the forward trail plus this node) are dropped — the loop protection
+// — as are peers whose probe failed. Peers reporting a full queue stay
+// ranked last rather than dropped: their view is up to peerHealthTTL
+// stale, and the forward attempt itself is the authoritative admission
+// check.
+func (f *forwarder) rank(ctx context.Context, exclude map[string]bool) []rankedPeer {
+	members := f.s.cluster.Rotation()
+	type slot struct {
+		rankedPeer
+		ok bool
+	}
+	slots := make([]slot, len(members))
+	var wg sync.WaitGroup
+	for i, m := range members {
+		if exclude[m.ID] && m.ID != "" {
 			continue
 		}
-		occ := 1.0
-		if h.QueueDepth > 0 {
-			occ = float64(h.Queued) / float64(h.QueueDepth)
+		wg.Add(1)
+		go func(i int, m cluster.Member) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, probeTimeout)
+			defer cancel()
+			h, err := f.load(pctx, m.Addr)
+			if err != nil || h == nil {
+				return
+			}
+			// The probe may resolve an identity gossip has not
+			// delivered yet: apply the trail (and self) exclusion to it.
+			if h.Node != "" && (exclude[h.Node] || h.Node == f.s.cluster.ID()) {
+				return
+			}
+			occ := 1.0
+			if h.QueueDepth > 0 {
+				occ = float64(h.Queued) / float64(h.QueueDepth)
+			}
+			slots[i] = slot{rankedPeer{
+				base:    strings.TrimRight(m.Addr, "/"),
+				load:    occ,
+				suspect: m.State == cluster.StateSuspect,
+			}, true}
+		}(i, m)
+	}
+	wg.Wait()
+	var live []rankedPeer
+	for _, r := range slots {
+		if r.ok {
+			live = append(live, r.rankedPeer)
 		}
-		live = append(live, ranked{p: p, load: occ})
 	}
-	sort.SliceStable(live, func(a, b int) bool { return live[a].load < live[b].load })
-	out := make([]*peer, len(live))
-	for i, r := range live {
-		out[i] = r.p
-	}
-	return out
+	sort.SliceStable(live, func(a, b int) bool {
+		if live[a].suspect != live[b].suspect {
+			return !live[a].suspect
+		}
+		return live[a].load < live[b].load
+	})
+	return live
 }
 
 // forwardedRef remembers a batch this node forwarded under an
@@ -117,19 +254,27 @@ type forwardedRef struct {
 	status JobStatus
 }
 
-// tryForward pushes an overflow batch to the least-loaded live peer.
-// It returns (status, true) on success — Origin filled in, the key
-// remembered for dedupe — and (nil, false) when no peer could take the
-// batch, in which case the caller answers the honest queue_full 503.
-func (s *Server) tryForward(ctx context.Context, specs []scenario.Spec, key string, hops int) (*JobStatus, bool) {
-	if s.forwarder == nil || hops >= s.opts.ForwardHops {
+// tryForward pushes an overflow batch to the least-loaded live peer not
+// yet on its trail. It returns (status, true) on success — Origin
+// filled in, the key remembered for dedupe — and (nil, false) when no
+// peer could take the batch, in which case the caller answers the
+// honest queue_full 503.
+func (s *Server) tryForward(ctx context.Context, specs []scenario.Spec, key string, trail []string) (*JobStatus, bool) {
+	if s.opts.ForwardHops <= 0 || len(trail) >= s.opts.ForwardHops {
 		return nil, false
+	}
+	if len(s.cluster.Rotation()) == 0 {
+		return nil, false // standalone
 	}
 	ctx, cancel := context.WithTimeout(ctx, s.opts.ForwardTimeout)
 	defer cancel()
-	peers := s.forwarder.rank(ctx, s.now())
-	for _, p := range peers {
-		st, err := p.client.ForwardSweep(ctx, specs, key, hops+1)
+	next := append(append(make([]string, 0, len(trail)+1), trail...), s.cluster.ID())
+	exclude := make(map[string]bool, len(next))
+	for _, id := range next {
+		exclude[id] = true
+	}
+	for _, p := range s.forwarder.rank(ctx, exclude) {
+		st, err := s.forwarder.client(p.base).ForwardSweep(ctx, specs, key, next)
 		if err != nil {
 			continue
 		}
@@ -146,9 +291,7 @@ func (s *Server) tryForward(ctx context.Context, specs []scenario.Spec, key stri
 		}
 		return st, true
 	}
-	if len(peers) > 0 || len(s.forwarder.peers) > 0 {
-		s.metrics.forwardFailed.Add(1)
-	}
+	s.metrics.forwardFailed.Add(1)
 	return nil, false
 }
 
@@ -169,9 +312,7 @@ func (s *Server) forwardedByKey(ctx context.Context, key string) (*JobStatus, bo
 	}
 	ctx, cancel := context.WithTimeout(ctx, s.opts.ForwardTimeout)
 	defer cancel()
-	c := client.New(ref.origin)
-	c.MaxRetries = -1
-	if st, err := c.Job(ctx, ref.id); err == nil {
+	if st, err := s.forwarder.client(ref.origin).Job(ctx, ref.id); err == nil {
 		st.Origin = ref.origin
 		return st, true
 	}

@@ -152,9 +152,9 @@ func TestClusterForwardsOverflowToLeastLoadedPeer(t *testing.T) {
 }
 
 // TestClusterHopLimitDegradesTo503: when every node is saturated, the
-// hop counter stops the batch from looping between peers — the second
-// node refuses to forward a once-forwarded submit, so the first answers
-// an honest queue_full 503.
+// forward trail stops the batch from looping between peers — the second
+// node sees the first on the trail, finds no other candidate, and the
+// first answers an honest queue_full 503.
 func TestClusterHopLimitDegradesTo503(t *testing.T) {
 	lnA, urlA := reserveNode(t)
 	lnB, urlB := reserveNode(t)
@@ -178,9 +178,10 @@ func TestClusterHopLimitDegradesTo503(t *testing.T) {
 	if got := srvA.metrics.forwardFailed.Load(); got != 1 {
 		t.Fatalf("job_forward_failures_total %d, want 1", got)
 	}
-	// B refused at the hop limit without attempting a forward of its own.
+	// B's only peer was already on the trail, so it completed no forward
+	// of its own.
 	if got := srvB.metrics.jobsForwarded.Load(); got != 0 {
-		t.Fatalf("hop-limited node forwarded anyway (%d)", got)
+		t.Fatalf("trail-excluded node forwarded anyway (%d)", got)
 	}
 }
 

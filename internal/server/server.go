@@ -14,6 +14,11 @@
 //	                      worker reusing one sim.RunWorkspace across all
 //	                      scenarios it executes
 //	GET  /v1/jobs/{id}    job progress and, once done, the reports
+//	GET  /v1/cluster      this node's membership view (anti-entropy pull)
+//	POST /v1/cluster      one push-pull gossip exchange: merge the
+//	                      sender's view, answer with this node's
+//	GET  /v1/snapshot     the database snapshot bytes (dbstore format) —
+//	                      how a fresh node joins without a local .qosdb
 //	GET  /healthz         liveness + the database the server holds
 //	GET  /metrics         Prometheus-style text counters
 //
@@ -32,13 +37,16 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"qosrm/internal/api"
 	"qosrm/internal/bench"
+	"qosrm/internal/cluster"
 	"qosrm/internal/db"
+	"qosrm/internal/dbstore"
 	"qosrm/internal/jobstore"
 	"qosrm/internal/rm"
 	"qosrm/internal/scenario"
@@ -83,28 +91,64 @@ type Options struct {
 	// RateBurst is the token-bucket depth (default: one second's worth
 	// of RatePerSec).
 	RateBurst int
-	// Peers enables cluster mode: the base URLs of the other qosrmd
-	// nodes (e.g. "http://b:8423"). A submit this node would reject
-	// with queue_full is forwarded to the least-loaded live peer
-	// (ranked by the /healthz Queued/QueueDepth fields) instead; the
-	// caller gets the peer's job handle with JobStatus.Origin set, and
-	// the peer's journal owns the job. Empty runs standalone.
+	// Peers seeds cluster mode: base URLs of other qosrmd nodes (e.g.
+	// "http://b:8423"). Seeds bootstrap the gossip membership — once a
+	// seed answers, discovery takes over and the live rotation is
+	// maintained by the failure detector, so the list need not be
+	// complete or stay correct. A submit this node would reject with
+	// queue_full is forwarded to the least-loaded live member (ranked
+	// by the /healthz Queued/QueueDepth fields) instead; the caller
+	// gets the member's job handle with JobStatus.Origin set, and the
+	// member's journal owns the job. Empty with no Join runs
+	// standalone.
 	Peers []string
+	// Join lists seed nodes of an existing cluster to fetch membership
+	// from — semantically identical to Peers (both are gossip seeds);
+	// the split mirrors the qosrmd flags, where -peers is the static
+	// PR 7 shape and -join the one-seed entry point.
+	Join []string
+	// NodeID is this node's stable cluster identity, carried in gossip
+	// and in the forwarding trail (default: random per boot). Give a
+	// long-lived node a fixed ID so a restart at the same address is
+	// recognised as a rejoin rather than a new node.
+	NodeID string
+	// Advertise is the base URL other cluster nodes reach this node at
+	// (e.g. "http://a:8423"). An advertising node introduces itself
+	// into the membership it joins; without it the node still probes,
+	// forwards and serves, but never enters a peer's rotation.
+	Advertise string
+	// GossipInterval is the anti-entropy cadence: every interval the
+	// node exchanges member lists with each address it tracks (dead
+	// ones included, which is how rejoins are noticed). Default 1 s;
+	// negative disables the gossip loop entirely.
+	GossipInterval time.Duration
+	// SuspectTimeout is the failure detector's confirmation window: a
+	// member goes suspect on its first missed probe and dead when a
+	// further probe fails at least this long after the suspicion
+	// (default 3 s). Dead members leave the forwarding rotation.
+	SuspectTimeout time.Duration
 	// ForwardHops bounds forwarding chains through the cluster: a
-	// request whose X-Qosrm-Forwarded hop count has reached this limit
-	// is rejected with queue_full instead of forwarded again, so a
-	// saturated cluster cannot loop a job between nodes. Default 1
-	// (one forward, never re-forwarded); negative disables forwarding.
+	// request whose X-Qosrm-Forward-Trail already names this many nodes
+	// is rejected with queue_full instead of forwarded again. The trail
+	// also excludes every visited node from the rotation, so forwarding
+	// terminates in any topology without revisiting a node. Default 3;
+	// negative disables forwarding.
 	ForwardHops int
 	// ForwardTimeout bounds one forwarding attempt end to end — peer
 	// health polls plus the forwarded submit (default 5 s).
 	ForwardTimeout time.Duration
 
 	// clock overrides the server's time source; nil means time.Now.
-	// Unexported: only in-package tests drive the job GC with a fake
-	// clock (it must be set before New starts the GC loop — replacing
-	// the clock on a live server would race with it).
+	// Unexported: only in-package tests drive the job GC and the
+	// failure detector with a fake clock (it must be set before New
+	// starts the background loops — replacing the clock on a live
+	// server would race with them).
 	clock func() time.Time
+	// transport overrides the HTTP transport of the cluster-facing
+	// clients (gossip exchanges, health probes, forwards, origin
+	// polls). Unexported: the chaos tests inject network partitions
+	// through it.
+	transport http.RoundTripper
 }
 
 func (o *Options) fill() {
@@ -131,12 +175,18 @@ func (o *Options) fill() {
 	}
 	switch {
 	case o.ForwardHops == 0:
-		o.ForwardHops = 1
+		o.ForwardHops = 3
 	case o.ForwardHops < 0:
 		o.ForwardHops = 0
 	}
 	if o.ForwardTimeout <= 0 {
 		o.ForwardTimeout = 5 * time.Second
+	}
+	if o.GossipInterval == 0 {
+		o.GossipInterval = time.Second
+	}
+	if o.NodeID == "" {
+		o.NodeID = cluster.NewID()
 	}
 	if o.clock == nil {
 		o.clock = time.Now
@@ -173,6 +223,14 @@ type metrics struct {
 	jobsForwarded   atomic.Int64
 	forwardReceived atomic.Int64
 	forwardFailed   atomic.Int64
+	// Membership counters: successful anti-entropy exchanges, probes
+	// the failure detector counted as missed, incarnation bumps this
+	// node made to refute a false death rumor about itself, and
+	// snapshots streamed to joining nodes.
+	clusterExchanges     atomic.Int64
+	clusterProbeFailures atomic.Int64
+	clusterRefutations   atomic.Int64
+	snapshotsServed      atomic.Int64
 	// policyRuns counts managed runs per allocation policy, indexed as
 	// policyNames — the per-policy serving metric. Sized from the
 	// registry at server construction, so new policies get a slot
@@ -202,13 +260,16 @@ const (
 	routeScenarios
 	routeJobs
 	routeJobGet
+	routeCluster
+	routeSnapshot
 	routeHealth
 	routeMetrics
 	routeCount
 )
 
 var routeNames = [routeCount]string{
-	"/v1/savings", "/v1/scenarios", "/v1/jobs", "/v1/jobs/{id}", "/healthz", "/metrics",
+	"/v1/savings", "/v1/scenarios", "/v1/jobs", "/v1/jobs/{id}",
+	"/v1/cluster", "/v1/snapshot", "/healthz", "/metrics",
 }
 
 // Server serves the QoS-RM API over one built database.
@@ -221,11 +282,16 @@ type Server struct {
 	// tests inject a fake one to drive the job GC deterministically.
 	now func() time.Time
 	// journal is the durable job log (nil without Options.JournalPath);
-	// limiter the per-client token bucket (nil without RatePerSec);
-	// forwarder the cluster peer set (nil without Options.Peers).
-	journal   *jobstore.Journal
-	limiter   *rateLimiter
-	forwarder *forwarder
+	// limiter the per-client token bucket (nil without RatePerSec).
+	journal *jobstore.Journal
+	limiter *rateLimiter
+	// cluster is this node's membership view (always present — a node
+	// with no seeds just tracks nobody until one joins it), forwarder
+	// the cluster-facing client pool and health cache, paramsHash the
+	// hex dbstore fingerprint of the database this node serves.
+	cluster    *cluster.Membership
+	forwarder  *forwarder
+	paramsHash string
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -270,9 +336,16 @@ func New(d *db.DB, opts Options) (*Server, error) {
 	if opts.RatePerSec > 0 {
 		s.limiter = newRateLimiter(opts.RatePerSec, opts.RateBurst, s.now)
 	}
-	if len(opts.Peers) > 0 {
-		s.forwarder = newForwarder(opts.Peers)
-	}
+	s.paramsHash = fmt.Sprintf("%016x", dbstore.ParamsHash(d))
+	s.cluster = cluster.New(cluster.Config{
+		ID:             opts.NodeID,
+		Addr:           opts.Advertise,
+		ParamsHash:     s.paramsHash,
+		Seeds:          append(append([]string{}, opts.Peers...), opts.Join...),
+		SuspectTimeout: opts.SuspectTimeout,
+		Clock:          s.now,
+	})
+	s.forwarder = newForwarder(s)
 
 	var pending []workItem
 	if opts.JournalPath != "" {
@@ -302,6 +375,12 @@ func New(d *db.DB, opts Options) (*Server, error) {
 	s.handle("POST /v1/scenarios", routeScenarios, true, s.handleScenario)
 	s.handle("POST /v1/jobs", routeJobs, true, s.handleJobSubmit)
 	s.handle("GET /v1/jobs/{id}", routeJobGet, true, s.handleJobGet)
+	// The cluster endpoints skip the per-client limiter: gossip from N
+	// peers must not drain a forwarding client's token budget, and a
+	// joining node's snapshot fetch is one request, not a rate.
+	s.handle("GET /v1/cluster", routeCluster, false, s.handleClusterGet)
+	s.handle("POST /v1/cluster", routeCluster, false, s.handleClusterPost)
+	s.handle("GET /v1/snapshot", routeSnapshot, false, s.handleSnapshot)
 	s.handle("GET /healthz", routeHealth, false, s.handleHealth)
 	s.handle("GET /metrics", routeMetrics, false, s.handleMetrics)
 	for i := 0; i < opts.Workers; i++ {
@@ -311,6 +390,10 @@ func New(d *db.DB, opts Options) (*Server, error) {
 	if opts.JobTTL > 0 {
 		s.wg.Add(1)
 		go s.gcLoop()
+	}
+	if opts.GossipInterval > 0 {
+		s.wg.Add(1)
+		go s.gossipLoop()
 	}
 	return s, nil
 }
@@ -336,6 +419,7 @@ func (s *Server) gcLoop() {
 			return
 		case <-t.C:
 			s.gcFinishedJobs(s.now())
+			s.forwarder.sweep()
 		}
 	}
 }
@@ -671,7 +755,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeJSONStatus(w, http.StatusAccepted, st)
 		return
 	}
-	hops := forwardHops(r)
+	trail := forwardTrail(r)
 	j, replayed, err := s.submit(req.Specs, key)
 	switch {
 	case errors.Is(err, errJournal):
@@ -685,9 +769,10 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	case err != nil:
 		// Queue full: in cluster mode, hand the batch to a peer before
-		// giving up. A forward that finds no taker (every peer dead or
-		// itself saturated) falls through to the honest 503.
-		if st, ok := s.tryForward(r.Context(), req.Specs, key, hops); ok {
+		// giving up. A forward that finds no taker (every peer dead,
+		// saturated, or already on the trail) falls through to the
+		// honest 503.
+		if st, ok := s.tryForward(r.Context(), req.Specs, key, trail); ok {
 			s.writeJSONStatus(w, http.StatusAccepted, st)
 			return
 		}
@@ -697,24 +782,27 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	if replayed {
 		s.metrics.idempotentReplays.Add(1)
 		w.Header().Set(api.IdempotencyReplayedHeader, "true")
-	} else if hops > 0 {
+	} else if len(trail) > 0 {
 		s.metrics.forwardReceived.Add(1)
 	}
 	s.writeJSONStatus(w, http.StatusAccepted, j.status())
 }
 
-// forwardHops reads the X-Qosrm-Forwarded hop count of a submit (0
-// when absent or malformed).
-func forwardHops(r *http.Request) int {
-	v := r.Header.Get(api.ForwardedHeader)
+// forwardTrail reads the visited-node trail of a forwarded submit (nil
+// when the request came straight from a client). The trail's length is
+// the hop count; its entries are excluded from any further forward.
+func forwardTrail(r *http.Request) []string {
+	v := r.Header.Get(api.ForwardTrailHeader)
 	if v == "" {
-		return 0
+		return nil
 	}
-	n, err := strconv.Atoi(v)
-	if err != nil || n < 0 {
-		return 0
+	var trail []string
+	for _, part := range strings.Split(v, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			trail = append(trail, part)
+		}
 	}
-	return n
+	return trail
 }
 
 // handleJobGet reports a job's progress.
@@ -754,7 +842,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Queued:        queued,
 		QueueDepth:    s.opts.QueueDepth,
 		Journal:       s.journal != nil,
-		Peers:         len(s.opts.Peers),
+		Node:          s.opts.NodeID,
+		ParamsHash:    s.paramsHash,
+		Peers:         len(s.cluster.Rotation()),
 	})
 }
 
@@ -783,7 +873,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "qosrmd_scenarios_retried_total %d\n", s.metrics.specsRetried.Load())
 	fmt.Fprintf(w, "qosrmd_scenario_queue_depth %d\n", queued)
 	fmt.Fprintf(w, "qosrmd_requests_shed_total %d\n", s.metrics.requestsShed.Load())
-	fmt.Fprintf(w, "qosrmd_cluster_peers %d\n", len(s.opts.Peers))
+	alive, suspect, dead := s.cluster.Counts()
+	fmt.Fprintf(w, "qosrmd_cluster_peers %d\n", len(s.cluster.Rotation()))
+	fmt.Fprintf(w, "qosrmd_cluster_members_alive %d\n", alive)
+	fmt.Fprintf(w, "qosrmd_cluster_members_suspect %d\n", suspect)
+	fmt.Fprintf(w, "qosrmd_cluster_members_dead %d\n", dead)
+	fmt.Fprintf(w, "qosrmd_cluster_incarnation %d\n", s.cluster.Incarnation())
+	fmt.Fprintf(w, "qosrmd_cluster_exchanges_total %d\n", s.metrics.clusterExchanges.Load())
+	fmt.Fprintf(w, "qosrmd_cluster_probe_failures_total %d\n", s.metrics.clusterProbeFailures.Load())
+	fmt.Fprintf(w, "qosrmd_cluster_refutations_total %d\n", s.metrics.clusterRefutations.Load())
+	fmt.Fprintf(w, "qosrmd_snapshots_served_total %d\n", s.metrics.snapshotsServed.Load())
 	fmt.Fprintf(w, "qosrmd_jobs_forwarded_total %d\n", s.metrics.jobsForwarded.Load())
 	fmt.Fprintf(w, "qosrmd_jobs_forward_received_total %d\n", s.metrics.forwardReceived.Load())
 	fmt.Fprintf(w, "qosrmd_job_forward_failures_total %d\n", s.metrics.forwardFailed.Load())

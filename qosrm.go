@@ -180,14 +180,32 @@
 // DialService returns the matching client.
 //
 // Cluster topology: qosrmd nodes are peers, not replicas — each owns
-// its own database snapshot, queue and journal, and a static peer list
-// (qosrmd -peers, ServerOptions.Peers) links them. There is no
-// leader and no shared state; the only cross-node interaction is
-// overflow forwarding on the submit path, so a node with no live peers
-// behaves exactly like a standalone one. internal/loadgen and
-// cmd/loadgen provide the matching open-loop load harness (fixed
-// arrival rate, vegeta-style), and the committed BENCH reports embed a
-// single-node vs two-node comparison at the same saturating load.
+// its own database snapshot, queue and journal. There is no leader and
+// no shared state; membership is dynamic. The seed addresses a node
+// boots with (qosrmd -peers / -join, ServerOptions.Peers / Join) only
+// bootstrap a gossip protocol (internal/cluster): every gossip interval
+// a node push-pulls its full member list — stable node ID, advertised
+// address, incarnation, liveness state, database params hash — with
+// every address it tracks over POST /v1/cluster, so nodes discover the
+// rest of the cluster transitively and two nodes that never seeded each
+// other still forward to one another. A SWIM-lite failure detector
+// drives liveness: a member whose exchange fails goes alive → suspect,
+// a further miss after the suspect window confirms it dead, and dead
+// peers leave every forwarding rotation within seconds while remaining
+// probed so a rejoin or a healed partition is noticed. Refutation is
+// incarnation-based, exactly SWIM's: a node that learns it is rumored
+// dead bumps its incarnation past the claim and re-asserts itself, so
+// a crashed node rebooting under the same -node-id readmits itself with
+// no restarts anywhere else. A joining node with no usable snapshot on
+// disk fetches one from a live member (GET /v1/snapshot), verifies it
+// end to end with the dbstore loader — magic, version, CRC, params hash
+// against its own binary — persists it, and boots warm; a params-hash
+// mismatch refuses the join, and gossip refuses mismatched nodes with
+// 409 cluster_mismatch, so a cluster never mixes database builds.
+// internal/loadgen and cmd/loadgen provide the matching open-loop load
+// harness (fixed arrival rate, vegeta-style), and the committed BENCH
+// reports embed a single-node vs two-node comparison at the same
+// saturating load.
 //
 // # Reliability architecture
 //
@@ -214,14 +232,20 @@
 // live jobs.
 //
 // Failpoints (internal/faultinject): a registry of named injection
-// points (jobstore.append, jobstore.compact, server.worker) armed by
-// tests or the QOSRM_FAILPOINTS environment variable with specs like
-// "error*2", "stall:10ms", "panic", each optionally counted or
-// probabilistic. Worker execution converts injected (and real) panics
-// into scenario errors, retries transient failures a bounded number of
-// times (ServerOptions.JobRetries), and the chaos test drives dozens
-// of random kill/restart cycles against one journal asserting no job
-// is ever lost or duplicated.
+// points (jobstore.append, jobstore.compact, server.worker,
+// cluster.gossip, server.snapshot, cluster.fetch) armed by tests or
+// the QOSRM_FAILPOINTS environment variable with specs like "error*2",
+// "stall:10ms", "panic", each optionally counted or probabilistic.
+// Worker execution converts injected (and real) panics into scenario
+// errors, retries transient failures a bounded number of times
+// (ServerOptions.JobRetries), and the chaos test drives dozens of
+// random kill/restart cycles against one journal asserting no job is
+// ever lost or duplicated. The cluster chaos drill raises that to
+// three gossiping journaled nodes — a SIGKILL-style kill mid-wave with
+// a journal reboot, a network partition and heal, a burst of dropped
+// gossip — asserting membership reconverges and every accepted job
+// still resolves exactly once with reports bit-identical to an
+// uninterrupted run.
 //
 // Hardened edge: POST /v1/jobs honours an Idempotency-Key header —
 // keys persist in the journal, so a retried submit returns the
@@ -240,28 +264,37 @@
 // panics, idempotent replays, compactions) surface at /metrics.
 //
 // Peer forwarding: a cluster-mode node that would reject a sweep
-// submission with queue_full instead offers it to its least-loaded
-// live peer — peers are ranked by the Queued/QueueDepth occupancy
-// their (briefly cached) /healthz reports, dead peers are skipped —
-// and answers the caller with the peer's job handle, the peer's base
-// URL recorded in the status's "origin" field. The semantics are
-// deliberately narrow. Ownership: the job belongs entirely to the
-// origin node — it is journaled there before the 202, polled there
-// (Client.At(origin)), and recovered from that node's journal after a
-// crash; the forwarding node keeps only a key→origin memo. Idempotency:
-// the caller's Idempotency-Key travels verbatim with the forward, so a
+// submission with queue_full instead offers it to the least-loaded
+// live member of its gossip rotation — candidates are ranked by the
+// Queued/QueueDepth occupancy their /healthz reports (probed
+// concurrently, single-flighted and briefly cached, so a stalled peer
+// never blocks ranking the others and a submit storm does not become a
+// healthz storm), suspect members rank after alive ones, dead members
+// never appear — and answers the caller with the member's job handle,
+// the admitting node's base URL recorded in the status's "origin"
+// field. The semantics are deliberately narrow. Ownership: the job
+// belongs entirely to the origin node — it is journaled there before
+// the 202, polled there (Client.At(origin)), and recovered from that
+// node's journal after a crash; the forwarding node keeps only a
+// key→origin memo that expires with the job TTL. Idempotency: the
+// caller's Idempotency-Key travels verbatim with the forward, so a
 // retried submit resolves to the same job through either node — the
 // forwarder answers from its memo (refreshing the status from the
 // origin when reachable), the origin from its own persisted key map.
-// Loops: every forwarded hop increments the X-Qosrm-Forwarded header
-// and a node only forwards requests whose hop count is below its
-// ForwardHops budget (default 1), so a fully saturated cluster answers
-// an honest queue_full 503 instead of bouncing the batch between
-// nodes. Forwarding clients do not retry internally — trying the next
-// peer, then failing over to the 503, is the retry policy. The
-// forwarded/received/failed counters surface at /metrics
-// (qosrmd_jobs_forwarded_total, qosrmd_jobs_forward_received_total,
-// qosrmd_job_forward_failures_total, qosrmd_cluster_peers).
+// Loops: the X-Qosrm-Forward-Trail header names every node a forward
+// has visited; each hop appends its node ID, ranking excludes trail
+// members, and a node only forwards while the trail is shorter than
+// its ForwardHops budget (default 3) — so multi-hop forwarding
+// terminates in any topology without revisiting a node, and a fully
+// saturated cluster answers an honest queue_full 503 instead of
+// bouncing the batch between nodes. Forwarding clients do not retry
+// internally — trying the next peer, then failing over to the 503, is
+// the retry policy. The forwarding and membership counters surface at
+// /metrics (qosrmd_jobs_forwarded_total,
+// qosrmd_jobs_forward_received_total, qosrmd_job_forward_failures_total,
+// qosrmd_cluster_peers, qosrmd_cluster_members_{alive,suspect,dead},
+// qosrmd_cluster_exchanges_total, qosrmd_cluster_probe_failures_total,
+// qosrmd_cluster_refutations_total, qosrmd_snapshots_served_total).
 //
 // internal/scenario layers a JSON-loadable specification on top
 // (ScenarioSpec): application queues by name, arrival/departure times,
