@@ -3,6 +3,7 @@ package qosrm
 import (
 	"context"
 
+	"qosrm/internal/api"
 	"qosrm/internal/client"
 	"qosrm/internal/server"
 )
@@ -36,6 +37,16 @@ type (
 	// "batch_too_large", ...) so callers can route on Reason instead of
 	// matching message strings.
 	ServiceError = client.ServiceError
+	// ServiceJobEvent is one frame of a job's live event stream
+	// (GET /v1/jobs/{id}/events): an "interval" frame per interval
+	// boundary of the simulation, then a terminal "done" / "failed" /
+	// "expired" frame. Dropped counts events the bounded per-job ring
+	// overwrote before this consumer read them.
+	ServiceJobEvent = api.JobEvent
+	// JobEventStream iterates a live job event stream; see
+	// Client.JobEvents. Next returns frames until the terminal one, then
+	// io.EOF; Close releases the connection early.
+	JobEventStream = client.EventStream
 )
 
 // NewServer starts the qosrmd API server — the same serving layer

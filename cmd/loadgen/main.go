@@ -1,6 +1,6 @@
 // Command loadgen drives open-loop load against a running qosrmd node
 // and reports what its admission control did with it: achieved
-// throughput, p50/p99 submit latency, reject rate, and — against a
+// throughput, p50/p90/p99 submit latency, reject rate, and — against a
 // cluster node — how many submits a peer absorbed. Arrivals follow a
 // fixed schedule (the vegeta model): the generator never slows down
 // because the server queues, which is exactly the load shape that makes
@@ -88,7 +88,7 @@ func main() {
 	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "loadgen: sent %d: %d ok (%d forwarded), %d rejected (%.1f%%), %d errors, %d dropped; p50 %.1fms p99 %.1fms, %.0f admitted/s\n",
+	fmt.Fprintf(os.Stderr, "loadgen: sent %d: %d ok (%d forwarded), %d rejected (%.1f%%), %d errors, %d dropped; p50 %.1fms p90 %.1fms p99 %.1fms, %.0f admitted/s\n",
 		res.Sent, res.OK, res.Forwarded, res.Rejected, 100*res.RejectRate, res.Errors, res.Dropped,
-		res.P50Ms, res.P99Ms, res.AchievedRPS)
+		res.P50Ms, res.P90Ms, res.P99Ms, res.AchievedRPS)
 }

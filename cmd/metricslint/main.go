@@ -1,0 +1,27 @@
+// Command metricslint validates a Prometheus text-exposition scrape on
+// stdin against the rules obs.LintExposition enforces (valid names, no
+// duplicate series, TYPE lines for every family, counters ending in
+// _total, well-formed cumulative histograms). It exits non-zero and
+// prints each violation when the scrape is dirty — CI pipes the
+// daemon's live /metrics through it:
+//
+//	curl -s http://127.0.0.1:8423/metrics | go run ./cmd/metricslint
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"qosrm/internal/obs"
+)
+
+func main() {
+	errs := obs.LintExposition(os.Stdin)
+	for _, err := range errs {
+		fmt.Fprintln(os.Stderr, "metricslint:", err)
+	}
+	if len(errs) > 0 {
+		os.Exit(1)
+	}
+	fmt.Println("metricslint: ok")
+}

@@ -58,6 +58,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -96,7 +97,16 @@ func main() {
 	gossip := flag.Duration("gossip", 0, "anti-entropy gossip interval (0 = default 1s, negative disables)")
 	suspectT := flag.Duration("suspect", 0, "failure-detector confirmation window before a suspect peer is declared dead (0 = default 3s)")
 	forwardHops := flag.Int("forward-hops", 0, "max peer-forwarding hops before a saturated cluster answers 503 (0 = default 3, negative disables forwarding)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	logLevel := flag.String("log-level", "info", "access/server log level: debug, info, warn, error, off")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	eventBuf := flag.Int("event-buffer", 0, "per-job interval-event ring capacity for /v1/jobs/{id}/events (0 = default 256)")
 	flag.Parse()
+
+	logger, err := newLogger(*logLevel, *logFormat)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -122,6 +132,9 @@ func main() {
 		GossipInterval: *gossip,
 		SuspectTimeout: *suspectT,
 		ForwardHops:    *forwardHops,
+		Logger:         logger,
+		EnablePprof:    *pprofOn,
+		EventBuffer:    *eventBuf,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -148,6 +161,28 @@ func main() {
 		log.Printf("shutdown: %v", err)
 	}
 	srv.Close()
+}
+
+// newLogger builds the daemon's structured logger from the -log-level
+// and -log-format flags. Level "off" discards everything (the embedded
+// server's default); the access log itself is emitted at info.
+func newLogger(level, format string) (*slog.Logger, error) {
+	if level == "off" {
+		return slog.New(slog.DiscardHandler), nil
+	}
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("qosrmd: bad -log-level %q: %v", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("qosrmd: bad -log-format %q (want text or json)", format)
+	}
 }
 
 // splitPeers parses the -peers list, dropping empty entries so a

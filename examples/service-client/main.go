@@ -5,7 +5,8 @@
 // from) — mounts the qosrmd API server on a loopback listener, then
 // talks to it purely through the HTTP client: health, a savings
 // evaluation, a synchronous scenario run, and an asynchronous sweep job
-// polled to completion.
+// tailed live over its interval-event stream, then polled to
+// completion.
 //
 // Against a separately deployed daemon, replace the embedded server
 // with qosrm.DialService("http://host:8423") and keep the rest.
@@ -118,6 +119,35 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("job %s queued (%d scenarios)\n", job.ID, job.Total)
+
+	// Tail the job live: GET /v1/jobs/{id}/events streams one frame per
+	// interval boundary of the running simulations — the same events a
+	// SimConfig.Trace callback sees in process — until a terminal frame.
+	// A dashboard would render these; here the first few are printed and
+	// the rest counted.
+	stream, err := client.JobEvents(ctx, job.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	intervals := 0
+	for {
+		ev, err := stream.Next()
+		if err != nil {
+			log.Fatal(err) // the terminal frame arrives before io.EOF
+		}
+		if ev.Type != "interval" {
+			fmt.Printf("  ... %d interval events in all (%d dropped), stream closed: %s\n",
+				intervals, ev.Dropped, ev.Type)
+			break
+		}
+		if intervals < 3 {
+			fmt.Printf("  [%s] t=%.2gns core %d %s interval %d: freq %d, %d ways\n",
+				ev.Name, ev.TimeNs, ev.Core, ev.Bench, ev.Interval, ev.Freq, ev.Ways)
+		}
+		intervals++
+	}
+	stream.Close()
+
 	job, err = client.WaitJob(ctx, job.ID, 0)
 	if err != nil {
 		log.Fatal(err)

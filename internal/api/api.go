@@ -8,6 +8,9 @@
 package api
 
 import (
+	"context"
+	"time"
+
 	"qosrm/internal/scenario"
 	"qosrm/internal/sim"
 )
@@ -31,7 +34,33 @@ const (
 	// cluster degrades to an honest 503 instead of bouncing the job
 	// between nodes forever.
 	ForwardTrailHeader = "X-Qosrm-Forward-Trail"
+	// RequestIDHeader ties one request's hops together: the ingress node
+	// generates an ID when the caller didn't send one, every response
+	// (success or error) echoes it, forwarded submits carry it verbatim
+	// to the peer, and each node's access log records it — so one
+	// grep over the cluster's logs reconstructs a forwarded request's
+	// whole path.
+	RequestIDHeader = "X-Qosrm-Request-Id"
 )
+
+// requestIDKey is the context key RequestID/WithRequestID share.
+type requestIDKey struct{}
+
+// WithRequestID returns a context carrying the request ID, which the
+// client injects into outgoing requests (that is how a forwarding node
+// propagates the ingress ID to its peer).
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestID extracts the request ID from ctx ("" when absent).
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
 
 // SavingsRequest is the body of POST /v1/savings: an application mix
 // (one name per core) plus the manager configuration to evaluate it
@@ -99,7 +128,51 @@ type JobStatus struct {
 	Origin  string             `json:"origin,omitempty"`
 	Reports []*scenario.Report `json:"reports,omitempty"`
 	Error   string             `json:"error,omitempty"`
+	// The job's lifecycle timeline. SubmittedAt is when this node
+	// admitted the job, StartedAt when a worker first picked it up, and
+	// FinishedAt when the last scenario completed — queue wait is
+	// StartedAt−SubmittedAt, execution is FinishedAt−StartedAt. Zero
+	// fields are omitted (e.g. StartedAt while the job is still queued).
+	SubmittedAt time.Time `json:"submitted_at,omitzero"`
+	StartedAt   time.Time `json:"started_at,omitzero"`
+	FinishedAt  time.Time `json:"finished_at,omitzero"`
 }
+
+// JobEvent is one frame of GET /v1/jobs/{id}/events — the NDJSON/SSE
+// stream of a running job's interval-boundary trace. Frames come in two
+// types: "interval" carries one sim.Event (flattened, plus which spec
+// of the batch emitted it), and a final "done"/"failed"/"expired" frame
+// terminates the stream. Seq is the event's position in the job's event
+// sequence; Dropped is the cumulative number of events this subscriber
+// lost to ring-buffer overwrites (a slow consumer sees it grow — the
+// engine never waits for readers).
+type JobEvent struct {
+	Type string `json:"type"`
+	// Interval-frame fields.
+	Seq         uint64  `json:"seq,omitempty"`
+	Dropped     uint64  `json:"dropped,omitempty"`
+	Spec        int     `json:"spec,omitempty"`
+	Name        string  `json:"name,omitempty"`
+	TimeNs      float64 `json:"time_ns,omitempty"`
+	Core        int     `json:"core,omitempty"`
+	Bench       string  `json:"bench,omitempty"`
+	Interval    int64   `json:"interval,omitempty"`
+	Phase       int     `json:"phase,omitempty"`
+	Freq        int     `json:"freq,omitempty"`
+	Ways        int     `json:"ways,omitempty"`
+	Allocations []int   `json:"allocations,omitempty"`
+	// Error carries the job's error text on a "failed" terminal frame.
+	Error string `json:"error,omitempty"`
+}
+
+// JobEvent frame types. The terminal kinds mirror the job's final
+// states, plus "expired" for a stream outliving the job's TTL.
+const (
+	JobEventInterval = "interval"
+	JobEventDone     = JobDone
+	JobEventFailed   = JobFailed
+	JobEventExpired  = "expired"
+)
 
 // Health is the response of GET /healthz. Status is "ok" in steady
 // state and "degraded" when the scenario queue is near capacity — a

@@ -6,6 +6,7 @@
 package client
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"crypto/rand"
@@ -273,6 +274,74 @@ func (c *Client) Snapshot(ctx context.Context) ([]byte, error) {
 	return data, nil
 }
 
+// EventStream is a live job event stream returned by JobEvents: call
+// Next until a terminal frame (Type "done", "failed" or "expired") or
+// an error, then Close. Closing early is always safe and is how a
+// consumer walks away from a stream mid-job.
+type EventStream struct {
+	body io.ReadCloser
+	sc   *bufio.Scanner
+}
+
+// Next returns the next frame. io.EOF means the server ended the stream
+// without a terminal frame (shutdown, or the connection dropped).
+func (s *EventStream) Next() (*api.JobEvent, error) {
+	for s.sc.Scan() {
+		line := s.sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		ev := &api.JobEvent{}
+		if err := json.Unmarshal(line, ev); err != nil {
+			return nil, fmt.Errorf("qosrm: job events: decode frame: %w", err)
+		}
+		return ev, nil
+	}
+	if err := s.sc.Err(); err != nil {
+		return nil, fmt.Errorf("qosrm: job events: %w", err)
+	}
+	return nil, io.EOF
+}
+
+// Close releases the stream's connection.
+func (s *EventStream) Close() error { return s.body.Close() }
+
+// JobEvents opens the live interval-event stream of a job (GET
+// /v1/jobs/{id}/events, NDJSON framing). The stream replays the job's
+// buffered event tail, then follows live events until the job finishes;
+// a consumer slower than the engine loses oldest events and sees the
+// frames' dropped counter grow. The request deliberately bypasses the
+// retry loop and the HTTPClient's overall timeout (a stream lives as
+// long as the job runs): cancellation is ctx's alone.
+func (c *Client) JobEvents(ctx context.Context, id string) (*EventStream, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return nil, fmt.Errorf("qosrm: GET /v1/jobs/%s/events: %w", id, err)
+	}
+	if rid := api.RequestID(ctx); rid != "" {
+		req.Header.Set(api.RequestIDHeader, rid)
+	}
+	// Share the transport (connection pool), not the client-level
+	// Timeout, which would kill the stream mid-job.
+	httpc := &http.Client{Transport: c.HTTPClient.Transport}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("qosrm: GET /v1/jobs/%s/events: %w", id, err)
+	}
+	if resp.StatusCode >= 300 {
+		defer resp.Body.Close()
+		se := &ServiceError{StatusCode: resp.StatusCode}
+		var e api.ErrorResponse
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&e) == nil {
+			se.Message, se.Reason = e.Error, e.Reason
+		}
+		return nil, fmt.Errorf("qosrm: GET /v1/jobs/%s/events: %w", id, se)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	return &EventStream{body: resp.Body, sc: sc}, nil
+}
+
 // Job fetches the current status of an asynchronous job.
 func (c *Client) Job(ctx context.Context, id string) (*api.JobStatus, error) {
 	var out api.JobStatus
@@ -392,6 +461,12 @@ func (c *Client) doOnce(ctx context.Context, method, path string, hdr http.Heade
 	}
 	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	// Propagate the request id when the context carries one: a qosrmd
+	// node forwarding a job passes its request context here, so the
+	// ingress-minted X-Qosrm-Request-Id travels verbatim to the peer.
+	if id := api.RequestID(ctx); id != "" {
+		req.Header.Set(api.RequestIDHeader, id)
 	}
 	resp, err := c.HTTPClient.Do(req)
 	if err != nil {

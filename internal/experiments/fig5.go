@@ -37,6 +37,9 @@ func (c *Context) Fig5(maxEvents int) (*Fig5Result, error) {
 	cfg := c.simConfig(rm.RM3, perfmodel.Model3, false, false)
 	cfg.Trace = func(e sim.Event) {
 		if len(res.Events) < maxEvents {
+			// Event.Allocations is only valid during the callback; copy
+			// before retaining.
+			e.Allocations = append([]int(nil), e.Allocations...)
 			res.Events = append(res.Events, e)
 		}
 	}

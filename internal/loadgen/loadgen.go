@@ -4,20 +4,25 @@
 // admission control actually faces in production: clients do not slow
 // down because the server queues, so a saturated node must shed, and
 // the generator measures exactly how much it sheds (reject rate), how
-// fast it answers what it admits (p50/p99), and how much load a cluster
+// fast it answers what it admits (p50/p90/p99), and how much load a
+// cluster
 // peer absorbed (forwarded count).
+//
+// Latency percentiles come from an obs.Histogram with the same log2
+// bucket layout the server's /metrics histograms use, so client-side
+// and server-side distributions compare bucket for bucket.
 package loadgen
 
 import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"qosrm/internal/client"
+	"qosrm/internal/obs"
 	"qosrm/internal/scenario"
 )
 
@@ -69,8 +74,12 @@ type Result struct {
 	AchievedRPS float64 `json:"achieved_rps"`
 	// RejectRate is Rejected/Sent.
 	RejectRate float64 `json:"reject_rate"`
-	P50Ms      float64 `json:"p50_ms"`
-	P99Ms      float64 `json:"p99_ms"`
+	// Latency quantiles of every completed exchange (rejections
+	// included — admission latency is latency), estimated from the
+	// log2-bucket histogram at bucket resolution.
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P99Ms float64 `json:"p99_ms"`
 }
 
 // Run executes one open-loop attack and reports the measurement.
@@ -85,16 +94,16 @@ func Run(ctx context.Context, cfg Config) *Result {
 	}
 
 	var (
-		mu        sync.Mutex
-		latencies []time.Duration
-		res       = Result{Name: cfg.Name, TargetRPS: cfg.RPS}
-		wg        sync.WaitGroup
-		sem       = make(chan struct{}, maxInflight)
+		mu   sync.Mutex
+		hist obs.Histogram
+		res  = Result{Name: cfg.Name, TargetRPS: cfg.RPS}
+		wg   sync.WaitGroup
+		sem  = make(chan struct{}, maxInflight)
 	)
 	record := func(out Outcome, lat time.Duration) {
+		hist.Observe(lat)
 		mu.Lock()
 		defer mu.Unlock()
-		latencies = append(latencies, lat)
 		switch {
 		case out.Error:
 			res.Errors++
@@ -156,20 +165,10 @@ attack:
 	if elapsed > 0 {
 		res.AchievedRPS = float64(res.OK) / elapsed.Seconds()
 	}
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	res.P50Ms = percentileMs(latencies, 0.50)
-	res.P99Ms = percentileMs(latencies, 0.99)
+	res.P50Ms = float64(hist.Quantile(0.50)) / float64(time.Millisecond)
+	res.P90Ms = float64(hist.Quantile(0.90)) / float64(time.Millisecond)
+	res.P99Ms = float64(hist.Quantile(0.99)) / float64(time.Millisecond)
 	return &res
-}
-
-// percentileMs reads the q-quantile of sorted latencies in
-// milliseconds (0 when nothing completed).
-func percentileMs(sorted []time.Duration, q float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	idx := int(q * float64(len(sorted)-1))
-	return float64(sorted[idx]) / float64(time.Millisecond)
 }
 
 // SubmitAttack returns an Attack that submits one-scenario sweep jobs

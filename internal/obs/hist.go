@@ -1,0 +1,158 @@
+// Package obs is the observability substrate of the serving layer:
+// lock-free latency histograms rendered in Prometheus histogram
+// exposition, a bounded event ring buffer that decouples the simulation
+// engine from stream consumers, and a linter for the text exposition
+// format that keeps /metrics honest as series accumulate.
+//
+// The package is a leaf — stdlib only — so every layer (sim workers,
+// HTTP handlers, the cluster forwarder, the load generator) can record
+// into it without import cycles.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: fixed log2 buckets over nanoseconds. Bucket
+// i covers durations up to histMinNs<<i, so the upper bounds run
+// 1.024 µs, 2.048 µs, … ~140.7 s; everything above the last bound lands
+// in the overflow (+Inf) bucket. Power-of-two nanosecond bounds make
+// the bucket index one bits.Len64, the le values exact binary floats,
+// and the layout identical everywhere it is used — server-side request
+// and job histograms and the load generator's client-side view bucket
+// identically, so their distributions compare directly.
+const (
+	histMinShift = 10 // smallest bound: 1<<10 ns = 1.024 µs
+	histBuckets  = 27 // finite bounds: 1<<10 .. 1<<36 ns (~68.7 s)
+)
+
+// Histogram is a lock-free fixed-log2-bucket duration histogram. All
+// methods are safe for concurrent use; Observe is three atomic adds and
+// never allocates, so it can sit on hot paths. The zero value is ready.
+// A Histogram must not be copied after first use.
+type Histogram struct {
+	// counts[i] is the number of observations in bucket i (NOT
+	// cumulative; rendering accumulates). counts[histBuckets] is the
+	// overflow (+Inf-only) bucket.
+	counts [histBuckets + 1]atomic.Uint64
+	count  atomic.Uint64
+	sumNs  atomic.Int64
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	v := uint64(d)
+	if v <= 1<<histMinShift {
+		return 0
+	}
+	idx := bits.Len64(v-1) - histMinShift
+	if idx >= histBuckets {
+		return histBuckets
+	}
+	return idx
+}
+
+// bucketBound returns bucket i's upper bound (the overflow bucket has
+// none and must be rendered as +Inf).
+func bucketBound(i int) time.Duration {
+	return time.Duration(1) << (histMinShift + i)
+}
+
+// Observe records one duration. Negative durations (possible under a
+// test's fake clock) count into the first bucket.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketOf(d)].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total of all observed durations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNs.Load()) }
+
+// Quantile estimates the q-quantile (0..1) of the observed durations by
+// linear interpolation within the containing bucket — the resolution is
+// the log2 bucket width, which is what percentile reporting over a
+// latency distribution needs. Returns 0 with no observations; the
+// overflow bucket reports its lower bound.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	var counts [histBuckets + 1]uint64
+	var total uint64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(total)
+	cum := 0.0
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= target {
+			if i >= histBuckets {
+				return bucketBound(histBuckets - 1)
+			}
+			lo := time.Duration(0)
+			if i > 0 {
+				lo = bucketBound(i - 1)
+			}
+			hi := bucketBound(i)
+			frac := (target - cum) / float64(c)
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+		cum = next
+	}
+	return bucketBound(histBuckets - 1)
+}
+
+// WriteProm renders the histogram as one Prometheus histogram label
+// set: cumulative name_bucket{le="..."} series ending at le="+Inf",
+// then name_sum (seconds) and name_count. labels, when non-empty (e.g.
+// `path="/v1/jobs"`), is merged into every series' label set. The
+// `# TYPE name histogram` header is the caller's to write — it belongs
+// to the family, not to one label set.
+func (h *Histogram) WriteProm(w io.Writer, name, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	cum := uint64(0)
+	for i := 0; i <= histBuckets; i++ {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < histBuckets {
+			le = strconv.FormatFloat(bucketBound(i).Seconds(), 'g', -1, 64)
+		}
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, le, cum)
+	}
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, suffix, h.Sum().Seconds())
+	// _count repeats the +Inf bucket's accumulated value rather than
+	// re-loading the count atomic: a concurrent Observe between the two
+	// loads must not break the count == bucket{le="+Inf"} invariant the
+	// exposition lint enforces.
+	fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, cum)
+}

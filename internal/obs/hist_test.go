@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{-5, 0},
+		{0, 0},
+		{1, 0},
+		{1024, 0}, // exactly the first bound
+		{1025, 1}, // just past it
+		{2048, 1},
+		{2049, 2},
+		{1 << 36, histBuckets - 1},
+		{1<<36 + 1, histBuckets}, // overflow
+		{time.Hour, histBuckets},
+	}
+	for _, c := range cases {
+		d := c.d
+		if d < 0 {
+			d = 0
+		}
+		if got := bucketOf(d); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestHistogramCountSum(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(-time.Second) // clamped to 0
+	if got := h.Count(); got != 3 {
+		t.Fatalf("Count = %d, want 3", got)
+	}
+	if got := h.Sum(); got != 3*time.Millisecond {
+		t.Fatalf("Sum = %v, want 3ms", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty Quantile = %v, want 0", got)
+	}
+	// 100 observations in the 512µs–1.048ms bucket.
+	for range 100 {
+		h.Observe(700 * time.Microsecond)
+	}
+	q := h.Quantile(0.5)
+	lo, hi := 524288*time.Nanosecond, 1048576*time.Nanosecond
+	if q < lo || q > hi {
+		t.Fatalf("Quantile(0.5) = %v, want within (%v, %v]", q, lo, hi)
+	}
+	// Overflow observations report the last finite bound.
+	var o Histogram
+	o.Observe(10 * time.Minute)
+	if got, want := o.Quantile(0.99), bucketBound(histBuckets-1); got != want {
+		t.Fatalf("overflow Quantile = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramQuantileOrdering(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * 100 * time.Microsecond)
+	}
+	p50, p90, p99 := h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99)
+	if !(p50 <= p90 && p90 <= p99) {
+		t.Fatalf("quantiles out of order: p50=%v p90=%v p99=%v", p50, p90, p99)
+	}
+	// With uniform 0.1ms..100ms data the median is ~50ms; log2 buckets
+	// give coarse resolution, so allow the containing bucket's span.
+	if p50 < 30*time.Millisecond || p50 > 80*time.Millisecond {
+		t.Fatalf("p50 = %v, want ~50ms within log2 bucket resolution", p50)
+	}
+}
+
+func TestObserveNoAlloc(t *testing.T) {
+	var h Histogram
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(42 * time.Microsecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestWritePromLintsClean(t *testing.T) {
+	var h, h2 Histogram
+	for i := range 50 {
+		h.Observe(time.Duration(i) * time.Millisecond)
+		h2.Observe(time.Duration(i) * 10 * time.Microsecond)
+	}
+	h.Observe(time.Hour) // force the overflow bucket into play
+	var sb strings.Builder
+	sb.WriteString("# TYPE test_latency_seconds histogram\n")
+	h.WriteProm(&sb, "test_latency_seconds", `path="/v1/jobs"`)
+	h2.WriteProm(&sb, "test_latency_seconds", `path="/v1/savings"`)
+	if errs := LintExposition(strings.NewReader(sb.String())); len(errs) > 0 {
+		t.Fatalf("lint errors on WriteProm output:\n%v\nexposition:\n%s", errs, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, `le="+Inf"`) {
+		t.Fatalf("missing +Inf bucket:\n%s", out)
+	}
+	if !strings.Contains(out, `test_latency_seconds_count{path="/v1/jobs"} 51`) {
+		t.Fatalf("missing or wrong _count:\n%s", out)
+	}
+}
+
+func TestBucketBoundsExactFloats(t *testing.T) {
+	// Power-of-two nanosecond bounds must render as exact shortest
+	// floats that parse back to the same value, so the le labels are
+	// stable across Go versions.
+	for i := range histBuckets {
+		s := bucketBound(i).Seconds()
+		if s <= 0 || math.IsInf(s, 0) {
+			t.Fatalf("bucket %d bound %v not positive finite", i, s)
+		}
+		if i > 0 && bucketBound(i) != 2*bucketBound(i-1) {
+			t.Fatalf("bucket %d bound %v not 2x previous", i, bucketBound(i))
+		}
+	}
+}

@@ -1,0 +1,334 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintExposition parses a full Prometheus text-exposition scrape and
+// returns every violation found, so the /metrics handler can be kept
+// honest by a test instead of by review. It enforces:
+//
+//   - every line is a comment, blank, or a well-formed sample
+//     `name{labels} value`
+//   - metric and label names match the Prometheus grammar
+//   - no duplicate series (same name + same label set twice)
+//   - every series belongs to a family declared by a `# TYPE` line
+//     (histogram families own their _bucket/_sum/_count suffixes)
+//   - counter family names end in `_total`
+//   - each histogram label set has ascending, cumulative `le` buckets
+//     ending at `+Inf`, with _count equal to the +Inf bucket
+//
+// A nil return means the scrape is clean.
+func LintExposition(r io.Reader) []error {
+	var errs []error
+	addf := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+
+	types := map[string]string{} // family name -> type
+	// series key (name + canonical labels) -> seen
+	seen := map[string]bool{}
+	// histogram family -> label-set-sans-le -> buckets/sum/count
+	type histSet struct {
+		les    []float64
+		counts []uint64
+		sum    *float64
+		count  *uint64
+	}
+	hists := map[string]map[string]*histSet{}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					addf("line %d: malformed TYPE comment: %q", lineNo, line)
+					continue
+				}
+				name, typ := fields[2], fields[3]
+				if !validMetricName(name) {
+					addf("line %d: TYPE declares invalid metric name %q", lineNo, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					addf("line %d: unknown metric type %q", lineNo, typ)
+				}
+				if prev, ok := types[name]; ok && prev != typ {
+					addf("line %d: family %q re-declared as %s (was %s)", lineNo, name, typ, prev)
+				}
+				types[name] = typ
+				if typ == "counter" && !strings.HasSuffix(name, "_total") {
+					addf("line %d: counter %q does not end in _total", lineNo, name)
+				}
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			addf("line %d: %v", lineNo, err)
+			continue
+		}
+		if !validMetricName(name) {
+			addf("line %d: invalid metric name %q", lineNo, name)
+		}
+		for _, l := range labels {
+			if !validLabelName(l.key) {
+				addf("line %d: invalid label name %q", lineNo, l.key)
+			}
+		}
+		key := name + "{" + canonLabels(labels) + "}"
+		if seen[key] {
+			addf("line %d: duplicate series %s", lineNo, key)
+		}
+		seen[key] = true
+
+		family, suffix := familyOf(name, types)
+		if family == "" {
+			addf("line %d: series %q has no # TYPE declaration", lineNo, name)
+			continue
+		}
+		if types[family] == "histogram" {
+			hs := hists[family]
+			if hs == nil {
+				hs = map[string]*histSet{}
+				hists[family] = hs
+			}
+			rest, le, hasLE := splitLE(labels)
+			set := hs[rest]
+			if set == nil {
+				set = &histSet{}
+				hs[rest] = set
+			}
+			switch suffix {
+			case "_bucket":
+				if !hasLE {
+					addf("line %d: histogram bucket %q missing le label", lineNo, name)
+					continue
+				}
+				f, err := parseLE(le)
+				if err != nil {
+					addf("line %d: bad le value %q: %v", lineNo, le, err)
+					continue
+				}
+				set.les = append(set.les, f)
+				set.counts = append(set.counts, uint64(value))
+			case "_sum":
+				v := value
+				set.sum = &v
+			case "_count":
+				c := uint64(value)
+				set.count = &c
+			default:
+				addf("line %d: series %q under histogram family %q has no histogram suffix", lineNo, name, family)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		addf("scan: %v", err)
+	}
+
+	// Cross-line histogram shape checks.
+	for family, sets := range hists {
+		for rest, set := range sets {
+			at := family
+			if rest != "" {
+				at = family + "{" + rest + "}"
+			}
+			if len(set.les) == 0 {
+				addf("histogram %s: no _bucket series", at)
+				continue
+			}
+			for i := 1; i < len(set.les); i++ {
+				if !(set.les[i] > set.les[i-1]) {
+					addf("histogram %s: le values not ascending", at)
+					break
+				}
+				if set.counts[i] < set.counts[i-1] {
+					addf("histogram %s: buckets not cumulative", at)
+					break
+				}
+			}
+			last := set.les[len(set.les)-1]
+			if !isInf(last) {
+				addf("histogram %s: last bucket le=%v, want +Inf", at, last)
+			}
+			if set.count == nil {
+				addf("histogram %s: missing _count", at)
+			} else if isInf(last) && *set.count != set.counts[len(set.counts)-1] {
+				addf("histogram %s: _count %d != +Inf bucket %d", at, *set.count, set.counts[len(set.counts)-1])
+			}
+			if set.sum == nil {
+				addf("histogram %s: missing _sum", at)
+			}
+		}
+	}
+	return errs
+}
+
+type label struct{ key, val string }
+
+// parseSample parses `name{labels} value [timestamp]`.
+func parseSample(line string) (name string, labels []label, value float64, err error) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample: %q", line)
+	}
+	name = rest[:i]
+	if rest[i] == '{' {
+		rest = rest[i+1:]
+		for {
+			rest = strings.TrimLeft(rest, " \t")
+			if strings.HasPrefix(rest, "}") {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.Index(rest, "=")
+			if eq < 0 {
+				return "", nil, 0, fmt.Errorf("malformed labels: %q", line)
+			}
+			k := strings.TrimSpace(rest[:eq])
+			rest = rest[eq+1:]
+			if !strings.HasPrefix(rest, `"`) {
+				return "", nil, 0, fmt.Errorf("unquoted label value: %q", line)
+			}
+			// Find the closing quote, honoring escapes.
+			j := 1
+			for j < len(rest) {
+				if rest[j] == '\\' {
+					j += 2
+					continue
+				}
+				if rest[j] == '"' {
+					break
+				}
+				j++
+			}
+			if j >= len(rest) {
+				return "", nil, 0, fmt.Errorf("unterminated label value: %q", line)
+			}
+			v, uerr := strconv.Unquote(rest[:j+1])
+			if uerr != nil {
+				return "", nil, 0, fmt.Errorf("bad label value in %q: %v", line, uerr)
+			}
+			labels = append(labels, label{k, v})
+			rest = rest[j+1:]
+			rest = strings.TrimLeft(rest, " \t")
+			if strings.HasPrefix(rest, ",") {
+				rest = rest[1:]
+			}
+		}
+	} else {
+		rest = rest[i:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("malformed sample value: %q", line)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad sample value %q: %v", fields[0], err)
+	}
+	return name, labels, value, nil
+}
+
+func canonLabels(labels []label) string {
+	ls := make([]string, len(labels))
+	for i, l := range labels {
+		ls[i] = l.key + "=" + strconv.Quote(l.val)
+	}
+	sort.Strings(ls)
+	return strings.Join(ls, ",")
+}
+
+// splitLE removes the le label, returning the canonical remainder.
+func splitLE(labels []label) (rest string, le string, ok bool) {
+	var others []label
+	for _, l := range labels {
+		if l.key == "le" {
+			le, ok = l.val, true
+			continue
+		}
+		others = append(others, l)
+	}
+	return canonLabels(others), le, ok
+}
+
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func isInf(f float64) bool { return math.IsInf(f, 1) }
+
+// familyOf resolves a sample name to its declared family: an exact TYPE
+// match, or a histogram/summary family owning the suffixed series.
+func familyOf(name string, types map[string]string) (family, suffix string) {
+	if _, ok := types[name]; ok {
+		return name, ""
+	}
+	for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, sfx)
+		if !ok {
+			continue
+		}
+		if t, ok := types[base]; ok && (t == "histogram" || t == "summary") {
+			return base, sfx
+		}
+	}
+	return "", ""
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func lint(s string) []error { return LintExposition(strings.NewReader(s)) }
+
+func wantErr(t *testing.T, errs []error, substr string) {
+	t.Helper()
+	for _, e := range errs {
+		if strings.Contains(e.Error(), substr) {
+			return
+		}
+	}
+	t.Fatalf("no lint error containing %q in %v", substr, errs)
+}
+
+func TestLintCleanExposition(t *testing.T) {
+	in := `# HELP up whatever
+# TYPE qosrmd_jobs_submitted_total counter
+qosrmd_jobs_submitted_total 42
+# TYPE qosrmd_jobs_queued gauge
+qosrmd_jobs_queued 3
+# TYPE qosrmd_http_request_duration_seconds histogram
+qosrmd_http_request_duration_seconds_bucket{path="/v1/jobs",le="0.001"} 1
+qosrmd_http_request_duration_seconds_bucket{path="/v1/jobs",le="+Inf"} 2
+qosrmd_http_request_duration_seconds_sum{path="/v1/jobs"} 0.5
+qosrmd_http_request_duration_seconds_count{path="/v1/jobs"} 2
+`
+	if errs := lint(in); len(errs) > 0 {
+		t.Fatalf("clean exposition flagged: %v", errs)
+	}
+}
+
+func TestLintDuplicateSeries(t *testing.T) {
+	in := `# TYPE x_total counter
+x_total 1
+x_total 2
+`
+	wantErr(t, lint(in), "duplicate series")
+}
+
+func TestLintDuplicateDetectsLabelPermutation(t *testing.T) {
+	in := `# TYPE x gauge
+x{a="1",b="2"} 1
+x{b="2",a="1"} 2
+`
+	wantErr(t, lint(in), "duplicate series")
+}
+
+func TestLintCounterMustEndTotal(t *testing.T) {
+	in := `# TYPE x_requests counter
+x_requests 1
+`
+	wantErr(t, lint(in), "does not end in _total")
+}
+
+func TestLintUndeclaredSeries(t *testing.T) {
+	wantErr(t, lint("mystery_metric 7\n"), "no # TYPE declaration")
+}
+
+func TestLintInvalidName(t *testing.T) {
+	wantErr(t, lint("2bad_name 1\n"), "invalid metric name")
+}
+
+func TestLintHistogramShape(t *testing.T) {
+	// Missing +Inf.
+	in := `# TYPE h histogram
+h_bucket{le="0.1"} 1
+h_sum 0.1
+h_count 1
+`
+	wantErr(t, lint(in), "want +Inf")
+
+	// Non-cumulative buckets.
+	in = `# TYPE h histogram
+h_bucket{le="0.1"} 5
+h_bucket{le="+Inf"} 3
+h_sum 0.1
+h_count 3
+`
+	wantErr(t, lint(in), "not cumulative")
+
+	// _count disagreeing with +Inf.
+	in = `# TYPE h histogram
+h_bucket{le="+Inf"} 3
+h_sum 0.1
+h_count 4
+`
+	wantErr(t, lint(in), "_count 4 != +Inf bucket 3")
+
+	// Missing _sum.
+	in = `# TYPE h histogram
+h_bucket{le="+Inf"} 3
+h_count 3
+`
+	wantErr(t, lint(in), "missing _sum")
+}
+
+func TestLintMalformedSample(t *testing.T) {
+	in := `# TYPE x gauge
+x{a="unclosed} 1
+`
+	errs := lint(in)
+	if len(errs) == 0 {
+		t.Fatal("malformed label not flagged")
+	}
+}
+
+func TestLintEscapedLabelValues(t *testing.T) {
+	in := "# TYPE x gauge\n" +
+		`x{msg="say \"hi\", ok"} 1` + "\n"
+	if errs := lint(in); len(errs) > 0 {
+		t.Fatalf("escaped label value flagged: %v", errs)
+	}
+}

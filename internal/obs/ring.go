@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"sync"
+)
+
+// Event is one traced simulation interval event as captured for
+// streaming: the flattened sim.Event fields plus which spec of the job
+// emitted it. The flattening keeps this package a leaf (no sim import)
+// and gives the wire format plain fields.
+type Event struct {
+	// Spec and Name identify the scenario within the job's batch.
+	Spec int
+	Name string
+	// The interval-boundary snapshot, as in sim.Event.
+	TimeNs   float64
+	Core     int
+	Bench    string
+	Interval int64
+	Phase    int
+	Freq     int
+	Ways     int
+	// Allocations is every core's LLC way allocation at this instant.
+	// Ring slots own their backing arrays; Read deep-copies into the
+	// caller's, so neither side aliases the other.
+	Allocations []int
+}
+
+// Terminal frame kinds; the zero Terminal has Kind "".
+const (
+	// TerminalDone: every scenario of the job completed successfully.
+	TerminalDone = "done"
+	// TerminalFailed: the job finished with at least one scenario error.
+	TerminalFailed = "failed"
+	// TerminalExpired: the job's TTL expired. A stream can only observe
+	// this for a job the GC dropped unfinished-by-terminal; finished
+	// jobs close done/failed first and Close is first-writer-wins.
+	TerminalExpired = "expired"
+)
+
+// Terminal is the frame that ends a stream.
+type Terminal struct {
+	Kind string
+	// Err carries the job's joined error text for TerminalFailed.
+	Err string
+}
+
+// Ring is a bounded producer/multi-consumer event buffer with
+// overwrite-oldest semantics: Publish never blocks and never waits for
+// consumers — a stalled subscriber loses the oldest events and observes
+// exactly how many through its Cursor's Dropped counter. Memory is
+// bounded by the capacity, slot backing arrays are reused, and the
+// wakeup channel is allocated by waiting readers rather than the
+// producer — so steady-state publishing allocates nothing, whether or
+// not anyone is listening. All methods are concurrency-safe (publishes
+// may also race each other).
+type Ring struct {
+	mu  sync.Mutex
+	buf []Event
+	// seq is the sequence number the next published event gets; the
+	// buffer holds sequences [low, seq) where low = max(0, seq-len(buf)).
+	seq  uint64
+	term *Terminal
+	// notify is non-nil only while at least one reader waits; Publish
+	// and Close close it to wake them all.
+	notify chan struct{}
+}
+
+// NewRing returns a ring holding the most recent capacity events
+// (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}
+}
+
+// copyEvent copies src into dst, reusing dst's Allocations backing.
+func copyEvent(dst *Event, src *Event) {
+	alloc := dst.Allocations
+	*dst = *src
+	dst.Allocations = append(alloc[:0], src.Allocations...)
+}
+
+// wake flips the waiters' channel under the held lock.
+func (r *Ring) wake() {
+	if r.notify != nil {
+		close(r.notify)
+		r.notify = nil
+	}
+}
+
+// Publish appends one event, overwriting the oldest when full. It never
+// blocks on consumers; after Close it is a no-op (a retried scenario of
+// an otherwise-finished job must not resurrect a closed stream).
+func (r *Ring) Publish(ev *Event) {
+	r.mu.Lock()
+	if r.term != nil {
+		r.mu.Unlock()
+		return
+	}
+	if len(r.buf) < cap(r.buf) {
+		r.buf = r.buf[:len(r.buf)+1]
+	}
+	copyEvent(&r.buf[int(r.seq)%cap(r.buf)], ev)
+	r.seq++
+	r.wake()
+	r.mu.Unlock()
+}
+
+// Close publishes the terminal frame and wakes every waiter. The first
+// terminal wins; later Close calls are no-ops — the TTL GC can safely
+// close a ring that job completion already closed.
+func (r *Ring) Close(t Terminal) {
+	r.mu.Lock()
+	if r.term == nil {
+		r.term = &t
+		r.wake()
+	}
+	r.mu.Unlock()
+}
+
+// Closed reports whether a terminal frame has been published.
+func (r *Ring) Closed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.term != nil
+}
+
+// Cursor is one subscriber's read position. The zero value starts at
+// the oldest buffered event. Dropped accumulates the events this
+// subscriber lost to ring overwrites — the explicit signal that it was
+// too slow for the producer.
+type Cursor struct {
+	next    uint64
+	Dropped uint64
+}
+
+// Seq returns the sequence number of the next event the cursor will
+// read (equivalently: how many events were published before it).
+func (c *Cursor) Seq() uint64 { return c.next }
+
+// Read copies pending events into dst (deep copies — dst slots reuse
+// their own Allocations backing) and advances the cursor, charging any
+// overwritten-unread events to Dropped. It returns how many events were
+// copied and, once the ring is closed AND drained, the terminal frame.
+// When both are empty (nothing pending, not closed) it instead returns
+// a wait channel that the next Publish or Close closes — the caller
+// selects on it against its own cancellation. Read never blocks.
+func (r *Ring) Read(c *Cursor, dst []Event) (n int, term *Terminal, wait <-chan struct{}) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	low := uint64(0)
+	if r.seq > uint64(len(r.buf)) {
+		low = r.seq - uint64(len(r.buf))
+	}
+	if c.next < low {
+		c.Dropped += low - c.next
+		c.next = low
+	}
+	for n < len(dst) && c.next < r.seq {
+		copyEvent(&dst[n], &r.buf[int(c.next)%cap(r.buf)])
+		n++
+		c.next++
+	}
+	if n > 0 {
+		return n, nil, nil
+	}
+	if r.term != nil {
+		return 0, r.term, nil
+	}
+	if r.notify == nil {
+		r.notify = make(chan struct{})
+	}
+	return 0, nil, r.notify
+}

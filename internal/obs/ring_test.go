@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func ev(i int) *Event {
+	return &Event{Spec: 0, Name: "s", Interval: int64(i), Allocations: []int{i, i + 1}}
+}
+
+func TestRingInOrderDelivery(t *testing.T) {
+	r := NewRing(64)
+	for i := range 10 {
+		r.Publish(ev(i))
+	}
+	r.Close(Terminal{Kind: TerminalDone})
+	var c Cursor
+	buf := make([]Event, 4)
+	var got []Event
+	for {
+		n, term, _ := r.Read(&c, buf)
+		for i := range n {
+			// Deep-copy out: buf slots are reused across Read calls.
+			e := buf[i]
+			e.Allocations = append([]int(nil), e.Allocations...)
+			got = append(got, e)
+		}
+		if term != nil {
+			if term.Kind != TerminalDone {
+				t.Fatalf("terminal = %q, want done", term.Kind)
+			}
+			break
+		}
+	}
+	if len(got) != 10 {
+		t.Fatalf("got %d events, want 10", len(got))
+	}
+	for i, e := range got {
+		if e.Interval != int64(i) || e.Allocations[0] != i {
+			t.Fatalf("event %d out of order: %+v", i, e)
+		}
+	}
+	if c.Dropped != 0 {
+		t.Fatalf("Dropped = %d, want 0", c.Dropped)
+	}
+}
+
+func TestRingOverwriteChargesDropped(t *testing.T) {
+	r := NewRing(4)
+	for i := range 10 {
+		r.Publish(ev(i))
+	}
+	var c Cursor
+	buf := make([]Event, 16)
+	n, _, _ := r.Read(&c, buf)
+	if n != 4 {
+		t.Fatalf("read %d events, want the 4 newest", n)
+	}
+	if c.Dropped != 6 {
+		t.Fatalf("Dropped = %d, want 6", c.Dropped)
+	}
+	for i := range n {
+		if want := int64(6 + i); buf[i].Interval != want {
+			t.Fatalf("event %d = interval %d, want %d", i, buf[i].Interval, want)
+		}
+	}
+}
+
+func TestRingPublishNeverBlocksAndNeverAllocs(t *testing.T) {
+	r := NewRing(8)
+	// A subscriber that never reads must not affect Publish. Warm the
+	// ring past capacity so slot Allocations backings exist, then pin
+	// zero allocations per publish.
+	e := ev(0)
+	for range 16 {
+		r.Publish(e)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Publish(e)
+	})
+	if allocs != 0 {
+		t.Fatalf("Publish allocates %v per run with full ring, want 0", allocs)
+	}
+}
+
+func TestRingWaitWakesOnPublish(t *testing.T) {
+	r := NewRing(8)
+	var c Cursor
+	buf := make([]Event, 4)
+	n, term, wait := r.Read(&c, buf)
+	if n != 0 || term != nil || wait == nil {
+		t.Fatalf("empty read: n=%d term=%v wait=%v", n, term, wait)
+	}
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-wait:
+		case <-time.After(5 * time.Second):
+			t.Error("wait channel never closed")
+		}
+		close(done)
+	}()
+	r.Publish(ev(1))
+	<-done
+	if n, _, _ := r.Read(&c, buf); n != 1 {
+		t.Fatalf("post-wake read n=%d, want 1", n)
+	}
+}
+
+func TestRingWaitWakesOnClose(t *testing.T) {
+	r := NewRing(8)
+	var c Cursor
+	_, _, wait := r.Read(&c, make([]Event, 1))
+	go r.Close(Terminal{Kind: TerminalFailed, Err: "boom"})
+	select {
+	case <-wait:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not wake waiter")
+	}
+	_, term, _ := r.Read(&c, make([]Event, 1))
+	if term == nil || term.Kind != TerminalFailed || term.Err != "boom" {
+		t.Fatalf("terminal = %+v, want failed/boom", term)
+	}
+}
+
+func TestRingCloseFirstWriterWins(t *testing.T) {
+	r := NewRing(4)
+	r.Close(Terminal{Kind: TerminalDone})
+	r.Close(Terminal{Kind: TerminalExpired}) // GC arriving late: no-op
+	var c Cursor
+	_, term, _ := r.Read(&c, make([]Event, 1))
+	if term.Kind != TerminalDone {
+		t.Fatalf("terminal = %q, want done (first writer wins)", term.Kind)
+	}
+	if !r.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+	// Publishing after close is a no-op.
+	r.Publish(ev(9))
+	var c2 Cursor
+	n, _, _ := r.Read(&c2, make([]Event, 4))
+	if n != 0 {
+		t.Fatalf("read %d events published after close, want 0", n)
+	}
+}
+
+func TestRingDeepCopies(t *testing.T) {
+	r := NewRing(4)
+	src := ev(1)
+	r.Publish(src)
+	src.Allocations[0] = 99 // caller mutates after publish
+	var c Cursor
+	buf := make([]Event, 1)
+	r.Read(&c, buf)
+	if buf[0].Allocations[0] != 1 {
+		t.Fatalf("ring aliased the publisher's slice: got %d", buf[0].Allocations[0])
+	}
+	// And the reader's copy is independent of the ring slot.
+	buf[0].Allocations[0] = 77
+	var c2 Cursor
+	buf2 := make([]Event, 1)
+	r.Read(&c2, buf2)
+	if buf2[0].Allocations[0] != 1 {
+		t.Fatalf("reader aliased the ring slot: got %d", buf2[0].Allocations[0])
+	}
+}
+
+func TestRingTwoSubscribersIndependent(t *testing.T) {
+	r := NewRing(16)
+	for i := range 5 {
+		r.Publish(ev(i))
+	}
+	var a, b Cursor
+	bufA := make([]Event, 16)
+	if n, _, _ := r.Read(&a, bufA); n != 5 {
+		t.Fatalf("subscriber A read %d, want 5", n)
+	}
+	for i := range 3 {
+		r.Publish(ev(5 + i))
+	}
+	bufB := make([]Event, 16)
+	if n, _, _ := r.Read(&b, bufB); n != 8 {
+		t.Fatalf("late subscriber B read %d, want all 8 buffered", n)
+	}
+	if n, _, _ := r.Read(&a, bufA); n != 3 {
+		t.Fatalf("subscriber A incremental read %d, want 3", n)
+	}
+}

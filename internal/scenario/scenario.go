@@ -392,6 +392,18 @@ func RunWS(d *db.DB, s *Spec, ws *sim.RunWorkspace) (*Report, error) {
 // in-flight simulations when the client goes away. A nil ctx disables
 // the checks.
 func RunCtx(ctx context.Context, d *db.DB, s *Spec, ws *sim.RunWorkspace) (*Report, error) {
+	return RunTraced(ctx, d, s, ws, nil)
+}
+
+// RunTraced is RunCtx with an interval-event trace attached to the
+// *reported* run — the managed simulation, or the idle run itself when
+// the spec's RM is Idle (that run is then the report). The idle twin of
+// a managed spec is never traced: its events are bookkeeping, not the
+// allocation decisions a subscriber asked to watch. trace receives each
+// sim.Event synchronously on the simulating goroutine; Event.Allocations
+// is only valid during the call (see sim.Event). A nil trace is exactly
+// RunCtx.
+func RunTraced(ctx context.Context, d *db.DB, s *Spec, ws *sim.RunWorkspace, trace func(sim.Event)) (*Report, error) {
 	dyn, cfg, err := s.Compile()
 	if err != nil {
 		return nil, err
@@ -399,6 +411,10 @@ func RunCtx(ctx context.Context, d *db.DB, s *Spec, ws *sim.RunWorkspace) (*Repo
 	kind, _ := ParseRM(s.RM)
 	idleCfg := cfg
 	idleCfg.RM = rm.Idle
+	idleCfg.Trace = nil
+	if kind == rm.Idle {
+		idleCfg.Trace = trace
+	}
 	idle, err := sim.RunDynamicCtx(ctx, d, dyn, idleCfg, ws)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
@@ -406,6 +422,7 @@ func RunCtx(ctx context.Context, d *db.DB, s *Spec, ws *sim.RunWorkspace) (*Repo
 	// An idle-manager spec IS its own twin; don't simulate it twice.
 	r := idle
 	if kind != rm.Idle {
+		cfg.Trace = trace
 		r, err = sim.RunDynamicCtx(ctx, d, dyn, cfg, ws)
 		if err != nil {
 			return nil, fmt.Errorf("scenario %s: %w", s.Name, err)

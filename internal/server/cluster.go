@@ -86,7 +86,9 @@ func (s *Server) exchangeWith(ctx context.Context, addr string) {
 	ctx, cancel := context.WithTimeout(ctx, gossipProbeTimeout)
 	defer cancel()
 	ex := &cluster.Exchange{From: s.cluster.Self(), Members: s.cluster.Snapshot()}
+	t0 := time.Now()
 	resp, err := s.forwarder.client(addr).ExchangeCluster(ctx, ex)
+	s.metrics.gossipExchange.Observe(time.Since(t0))
 	if err != nil {
 		s.cluster.Fail(addr)
 		s.metrics.clusterProbeFailures.Add(1)

@@ -555,7 +555,7 @@ func TestClusterChaosThreeNodes(t *testing.T) {
 			Workers: 2, QueueDepth: 3, JobTTL: time.Hour,
 			JournalPath: n.jnl, NodeID: n.id, Advertise: n.url, Peers: peersOf(i),
 			GossipInterval: 25 * time.Millisecond, SuspectTimeout: 200 * time.Millisecond,
-			transport:      &partitionTransport{node: n.name, ctrl: ctrl},
+			transport: &partitionTransport{node: n.name, ctrl: ctrl},
 		})
 		if err != nil {
 			t.Fatal(err)

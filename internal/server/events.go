@@ -1,0 +1,119 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+
+	"qosrm/internal/api"
+	"qosrm/internal/obs"
+)
+
+// eventBatch is how many ring events one Read drains before flushing —
+// large enough to amortise flushes under a fast producer, small enough
+// that a live dashboard sees frames promptly.
+const eventBatch = 32
+
+// handleJobEvents streams a job's interval-boundary events. The default
+// framing is NDJSON (one api.JobEvent per line); an Accept header
+// naming text/event-stream switches to SSE ("data: <json>\n\n" frames).
+// The stream replays the buffered tail of the job's ring — for a small
+// sweep that is every event — then follows live publishes until a
+// terminal frame ("done", "failed" or "expired") ends it, the client
+// disconnects, or the server shuts down. A subscriber slower than the
+// engine loses the oldest events, never slows the simulation: the
+// frames' cumulative dropped field says exactly how many.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	setLogJob(r.Context(), id)
+	j := s.jobByID(id)
+	if j == nil {
+		s.fail(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		s.fail(w, http.StatusInternalServerError, "streaming unsupported by connection")
+		return
+	}
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	var cur obs.Cursor
+	buf := make([]obs.Event, eventBatch)
+	var frame api.JobEvent
+	for {
+		n, term, wait := j.events.Read(&cur, buf)
+		for i := range n {
+			e := &buf[i]
+			frame = api.JobEvent{
+				Type:        api.JobEventInterval,
+				Seq:         cur.Seq() - uint64(n-i),
+				Dropped:     cur.Dropped,
+				Spec:        e.Spec,
+				Name:        e.Name,
+				TimeNs:      e.TimeNs,
+				Core:        e.Core,
+				Bench:       e.Bench,
+				Interval:    e.Interval,
+				Phase:       e.Phase,
+				Freq:        e.Freq,
+				Ways:        e.Ways,
+				Allocations: e.Allocations,
+			}
+			if !writeFrame(w, sse, &frame) {
+				return
+			}
+		}
+		if n > 0 {
+			fl.Flush()
+			continue
+		}
+		if term != nil {
+			frame = api.JobEvent{Type: term.Kind, Seq: cur.Seq(), Dropped: cur.Dropped, Error: term.Err}
+			writeFrame(w, sse, &frame)
+			fl.Flush()
+			return
+		}
+		select {
+		case <-wait:
+		case <-r.Context().Done():
+			// Client went away mid-stream; nothing more to send. (The
+			// sync handlers' 499 path needs a status — here one was
+			// already written, so the stream just ends.)
+			return
+		case <-s.ctx.Done():
+			return
+		}
+	}
+}
+
+// writeFrame writes one stream frame in the negotiated framing,
+// reporting false once the connection is gone.
+func writeFrame(w http.ResponseWriter, sse bool, fr *api.JobEvent) bool {
+	b, err := json.Marshal(fr)
+	if err != nil {
+		return false
+	}
+	if sse {
+		if _, err := w.Write([]byte("data: ")); err != nil {
+			return false
+		}
+	}
+	if _, err := w.Write(b); err != nil {
+		return false
+	}
+	suffix := "\n"
+	if sse {
+		suffix = "\n\n"
+	}
+	_, err = w.Write([]byte(suffix))
+	return err == nil
+}

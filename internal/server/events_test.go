@@ -1,0 +1,449 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"reflect"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"qosrm/internal/api"
+	"qosrm/internal/faultinject"
+	"qosrm/internal/obs"
+	"qosrm/internal/scenario"
+	"qosrm/internal/sim"
+)
+
+// traceEvents runs spec in-process with a capturing trace and returns
+// the exact interval-event sequence the engine emits. The engine is
+// deterministic, so this is the ground truth a streamed job must match.
+func traceEvents(t *testing.T, spec scenario.Spec) []sim.Event {
+	t.Helper()
+	var ws sim.RunWorkspace
+	var events []sim.Event
+	_, err := scenario.RunTraced(context.Background(), sharedDB(t), &spec, &ws, func(e sim.Event) {
+		e.Allocations = append([]int(nil), e.Allocations...)
+		events = append(events, e)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("spec produced no interval events; the stream tests need a non-trivial scenario")
+	}
+	return events
+}
+
+// readStream consumes a job's event stream until its terminal frame and
+// returns every frame in order.
+func readStream(t *testing.T, url string) []api.JobEvent {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("stream status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream Content-Type %q, want application/x-ndjson", ct)
+	}
+	var frames []api.JobEvent
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		var fr api.JobEvent
+		if err := json.Unmarshal(sc.Bytes(), &fr); err != nil {
+			t.Fatalf("bad frame %q: %v", sc.Text(), err)
+		}
+		frames = append(frames, fr)
+		if fr.Type != api.JobEventInterval {
+			return frames
+		}
+	}
+	t.Fatalf("stream ended without a terminal frame (%d frames, scan err %v)", len(frames), sc.Err())
+	return nil
+}
+
+// TestJobEventsFastConsumer is the fidelity half of the streaming
+// contract: with a ring large enough for the whole sweep, a subscriber
+// receives every interval event of the job, in order, with sequential
+// seq numbers, zero drops, and field-for-field equal to what an
+// in-process traced run of the same spec emits — then a clean "done"
+// terminal frame.
+func TestJobEventsFastConsumer(t *testing.T) {
+	spec := testSpec("events-fast")
+	want := traceEvents(t, spec)
+	_, ts := newTestServer(t, Options{Workers: 1, EventBuffer: len(want) + 8})
+
+	var st JobStatus
+	code, raw := postJSON(t, ts.URL+"/v1/jobs", JobRequest{Specs: []scenario.Spec{spec}}, &st)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", code, raw)
+	}
+	frames := readStream(t, ts.URL+"/v1/jobs/"+st.ID+"/events")
+
+	last := frames[len(frames)-1]
+	if last.Type != api.JobEventDone || last.Error != "" {
+		t.Fatalf("terminal frame %+v, want done", last)
+	}
+	intervals := frames[:len(frames)-1]
+	if len(intervals) != len(want) {
+		t.Fatalf("streamed %d interval events, in-process trace has %d", len(intervals), len(want))
+	}
+	for i, fr := range intervals {
+		w := want[i]
+		if fr.Dropped != 0 {
+			t.Fatalf("frame %d: dropped %d with an oversized ring", i, fr.Dropped)
+		}
+		if fr.Seq != uint64(i) {
+			t.Fatalf("frame %d: seq %d, want %d", i, fr.Seq, i)
+		}
+		if fr.Spec != 0 || fr.Name != spec.Name {
+			t.Fatalf("frame %d tagged (%d, %q), want (0, %q)", i, fr.Spec, fr.Name, spec.Name)
+		}
+		if fr.TimeNs != w.TimeNs || fr.Core != w.Core || fr.Bench != w.Bench ||
+			fr.Interval != w.Interval || fr.Phase != w.Phase ||
+			fr.Freq != w.Setting.Freq || fr.Ways != w.Setting.Ways ||
+			!reflect.DeepEqual(fr.Allocations, w.Allocations) {
+			t.Fatalf("frame %d differs from in-process trace:\n got %+v\nwant %+v", i, fr, w)
+		}
+	}
+	if last.Seq != uint64(len(want)) {
+		t.Fatalf("terminal seq %d, want %d", last.Seq, len(want))
+	}
+}
+
+// TestJobEventsSSE pins the negotiated framing: an Accept header naming
+// text/event-stream switches the same frames to "data: <json>\n\n".
+func TestJobEventsSSE(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	id := submitAndWait(t, ts.URL, "events-sse")
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("SSE Content-Type %q", ct)
+	}
+	var intervals int
+	var terminal *api.JobEvent
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		data, ok := strings.CutPrefix(line, "data: ")
+		if !ok {
+			t.Fatalf("SSE line without data prefix: %q", line)
+		}
+		var fr api.JobEvent
+		if err := json.Unmarshal([]byte(data), &fr); err != nil {
+			t.Fatalf("bad SSE frame %q: %v", data, err)
+		}
+		if fr.Type == api.JobEventInterval {
+			intervals++
+			continue
+		}
+		terminal = &fr
+		break
+	}
+	if terminal == nil || terminal.Type != api.JobEventDone {
+		t.Fatalf("no done terminal over SSE (got %+v after %d intervals)", terminal, intervals)
+	}
+	if intervals == 0 {
+		t.Fatal("no interval frames over SSE")
+	}
+}
+
+// TestJobEventsLateSubscriberSeesDropped is the overrun half of the
+// streaming contract: the job ran to completion against a 2-slot ring
+// with nobody reading — the engine is never blocked by subscribers,
+// stalled or absent — and a subscriber arriving afterwards gets exactly
+// the 2 surviving events with the overwritten count in dropped.
+func TestJobEventsLateSubscriberSeesDropped(t *testing.T) {
+	spec := testSpec("events-dropped")
+	want := traceEvents(t, spec)
+	if len(want) <= 2 {
+		t.Fatalf("spec emits %d events, need > 2 to overrun the ring", len(want))
+	}
+	_, ts := newTestServer(t, Options{Workers: 1, EventBuffer: 2})
+	id := submitAndWait(t, ts.URL, spec.Name)
+
+	frames := readStream(t, ts.URL+"/v1/jobs/"+id+"/events")
+	if len(frames) != 3 {
+		t.Fatalf("late subscriber got %d frames, want 2 intervals + terminal", len(frames))
+	}
+	lost := uint64(len(want) - 2)
+	for i, fr := range frames[:2] {
+		if fr.Dropped != lost || fr.Seq != lost+uint64(i) {
+			t.Fatalf("frame %d: seq %d dropped %d, want seq %d dropped %d",
+				i, fr.Seq, fr.Dropped, lost+uint64(i), lost)
+		}
+	}
+	if term := frames[2]; term.Type != api.JobEventDone || term.Dropped != lost {
+		t.Fatalf("terminal %+v, want done with dropped %d", term, lost)
+	}
+}
+
+// TestJobEventsStalledConsumer holds a live stream open without reading
+// a byte while the job runs. The publisher must never block on it: the
+// job completes within the usual deadline, and the stream still ends
+// with a terminal frame once the consumer finally drains it.
+func TestJobEventsStalledConsumer(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, EventBuffer: 2})
+
+	var st JobStatus
+	code, raw := postJSON(t, ts.URL+"/v1/jobs", JobRequest{Specs: []scenario.Spec{testSpec("events-stall")}}, &st)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", code, raw)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// Stall: no reads from resp.Body while the job runs to completion.
+	deadline := time.Now().Add(2 * time.Minute)
+	for st.State != JobDone && st.State != JobFailed {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s with a stalled subscriber", st.ID, st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+		if code := getJSON(t, ts.URL+"/v1/jobs/"+st.ID, &st); code != http.StatusOK {
+			t.Fatalf("poll status %d", code)
+		}
+	}
+	if st.State != JobDone {
+		t.Fatalf("job failed under a stalled subscriber: %+v", st)
+	}
+
+	// Drain: the stream must still terminate cleanly.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	var last api.JobEvent
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatalf("bad frame %q: %v", sc.Text(), err)
+		}
+		if last.Type != api.JobEventInterval {
+			break
+		}
+	}
+	if last.Type != api.JobEventDone {
+		t.Fatalf("stalled stream ended with %+v, want done terminal", last)
+	}
+}
+
+// TestJobEventsTerminalFailed: a job whose scenario errors (retries
+// disabled) closes its stream with a "failed" terminal carrying the
+// error text.
+func TestJobEventsTerminalFailed(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	if err := faultinject.Enable("server.worker", "error*1"); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Options{Workers: 1, JobRetries: -1})
+
+	var st JobStatus
+	code, raw := postJSON(t, ts.URL+"/v1/jobs", JobRequest{Specs: []scenario.Spec{testSpec("events-fail")}}, &st)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", code, raw)
+	}
+	frames := readStream(t, ts.URL+"/v1/jobs/"+st.ID+"/events")
+	last := frames[len(frames)-1]
+	if last.Type != api.JobEventFailed || last.Error == "" {
+		t.Fatalf("terminal %+v, want failed with error text", last)
+	}
+}
+
+// TestJobEventsExpiredJob: once the TTL GC collects a finished job, its
+// event stream 404s like every other job endpoint.
+func TestJobEventsExpiredJob(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	srv, ts := newTestServer(t, Options{Workers: 1, JobTTL: time.Hour, clock: clock.now})
+	id := submitAndWait(t, ts.URL, "events-ttl")
+
+	clock.advance(2 * time.Hour)
+	if n := srv.gcFinishedJobs(clock.now()); n != 1 {
+		t.Fatalf("expired %d jobs, want 1", n)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("expired job stream status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestJobEventsClientDisconnect: cancelling the request mid-stream ends
+// the handler. The job here never finishes (it is fabricated and never
+// queued), so only the client's departure can end the stream — if the
+// handler leaked, the test server's Cleanup would hang on outstanding
+// requests and the test would time out.
+func TestJobEventsClientDisconnect(t *testing.T) {
+	srv, ts := newTestServer(t, Options{Workers: 1})
+	j := srv.newJob("stuck", "", []scenario.Spec{testSpec("events-stuck")}, time.Unix(1_700_000_000, 0))
+	srv.mu.Lock()
+	srv.jobs[j.id] = j
+	srv.mu.Unlock()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/jobs/stuck/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	cancel()
+	if _, err := io.ReadAll(resp.Body); err == nil {
+		t.Fatal("read survived a cancelled request")
+	}
+
+	if code := getJSON(t, ts.URL+"/v1/jobs/nosuch/events", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job stream status %d, want 404", code)
+	}
+}
+
+// TestTracePathZeroAlloc pins the no-subscriber hot path: after the
+// ring's slots have been written once, forwarding an engine event into
+// the ring — the per-interval work a traced job adds — allocates
+// nothing. The server here has the default discard logger, matching the
+// acceptance condition that tracing with default logging is free of
+// per-event garbage.
+func TestTracePathZeroAlloc(t *testing.T) {
+	srv, _ := newTestServer(t, Options{Workers: 1, EventBuffer: 4})
+	j := srv.newJob("pin", "", []scenario.Spec{testSpec("events-pin")}, time.Unix(1_700_000_000, 0))
+
+	ev := sim.Event{TimeNs: 1e6, Core: 1, Bench: "mcf", Interval: 3, Phase: 2, Allocations: []int{12, 8}}
+	for i := 0; i < 8; i++ {
+		j.traces[0](ev) // warm every ring slot's Allocations backing
+	}
+	if allocs := testing.AllocsPerRun(200, func() { j.traces[0](ev) }); allocs != 0 {
+		t.Fatalf("trace publish path allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestRequestIDEchoAndMint: the server echoes a caller-provided
+// X-Qosrm-Request-Id verbatim and mints a 16-hex one when absent.
+func TestRequestIDEchoAndMint(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(api.RequestIDHeader, "req-abc123")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(api.RequestIDHeader); got != "req-abc123" {
+		t.Fatalf("echoed request id %q, want req-abc123", got)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(api.RequestIDHeader); !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(got) {
+		t.Fatalf("minted request id %q, want 16 hex chars", got)
+	}
+}
+
+// TestJobStatusTimeline: a finished job's status carries the full
+// submitted→started→finished timeline in order.
+func TestJobStatusTimeline(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+
+	var st JobStatus
+	code, raw := postJSON(t, ts.URL+"/v1/jobs", JobRequest{Specs: []scenario.Spec{testSpec("timeline")}}, &st)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", code, raw)
+	}
+	if st.SubmittedAt.IsZero() {
+		t.Fatal("202 response missing submitted_at")
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for st.State != JobDone && st.State != JobFailed {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+		if code := getJSON(t, ts.URL+"/v1/jobs/"+st.ID, &st); code != http.StatusOK {
+			t.Fatalf("poll status %d", code)
+		}
+	}
+	if st.SubmittedAt.IsZero() || st.StartedAt.IsZero() || st.FinishedAt.IsZero() {
+		t.Fatalf("incomplete timeline: %+v", st)
+	}
+	if st.StartedAt.Before(st.SubmittedAt) || st.FinishedAt.Before(st.StartedAt) {
+		t.Fatalf("timeline out of order: submitted %v started %v finished %v",
+			st.SubmittedAt, st.StartedAt, st.FinishedAt)
+	}
+}
+
+// TestMetricsExpositionLint scrapes /metrics after exercising the
+// synchronous, job, stream and error paths, and runs the scrape through
+// the exposition linter: every family typed, counters ending _total, no
+// duplicate series, histograms cumulative — plus at least the four
+// histogram families the acceptance criteria name.
+func TestMetricsExpositionLint(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	if code, raw := postJSON(t, ts.URL+"/v1/savings", SavingsRequest{Apps: []string{"mcf"}, RM: "RM1"}, nil); code != http.StatusOK {
+		t.Fatalf("savings status %d: %s", code, raw)
+	}
+	id := submitAndWait(t, ts.URL, "metrics-lint")
+	readStream(t, ts.URL+"/v1/jobs/"+id+"/events")
+	getJSON(t, ts.URL+"/v1/jobs/nosuch", nil) // a 404 so error paths are in the scrape too
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+
+	for _, err := range obs.LintExposition(bytes.NewReader(body)) {
+		t.Errorf("exposition lint: %v", err)
+	}
+	if n := len(regexp.MustCompile(`(?m)^# TYPE \S+ histogram$`).FindAll(body, -1)); n < 4 {
+		t.Errorf("%d histogram families exposed, want >= 4:\n%s", n, body)
+	}
+	text := string(body)
+	if !strings.Contains(text, "qosrmd_jobs_forward_failed_total") {
+		t.Error("renamed forward-failure counter missing from /metrics")
+	}
+	if strings.Contains(text, "qosrmd_job_forward_failures_total") {
+		t.Error("old qosrmd_job_forward_failures_total name still exposed")
+	}
+}

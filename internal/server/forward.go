@@ -161,7 +161,9 @@ func (f *forwarder) load(ctx context.Context, base string) (*api.Health, error) 
 	e.inflight = done
 	f.mu.Unlock()
 
+	t0 := time.Now()
 	h, err := f.client(base).Health(ctx)
+	f.s.metrics.peerProbe.Observe(time.Since(t0))
 	if err == nil && h != nil && h.Node != "" {
 		f.s.cluster.Resolve(base, h.Node)
 	}
@@ -274,7 +276,9 @@ func (s *Server) tryForward(ctx context.Context, specs []scenario.Spec, key stri
 		exclude[id] = true
 	}
 	for _, p := range s.forwarder.rank(ctx, exclude) {
+		t0 := time.Now()
 		st, err := s.forwarder.client(p.base).ForwardSweep(ctx, specs, key, next)
+		s.metrics.forwardRTT.Observe(time.Since(t0))
 		if err != nil {
 			continue
 		}

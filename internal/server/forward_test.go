@@ -176,7 +176,7 @@ func TestClusterHopLimitDegradesTo503(t *testing.T) {
 		t.Fatalf("saturated cluster: %d %s, want 503 queue_full", resp.StatusCode, raw)
 	}
 	if got := srvA.metrics.forwardFailed.Load(); got != 1 {
-		t.Fatalf("job_forward_failures_total %d, want 1", got)
+		t.Fatalf("jobs_forward_failed_total %d, want 1", got)
 	}
 	// B's only peer was already on the trail, so it completed no forward
 	// of its own.

@@ -10,6 +10,7 @@ import (
 
 	"qosrm/internal/faultinject"
 	"qosrm/internal/jobstore"
+	"qosrm/internal/obs"
 	"qosrm/internal/scenario"
 	"qosrm/internal/sim"
 )
@@ -23,14 +24,73 @@ type job struct {
 	key   string
 	specs []scenario.Spec
 
+	// events buffers the job's interval-boundary trace for streaming
+	// subscribers (GET /v1/jobs/{id}/events); traces holds one
+	// pre-built sim trace callback per spec, constructed once at job
+	// creation so the worker's hot path closes over nothing new.
+	events *obs.Ring
+	traces []func(sim.Event)
+	// submittedAt is when this node admitted the job; immutable.
+	submittedAt time.Time
+
 	mu      sync.Mutex
 	started int
 	done    int
 	reports []*scenario.Report
 	errs    []error
-	// finishedAt is the completion instant of the last scenario; the
-	// TTL GC collects the job once it has aged past Options.JobTTL.
+	// startedAt is when a worker first picked up any of the job's
+	// scenarios; finishedAt the completion instant of the last one. The
+	// TTL GC collects the job once finishedAt has aged past
+	// Options.JobTTL.
+	startedAt  time.Time
 	finishedAt time.Time
+}
+
+// newJob builds a job with its event ring and per-spec trace callbacks.
+// Each callback forwards one sim.Event into the ring tagged with its
+// spec; the obs.Event shell is reused per spec (specs run on at most one
+// worker at a time) and Publish deep-copies, so the steady-state trace
+// path allocates nothing.
+func (s *Server) newJob(id, key string, specs []scenario.Spec, submittedAt time.Time) *job {
+	j := &job{
+		id:          id,
+		key:         key,
+		specs:       specs,
+		reports:     make([]*scenario.Report, len(specs)),
+		errs:        make([]error, len(specs)),
+		events:      obs.NewRing(s.opts.EventBuffer),
+		traces:      make([]func(sim.Event), len(specs)),
+		submittedAt: submittedAt,
+	}
+	for i := range specs {
+		shell := &obs.Event{Spec: i, Name: specs[i].Name}
+		j.traces[i] = func(e sim.Event) {
+			shell.TimeNs = e.TimeNs
+			shell.Core = e.Core
+			shell.Bench = e.Bench
+			shell.Interval = e.Interval
+			shell.Phase = e.Phase
+			shell.Freq = e.Setting.Freq
+			shell.Ways = e.Setting.Ways
+			// Aliasing the engine's reused buffer is fine: Publish
+			// deep-copies before returning.
+			shell.Allocations = e.Allocations
+			j.events.Publish(shell)
+		}
+	}
+	return j
+}
+
+// joinErrs joins the non-nil error texts ("" when none). The caller
+// must hold j.mu or otherwise have exclusive access to the slice.
+func joinErrs(errs []error) string {
+	var msgs []string
+	for _, err := range errs {
+		if err != nil {
+			msgs = append(msgs, err.Error())
+		}
+	}
+	return strings.Join(msgs, "; ")
 }
 
 // workItem is one scenario of one job, the unit the worker pool
@@ -46,19 +106,18 @@ type workItem struct {
 func (j *job) status() *JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	st := &JobStatus{ID: j.id, Key: j.key, Total: len(j.specs), Done: j.done}
+	st := &JobStatus{
+		ID: j.id, Key: j.key, Total: len(j.specs), Done: j.done,
+		SubmittedAt: j.submittedAt,
+		StartedAt:   j.startedAt,
+		FinishedAt:  j.finishedAt,
+	}
 	switch {
 	case j.done == len(j.specs):
 		st.State = JobDone
-		var msgs []string
-		for _, err := range j.errs {
-			if err != nil {
-				msgs = append(msgs, err.Error())
-			}
-		}
-		if len(msgs) > 0 {
+		if msg := joinErrs(j.errs); msg != "" {
 			st.State = JobFailed
-			st.Error = strings.Join(msgs, "; ")
+			st.Error = msg
 		}
 		st.Reports = append([]*scenario.Report(nil), j.reports...)
 	case j.started > 0:
@@ -75,13 +134,26 @@ func (j *job) status() *JobStatus {
 // stamps finishedAt exactly once).
 func (j *job) complete(idx int, rep *scenario.Report, err error, now time.Time) bool {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	j.reports[idx] = rep
 	j.errs[idx] = err
 	j.done++
 	finished := j.done == len(j.specs)
 	if finished {
 		j.finishedAt = now
+	}
+	var term *obs.Terminal
+	if finished && j.events != nil {
+		term = &obs.Terminal{Kind: obs.TerminalDone}
+		if msg := joinErrs(j.errs); msg != "" {
+			term.Kind = obs.TerminalFailed
+			term.Err = msg
+		}
+	}
+	j.mu.Unlock()
+	// Close outside j.mu: the ring has its own lock and wakes stream
+	// handlers that immediately call j.status() (which takes j.mu).
+	if term != nil {
+		j.events.Close(*term)
 	}
 	return finished
 }
@@ -94,11 +166,17 @@ func (j *job) finishedTime() (time.Time, bool) {
 	return j.finishedAt, j.done == len(j.specs)
 }
 
-// begin marks one scenario as picked up by a worker.
-func (j *job) begin() {
+// begin marks one scenario as picked up by a worker at time now; the
+// first pickup stamps the job's startedAt. It returns how long the
+// scenario waited in the queue.
+func (j *job) begin(now time.Time) time.Duration {
 	j.mu.Lock()
 	j.started++
+	if j.startedAt.IsZero() {
+		j.startedAt = now
+	}
 	j.mu.Unlock()
+	return now.Sub(j.submittedAt)
 }
 
 // journalEvents renders the job's current state as the minimal event
@@ -158,13 +236,7 @@ func (s *Server) submit(specs []scenario.Spec, key string) (j *job, replayed boo
 			errQueueFull, queued, s.opts.QueueDepth, len(specs))
 	}
 	s.jobSeq++
-	j = &job{
-		id:      fmt.Sprintf("j%d", s.jobSeq),
-		key:     key,
-		specs:   specs,
-		reports: make([]*scenario.Report, len(specs)),
-		errs:    make([]error, len(specs)),
-	}
+	j = s.newJob(fmt.Sprintf("j%d", s.jobSeq), key, specs, s.now())
 	if s.journal != nil {
 		ev := jobstore.Event{Type: jobstore.EventSubmit, Job: j.id, Key: key, Specs: specs}
 		if aerr := s.journal.Append(ev); aerr != nil {
@@ -204,7 +276,7 @@ func (s *Server) jobByID(id string) *job {
 // pool (the goroutine, its workspace, and every queued scenario behind
 // it). The "server.worker" failpoint injects errors, stalls or panics
 // here for the chaos tests.
-func (s *Server) runScenario(spec *scenario.Spec, ws *sim.RunWorkspace) (rep *scenario.Report, err error) {
+func (s *Server) runScenario(spec *scenario.Spec, ws *sim.RunWorkspace, trace func(sim.Event)) (rep *scenario.Report, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.metrics.workerPanics.Add(1)
@@ -214,7 +286,7 @@ func (s *Server) runScenario(spec *scenario.Spec, ws *sim.RunWorkspace) (rep *sc
 	if err := faultinject.Eval("server.worker"); err != nil {
 		return nil, err
 	}
-	return scenario.RunCtx(s.ctx, s.db, spec, ws)
+	return scenario.RunTraced(s.ctx, s.db, spec, ws, trace)
 }
 
 // worker is one pool goroutine: it owns a dynamic-engine workspace that
@@ -242,7 +314,7 @@ func (s *Server) worker() {
 				// item re-entering the queue is the same unit of work,
 				// so counting it again would let job.started exceed
 				// len(specs) and overstate progress in the job status.
-				it.j.begin()
+				s.metrics.jobQueueWait.Observe(it.j.begin(s.now()))
 			}
 			if s.journal != nil && it.attempts == 0 {
 				ev := jobstore.Event{Type: jobstore.EventStart, Job: it.j.id, Index: it.idx}
@@ -250,7 +322,13 @@ func (s *Server) worker() {
 					s.metrics.journalErrors.Add(1)
 				}
 			}
-			rep, err := s.runScenario(&it.j.specs[it.idx], &ws)
+			var trace func(sim.Event)
+			if it.j.traces != nil {
+				trace = it.j.traces[it.idx]
+			}
+			t0 := s.now()
+			rep, err := s.runScenario(&it.j.specs[it.idx], &ws, trace)
+			s.metrics.jobExec.Observe(s.now().Sub(t0))
 			if err != nil {
 				if s.ctx.Err() != nil && errors.Is(err, context.Canceled) {
 					// Shutdown raced the run: leave the scenario

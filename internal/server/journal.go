@@ -6,7 +6,7 @@ import (
 	"strconv"
 
 	"qosrm/internal/jobstore"
-	"qosrm/internal/scenario"
+	"qosrm/internal/obs"
 )
 
 // replayJournal rebuilds the job table from a journal's event stream
@@ -39,13 +39,9 @@ func (s *Server) replayJournal(events []jobstore.Event) []workItem {
 			if _, dup := s.jobs[ev.Job]; dup || ev.Job == "" {
 				continue
 			}
-			j := &job{
-				id:      ev.Job,
-				key:     ev.Key,
-				specs:   ev.Specs,
-				reports: make([]*scenario.Report, len(ev.Specs)),
-				errs:    make([]error, len(ev.Specs)),
-			}
+			// The journal records no wall clocks: the replayed job's
+			// timeline restarts at boot.
+			j := s.newJob(ev.Job, ev.Key, ev.Specs, boot)
 			s.jobs[j.id] = j
 			if j.key != "" {
 				s.keys[j.key] = j.id
@@ -73,6 +69,14 @@ func (s *Server) replayJournal(events []jobstore.Event) []workItem {
 			j.done++
 			if j.done == len(j.specs) {
 				j.finishedAt = boot
+				// A replayed-finished job streams its terminal frame
+				// immediately; the per-interval events are gone with the
+				// process that produced them.
+				term := obs.Terminal{Kind: obs.TerminalDone}
+				if msg := joinErrs(j.errs); msg != "" {
+					term = obs.Terminal{Kind: obs.TerminalFailed, Err: msg}
+				}
+				j.events.Close(term)
 			}
 		case jobstore.EventExpire:
 			if j := s.jobs[ev.Job]; j != nil {

@@ -33,8 +33,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
+	"math/rand/v2"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"strings"
@@ -48,6 +51,7 @@ import (
 	"qosrm/internal/db"
 	"qosrm/internal/dbstore"
 	"qosrm/internal/jobstore"
+	"qosrm/internal/obs"
 	"qosrm/internal/rm"
 	"qosrm/internal/scenario"
 	"qosrm/internal/sim"
@@ -137,6 +141,21 @@ type Options struct {
 	// ForwardTimeout bounds one forwarding attempt end to end — peer
 	// health polls plus the forwarded submit (default 5 s).
 	ForwardTimeout time.Duration
+	// Logger receives the structured access log (one record per request:
+	// route, status, duration, request id, node id, job id) and server
+	// lifecycle notes. Nil discards everything — embedded servers and
+	// tests stay silent, and the disabled-level check keeps the request
+	// path free of logging allocations.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiling endpoints expose internals and belong behind an
+	// operator's explicit flag.
+	EnablePprof bool
+	// EventBuffer is the per-job interval-event ring capacity backing
+	// GET /v1/jobs/{id}/events (default 256). The ring overwrites its
+	// oldest events when a subscriber lags — bounded memory per job, an
+	// explicit dropped count on the stream, and the engine never waits.
+	EventBuffer int
 
 	// clock overrides the server's time source; nil means time.Now.
 	// Unexported: only in-package tests drive the job GC and the
@@ -188,6 +207,12 @@ func (o *Options) fill() {
 	if o.NodeID == "" {
 		o.NodeID = cluster.NewID()
 	}
+	if o.EventBuffer <= 0 {
+		o.EventBuffer = 256
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.DiscardHandler)
+	}
 	if o.clock == nil {
 		o.clock = time.Now
 	}
@@ -236,6 +261,17 @@ type metrics struct {
 	// registry at server construction, so new policies get a slot
 	// automatically.
 	policyRuns []atomic.Int64
+	// Latency distributions (lock-free log2-bucket histograms, exposed
+	// in Prometheus histogram exposition): HTTP request duration per
+	// route, job queue wait (submit → first worker pickup) and execution
+	// (one scenario run), forward round-trip, gossip exchange and peer
+	// health-probe durations.
+	httpDur        [routeCount]obs.Histogram
+	jobQueueWait   obs.Histogram
+	jobExec        obs.Histogram
+	forwardRTT     obs.Histogram
+	gossipExchange obs.Histogram
+	peerProbe      obs.Histogram
 }
 
 // policyNames snapshots the policy registry once; countPolicy and the
@@ -260,6 +296,7 @@ const (
 	routeScenarios
 	routeJobs
 	routeJobGet
+	routeJobEvents
 	routeCluster
 	routeSnapshot
 	routeHealth
@@ -269,6 +306,7 @@ const (
 
 var routeNames = [routeCount]string{
 	"/v1/savings", "/v1/scenarios", "/v1/jobs", "/v1/jobs/{id}",
+	"/v1/jobs/{id}/events",
 	"/v1/cluster", "/v1/snapshot", "/healthz", "/metrics",
 }
 
@@ -292,6 +330,8 @@ type Server struct {
 	cluster    *cluster.Membership
 	forwarder  *forwarder
 	paramsHash string
+	// log is Options.Logger (a discard logger when none was given).
+	log *slog.Logger
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -331,6 +371,7 @@ func New(d *db.DB, opts Options) (*Server, error) {
 		jobs:          make(map[string]*job),
 		keys:          make(map[string]string),
 		forwardedKeys: make(map[string]*forwardedRef),
+		log:           opts.Logger,
 	}
 	s.metrics.policyRuns = make([]atomic.Int64, len(policyNames))
 	if opts.RatePerSec > 0 {
@@ -375,6 +416,7 @@ func New(d *db.DB, opts Options) (*Server, error) {
 	s.handle("POST /v1/scenarios", routeScenarios, true, s.handleScenario)
 	s.handle("POST /v1/jobs", routeJobs, true, s.handleJobSubmit)
 	s.handle("GET /v1/jobs/{id}", routeJobGet, true, s.handleJobGet)
+	s.handle("GET /v1/jobs/{id}/events", routeJobEvents, true, s.handleJobEvents)
 	// The cluster endpoints skip the per-client limiter: gossip from N
 	// peers must not drain a forwarding client's token budget, and a
 	// joining node's snapshot fetch is one request, not a rate.
@@ -383,6 +425,16 @@ func New(d *db.DB, opts Options) (*Server, error) {
 	s.handle("GET /v1/snapshot", routeSnapshot, false, s.handleSnapshot)
 	s.handle("GET /healthz", routeHealth, false, s.handleHealth)
 	s.handle("GET /metrics", routeMetrics, false, s.handleMetrics)
+	if opts.EnablePprof {
+		// Raw pprof handlers: they manage their own content types and
+		// durations, and profiling traffic must not skew the route
+		// histograms.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -450,6 +502,12 @@ func (s *Server) gcFinishedJobs(now time.Time) int {
 			if j.key != "" {
 				delete(s.keys, j.key)
 			}
+			// End any event stream still attached. Normally a no-op —
+			// completion already closed the ring — but a subscriber that
+			// consumed the terminal frame slowly, or a ring replayed
+			// unfinished from the journal and then expired, gets an
+			// explicit "expired" instead of a silent hang.
+			j.events.Close(obs.Terminal{Kind: obs.TerminalExpired})
 			expired++
 			if s.journal != nil {
 				if err := s.journal.Append(jobstore.Event{Type: jobstore.EventExpire, Job: id}); err != nil {
@@ -511,26 +569,100 @@ func (s *Server) Close() {
 	}
 }
 
-// handle registers one pattern with the request-counting wrapper;
-// limited routes additionally pass through the per-client token bucket
-// when one is configured.
+// accessInfo is the per-request mutable record handlers enrich before
+// the access log line is emitted (currently: the job id a request
+// resolved to or created).
+type accessInfo struct{ job string }
+
+type accessInfoKey struct{}
+
+// setLogJob records the request's job id for the access log; a no-op
+// outside an instrumented request.
+func setLogJob(ctx context.Context, id string) {
+	if info, _ := ctx.Value(accessInfoKey{}).(*accessInfo); info != nil {
+		info.job = id
+	}
+}
+
+// statusWriter captures the response status for the route histogram and
+// access log. It passes Flush through (the event stream needs it) and
+// Unwrap keeps http.ResponseController working.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// newRequestID is 16 hex chars of process-local randomness: enough to
+// tie one request's hops together across the cluster's logs, and not a
+// security token.
+func newRequestID() string {
+	return fmt.Sprintf("%016x", rand.Uint64())
+}
+
+// handle registers one pattern with the instrumentation wrapper: the
+// per-route request counter and duration histogram, request-id ingress
+// (accept the caller's X-Qosrm-Request-Id or mint one; echo it on every
+// response and carry it in the context so forwarded requests propagate
+// it), the structured access log, and — on limited routes — the
+// per-client token bucket when one is configured.
 func (s *Server) handle(pattern string, rt route, limited bool, h http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
 		s.metrics.requests[rt].Add(1)
+		reqID := r.Header.Get(api.RequestIDHeader)
+		if reqID == "" {
+			reqID = newRequestID()
+		}
+		// Echo before the handler runs so every response — error
+		// envelopes included — carries the id.
+		w.Header().Set(api.RequestIDHeader, reqID)
+		info := &accessInfo{}
+		ctx := api.WithRequestID(context.WithValue(r.Context(), accessInfoKey{}, info), reqID)
+		r = r.WithContext(ctx)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		serve := true
 		if limited && s.limiter != nil {
 			client := r.RemoteAddr
 			if host, _, err := net.SplitHostPort(client); err == nil {
 				client = host
 			}
 			if !s.limiter.allow(client) {
+				serve = false
 				s.metrics.requestsShed.Add(1)
-				w.Header().Set("Retry-After", strconv.Itoa(int(s.limiter.retryAfter().Seconds())))
-				s.failReason(w, http.StatusTooManyRequests, ReasonRateLimited,
+				sw.Header().Set("Retry-After", strconv.Itoa(int(s.limiter.retryAfter().Seconds())))
+				s.failReason(sw, http.StatusTooManyRequests, ReasonRateLimited,
 					"client %s exceeds %g requests/s", client, s.opts.RatePerSec)
-				return
 			}
 		}
-		h(w, r)
+		if serve {
+			h(sw, r)
+		}
+		dur := time.Since(t0)
+		s.metrics.httpDur[rt].Observe(dur)
+		if s.log.Enabled(ctx, slog.LevelInfo) {
+			s.log.LogAttrs(ctx, slog.LevelInfo, "request",
+				slog.String("route", routeNames[rt]),
+				slog.String("method", r.Method),
+				slog.Int("status", sw.status),
+				slog.Duration("dur", dur),
+				slog.String("request_id", reqID),
+				slog.String("node", s.opts.NodeID),
+				slog.String("job", info.job),
+			)
+		}
 	})
 }
 
@@ -785,6 +917,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	} else if len(trail) > 0 {
 		s.metrics.forwardReceived.Add(1)
 	}
+	setLogJob(r.Context(), j.id)
 	s.writeJSONStatus(w, http.StatusAccepted, j.status())
 }
 
@@ -808,6 +941,7 @@ func forwardTrail(r *http.Request) []string {
 // handleJobGet reports a job's progress.
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	setLogJob(r.Context(), id)
 	j := s.jobByID(id)
 	if j == nil {
 		s.fail(w, http.StatusNotFound, "unknown job %q", id)
@@ -848,62 +982,95 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleMetrics renders the Prometheus-style counter text.
+// handleMetrics renders the Prometheus text exposition: every family
+// carries a # TYPE line, counters end in _total, and the latency
+// histograms render as _bucket/_sum/_count. The output is kept honest
+// by obs.LintExposition in the tests and the CI smoke.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	queued := s.queued
 	jobs := len(s.jobs)
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	counter := func(name string, v int64) {
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, v)
+	}
+	gaugeInt := func(name string, v int64) {
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, v)
+	}
+	gaugeFloat := func(name string, v float64) {
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, v)
+	}
+	seconds := func(name string, ns int64) {
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %g\n", name, name, float64(ns)/1e9)
+	}
+
+	fmt.Fprintf(w, "# TYPE qosrmd_requests_total counter\n")
 	for rt := route(0); rt < routeCount; rt++ {
 		fmt.Fprintf(w, "qosrmd_requests_total{path=%q} %d\n", routeNames[rt], s.metrics.requests[rt].Load())
 	}
-	fmt.Fprintf(w, "qosrmd_request_errors_total %d\n", s.metrics.errors.Load())
-	fmt.Fprintf(w, "qosrmd_jobs_submitted_total %d\n", s.metrics.jobsSubmitted.Load())
-	fmt.Fprintf(w, "qosrmd_jobs_finished_total %d\n", s.metrics.jobsFinished.Load())
-	fmt.Fprintf(w, "qosrmd_jobs_expired_total %d\n", s.metrics.jobsExpired.Load())
-	fmt.Fprintf(w, "qosrmd_jobs_tracked %d\n", jobs)
-	fmt.Fprintf(w, "qosrmd_job_ttl_seconds %g\n", s.opts.JobTTL.Seconds())
+	counter("qosrmd_request_errors_total", s.metrics.errors.Load())
+	counter("qosrmd_jobs_submitted_total", s.metrics.jobsSubmitted.Load())
+	counter("qosrmd_jobs_finished_total", s.metrics.jobsFinished.Load())
+	counter("qosrmd_jobs_expired_total", s.metrics.jobsExpired.Load())
+	gaugeInt("qosrmd_jobs_tracked", int64(jobs))
+	gaugeFloat("qosrmd_job_ttl_seconds", s.opts.JobTTL.Seconds())
+	fmt.Fprintf(w, "# TYPE qosrmd_policy_runs_total counter\n")
 	for i, name := range policyNames {
 		fmt.Fprintf(w, "qosrmd_policy_runs_total{policy=%q} %d\n", name, s.metrics.policyRuns[i].Load())
 	}
-	fmt.Fprintf(w, "qosrmd_scenarios_queued_total %d\n", s.metrics.specsQueued.Load())
-	fmt.Fprintf(w, "qosrmd_scenarios_run_total %d\n", s.metrics.specsRun.Load())
-	fmt.Fprintf(w, "qosrmd_scenarios_failed_total %d\n", s.metrics.specsFailed.Load())
-	fmt.Fprintf(w, "qosrmd_scenarios_retried_total %d\n", s.metrics.specsRetried.Load())
-	fmt.Fprintf(w, "qosrmd_scenario_queue_depth %d\n", queued)
-	fmt.Fprintf(w, "qosrmd_requests_shed_total %d\n", s.metrics.requestsShed.Load())
+	counter("qosrmd_scenarios_queued_total", s.metrics.specsQueued.Load())
+	counter("qosrmd_scenarios_run_total", s.metrics.specsRun.Load())
+	counter("qosrmd_scenarios_failed_total", s.metrics.specsFailed.Load())
+	counter("qosrmd_scenarios_retried_total", s.metrics.specsRetried.Load())
+	gaugeInt("qosrmd_scenario_queue_depth", int64(queued))
+	counter("qosrmd_requests_shed_total", s.metrics.requestsShed.Load())
 	alive, suspect, dead := s.cluster.Counts()
-	fmt.Fprintf(w, "qosrmd_cluster_peers %d\n", len(s.cluster.Rotation()))
-	fmt.Fprintf(w, "qosrmd_cluster_members_alive %d\n", alive)
-	fmt.Fprintf(w, "qosrmd_cluster_members_suspect %d\n", suspect)
-	fmt.Fprintf(w, "qosrmd_cluster_members_dead %d\n", dead)
-	fmt.Fprintf(w, "qosrmd_cluster_incarnation %d\n", s.cluster.Incarnation())
-	fmt.Fprintf(w, "qosrmd_cluster_exchanges_total %d\n", s.metrics.clusterExchanges.Load())
-	fmt.Fprintf(w, "qosrmd_cluster_probe_failures_total %d\n", s.metrics.clusterProbeFailures.Load())
-	fmt.Fprintf(w, "qosrmd_cluster_refutations_total %d\n", s.metrics.clusterRefutations.Load())
-	fmt.Fprintf(w, "qosrmd_snapshots_served_total %d\n", s.metrics.snapshotsServed.Load())
-	fmt.Fprintf(w, "qosrmd_jobs_forwarded_total %d\n", s.metrics.jobsForwarded.Load())
-	fmt.Fprintf(w, "qosrmd_jobs_forward_received_total %d\n", s.metrics.forwardReceived.Load())
-	fmt.Fprintf(w, "qosrmd_job_forward_failures_total %d\n", s.metrics.forwardFailed.Load())
-	fmt.Fprintf(w, "qosrmd_idempotent_replays_total %d\n", s.metrics.idempotentReplays.Load())
-	fmt.Fprintf(w, "qosrmd_worker_panics_total %d\n", s.metrics.workerPanics.Load())
-	journalEnabled := 0
+	gaugeInt("qosrmd_cluster_peers", int64(len(s.cluster.Rotation())))
+	gaugeInt("qosrmd_cluster_members_alive", int64(alive))
+	gaugeInt("qosrmd_cluster_members_suspect", int64(suspect))
+	gaugeInt("qosrmd_cluster_members_dead", int64(dead))
+	gaugeInt("qosrmd_cluster_incarnation", int64(s.cluster.Incarnation()))
+	counter("qosrmd_cluster_exchanges_total", s.metrics.clusterExchanges.Load())
+	counter("qosrmd_cluster_probe_failures_total", s.metrics.clusterProbeFailures.Load())
+	counter("qosrmd_cluster_refutations_total", s.metrics.clusterRefutations.Load())
+	counter("qosrmd_snapshots_served_total", s.metrics.snapshotsServed.Load())
+	counter("qosrmd_jobs_forwarded_total", s.metrics.jobsForwarded.Load())
+	counter("qosrmd_jobs_forward_received_total", s.metrics.forwardReceived.Load())
+	counter("qosrmd_jobs_forward_failed_total", s.metrics.forwardFailed.Load())
+	counter("qosrmd_idempotent_replays_total", s.metrics.idempotentReplays.Load())
+	counter("qosrmd_worker_panics_total", s.metrics.workerPanics.Load())
+	journalEnabled := int64(0)
 	if s.journal != nil {
 		journalEnabled = 1
-		fmt.Fprintf(w, "qosrmd_journal_records %d\n", s.journal.Records())
-		fmt.Fprintf(w, "qosrmd_journal_size_bytes %d\n", s.journal.Size())
+		gaugeInt("qosrmd_journal_records", int64(s.journal.Records()))
+		gaugeInt("qosrmd_journal_size_bytes", s.journal.Size())
 	}
-	fmt.Fprintf(w, "qosrmd_journal_enabled %d\n", journalEnabled)
-	fmt.Fprintf(w, "qosrmd_journal_replays_total %d\n", s.metrics.journalReplays.Load())
-	fmt.Fprintf(w, "qosrmd_journal_errors_total %d\n", s.metrics.journalErrors.Load())
-	fmt.Fprintf(w, "qosrmd_journal_compactions_total %d\n", s.metrics.journalCompacts.Load())
-	fmt.Fprintf(w, "qosrmd_workers %d\n", s.opts.Workers)
-	fmt.Fprintf(w, "qosrmd_savings_busy_seconds_total %g\n", float64(s.metrics.savingsNs.Load())/1e9)
-	fmt.Fprintf(w, "qosrmd_scenarios_busy_seconds_total %g\n", float64(s.metrics.scenariosNs.Load())/1e9)
-	fmt.Fprintf(w, "qosrmd_uptime_seconds %g\n", time.Since(s.start).Seconds())
-	fmt.Fprintf(w, "qosrmd_db_benchmarks %d\n", len(s.db.Benchmarks()))
-	fmt.Fprintf(w, "qosrmd_db_trace_len %d\n", s.db.TraceLen)
+	gaugeInt("qosrmd_journal_enabled", journalEnabled)
+	counter("qosrmd_journal_replays_total", s.metrics.journalReplays.Load())
+	counter("qosrmd_journal_errors_total", s.metrics.journalErrors.Load())
+	counter("qosrmd_journal_compactions_total", s.metrics.journalCompacts.Load())
+	gaugeInt("qosrmd_workers", int64(s.opts.Workers))
+	seconds("qosrmd_savings_busy_seconds_total", s.metrics.savingsNs.Load())
+	seconds("qosrmd_scenarios_busy_seconds_total", s.metrics.scenariosNs.Load())
+	gaugeFloat("qosrmd_uptime_seconds", time.Since(s.start).Seconds())
+	gaugeInt("qosrmd_db_benchmarks", int64(len(s.db.Benchmarks())))
+	gaugeInt("qosrmd_db_trace_len", int64(s.db.TraceLen))
+
+	fmt.Fprintf(w, "# TYPE qosrmd_http_request_duration_seconds histogram\n")
+	for rt := route(0); rt < routeCount; rt++ {
+		s.metrics.httpDur[rt].WriteProm(w, "qosrmd_http_request_duration_seconds",
+			fmt.Sprintf("path=%q", routeNames[rt]))
+	}
+	hist := func(name string, h *obs.Histogram) {
+		fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+		h.WriteProm(w, name, "")
+	}
+	hist("qosrmd_job_queue_wait_seconds", &s.metrics.jobQueueWait)
+	hist("qosrmd_job_exec_seconds", &s.metrics.jobExec)
+	hist("qosrmd_forward_rtt_seconds", &s.metrics.forwardRTT)
+	hist("qosrmd_gossip_exchange_seconds", &s.metrics.gossipExchange)
+	hist("qosrmd_peer_probe_seconds", &s.metrics.peerProbe)
 }
 
 // uncovered returns the first scheduled application the database has no

@@ -319,6 +319,10 @@ type RunWorkspace struct {
 	cores []dynCore
 	ptrs  []*dynCore
 	st    runState
+	// traceAlloc backs Event.Allocations for Config.Trace callbacks; it
+	// is reused every interval, which is why traced events are only
+	// valid during the callback (see Event.Allocations).
+	traceAlloc []int
 
 	// Scope of the memoized curves in st.cache.
 	db      *db.DB
@@ -582,7 +586,13 @@ func runEngine(ctx context.Context, d *db.DB, dyn Dynamic, cfg Config, ws *RunWo
 			// Interval boundary (Figure 5): record QoS, roll the phase,
 			// and invoke the RM.
 			if cfg.Trace != nil {
-				alloc := make([]int, n)
+				// Reuse the workspace's snapshot buffer across events: the
+				// callback only sees Allocations for the duration of the
+				// call, and a traced run must not allocate per interval.
+				if cap(ws.traceAlloc) < n {
+					ws.traceAlloc = make([]int, n)
+				}
+				alloc := ws.traceAlloc[:n]
 				for i, o := range cores {
 					alloc[i] = o.setting.Ways
 				}

@@ -94,7 +94,10 @@ type Event struct {
 	Phase    int   // phase of the completed interval
 	Setting  config.Setting
 	// Allocations is the same-instant snapshot of every core's LLC way
-	// allocation; it always sums to the LLC associativity.
+	// allocation; it always sums to the LLC associativity. The slice is
+	// only valid for the duration of the Trace callback — the engine
+	// reuses its backing array across intervals — so a callback that
+	// retains the Event must copy it.
 	Allocations []int
 }
 

@@ -207,6 +207,56 @@
 // reports embed a single-node vs two-node comparison at the same
 // saturating load.
 //
+// # Observability architecture
+//
+// The serving layer is observable on three axes — live event streams,
+// latency distributions, request tracing — all built on internal/obs,
+// a dependency-free leaf shared by the server and the load generator.
+//
+// Event streaming: GET /v1/jobs/{id}/events tails a running sweep
+// job's interval-boundary trace live — the same sim.Event feed a
+// SimConfig.Trace callback sees in process, one frame per interval
+// boundary (time, core, benchmark, phase, and the chosen frequency /
+// way allocation), framed as NDJSON by default or SSE when Accept
+// names text/event-stream, ending with a terminal "done" / "failed" /
+// "expired" frame. The feed decouples through a bounded per-job ring
+// buffer (ServerOptions.EventBuffer, qosrmd -event-buffer) that
+// overwrites oldest on overrun: the engine's publish path never
+// blocks and never allocates — the per-spec event shell and the
+// ring slots' backing arrays are reused, pinned by an allocs/op test
+// — so a stalled, slow or absent subscriber costs the simulation
+// nothing, and every frame carries a cumulative "dropped" count plus
+// a sequence number so a consumer knows exactly what it missed.
+// Client.JobEvents returns the matching iterator (the stream escapes
+// the client's per-request timeout; cancel its context to stop), and
+// examples/service-client tails a live sweep with it.
+//
+// Latency histograms: /metrics exposes Prometheus-native histograms —
+// per-route HTTP request duration, job queue wait, job execution,
+// forward RTT, gossip exchange and peer probe — built on a lock-free
+// fixed-layout histogram (obs.Histogram: power-of-two nanosecond
+// buckets from ~1µs to ~69s, three atomic adds per observation, safe
+// for concurrent writers without labels-map machinery). The load
+// generator records client-side latency into the same bucket layout,
+// so its p50/p90/p99 compare bucket-for-bucket with the server-side
+// view of the same run, and JobStatus carries the per-job
+// submitted→started→finished timeline. obs.LintExposition validates
+// the whole exposition format — every family typed, counters ending
+// _total, no duplicate series, histogram buckets cumulative with a
+// +Inf terminator — a test scrapes the live server through it, and
+// cmd/metricslint pipes any scrape through the same linter in CI.
+//
+// Request tracing: every request gets an X-Qosrm-Request-Id (minted
+// at ingress when absent, echoed in the response, propagated verbatim
+// across cluster forwards), and a structured slog access log
+// (ServerOptions.Logger; qosrmd -log-level / -log-format) records
+// route, method, status, duration, request id, node id and job id per
+// request — off by default (slog.DiscardHandler), and the hot paths
+// guard on Logger.Enabled so disabled logging costs nothing. qosrmd
+// -pprof mounts net/http/pprof under /debug/pprof/ for on-demand
+// CPU/heap profiles, bypassing the route metrics so profiling traffic
+// never skews the histograms.
+//
 // # Reliability architecture
 //
 // The serving layer is crash-safe end to end; three mechanisms compose
@@ -291,7 +341,7 @@
 // internally — trying the next peer, then failing over to the 503, is
 // the retry policy. The forwarding and membership counters surface at
 // /metrics (qosrmd_jobs_forwarded_total,
-// qosrmd_jobs_forward_received_total, qosrmd_job_forward_failures_total,
+// qosrmd_jobs_forward_received_total, qosrmd_jobs_forward_failed_total,
 // qosrmd_cluster_peers, qosrmd_cluster_members_{alive,suspect,dead},
 // qosrmd_cluster_exchanges_total, qosrmd_cluster_probe_failures_total,
 // qosrmd_cluster_refutations_total, qosrmd_snapshots_served_total).
