@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"qosrm/internal/perfbench"
@@ -41,7 +42,24 @@ func main() {
 	gate := flag.Float64("gate", 0.25, "max allowed ns/op regression vs -baseline (fraction)")
 	retries := flag.Int("gate-retries", 1, "re-measurements before a gate failure is final")
 	load := flag.Bool("load", false, "also run the open-loop load comparison (single node vs two-node cluster) and embed it in the report")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the suite run to this path (CI uploads it so perf work starts from a committed profile)")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	start := time.Now()
 	rep, err := perfbench.Run(*short)
@@ -65,6 +83,12 @@ func main() {
 	fmt.Println()
 	fmt.Print(rep.Summary())
 	fmt.Printf("wrote %s in %s\n", *out, time.Since(start).Round(time.Millisecond))
+
+	if w := rep.ScalingWarning(); w != "" {
+		// GitHub Actions surfaces ::warning:: lines as run annotations;
+		// locally it is just a loud duplicate of the summary's warning.
+		fmt.Printf("::warning title=perfbench parallel scaling::%s\n", w)
+	}
 
 	if *baseline != "" {
 		base, err := perfbench.LoadReport(*baseline)

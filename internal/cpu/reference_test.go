@@ -50,27 +50,34 @@ func TestRunMatchesReference(t *testing.T) {
 	}
 }
 
-// TestRunWaysMatchesReference checks the sweep walk: one RunWays pass
-// must equal fifteen RunReference runs — results and ATD observations —
-// bit for bit, at every core size and frequency corner.
-func TestRunWaysMatchesReference(t *testing.T) {
+// TestRunCornersMatchesReference checks the sweep walk: one
+// corner-batched RunCorners pass must equal forty-five RunReference
+// runs — results and ATD observations — bit for bit, at every core
+// size.
+func TestRunCornersMatchesReference(t *testing.T) {
 	insts := trace.Generate(testParams(5), 6144)
 	ann := Annotate(insts)
 	tail := ann.Tail(2048)
 	warm := atd.MustNew(0)
 	ann.WarmATD(warm, 2048)
 
+	corners := []int{0, config.BaseFreqIdx, config.NumFreqs - 1}
+	var freqs [NumCorners]float64
+	for k, fi := range corners {
+		freqs[k] = config.FreqGHz(fi)
+	}
 	stream := tail.LLCEvents()
+	scratch := &SweepScratch{} // reused across sizes, as in production
 	for _, c := range config.Sizes {
-		for _, fi := range []int{0, config.BaseFreqIdx, config.NumFreqs - 1} {
-			f := config.FreqGHz(fi)
-			sweep, perms := RunWays(tail, c, f, &SweepScratch{})
-			for l := range sweep {
+		sweep, perms := RunCorners(tail, c, freqs, scratch)
+		for k, fi := range corners {
+			f := freqs[k]
+			for l := range sweep[k] {
 				w := config.MinWays + l
 				aRef := warm.Clone()
 				ref := RunReference(tail, RunConfig{Core: c, Ways: w, FreqGHz: f, ATD: aRef})
-				if sweep[l] != ref {
-					t.Fatalf("c=%v f=%d w=%d: RunWays=%+v\nRunReference=%+v", c, fi, w, sweep[l], ref)
+				if sweep[k][l] != ref {
+					t.Fatalf("c=%v f=%d w=%d: RunCorners=%+v\nRunReference=%+v", c, fi, w, sweep[k][l], ref)
 				}
 				// Replaying the shared event list in the returned
 				// delivery order must reproduce the ATD observations of
@@ -78,7 +85,7 @@ func TestRunWaysMatchesReference(t *testing.T) {
 				// through a COW fork alike.
 				aSweep := warm.Clone()
 				aFork := warm.Fork()
-				for _, r := range perms[l] {
+				for _, r := range perms[k][l] {
 					e := stream[r]
 					aSweep.Access(e.Addr, e.InstIdx, e.IsLoad)
 					aFork.Access(e.Addr, e.InstIdx, e.IsLoad)

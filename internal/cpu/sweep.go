@@ -1,7 +1,8 @@
 package cpu
 
-// The lane-parallel sweep kernel: one walk of an annotated stream
-// advancing all fifteen way allocations at once.
+// The corner-batched lane-parallel sweep kernel: one walk of an
+// annotated stream advancing all fifteen way allocations of all three
+// simulated frequency corners at once.
 //
 // A single timing walk is latency-bound on its serial
 // dispatch→ready→completion float chain, so independent chains advanced
@@ -9,36 +10,54 @@ package cpu
 // the walk as a batched kernel over structure-of-arrays per-lane state:
 // every quantity that varies by lane — time cursors, retirement
 // frontiers, DRAM queue and MLP-window state, per-stall-class
-// accumulators — is a laneRow (a flat [15]float64), and each
-// instruction runs one straight-line loop over the lanes of the
-// specialisation that matches its kind. Completion times are written
-// into the ring rows in place (each lane reads its slot before
-// overwriting it, like the reference's scalar ring), so no per-lane
-// state is copied between instructions.
+// accumulators — is a laneRow (a flat [45]float64 spanning three
+// fifteen-way corner bands), and each instruction runs one straight-line
+// loop over the lanes of the specialisation that matches its kind.
+// Completion times are written into the ring rows in place (each lane
+// reads its slot before overwriting it, like the reference's scalar
+// ring), so no per-lane state is copied between instructions.
 //
-// Two structural savings come from the annotation being
+// Three structural savings come from the annotation being
 // setting-independent:
 //
+//   - Corner batching: the per-instruction fixed work — kernel-class
+//     dispatch, dependence ring-row resolution, split scanning, ring
+//     index bookkeeping — does not depend on the frequency, so walking
+//     the three corners of a core size together pays it once instead of
+//     three times, and the three corners' independent float chains give
+//     the out-of-order hardware running this model more latency to hide.
+//     Frequency enters only through per-group constants (cycle time,
+//     dispatch step, L3/branch-penalty latencies), kept in group-indexed
+//     rows.
+//
 //   - Dynamic lane grouping: an access at recency position pos splits
-//     the lanes into a miss prefix (fewer than pos ways) and a hit
-//     suffix, and that is the only way two lanes can ever diverge. The
-//     walk therefore partitions lanes into groups of indistinguishable
-//     allocations, starting from one all-lane group and splitting a
-//     group — duplicating its state column — only at the instant an
-//     access boundary falls inside its interval. Every instruction
-//     advances one representative chain per group; compute-bound
-//     phases walk one or two chains instead of fifteen.
+//     the lanes of a corner band into a miss prefix (fewer than pos
+//     ways) and a hit suffix, and that is the only way two lanes of one
+//     corner can ever diverge. The walk therefore partitions lanes into
+//     groups of indistinguishable allocations, starting from one group
+//     per corner and splitting a group — duplicating its state column —
+//     only at the instant an access boundary falls inside its interval.
+//     The boundary position is corner-invariant, so the three bands
+//     split at the same instants and the partition stays one walk.
+//     Every instruction advances one representative chain per group;
+//     compute-bound phases walk three chains instead of forty-five.
 //
 //   - Shared events: all runs of one stream observe the same LLC event
 //     set in program order (LLCEvents); only the delivery order varies
-//     with the setting. The walk records one issue-time row per event
-//     (a single laneRow store) and the delivery order of lane l is
-//     recovered afterwards as a stable argsort of column l — a compact
-//     (time, ordinal) key sort that moves 16-byte pairs instead of
-//     32-byte events, skipped entirely for lanes whose issue columns
-//     match their neighbour's.
+//     with the setting. The walk records one issue-time row per event (a
+//     single laneRow store) and the delivery order of lane l is
+//     recovered afterwards as an argsort of column l — an LSD radix sort
+//     over the raw IEEE-754 bits of the issue times (non-negative, so
+//     bit order equals numeric order) that skips the passes whose key
+//     byte is constant across the column, with the ordinal payload
+//     riding along and ties resolved by the scatter's stability.
+//     Columns matching their neighbour's share one permutation slice
+//     (callers detect sharing by pointer equality and skip duplicate
+//     replays without comparing contents).
 
 import (
+	"math"
+
 	"qosrm/internal/config"
 	"qosrm/internal/trace"
 )
@@ -46,9 +65,17 @@ import (
 // numWays is the number of tracked way allocations (MinWays..MaxWays).
 const numWays = config.MaxWays - config.MinWays + 1
 
+// NumCorners is the number of frequency corners one RunCorners walk
+// batches.
+const NumCorners = 3
+
+// numLanes is the lane count of one corner-batched walk: one band of
+// numWays way lanes per frequency corner.
+const numLanes = NumCorners * numWays
+
 // laneRow is one structure-of-arrays slot of the sweep walk: a value
-// per lane.
-type laneRow = [numWays]float64
+// per lane group (the walk's groups never outnumber the lanes).
+type laneRow = [numLanes]float64
 
 // zeroRow stands in for absent dispatch constraints (its values never
 // change), letting the lane kernels avoid per-lane presence branches.
@@ -59,7 +86,7 @@ var zeroRow laneRow
 // fixed by the annotation — every timing run of this stream observes
 // exactly these events, only their delivery order varies with the
 // setting — so one shared list serves all runs; a run's delivery order
-// is the permutation RunWays returns. IssueNs is zero in the shared
+// is the permutation RunCorners returns. IssueNs is zero in the shared
 // list. Computed once, safe for concurrent use; callers must not
 // mutate the result.
 func (a *Annotated) LLCEvents() []LLCEvent {
@@ -81,26 +108,29 @@ func (a *Annotated) LLCEvents() []LLCEvent {
 	return a.llcEvents
 }
 
-// permKey is one sort key of the delivery-order argsort: an issue time
-// and the event's program-order ordinal.
+// permKey is one sort key of the delivery-order argsort: the raw bits
+// of an issue time (times are finite and non-negative, so uint64 order
+// equals float64 order) and the event's program-order ordinal.
 type permKey struct {
-	t float64
+	t uint64
 	e int32
 }
 
-// SweepScratch is reusable working memory for RunWays: the issue-time
-// matrix, the per-lane delivery permutations and the argsort buffers.
-// One scratch serves any number of sequential RunWays calls; the
-// permutations each call returns alias the scratch and are valid until
-// the next call.
+// SweepScratch is reusable working memory for RunCorners: the
+// issue-time matrix, the per-lane delivery permutations, the radix-sort
+// buffers and the per-corner result rows. One scratch serves any number
+// of sequential RunCorners calls; the results and permutations each
+// call returns alias the scratch and are valid until the next call.
 type SweepScratch struct {
 	issue  []laneRow // one row per LLC event: per-group issue times
 	flat   []int32   // backing store for the returned permutations
-	perms  [numWays][]int32
-	wperms [numWays][]int32 // per way lane, mapped from group perms
+	perms  [numLanes][]int32
+	wperms [NumCorners][numWays][]int32 // per way lane, mapped from group perms
 	keys   []permKey
 	buf    []permKey
-	rings  []laneRow // zeroed backing store for the walk's ring buffers
+	rings  []laneRow            // zeroed backing store for the walk's ring buffers
+	res    [numLanes]Result     // backing store for the returned results
+	out    [NumCorners][]Result // per-corner views over res
 }
 
 // ringRows returns a zeroed slice of n ring rows, reusing the scratch
@@ -125,13 +155,13 @@ func (s *SweepScratch) issueRows(nEv int) []laneRow {
 	return s.issue[:nEv]
 }
 
-// sortLanes converts the filled issue matrix into per-lane delivery
-// permutations: perms[l] lists event ordinals in the stable order of
-// lane l's issue times — exactly the order Run's ATD feed delivers.
-// Only the first walked lanes are sorted; the identical tail group and
-// any lane whose issue column matches its neighbour's share one
-// permutation slice (callers detect sharing by pointer equality and
-// skip duplicate replays without comparing contents).
+// sortLanes converts the filled issue matrix into per-group delivery
+// permutations: perms[g] lists event ordinals in the stable order of
+// group g's issue times — exactly the order Run's ATD feed delivers.
+// Only the walked groups are sorted; a group whose issue column matches
+// its neighbour's shares one permutation slice (callers detect sharing
+// by pointer equality and skip duplicate replays without comparing
+// contents).
 func (s *SweepScratch) sortLanes(issue []laneRow, walked int) [][]int32 {
 	nEv := len(issue)
 	if cap(s.flat) < walked*nEv {
@@ -146,36 +176,37 @@ func (s *SweepScratch) sortLanes(issue []laneRow, walked int) [][]int32 {
 			s.perms[l] = s.perms[l-1]
 			continue
 		}
-		if l == 0 {
-			for e := range issue {
-				keys[e] = permKey{issue[e][0], int32(e)}
-			}
-		} else {
-			// Seed from the previous lane's delivery order: adjacent
-			// lanes deliver nearly alike, so the keys arrive almost
-			// sorted and the merge loop collapses to a pass or two. The
-			// comparator is the total order (time, ordinal), whose
-			// unique result is the same permutation whatever the seed.
-			prev := s.perms[l-1]
-			for r := range prev {
-				e := prev[r]
-				keys[r] = permKey{issue[e][l], e}
-			}
+		// Seed in program order: both sorts below are stable in it, so
+		// equal issue times keep their input order and the result is
+		// the unique (time, ordinal) permutation — the reference feed's
+		// stable-by-time delivery contract.
+		for e := range issue {
+			keys[e] = permKey{math.Float64bits(issue[e][l]), int32(e)}
 		}
-		sortKeysStable(keys, &s.buf)
+		// Issue times arrive almost in program order already — the
+		// dispatch cursor is nearly monotone, so measured columns show
+		// a few dozen descents of single-digit displacement per
+		// hundreds of events. A budgeted insertion repair sorts such a
+		// column in about one pass; a column that blows the budget is
+		// re-seeded (the repair has reordered it, which would corrupt
+		// the tie contract) and takes the radix path.
+		if !insertionRepairKeys(keys, 4*nEv) {
+			for e := range issue {
+				keys[e] = permKey{math.Float64bits(issue[e][l]), int32(e)}
+			}
+			radixSortKeys(keys, &s.buf)
+		}
 		p := s.flat[l*nEv : l*nEv+nEv : l*nEv+nEv]
 		for e := range keys {
 			p[e] = keys[e].e
 		}
 		s.perms[l] = p
 	}
-	for l := walked; l < numWays; l++ {
-		s.perms[l] = s.perms[walked-1]
-	}
-	return s.perms[:]
+	return s.perms[:walked]
 }
 
-// laneColsEqual reports whether lane l's issue column equals lane l-1's.
+// laneColsEqual reports whether group l's issue column equals group
+// l-1's.
 func laneColsEqual(issue []laneRow, l int) bool {
 	for e := range issue {
 		if issue[e][l] != issue[e][l-1] {
@@ -185,58 +216,58 @@ func laneColsEqual(issue []laneRow, l int) bool {
 	return true
 }
 
-// sortKeysStable sorts keys in the (time, ordinal) total order using
-// the natural-runs merge of sortEventsStableBuf. Ordinals make keys
-// unique, so the result equals a stable sort by time over program
-// order — the reference feed's delivery contract — while the input may
-// arrive in any seed order (sortLanes seeds from the previous lane's
-// permutation, leaving only a handful of runs to merge).
-func sortKeysStable(k []permKey, bufp *[]permKey) {
-	const minRun = 32
+// radixSortKeys sorts keys in the (time, ordinal) total order with an
+// LSD radix sort over the 64-bit time key: one histogram pass counts
+// all eight byte positions at once, then one stable counting-scatter
+// pass runs per byte position that actually varies across the column —
+// issue times of one phase share their high exponent bytes, so most of
+// the upper passes are skipped. Callers seed the keys in ordinal
+// (program) order; the scatter's stability then lands equal-time events
+// in program order, which is exactly the reference feed's delivery
+// contract. Small columns fall back to insertion sort, where the
+// ordinal breaks ties explicitly.
+func radixSortKeys(k []permKey, bufp *[]permKey) {
 	n := len(k)
 	if n < 2 {
 		return
 	}
-	type run struct{ lo, hi int }
-	var runsA, runsB []run
-	for lo := 0; lo < n; {
-		hi := lo + 1
-		for hi < n && !keyLess(k[hi], k[hi-1]) {
-			hi++
-		}
-		if hi-lo < minRun {
-			hi = lo + minRun
-			if hi > n {
-				hi = n
-			}
-			insertionSortKeys(k[lo:hi])
-		}
-		runsA = append(runsA, run{lo, hi})
-		lo = hi
-	}
-	if len(runsA) == 1 {
+	if n <= 48 {
+		insertionSortKeys(k)
 		return
+	}
+	var hist [8][256]int32
+	for i := range k {
+		v := k[i].t
+		hist[0][v&0xff]++
+		hist[1][v>>8&0xff]++
+		hist[2][v>>16&0xff]++
+		hist[3][v>>24&0xff]++
+		hist[4][v>>32&0xff]++
+		hist[5][v>>40&0xff]++
+		hist[6][v>>48&0xff]++
+		hist[7][v>>56&0xff]++
 	}
 	if cap(*bufp) < n {
 		*bufp = make([]permKey, n)
 	}
 	src, dst := k, (*bufp)[:n]
-	runs := runsA
-	for len(runs) > 1 {
-		merged := runsB[:0]
-		for i := 0; i < len(runs); i += 2 {
-			if i+1 == len(runs) {
-				r := runs[i]
-				copy(dst[r.lo:r.hi], src[r.lo:r.hi])
-				merged = append(merged, r)
-				break
-			}
-			l, r := runs[i], runs[i+1]
-			mergeKeys(dst[l.lo:r.hi], src[l.lo:l.hi], src[l.hi:r.hi])
-			merged = append(merged, run{l.lo, r.hi})
+	for b := uint(0); b < 8; b++ {
+		h := &hist[b]
+		if h[src[0].t>>(b*8)&0xff] == int32(n) {
+			continue // this byte is constant across the column
 		}
-		runsB = runs
-		runs = merged
+		var off [256]int32
+		var sum int32
+		for v := 0; v < 256; v++ {
+			off[v] = sum
+			sum += h[v]
+		}
+		sh := b * 8
+		for i := range src {
+			v := src[i].t >> sh & 0xff
+			dst[off[v]] = src[i]
+			off[v]++
+		}
 		src, dst = dst, src
 	}
 	if &src[0] != &k[0] {
@@ -252,28 +283,36 @@ func insertionSortKeys(k []permKey) {
 	}
 }
 
+// insertionRepairKeys sorts k in keyLess order by insertion with a total
+// element-shift budget — O(n + inversions), so a nearly-sorted column
+// costs about one scan. It returns false once the shifts exceed the
+// budget, leaving k as some permutation of the input; the caller must
+// then re-seed and take the radix path.
+func insertionRepairKeys(k []permKey, budget int) bool {
+	for i := 1; i < len(k); i++ {
+		if !keyLess(k[i], k[i-1]) {
+			continue
+		}
+		v := k[i]
+		j := i - 1
+		for ; j >= 0 && keyLess(v, k[j]); j-- {
+			k[j+1] = k[j]
+			budget--
+		}
+		k[j+1] = v
+		if budget < 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // keyLess is the (time, ordinal) total order. Ordinals are unique, so
 // the sorted sequence is unique — equal-time events land in program
 // order regardless of input order, which is exactly the stable-by-time
 // contract of the reference feed.
 func keyLess(a, b permKey) bool {
 	return a.t < b.t || (a.t == b.t && a.e < b.e)
-}
-
-// mergeKeys merges two sorted runs into out, taking from the left run
-// on ties to preserve stability.
-func mergeKeys(out, l, r []permKey) {
-	i, j := 0, 0
-	for x := range out {
-		switch {
-		case i < len(l) && (j >= len(r) || !keyLess(r[j], l[i])):
-			out[x] = l[i]
-			i++
-		default:
-			out[x] = r[j]
-			j++
-		}
-	}
 }
 
 // Kernel classes of the sweep walk, precomputed per instruction by
@@ -369,7 +408,8 @@ func (a *Annotated) sweepMeta() ([]uint8, []uint8) {
 
 // sweepState is the per-group structure-of-arrays state of one walk:
 // time cursors, the MLP window, outstanding-miss (DRAM queue) state,
-// the CPI-stack accumulators and the group partition itself.
+// the CPI-stack accumulators, the per-group frequency constants and the
+// group partition itself.
 type sweepState struct {
 	dispatch      laneRow
 	frontEndReady laneRow
@@ -380,19 +420,28 @@ type sweepState struct {
 	branchNs      laneRow
 	cacheNs       laneRow
 	memNs         laneRow
-	leading       [numWays]int64
+	leading       [numLanes]int64
 
-	// Group g covers way lanes [lo[g], up[g]); groups are stored in
-	// creation order and splits only refine the partition.
-	lo, up [numWays]int
-	nG     int
+	// Frequency constants of the group's corner, copied on split so the
+	// kernels index one row instead of resolving the corner: ns per
+	// cycle, dispatch step, L3 latency and branch-refill penalty in ns.
+	pc   laneRow
+	step laneRow
+	l3   laneRow
+	pen  laneRow
+
+	// Group g covers lanes [lo[g], up[g]) inside the corner band
+	// starting at lane base[g]; groups are stored in creation order and
+	// splits only refine the partition.
+	lo, up, base [numLanes]int
+	nG           int
 }
 
 // split duplicates group g's state column into a new group covering
-// [posB, up[g]) — the instant an access's miss/hit boundary first falls
+// [laneB, up[g]) — the instant an access's miss/hit boundary first falls
 // inside g's interval, its halves become distinguishable and each
 // continues as an independent chain with bit-identical history.
-func (st *sweepState) split(g, posB, ev int, done, start, memRing, issue []laneRow) {
+func (st *sweepState) split(g, laneB, ev int, done, start, memRing, issue []laneRow) {
 	n := st.nG
 	for r := range done {
 		done[r][n] = done[r][g]
@@ -413,11 +462,15 @@ func (st *sweepState) split(g, posB, ev int, done, start, memRing, issue []laneR
 	st.cacheNs[n] = st.cacheNs[g]
 	st.memNs[n] = st.memNs[g]
 	st.leading[n] = st.leading[g]
+	st.pc[n] = st.pc[g]
+	st.step[n] = st.step[g]
+	st.l3[n] = st.l3[g]
+	st.pen[n] = st.pen[g]
 	for e := 0; e < ev; e++ {
 		issue[e][n] = issue[e][g]
 	}
-	st.lo[n], st.up[n] = posB, st.up[g]
-	st.up[g] = posB
+	st.lo[n], st.up[n], st.base[n] = laneB, st.up[g], st.base[g]
+	st.up[g] = laneB
 	st.nG = n + 1
 }
 
@@ -435,34 +488,31 @@ func depRowOf(done []laneRow, ringMask, ri, robSize, i int, dep int32) *laneRow 
 	return &zeroRow
 }
 
-// RunWays executes the annotated stream at one (core size, frequency)
-// point for every way allocation MinWays..MaxWays in a single batched
-// walk, returning the per-allocation results indexed by w-MinWays. When
-// scratch is non-nil (and the stream has LLC traffic) it also returns
-// each lane's delivery permutation over the shared LLCEvents list —
-// replaying LLCEvents in that order into a warm ATD clone (or fork)
-// reproduces Run's ATD state exactly. The permutations alias scratch
-// and are valid until its next use; lanes with identical delivery
-// orders share one slice.
+// RunCorners executes the annotated stream at one core size for every
+// (frequency corner, way allocation) of freqs × MinWays..MaxWays in a
+// single corner-batched walk, returning per corner the per-allocation
+// results indexed by w-MinWays. When the stream has LLC traffic it also
+// returns each lane's delivery permutation over the shared LLCEvents
+// list — replaying LLCEvents in that order into a warm ATD clone (or
+// fork) reproduces Run's ATD state exactly; perms is the zero value
+// otherwise. The results and permutations alias scratch (which must be
+// non-nil) and are valid until its next use; lanes with identical
+// delivery orders share one permutation slice.
 //
 // Lanes are walked as dynamically refined groups: the walk starts with
-// one group spanning every allocation (all lanes are indistinguishable
-// until an LLC access tells them apart) and splits a group only when an
-// access's miss/hit boundary falls strictly inside its way interval,
-// duplicating the group's state column at that instant. A group's
-// representative performs exactly the float operations each of its
-// member lanes would, so results remain bit-identical to fifteen
-// separate Run calls (enforced by TestRunWaysMatchesReference) while
-// the average instruction advances far fewer than fifteen chains.
-func RunWays(a *Annotated, core config.CoreSize, freqGHz float64, scratch *SweepScratch) ([]Result, [][]int32) {
+// one group per frequency corner spanning that corner's every
+// allocation (all of a corner's lanes are indistinguishable until an
+// LLC access tells them apart) and splits a group only when an access's
+// miss/hit boundary falls strictly inside its way interval, duplicating
+// the group's state column at that instant. A group's representative
+// performs exactly the float operations each of its member lanes would,
+// so results remain bit-identical to forty-five separate Run calls
+// (enforced by TestRunCornersMatchesReference) while the average
+// instruction advances far fewer than forty-five chains.
+func RunCorners(a *Annotated, core config.CoreSize, freqs [NumCorners]float64, scratch *SweepScratch) ([NumCorners][]Result, [NumCorners][][]int32) {
 	cp := config.Core(core)
-	perCycle := 1.0 / freqGHz // ns per cycle
 
 	n := len(a.Insts)
-	results := make([]Result, numWays)
-	for l := range results {
-		results[l].Instructions = int64(n)
-	}
 	classes, latCyc := a.sweepMeta()
 
 	// Ring buffers over the reorder window, padded to powers of two so
@@ -484,20 +534,20 @@ func RunWays(a *Annotated, core config.CoreSize, freqGHz float64, scratch *Sweep
 		memLen <<= 1
 	}
 	memMask := memLen - 1
-	var done, start, memRing []laneRow
-	if scratch != nil {
-		rows := scratch.ringRows(2*ringLen + memLen)
-		done, start, memRing = rows[:ringLen:ringLen], rows[ringLen:2*ringLen:2*ringLen], rows[2*ringLen:]
-	} else {
-		done = make([]laneRow, ringLen)
-		start = make([]laneRow, ringLen)
-		memRing = make([]laneRow, memLen)
-	}
+	rows := scratch.ringRows(2*ringLen + memLen)
+	done, start, memRing := rows[:ringLen:ringLen], rows[ringLen:2*ringLen:2*ringLen], rows[2*ringLen:]
 	mi := 0 // memCount % LSQ, maintained by wraparound
 
 	var st sweepState
-	st.nG = 1
-	st.up[0] = numWays
+	st.nG = NumCorners
+	for k := 0; k < NumCorners; k++ {
+		perCycle := 1.0 / freqs[k] // ns per cycle
+		st.lo[k], st.up[k], st.base[k] = k*numWays, (k+1)*numWays, k*numWays
+		st.pc[k] = perCycle
+		st.step[k] = perCycle / float64(cp.IssueWidth)
+		st.l3[k] = config.L3LatencyCycles * perCycle
+		st.pen[k] = config.BranchPenaltyCycles * perCycle
+	}
 	// Aliases keep the kernels free of st. noise; laneRow pointers
 	// auto-indirect on indexing.
 	dispatch := &st.dispatch
@@ -510,12 +560,12 @@ func RunWays(a *Annotated, core config.CoreSize, freqGHz float64, scratch *Sweep
 	cacheNs := &st.cacheNs
 	memNs := &st.memNs
 	leading := &st.leading
+	pc := &st.pc
+	step := &st.step
+	l3 := &st.l3
+	pen := &st.pen
 
-	dispatchStep := perCycle / float64(cp.IssueWidth)
-	l3Ns := config.L3LatencyCycles * perCycle
-	penNs := config.BranchPenaltyCycles * perCycle
-
-	feed := scratch != nil && a.L2Misses > 0
+	feed := a.L2Misses > 0
 	var issue []laneRow
 	if feed {
 		issue = scratch.issueRows(int(a.L2Misses))
@@ -544,9 +594,9 @@ func RunWays(a *Annotated, core config.CoreSize, freqGHz float64, scratch *Sweep
 
 		switch classes[i] {
 		case clsBase:
-			lat := float64(latCyc[i]) * perCycle
+			latf := float64(latCyc[i])
 			for l := 0; l < nG; l++ {
-				d1 := dispatch[l] + dispatchStep
+				d1 := dispatch[l] + step[l]
 				if v := row[l]; v > d1 {
 					d1 = v
 				}
@@ -560,12 +610,12 @@ func RunWays(a *Annotated, core config.CoreSize, freqGHz float64, scratch *Sweep
 					d = rsV
 				}
 				dispatch[l] = d
-				ready := d + perCycle
+				ready := d + pc[l]
 				srow[l] = ready
-				fin := ready + lat
+				fin := ready + latf*pc[l]
 				row[l] = fin
-				fr := frontier[l] + dispatchStep
-				baseNs[l] += dispatchStep
+				fr := frontier[l] + step[l]
+				baseNs[l] += step[l]
 				if fin > fr {
 					frontier[l] = fin
 					if fe > d1 && rsV <= fe {
@@ -579,10 +629,10 @@ func RunWays(a *Annotated, core config.CoreSize, freqGHz float64, scratch *Sweep
 			}
 
 		case clsBaseDep1:
-			lat := float64(latCyc[i]) * perCycle
+			latf := float64(latCyc[i])
 			dep1Row := depRowOf(done, ringMask, ri, robSize, i, a.Insts[i].Dep1)
 			for l := 0; l < nG; l++ {
-				d1 := dispatch[l] + dispatchStep
+				d1 := dispatch[l] + step[l]
 				if v := row[l]; v > d1 {
 					d1 = v
 				}
@@ -596,12 +646,12 @@ func RunWays(a *Annotated, core config.CoreSize, freqGHz float64, scratch *Sweep
 					d = rsV
 				}
 				dispatch[l] = d
-				ready := max(d+perCycle, dep1Row[l])
+				ready := max(d+pc[l], dep1Row[l])
 				srow[l] = ready
-				fin := ready + lat
+				fin := ready + latf*pc[l]
 				row[l] = fin
-				fr := frontier[l] + dispatchStep
-				baseNs[l] += dispatchStep
+				fr := frontier[l] + step[l]
+				baseNs[l] += step[l]
 				if fin > fr {
 					frontier[l] = fin
 					if fe > d1 && rsV <= fe {
@@ -615,12 +665,12 @@ func RunWays(a *Annotated, core config.CoreSize, freqGHz float64, scratch *Sweep
 			}
 
 		case clsBaseDep:
-			lat := float64(latCyc[i]) * perCycle
+			latf := float64(latCyc[i])
 			in := &a.Insts[i]
 			dep1Row := depRowOf(done, ringMask, ri, robSize, i, in.Dep1)
 			dep2Row := depRowOf(done, ringMask, ri, robSize, i, in.Dep2)
 			for l := 0; l < nG; l++ {
-				d1 := dispatch[l] + dispatchStep
+				d1 := dispatch[l] + step[l]
 				if v := row[l]; v > d1 {
 					d1 = v
 				}
@@ -634,12 +684,12 @@ func RunWays(a *Annotated, core config.CoreSize, freqGHz float64, scratch *Sweep
 					d = rsV
 				}
 				dispatch[l] = d
-				ready := max(d+perCycle, dep1Row[l], dep2Row[l])
+				ready := max(d+pc[l], dep1Row[l], dep2Row[l])
 				srow[l] = ready
-				fin := ready + lat
+				fin := ready + latf*pc[l]
 				row[l] = fin
-				fr := frontier[l] + dispatchStep
-				baseNs[l] += dispatchStep
+				fr := frontier[l] + step[l]
+				baseNs[l] += step[l]
 				if fin > fr {
 					frontier[l] = fin
 					if fe > d1 && rsV <= fe {
@@ -653,10 +703,10 @@ func RunWays(a *Annotated, core config.CoreSize, freqGHz float64, scratch *Sweep
 			}
 
 		case clsBaseMem:
-			lat := float64(latCyc[i]) * perCycle
+			latf := float64(latCyc[i])
 			memRow := &memRing[mi&memMask]
 			for l := 0; l < nG; l++ {
-				d1 := dispatch[l] + dispatchStep
+				d1 := dispatch[l] + step[l]
 				if v := row[l]; v > d1 {
 					d1 = v
 				}
@@ -674,13 +724,13 @@ func RunWays(a *Annotated, core config.CoreSize, freqGHz float64, scratch *Sweep
 					d = memV
 				}
 				dispatch[l] = d
-				ready := d + perCycle
+				ready := d + pc[l]
 				srow[l] = ready
-				fin := ready + lat
+				fin := ready + latf*pc[l]
 				row[l] = fin
 				memRow[l] = fin
-				fr := frontier[l] + dispatchStep
-				baseNs[l] += dispatchStep
+				fr := frontier[l] + step[l]
+				baseNs[l] += step[l]
 				if fin > fr {
 					frontier[l] = fin
 					if fe > d1 && rsV <= fe && memV <= fe {
@@ -698,11 +748,11 @@ func RunWays(a *Annotated, core config.CoreSize, freqGHz float64, scratch *Sweep
 			}
 
 		case clsBaseDep1Mem:
-			lat := float64(latCyc[i]) * perCycle
+			latf := float64(latCyc[i])
 			dep1Row := depRowOf(done, ringMask, ri, robSize, i, a.Insts[i].Dep1)
 			memRow := &memRing[mi&memMask]
 			for l := 0; l < nG; l++ {
-				d1 := dispatch[l] + dispatchStep
+				d1 := dispatch[l] + step[l]
 				if v := row[l]; v > d1 {
 					d1 = v
 				}
@@ -720,13 +770,13 @@ func RunWays(a *Annotated, core config.CoreSize, freqGHz float64, scratch *Sweep
 					d = memV
 				}
 				dispatch[l] = d
-				ready := max(d+perCycle, dep1Row[l])
+				ready := max(d+pc[l], dep1Row[l])
 				srow[l] = ready
-				fin := ready + lat
+				fin := ready + latf*pc[l]
 				row[l] = fin
 				memRow[l] = fin
-				fr := frontier[l] + dispatchStep
-				baseNs[l] += dispatchStep
+				fr := frontier[l] + step[l]
+				baseNs[l] += step[l]
 				if fin > fr {
 					frontier[l] = fin
 					if fe > d1 && rsV <= fe && memV <= fe {
@@ -744,13 +794,13 @@ func RunWays(a *Annotated, core config.CoreSize, freqGHz float64, scratch *Sweep
 			}
 
 		case clsBaseDepMem:
-			lat := float64(latCyc[i]) * perCycle
+			latf := float64(latCyc[i])
 			in := &a.Insts[i]
 			dep1Row := depRowOf(done, ringMask, ri, robSize, i, in.Dep1)
 			dep2Row := depRowOf(done, ringMask, ri, robSize, i, in.Dep2)
 			memRow := &memRing[mi&memMask]
 			for l := 0; l < nG; l++ {
-				d1 := dispatch[l] + dispatchStep
+				d1 := dispatch[l] + step[l]
 				if v := row[l]; v > d1 {
 					d1 = v
 				}
@@ -768,13 +818,13 @@ func RunWays(a *Annotated, core config.CoreSize, freqGHz float64, scratch *Sweep
 					d = memV
 				}
 				dispatch[l] = d
-				ready := max(d+perCycle, dep1Row[l], dep2Row[l])
+				ready := max(d+pc[l], dep1Row[l], dep2Row[l])
 				srow[l] = ready
-				fin := ready + lat
+				fin := ready + latf*pc[l]
 				row[l] = fin
 				memRow[l] = fin
-				fr := frontier[l] + dispatchStep
-				baseNs[l] += dispatchStep
+				fr := frontier[l] + step[l]
+				baseNs[l] += step[l]
 				if fin > fr {
 					frontier[l] = fin
 					if fe > d1 && rsV <= fe && memV <= fe {
@@ -794,13 +844,13 @@ func RunWays(a *Annotated, core config.CoreSize, freqGHz float64, scratch *Sweep
 		case clsL2Load:
 			// L2-hit load: fixed latency, every stall is cache-class
 			// (it wins over branch attribution).
-			lat := float64(latCyc[i]) * perCycle
+			latf := float64(latCyc[i])
 			in := &a.Insts[i]
 			dep1Row := depRowOf(done, ringMask, ri, robSize, i, in.Dep1)
 			dep2Row := depRowOf(done, ringMask, ri, robSize, i, in.Dep2)
 			memRow := &memRing[mi&memMask]
 			for l := 0; l < nG; l++ {
-				d1 := dispatch[l] + dispatchStep
+				d1 := dispatch[l] + step[l]
 				if v := row[l]; v > d1 {
 					d1 = v
 				}
@@ -815,13 +865,13 @@ func RunWays(a *Annotated, core config.CoreSize, freqGHz float64, scratch *Sweep
 					d = v
 				}
 				dispatch[l] = d
-				ready := max(d+perCycle, dep1Row[l], dep2Row[l])
+				ready := max(d+pc[l], dep1Row[l], dep2Row[l])
 				srow[l] = ready
-				fin := ready + lat
+				fin := ready + latf*pc[l]
 				row[l] = fin
 				memRow[l] = fin
-				fr := frontier[l] + dispatchStep
-				baseNs[l] += dispatchStep
+				fr := frontier[l] + step[l]
+				baseNs[l] += step[l]
 				if fin > fr {
 					frontier[l] = fin
 					cacheNs[l] += fin - fr
@@ -837,24 +887,26 @@ func RunWays(a *Annotated, core config.CoreSize, freqGHz float64, scratch *Sweep
 		case clsLLCLoad:
 			// LLC load: miss groups stall on memory (DRAM queue + MLP
 			// window), hit groups on the LLC. The boundary split keeps
-			// every group uniformly one or the other.
+			// every group uniformly one or the other; the boundary
+			// position is corner-invariant, so one scan splits every
+			// corner band that straddles it.
 			posB := llcBoundary(int(a.LLCPos[i]))
 			if posB > 0 && posB < numWays {
-				for g := 0; g < nG; g++ {
-					if st.lo[g] < posB && posB < st.up[g] {
-						st.split(g, posB, ev, done, start, memRing, issue)
-						nG = st.nG
-						break
+				for g, n0 := 0, nG; g < n0; g++ {
+					if bb := st.base[g] + posB; st.lo[g] < bb && bb < st.up[g] {
+						st.split(g, bb, ev, done, start, memRing, issue)
 					}
 				}
+				nG = st.nG
 			}
 			in := &a.Insts[i]
 			dep1Row := depRowOf(done, ringMask, ri, robSize, i, in.Dep1)
 			dep2Row := depRowOf(done, ringMask, ri, robSize, i, in.Dep2)
 			memRow := &memRing[mi&memMask]
 			lo := &st.lo
+			base := &st.base
 			for l := 0; l < nG; l++ {
-				d1 := dispatch[l] + dispatchStep
+				d1 := dispatch[l] + step[l]
 				if v := row[l]; v > d1 {
 					d1 = v
 				}
@@ -869,12 +921,12 @@ func RunWays(a *Annotated, core config.CoreSize, freqGHz float64, scratch *Sweep
 					d = v
 				}
 				dispatch[l] = d
-				ready := max(d+perCycle, dep1Row[l], dep2Row[l])
+				ready := max(d+pc[l], dep1Row[l], dep2Row[l])
 				srow[l] = ready
-				fr := frontier[l] + dispatchStep
-				baseNs[l] += dispatchStep
-				if lo[l] < posB {
-					reqNs := ready + l3Ns
+				fr := frontier[l] + step[l]
+				baseNs[l] += step[l]
+				if lo[l] < base[l]+posB {
+					reqNs := ready + l3[l]
 					sStart := reqNs
 					if v := lastDRAMStart[l] + config.DRAMServiceNs; v > sStart {
 						sStart = v
@@ -900,7 +952,7 @@ func RunWays(a *Annotated, core config.CoreSize, freqGHz float64, scratch *Sweep
 						frontier[l] = fr
 					}
 				} else {
-					fin := ready + l3Ns
+					fin := ready + l3[l]
 					row[l] = fin
 					memRow[l] = fin
 					if fin > fr {
@@ -926,13 +978,12 @@ func RunWays(a *Annotated, core config.CoreSize, freqGHz float64, scratch *Sweep
 			// bandwidth without stalling the pipeline.
 			posB := llcBoundary(int(a.LLCPos[i]))
 			if posB > 0 && posB < numWays {
-				for g := 0; g < nG; g++ {
-					if st.lo[g] < posB && posB < st.up[g] {
-						st.split(g, posB, ev, done, start, memRing, issue)
-						nG = st.nG
-						break
+				for g, n0 := 0, nG; g < n0; g++ {
+					if bb := st.base[g] + posB; st.lo[g] < bb && bb < st.up[g] {
+						st.split(g, bb, ev, done, start, memRing, issue)
 					}
 				}
+				nG = st.nG
 			}
 			dep1Row, dep2Row := &zeroRow, &zeroRow
 			if classes[i] == clsStoreLLCDep {
@@ -942,8 +993,9 @@ func RunWays(a *Annotated, core config.CoreSize, freqGHz float64, scratch *Sweep
 			}
 			memRow := &memRing[mi&memMask]
 			lo := &st.lo
+			base := &st.base
 			for l := 0; l < nG; l++ {
-				d1 := dispatch[l] + dispatchStep
+				d1 := dispatch[l] + step[l]
 				if v := row[l]; v > d1 {
 					d1 = v
 				}
@@ -961,21 +1013,21 @@ func RunWays(a *Annotated, core config.CoreSize, freqGHz float64, scratch *Sweep
 					d = memV
 				}
 				dispatch[l] = d
-				ready := max(d+perCycle, dep1Row[l], dep2Row[l])
+				ready := max(d+pc[l], dep1Row[l], dep2Row[l])
 				srow[l] = ready
-				fin := ready + perCycle
+				fin := ready + pc[l]
 				row[l] = fin
 				memRow[l] = fin
-				if lo[l] < posB {
-					reqNs := ready + l3Ns
+				if lo[l] < base[l]+posB {
+					reqNs := ready + l3[l]
 					sStart := reqNs
 					if v := lastDRAMStart[l] + config.DRAMServiceNs; v > sStart {
 						sStart = v
 					}
 					lastDRAMStart[l] = sStart
 				}
-				fr := frontier[l] + dispatchStep
-				baseNs[l] += dispatchStep
+				fr := frontier[l] + step[l]
+				baseNs[l] += step[l]
 				if fin > fr {
 					frontier[l] = fin
 					if fe > d1 && rsV <= fe && memV <= fe {
@@ -1006,7 +1058,7 @@ func RunWays(a *Annotated, core config.CoreSize, freqGHz float64, scratch *Sweep
 				dep2Row = depRowOf(done, ringMask, ri, robSize, i, in.Dep2)
 			}
 			for l := 0; l < nG; l++ {
-				d1 := dispatch[l] + dispatchStep
+				d1 := dispatch[l] + step[l]
 				if v := row[l]; v > d1 {
 					d1 = v
 				}
@@ -1020,12 +1072,12 @@ func RunWays(a *Annotated, core config.CoreSize, freqGHz float64, scratch *Sweep
 					d = rsV
 				}
 				dispatch[l] = d
-				ready := max(d+perCycle, dep1Row[l], dep2Row[l])
+				ready := max(d+pc[l], dep1Row[l], dep2Row[l])
 				srow[l] = ready
-				fin := ready + perCycle
+				fin := ready + pc[l]
 				row[l] = fin
-				fr := frontier[l] + dispatchStep
-				baseNs[l] += dispatchStep
+				fr := frontier[l] + step[l]
+				baseNs[l] += step[l]
 				if fin > fr {
 					frontier[l] = fin
 					if fe > d1 && rsV <= fe {
@@ -1036,7 +1088,7 @@ func RunWays(a *Annotated, core config.CoreSize, freqGHz float64, scratch *Sweep
 				} else {
 					frontier[l] = fr
 				}
-				if r := fin + penNs; r > frontEndReady[l] {
+				if r := fin + pen[l]; r > frontEndReady[l] {
 					frontEndReady[l] = r
 				}
 			}
@@ -1051,43 +1103,53 @@ func RunWays(a *Annotated, core config.CoreSize, freqGHz float64, scratch *Sweep
 	// Expand the group representatives to their member lanes: timing and
 	// leading-miss state are group values, the cache counters come from
 	// the shared per-allocation profile and are exact per lane.
-	var groupOf [numWays]int
+	var groupOf [numLanes]int
 	for g := 0; g < st.nG; g++ {
 		for l := st.lo[g]; l < st.up[g]; l++ {
 			groupOf[l] = g
 		}
 	}
-	for l := range results {
-		res := &results[l]
-		g := groupOf[l]
-		res.TimeNs = frontier[g]
-		res.BaseNs = baseNs[g]
-		res.BranchNs = branchNs[g]
-		res.CacheNs = cacheNs[g]
-		res.MemNs = memNs[g]
-		res.L1Misses = a.L1Misses
-		res.LeadingMisses = leading[g]
-		pr := a.waysProfile(config.MinWays + l)
-		res.LLCAccesses = pr.llcAccesses
-		res.LLCHits = pr.llcHits
-		res.LLCMisses = pr.llcMisses
-		res.DRAMLoads = pr.dramLoads
-		res.Writebacks = pr.writebacks
-		res.Mispredicts = pr.mispredicts
-		if res.LeadingMisses > 0 {
-			res.MLP = float64(res.DRAMLoads) / float64(res.LeadingMisses)
-		} else {
-			res.MLP = 1
+	var results [NumCorners][]Result
+	for k := 0; k < NumCorners; k++ {
+		out := scratch.res[k*numWays : (k+1)*numWays : (k+1)*numWays]
+		for wl := 0; wl < numWays; wl++ {
+			g := groupOf[k*numWays+wl]
+			pr := a.waysProfile(config.MinWays + wl)
+			mlp := 1.0
+			if st.leading[g] > 0 {
+				mlp = float64(pr.dramLoads) / float64(st.leading[g])
+			}
+			out[wl] = Result{
+				Instructions:  int64(n),
+				TimeNs:        st.frontier[g],
+				BaseNs:        st.baseNs[g],
+				BranchNs:      st.branchNs[g],
+				CacheNs:       st.cacheNs[g],
+				MemNs:         st.memNs[g],
+				L1Misses:      a.L1Misses,
+				LLCAccesses:   pr.llcAccesses,
+				LLCHits:       pr.llcHits,
+				LLCMisses:     pr.llcMisses,
+				DRAMLoads:     pr.dramLoads,
+				Writebacks:    pr.writebacks,
+				Mispredicts:   pr.mispredicts,
+				LeadingMisses: st.leading[g],
+				MLP:           mlp,
+			}
 		}
+		results[k] = out
+		scratch.out[k] = out
 	}
 
-	var perms [][]int32
+	var perms [NumCorners][][]int32
 	if feed {
 		gperms := scratch.sortLanes(issue, st.nG)
-		for l := range scratch.wperms {
-			scratch.wperms[l] = gperms[groupOf[l]]
+		for k := 0; k < NumCorners; k++ {
+			for wl := 0; wl < numWays; wl++ {
+				scratch.wperms[k][wl] = gperms[groupOf[k*numWays+wl]]
+			}
+			perms[k] = scratch.wperms[k][:]
 		}
-		perms = scratch.wperms[:]
 	}
 	return results, perms
 }

@@ -157,10 +157,21 @@ type phasePrep struct {
 	// of the phase observes exactly these events — only the delivery
 	// order varies with the setting — so one shared list serves all
 	// replays and a run is fully described by its delivery permutation.
+	// Read-only after prepare; feeds index it without touching the
+	// replay-tree lock below.
 	events []cpu.LLCEvent
 
+	// The padding keeps the replay-tree lock — bouncing between workers
+	// of the same phase — off the cache lines of the read-only fields
+	// above, which every shard reads on each event feed.
+	_ [64]byte
+
 	// tree is the prefix-sharing replay trie over delivery permutations
-	// (see replayNode); mu guards it.
+	// (see replayNode); mu guards its shape (edges, children). ATD
+	// feeds happen outside the lock: a freshly inserted node is
+	// published pending and its creator materialises the state while
+	// other workers navigate, insert siblings, or block on exactly the
+	// nodes they need.
 	mu   sync.Mutex
 	tree replayNode
 }
@@ -174,10 +185,19 @@ type phasePrep struct {
 // entire sequence matched, the tree forks a copy-on-write snapshot at
 // the divergence point, so runs sharing a prefix replay only their
 // divergent suffixes.
+//
+// Nodes are inserted pending — shape under pp.mu, state computed by
+// the inserting worker after unlocking — so the multi-millisecond ATD
+// feeds never serialise the tree. ready is closed once state is
+// published; it is nil only on the root, whose state is the warm ATD.
+// A worker that needs a pending node's state blocks on ready; waits
+// only ever target ancestors of the waiter's own insertion point, so
+// they cannot cycle.
 type replayNode struct {
 	edge     []int32
 	state    *atd.ATD
 	children []*replayNode
+	ready    chan struct{}
 }
 
 func (pp *phasePrep) prepare(p trace.Params, opts Options) error {
@@ -204,13 +224,18 @@ func (pp *phasePrep) prepare(p trace.Params, opts Options) error {
 // shares a prefix with earlier runs forks a COW snapshot at the
 // divergence point and replays only its suffix. All returned ATDs are
 // read-only for every holder.
+//
+// The tree lock covers only trie navigation and node insertion; the
+// ATD feeds themselves — the multi-millisecond part — run after the
+// unlock, against pending nodes other workers can block on. Before
+// this, the lock was held across every feed and the "parallel" build
+// serialised on it whenever two workers shared a phase.
 func (pp *phasePrep) replay(perm []int32) *atd.ATD {
 	if len(perm) == 0 {
 		// No LLC traffic: every run observes exactly the warm state.
 		return pp.warm
 	}
 	pp.mu.Lock()
-	defer pp.mu.Unlock()
 	cur := &pp.tree
 	i := 0
 	for {
@@ -222,8 +247,15 @@ func (pp *phasePrep) replay(perm []int32) *atd.ATD {
 			}
 		}
 		if next == nil {
-			// No shared prefix beyond cur: fork and replay the suffix.
-			return pp.grow(cur, perm[i:])
+			// No shared prefix beyond cur: insert a pending leaf and
+			// replay the suffix outside the lock.
+			leaf := &replayNode{
+				edge:  append([]int32(nil), perm[i:]...),
+				ready: make(chan struct{}),
+			}
+			cur.children = append(cur.children, leaf)
+			pp.mu.Unlock()
+			return pp.materialize(leaf, cur, leaf.edge)
 		}
 		e := next.edge
 		j := 1
@@ -238,7 +270,12 @@ func (pp *phasePrep) replay(perm []int32) *atd.ATD {
 			cur = next
 			i += j
 			if i == len(perm) {
-				// Exact duplicate of an earlier replay.
+				// Exact duplicate of an earlier replay; it may still be
+				// materialising under its inserting worker.
+				pp.mu.Unlock()
+				if cur.ready != nil {
+					<-cur.ready
+				}
 				return cur.state
 			}
 			continue
@@ -247,8 +284,13 @@ func (pp *phasePrep) replay(perm []int32) *atd.ATD {
 		// snapshot forks the parent's state and replays the shared
 		// prefix; the existing child keeps its state under a shortened
 		// edge, and the new run forks the intermediate snapshot.
-		mid := &replayNode{edge: e[:j:j]}
-		mid.state = pp.feed(cur.state.Fork(), mid.edge)
+		//
+		// The parent pointer and suffix are captured before unlocking:
+		// a later split by another worker may shorten mid.edge and
+		// re-parent mid, but the captured pair always reproduces the
+		// path mid was created for. (Edge contents are immutable —
+		// splits only re-slice — so captured headers stay valid.)
+		mid := &replayNode{edge: e[:j:j], ready: make(chan struct{})}
 		next.edge = e[j:]
 		mid.children = append(mid.children, next)
 		for ci, ch := range cur.children {
@@ -261,19 +303,32 @@ func (pp *phasePrep) replay(perm []int32) *atd.ATD {
 			// Unreachable while all sequences have equal length (no
 			// sequence is a strict prefix of another), but keep the
 			// trie correct if that ever changes.
-			return mid.state
+			pp.mu.Unlock()
+			return pp.materialize(mid, cur, mid.edge)
 		}
-		return pp.grow(mid, perm[i+j:])
+		leaf := &replayNode{
+			edge:  append([]int32(nil), perm[i+j:]...),
+			ready: make(chan struct{}),
+		}
+		mid.children = append(mid.children, leaf)
+		pp.mu.Unlock()
+		pp.materialize(mid, cur, mid.edge)
+		return pp.materialize(leaf, mid, leaf.edge)
 	}
 }
 
-// grow extends the tree below parent with the given delivery suffix,
-// replaying it onto a fork of parent's state, and returns the state.
-func (pp *phasePrep) grow(parent *replayNode, suffix []int32) *atd.ATD {
-	leaf := &replayNode{edge: append([]int32(nil), suffix...)}
-	leaf.state = pp.feed(parent.state.Fork(), leaf.edge)
-	parent.children = append(parent.children, leaf)
-	return leaf.state
+// materialize computes a pending node's state outside the tree lock:
+// wait for the parent's state (parents are always ancestors of the
+// caller's insertion point, so waits cannot cycle), fork it, feed the
+// suffix captured at insertion, and publish. Returns the state.
+func (pp *phasePrep) materialize(node, parent *replayNode, suffix []int32) *atd.ATD {
+	if parent.ready != nil {
+		<-parent.ready
+	}
+	st := pp.feed(parent.state.Fork(), suffix)
+	node.state = st
+	close(node.ready)
+	return st
 }
 
 // feed replays the given event ordinals into a and returns it.
@@ -286,22 +341,51 @@ func (pp *phasePrep) feed(a *atd.ATD, seq []int32) *atd.ATD {
 }
 
 // Build runs the detailed simulations for every phase of every benchmark
-// in benches, in parallel across (phase, core size, frequency corner)
-// shards. Worker failures are all collected and returned joined; the
-// database is not usable on error.
+// in benches, in parallel across (phase, core size) shards. Worker
+// failures are all collected and returned joined; the database is not
+// usable on error.
 //
 // The sweep shares everything that is setting-independent: the trace is
-// generated and annotated once per phase; the fifteen way allocations of
-// one (core size, frequency corner) are walked by a single cpu.RunWays
-// pass that advances only as many chains as the allocations are
-// distinguishable into; and ATD observations come from a per-phase
-// replay tree over the ATD — warmed once, since warmup does not depend
-// on the setting — whose copy-on-write snapshots let runs sharing a
-// delivery-sequence prefix replay only their divergent suffixes. The
-// result is bit-identical to the reference sweep (BuildReference), which
-// re-derives all of this for each of the ~135 runs of a phase.
+// generated and annotated once per phase; all forty-five (frequency
+// corner, way allocation) lanes of one core size are walked by a single
+// corner-batched cpu.RunCorners pass that advances only as many chains
+// as the lanes are distinguishable into; and ATD observations come from
+// a per-phase replay tree over the ATD — warmed once, since warmup does
+// not depend on the setting — whose copy-on-write snapshots let runs
+// sharing a delivery-sequence prefix replay only their divergent
+// suffixes. The result is bit-identical to the reference sweep
+// (BuildReference), which re-derives all of this for each of the ~135
+// runs of a phase.
 func Build(benches []*bench.Benchmark, opts Options) (*DB, error) {
-	return build(context.Background(), benches, opts, false)
+	return build(context.Background(), benches, opts, false, nil)
+}
+
+// Workspace retains the per-worker sweep scratches of a database build
+// across Build calls, in the mould of rm.Workspace and sim.RunWorkspace:
+// the scratch matrices (issue times, permutations, rings, sort keys) are
+// by far the largest allocations of a build and depend only on the trace
+// length, so a caller rebuilding databases of the same shape — the
+// perfbench suite, a parameter sweep — reuses them instead of re-growing
+// them from nil every time. The zero value is ready. A Workspace is not
+// safe for concurrent use: one Build at a time (the build itself still
+// runs parallel workers; each worker gets its own retained scratch).
+type Workspace struct {
+	scratches []*cpu.SweepScratch
+}
+
+// Build is db.Build reusing ws's sweep scratches. Results are
+// bit-identical to db.Build's.
+func (ws *Workspace) Build(benches []*bench.Benchmark, opts Options) (*DB, error) {
+	return build(context.Background(), benches, opts, false, ws)
+}
+
+// scratch returns the retained scratch of worker w, growing the pool on
+// first use of a wider worker count.
+func (ws *Workspace) scratch(w int) *cpu.SweepScratch {
+	for len(ws.scratches) <= w {
+		ws.scratches = append(ws.scratches, &cpu.SweepScratch{})
+	}
+	return ws.scratches[w]
 }
 
 // BuildContext is Build honouring ctx: workers check for cancellation
@@ -310,7 +394,7 @@ func Build(benches []*bench.Benchmark, opts Options) (*DB, error) {
 // a shard is a few milliseconds of simulation). A cancelled build
 // returns ctx's error and no database.
 func BuildContext(ctx context.Context, benches []*bench.Benchmark, opts Options) (*DB, error) {
-	return build(ctx, benches, opts, false)
+	return build(ctx, benches, opts, false, nil)
 }
 
 // BuildReference is the seed implementation of Build, retained as the
@@ -318,10 +402,10 @@ func BuildContext(ctx context.Context, benches []*bench.Benchmark, opts Options)
 // re-creates and re-warms the ATD for every run and walks each (core
 // size, frequency, ways) point separately via cpu.RunReference.
 func BuildReference(benches []*bench.Benchmark, opts Options) (*DB, error) {
-	return build(context.Background(), benches, opts, true)
+	return build(context.Background(), benches, opts, true, nil)
 }
 
-func build(ctx context.Context, benches []*bench.Benchmark, opts Options, reference bool) (*DB, error) {
+func build(ctx context.Context, benches []*bench.Benchmark, opts Options, reference bool, ws *Workspace) (*DB, error) {
 	opts.fill()
 	d := &DB{
 		TraceLen: opts.TraceLen,
@@ -334,7 +418,6 @@ func build(ctx context.Context, benches []*bench.Benchmark, opts Options, refere
 		prep  *phasePrep
 		pd    *phaseData
 		ci    int // core-size shard; -1 = whole phase (reference mode)
-		k     int // frequency-corner shard
 	}
 	var perPhase [][]job
 	for _, b := range benches {
@@ -350,11 +433,12 @@ func build(ctx context.Context, benches []*bench.Benchmark, opts Options, refere
 			prep := &phasePrep{}
 			pd := &phaseData{}
 			d.Phases[b.Name][p] = pd
+			// Largest core first: its reorder window makes it the
+			// slowest walk, so it must not be the straggler a worker
+			// picks up last when the queue is nearly drained.
 			var shard []job
-			for ci := range config.Sizes {
-				for k := range fCorners {
-					shard = append(shard, job{b: b, phase: p, prep: prep, pd: pd, ci: ci, k: k})
-				}
+			for ci := config.NumSizes - 1; ci >= 0; ci-- {
+				shard = append(shard, job{b: b, phase: p, prep: prep, pd: pd, ci: ci})
 			}
 			perPhase = append(perPhase, shard)
 		}
@@ -394,9 +478,12 @@ func build(ctx context.Context, benches []*bench.Benchmark, opts Options, refere
 	ch := make(chan job, len(jobs))
 	for w := 0; w < opts.Workers; w++ {
 		wg.Add(1)
+		scratch := &cpu.SweepScratch{}
+		if ws != nil {
+			scratch = ws.scratch(w)
+		}
 		go func() {
 			defer wg.Done()
-			scratch := &cpu.SweepScratch{}
 			for j := range ch {
 				if ctx.Err() != nil {
 					continue // cancelled: drain the queue without simulating
@@ -411,7 +498,7 @@ func build(ctx context.Context, benches []*bench.Benchmark, opts Options, refere
 						mu.Unlock()
 					}
 				} else {
-					err = buildShard(j.b.Phases[j.phase].Params, opts, j.prep, j.pd, j.ci, j.k, scratch)
+					err = buildShard(j.b.Phases[j.phase].Params, opts, j.prep, j.pd, j.ci, scratch)
 				}
 				if err != nil {
 					mu.Lock()
@@ -442,42 +529,50 @@ func build(ctx context.Context, benches []*bench.Benchmark, opts Options, refere
 	return d, nil
 }
 
-// buildShard simulates the fifteen way allocations of one
-// (phase, core size, frequency corner) point in a single sweep walk over
-// the shared phase preparation.
-func buildShard(p trace.Params, opts Options, prep *phasePrep, pd *phaseData, ci, k int, scratch *cpu.SweepScratch) error {
+// buildShard simulates one core size of a phase — all three frequency
+// corners at all fifteen way allocations — in a single corner-batched
+// sweep walk over the shared phase preparation.
+func buildShard(p trace.Params, opts Options, prep *phasePrep, pd *phaseData, ci int, scratch *cpu.SweepScratch) error {
 	if err := prep.prepare(p, opts); err != nil {
 		return err
 	}
 	if prep.tail.L2Misses == 0 {
 		// No measured access ever reaches the LLC, so the timing walk
 		// cannot depend on the way allocation and the ATD observes
-		// nothing beyond its warm state: one run serves all fifteen
-		// allocations verbatim.
-		r := cpu.Run(prep.tail, cpu.RunConfig{
-			Core:    config.Sizes[ci],
-			Ways:    config.MinWays,
-			FreqGHz: config.FreqGHz(fCorners[k]),
-		})
-		for wi := 0; wi < NumWays; wi++ {
-			fillStats(&pd.Runs[ci][k][wi], &r, prep.warm)
+		// nothing beyond its warm state: one run per corner serves all
+		// fifteen allocations verbatim.
+		for k, fi := range fCorners {
+			r := cpu.Run(prep.tail, cpu.RunConfig{
+				Core:    config.Sizes[ci],
+				Ways:    config.MinWays,
+				FreqGHz: config.FreqGHz(fi),
+			})
+			for wi := 0; wi < NumWays; wi++ {
+				fillStats(&pd.Runs[ci][k][wi], &r, prep.warm)
+			}
 		}
 		return nil
 	}
-	results, perms := cpu.RunWays(prep.tail, config.Sizes[ci], config.FreqGHz(fCorners[k]), scratch)
+	var freqs [cpu.NumCorners]float64
+	for k, fi := range fCorners {
+		freqs[k] = config.FreqGHz(fi)
+	}
+	results, perms := cpu.RunCorners(prep.tail, config.Sizes[ci], freqs, scratch)
 	var prevPerm []int32
 	var prevATD *atd.ATD
-	for wi := range results {
-		p := perms[wi]
-		// Adjacent lanes with identical delivery orders share one
-		// permutation slice (RunWays's contract); reuse the replay
-		// without taking the tree lock.
-		a := prevATD
-		if prevATD == nil || &p[0] != &prevPerm[0] {
-			a = prep.replay(p)
-			prevPerm, prevATD = p, a
+	for k := range results {
+		for wi := range results[k] {
+			p := perms[k][wi]
+			// Lanes with identical delivery orders share one
+			// permutation slice (RunCorners's contract); reuse the
+			// replay without touching the tree.
+			a := prevATD
+			if prevATD == nil || &p[0] != &prevPerm[0] {
+				a = prep.replay(p)
+				prevPerm, prevATD = p, a
+			}
+			fillStats(&pd.Runs[ci][k][wi], &results[k][wi], a)
 		}
-		fillStats(&pd.Runs[ci][k][wi], &results[wi], a)
 	}
 	return nil
 }

@@ -1,0 +1,102 @@
+package db
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"qosrm/internal/bench"
+	"qosrm/internal/config"
+	"qosrm/internal/trace"
+)
+
+// randomParams draws a Validate-accepted parameter set spanning the
+// geometries the corner-batched kernel specialises on: compute-bound
+// streams with no LLC traffic at all (the no-split fast path), small
+// hot sets that never miss past the warmup, cache-sensitive footprints
+// around the allocation range (maximum lane splitting), and streaming
+// footprints far beyond it.
+func randomParams(rng *rand.Rand) trace.Params {
+	p := trace.Params{
+		Seed:           rng.Int63(),
+		LoadFrac:       0.05 + 0.30*rng.Float64(),
+		StoreFrac:      0.02 + 0.10*rng.Float64(),
+		BranchFrac:     0.05 + 0.15*rng.Float64(),
+		MulFrac:        rng.Float64() * 0.5,
+		BranchMissRate: rng.Float64() * 0.1,
+		DepProb:        rng.Float64() * 0.8,
+		DepMean:        1 + rng.Float64()*20,
+		BurstProb:      rng.Float64() * 0.2,
+		BurstLen:       1 + rng.Intn(12),
+		BurstSpread:    1 + rng.Intn(8),
+		ChaseFrac:      rng.Float64() * 0.5,
+		StoreMainFrac:  rng.Float64(),
+	}
+	nr := 1 + rng.Intn(3)
+	for i := 0; i < nr; i++ {
+		// Footprints from well inside the private levels (16 KiB) to far
+		// past the largest LLC allocation (256 MiB), log-uniform.
+		bytes := uint64(16<<10) << uint(rng.Intn(15))
+		p.Regions = append(p.Regions, trace.Region{
+			Bytes:      bytes,
+			Weight:     0.1 + rng.Float64(),
+			Sequential: rng.Intn(2) == 0,
+		})
+	}
+	return p
+}
+
+// TestBuildRandomGeometryMatchesReference is the property-test sweep of
+// the build equivalence contract: random trace geometries — not just the
+// curated suite benchmarks — must come out of the corner-batched build
+// bit-identical to the seed build. Each case also runs through a shared
+// Workspace to pin that scratch reuse across builds cannot leak state
+// between cases.
+func TestBuildRandomGeometryMatchesReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-build property test")
+	}
+	rng := rand.New(rand.NewSource(0x9aed))
+	opts := Options{TraceLen: 3072, Warmup: 768}
+	var ws Workspace
+	for c := 0; c < 8; c++ {
+		p := randomParams(rng)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("case %d: randomParams produced invalid params: %v", c, err)
+		}
+		b := &bench.Benchmark{
+			Name:       fmt.Sprintf("rand%d", c),
+			TotalInstr: int64(opts.TraceLen) * 4,
+			Phases: []bench.Phase{
+				{Params: p, Weight: 1},
+			},
+		}
+		if err := b.Validate(); err != nil {
+			t.Fatalf("case %d: %v", c, err)
+		}
+		benches := []*bench.Benchmark{b}
+		fast, err := ws.Build(benches, opts)
+		if err != nil {
+			t.Fatalf("case %d: %v", c, err)
+		}
+		ref, err := BuildReference(benches, opts)
+		if err != nil {
+			t.Fatalf("case %d: %v", c, err)
+		}
+		fp, rp := fast.Phases[b.Name][0], ref.Phases[b.Name][0]
+		if fp.Runs == rp.Runs {
+			continue
+		}
+		for ci := range fp.Runs {
+			for k := range fp.Runs[ci] {
+				for wi := range fp.Runs[ci][k] {
+					if fp.Runs[ci][k][wi] != rp.Runs[ci][k][wi] {
+						t.Fatalf("case %d (%+v): c=%d k=%d w=%d:\nfast %+v\nref  %+v",
+							c, p, ci, k, config.MinWays+wi,
+							fp.Runs[ci][k][wi], rp.Runs[ci][k][wi])
+					}
+				}
+			}
+		}
+	}
+}

@@ -41,6 +41,28 @@ func (d *DB) AddPhase(benchName string) *CornerRuns {
 	return &pd.Runs
 }
 
+// AddPhases appends n empty phases to the named benchmark and returns
+// their corner blocks in order — AddPhase batched for loaders that know
+// the phase count up front: one backing allocation and one exactly-sized
+// pointer slice per benchmark instead of a heap object and an append
+// step per phase.
+func (d *DB) AddPhases(benchName string, n int) []*CornerRuns {
+	block := make([]phaseData, n)
+	out := make([]*CornerRuns, n)
+	ps := d.Phases[benchName]
+	if cap(ps)-len(ps) < n {
+		grown := make([]*phaseData, len(ps), len(ps)+n)
+		copy(grown, ps)
+		ps = grown
+	}
+	for i := range block {
+		ps = append(ps, &block[i])
+		out[i] = &block[i].Runs
+	}
+	d.Phases[benchName] = ps
+	return out
+}
+
 // Corners returns a read-only view of the simulated corner records of
 // one phase — the serializer-side counterpart of AddPhase.
 func (d *DB) Corners(benchName string, phase int) (*CornerRuns, error) {

@@ -76,6 +76,15 @@ const (
 	// anyone should meet.
 	maxPayload = 1 << 31
 
+	// preallocPayload bounds the payload length a reader will allocate
+	// up front on the header's say-so. Below it, the payload buffer is
+	// exactly sized before reading (the full suite is ~6 MB; the
+	// append-growth copies of a growing read used to cost several times
+	// the payload in allocations); above it, the reader falls back to
+	// growth proportional to the actual input, so a forged length field
+	// cannot force a huge allocation.
+	preallocPayload = 64 << 20
+
 	// maxBenches and maxPhases bound the structural counts a reader will
 	// accept before allocating for them.
 	maxBenches = 1 << 12
@@ -318,12 +327,22 @@ func Read(r io.Reader) (*db.DB, *Header, error) {
 	if payloadLen > maxPayload {
 		return nil, nil, fmt.Errorf("dbstore: payload length %d exceeds limit", payloadLen)
 	}
-	// ReadAll (rather than a pre-sized buffer) keeps allocation
-	// proportional to the actual input, so a forged length field cannot
-	// force a huge allocation.
-	payload, err := io.ReadAll(io.LimitReader(r, int64(payloadLen)+1))
-	if err != nil {
-		return nil, nil, fmt.Errorf("dbstore: payload: %w", err)
+	// The extra byte past payloadLen distinguishes an exact-length
+	// payload from one with trailing data, in both read paths below.
+	var payload []byte
+	if payloadLen < preallocPayload {
+		buf := make([]byte, payloadLen+1)
+		n, err := io.ReadFull(r, buf)
+		if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
+			return nil, nil, fmt.Errorf("dbstore: payload: %w", err)
+		}
+		payload = buf[:n]
+	} else {
+		var err error
+		payload, err = io.ReadAll(io.LimitReader(r, int64(payloadLen)+1))
+		if err != nil {
+			return nil, nil, fmt.Errorf("dbstore: payload: %w", err)
+		}
 	}
 	if uint64(len(payload)) < payloadLen {
 		return nil, nil, fmt.Errorf("dbstore: truncated payload: %d of %d bytes", len(payload), payloadLen)
@@ -382,8 +401,10 @@ func decodePayload(payload []byte) (*db.DB, *Header, error) {
 		if c.remaining() < np*phaseBytes {
 			return nil, nil, fmt.Errorf("dbstore: %s: truncated phase data", name)
 		}
-		for p := 0; p < np; p++ {
-			runs := d.AddPhase(name)
+		// The phase count is validated against the remaining payload
+		// above, so batch-allocating all of the benchmark's phases here
+		// cannot be baited into a large allocation by a forged count.
+		for _, runs := range d.AddPhases(name, np) {
 			for ci := range runs {
 				for k := range runs[ci] {
 					for wi := range runs[ci][k] {

@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"qosrm/internal/bench"
 	"qosrm/internal/config"
@@ -44,16 +45,27 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	// WallMs is the wall-clock the entry took to measure end to end
+	// (all of testing.Benchmark's calibration runs, not just the final
+	// one) — it makes a committed report auditable: an entry whose
+	// ns/op claims X but whose wall-clock could not have covered N×X
+	// was measured wrong.
+	WallMs float64 `json:"wall_ms,omitempty"`
 }
 
 // Report is the serialised form of one suite execution.
 type Report struct {
-	GoVersion string   `json:"go_version"`
-	GOOS      string   `json:"goos"`
-	GOARCH    string   `json:"goarch"`
-	NumCPU    int      `json:"num_cpu"`
-	Short     bool     `json:"short"`
-	Results   []Result `json:"results"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	// GoMaxProcs records the scheduler width the suite actually ran
+	// with. NumCPU alone cannot distinguish "flat parallel curve
+	// because the code doesn't scale" from "flat because the runtime
+	// was pinned to one P" — a committed report must say which.
+	GoMaxProcs int      `json:"gomaxprocs"`
+	Short      bool     `json:"short"`
+	Results    []Result `json:"results"`
 	// Load holds the open-loop load-test topology comparison from
 	// RunLoad (cmd/perfbench -load). The regression gate ignores it —
 	// reject rates and tail latencies on shared runners are too noisy
@@ -102,11 +114,12 @@ func buildWorkload(short bool) ([]*bench.Benchmark, db.Options, error) {
 // database workloads so CI finishes in seconds.
 func Run(short bool) (*Report, error) {
 	rep := &Report{
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Short:     short,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Short:      short,
 	}
 
 	benches, opts, err := buildWorkload(short)
@@ -143,6 +156,7 @@ func Run(short bool) (*Report, error) {
 	}
 
 	add := func(name string, f func(b *testing.B)) {
+		start := time.Now()
 		r := testing.Benchmark(f)
 		rep.Results = append(rep.Results, Result{
 			Name:        name,
@@ -150,6 +164,7 @@ func Run(short bool) (*Report, error) {
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
+			WallMs:      float64(time.Since(start).Microseconds()) / 1000,
 		})
 	}
 
@@ -230,11 +245,15 @@ func Run(short bool) (*Report, error) {
 	})
 
 	// One phase's full configuration sweep (a single cache-sensitive
-	// application), isolating the per-phase cost from suite effects.
+	// application), isolating the per-phase cost from suite effects. The
+	// workspace persists across iterations, so this entry tracks the
+	// steady-state sweep cost a database-rebuilding caller sees — the
+	// scratch matrices are paid for once, not per op.
 	add("PhaseSweep", func(b *testing.B) {
+		var ws db.Workspace
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := db.Build([]*bench.Benchmark{mcf}, opts); err != nil {
+			if _, err := ws.Build([]*bench.Benchmark{mcf}, opts); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -513,7 +532,26 @@ func (r *Report) Summary() string {
 	if ratio := r.Ratio("DatabaseBuild", "DatabaseSnapshotLoad"); ratio != 0 {
 		s += fmt.Sprintf("snapshot cold start vs build: %.1fx faster\n", ratio)
 	}
-	first, last := "", ""
+	if first, last, ratio := r.parallelScaling(); ratio != 0 {
+		s += fmt.Sprintf("build parallel scaling %s -> %s: %.2fx\n",
+			strings.TrimPrefix(first, "DatabaseBuildParallel/"),
+			strings.TrimPrefix(last, "DatabaseBuildParallel/"), ratio)
+	}
+	if w := r.ScalingWarning(); w != "" {
+		s += "WARNING: " + w + "\n"
+	}
+	for _, l := range r.Load {
+		s += fmt.Sprintf("load %s @ %.0f req/s: %.1f%% rejected, %.0f admitted/s, p50 %.1fms p99 %.1fms (%d forwarded)\n",
+			l.Name, l.TargetRPS, 100*l.RejectRate, l.AchievedRPS, l.P50Ms, l.P99Ms, l.Forwarded)
+	}
+	return s
+}
+
+// parallelScaling resolves the W1→Wmax speedup recorded in the report:
+// the names of the narrowest and widest DatabaseBuildParallel entries
+// and first's ns/op divided by last's (>1 means the wide build is
+// faster). Zero ratio when the report has fewer than two width entries.
+func (r *Report) parallelScaling() (first, last string, ratio float64) {
 	for _, res := range r.Results {
 		if strings.HasPrefix(res.Name, "DatabaseBuildParallel/") {
 			if first == "" {
@@ -522,18 +560,30 @@ func (r *Report) Summary() string {
 			last = res.Name
 		}
 	}
-	if first != "" && last != first {
-		if ratio := r.Ratio(first, last); ratio != 0 {
-			s += fmt.Sprintf("build parallel scaling %s -> %s: %.2fx\n",
-				strings.TrimPrefix(first, "DatabaseBuildParallel/"),
-				strings.TrimPrefix(last, "DatabaseBuildParallel/"), ratio)
-		}
+	if first == "" || last == first {
+		return "", "", 0
 	}
-	for _, l := range r.Load {
-		s += fmt.Sprintf("load %s @ %.0f req/s: %.1f%% rejected, %.0f admitted/s, p50 %.1fms p99 %.1fms (%d forwarded)\n",
-			l.Name, l.TargetRPS, 100*l.RejectRate, l.AchievedRPS, l.P50Ms, l.P99Ms, l.Forwarded)
+	return first, last, r.Ratio(first, last)
+}
+
+// ScalingWarning reports a flat parallel-build curve measured on a
+// machine wide enough to show one: non-empty when the report ran with
+// more than one scheduler P and the widest worker count is less than
+// 1.2× faster than one worker. A flat curve on a multi-core box means
+// the sharded build is serialising somewhere and must not slip into a
+// committed BENCH file unremarked; on a single-P run the curve cannot
+// slope and the warning stays silent.
+func (r *Report) ScalingWarning() string {
+	if r.GoMaxProcs <= 1 {
+		return ""
 	}
-	return s
+	first, last, ratio := r.parallelScaling()
+	if ratio == 0 || ratio >= 1.2 {
+		return ""
+	}
+	return fmt.Sprintf("parallel build speedup %s -> %s is %.2fx on a %d-P machine (< 1.2x): the sharded build is not scaling",
+		strings.TrimPrefix(first, "DatabaseBuildParallel/"),
+		strings.TrimPrefix(last, "DatabaseBuildParallel/"), ratio, r.GoMaxProcs)
 }
 
 // LoadReport reads a committed BENCH_<n>.json report.

@@ -36,31 +36,48 @@
 // Database sweep (db.Build): per phase, the trace is generated and its
 // cache hierarchy behaviour annotated once, and each instruction's
 // kernel class and latency are precomputed, both setting-independent.
-// The fifteen way allocations of a (core size, frequency corner) are
-// walked in one cpu.RunWays pass over structure-of-arrays per-lane
-// state, which hides the latency of the walk's serial float dependence
-// chain across lanes; the walk partitions allocations into dynamically
-// refined groups — lanes can only diverge where an LLC access's
-// miss/hit boundary falls inside their interval, so one representative
-// chain serves each still-indistinguishable group and compute-bound
-// phases walk one or two chains instead of fifteen. Per-allocation
-// LLC/DRAM counters are computed in a single histogram pass shared by
-// all runs.
+// All forty-five (frequency corner, way allocation) lanes of a core
+// size are walked in one corner-batched cpu.RunCorners pass over
+// structure-of-arrays per-lane state: frequency enters the timing
+// recurrence only through per-lane constants (ns per cycle, dispatch
+// step, L3 latency, branch penalty), so batching the three corners
+// into one walk pays the per-instruction fixed costs — class dispatch,
+// dependence-row resolution, ring indexing — once instead of three
+// times, and hides the latency of each lane's serial float dependence
+// chain across the others. The walk partitions lanes into dynamically
+// refined groups: lanes can only diverge where an LLC access's
+// miss/hit boundary falls strictly inside their way interval, and that
+// boundary position is corner-invariant, so one scan splits every
+// straddling group and one representative chain serves each
+// still-indistinguishable group — compute-bound phases walk a handful
+// of chains instead of forty-five. Per-allocation LLC/DRAM counters
+// are computed in a single histogram pass shared by all runs.
 //
 // ATD observations come from a per-phase prefix-sharing replay tree:
 // all runs of a phase observe the same LLC event set (only delivery
 // order varies with the setting), so a run is its delivery permutation,
-// recovered from the walk's issue-time matrix by a compact seeded
-// argsort. Identical permutations share one replayed ATD, and a run
-// whose permutation shares a prefix with earlier runs forks a
-// copy-on-write snapshot at the divergence point — tag state lives in
-// flat structure-of-arrays rows shared between the warm state and all
+// recovered from the walk's issue-time matrix by an adaptive argsort —
+// issue columns arrive nearly sorted (the dispatch cursor is close to
+// monotone), so a budgeted insertion repair handles the common case in
+// about one pass and a column that blows its inversion budget falls
+// back to an LSD radix sort over the float bit patterns, which skips
+// the byte positions a column's shared exponent range leaves constant.
+// Identical permutations share one replayed ATD, and a run whose
+// permutation shares a prefix with earlier runs forks a copy-on-write
+// snapshot at the divergence point — tag state lives in flat
+// structure-of-arrays rows shared between the warm state and all
 // descendants (cache.COWStack), and a fork copies only the sets it
-// actually touches — then replays only its divergent suffix. Phases
-// whose measured window never reaches the LLC collapse to one timing
-// walk per (core, frequency). Work is sharded at (phase, core size,
-// corner) granularity across Options.Workers goroutines; the
-// DatabaseBuildParallel perfbench entries record the scaling curve.
+// actually touches — then replays only its divergent suffix. The tree's
+// lock covers only trie shape; the multi-millisecond ATD feeds run
+// against pending nodes other workers can block on, so workers sharing
+// a phase never serialise on each other's replays. Phases whose
+// measured window never reaches the LLC collapse to one timing walk
+// per (core, frequency corner). Work is sharded at (phase, core size)
+// granularity across Options.Workers goroutines — largest core first,
+// so the slowest walk is never the straggler — and a db.Workspace
+// retains the per-worker sweep scratches across builds; the
+// DatabaseBuildParallel perfbench entries record the scaling curve and
+// Report.ScalingWarning flags a flat curve on multi-core machines.
 //
 // RM invocation path (sim.Run): local optimisation curves are memoized
 // per run in an rm.CurveCache — the RM kind, model and alpha are fixed
