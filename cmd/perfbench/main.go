@@ -36,6 +36,14 @@ import (
 )
 
 func main() {
+	// All gating and I/O happens in run so its defers — most
+	// importantly StopCPUProfile — complete before os.Exit; exiting
+	// from inside run would truncate the -cpuprofile output exactly
+	// when the gate fails, the case CI most wants the profile for.
+	os.Exit(run())
+}
+
+func run() int {
 	short := flag.Bool("short", false, "shrink workloads for CI (subset suite)")
 	out := flag.String("o", "BENCH.json", "output JSON path")
 	baseline := flag.String("baseline", "", "committed report to gate regressions against")
@@ -49,11 +57,12 @@ func main() {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "perfbench:", err)
-			os.Exit(1)
+			return 1
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintln(os.Stderr, "perfbench:", err)
-			os.Exit(1)
+			f.Close()
+			return 1
 		}
 		defer func() {
 			pprof.StopCPUProfile()
@@ -65,16 +74,19 @@ func main() {
 	rep, err := perfbench.Run(*short)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "perfbench:", err)
-		os.Exit(1)
+		return 1
 	}
 	if *load {
 		if rep.Load, err = perfbench.RunLoad(*short); err != nil {
 			fmt.Fprintln(os.Stderr, "perfbench:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 
-	writeReport(*out, rep)
+	if err := writeReport(*out, rep); err != nil {
+		fmt.Fprintln(os.Stderr, "perfbench:", err)
+		return 1
+	}
 
 	for _, r := range rep.Results {
 		fmt.Printf("%-24s %12.0f ns/op %10d B/op %8d allocs/op  (n=%d)\n",
@@ -94,7 +106,7 @@ func main() {
 		base, err := perfbench.LoadReport(*baseline)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "perfbench:", err)
-			os.Exit(1)
+			return 1
 		}
 		names := perfbench.GateNames(rep, base)
 		if len(names) < len(perfbench.GateBenchmarks) {
@@ -109,7 +121,7 @@ func main() {
 			}
 			if try >= *retries {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return 1
 			}
 			// Shared runners are noisy and a co-tenant can only slow a
 			// measurement down: re-measure and gate on the best of the
@@ -118,28 +130,28 @@ func main() {
 			again, err := perfbench.Run(*short)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "perfbench:", err)
-				os.Exit(1)
+				return 1
 			}
 			best = perfbench.BestOf(best, again)
 		}
 		if best != rep {
 			// The gate passed on re-measured numbers: keep the written
 			// artifact consistent with what the gate accepted.
-			writeReport(*out, best)
+			if err := writeReport(*out, best); err != nil {
+				fmt.Fprintln(os.Stderr, "perfbench:", err)
+				return 1
+			}
 		}
 	}
+	return 0
 }
 
-// writeReport serialises a report to path, exiting on failure.
-func writeReport(path string, rep *perfbench.Report) {
+// writeReport serialises a report to path.
+func writeReport(path string, rep *perfbench.Report) error {
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "perfbench:", err)
-		os.Exit(1)
+		return err
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "perfbench:", err)
-		os.Exit(1)
-	}
+	return os.WriteFile(path, data, 0o644)
 }

@@ -254,8 +254,9 @@ func (pp *phasePrep) replay(perm []int32) *atd.ATD {
 				ready: make(chan struct{}),
 			}
 			cur.children = append(cur.children, leaf)
+			suffix := leaf.edge
 			pp.mu.Unlock()
-			return pp.materialize(leaf, cur, leaf.edge)
+			return pp.materialize(leaf, cur, suffix)
 		}
 		e := next.edge
 		j := 1
@@ -299,21 +300,23 @@ func (pp *phasePrep) replay(perm []int32) *atd.ATD {
 				break
 			}
 		}
+		midSuffix := mid.edge
 		if i+j == len(perm) {
 			// Unreachable while all sequences have equal length (no
 			// sequence is a strict prefix of another), but keep the
 			// trie correct if that ever changes.
 			pp.mu.Unlock()
-			return pp.materialize(mid, cur, mid.edge)
+			return pp.materialize(mid, cur, midSuffix)
 		}
 		leaf := &replayNode{
 			edge:  append([]int32(nil), perm[i+j:]...),
 			ready: make(chan struct{}),
 		}
 		mid.children = append(mid.children, leaf)
+		leafSuffix := leaf.edge
 		pp.mu.Unlock()
-		pp.materialize(mid, cur, mid.edge)
-		return pp.materialize(leaf, mid, leaf.edge)
+		pp.materialize(mid, cur, midSuffix)
+		return pp.materialize(leaf, mid, leafSuffix)
 	}
 }
 

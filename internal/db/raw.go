@@ -47,6 +47,11 @@ func (d *DB) AddPhase(benchName string) *CornerRuns {
 // pointer slice per benchmark instead of a heap object and an append
 // step per phase.
 func (d *DB) AddPhases(benchName string, n int) []*CornerRuns {
+	if n == 0 {
+		// Match the AddPhase loop: a zero-phase benchmark leaves the
+		// map untouched rather than gaining an entry with a nil slice.
+		return nil
+	}
 	block := make([]phaseData, n)
 	out := make([]*CornerRuns, n)
 	ps := d.Phases[benchName]
